@@ -1,0 +1,118 @@
+//! Substrate throughput benchmarks: the building blocks every experiment
+//! leans on.
+
+use cachesim::{LruCache, ReplacementCache, TaggedCache};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use predictor::{MarkovPredictor, Predictor};
+use queueing::driver::poisson_arrivals;
+use queueing::{drive, PsServer};
+use simcore::dist::{Exponential, Sample, Zipf};
+use simcore::rng::Rng;
+
+fn bench_ps_server(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ps_server");
+    for &n in &[1_000usize, 10_000] {
+        let mut rng = Rng::new(1);
+        let arrivals = poisson_arrivals(0.7, &Exponential::with_mean(1.0), n, &mut rng);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("drive_{n}_jobs"), |b| {
+            b.iter(|| {
+                let mut server = PsServer::new(1.0);
+                black_box(drive(&mut server, &arrivals))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_caches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("caches");
+    let mut rng = Rng::new(2);
+    let zipf = Zipf::new(10_000, 0.9);
+    let keys: Vec<u64> = (0..100_000).map(|_| zipf.sample_rank(&mut rng) as u64).collect();
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.bench_function("lru_zipf_stream", |b| {
+        b.iter(|| {
+            let mut cache = LruCache::new(1024);
+            let mut hits = 0u64;
+            for &k in &keys {
+                if cache.touch(k) {
+                    hits += 1;
+                } else {
+                    cache.insert(k);
+                }
+            }
+            black_box(hits)
+        });
+    });
+    g.bench_function("tagged_lru_zipf_stream", |b| {
+        b.iter(|| {
+            let mut cache = TaggedCache::new(LruCache::new(1024));
+            for &k in &keys {
+                cache.access(k);
+            }
+            black_box(cache.estimate_h_prime())
+        });
+    });
+    g.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictors");
+    let mut rng = Rng::new(3);
+    let mut chain = workload::MarkovChain::random(500, 4, 0.5, &mut rng);
+    let stream: Vec<workload::ItemId> = (0..50_000)
+        .map(|_| workload::RequestStream::next_item(&mut chain, &mut rng))
+        .collect();
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    g.bench_function("markov1_observe_predict", |b| {
+        b.iter(|| {
+            let mut p = MarkovPredictor::new(1);
+            for &item in &stream {
+                p.observe(item);
+            }
+            black_box(p.candidates(4))
+        });
+    });
+    g.bench_function("lz78_observe_predict", |b| {
+        b.iter(|| {
+            let mut p = predictor::Lz78Predictor::new();
+            for &item in &stream {
+                p.observe(item);
+            }
+            black_box(p.candidates(4))
+        });
+    });
+    g.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("samplers");
+    let zipf = Zipf::new(100_000, 0.8);
+    let exp = Exponential::with_mean(1.0);
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("zipf_alias_10k", |b| {
+        let mut rng = Rng::new(4);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(zipf.sample_rank(&mut rng));
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("exponential_10k", |b| {
+        let mut rng = Rng::new(5);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += exp.sample(&mut rng);
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(components, bench_ps_server, bench_caches, bench_predictors, bench_samplers);
+criterion_main!(components);

@@ -1,0 +1,46 @@
+//! Whole-simulator benchmarks: the parametric validator (E7's engine) and
+//! the trace-driven proxy (E8's engine) at reduced scale.
+
+use bench::{small_parametric, small_traced};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use netsim::traced::Policy;
+use simcore::dist::Exponential;
+
+fn bench_parametric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parametric_sim");
+    g.sample_size(20);
+    let size = Exponential::with_mean(1.0);
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("20k_requests_with_prefetch", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let config = small_parametric(&size);
+            black_box(netsim::parametric::run(&config, seed))
+        });
+    });
+    g.finish();
+}
+
+fn bench_traced(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traced_sim");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(15_000));
+    for (label, policy) in [
+        ("no_prefetch", Policy::NoPrefetch),
+        ("adaptive", Policy::Adaptive),
+    ] {
+        g.bench_function(format!("15k_requests_{label}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let config = small_traced(policy);
+                black_box(netsim::traced::run(&config, seed))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(endtoend, bench_parametric, bench_traced);
+criterion_main!(endtoend);

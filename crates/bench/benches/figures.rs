@@ -1,0 +1,63 @@
+//! One benchmark per paper figure: regenerating the full data series.
+//!
+//! The absolute numbers are microseconds (closed forms), but the benches
+//! pin the figure-generation pipeline and catch pathological regressions
+//! in the model code (e.g. an accidental O(n²) in a sweep).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use harness::experiments::{e1_fig1, e2_fig2, e3_fig3, e4_modelb, e5_compare};
+use prefetch_core::SystemParams;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.bench_function("panel_h0", |b| {
+        b.iter(|| black_box(e1_fig1::panel(0.0, 80)));
+    });
+    g.bench_function("panel_h03", |b| {
+        b.iter(|| black_box(e1_fig1::panel(0.3, 80)));
+    });
+    g.bench_function("full_render", |b| {
+        b.iter(|| black_box(e1_fig1::render()));
+    });
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.bench_function("panel_h0", |b| {
+        b.iter(|| black_box(e2_fig2::panel(0.0, 80)));
+    });
+    g.bench_function("panel_h03", |b| {
+        b.iter(|| black_box(e2_fig2::panel(0.3, 80)));
+    });
+    g.bench_function("full_render", |b| {
+        b.iter(|| black_box(e2_fig2::render()));
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.bench_function("panel_h0", |b| {
+        b.iter(|| black_box(e3_fig3::panel(0.0, 80)));
+    });
+    g.bench_function("full_render", |b| {
+        b.iter(|| black_box(e3_fig3::render()));
+    });
+    g.finish();
+}
+
+fn bench_derived_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("derived");
+    g.bench_function("e4_modelb_g_curve", |b| {
+        b.iter(|| black_box(e4_modelb::g_curve(0.3, 0.8, 20.0, 80)));
+    });
+    g.bench_function("e5_convergence", |b| {
+        let params = SystemParams::paper_figure2(0.3);
+        b.iter(|| black_box(e5_compare::convergence(params, 1.0, 0.8)));
+    });
+    g.finish();
+}
+
+criterion_group!(figures, bench_fig1, bench_fig2, bench_fig3, bench_derived_figures);
+criterion_main!(figures);

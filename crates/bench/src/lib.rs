@@ -1,0 +1,58 @@
+//! # bench — Criterion benchmarks
+//!
+//! Three benchmark suites (run `cargo bench --workspace`):
+//!
+//! * `figures` — one benchmark per paper figure (E1–E3): the cost of
+//!   regenerating each panel's full data series from the closed forms, plus
+//!   the Model-B analogues (E4) and the §6 comparison (E5).
+//! * `components` — substrate throughput: the processor-sharing server,
+//!   cache policies, predictors, samplers, and the §4 tagged estimator.
+//! * `endtoend` — whole-simulator runs: the parametric validator (E7) and
+//!   the trace-driven proxy (E8) at reduced scale.
+//!
+//! The library half provides shared setup helpers so the suites stay small.
+
+use netsim::parametric::ParametricConfig;
+use netsim::traced::{Policy, PredictorKind, TracedConfig};
+use prefetch_core::SystemParams;
+use workload::synth_web::SynthWebConfig;
+
+/// The paper's Figure-2 parameters with the given panel `h′`.
+pub fn fig2_params(h_prime: f64) -> SystemParams {
+    SystemParams::paper_figure2(h_prime)
+}
+
+/// A reduced-scale parametric configuration for benchmarking.
+pub fn small_parametric(size_dist: &dyn simcore::dist::Sample) -> ParametricConfig<'_> {
+    ParametricConfig {
+        params: fig2_params(0.0),
+        n_f: 1.0,
+        p: 0.9,
+        size_dist,
+        requests: 20_000,
+        warmup: 2_000,
+    }
+}
+
+/// A reduced-scale traced configuration for benchmarking.
+pub fn small_traced(policy: Policy) -> TracedConfig {
+    TracedConfig {
+        web: SynthWebConfig {
+            n_clients: 8,
+            lambda: 30.0,
+            n_items: 300,
+            branching: 3,
+            link_skew: 0.3,
+            mean_size: 1.0,
+            size_shape: 2.5,
+        },
+        cache_capacity: 32,
+        bandwidth: 60.0,
+        predictor: PredictorKind::Markov1,
+        policy,
+        max_candidates: 3,
+        prefetch_jitter: 0.01,
+        requests: 15_000,
+        warmup: 3_000,
+    }
+}

@@ -1,0 +1,114 @@
+//! First-in-first-out cache: eviction order is admission order; touches
+//! don't refresh. The cheapest policy and the weakest — used as a baseline
+//! in cache-policy comparisons.
+
+use crate::ReplacementCache;
+use core::hash::Hash;
+use std::collections::{HashSet, VecDeque};
+
+/// FIFO cache.
+pub struct FifoCache<K> {
+    set: HashSet<K>,
+    queue: VecDeque<K>,
+    capacity: usize,
+}
+
+impl<K: Copy + Eq + Hash> FifoCache<K> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        FifoCache {
+            set: HashSet::with_capacity(capacity + 1),
+            queue: VecDeque::with_capacity(capacity + 1),
+            capacity,
+        }
+    }
+}
+
+impl<K: Copy + Eq + Hash> ReplacementCache<K> for FifoCache<K> {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    fn contains(&self, k: &K) -> bool {
+        self.set.contains(k)
+    }
+
+    fn touch(&mut self, k: K) -> bool {
+        self.set.contains(&k)
+    }
+
+    fn insert(&mut self, k: K) -> Option<K> {
+        if self.set.contains(&k) {
+            return None;
+        }
+        let mut evicted = None;
+        if self.set.len() == self.capacity {
+            // Skip queue entries already removed via `remove`.
+            while let Some(victim) = self.queue.pop_front() {
+                if self.set.remove(&victim) {
+                    evicted = Some(victim);
+                    break;
+                }
+            }
+        }
+        self.set.insert(k);
+        self.queue.push_back(k);
+        // Bound ghost growth from lazy removals.
+        if self.queue.len() > 2 * self.capacity {
+            let set = &self.set;
+            self.queue.retain(|key| set.contains(key));
+        }
+        evicted
+    }
+
+    fn remove(&mut self, k: &K) -> bool {
+        // Lazy removal: the queue entry is skipped at eviction time.
+        self.set.remove(k)
+    }
+
+    fn keys(&self) -> Vec<K> {
+        self.set.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance;
+
+    #[test]
+    fn conformance_suite() {
+        conformance::basic_fill_and_evict(FifoCache::new(3));
+        conformance::reinsert_does_not_evict(FifoCache::new(3));
+        conformance::remove_frees_space(FifoCache::new(3));
+        conformance::touch_only_hits_present(FifoCache::new(3));
+        conformance::keys_are_consistent(FifoCache::new(3));
+    }
+
+    #[test]
+    fn evicts_in_admission_order_ignoring_touches() {
+        let mut c = FifoCache::new(3);
+        c.insert(1);
+        c.insert(2);
+        c.insert(3);
+        c.touch(1); // FIFO ignores recency
+        assert_eq!(c.insert(4), Some(1));
+        assert_eq!(c.insert(5), Some(2));
+    }
+
+    #[test]
+    fn lazy_removal_skips_ghosts() {
+        let mut c = FifoCache::new(3);
+        c.insert(1);
+        c.insert(2);
+        c.insert(3);
+        c.remove(&1); // ghost in queue
+        c.insert(4); // fills the free slot, no eviction
+        // Next eviction must skip ghost 1 and take 2.
+        assert_eq!(c.insert(5), Some(2));
+    }
+}

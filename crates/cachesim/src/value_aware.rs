@@ -1,0 +1,200 @@
+//! Value-aware (oracle) cache: evicts the entry with the smallest value
+//! under a caller-maintained value function.
+//!
+//! This realises the paper's interaction models in simulation:
+//!
+//! * set every demand-cached entry's value to its true re-access
+//!   probability and prefetch-insert with eviction of the **minimum**-value
+//!   entry → model A when zero-value entries exist, model AB in general;
+//! * combine with uniform values → model B.
+
+use crate::ReplacementCache;
+use core::hash::Hash;
+use std::collections::{BTreeSet, HashMap};
+
+/// Total-ordered f64 wrapper (keys in the eviction order set).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Cache that evicts the minimum-value entry (ties: oldest).
+pub struct ValueAwareCache<K> {
+    map: HashMap<K, (OrdF64, u64)>,
+    order: BTreeSet<(OrdF64, u64, K)>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl<K: Copy + Eq + Hash + Ord> ValueAwareCache<K> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        ValueAwareCache {
+            map: HashMap::with_capacity(capacity + 1),
+            order: BTreeSet::new(),
+            capacity,
+            next_seq: 0,
+        }
+    }
+
+    /// Inserts or updates `k` with value `v`; evicts the minimum-value
+    /// entry if the insert overflows. Returns the evicted key.
+    pub fn insert_valued(&mut self, k: K, v: f64) -> Option<K> {
+        assert!(!v.is_nan(), "value cannot be NaN");
+        if self.map.contains_key(&k) {
+            self.set_value(k, v);
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() == self.capacity {
+            let victim = *self.order.iter().next().expect("full cache");
+            self.order.remove(&victim);
+            self.map.remove(&victim.2);
+            evicted = Some(victim.2);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.map.insert(k, (OrdF64(v), seq));
+        self.order.insert((OrdF64(v), seq, k));
+        evicted
+    }
+
+    /// Updates the value of a cached entry (no-op when absent).
+    pub fn set_value(&mut self, k: K, v: f64) {
+        assert!(!v.is_nan());
+        if let Some(&(old_v, seq)) = self.map.get(&k) {
+            self.order.remove(&(old_v, seq, k));
+            self.map.insert(k, (OrdF64(v), seq));
+            self.order.insert((OrdF64(v), seq, k));
+        }
+    }
+
+    /// Current value of an entry.
+    pub fn value(&self, k: &K) -> Option<f64> {
+        self.map.get(k).map(|&(v, _)| v.0)
+    }
+
+    /// The key that would be evicted next, with its value.
+    pub fn peek_min(&self) -> Option<(K, f64)> {
+        self.order.iter().next().map(|&(v, _, k)| (k, v.0))
+    }
+}
+
+impl<K: Copy + Eq + Hash + Ord> ReplacementCache<K> for ValueAwareCache<K> {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn contains(&self, k: &K) -> bool {
+        self.map.contains_key(k)
+    }
+
+    fn touch(&mut self, k: K) -> bool {
+        self.map.contains_key(&k)
+    }
+
+    /// Default insert uses value 0 (unknown = worthless) — callers that
+    /// know values should use [`ValueAwareCache::insert_valued`].
+    fn insert(&mut self, k: K) -> Option<K> {
+        self.insert_valued(k, 0.0)
+    }
+
+    fn remove(&mut self, k: &K) -> bool {
+        if let Some((v, seq)) = self.map.remove(k) {
+            self.order.remove(&(v, seq, *k));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn keys(&self) -> Vec<K> {
+        self.map.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance;
+
+    #[test]
+    fn conformance_suite() {
+        conformance::basic_fill_and_evict(ValueAwareCache::new(3));
+        conformance::reinsert_does_not_evict(ValueAwareCache::new(3));
+        conformance::remove_frees_space(ValueAwareCache::new(3));
+        conformance::touch_only_hits_present(ValueAwareCache::new(3));
+        conformance::keys_are_consistent(ValueAwareCache::new(3));
+    }
+
+    #[test]
+    fn evicts_minimum_value() {
+        let mut c = ValueAwareCache::new(3);
+        c.insert_valued(1, 0.9);
+        c.insert_valued(2, 0.1);
+        c.insert_valued(3, 0.5);
+        assert_eq!(c.insert_valued(4, 0.7), Some(2));
+        assert_eq!(c.peek_min(), Some((3, 0.5)));
+    }
+
+    #[test]
+    fn value_update_changes_victim() {
+        let mut c = ValueAwareCache::new(3);
+        c.insert_valued(1, 0.9);
+        c.insert_valued(2, 0.1);
+        c.insert_valued(3, 0.5);
+        c.set_value(2, 0.95);
+        assert_eq!(c.insert_valued(4, 0.7), Some(3));
+        assert!(c.contains(&2));
+    }
+
+    #[test]
+    fn ties_evict_oldest() {
+        let mut c = ValueAwareCache::new(3);
+        c.insert_valued(10, 0.5);
+        c.insert_valued(20, 0.5);
+        c.insert_valued(30, 0.5);
+        assert_eq!(c.insert_valued(40, 0.5), Some(10));
+    }
+
+    #[test]
+    fn zero_value_entries_always_go_first_model_a_semantics() {
+        // Model A: as long as a zero-value entry exists, prefetching evicts
+        // only those — valuable entries are never harmed.
+        let mut c = ValueAwareCache::new(4);
+        c.insert_valued(1, 0.8); // valuable
+        c.insert_valued(2, 0.0); // worthless
+        c.insert_valued(3, 0.0);
+        c.insert_valued(4, 0.6);
+        let e1 = c.insert_valued(100, 0.5).unwrap();
+        let e2 = c.insert_valued(101, 0.5).unwrap();
+        assert!(e1 == 2 || e1 == 3);
+        assert!(e2 == 2 || e2 == 3);
+        assert!(c.contains(&1) && c.contains(&4));
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut c = ValueAwareCache::new(2);
+        c.insert_valued(1, 0.1);
+        c.insert_valued(2, 0.2);
+        assert_eq!(c.insert_valued(1, 0.9), None);
+        assert_eq!(c.value(&1), Some(0.9));
+        // Now 2 is the minimum.
+        assert_eq!(c.insert_valued(3, 0.5), Some(2));
+    }
+}

@@ -1,0 +1,157 @@
+//! Terminal line plots, for regenerating the paper's figures as ASCII
+//! charts (each series gets its own marker character, like the paper's
+//! gnuplot keys).
+
+/// A multi-series scatter/line chart rendered to a character grid.
+pub struct Chart {
+    title: String,
+    width: usize,
+    height: usize,
+    x_range: (f64, f64),
+    y_range: (f64, f64),
+    series: Vec<(String, char, Vec<(f64, f64)>)>,
+}
+
+const MARKERS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&', '^', '~'];
+
+impl Chart {
+    pub fn new(
+        title: impl Into<String>,
+        x_range: (f64, f64),
+        y_range: (f64, f64),
+        width: usize,
+        height: usize,
+    ) -> Self {
+        assert!(x_range.1 > x_range.0 && y_range.1 > y_range.0);
+        assert!(width >= 16 && height >= 6);
+        Chart {
+            title: title.into(),
+            width,
+            height,
+            x_range,
+            y_range,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series; points outside the ranges are clipped (exactly how
+    /// the paper's fixed axes handle diverging curves).
+    pub fn series(&mut self, label: impl Into<String>, points: Vec<(f64, f64)>) -> &mut Self {
+        let marker = MARKERS[self.series.len() % MARKERS.len()];
+        self.series.push((label.into(), marker, points));
+        self
+    }
+
+    pub fn render(&self) -> String {
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        let (x0, x1) = self.x_range;
+        let (y0, y1) = self.y_range;
+        for (_, marker, pts) in &self.series {
+            for &(x, y) in pts {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                if x < x0 || x > x1 || y < y0 || y > y1 {
+                    continue;
+                }
+                let col = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+                let row = ((y - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - row;
+                grid[row][col] = *marker;
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let ylab_w = 9;
+        for (i, row) in grid.iter().enumerate() {
+            let yv = y1 - (y1 - y0) * i as f64 / (self.height - 1) as f64;
+            let label = if i % 4 == 0 || i == self.height - 1 {
+                format!("{yv:>8.3} ")
+            } else {
+                " ".repeat(ylab_w)
+            };
+            out.push_str(&label);
+            out.push('|');
+            out.push_str(&row.iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(ylab_w));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&" ".repeat(ylab_w + 1));
+        // x labels at edges and middle
+        let mid = format!("{:.2}", (x0 + x1) / 2.0);
+        let left = format!("{x0:.2}");
+        let right = format!("{x1:.2}");
+        let mut xaxis = vec![' '; self.width];
+        for (pos, s) in [
+            (0usize, &left),
+            (self.width / 2 - mid.len().min(self.width / 2) / 2, &mid),
+            (self.width - right.len(), &right),
+        ] {
+            for (j, ch) in s.chars().enumerate() {
+                if pos + j < self.width {
+                    xaxis[pos + j] = ch;
+                }
+            }
+        }
+        out.push_str(&xaxis.iter().collect::<String>());
+        out.push('\n');
+        for (label, marker, _) in &self.series {
+            out.push_str(&format!("  {marker} {label}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_within_range() {
+        let mut c = Chart::new("t", (0.0, 10.0), (0.0, 1.0), 40, 10);
+        c.series("line", vec![(0.0, 0.0), (5.0, 0.5), (10.0, 1.0)]);
+        let s = c.render();
+        assert!(s.contains("## t"));
+        assert!(s.contains('*'));
+        assert!(s.contains("* line"));
+    }
+
+    #[test]
+    fn clips_out_of_range() {
+        let mut c = Chart::new("t", (0.0, 1.0), (0.0, 1.0), 20, 6);
+        c.series("s", vec![(2.0, 0.5), (0.5, 5.0), (f64::NAN, 0.1)]);
+        let s = c.render();
+        // No marker should appear in the grid.
+        let grid_lines: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+        assert!(grid_lines.iter().all(|l| !l.contains('*')));
+    }
+
+    #[test]
+    fn distinct_markers_per_series() {
+        let mut c = Chart::new("t", (0.0, 1.0), (0.0, 1.0), 20, 6);
+        c.series("a", vec![(0.2, 0.2)]);
+        c.series("b", vec![(0.8, 0.8)]);
+        let s = c.render();
+        assert!(s.contains("* a"));
+        assert!(s.contains("+ b"));
+    }
+
+    #[test]
+    fn monotone_series_renders_monotone() {
+        // The highest y must land on an earlier (upper) line than the lowest.
+        let mut c = Chart::new("t", (0.0, 1.0), (0.0, 1.0), 30, 10);
+        c.series("s", vec![(0.0, 0.05), (1.0, 0.95)]);
+        let s = c.render();
+        let rows: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+        let top = rows.iter().position(|l| l.contains('*')).unwrap();
+        let bottom = rows.iter().rposition(|l| l.contains('*')).unwrap();
+        assert!(top < bottom);
+        // Top row marker is to the right (x=1), bottom to the left (x=0).
+        let top_col = rows[top].find('*').unwrap();
+        let bottom_col = rows[bottom].find('*').unwrap();
+        assert!(top_col > bottom_col);
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the report of experiment `e10_ablation` (see DESIGN.md).
+fn main() {
+    print!("{}", harness::experiments::e10_ablation::render());
+}

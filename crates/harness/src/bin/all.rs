@@ -1,0 +1,36 @@
+//! Runs every experiment (E1–E10) and writes the reports under `results/`.
+//!
+//! ```text
+//! cargo run --release -p harness --bin all
+//! ```
+
+use std::fs;
+use std::time::Instant;
+
+fn main() -> std::io::Result<()> {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "results".to_string());
+    fs::create_dir_all(&out_dir)?;
+    let experiments: Vec<(&str, fn() -> String)> = vec![
+        ("e1_fig1", harness::experiments::e1_fig1::render),
+        ("e2_fig2", harness::experiments::e2_fig2::render),
+        ("e3_fig3", harness::experiments::e3_fig3::render),
+        ("e4_modelb", harness::experiments::e4_modelb::render),
+        ("e5_compare", harness::experiments::e5_compare::render),
+        ("e6_estimate", harness::experiments::e6_estimate::render),
+        ("e7_validate", harness::experiments::e7_validate::render),
+        ("e8_endtoend", harness::experiments::e8_endtoend::render),
+        ("e9_impedance", harness::experiments::e9_impedance::render),
+        ("e10_ablation", harness::experiments::e10_ablation::render),
+        ("e11_wireless", harness::experiments::e11_wireless::render),
+        ("e12_caches", harness::experiments::e12_caches::render),
+    ];
+    for (name, render) in experiments {
+        let start = Instant::now();
+        let report = render();
+        let path = format!("{out_dir}/{name}.txt");
+        fs::write(&path, &report)?;
+        println!("wrote {path} ({} lines, {:.1}s)", report.lines().count(), start.elapsed().as_secs_f64());
+    }
+    println!("done — see {out_dir}/");
+    Ok(())
+}

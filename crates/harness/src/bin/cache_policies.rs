@@ -1,0 +1,4 @@
+//! Regenerates the report of experiment `e12_caches` (see DESIGN.md).
+fn main() {
+    print!("{}", harness::experiments::e12_caches::render());
+}

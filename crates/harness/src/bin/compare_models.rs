@@ -1,0 +1,4 @@
+//! Regenerates the report of experiment `e5_compare` (see DESIGN.md).
+fn main() {
+    print!("{}", harness::experiments::e5_compare::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the report of experiment `e8_endtoend` (see DESIGN.md).
+fn main() {
+    print!("{}", harness::experiments::e8_endtoend::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the report of experiment `e6_estimate` (see DESIGN.md).
+fn main() {
+    print!("{}", harness::experiments::e6_estimate::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the report of experiment `e1_fig1` (see DESIGN.md).
+fn main() {
+    print!("{}", harness::experiments::e1_fig1::render());
+}

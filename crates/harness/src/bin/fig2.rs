@@ -1,0 +1,4 @@
+//! Regenerates the report of experiment `e2_fig2` (see DESIGN.md).
+fn main() {
+    print!("{}", harness::experiments::e2_fig2::render());
+}

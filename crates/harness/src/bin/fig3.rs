@@ -1,0 +1,4 @@
+//! Regenerates the report of experiment `e3_fig3` (see DESIGN.md).
+fn main() {
+    print!("{}", harness::experiments::e3_fig3::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the report of experiment `e4_modelb` (see DESIGN.md).
+fn main() {
+    print!("{}", harness::experiments::e4_modelb::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the report of experiment `e9_impedance` (see DESIGN.md).
+fn main() {
+    print!("{}", harness::experiments::e9_impedance::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the report of experiment `e7_validate` (see DESIGN.md).
+fn main() {
+    print!("{}", harness::experiments::e7_validate::render());
+}

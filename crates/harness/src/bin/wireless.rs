@@ -1,0 +1,4 @@
+//! Regenerates the report of experiment `e11_wireless` (see DESIGN.md).
+fn main() {
+    print!("{}", harness::experiments::e11_wireless::render());
+}

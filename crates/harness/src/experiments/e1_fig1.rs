@@ -1,0 +1,117 @@
+//! E1 — Figure 1: `p_th` against `s` for several bandwidths, Model A.
+//!
+//! `p_th(s) = f′λs/b` (eq 13): straight lines through the origin whose
+//! slope falls with bandwidth; the `h′ = 0.3` panel scales every line by
+//! `f′ = 0.7`. Curves cap at probability 1 (beyond that size nothing is
+//! worth prefetching).
+
+use crate::asciiplot::Chart;
+use crate::report::{f, Table};
+use prefetch_core::sensitivity::threshold_vs_size;
+
+use super::paper;
+
+/// One panel's data: per bandwidth, the `(s, p_th)` polyline (clipped to
+/// `p_th ≤ 1` like the paper's axes).
+pub fn panel(h_prime: f64, s_points: usize) -> Vec<(f64, Vec<(f64, f64)>)> {
+    paper::FIG1_BANDWIDTHS
+        .iter()
+        .map(|&b| {
+            let pts = (0..=s_points)
+                .map(|i| {
+                    let s = 10.0 * i as f64 / s_points as f64;
+                    (s, threshold_vs_size(paper::LAMBDA, b, h_prime, s))
+                })
+                .collect();
+            (b, pts)
+        })
+        .collect()
+}
+
+/// Renders both panels as charts plus a numeric table.
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("# E1 / Figure 1 — threshold p_th vs item size s (Model A)\n");
+    out.push_str(&format!("# p_th = f'*lambda*s/b, lambda = {}\n\n", paper::LAMBDA));
+    for &h in &paper::H_PRIMES {
+        let mut chart = Chart::new(
+            format!("Figure 1 panel: lambda = 30, h' = {h}"),
+            (0.0, 10.0),
+            (0.0, 1.0),
+            72,
+            20,
+        );
+        for (b, pts) in panel(h, 80) {
+            chart.series(format!("b = {b}"), pts);
+        }
+        out.push_str(&chart.render());
+        out.push('\n');
+
+        let mut table = Table::new(
+            format!("p_th at selected sizes (h' = {h})"),
+            &["b", "s=1", "s=2", "s=4", "s=6", "s=8", "s=10"],
+        );
+        for &b in &paper::FIG1_BANDWIDTHS {
+            let cells = [1.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+                .iter()
+                .map(|&s| {
+                    let v = threshold_vs_size(paper::LAMBDA, b, h, s);
+                    if v > 1.0 {
+                        ">1".to_string()
+                    } else {
+                        f(v, 3)
+                    }
+                })
+                .collect::<Vec<_>>();
+            let mut row = vec![format!("{b}")];
+            row.extend(cells);
+            table.row(row);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_lines_are_linear_through_origin() {
+        for (b, pts) in panel(0.0, 10) {
+            assert_eq!(pts[0], (0.0, 0.0));
+            // Slope constant: p_th(2s) = 2 p_th(s).
+            let slope1 = pts[1].1 / pts[1].0;
+            let slope5 = pts[5].1 / pts[5].0;
+            assert!((slope1 - slope5).abs() < 1e-12, "b={b}");
+        }
+    }
+
+    #[test]
+    fn higher_bandwidth_lower_threshold() {
+        let p = panel(0.0, 10);
+        for w in p.windows(2) {
+            assert!(w[0].1[5].1 > w[1].1[5].1);
+        }
+    }
+
+    #[test]
+    fn h_prime_panel_scales_by_f_prime() {
+        let p0 = panel(0.0, 10);
+        let p3 = panel(0.3, 10);
+        for ((_, a), (_, b)) in p0.iter().zip(&p3) {
+            for (pa, pb) in a.iter().zip(b) {
+                assert!((pb.1 - 0.7 * pa.1).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_both_panels() {
+        let s = render();
+        assert!(s.contains("h' = 0"));
+        assert!(s.contains("h' = 0.3"));
+        assert!(s.contains("b = 450"));
+    }
+}

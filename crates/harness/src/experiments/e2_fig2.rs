@@ -1,0 +1,144 @@
+//! E2 — Figure 2: access improvement `G` against `n̄(F)`, Model A.
+//!
+//! s̄ = 1, λ = 30, b = 50; panels h′ ∈ {0, 0.3}. The paper's observation to
+//! reproduce: every curve is *consistently* positive (p > p_th), negative
+//! (p < p_th) or zero (p = p_th), and moves monotonically with `n̄(F)`.
+//! Where the prefetching load would destabilise the server (ρ ≥ 1) the
+//! closed form stops describing a steady state — those points are omitted,
+//! exactly as the paper's curves leave the ±0.1 axis window.
+
+use crate::asciiplot::Chart;
+use crate::report::{f, Table};
+use prefetch_core::{ModelA, SystemParams};
+
+use super::paper;
+
+/// One curve: `(n̄(F), G)` for stable points only.
+pub fn curve(h_prime: f64, p: f64, nf_points: usize) -> Vec<(f64, f64)> {
+    let params = SystemParams::new(
+        paper::LAMBDA,
+        paper::FIG23_BANDWIDTH,
+        paper::FIG23_MEAN_SIZE,
+        h_prime,
+    )
+    .expect("paper parameters");
+    (0..=nf_points)
+        .filter_map(|i| {
+            let nf = 2.0 * i as f64 / nf_points as f64;
+            let m = ModelA::new(params, nf, p);
+            m.improvement().map(|g| (nf, g))
+        })
+        .collect()
+}
+
+/// The full panel: per `p`, its curve.
+pub fn panel(h_prime: f64, nf_points: usize) -> Vec<(f64, Vec<(f64, f64)>)> {
+    paper::FIG23_PROBS
+        .iter()
+        .map(|&p| (p, curve(h_prime, p, nf_points)))
+        .collect()
+}
+
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("# E2 / Figure 2 — access improvement G vs n(F) (Model A)\n");
+    out.push_str("# s = 1, lambda = 30, b = 50; eq (11); unstable points omitted\n\n");
+    for &h in &paper::H_PRIMES {
+        let params = SystemParams::new(
+            paper::LAMBDA,
+            paper::FIG23_BANDWIDTH,
+            paper::FIG23_MEAN_SIZE,
+            h,
+        )
+        .unwrap();
+        let mut chart = Chart::new(
+            format!(
+                "Figure 2 panel: h' = {h} (p_th = {:.2})",
+                params.rho_prime()
+            ),
+            (0.0, 2.0),
+            (-0.1, 0.1),
+            72,
+            21,
+        );
+        for (p, pts) in panel(h, 80) {
+            chart.series(format!("p = {p}"), pts);
+        }
+        out.push_str(&chart.render());
+        out.push('\n');
+
+        let mut table = Table::new(
+            format!("G at selected volumes (h' = {h})"),
+            &["p", "nF=0.25", "nF=0.5", "nF=1.0", "nF=1.5", "nF=2.0"],
+        );
+        for &p in &paper::FIG23_PROBS {
+            let mut row = vec![format!("{p:.1}")];
+            for &nf in &[0.25, 0.5, 1.0, 1.5, 2.0] {
+                let m = ModelA::new(params, nf, p);
+                row.push(match m.improvement() {
+                    Some(g) => f(g, 4),
+                    None => "unstable".into(),
+                });
+            }
+            table.row(row);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_have_consistent_sign() {
+        // h'=0: p_th = 0.6.
+        for (p, pts) in panel(0.0, 40) {
+            for &(nf, g) in &pts {
+                if nf == 0.0 {
+                    assert_eq!(g, 0.0);
+                } else if p > 0.6 + 1e-9 {
+                    assert!(g > 0.0, "p={p} nf={nf} g={g}");
+                } else if p < 0.6 - 1e-9 {
+                    assert!(g < 0.0, "p={p} nf={nf} g={g}");
+                } else {
+                    assert!(g.abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn curves_are_monotone() {
+        for (p, pts) in panel(0.3, 40) {
+            for w in pts.windows(2) {
+                if p > 0.42 {
+                    assert!(w[1].1 >= w[0].1, "p={p}");
+                } else if p < 0.42 {
+                    assert!(w[1].1 <= w[0].1, "p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn low_p_curves_truncate_at_instability() {
+        // p=0.1, h'=0: rho hits 1 at nf = (1/0.6 − 1)/0.9 ≈ 0.7407.
+        let pts = curve(0.0, 0.1, 80);
+        let max_nf = pts.last().unwrap().0;
+        assert!(max_nf < 0.75, "last stable nf {max_nf}");
+        assert!(max_nf > 0.70, "last stable nf {max_nf}");
+        // While p=0.9 stays stable over the whole axis.
+        let pts = curve(0.0, 0.9, 80);
+        assert_eq!(pts.last().unwrap().0, 2.0);
+    }
+
+    #[test]
+    fn hand_checked_value_in_render() {
+        // G(nf=1, p=0.9, h'=0) = 15/340 ≈ 0.0441.
+        let s = render();
+        assert!(s.contains("0.0441"), "render should contain the hand-checked G");
+    }
+}

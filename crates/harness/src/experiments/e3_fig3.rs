@@ -1,0 +1,132 @@
+//! E3 — Figure 3: excess retrieval cost `C` against `n̄(F)`, Model A.
+//!
+//! Same parameters as Figure 2. `C = (ρ−ρ′)/(λ(1−ρ)(1−ρ′))` (eq 27);
+//! curves for low `p` blow up as the prefetch load saturates the server —
+//! the paper's "load impedance".
+
+use crate::asciiplot::Chart;
+use crate::report::{f, Table};
+use prefetch_core::{ModelA, SystemParams};
+
+use super::paper;
+
+/// One curve: `(n̄(F), C)` for stable points only.
+pub fn curve(h_prime: f64, p: f64, nf_points: usize) -> Vec<(f64, f64)> {
+    let params = SystemParams::new(
+        paper::LAMBDA,
+        paper::FIG23_BANDWIDTH,
+        paper::FIG23_MEAN_SIZE,
+        h_prime,
+    )
+    .expect("paper parameters");
+    (0..=nf_points)
+        .filter_map(|i| {
+            let nf = 2.0 * i as f64 / nf_points as f64;
+            let m = ModelA::new(params, nf, p);
+            m.excess_cost().map(|c| (nf, c))
+        })
+        .collect()
+}
+
+/// The full panel: per `p`, its curve.
+pub fn panel(h_prime: f64, nf_points: usize) -> Vec<(f64, Vec<(f64, f64)>)> {
+    paper::FIG23_PROBS
+        .iter()
+        .map(|&p| (p, curve(h_prime, p, nf_points)))
+        .collect()
+}
+
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("# E3 / Figure 3 — excess retrieval cost C vs n(F) (Model A)\n");
+    out.push_str("# s = 1, lambda = 30, b = 50; eq (27); unstable points omitted\n\n");
+    for &h in &paper::H_PRIMES {
+        let params = SystemParams::new(
+            paper::LAMBDA,
+            paper::FIG23_BANDWIDTH,
+            paper::FIG23_MEAN_SIZE,
+            h,
+        )
+        .unwrap();
+        let mut chart = Chart::new(
+            format!("Figure 3 panel: h' = {h} (rho' = {:.2})", params.rho_prime()),
+            (0.0, 2.0),
+            (0.0, 0.1),
+            72,
+            21,
+        );
+        for (p, pts) in panel(h, 80) {
+            chart.series(format!("p = {p}"), pts);
+        }
+        out.push_str(&chart.render());
+        out.push('\n');
+
+        let mut table = Table::new(
+            format!("C at selected volumes (h' = {h})"),
+            &["p", "nF=0.25", "nF=0.5", "nF=1.0", "nF=1.5", "nF=2.0"],
+        );
+        for &p in &paper::FIG23_PROBS {
+            let mut row = vec![format!("{p:.1}")];
+            for &nf in &[0.25, 0.5, 1.0, 1.5, 2.0] {
+                let m = ModelA::new(params, nf, p);
+                row.push(match m.excess_cost() {
+                    Some(c) => f(c, 4),
+                    None => "unstable".into(),
+                });
+            }
+            table.row(row);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_non_negative_and_increasing() {
+        for (p, pts) in panel(0.0, 40) {
+            for w in pts.windows(2) {
+                assert!(w[0].1 >= -1e-12, "p={p}");
+                assert!(w[1].1 >= w[0].1 - 1e-12, "C must grow with volume, p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn lower_p_costs_more() {
+        // At equal volume, less-probable prefetches waste more bandwidth.
+        let c_low = curve(0.0, 0.2, 40);
+        let c_high = curve(0.0, 0.9, 40);
+        // Compare at nf = 0.5 (index where nf==0.5).
+        let at = |pts: &Vec<(f64, f64)>| {
+            pts.iter().find(|(nf, _)| (*nf - 0.5).abs() < 1e-9).map(|&(_, c)| c)
+        };
+        let (lo, hi) = (at(&c_low).unwrap(), at(&c_high).unwrap());
+        assert!(lo > hi, "p=0.2 cost {lo} vs p=0.9 cost {hi}");
+    }
+
+    #[test]
+    fn hand_computed_point() {
+        // C(nf=1, p=0.9, h'=0) = 0.06/(30·0.34·0.4) ≈ 0.01471.
+        let pts = curve(0.0, 0.9, 80);
+        let c = pts
+            .iter()
+            .find(|(nf, _)| (*nf - 1.0).abs() < 1e-9)
+            .unwrap()
+            .1;
+        assert!((c - 0.0147058823).abs() < 1e-8, "C = {c}");
+    }
+
+    #[test]
+    fn informed_prefetch_costs_nothing() {
+        // p = 1: utilisation unchanged → C = 0 (not in the paper's grid but
+        // the limiting case of its formula).
+        let params = SystemParams::paper_figure2(0.0);
+        let m = ModelA::new(params, 1.5, 1.0);
+        assert_eq!(m.excess_cost(), Some(0.0));
+    }
+}

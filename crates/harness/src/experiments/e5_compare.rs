@@ -1,0 +1,131 @@
+//! E5 — §6 model comparison: A vs AB vs B.
+//!
+//! Reproduces the paper's three observations:
+//!
+//! 1. both models stop restricting volume once `p > p_th`;
+//! 2. the threshold gap is at most `1/n̄(C)`;
+//! 3. all derived quantities coincide when `n̄(C) ≫ n̄(F)` — so Model A,
+//!    despite its crude assumption, approximates the realistic model AB.
+
+use crate::report::{f, Table};
+use prefetch_core::model_ab::family_improvements;
+use prefetch_core::{ModelA, ModelAb, ModelB, SystemParams};
+
+/// Convergence data: for each `n̄(C)`, `(G_A, G_AB(mid), G_B)`.
+pub fn convergence(params: SystemParams, n_f: f64, p: f64) -> Vec<(f64, f64, f64, f64)> {
+    [2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1000.0]
+        .iter()
+        .filter_map(|&nc| {
+            let (a, mid, b) = family_improvements(params, n_f, p, nc);
+            match (a, mid, b) {
+                (Some(a), Some(mid), Some(b)) => Some((nc, a, mid, b)),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+pub fn render() -> String {
+    let params = SystemParams::paper_figure2(0.3);
+    let (n_f, p) = (0.8, 0.8); // n̄F·p = 0.64 ≤ f′ = 0.7 (eq 6 consistent)
+    let mut out = String::new();
+    out.push_str("# E5 — prefetch-cache interaction models compared (paper §6)\n\n");
+
+    let mut table = Table::new(
+        format!("G under A / AB(mid) / B at h'=0.3, n(F)={n_f}, p={p}"),
+        &["n(C)", "G(A)", "G(AB mid)", "G(B)", "|G(B)-G(A)|", "pth gap"],
+    );
+    for (nc, a, mid, b) in convergence(params, n_f, p) {
+        let gap = ModelB::new(params, n_f, p, nc).threshold() - ModelA::new(params, n_f, p).threshold();
+        table.row(vec![
+            format!("{nc}"),
+            f(a, 6),
+            f(mid, 6),
+            f(b, 6),
+            format!("{:.2e}", (b - a).abs()),
+            f(gap, 4),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+
+    // Observation 2: gap ≤ 1/n(C) for any h'.
+    let mut table = Table::new(
+        "Threshold gap p_th(B) − p_th(A) vs the paper's bound 1/n(C)",
+        &["h'", "n(C)", "gap", "bound 1/n(C)"],
+    );
+    for &h in &[0.0, 0.3, 0.7, 1.0] {
+        for &nc in &[2.0, 10.0, 50.0] {
+            let sp = SystemParams::new(30.0, 50.0, 1.0, h).unwrap();
+            let gap = ModelB::new(sp, 1.0, 0.5, nc).threshold() - sp.rho_prime();
+            table.row(vec![format!("{h}"), format!("{nc}"), f(gap, 4), f(1.0 / nc, 4)]);
+        }
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+
+    // Observation 3: h, rho, t agree when n(C) >> n(F).
+    let mut table = Table::new(
+        "Derived quantities at n(C) = 100 vs n(C) = 2 (n(F)=0.8, p=0.8, h'=0.3)",
+        &["quantity", "Model A", "B, n(C)=100", "B, n(C)=2"],
+    );
+    let a = ModelA::new(params, n_f, p);
+    let b_big = ModelB::new(params, n_f, p, 100.0);
+    let b_small = ModelB::new(params, n_f, p, 2.0);
+    table.row(vec![
+        "h".into(),
+        f(a.hit_ratio(), 4),
+        f(b_big.hit_ratio(), 4),
+        f(b_small.hit_ratio(), 4),
+    ]);
+    table.row(vec![
+        "rho".into(),
+        f(a.utilisation(), 4),
+        f(b_big.utilisation(), 4),
+        f(b_small.utilisation(), 4),
+    ]);
+    table.row(vec![
+        "t".into(),
+        f(a.access_time().unwrap_or(f64::NAN), 4),
+        f(b_big.access_time().unwrap_or(f64::NAN), 4),
+        f(b_small.access_time().unwrap_or(f64::NAN), 4),
+    ]);
+    out.push_str(&table.render());
+
+    // AB interpolation sanity.
+    out.push('\n');
+    let ab0 = ModelAb::model_a(params, n_f, p).improvement().unwrap();
+    let abb = ModelAb::model_b(params, n_f, p, 10.0).improvement().unwrap();
+    out.push_str(&format!(
+        "AB family endpoints: q=0 gives G={ab0:.6} (=A), q=h'/n(C) gives G={abb:.6} (=B at n(C)=10)\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convergence_is_monotone() {
+        let params = SystemParams::paper_figure2(0.3);
+        let rows = convergence(params, 0.8, 0.8);
+        let mut last_gap = f64::INFINITY;
+        for (_, a, mid, b) in &rows {
+            let gap = (b - a).abs();
+            assert!(gap <= last_gap + 1e-15);
+            last_gap = gap;
+            // AB midpoint lies between.
+            assert!((*mid >= *b && *mid <= *a) || (*mid <= *b && *mid >= *a));
+        }
+        assert!(last_gap < 1e-4, "final gap {last_gap}");
+    }
+
+    #[test]
+    fn render_has_all_sections() {
+        let s = render();
+        assert!(s.contains("Threshold gap"));
+        assert!(s.contains("n(C) = 100 vs n(C) = 2"));
+        assert!(s.contains("AB family endpoints"));
+    }
+}

@@ -1,0 +1,153 @@
+//! E6 — §4 estimator accuracy: tagged-entry `ĥ′` vs twin-cache truth.
+//!
+//! Runs the full trace-driven system with prefetching *live* and compares
+//! the paper's counterfactual estimate against a twin cache fed the same
+//! requests with prefetching off. Also applies the model-B correction with
+//! the measured prefetch volume.
+
+use crate::report::{f, Table};
+use netsim::traced::{run, Policy, PredictorKind, TracedConfig};
+use workload::synth_web::SynthWebConfig;
+
+/// One estimator trial.
+#[derive(Clone, Debug)]
+pub struct EstimateTrial {
+    pub cache_capacity: usize,
+    pub predictor: String,
+    pub twin_h_prime: f64,
+    pub estimate_a: f64,
+    pub estimate_b: f64,
+    pub real_hit_ratio: f64,
+    pub nf_realised: f64,
+}
+
+fn config(cache_capacity: usize, predictor: PredictorKind) -> TracedConfig {
+    TracedConfig {
+        web: SynthWebConfig {
+            n_clients: 12,
+            lambda: 30.0,
+            n_items: 400,
+            branching: 3,
+            link_skew: 0.3,
+            mean_size: 1.0,
+            size_shape: 2.5,
+        },
+        cache_capacity,
+        bandwidth: 60.0,
+        predictor,
+        policy: Policy::Adaptive,
+        max_candidates: 3,
+        prefetch_jitter: 0.01,
+        requests: 60_000,
+        warmup: 10_000,
+    }
+}
+
+/// Runs the estimator trials across cache sizes and predictors.
+pub fn trials(seed: u64) -> Vec<EstimateTrial> {
+    let mut out = Vec::new();
+    for &cap in &[16usize, 32, 64] {
+        for pk in [PredictorKind::Oracle, PredictorKind::Markov1] {
+            let cfg = config(cap, pk);
+            let r = run(&cfg, seed);
+            // Model-B correction with the realised per-request volume and
+            // the per-client cache population n̄(C) = capacity.
+            let n_c = cap as f64;
+            let n_f = r.prefetches_per_request.min(n_c * 0.5);
+            let est_b = (r.h_prime_estimate * n_c / (n_c - n_f)).min(1.0);
+            out.push(EstimateTrial {
+                cache_capacity: cap,
+                predictor: pk.label(),
+                twin_h_prime: r.twin_h_prime,
+                estimate_a: r.h_prime_estimate,
+                estimate_b: est_b,
+                real_hit_ratio: r.hit_ratio,
+                nf_realised: r.prefetches_per_request,
+            });
+        }
+    }
+    out
+}
+
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("# E6 — estimating h' while prefetching is live (paper §4)\n");
+    out.push_str("# twin = ground truth (same stream, prefetch off)\n\n");
+    let mut table = Table::new(
+        "Tagged/untagged estimates vs twin-cache ground truth",
+        &[
+            "cache", "predictor", "twin h'", "est(A)", "est(B)", "err(A)", "err(B)", "real h",
+            "n(F)",
+        ],
+    );
+    for t in trials(2001) {
+        table.row(vec![
+            format!("{}", t.cache_capacity),
+            t.predictor.clone(),
+            f(t.twin_h_prime, 4),
+            f(t.estimate_a, 4),
+            f(t.estimate_b, 4),
+            f((t.estimate_a - t.twin_h_prime).abs(), 4),
+            f((t.estimate_b - t.twin_h_prime).abs(), 4),
+            f(t.real_hit_ratio, 4),
+            f(t.nf_realised, 3),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nReading: estimate(A) tracks the twin within a few points; the residual\n\
+         bias is the eviction damage model A assumes away (prefetched items push\n\
+         out entries that would have produced future counterfactual hits) — it\n\
+         shrinks as the cache grows, which is the paper's n(C) >> n(F) regime.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_track_twin_truth() {
+        for t in trials(7) {
+            // Absolute bias stays within a few points of hit ratio; it is
+            // systematically *low* (prefetch evictions destroy future
+            // counterfactual hits — the damage model A assumes away).
+            assert!(
+                (t.estimate_a - t.twin_h_prime).abs() < 0.08,
+                "cap {} {}: est {} vs twin {}",
+                t.cache_capacity,
+                t.predictor,
+                t.estimate_a,
+                t.twin_h_prime
+            );
+            assert!(
+                t.estimate_a <= t.twin_h_prime + 0.02,
+                "bias should be low-sided: est {} twin {}",
+                t.estimate_a,
+                t.twin_h_prime
+            );
+        }
+    }
+
+    #[test]
+    fn relative_bias_shrinks_with_cache_size() {
+        // Absolute bias grows with h′ (bigger caches have more hit ratio to
+        // damage), but the *relative* error shrinks — the paper's
+        // n̄(C) ≫ n̄(F) regime.
+        let ts = trials(9);
+        let rel_err = |cap: usize| {
+            ts.iter()
+                .filter(|t| t.cache_capacity == cap && t.predictor == "oracle")
+                .map(|t| (t.estimate_a - t.twin_h_prime).abs() / t.twin_h_prime)
+                .next()
+                .unwrap()
+        };
+        assert!(
+            rel_err(64) <= rel_err(16) + 0.02,
+            "rel err64 {} vs err16 {}",
+            rel_err(64),
+            rel_err(16)
+        );
+    }
+}

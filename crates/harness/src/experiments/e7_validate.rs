@@ -1,0 +1,171 @@
+//! E7 — validating the closed forms against the discrete-event simulator.
+//!
+//! For a grid of `(h′, n̄(F), p)` points, runs the parametric simulator
+//! (which realises the paper's assumptions mechanically) and compares every
+//! measured quantity against its equation: `t̄′` (eq 5), `h` (eq 7), `ρ`
+//! (eq 8), `t̄` (eq 10), `G` (eq 11), `C` (eq 27). Points are independent,
+//! so the grid runs on all cores.
+
+use crate::report::{f, Table};
+use crate::rel_err;
+use netsim::parametric::{run, run_with_baseline, ParametricConfig};
+use prefetch_core::{ModelA, SystemParams};
+use simcore::dist::Exponential;
+use simcore::par::par_map_auto;
+
+/// One grid point's comparison.
+#[derive(Clone, Debug)]
+pub struct ValidationRow {
+    pub h_prime: f64,
+    pub n_f: f64,
+    pub p: f64,
+    pub t_measured: f64,
+    pub t_predicted: f64,
+    pub h_measured: f64,
+    pub h_predicted: f64,
+    pub rho_measured: f64,
+    pub rho_predicted: f64,
+    pub g_measured: Option<f64>,
+    pub g_predicted: Option<f64>,
+    pub c_measured: Option<f64>,
+    pub c_predicted: Option<f64>,
+}
+
+/// The validation grid. All points are stable under Model A *and* respect
+/// the consistency bound `n̄(F)·p ≤ f′` (eq 6) — beyond it the closed form
+/// predicts `h > 1`, which no mechanism can realise.
+pub fn grid() -> Vec<(f64, f64, f64)> {
+    vec![
+        (0.0, 0.0, 0.0),
+        (0.3, 0.0, 0.0),
+        (0.0, 0.5, 0.7),
+        (0.0, 1.0, 0.9),
+        (0.0, 0.5, 0.3),
+        (0.3, 0.5, 0.8),
+        (0.3, 0.7, 0.9),
+        (0.3, 0.3, 0.3),
+        (0.5, 0.6, 0.8),
+    ]
+}
+
+/// Runs the whole grid (in parallel) with `requests` per run.
+pub fn validate(requests: usize, seed: u64) -> Vec<ValidationRow> {
+    let points = grid();
+    par_map_auto(&points, |i, &(h, n_f, p)| {
+        let params = SystemParams::new(30.0, 50.0, 1.0, h).unwrap();
+        let size = Exponential::with_mean(1.0);
+        let config = ParametricConfig {
+            params,
+            n_f,
+            p,
+            size_dist: &size,
+            requests,
+            warmup: requests / 6,
+        };
+        let model = ModelA::new(params, n_f, p);
+        let point_seed = seed.wrapping_add(i as u64 * 7919);
+        if n_f > 0.0 {
+            let (base, with, g) = run_with_baseline(&config, point_seed);
+            ValidationRow {
+                h_prime: h,
+                n_f,
+                p,
+                t_measured: with.mean_access_time,
+                t_predicted: model.access_time().unwrap_or(f64::NAN),
+                h_measured: with.hit_ratio,
+                h_predicted: model.hit_ratio(),
+                rho_measured: with.utilisation,
+                rho_predicted: model.utilisation(),
+                g_measured: Some(g),
+                g_predicted: model.improvement(),
+                c_measured: Some(with.retrieval_per_request - base.retrieval_per_request),
+                c_predicted: model.excess_cost(),
+            }
+        } else {
+            let r = run(&config, point_seed);
+            ValidationRow {
+                h_prime: h,
+                n_f,
+                p,
+                t_measured: r.mean_access_time,
+                t_predicted: params.access_time().unwrap_or(f64::NAN),
+                h_measured: r.hit_ratio,
+                h_predicted: h,
+                rho_measured: r.utilisation,
+                rho_predicted: params.rho_prime(),
+                g_measured: None,
+                g_predicted: None,
+                c_measured: None,
+                c_predicted: None,
+            }
+        }
+    })
+}
+
+pub fn render() -> String {
+    let rows = validate(150_000, 4242);
+    let mut out = String::new();
+    out.push_str("# E7 — closed forms vs discrete-event simulation (Model A mechanism)\n");
+    out.push_str("# lambda=30, b=50, s=1, exponential sizes; eq numbers from the paper\n\n");
+    let mut table = Table::new(
+        "Measured vs predicted",
+        &[
+            "h'", "n(F)", "p", "t meas", "t eq(10)", "err", "h meas", "rho meas", "rho eq(8)",
+            "G meas", "G eq(11)", "C meas", "C eq(27)",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            f(r.h_prime, 1),
+            f(r.n_f, 1),
+            f(r.p, 1),
+            f(r.t_measured, 5),
+            f(r.t_predicted, 5),
+            format!("{:.1}%", 100.0 * rel_err(r.t_measured, r.t_predicted)),
+            f(r.h_measured, 3),
+            f(r.rho_measured, 3),
+            f(r.rho_predicted, 3),
+            r.g_measured.map_or("-".into(), |v| f(v, 5)),
+            r.g_predicted.map_or("-".into(), |v| f(v, 5)),
+            r.c_measured.map_or("-".into(), |v| f(v, 5)),
+            r.c_predicted.map_or("-".into(), |v| f(v, 5)),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str("\n(t err is the relative gap between the measured mean access time and eq (10)/(5).)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_grid_points_within_tolerance() {
+        // Smaller runs in the test suite; looser tolerance.
+        for r in validate(60_000, 99) {
+            assert!(
+                rel_err(r.t_measured, r.t_predicted) < 0.10,
+                "t at ({}, {}, {}): {} vs {}",
+                r.h_prime,
+                r.n_f,
+                r.p,
+                r.t_measured,
+                r.t_predicted
+            );
+            assert!((r.h_measured - r.h_predicted).abs() < 0.02);
+            assert!((r.rho_measured - r.rho_predicted).abs() < 0.03);
+        }
+    }
+
+    #[test]
+    fn g_sign_agrees_with_model_everywhere() {
+        for r in validate(60_000, 123) {
+            if let (Some(gm), Some(gp)) = (r.g_measured, r.g_predicted) {
+                if gp.abs() > 5e-3 {
+                    assert_eq!(gm > 0.0, gp > 0.0, "G sign at ({}, {}, {})", r.h_prime, r.n_f, r.p);
+                }
+            }
+        }
+    }
+}

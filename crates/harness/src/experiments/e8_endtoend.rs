@@ -1,0 +1,193 @@
+//! E8 — the headline policy, end to end.
+//!
+//! On the synthetic proxy workload with real caches and learned predictors:
+//!
+//! * compares no-prefetch / prefetch-all / fixed thresholds / the adaptive
+//!   `p̂_th = ρ̂′` controller;
+//! * sweeps the fixed threshold to locate the empirical optimum and checks
+//!   it sits near the analytic `ρ′` — the paper's central claim carried
+//!   into a system where none of its idealisations hold exactly.
+
+use crate::report::{f, Table};
+use netsim::traced::{run, Policy, PredictorKind, TracedConfig, TracedReport};
+use workload::synth_web::SynthWebConfig;
+
+/// The workload every policy sees.
+pub fn base_config() -> TracedConfig {
+    TracedConfig {
+        web: SynthWebConfig {
+            n_clients: 12,
+            lambda: 30.0,
+            n_items: 400,
+            branching: 3,
+            link_skew: 0.3,
+            mean_size: 1.0,
+            size_shape: 2.5,
+        },
+        cache_capacity: 32,
+        bandwidth: 60.0,
+        predictor: PredictorKind::Oracle,
+        policy: Policy::Adaptive,
+        max_candidates: 3,
+        prefetch_jitter: 0.01,
+        requests: 60_000,
+        warmup: 10_000,
+    }
+}
+
+/// Runs the policy × predictor matrix.
+pub fn matrix(seed: u64) -> Vec<TracedReport> {
+    let policies = [
+        Policy::NoPrefetch,
+        Policy::PrefetchAll,
+        Policy::FixedThreshold(0.2),
+        Policy::FixedThreshold(0.45),
+        Policy::FixedThreshold(0.7),
+        Policy::FixedThreshold(0.9),
+        Policy::Adaptive,
+    ];
+    let predictors = [
+        PredictorKind::Oracle,
+        PredictorKind::Markov1,
+        PredictorKind::Lz78,
+        PredictorKind::Ensemble,
+    ];
+    let mut out = Vec::new();
+    for pk in predictors {
+        for pol in policies {
+            let mut cfg = base_config();
+            cfg.predictor = pk;
+            cfg.policy = pol;
+            out.push(run(&cfg, seed));
+        }
+    }
+    out
+}
+
+/// Fixed-threshold sweep with the oracle predictor: `(θ, t̄)`.
+pub fn threshold_sweep(seed: u64) -> Vec<(f64, f64)> {
+    (1..=9)
+        .map(|i| {
+            let th = i as f64 / 10.0;
+            let mut cfg = base_config();
+            cfg.policy = Policy::FixedThreshold(th);
+            let r = run(&cfg, seed);
+            (th, r.mean_access_time)
+        })
+        .collect()
+}
+
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("# E8 — end-to-end policy comparison on the synthetic proxy workload\n");
+    out.push_str("# 12 clients, lambda=30, b=60, LRU(32), real predictors, shared PS link\n\n");
+
+    let mut table = Table::new(
+        "Policies x predictors",
+        &[
+            "predictor", "policy", "t mean", "ci95", "h", "h'(est)", "h'(twin)", "rho", "n(F)",
+            "useful", "thresh", "bytes/req", "wasted B%",
+        ],
+    );
+    for r in matrix(8080) {
+        table.row(vec![
+            r.predictor.clone(),
+            r.policy.clone(),
+            f(r.mean_access_time, 5),
+            f(r.access_time_ci95, 5),
+            f(r.hit_ratio, 3),
+            f(r.h_prime_estimate, 3),
+            f(r.twin_h_prime, 3),
+            f(r.utilisation, 3),
+            f(r.prefetches_per_request, 3),
+            f(r.useful_prefetch_fraction, 3),
+            if r.mean_threshold.is_nan() {
+                "-".into()
+            } else {
+                f(r.mean_threshold, 3)
+            },
+            f(r.bytes_per_request, 3),
+            format!("{:.0}%", 100.0 * r.wasted_prefetch_bytes_fraction),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+
+    let sweep = threshold_sweep(9090);
+    let mut table = Table::new(
+        "Fixed-threshold sweep (oracle predictor): optimum should sit near rho'",
+        &["threshold", "t mean"],
+    );
+    for &(th, t) in &sweep {
+        table.row(vec![f(th, 1), f(t, 5)]);
+    }
+    out.push_str(&table.render());
+    let best = sweep
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty sweep");
+    out.push_str(&format!(
+        "\nEmpirical optimum threshold: {:.1} (t = {:.5}).\n\
+         The adaptive controller's average threshold (table above) should sit in\n\
+         the same region — that is the paper's p_th = rho' at work.\n",
+        best.0, best.1
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> TracedConfig {
+        let mut cfg = base_config();
+        cfg.requests = 30_000;
+        cfg.warmup = 6_000;
+        cfg
+    }
+
+    #[test]
+    fn adaptive_beats_baseline_and_prefetch_all() {
+        let mut cfg = quick_cfg();
+        cfg.policy = Policy::NoPrefetch;
+        let base = run(&cfg, 1);
+        cfg.policy = Policy::Adaptive;
+        let adaptive = run(&cfg, 1);
+        cfg.policy = Policy::PrefetchAll;
+        let all = run(&cfg, 1);
+        assert!(adaptive.mean_access_time < base.mean_access_time);
+        assert!(adaptive.mean_access_time < all.mean_access_time);
+    }
+
+    #[test]
+    fn extreme_thresholds_are_suboptimal() {
+        // θ=0.9 prefetches nothing (top successor p≈0.72); θ=0.05 prefetches
+        // almost everything. A mid threshold must beat both.
+        let mut cfg = quick_cfg();
+        cfg.policy = Policy::FixedThreshold(0.9);
+        let high = run(&cfg, 2);
+        cfg.policy = Policy::FixedThreshold(0.05);
+        let low = run(&cfg, 2);
+        cfg.policy = Policy::FixedThreshold(0.45);
+        let mid = run(&cfg, 2);
+        assert!(mid.mean_access_time < high.mean_access_time, "mid {} vs high {}",
+            mid.mean_access_time, high.mean_access_time);
+        assert!(mid.mean_access_time < low.mean_access_time, "mid {} vs low {}",
+            mid.mean_access_time, low.mean_access_time);
+    }
+
+    #[test]
+    fn adaptive_threshold_lands_near_rho_prime() {
+        let mut cfg = quick_cfg();
+        cfg.policy = Policy::Adaptive;
+        let r = run(&cfg, 3);
+        // rho' using twin h': (1−h′)·λ·s̄/b.
+        let rho_prime = (1.0 - r.twin_h_prime) * 30.0 * 1.0 / 60.0;
+        assert!(
+            (r.mean_threshold - rho_prime).abs() < 0.07,
+            "adaptive {} vs rho' {}",
+            r.mean_threshold,
+            rho_prime
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # netsim — the end-to-end distributed system the paper reasons about
+//!
+//! Multiple clients behind a proxy share one network path (a
+//! processor-sharing server). Requests hit local caches or fetch over the
+//! shared path; speculative prefetch agents inject extra load. This crate
+//! assembles the substrates (`queueing`, `cachesim`, `predictor`,
+//! `workload`) into two simulators:
+//!
+//! * [`parametric`] — realises the paper's abstraction *exactly*: hits
+//!   occur with the modelled probability `h`, prefetch volume is a
+//!   parameter. Used to validate every closed form in `prefetch-core`
+//!   (experiment E7): measured `t̄`, `ρ`, `G`, `C` vs equations
+//!   (5), (8), (10), (11), (27).
+//! * [`traced`] — the full pipeline: real LRU caches with tagged-entry
+//!   instrumentation, learned (or oracle) predictors, the adaptive
+//!   threshold controller, and a twin no-prefetch cache providing the
+//!   ground-truth `h′` (experiments E6, E8, E9).
+//!
+//! Both simulators are deterministic given a seed.
+
+pub mod parametric;
+pub mod traced;
+
+pub use parametric::{ParametricConfig, ParametricReport};
+pub use traced::{Policy, PredictorKind, TracedConfig, TracedReport};

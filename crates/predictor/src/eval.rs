@@ -1,0 +1,167 @@
+//! Predictor evaluation: accuracy, coverage, and calibration.
+//!
+//! The paper's policy consumes *probabilities*, so a predictor is only as
+//! useful as its probability estimates are calibrated: if items flagged
+//! "p ≈ 0.7" are actually accessed 70% of the time, the threshold rule
+//! inherits the analytic guarantees. [`evaluate`] scores hit-rate@k and
+//! bucket calibration in one streaming pass.
+
+use crate::Predictor;
+use simcore::rng::Rng;
+use workload::RequestStream;
+
+/// Evaluation summary of one predictor over one stream.
+#[derive(Clone, Debug)]
+pub struct EvalReport {
+    /// Predictor name.
+    pub name: &'static str,
+    /// Requests scored (after warm-up).
+    pub scored: usize,
+    /// Fraction of requests where the top-1 candidate was correct.
+    pub hit_at_1: f64,
+    /// Fraction where the next request appeared in the top-k candidates.
+    pub hit_at_k: f64,
+    /// The `k` used for `hit_at_k`.
+    pub k: usize,
+    /// Calibration buckets: (predicted-probability midpoint, empirical
+    /// frequency, samples). Ten buckets over [0, 1].
+    pub calibration: Vec<(f64, f64, usize)>,
+    /// Mean absolute calibration error, weighted by bucket population.
+    pub calibration_error: f64,
+}
+
+/// Runs `predictor` over `n` requests from `stream` (after `warmup`
+/// unscored requests) and scores it.
+pub fn evaluate<P: Predictor, S: RequestStream>(
+    predictor: &mut P,
+    stream: &mut S,
+    warmup: usize,
+    n: usize,
+    k: usize,
+    rng: &mut Rng,
+) -> EvalReport {
+    let mut hit1 = 0usize;
+    let mut hitk = 0usize;
+    let mut scored = 0usize;
+    let mut bucket_pred = vec![0.0f64; 10];
+    let mut bucket_hits = vec![0usize; 10];
+    let mut bucket_n = vec![0usize; 10];
+
+    for i in 0..warmup + n {
+        let candidates = if i >= warmup { predictor.candidates(k) } else { Vec::new() };
+        let actual = stream.next_item(rng);
+        if i >= warmup && !candidates.is_empty() {
+            scored += 1;
+            if candidates[0].0 == actual {
+                hit1 += 1;
+            }
+            if candidates.iter().any(|(id, _)| *id == actual) {
+                hitk += 1;
+            }
+            for (id, p) in &candidates {
+                let b = ((p * 10.0) as usize).min(9);
+                bucket_pred[b] += p;
+                bucket_n[b] += 1;
+                if *id == actual {
+                    bucket_hits[b] += 1;
+                }
+            }
+        }
+        predictor.observe(actual);
+    }
+
+    let mut calibration = Vec::new();
+    let mut err_weighted = 0.0;
+    let mut total_weight = 0usize;
+    for b in 0..10 {
+        if bucket_n[b] == 0 {
+            continue;
+        }
+        let mid = bucket_pred[b] / bucket_n[b] as f64;
+        let emp = bucket_hits[b] as f64 / bucket_n[b] as f64;
+        calibration.push((mid, emp, bucket_n[b]));
+        err_weighted += (mid - emp).abs() * bucket_n[b] as f64;
+        total_weight += bucket_n[b];
+    }
+
+    EvalReport {
+        name: predictor.name(),
+        scored,
+        hit_at_1: hit1 as f64 / scored.max(1) as f64,
+        hit_at_k: hitk as f64 / scored.max(1) as f64,
+        k,
+        calibration,
+        calibration_error: if total_weight > 0 {
+            err_weighted / total_weight as f64
+        } else {
+            f64::NAN
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markov::MarkovPredictor;
+    use crate::oracle::OraclePredictor;
+    use crate::ppm::PpmPredictor;
+    use workload::MarkovChain;
+
+    fn test_chain(rng: &mut Rng) -> MarkovChain {
+        MarkovChain::random(50, 3, 0.4, rng)
+    }
+
+    #[test]
+    fn oracle_is_well_calibrated() {
+        let mut rng = Rng::new(1);
+        let mut chain = test_chain(&mut rng);
+        let mut oracle = OraclePredictor::from_chain(&chain);
+        let report = evaluate(&mut oracle, &mut chain, 100, 30_000, 3, &mut rng);
+        assert!(report.calibration_error < 0.02, "calib err {}", report.calibration_error);
+        assert!(report.hit_at_k > 0.95, "hit@3 {}", report.hit_at_k);
+    }
+
+    #[test]
+    fn markov_converges_to_oracle_accuracy() {
+        let mut rng = Rng::new(2);
+        let mut chain = test_chain(&mut rng);
+        let mut learned = MarkovPredictor::new(1);
+        let lr = evaluate(&mut learned, &mut chain, 20_000, 30_000, 3, &mut rng);
+
+        let mut rng2 = Rng::new(2);
+        let mut chain2 = test_chain(&mut rng2);
+        let mut oracle = OraclePredictor::from_chain(&chain2);
+        let or = evaluate(&mut oracle, &mut chain2, 20_000, 30_000, 3, &mut rng2);
+
+        assert!(
+            (lr.hit_at_1 - or.hit_at_1).abs() < 0.03,
+            "learned {} vs oracle {}",
+            lr.hit_at_1,
+            or.hit_at_1
+        );
+        assert!(lr.calibration_error < 0.05, "calib {}", lr.calibration_error);
+    }
+
+    #[test]
+    fn ppm_scores_reasonably() {
+        let mut rng = Rng::new(3);
+        let mut chain = test_chain(&mut rng);
+        let mut ppm = PpmPredictor::new(2);
+        let report = evaluate(&mut ppm, &mut chain, 20_000, 20_000, 3, &mut rng);
+        assert!(report.hit_at_1 > 0.4, "hit@1 {}", report.hit_at_1);
+        assert!(report.hit_at_k >= report.hit_at_1);
+    }
+
+    #[test]
+    fn report_counts_consistent() {
+        let mut rng = Rng::new(4);
+        let mut chain = test_chain(&mut rng);
+        let mut pred = MarkovPredictor::new(1);
+        let report = evaluate(&mut pred, &mut chain, 1000, 5000, 3, &mut rng);
+        assert!(report.scored <= 5000);
+        assert!(report.scored > 4000, "scored {}", report.scored);
+        assert!(report.hit_at_1 <= report.hit_at_k);
+        let total_bucket_n: usize = report.calibration.iter().map(|(_, _, n)| n).sum();
+        assert!(total_bucket_n >= report.scored);
+    }
+}

@@ -1,0 +1,211 @@
+//! Order-k Markov predictor with transition counts.
+//!
+//! Maintains counts of `context → next` where the context is the last `k`
+//! items; predicted probability is the empirical conditional frequency.
+//! Order 1 is the textbook case the paper's related work builds on.
+
+use crate::{sort_candidates, Predictor};
+use std::collections::HashMap;
+use workload::ItemId;
+
+/// Order-k Markov predictor.
+///
+/// ```
+/// use predictor::{MarkovPredictor, Predictor};
+/// use workload::ItemId;
+///
+/// let mut p = MarkovPredictor::new(1);
+/// for _ in 0..10 {
+///     p.observe(ItemId(1));
+///     p.observe(ItemId(2));
+/// }
+/// // After a 1, the next item has always been 2.
+/// p.observe(ItemId(1));
+/// let c = p.candidates(3);
+/// assert_eq!(c[0].0, ItemId(2));
+/// assert!(c[0].1 > 0.9);
+/// ```
+pub struct MarkovPredictor {
+    order: usize,
+    /// Rolling context of the last `order` items.
+    context: Vec<ItemId>,
+    /// context-key → (next → count, total).
+    table: HashMap<Vec<ItemId>, (HashMap<ItemId, u64>, u64)>,
+}
+
+impl MarkovPredictor {
+    pub fn new(order: usize) -> Self {
+        assert!(order >= 1, "order must be at least 1");
+        MarkovPredictor { order, context: Vec::new(), table: HashMap::new() }
+    }
+
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Number of distinct contexts learned.
+    pub fn contexts(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Estimated `P(next | current context)` for one item.
+    pub fn prob(&self, next: ItemId) -> f64 {
+        if self.context.len() < self.order {
+            return 0.0;
+        }
+        match self.table.get(&self.context) {
+            Some((counts, total)) if *total > 0 => {
+                counts.get(&next).copied().unwrap_or(0) as f64 / *total as f64
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+impl Predictor for MarkovPredictor {
+    fn observe(&mut self, item: ItemId) {
+        if self.context.len() == self.order {
+            let entry = self
+                .table
+                .entry(self.context.clone())
+                .or_insert_with(|| (HashMap::new(), 0));
+            *entry.0.entry(item).or_insert(0) += 1;
+            entry.1 += 1;
+        }
+        self.context.push(item);
+        if self.context.len() > self.order {
+            self.context.remove(0);
+        }
+    }
+
+    fn candidates(&self, max: usize) -> Vec<(ItemId, f64)> {
+        if self.context.len() < self.order {
+            return Vec::new();
+        }
+        let Some((counts, total)) = self.table.get(&self.context) else {
+            return Vec::new();
+        };
+        if *total == 0 {
+            return Vec::new();
+        }
+        let mut v: Vec<(ItemId, f64)> = counts
+            .iter()
+            .map(|(&id, &c)| (id, c as f64 / *total as f64))
+            .collect();
+        sort_candidates(&mut v, max);
+        v
+    }
+
+    fn name(&self) -> &'static str {
+        "markov"
+    }
+
+    fn reset(&mut self) {
+        self.context.clear();
+        self.table.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::rng::Rng;
+    use workload::{MarkovChain, RequestStream};
+
+    #[test]
+    fn learns_deterministic_sequence() {
+        let mut p = MarkovPredictor::new(1);
+        // a b a b a b …
+        for i in 0..20 {
+            p.observe(ItemId(i % 2));
+        }
+        // Context is now [1] (last item); next must be 0.
+        let c = p.candidates(5);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].0, ItemId(0));
+        assert!((c[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_before_context_fills() {
+        let p = MarkovPredictor::new(2);
+        assert!(p.candidates(5).is_empty());
+        let mut p = MarkovPredictor::new(2);
+        p.observe(ItemId(1));
+        assert!(p.candidates(5).is_empty(), "context shorter than order");
+    }
+
+    #[test]
+    fn probabilities_converge_to_chain() {
+        let mut rng = Rng::new(1);
+        let mut chain = MarkovChain::random(20, 3, 0.5, &mut rng);
+        let mut pred = MarkovPredictor::new(1);
+        pred.observe(chain.state());
+        for _ in 0..200_000 {
+            let item = chain.next_item(&mut rng);
+            pred.observe(item);
+        }
+        // Compare learned vs true successor probabilities for the current
+        // state.
+        let state = chain.state();
+        for (succ, truth) in chain.successors(state) {
+            let learned = pred.prob(succ);
+            assert!(
+                (learned - truth).abs() < 0.02,
+                "P({succ:?} | {state:?}): learned {learned} vs true {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn order2_beats_order1_on_order2_structure() {
+        // Sequence where pairs disambiguate: (0,1)→2, (3,1)→4.
+        let mut p1 = MarkovPredictor::new(1);
+        let mut p2 = MarkovPredictor::new(2);
+        let pattern = [0u64, 1, 2, 3, 1, 4];
+        for _ in 0..100 {
+            for &x in &pattern {
+                p1.observe(ItemId(x));
+                p2.observe(ItemId(x));
+            }
+        }
+        // After …3,1 the next is always 4.
+        // p2's context is [1,4]? — drive both to a known context:
+        p1.observe(ItemId(3));
+        p2.observe(ItemId(3));
+        p1.observe(ItemId(1));
+        p2.observe(ItemId(1));
+        let c2 = p2.candidates(1);
+        assert_eq!(c2[0].0, ItemId(4));
+        assert!(c2[0].1 > 0.99, "order-2 certain: {}", c2[0].1);
+        // Order-1 sees context [1] which is ambiguous (→2 or →4 equally).
+        let c1 = p1.candidates(2);
+        assert!(c1[0].1 < 0.7, "order-1 must be uncertain: {:?}", c1);
+    }
+
+    #[test]
+    fn candidates_sorted_and_truncated() {
+        let mut p = MarkovPredictor::new(1);
+        // From 0: go to 1 (x3), 2 (x2), 3 (x1).
+        for &n in &[1u64, 2, 1, 3, 1, 2] {
+            p.observe(ItemId(0));
+            p.observe(ItemId(n));
+        }
+        p.observe(ItemId(0));
+        let c = p.candidates(2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].0, ItemId(1));
+        assert!((c[0].1 - 0.5).abs() < 1e-12);
+        assert_eq!(c[1].0, ItemId(2));
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut p = MarkovPredictor::new(1);
+        p.observe(ItemId(1));
+        p.observe(ItemId(2));
+        p.reset();
+        assert_eq!(p.contexts(), 0);
+        assert!(p.candidates(5).is_empty());
+    }
+}

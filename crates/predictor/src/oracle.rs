@@ -1,0 +1,116 @@
+//! Oracle predictor: the generating chain's true probabilities.
+//!
+//! The paper's analysis assumes the access probabilities `p` are *known*.
+//! The oracle realises that assumption in simulation, isolating the
+//! threshold policy's behaviour from prediction error; comparing a learned
+//! predictor against the oracle quantifies how much of the analytic gain
+//! survives estimation noise.
+
+use crate::{Predictor, sort_candidates};
+use std::collections::HashMap;
+use workload::{ItemId, MarkovChain};
+
+/// Predictor with perfect knowledge of a first-order Markov source.
+pub struct OraclePredictor {
+    successors: HashMap<ItemId, Vec<(ItemId, f64)>>,
+    current: Option<ItemId>,
+}
+
+impl OraclePredictor {
+    /// Snapshots the chain's transition structure.
+    pub fn from_chain(chain: &MarkovChain) -> Self {
+        let mut successors = HashMap::with_capacity(chain.len());
+        for i in 0..chain.len() as u64 {
+            successors.insert(ItemId(i), chain.successors(ItemId(i)));
+        }
+        OraclePredictor { successors, current: None }
+    }
+
+    /// True `P(next = b | current)`.
+    pub fn prob(&self, b: ItemId) -> f64 {
+        let Some(cur) = self.current else { return 0.0 };
+        self.successors
+            .get(&cur)
+            .and_then(|s| s.iter().find(|(id, _)| *id == b))
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0)
+    }
+}
+
+impl Predictor for OraclePredictor {
+    fn observe(&mut self, item: ItemId) {
+        self.current = Some(item);
+    }
+
+    fn candidates(&self, max: usize) -> Vec<(ItemId, f64)> {
+        let Some(cur) = self.current else {
+            return Vec::new();
+        };
+        let mut v = self.successors.get(&cur).cloned().unwrap_or_default();
+        sort_candidates(&mut v, max);
+        v
+    }
+
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn reset(&mut self) {
+        self.current = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::rng::Rng;
+
+    #[test]
+    fn reports_exact_chain_probabilities() {
+        let mut rng = Rng::new(1);
+        let chain = MarkovChain::random(20, 3, 0.5, &mut rng);
+        let mut o = OraclePredictor::from_chain(&chain);
+        o.observe(ItemId(4));
+        for (succ, p) in chain.successors(ItemId(4)) {
+            assert!((o.prob(succ) - p).abs() < 1e-12);
+        }
+        let c = o.candidates(3);
+        assert_eq!(c, chain.successors(ItemId(4)));
+    }
+
+    #[test]
+    fn candidates_empty_before_first_observation() {
+        let mut rng = Rng::new(2);
+        let chain = MarkovChain::random(5, 2, 0.5, &mut rng);
+        let o = OraclePredictor::from_chain(&chain);
+        assert!(o.candidates(5).is_empty());
+    }
+
+    #[test]
+    fn oracle_is_calibrated() {
+        // Empirical frequency of the top candidate must equal its stated
+        // probability.
+        use workload::RequestStream;
+        let mut rng = Rng::new(3);
+        let mut chain = MarkovChain::random(10, 2, 0.5, &mut rng);
+        let mut o = OraclePredictor::from_chain(&chain);
+        let mut hits = 0usize;
+        let mut preds = 0usize;
+        let mut stated = 0.0;
+        o.observe(chain.state());
+        for _ in 0..100_000 {
+            let c = o.candidates(1);
+            let (top, p) = c[0];
+            let actual = chain.next_item(&mut rng);
+            preds += 1;
+            stated += p;
+            if actual == top {
+                hits += 1;
+            }
+            o.observe(actual);
+        }
+        let emp = hits as f64 / preds as f64;
+        let avg_stated = stated / preds as f64;
+        assert!((emp - avg_stated).abs() < 0.01, "empirical {emp} vs stated {avg_stated}");
+    }
+}

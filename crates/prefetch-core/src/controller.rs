@@ -1,0 +1,256 @@
+//! Adaptive prefetch controller: the paper's results operationalised.
+//!
+//! The threshold `p_th = f̂′·λ̂·ŝ̄/b` needs three online estimates — the
+//! counterfactual hit ratio `h′` (§4 tagging algorithm), the request rate
+//! `λ`, and the mean item size `s̄` — plus the known bandwidth `b`.
+//! [`AdaptiveController`] fuses them and exposes the current
+//! [`ThresholdPolicy`]. The `netsim` crate drives one controller per
+//! simulated client; experiment E8 shows the adaptive threshold matching the
+//! oracle threshold.
+
+use crate::estimator::{EntryStatus, Ewma, HPrimeEstimator, RateEstimator};
+use crate::threshold::ThresholdPolicy;
+use crate::InteractionModel;
+
+/// Configuration for [`AdaptiveController`].
+#[derive(Clone, Copy, Debug)]
+pub struct ControllerConfig {
+    /// Known (or provisioned) bandwidth `b`, size-units/second.
+    pub bandwidth: f64,
+    /// EWMA weight for the request-rate estimator.
+    pub rate_alpha: f64,
+    /// EWMA weight for the mean-size estimator.
+    pub size_alpha: f64,
+    /// Interaction model to assume; model B needs `n_c`/`n_f` estimates.
+    pub model: InteractionModel,
+    /// `n̄(C)` estimate for model B (ignored under model A).
+    pub n_c: f64,
+    /// `n̄(F)` estimate for model B (ignored under model A).
+    pub n_f: f64,
+}
+
+impl ControllerConfig {
+    /// Model-A defaults with moderate smoothing.
+    pub fn model_a(bandwidth: f64) -> Self {
+        ControllerConfig {
+            bandwidth,
+            rate_alpha: 0.02,
+            size_alpha: 0.02,
+            model: InteractionModel::EvictZeroValue,
+            n_c: 1.0,
+            n_f: 0.0,
+        }
+    }
+
+    /// Model-B defaults.
+    pub fn model_b(bandwidth: f64, n_c: f64, n_f: f64) -> Self {
+        assert!(n_c > 0.0 && n_f >= 0.0 && n_f < n_c);
+        ControllerConfig {
+            bandwidth,
+            rate_alpha: 0.02,
+            size_alpha: 0.02,
+            model: InteractionModel::EvictAverageValue,
+            n_c,
+            n_f,
+        }
+    }
+}
+
+/// Online estimator bundle + policy synthesis.
+#[derive(Clone, Debug)]
+pub struct AdaptiveController {
+    config: ControllerConfig,
+    h_prime: HPrimeEstimator,
+    rate: RateEstimator,
+    size: Ewma,
+}
+
+impl AdaptiveController {
+    pub fn new(config: ControllerConfig) -> Self {
+        assert!(config.bandwidth > 0.0);
+        AdaptiveController {
+            h_prime: HPrimeEstimator::new(),
+            rate: RateEstimator::new(config.rate_alpha),
+            size: Ewma::new(config.size_alpha),
+            config,
+        }
+    }
+
+    /// A prefetched item was inserted into the cache.
+    pub fn on_prefetch_insert(&mut self) -> EntryStatus {
+        self.h_prime.on_prefetch_insert()
+    }
+
+    /// A user request at time `t` hit a cache entry carrying `status`;
+    /// `size` is the item's size. Returns the entry's new status.
+    pub fn on_cache_hit(&mut self, t: f64, status: EntryStatus, size: f64) -> EntryStatus {
+        self.rate.on_event(t);
+        self.size.push(size);
+        self.h_prime.on_cache_hit(status)
+    }
+
+    /// A user request at time `t` missed; `size` is the fetched item's size.
+    /// Returns the status for the newly admitted entry.
+    pub fn on_miss(&mut self, t: f64, size: f64) -> EntryStatus {
+        self.rate.on_event(t);
+        self.size.push(size);
+        self.h_prime.on_miss()
+    }
+
+    /// Current `ĥ′` under the configured interaction model.
+    pub fn h_prime_estimate(&self) -> Option<f64> {
+        match self.config.model {
+            InteractionModel::EvictZeroValue => self.h_prime.estimate_model_a(),
+            InteractionModel::EvictAverageValue => {
+                self.h_prime.estimate_model_b(self.config.n_c, self.config.n_f)
+            }
+        }
+    }
+
+    /// Current `λ̂`.
+    pub fn rate_estimate(&self) -> Option<f64> {
+        self.rate.rate()
+    }
+
+    /// Current `ŝ̄`.
+    pub fn mean_size_estimate(&self) -> Option<f64> {
+        self.size.value()
+    }
+
+    /// Current `ρ̂′ = f̂′·λ̂·ŝ̄/b`.
+    pub fn rho_prime_estimate(&self) -> Option<f64> {
+        let h = self.h_prime_estimate()?;
+        let l = self.rate_estimate()?;
+        let s = self.mean_size_estimate()?;
+        Some((1.0 - h) * l * s / self.config.bandwidth)
+    }
+
+    /// Current threshold `p̂_th` (model A: `ρ̂′`; model B: `ρ̂′ + ĥ′/n̄(C)`).
+    pub fn threshold_estimate(&self) -> Option<f64> {
+        let rho = self.rho_prime_estimate()?;
+        match self.config.model {
+            InteractionModel::EvictZeroValue => Some(rho),
+            InteractionModel::EvictAverageValue => {
+                Some(rho + self.h_prime_estimate()? / self.config.n_c)
+            }
+        }
+    }
+
+    /// Current policy. Until the estimators warm up, returns a maximally
+    /// conservative policy (threshold 1: prefetch nothing) — prefetching on
+    /// no information risks degrading service, so the controller fails safe.
+    pub fn policy(&self) -> ThresholdPolicy {
+        match self.threshold_estimate() {
+            Some(th) => ThresholdPolicy::new(th.min(1.0), self.config.model),
+            None => ThresholdPolicy::new(1.0, self.config.model),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SystemParams;
+
+    /// Drives the controller with a synthetic request stream matching known
+    /// parameters and checks it recovers the analytic threshold.
+    #[test]
+    fn recovers_known_threshold_model_a() {
+        let params = SystemParams::paper_figure2(0.3); // ρ′ = 0.42
+        let mut ctl = AdaptiveController::new(ControllerConfig::model_a(params.bandwidth));
+        // Deterministic stream at rate λ = 30, size 1, hit ratio 0.3
+        // (3 of every 10 requests hit a tagged entry).
+        let dt = 1.0 / params.lambda;
+        let mut t = 0.0;
+        for i in 0..20_000 {
+            t += dt;
+            if i % 10 < 3 {
+                ctl.on_cache_hit(t, EntryStatus::Tagged, params.mean_size);
+            } else {
+                ctl.on_miss(t, params.mean_size);
+            }
+        }
+        let th = ctl.threshold_estimate().unwrap();
+        assert!((th - 0.42).abs() < 0.01, "threshold {th}");
+        let h = ctl.h_prime_estimate().unwrap();
+        assert!((h - 0.3).abs() < 0.005, "h′ {h}");
+        let rate = ctl.rate_estimate().unwrap();
+        assert!((rate - 30.0).abs() < 0.5, "rate {rate}");
+    }
+
+    #[test]
+    fn untagged_hits_excluded_from_h_prime() {
+        // Half the hits land on untagged (prefetched) entries: they must not
+        // count toward ĥ′ on first touch.
+        let mut ctl = AdaptiveController::new(ControllerConfig::model_a(50.0));
+        let mut t = 0.0;
+        for _ in 0..1000 {
+            t += 0.1;
+            let status = ctl.on_prefetch_insert();
+            // First access: untagged → not a counterfactual hit.
+            ctl.on_cache_hit(t, status, 1.0);
+            t += 0.1;
+            ctl.on_miss(t, 1.0);
+        }
+        // naccess = 2000, nhit = 0 → ĥ′ = 0.
+        assert!(ctl.h_prime_estimate().unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn cold_controller_fails_safe() {
+        let ctl = AdaptiveController::new(ControllerConfig::model_a(50.0));
+        let pol = ctl.policy();
+        assert_eq!(pol.threshold, 1.0);
+        assert!(!pol.should_prefetch(0.99));
+    }
+
+    #[test]
+    fn model_b_threshold_larger() {
+        let mut a = AdaptiveController::new(ControllerConfig::model_a(50.0));
+        let mut b = AdaptiveController::new(ControllerConfig::model_b(50.0, 10.0, 1.0));
+        let mut t = 0.0;
+        for i in 0..5000 {
+            t += 1.0 / 30.0;
+            if i % 2 == 0 {
+                a.on_cache_hit(t, EntryStatus::Tagged, 1.0);
+                b.on_cache_hit(t, EntryStatus::Tagged, 1.0);
+            } else {
+                a.on_miss(t, 1.0);
+                b.on_miss(t, 1.0);
+            }
+        }
+        let tha = a.threshold_estimate().unwrap();
+        let thb = b.threshold_estimate().unwrap();
+        assert!(thb > tha, "B {thb} must exceed A {tha}");
+    }
+
+    #[test]
+    fn adapts_to_load_change() {
+        // Rate doubles mid-stream: the threshold must rise.
+        let mut ctl = AdaptiveController::new(ControllerConfig::model_a(50.0));
+        let mut t = 0.0;
+        for _ in 0..5000 {
+            t += 1.0 / 15.0;
+            ctl.on_miss(t, 1.0);
+        }
+        let th_low = ctl.threshold_estimate().unwrap();
+        for _ in 0..5000 {
+            t += 1.0 / 45.0;
+            ctl.on_miss(t, 1.0);
+        }
+        let th_high = ctl.threshold_estimate().unwrap();
+        assert!(th_high > th_low * 1.5, "low {th_low} high {th_high}");
+    }
+
+    #[test]
+    fn mean_size_tracks_mixture() {
+        let mut ctl = AdaptiveController::new(ControllerConfig::model_a(50.0));
+        let mut t = 0.0;
+        for i in 0..4000 {
+            t += 0.05;
+            let size = if i % 2 == 0 { 0.5 } else { 1.5 };
+            ctl.on_miss(t, size);
+        }
+        assert!((ctl.mean_size_estimate().unwrap() - 1.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,139 @@
+//! Excess retrieval cost (paper §5, equations (23)–(27)).
+//!
+//! `C = R − R′` measures how much extra *network time per user request*
+//! prefetching consumes, where `R = ρ/(λ(1−ρ))` (eq 25) is the retrieval
+//! time per request at utilisation `ρ`. The key phenomenon is **load
+//! impedance** (paper's term): because `R` is convex in `ρ`, prefetching the
+//! same item costs more under high load than under low load.
+
+/// Retrieval time per user request at utilisation `rho` (eq 25):
+/// `R = ρ/(λ(1−ρ))`. `None` when `ρ ≥ 1`.
+pub fn retrieval_per_request(rho: f64, lambda: f64) -> Option<f64> {
+    assert!(lambda > 0.0);
+    assert!(rho >= 0.0);
+    (rho < 1.0).then(|| rho / (lambda * (1.0 - rho)))
+}
+
+/// Excess retrieval cost (eq 27):
+///
+/// ```text
+/// C = R − R′ = (ρ − ρ′) / (λ(1−ρ)(1−ρ′))
+/// ```
+///
+/// `None` when either system is unstable.
+pub fn excess_cost(rho_prime: f64, rho: f64, lambda: f64) -> Option<f64> {
+    assert!(lambda > 0.0);
+    assert!(rho_prime >= 0.0 && rho >= 0.0);
+    (rho < 1.0 && rho_prime < 1.0)
+        .then(|| (rho - rho_prime) / (lambda * (1.0 - rho) * (1.0 - rho_prime)))
+}
+
+/// Marginal cost of raising utilisation from `rho` by an infinitesimal
+/// amount: `dR/dρ = 1/(λ(1−ρ)²)`. Quantifies load impedance directly —
+/// strictly increasing in `ρ`.
+pub fn marginal_cost(rho: f64, lambda: f64) -> Option<f64> {
+    assert!(lambda > 0.0);
+    (rho < 1.0).then(|| 1.0 / (lambda * (1.0 - rho) * (1.0 - rho)))
+}
+
+/// The utilisation increment caused by prefetching `n_f` items of
+/// probability `p` per request, under interaction model A:
+/// `Δρ = n̄(F)(1−p)·λs̄/b` (from eq 8 minus ρ′).
+pub fn delta_rho_model_a(n_f: f64, p: f64, lambda: f64, mean_size: f64, bandwidth: f64) -> f64 {
+    n_f * (1.0 - p) * lambda * mean_size / bandwidth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq27_consistency_with_eq25() {
+        let lambda = 30.0;
+        let rho_p = 0.6;
+        let rho = 0.75;
+        let direct = retrieval_per_request(rho, lambda).unwrap()
+            - retrieval_per_request(rho_p, lambda).unwrap();
+        let formula = excess_cost(rho_p, rho, lambda).unwrap();
+        assert!((direct - formula).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_extra_load_zero_cost() {
+        assert_eq!(excess_cost(0.6, 0.6, 30.0), Some(0.0));
+    }
+
+    #[test]
+    fn hand_computed_paper_point() {
+        // Fig 3, h′=0 panel, p=0.9, n̄(F)=1: ρ′=0.6, ρ=(0.1+1)·0.6=0.66.
+        // C = 0.06/(30·0.34·0.4) = 0.0147…
+        let c = excess_cost(0.6, 0.66, 30.0).unwrap();
+        assert!((c - 0.06 / (30.0 * 0.34 * 0.4)).abs() < 1e-12);
+        assert!(c > 0.0 && c < 0.02);
+    }
+
+    #[test]
+    fn unstable_returns_none() {
+        assert!(excess_cost(0.6, 1.0, 30.0).is_none());
+        assert!(excess_cost(1.0, 0.6, 30.0).is_none());
+        assert!(retrieval_per_request(1.2, 30.0).is_none());
+        assert!(marginal_cost(1.0, 30.0).is_none());
+    }
+
+    #[test]
+    fn load_impedance_same_increment_costs_more_at_high_load() {
+        // Prefetching that adds Δρ = 0.1 of utilisation:
+        let lambda = 30.0;
+        let low = excess_cost(0.2, 0.3, lambda).unwrap();
+        let high = excess_cost(0.7, 0.8, lambda).unwrap();
+        assert!(high > low, "high-load cost {high} must exceed low-load cost {low}");
+        // And the ratio is substantial: (1-.7)(1-.8) vs (1-.2)(1-.3) → ~9.3x.
+        assert!(high / low > 9.0);
+    }
+
+    #[test]
+    fn marginal_cost_is_increasing() {
+        let lambda = 30.0;
+        let mut last = 0.0;
+        for i in 0..9 {
+            let rho = i as f64 / 10.0;
+            let mc = marginal_cost(rho, lambda).unwrap();
+            assert!(mc > last);
+            last = mc;
+        }
+    }
+
+    #[test]
+    fn cost_is_increasing_in_rho() {
+        let lambda = 30.0;
+        let rho_p = 0.42;
+        let mut last = -1.0;
+        for i in 0..11 {
+            let rho = rho_p + i as f64 * 0.05;
+            if rho >= 1.0 {
+                break;
+            }
+            let c = excess_cost(rho_p, rho, lambda).unwrap();
+            assert!(c > last, "C({rho}) = {c} after {last}");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn delta_rho_model_a_matches_model() {
+        use crate::model_a::ModelA;
+        use crate::params::SystemParams;
+        let params = SystemParams::paper_figure2(0.3);
+        let m = ModelA::new(params, 0.8, 0.55);
+        let delta = delta_rho_model_a(0.8, 0.55, 30.0, 1.0, 50.0);
+        assert!((m.utilisation() - params.rho_prime() - delta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_cost_when_prefetch_reduces_load() {
+        // With p = 1 (informed prefetching) utilisation is unchanged; with
+        // hypothetical ρ < ρ′ the cost goes negative — the formula is signed.
+        let c = excess_cost(0.5, 0.4, 10.0).unwrap();
+        assert!(c < 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! QoS planning — the paper's stated future work, carried out.
+//!
+//! The conclusions announce: "We are investigating the application of this
+//! work in addressing QoS issues of multimedia access…". The natural QoS
+//! question under this model: **given a mean-access-time budget `t_max`,
+//! which prefetching configurations are admissible, and how much budget
+//! does a configuration leave?**
+//!
+//! Everything follows from inverting eq (10): for a Model-A configuration,
+//! `t̄(n̄F, p) ≤ t_max` defines a region in the `(n̄F, p)` plane whose
+//! boundary this module computes in closed form.
+
+use crate::model_a::ModelA;
+use crate::params::SystemParams;
+
+/// Result of a QoS admission check.
+///
+/// ```
+/// use prefetch_core::qos::{admit, Admission};
+/// use prefetch_core::SystemParams;
+///
+/// let params = SystemParams::paper_figure2(0.3); // t̄′ ≈ 0.0241
+/// // Prefetching confident candidates buys slack against a 25 ms budget…
+/// assert!(matches!(admit(&params, 0.5, 0.9, 0.025), Admission::Admitted { .. }));
+/// // …while speculative flooding destroys the steady state outright.
+/// assert_eq!(admit(&params, 3.0, 0.1, 0.025), Admission::Unstable);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Admission {
+    /// Configuration meets the budget; the slack `t_max − t̄` is attached.
+    Admitted { slack: f64 },
+    /// Stable but over budget by the attached amount.
+    OverBudget { excess: f64 },
+    /// The configuration destabilises the server (no steady state at all).
+    Unstable,
+}
+
+/// Checks a Model-A configuration against a mean-access-time budget.
+pub fn admit(params: &SystemParams, n_f: f64, p: f64, t_max: f64) -> Admission {
+    assert!(t_max > 0.0);
+    let m = ModelA::new(*params, n_f, p);
+    match m.access_time() {
+        None => Admission::Unstable,
+        Some(t) if t <= t_max => Admission::Admitted { slack: t_max - t },
+        Some(t) => Admission::OverBudget { excess: t - t_max },
+    }
+}
+
+/// Whether the *baseline* (no prefetching) already meets the budget.
+pub fn baseline_admissible(params: &SystemParams, t_max: f64) -> bool {
+    matches!(admit(params, 0.0, 0.0, t_max), Admission::Admitted { .. })
+}
+
+/// The maximum prefetch volume of probability-`p` items that keeps
+/// `t̄ ≤ t_max` (Model A), or `None` if no positive volume does.
+///
+/// Solving eq (10) for `n̄F`:
+///
+/// ```text
+/// t̄(n) = (f′ − np)s̄ / (b − f′λs̄ − n(1−p)λs̄) ≤ t_max
+/// ⇔ n·[p·s̄ − t_max·(1−p)λs̄] ≥ f′s̄ − t_max(b − f′λs̄)
+/// ```
+///
+/// When the bracket is positive (likely for `p` near 1), *any* volume
+/// helps and the limit is the stability bound; when negative, volume hurts
+/// and the inequality caps it. `f64::INFINITY` means "no limit from the
+/// budget" (stability is still the caller's concern — combine with
+/// [`ModelA::nf_limit`]).
+pub fn max_volume_for_budget(params: &SystemParams, p: f64, t_max: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&p) && t_max > 0.0);
+    let s = params.mean_size;
+    let b = params.bandwidth;
+    let l = params.lambda;
+    let fp = params.f_prime();
+    // coefficient of n (note t̄ decreasing in n ⇔ coeff > 0):
+    let coeff = p * s - t_max * (1.0 - p) * l * s;
+    let rhs = fp * s - t_max * (b - fp * l * s);
+    if rhs <= 0.0 {
+        // Baseline already within budget.
+        if coeff >= 0.0 {
+            // More volume only helps (or is neutral): stability is the only cap.
+            return Some(f64::INFINITY);
+        }
+        // Volume hurts; budget caps it at rhs/coeff (both negative).
+        return Some(rhs / coeff);
+    }
+    // Baseline over budget: need n large enough, possible only if coeff > 0.
+    (coeff > 0.0).then(|| f64::INFINITY) // any n ≥ rhs/coeff works; no *max*.
+}
+
+/// The minimum prefetch volume of probability-`p` items needed to *bring*
+/// an over-budget baseline within `t_max` (Model A). `None` when
+/// impossible (p too small or budget unreachable before saturation).
+pub fn min_volume_for_budget(params: &SystemParams, p: f64, t_max: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&p) && t_max > 0.0);
+    if baseline_admissible(params, t_max) {
+        return Some(0.0);
+    }
+    let s = params.mean_size;
+    let b = params.bandwidth;
+    let l = params.lambda;
+    let fp = params.f_prime();
+    let coeff = p * s - t_max * (1.0 - p) * l * s;
+    let rhs = fp * s - t_max * (b - fp * l * s);
+    if coeff <= 0.0 {
+        return None; // volume cannot reduce t̄ to the budget
+    }
+    let n = rhs / coeff;
+    // Must remain stable and probability-consistent at that volume.
+    let m = ModelA::new(*params, n, p);
+    (m.is_stable() && m.is_consistent()).then_some(n)
+}
+
+/// Samples the admissible boundary `t̄(n̄F, p) = t_max` as `(p, n̄F_max)`
+/// pairs over a probability grid — the QoS version of Figure 2.
+pub fn budget_frontier(
+    params: &SystemParams,
+    t_max: f64,
+    p_points: usize,
+) -> Vec<(f64, Option<f64>)> {
+    (1..=p_points)
+        .map(|i| {
+            let p = i as f64 / p_points as f64;
+            (p, max_volume_for_budget(params, p, t_max))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SystemParams {
+        SystemParams::paper_figure2(0.3) // t̄′ = 0.7/29 ≈ 0.02414
+    }
+
+    #[test]
+    fn baseline_admission() {
+        let p = params();
+        assert!(baseline_admissible(&p, 0.03));
+        assert!(!baseline_admissible(&p, 0.02));
+    }
+
+    #[test]
+    fn admit_classifies_all_three_ways() {
+        let sp = params();
+        // Good config well under budget.
+        match admit(&sp, 0.5, 0.9, 0.03) {
+            Admission::Admitted { slack } => assert!(slack > 0.0),
+            other => panic!("{other:?}"),
+        }
+        // Harmful config over a tight budget.
+        match admit(&sp, 0.5, 0.2, 0.024) {
+            Admission::OverBudget { excess } => assert!(excess > 0.0),
+            other => panic!("{other:?}"),
+        }
+        // Saturating config.
+        assert_eq!(admit(&sp, 3.0, 0.1, 0.1), Admission::Unstable);
+    }
+
+    #[test]
+    fn max_volume_budget_boundary_is_exact() {
+        // Pick p below threshold so volume hurts; the returned max volume
+        // must put t̄ exactly on the budget.
+        let sp = params();
+        let p = 0.3; // p_th = 0.42 → t̄ increasing in volume
+        let t_max = 0.027; // slightly above t̄′
+        let n_max = max_volume_for_budget(&sp, p, t_max).unwrap();
+        assert!(n_max.is_finite() && n_max > 0.0);
+        let at_boundary = ModelA::new(sp, n_max, p).access_time().unwrap();
+        assert!((at_boundary - t_max).abs() < 1e-9, "t̄ {at_boundary} vs {t_max}");
+        // Just beyond the boundary: over budget.
+        let beyond = ModelA::new(sp, n_max * 1.05, p).access_time().unwrap();
+        assert!(beyond > t_max);
+    }
+
+    #[test]
+    fn good_candidates_unlimited_by_budget() {
+        let sp = params();
+        // p = 0.9 > p_th: volume reduces t̄, so the budget imposes no max.
+        assert_eq!(max_volume_for_budget(&sp, 0.9, 0.03), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn min_volume_reaches_tight_budget() {
+        let sp = params();
+        let t_max = 0.015; // below t̄′ ≈ 0.0241: baseline over budget
+        let n = min_volume_for_budget(&sp, 0.9, t_max).unwrap();
+        assert!(n > 0.0);
+        let t = ModelA::new(sp, n, 0.9).access_time().unwrap();
+        assert!((t - t_max).abs() < 1e-9, "t̄ {t}");
+        // Low-p items can never get there.
+        assert!(min_volume_for_budget(&sp, 0.2, t_max).is_none());
+    }
+
+    #[test]
+    fn frontier_is_monotone_in_p() {
+        // Higher p ⇒ weakly larger admissible volume.
+        let sp = params();
+        let frontier = budget_frontier(&sp, 0.026, 10);
+        let as_num = |v: &Option<f64>| v.unwrap_or(f64::NEG_INFINITY);
+        for w in frontier.windows(2) {
+            assert!(
+                as_num(&w[1].1) >= as_num(&w[0].1) - 1e-9,
+                "frontier not monotone: {frontier:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_volume_zero_when_already_within_budget() {
+        let sp = params();
+        assert_eq!(min_volume_for_budget(&sp, 0.5, 0.05), Some(0.0));
+    }
+}

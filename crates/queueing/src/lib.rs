@@ -1,0 +1,74 @@
+//! # queueing — the paper's server-access substrate
+//!
+//! Tuah, Kumar & Venkatesh model "the entire network accessed through the
+//! proxy as a server that provides a processor-sharing service for an M/G/1
+//! round-robin queueing system" (paper §2.1). The single load-bearing fact
+//! borrowed from Kleinrock is equation (2):
+//!
+//! ```text
+//! r̄ = x / (1 − ρ)
+//! ```
+//!
+//! the mean time to finish a job requiring service time `x` when the system
+//! utilisation is `ρ`. This crate provides that substrate twice over:
+//!
+//! * [`theory`] — closed forms: M/G/1-PS, M/M/1, M/G/1-FIFO
+//!   (Pollaczek–Khinchine), M/M/c (Erlang C), Little's-law helpers.
+//! * [`ps`] — an event-driven **processor-sharing server** (virtual-time
+//!   algorithm, O(log n) per event) so every formula can be checked against
+//!   a running system.
+//! * [`rr`] — an explicit **round-robin quantum server** (the discipline the
+//!   paper names); converges to PS as the quantum shrinks.
+//! * [`fifo`] — an M/G/1-FIFO server used as the ablation baseline: FIFO is
+//!   *not* insensitive to the service distribution, PS is — exactly why the
+//!   paper's analysis needs PS.
+//! * [`driver`] — a harness that feeds an arrival trace through any
+//!   [`Server`] and records per-job response times.
+
+pub mod driver;
+pub mod fifo;
+pub mod ps;
+pub mod rr;
+pub mod theory;
+
+pub use driver::{drive, Departure};
+pub use fifo::FifoServer;
+pub use ps::PsServer;
+pub use rr::RrServer;
+
+/// A completed job: when it finished and the caller's tag.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Completion<T> {
+    pub time: f64,
+    pub tag: T,
+}
+
+/// A work-conserving single-server queue processing `work` units at a fixed
+/// capacity, under some scheduling discipline.
+///
+/// The server is a *passive* state machine: the owner (a discrete-event
+/// engine or the [`driver`]) tells it when jobs arrive and asks when it next
+/// needs attention. The contract:
+///
+/// 1. `arrive` and `on_event` must be called with non-decreasing times;
+/// 2. the owner must call `on_event(t)` at exactly `t = next_event()` before
+///    advancing past it (arrivals in between are allowed and invalidate the
+///    previous `next_event`).
+pub trait Server<T> {
+    /// A job of `work` units arrives at time `t`.
+    fn arrive(&mut self, t: f64, work: f64, tag: T);
+
+    /// The next time the server needs attention (a departure or an internal
+    /// reschedule), or `None` when idle.
+    fn next_event(&self) -> Option<f64>;
+
+    /// Handles the event at `t` (must equal `next_event()`); returns any jobs
+    /// that completed at `t`.
+    fn on_event(&mut self, t: f64) -> Vec<Completion<T>>;
+
+    /// Number of jobs currently in the system.
+    fn in_system(&self) -> usize;
+
+    /// Total busy time (at least one job present) up to the last update.
+    fn busy_time(&self) -> f64;
+}

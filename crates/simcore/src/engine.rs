@@ -1,0 +1,213 @@
+//! The discrete-event engine.
+//!
+//! [`Engine<S>`] owns the virtual clock and the event calendar; the caller
+//! owns the model state `S`. Events are boxed `FnOnce(&mut Engine<S>,
+//! &mut S)` closures — they may freely schedule or cancel further events.
+//!
+//! The split between engine and state keeps the borrow checker happy:
+//! when an event fires it receives the engine (for scheduling) and the state
+//! (for mutation) as two disjoint mutable borrows.
+
+use crate::event::{Calendar, EventToken};
+use crate::time::SimTime;
+
+/// Boxed event closure type fired by [`Engine::step`].
+pub type EventFn<S> = Box<dyn FnOnce(&mut Engine<S>, &mut S)>;
+
+/// A discrete-event simulation engine over user state `S`.
+pub struct Engine<S> {
+    now: SimTime,
+    calendar: Calendar<EventFn<S>>,
+    fired: u64,
+}
+
+impl<S> Default for Engine<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> Engine<S> {
+    /// A fresh engine at time zero with an empty calendar.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            calendar: Calendar::new(),
+            fired: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.calendar.len()
+    }
+
+    /// Schedules an event at an absolute time. Panics if the time is in the
+    /// past (strictly before `now`).
+    pub fn schedule_at(
+        &mut self,
+        time: SimTime,
+        f: impl FnOnce(&mut Engine<S>, &mut S) + 'static,
+    ) -> EventToken {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time:?} < {:?}",
+            self.now
+        );
+        self.calendar.push(time, Box::new(f))
+    }
+
+    /// Schedules an event `dt ≥ 0` seconds from now.
+    pub fn schedule_in(
+        &mut self,
+        dt: f64,
+        f: impl FnOnce(&mut Engine<S>, &mut S) + 'static,
+    ) -> EventToken {
+        assert!(dt >= 0.0, "negative delay {dt}");
+        self.schedule_at(self.now.after(dt), f)
+    }
+
+    /// Cancels a pending event.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        self.calendar.cancel(token)
+    }
+
+    /// Fires the next event, advancing the clock to its timestamp.
+    /// Returns `false` if the calendar is empty.
+    pub fn step(&mut self, state: &mut S) -> bool {
+        match self.calendar.pop() {
+            Some(ev) => {
+                debug_assert!(ev.time >= self.now, "calendar returned an event in the past");
+                self.now = ev.time;
+                self.fired += 1;
+                (ev.payload)(self, state);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the calendar is empty.
+    pub fn run(&mut self, state: &mut S) {
+        while self.step(state) {}
+    }
+
+    /// Runs all events with timestamps `≤ horizon`, then sets the clock to
+    /// `horizon` (even if the calendar still has later events).
+    pub fn run_until(&mut self, horizon: SimTime, state: &mut S) {
+        while let Some(t) = self.calendar.peek_time() {
+            if t > horizon {
+                break;
+            }
+            self.step(state);
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_order_and_advance_clock() {
+        let mut engine: Engine<Vec<(f64, u32)>> = Engine::new();
+        engine.schedule_at(SimTime::from_secs(2.0), |e, log| log.push((e.now().as_secs(), 2)));
+        engine.schedule_at(SimTime::from_secs(1.0), |e, log| log.push((e.now().as_secs(), 1)));
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        assert_eq!(log, vec![(1.0, 1), (2.0, 2)]);
+        assert_eq!(engine.now(), SimTime::from_secs(2.0));
+        assert_eq!(engine.events_fired(), 2);
+    }
+
+    #[test]
+    fn events_can_schedule_more_events() {
+        // A self-perpetuating "arrival process": each event schedules the next.
+        fn arrive(e: &mut Engine<u32>, count: &mut u32) {
+            *count += 1;
+            if *count < 5 {
+                e.schedule_in(1.0, arrive);
+            }
+        }
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, arrive);
+        let mut count = 0;
+        engine.run(&mut count);
+        assert_eq!(count, 5);
+        assert_eq!(engine.now(), SimTime::from_secs(4.0));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut engine: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            engine.schedule_at(SimTime::from_secs(i as f64), |_, c| *c += 1);
+        }
+        let mut count = 0;
+        engine.run_until(SimTime::from_secs(4.5), &mut count);
+        assert_eq!(count, 5); // t = 0,1,2,3,4
+        assert_eq!(engine.now(), SimTime::from_secs(4.5));
+        assert_eq!(engine.pending(), 5);
+        // Continue to the end.
+        engine.run(&mut count);
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut engine: Engine<u32> = Engine::new();
+        let tok = engine.schedule_at(SimTime::from_secs(1.0), |_, c| *c += 100);
+        engine.schedule_at(SimTime::from_secs(2.0), |_, c| *c += 1);
+        assert!(engine.cancel(tok));
+        let mut count = 0;
+        engine.run(&mut count);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn events_can_cancel_other_events() {
+        let mut engine: Engine<u32> = Engine::new();
+        let victim = engine.schedule_at(SimTime::from_secs(5.0), |_, c| *c += 100);
+        engine.schedule_at(SimTime::from_secs(1.0), move |e, _| {
+            e.cancel(victim);
+        });
+        let mut count = 0;
+        engine.run(&mut count);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_into_past_panics() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_at(SimTime::from_secs(5.0), |_, _| {});
+        let mut s = 0;
+        engine.run(&mut s);
+        engine.schedule_at(SimTime::from_secs(1.0), |_, _| {});
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        for i in 0..5 {
+            engine.schedule_at(SimTime::from_secs(1.0), move |_, log: &mut Vec<u32>| log.push(i));
+        }
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        assert_eq!(log, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,236 @@
+//! The event calendar.
+//!
+//! A binary-heap priority queue of scheduled payloads, ordered by
+//! `(SimTime, sequence)` so that events scheduled for the same instant fire
+//! in FIFO order (determinism matters: downstream experiments assert on
+//! exact metric values for fixed seeds).
+//!
+//! The calendar is agnostic about what a payload *is* — the [`Engine`]
+//! stores boxed closures, the queueing simulators store job ids. Cancellation
+//! is by token: [`Calendar::cancel`] marks the token and the entry is skipped
+//! when popped (lazy deletion), keeping both operations O(log n) amortised.
+//!
+//! [`Engine`]: crate::engine::Engine
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle identifying a scheduled event, usable to cancel it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EventToken(pub(crate) u64);
+
+/// A calendar entry: when, insertion order, and the caller's payload.
+pub struct Scheduled<A> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub payload: A,
+}
+
+impl<A> PartialEq for Scheduled<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<A> Eq for Scheduled<A> {}
+
+impl<A> PartialOrd for Scheduled<A> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<A> Ord for Scheduled<A> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of future events with lazy cancellation.
+pub struct Calendar<A> {
+    heap: BinaryHeap<Scheduled<A>>,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+    live: usize,
+}
+
+impl<A> Default for Calendar<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A> Calendar<A> {
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live (non-cancelled) scheduled events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Earliest live event time, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim();
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Schedules `payload` at absolute time `time`; returns a cancellation
+    /// token.
+    pub fn push(&mut self, time: SimTime, payload: A) -> EventToken {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, payload });
+        self.live += 1;
+        EventToken(seq)
+    }
+
+    /// Cancels a scheduled event. Returns `true` if the token was issued by
+    /// this calendar and had not been cancelled before. Cancelling a token
+    /// whose event already fired is a silent no-op (returns `true` but has no
+    /// further effect).
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if token.0 >= self.next_seq {
+            return false;
+        }
+        if self.cancelled.insert(token.0) {
+            self.live = self.live.saturating_sub(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Discards cancelled entries sitting at the top of the heap.
+    fn skim(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.contains(&top.seq) {
+                let popped = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&popped.seq);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Pops the earliest live event.
+    pub fn pop(&mut self) -> Option<Scheduled<A>> {
+        self.skim();
+        let ev = self.heap.pop();
+        if ev.is_some() {
+            self.live -= 1;
+        }
+        ev
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(cal: &mut Calendar<u32>) -> Vec<u32> {
+        let mut out = Vec::new();
+        while let Some(ev) = cal.pop() {
+            out.push(ev.payload);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.push(SimTime::from_secs(3.0), 3);
+        cal.push(SimTime::from_secs(1.0), 1);
+        cal.push(SimTime::from_secs(2.0), 2);
+        assert_eq!(drain(&mut cal), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut cal = Calendar::new();
+        for mark in 0..10u32 {
+            cal.push(SimTime::from_secs(5.0), mark);
+        }
+        assert_eq!(drain(&mut cal), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut cal = Calendar::new();
+        cal.push(SimTime::from_secs(1.0), 1);
+        let tok = cal.push(SimTime::from_secs(2.0), 2);
+        cal.push(SimTime::from_secs(3.0), 3);
+        assert!(cal.cancel(tok));
+        assert_eq!(cal.len(), 2);
+        assert_eq!(drain(&mut cal), vec![1, 3]);
+    }
+
+    #[test]
+    fn double_cancel_is_noop() {
+        let mut cal: Calendar<u32> = Calendar::new();
+        let tok = cal.push(SimTime::from_secs(1.0), 1);
+        assert!(cal.cancel(tok));
+        assert!(!cal.cancel(tok));
+        assert_eq!(cal.len(), 0);
+        assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_token_is_rejected() {
+        let mut cal: Calendar<u32> = Calendar::new();
+        assert!(!cal.cancel(EventToken(999)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut cal = Calendar::new();
+        let tok = cal.push(SimTime::from_secs(1.0), 1);
+        cal.push(SimTime::from_secs(2.0), 2);
+        cal.cancel(tok);
+        assert_eq!(cal.peek_time(), Some(SimTime::from_secs(2.0)));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut cal = Calendar::new();
+        cal.push(SimTime::from_secs(1.0), 1);
+        cal.clear();
+        assert!(cal.is_empty());
+        assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut cal = Calendar::new();
+        cal.push(SimTime::from_secs(2.0), 2);
+        cal.push(SimTime::from_secs(1.0), 1);
+        assert_eq!(cal.pop().unwrap().payload, 1);
+        cal.push(SimTime::from_secs(1.5), 15);
+        cal.push(SimTime::from_secs(3.0), 3);
+        assert_eq!(cal.pop().unwrap().payload, 15);
+        assert_eq!(cal.pop().unwrap().payload, 2);
+        assert_eq!(cal.pop().unwrap().payload, 3);
+        assert!(cal.pop().is_none());
+    }
+}

@@ -1,0 +1,65 @@
+//! # simcore — discrete-event simulation substrate
+//!
+//! This crate provides the simulation machinery that every other crate in the
+//! workspace builds on:
+//!
+//! * [`time`] — a virtual-time newtype ([`SimTime`]) with a total order.
+//! * [`rng`] — a hand-rolled, reproducible PRNG ([`rng::Pcg64`]-class
+//!   xoshiro256++ generator seeded through SplitMix64) with stream splitting
+//!   for parallel experiments.
+//! * [`dist`] — analytic sampling distributions (exponential, Pareto,
+//!   log-normal, Zipf, hyper-exponential, empirical, …) behind one
+//!   [`dist::Sample`] trait, each knowing its own analytic mean where it
+//!   exists.
+//! * [`event`] — a binary-heap event calendar with stable FIFO tie-breaking
+//!   and O(1) cancellation tokens.
+//! * [`engine`] — the event loop ([`Engine`]) that owns the calendar and the
+//!   virtual clock.
+//! * [`stats`] — streaming statistics: Welford moments, time-weighted
+//!   averages, histograms, P² quantile estimation, batch-means confidence
+//!   intervals.
+//! * [`par`] — a small crossbeam-scoped-thread work-pool used to run
+//!   parameter sweeps in parallel with deterministic output ordering.
+//!
+//! The engine is deliberately generic: the higher-level crates (`queueing`,
+//! `netsim`) define their own state types and schedule closures against them.
+//!
+//! ## Example
+//!
+//! ```
+//! use simcore::{Engine, SimTime};
+//!
+//! // Count how many events fire before t = 10.
+//! let mut engine: Engine<u32> = Engine::new();
+//! for i in 0..20 {
+//!     engine.schedule_at(SimTime::from_secs(i as f64), |_, count| *count += 1);
+//! }
+//! let mut count = 0u32;
+//! engine.run_until(SimTime::from_secs(10.0), &mut count);
+//! assert_eq!(count, 11); // t = 0..=10 inclusive
+//! ```
+
+pub mod dist;
+pub mod engine;
+pub mod event;
+pub mod par;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use dist::Sample;
+pub use engine::Engine;
+pub use event::EventToken;
+pub use rng::Rng;
+pub use stats::{BatchMeans, Histogram, TimeWeighted, Welford};
+pub use time::SimTime;
+
+/// Convenient re-exports for downstream simulation code.
+pub mod prelude {
+    pub use crate::dist::{self, Sample};
+    pub use crate::engine::Engine;
+    pub use crate::event::EventToken;
+    pub use crate::rng::Rng;
+    pub use crate::stats::{BatchMeans, Histogram, TimeWeighted, Welford};
+    pub use crate::time::SimTime;
+}

@@ -1,0 +1,136 @@
+//! Parallel parameter sweeps.
+//!
+//! Experiments evaluate the same simulation at many parameter points; the
+//! points are independent, so we farm them out to a crossbeam scoped-thread
+//! pool. Work is distributed by an atomic cursor (self-balancing for
+//! heterogeneous run times) and results land in their input slots, so output
+//! order is deterministic regardless of scheduling.
+//!
+//! This is the only concurrency in the workspace — simulations themselves
+//! are single-threaded and reproducible.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use: the available parallelism, capped by the
+/// work-item count.
+pub fn default_threads(items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    hw.min(items).max(1)
+}
+
+/// Applies `f` to every item, in parallel, preserving input order in the
+/// output vector.
+///
+/// `f` must be `Sync` (shared across workers) and the items are borrowed
+/// immutably. Panics in workers propagate.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot poisoned").expect("slot unfilled"))
+        .collect()
+}
+
+/// Like [`par_map`] but uses [`default_threads`].
+pub fn par_map_auto<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map(items, default_threads(items.len()), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, 8, |_, &x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let items = vec![1, 2, 3];
+        let out = par_map(&items, 1, |i, &x| x + i as i32);
+        assert_eq!(out, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u32> = vec![];
+        let out: Vec<u32> = par_map(&items, 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = vec![10, 20];
+        let out = par_map(&items, 64, |_, &x| x + 1);
+        assert_eq!(out, vec![11, 21]);
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec!["a", "b", "c", "d"];
+        let out = par_map(&items, 2, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn heavy_imbalanced_work_completes() {
+        // Some items "cost" much more than others; cursor-based stealing
+        // should still complete everything.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, 8, |_, &x| {
+            let iters = if x % 8 == 0 { 200_000 } else { 100 };
+            let mut acc = 0u64;
+            for i in 0..iters {
+                acc = acc.wrapping_add(i ^ x);
+            }
+            acc
+        });
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn default_threads_bounds() {
+        assert_eq!(default_threads(0), 1);
+        assert!(default_threads(1) == 1);
+        assert!(default_threads(1000) >= 1);
+    }
+}

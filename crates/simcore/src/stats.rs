@@ -1,0 +1,691 @@
+//! Streaming statistics for simulation output analysis.
+//!
+//! * [`Welford`] — numerically stable streaming mean/variance, mergeable
+//!   across parallel replications.
+//! * [`TimeWeighted`] — time-average of a piecewise-constant signal (e.g.
+//!   number-in-system), the workhorse for utilisation measurements.
+//! * [`Histogram`] — fixed-width linear histogram with overflow bucket.
+//! * [`P2Quantile`] — Jain & Chlamtac's P² streaming quantile estimator
+//!   (no sample storage).
+//! * [`BatchMeans`] — batch-means confidence intervals for correlated
+//!   steady-state output series.
+
+/// Numerically stable streaming moments (Welford / Chan et al. merge).
+#[derive(Clone, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    pub fn new() -> Self {
+        Welford { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (needs ≥ 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Half-width of the ~95% confidence interval on the mean
+    /// (Student-t for small n, normal for large).
+    pub fn ci95_half_width(&self) -> f64 {
+        t_critical_95(self.n.saturating_sub(1)) * self.std_err()
+    }
+}
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom.
+/// Exact table for small df, asymptote 1.96 beyond.
+pub fn t_critical_95(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+        2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+        2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        d if d <= 30 => TABLE[(d - 1) as usize],
+        d if d <= 60 => 2.00,
+        d if d <= 120 => 1.98,
+        _ => 1.96,
+    }
+}
+
+/// Time-average of a piecewise-constant signal.
+///
+/// Feed `(time, new_value)` updates; the accumulator integrates the previous
+/// value over the elapsed interval. Typical uses: number-in-system, server
+/// busy indicator (utilisation).
+#[derive(Clone, Debug)]
+pub struct TimeWeighted {
+    last_t: f64,
+    value: f64,
+    integral: f64,
+    start_t: f64,
+    started: bool,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    pub fn new() -> Self {
+        TimeWeighted { last_t: 0.0, value: 0.0, integral: 0.0, start_t: 0.0, started: false }
+    }
+
+    /// Records that the signal changed to `value` at time `t`.
+    pub fn set(&mut self, t: f64, value: f64) {
+        if !self.started {
+            self.start_t = t;
+            self.started = true;
+        } else {
+            debug_assert!(t >= self.last_t, "time went backwards");
+            self.integral += self.value * (t - self.last_t);
+        }
+        self.last_t = t;
+        self.value = value;
+    }
+
+    /// Adds `delta` to the current value at time `t`.
+    pub fn add(&mut self, t: f64, delta: f64) {
+        let v = self.value;
+        self.set(t, v + delta);
+    }
+
+    /// Current signal value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Time-average over `[start, t_end]`.
+    pub fn time_average(&self, t_end: f64) -> f64 {
+        if !self.started || t_end <= self.start_t {
+            return 0.0;
+        }
+        let integral = self.integral + self.value * (t_end - self.last_t);
+        integral / (t_end - self.start_t)
+    }
+}
+
+/// Fixed-width linear histogram over `[lo, hi)` with `bins` buckets plus
+/// underflow/overflow counters.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0);
+        Histogram {
+            lo,
+            width: (hi - lo) / bins as f64,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count in bucket `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Lower edge of bucket `i`.
+    pub fn edge(&self, i: usize) -> f64 {
+        self.lo + i as f64 * self.width
+    }
+
+    /// Approximate quantile from bucket midpoints (`q` in `[0,1]`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut acc = self.underflow;
+        if acc >= target && self.underflow > 0 {
+            return self.lo;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return self.edge(i) + 0.5 * self.width;
+            }
+        }
+        self.lo + self.width * self.counts.len() as f64
+    }
+}
+
+/// P² single-quantile streaming estimator (Jain & Chlamtac, 1985).
+#[derive(Clone, Debug)]
+pub struct P2Quantile {
+    q: f64,
+    heights: [f64; 5],
+    positions: [f64; 5],
+    desired: [f64; 5],
+    increments: [f64; 5],
+    count: usize,
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Estimator for the `q`-quantile, `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0);
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial.sort_by(f64::total_cmp);
+                self.heights.copy_from_slice(&self.initial);
+            }
+            return;
+        }
+        // Find cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d_sign = d.signum();
+                let parabolic = self.parabolic(i, d_sign);
+                if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                    self.heights[i] = parabolic;
+                } else {
+                    self.heights[i] = self.linear(i, d_sign);
+                }
+                self.positions[i] += d_sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate (exact for < 5 samples).
+    pub fn value(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        if self.initial.len() < 5 {
+            let mut v = self.initial.clone();
+            v.sort_by(f64::total_cmp);
+            let idx = ((self.q * v.len() as f64).ceil() as usize).saturating_sub(1);
+            return v[idx.min(v.len() - 1)];
+        }
+        self.heights[2]
+    }
+}
+
+/// Batch-means analysis for autocorrelated steady-state series.
+///
+/// Observations are grouped into `num_batches` equal batches; the batch means
+/// are (approximately) independent, giving a valid CI on the grand mean.
+#[derive(Clone, Debug)]
+pub struct BatchMeans {
+    values: Vec<f64>,
+    num_batches: usize,
+}
+
+impl BatchMeans {
+    pub fn new(num_batches: usize) -> Self {
+        assert!(num_batches >= 2);
+        BatchMeans { values: Vec::new(), num_batches }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.values.push(x);
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Discards the first `n` observations (warm-up deletion).
+    pub fn discard_warmup(&mut self, n: usize) {
+        let n = n.min(self.values.len());
+        self.values.drain(..n);
+    }
+
+    /// Grand mean over retained observations.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// `(mean, ci95_half_width)` via batch means. Observations that don't
+    /// fill an integral number of batches are truncated from the front.
+    pub fn mean_ci(&self) -> (f64, f64) {
+        let n = self.values.len();
+        if n < self.num_batches * 2 {
+            // Too little data for batching; fall back to IID Welford.
+            let mut w = Welford::new();
+            for &v in &self.values {
+                w.push(v);
+            }
+            return (w.mean(), w.ci95_half_width());
+        }
+        let batch_size = n / self.num_batches;
+        let start = n - batch_size * self.num_batches;
+        let mut w = Welford::new();
+        for b in 0..self.num_batches {
+            let lo = start + b * batch_size;
+            let hi = lo + batch_size;
+            let m = self.values[lo..hi].iter().sum::<f64>() / batch_size as f64;
+            w.push(m);
+        }
+        (w.mean(), w.ci95_half_width())
+    }
+}
+
+/// MSER-5 warm-up truncation (White, 1997).
+///
+/// Batches the series into groups of 5, then picks the truncation point
+/// `d*` minimising the standard error of the mean computed over the
+/// retained batches. Output analysis folklore: deleting the transient this
+/// way beats fixed-fraction rules when the warm-up length is unknown.
+///
+/// Returns `(raw_observations_to_discard, mean_over_retained)`. The search
+/// is restricted to the first half of the series (truncating more than
+/// half signals the run is too short to analyse — callers should extend
+/// it rather than trust the estimate).
+pub fn mser5_truncation(series: &[f64]) -> (usize, f64) {
+    const B: usize = 5;
+    let n_batches = series.len() / B;
+    if n_batches < 4 {
+        // Too short to batch meaningfully: keep everything.
+        let mean = if series.is_empty() {
+            0.0
+        } else {
+            series.iter().sum::<f64>() / series.len() as f64
+        };
+        return (0, mean);
+    }
+    let batch_means: Vec<f64> = (0..n_batches)
+        .map(|b| series[b * B..(b + 1) * B].iter().sum::<f64>() / B as f64)
+        .collect();
+    // Suffix sums for O(1) mean/variance of each truncation candidate.
+    let mut best_d = 0;
+    let mut best_se = f64::INFINITY;
+    let mut best_mean = 0.0;
+    for d in 0..n_batches / 2 {
+        let tail = &batch_means[d..];
+        let m = tail.len() as f64;
+        let mean = tail.iter().sum::<f64>() / m;
+        let var = tail.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / m;
+        let se = (var / m).sqrt();
+        if se < best_se {
+            best_se = se;
+            best_d = d;
+            best_mean = mean;
+        }
+    }
+    (best_d * B, best_mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let mut rng = Rng::new(1);
+        let xs: Vec<f64> = (0..1000).map(|_| rng.f64() * 10.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..337] {
+            a.push(x);
+        }
+        for &x in &xs[337..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        b.push(3.0);
+        b.push(5.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 4.0).abs() < 1e-12);
+        let empty = Welford::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new();
+        tw.set(0.0, 1.0); // value 1 on [0, 2)
+        tw.set(2.0, 3.0); // value 3 on [2, 4)
+        tw.set(4.0, 0.0); // value 0 on [4, 8)
+        // integral = 1*2 + 3*2 + 0*4 = 8 over 8 seconds
+        assert!((tw.time_average(8.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_add() {
+        let mut tw = TimeWeighted::new();
+        tw.set(0.0, 0.0);
+        tw.add(1.0, 2.0); // 0 on [0,1), 2 on [1,3)
+        tw.add(3.0, -2.0); // 0 afterwards
+        assert!((tw.time_average(4.0) - 1.0).abs() < 1e-12);
+        assert_eq!(tw.current(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantile() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.push(i as f64 / 10.0); // 0.0 .. 9.9, 10 per bucket
+        }
+        assert_eq!(h.total(), 100);
+        for i in 0..10 {
+            assert_eq!(h.count(i), 10, "bucket {i}");
+        }
+        let med = h.quantile(0.5);
+        assert!((med - 4.5).abs() <= 1.0, "median {med}");
+        h.push(-1.0);
+        h.push(11.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn p2_estimates_median_of_uniform() {
+        let mut est = P2Quantile::new(0.5);
+        let mut rng = Rng::new(2);
+        for _ in 0..100_000 {
+            est.push(rng.f64());
+        }
+        assert!((est.value() - 0.5).abs() < 0.01, "median {}", est.value());
+    }
+
+    #[test]
+    fn p2_estimates_p99_of_exponential() {
+        let mut est = P2Quantile::new(0.99);
+        let mut rng = Rng::new(3);
+        for _ in 0..200_000 {
+            est.push(rng.exp(1.0));
+        }
+        let true_p99 = -(0.01f64).ln(); // ≈ 4.605
+        assert!((est.value() - true_p99).abs() / true_p99 < 0.05, "p99 {}", est.value());
+    }
+
+    #[test]
+    fn p2_small_sample_exact() {
+        let mut est = P2Quantile::new(0.5);
+        est.push(3.0);
+        est.push(1.0);
+        est.push(2.0);
+        assert_eq!(est.value(), 2.0);
+    }
+
+    #[test]
+    fn batch_means_covers_true_mean() {
+        // AR(1)-ish correlated series with mean 10.
+        let mut rng = Rng::new(4);
+        let mut bm = BatchMeans::new(20);
+        let mut x = 10.0;
+        for _ in 0..50_000 {
+            x = 10.0 + 0.9 * (x - 10.0) + rng.normal();
+            bm.push(x);
+        }
+        bm.discard_warmup(1000);
+        let (mean, hw) = bm.mean_ci();
+        assert!((mean - 10.0).abs() < 3.0 * hw.max(0.05), "mean {mean} ± {hw}");
+        assert!(hw > 0.0);
+    }
+
+    #[test]
+    fn batch_means_fallback_small_n() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..5 {
+            bm.push(i as f64);
+        }
+        let (mean, _) = bm.mean_ci();
+        assert!((mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mser5_finds_transient() {
+        // Series with an obvious warm-up ramp followed by stationarity.
+        let mut rng = Rng::new(21);
+        let mut series = Vec::new();
+        for i in 0..200 {
+            // Transient: decays from 50 toward 10 over ~100 observations.
+            series.push(10.0 + 40.0 * (-(i as f64) / 30.0).exp() + rng.normal());
+        }
+        for _ in 0..2000 {
+            series.push(10.0 + rng.normal());
+        }
+        let (cut, mean) = mser5_truncation(&series);
+        assert!(cut >= 30, "should cut into the transient: {cut}");
+        assert!(cut <= 400, "should not over-truncate: {cut}");
+        assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn mser5_stationary_series_keeps_everything_early() {
+        let mut rng = Rng::new(22);
+        let series: Vec<f64> = (0..3000).map(|_| 5.0 + rng.normal()).collect();
+        let (cut, mean) = mser5_truncation(&series);
+        // No transient: the cut should be small (noise-level).
+        assert!(cut < series.len() / 4, "cut {cut}");
+        assert!((mean - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn mser5_short_series_degenerates_gracefully() {
+        let (cut, mean) = mser5_truncation(&[1.0, 2.0, 3.0]);
+        assert_eq!(cut, 0);
+        assert!((mean - 2.0).abs() < 1e-12);
+        let (cut, mean) = mser5_truncation(&[]);
+        assert_eq!(cut, 0);
+        assert_eq!(mean, 0.0);
+    }
+
+    #[test]
+    fn t_table_sane() {
+        assert!(t_critical_95(0).is_infinite());
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(1000) - 1.96).abs() < 1e-9);
+        // Monotone decreasing.
+        assert!(t_critical_95(5) > t_critical_95(10));
+        assert!(t_critical_95(10) > t_critical_95(1000));
+    }
+}

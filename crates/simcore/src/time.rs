@@ -1,0 +1,164 @@
+//! Virtual time.
+//!
+//! Simulation time is a non-negative, finite `f64` measured in seconds.
+//! [`SimTime`] wraps the raw float to give it a *total* order (so it can key
+//! the event calendar) and to catch NaN/negative times at construction in
+//! debug builds.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in seconds since simulation start.
+///
+/// `SimTime` is `Copy`, totally ordered, and supports arithmetic with plain
+/// `f64` durations (seconds). Construction from a NaN panics.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero — the start of the simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// The largest representable time; used as an "infinite horizon".
+    pub const MAX: SimTime = SimTime(f64::MAX);
+
+    /// Creates a `SimTime` from seconds. Panics on NaN.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(!secs.is_nan(), "SimTime cannot be NaN");
+        SimTime(secs)
+    }
+
+    /// Returns the time as raw seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `self + dt` seconds.
+    #[inline]
+    pub fn after(self, dt: f64) -> Self {
+        SimTime::from_secs(self.0 + dt)
+    }
+
+    /// The elapsed seconds from `earlier` to `self` (may be negative if the
+    /// arguments are swapped).
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> f64 {
+        self.0 - earlier.0
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: f64) -> SimTime {
+        self.after(rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: f64) {
+        *self = self.after(rhs);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(1.5);
+        assert_eq!((t + 0.5).as_secs(), 2.0);
+        assert!((t.after(1.0) - t - 1.0).abs() < 1e-12);
+        let mut u = t;
+        u += 2.5;
+        assert_eq!(u.as_secs(), 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_panics() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn zero_and_max() {
+        assert!(SimTime::ZERO < SimTime::MAX);
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime::from_secs(0.25)), "0.250000");
+        assert_eq!(format!("{:?}", SimTime::from_secs(0.25)), "0.25s");
+    }
+}

@@ -1,0 +1,71 @@
+//! # workload — request streams for the prefetching simulators
+//!
+//! The paper's analysis is parametric: it only sees `(λ, s̄, h′, p, n̄(F))`.
+//! To *validate* it against a running system we need request streams whose
+//! parameters we control and whose structure predictors can learn:
+//!
+//! * [`catalog`] — item catalogs: identities, sizes, Zipf/uniform popularity.
+//! * [`arrivals`] — arrival processes: Poisson, deterministic, MMPP
+//!   (bursty), for the `λ` axis.
+//! * [`markov`] — Markov-chain reference streams: the classic model under
+//!   which speculative prediction is well-posed (Vitter & Krishnan's
+//!   setting); also the ground truth against which predictors are scored.
+//! * [`lru_stack`] — stack-distance streams with a *controllable* LRU hit
+//!   ratio, giving direct command of the paper's `h′` knob.
+//! * [`trace`] — serialisable trace records (JSON-lines and a compact
+//!   binary format) so experiments can be replayed.
+//! * [`synth_web`] — a synthetic web-proxy workload combining all of the
+//!   above (the substitution for the proprietary proxy logs of the era;
+//!   see DESIGN.md §7).
+
+pub mod arrivals;
+pub mod catalog;
+pub mod lru_stack;
+pub mod markov;
+pub mod sessions;
+pub mod synth_web;
+pub mod trace;
+
+pub use arrivals::{ArrivalProcess, Mmpp2, PoissonArrivals};
+pub use sessions::{SessionArrivals, SessionProfile};
+pub use catalog::{Catalog, ItemId};
+pub use lru_stack::LruStackStream;
+pub use markov::MarkovChain;
+pub use trace::{TraceReader, TraceRecord, TraceWriter};
+
+use simcore::rng::Rng;
+
+/// A source of item references (one per user request).
+pub trait RequestStream {
+    /// The next referenced item.
+    fn next_item(&mut self, rng: &mut Rng) -> ItemId;
+}
+
+/// Independent reference model (IRM): IID draws from the catalog's
+/// popularity distribution. The simplest stream under which hit ratios are
+/// analytically predictable.
+pub struct IrmStream<'a> {
+    pub catalog: &'a Catalog,
+}
+
+impl RequestStream for IrmStream<'_> {
+    fn next_item(&mut self, rng: &mut Rng) -> ItemId {
+        self.catalog.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn irm_stream_draws_from_catalog() {
+        let mut rng = Rng::new(1);
+        let catalog = Catalog::zipf(100, 0.8, 1.0, &mut rng);
+        let mut stream = IrmStream { catalog: &catalog };
+        for _ in 0..1000 {
+            let id = stream.next_item(&mut rng);
+            assert!(id.0 < 100);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! First-order Markov reference streams.
+//!
+//! A Markov chain over items is the canonical workload under which
+//! speculative prefetching is analysable: after observing a request for item
+//! `i`, the *true* probability that the next request is `j` is `P[i][j]` —
+//! exactly the `p` in the paper's model. The chain doubles as ground truth
+//! for scoring the `predictor` crate.
+
+use crate::catalog::ItemId;
+use crate::RequestStream;
+use simcore::dist::Discrete;
+use simcore::rng::Rng;
+
+/// A first-order Markov chain over `n` items.
+///
+/// ```
+/// use simcore::rng::Rng;
+/// use workload::{ItemId, MarkovChain, RequestStream};
+///
+/// let mut rng = Rng::new(7);
+/// let mut chain = MarkovChain::noisy_cycle(5, 0.1, &mut rng);
+/// // The top successor of state 0 is state 1, with probability 0.9 + 0.02.
+/// let succ = chain.successors(ItemId(0));
+/// assert_eq!(succ[0].0, ItemId(1));
+/// assert!((succ[0].1 - 0.92).abs() < 1e-12);
+/// // Streaming requests walk the chain.
+/// let next = chain.next_item(&mut rng);
+/// assert!(next.0 < 5);
+/// ```
+pub struct MarkovChain {
+    /// Row-stochastic transition matrix, dense.
+    rows: Vec<Vec<f64>>,
+    /// Alias samplers per row.
+    samplers: Vec<Discrete>,
+    state: usize,
+}
+
+impl MarkovChain {
+    /// Builds a chain from a dense transition matrix (each row must be a
+    /// probability vector).
+    pub fn new(rows: Vec<Vec<f64>>) -> Self {
+        let n = rows.len();
+        assert!(n > 0, "empty chain");
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n, "row {i} has wrong length");
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
+            assert!(row.iter().all(|&p| p >= 0.0), "row {i} has negative entries");
+        }
+        let samplers = rows.iter().map(|r| Discrete::new(r)).collect();
+        MarkovChain { rows, samplers, state: 0 }
+    }
+
+    /// A random sparse chain: from each state, `branching` successors with
+    /// geometrically decaying probabilities (decay factor `skew` in (0,1];
+    /// `skew = 1` gives equal successors). Successors are chosen uniformly
+    /// at random. Higher `skew` → more deterministic → more predictable.
+    pub fn random(n: usize, branching: usize, skew: f64, rng: &mut Rng) -> Self {
+        assert!(n >= 2 && branching >= 1 && branching <= n);
+        assert!(skew > 0.0 && skew <= 1.0);
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = vec![0.0; n];
+            // Pick `branching` distinct successors.
+            let mut successors = Vec::with_capacity(branching);
+            while successors.len() < branching {
+                let s = rng.index(n);
+                if !successors.contains(&s) {
+                    successors.push(s);
+                }
+            }
+            // Geometric weights: skew^0, skew^1, ... normalised.
+            let mut w = 1.0;
+            let mut total = 0.0;
+            let mut weights = Vec::with_capacity(branching);
+            for _ in 0..branching {
+                weights.push(w);
+                total += w;
+                w *= skew;
+            }
+            for (s, wt) in successors.iter().zip(&weights) {
+                row[*s] = wt / total;
+            }
+            rows.push(row);
+        }
+        MarkovChain::new(rows)
+    }
+
+    /// A noisy cycle: state `i` goes to `i+1 (mod n)` with probability
+    /// `1 − noise`, else to a uniformly random state. `noise = 0` is fully
+    /// deterministic (every access perfectly predictable).
+    pub fn noisy_cycle(n: usize, noise: f64, _rng: &mut Rng) -> Self {
+        assert!(n >= 2 && (0.0..=1.0).contains(&noise));
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut row = vec![noise / n as f64; n];
+            row[(i + 1) % n] += 1.0 - noise;
+            rows.push(row);
+        }
+        MarkovChain::new(rows)
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// True transition probability `P[from][to]`.
+    pub fn prob(&self, from: ItemId, to: ItemId) -> f64 {
+        self.rows[from.0 as usize][to.0 as usize]
+    }
+
+    /// The successors of `from` with non-zero probability, sorted by
+    /// descending probability — the oracle candidate list.
+    pub fn successors(&self, from: ItemId) -> Vec<(ItemId, f64)> {
+        let mut out: Vec<(ItemId, f64)> = self.rows[from.0 as usize]
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 0.0)
+            .map(|(j, &p)| (ItemId(j as u64), p))
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
+        out
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ItemId {
+        ItemId(self.state as u64)
+    }
+
+    /// Jumps to a specific state.
+    pub fn set_state(&mut self, s: ItemId) {
+        assert!((s.0 as usize) < self.rows.len());
+        self.state = s.0 as usize;
+    }
+
+    /// Stationary distribution by power iteration (for tests/analysis).
+    pub fn stationary(&self, iterations: usize) -> Vec<f64> {
+        let n = self.rows.len();
+        let mut pi = vec![1.0 / n as f64; n];
+        let mut next = vec![0.0; n];
+        for _ in 0..iterations {
+            next.iter_mut().for_each(|x| *x = 0.0);
+            for i in 0..n {
+                let pi_i = pi[i];
+                if pi_i == 0.0 {
+                    continue;
+                }
+                for (j, &p) in self.rows[i].iter().enumerate() {
+                    if p > 0.0 {
+                        next[j] += pi_i * p;
+                    }
+                }
+            }
+            core::mem::swap(&mut pi, &mut next);
+        }
+        pi
+    }
+
+    /// Entropy rate (bits/request) under the stationary distribution —
+    /// the information-theoretic predictability of the stream.
+    pub fn entropy_rate(&self, iterations: usize) -> f64 {
+        let pi = self.stationary(iterations);
+        let mut h = 0.0;
+        for (i, row) in self.rows.iter().enumerate() {
+            let mut hi = 0.0;
+            for &p in row {
+                if p > 0.0 {
+                    hi -= p * p.log2();
+                }
+            }
+            h += pi[i] * hi;
+        }
+        h
+    }
+}
+
+impl RequestStream for MarkovChain {
+    fn next_item(&mut self, rng: &mut Rng) -> ItemId {
+        self.state = self.samplers[self.state].sample_index(rng);
+        ItemId(self.state as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transition_frequencies_match_matrix() {
+        let mut rng = Rng::new(1);
+        let mut chain = MarkovChain::new(vec![
+            vec![0.1, 0.9, 0.0],
+            vec![0.0, 0.2, 0.8],
+            vec![0.5, 0.0, 0.5],
+        ]);
+        let mut counts = [[0usize; 3]; 3];
+        let mut prev = chain.state().0 as usize;
+        let n = 300_000;
+        for _ in 0..n {
+            let next = chain.next_item(&mut rng).0 as usize;
+            counts[prev][next] += 1;
+            prev = next;
+        }
+        for i in 0..3 {
+            let row_total: usize = counts[i].iter().sum();
+            for j in 0..3 {
+                let emp = counts[i][j] as f64 / row_total as f64;
+                let truth = chain.prob(ItemId(i as u64), ItemId(j as u64));
+                assert!((emp - truth).abs() < 0.01, "P[{i}][{j}] emp {emp} vs {truth}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_stochastic_rows() {
+        let _ = MarkovChain::new(vec![vec![0.5, 0.6], vec![0.5, 0.5]]);
+    }
+
+    #[test]
+    fn random_chain_rows_are_stochastic() {
+        let mut rng = Rng::new(2);
+        let chain = MarkovChain::random(50, 4, 0.5, &mut rng);
+        for i in 0..50 {
+            let succ = chain.successors(ItemId(i));
+            assert_eq!(succ.len(), 4);
+            let total: f64 = succ.iter().map(|(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            // Geometric decay with ratio 0.5: top successor has p = 8/15.
+            assert!((succ[0].1 - 8.0 / 15.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn noisy_cycle_probabilities() {
+        let mut rng = Rng::new(3);
+        let chain = MarkovChain::noisy_cycle(10, 0.2, &mut rng);
+        let succ = chain.successors(ItemId(0));
+        // Successor 1 has 0.8 + 0.02; all others 0.02.
+        assert_eq!(succ[0].0, ItemId(1));
+        assert!((succ[0].1 - 0.82).abs() < 1e-12);
+        assert_eq!(succ.len(), 10);
+    }
+
+    #[test]
+    fn deterministic_cycle_entropy_zero() {
+        let mut rng = Rng::new(4);
+        let chain = MarkovChain::noisy_cycle(8, 0.0, &mut rng);
+        assert!(chain.entropy_rate(200) < 1e-9);
+        // And noise raises entropy.
+        let noisy = MarkovChain::noisy_cycle(8, 0.5, &mut rng);
+        assert!(noisy.entropy_rate(200) > 1.0);
+    }
+
+    #[test]
+    fn stationary_distribution_of_doubly_stochastic_is_uniform() {
+        let mut rng = Rng::new(5);
+        // noisy_cycle rows are doubly stochastic (column sums = 1 too).
+        let chain = MarkovChain::noisy_cycle(6, 0.3, &mut rng);
+        let pi = chain.stationary(500);
+        for &p in &pi {
+            assert!((p - 1.0 / 6.0).abs() < 1e-9, "pi {pi:?}");
+        }
+    }
+
+    #[test]
+    fn stationary_matches_empirical_visits() {
+        let mut rng = Rng::new(6);
+        let mut chain = MarkovChain::random(20, 3, 0.4, &mut rng);
+        let pi = chain.stationary(1000);
+        let mut counts = vec![0usize; 20];
+        let n = 400_000;
+        for _ in 0..n {
+            counts[chain.next_item(&mut rng).0 as usize] += 1;
+        }
+        for i in 0..20 {
+            let emp = counts[i] as f64 / n as f64;
+            assert!((emp - pi[i]).abs() < 0.01, "state {i}: {emp} vs {}", pi[i]);
+        }
+    }
+
+    #[test]
+    fn successors_sorted_descending() {
+        let mut rng = Rng::new(7);
+        let chain = MarkovChain::random(30, 5, 0.6, &mut rng);
+        for i in 0..30 {
+            let s = chain.successors(ItemId(i));
+            for w in s.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+    }
+}

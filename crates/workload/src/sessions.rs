@@ -1,0 +1,234 @@
+//! User-session arrival structure (ON/OFF sources).
+//!
+//! The paper's `λ` is an aggregate: really it is many users alternating
+//! between *active* browsing (requests separated by think times) and *idle*
+//! gaps. The session model generates exactly that — N independent ON/OFF
+//! sources — and converges to the Poisson aggregate the analysis assumes
+//! when N is large (a property the tests check, justifying the M in the
+//! paper's M/G/1).
+
+use crate::arrivals::ArrivalProcess;
+use simcore::rng::Rng;
+
+/// Parameters of one ON/OFF user.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionProfile {
+    /// Mean think time between requests within a session (seconds).
+    pub think_mean: f64,
+    /// Mean number of requests per session (geometric).
+    pub session_len_mean: f64,
+    /// Mean idle gap between sessions (seconds).
+    pub idle_mean: f64,
+}
+
+impl SessionProfile {
+    pub fn new(think_mean: f64, session_len_mean: f64, idle_mean: f64) -> Self {
+        assert!(think_mean > 0.0 && session_len_mean >= 1.0 && idle_mean >= 0.0);
+        SessionProfile { think_mean, session_len_mean, idle_mean }
+    }
+
+    /// Long-run request rate of one user with this profile: a session of
+    /// `L` requests spans `L−1` think gaps plus one idle gap, so
+    /// rate = L / ((L−1)·think + idle).
+    pub fn rate_per_user(&self) -> f64 {
+        let l = self.session_len_mean;
+        l / ((l - 1.0) * self.think_mean + self.idle_mean)
+    }
+}
+
+/// One ON/OFF user generating request instants.
+struct UserSource {
+    profile: SessionProfile,
+    /// Requests remaining in the current session (0 = in idle gap).
+    remaining: u64,
+    next_time: f64,
+}
+
+impl UserSource {
+    fn new(profile: SessionProfile, start: f64, rng: &mut Rng) -> Self {
+        let mut s = UserSource { profile, remaining: 0, next_time: start };
+        s.schedule_next(rng);
+        s
+    }
+
+    fn draw_session_len(&self, rng: &mut Rng) -> u64 {
+        // Geometric with the requested mean (≥ 1).
+        let p = 1.0 / self.profile.session_len_mean;
+        let mut n = 1;
+        while !rng.chance(p) && n < 10_000 {
+            n += 1;
+        }
+        n
+    }
+
+    fn schedule_next(&mut self, rng: &mut Rng) {
+        if self.remaining == 0 {
+            // Idle gap, then a new session.
+            self.next_time += rng.exp(1.0 / self.profile.idle_mean.max(1e-9));
+            self.remaining = self.draw_session_len(rng);
+        } else {
+            self.next_time += rng.exp(1.0 / self.profile.think_mean);
+        }
+    }
+
+    /// Emits this user's next request instant.
+    fn pop(&mut self, rng: &mut Rng) -> f64 {
+        let t = self.next_time;
+        self.remaining -= 1;
+        self.schedule_next(rng);
+        t
+    }
+}
+
+/// Superposition of `n_users` ON/OFF sources, exposed as an
+/// [`ArrivalProcess`] (merged in time order).
+pub struct SessionArrivals {
+    users: Vec<UserSource>,
+    last_emit: f64,
+    profile: SessionProfile,
+}
+
+impl SessionArrivals {
+    pub fn new(n_users: usize, profile: SessionProfile, rng: &mut Rng) -> Self {
+        assert!(n_users > 0);
+        let users = (0..n_users)
+            .map(|_| {
+                // Random phase so sessions do not start in lockstep.
+                let phase = rng.f64() * (profile.idle_mean + profile.think_mean);
+                UserSource::new(profile, phase, rng)
+            })
+            .collect();
+        SessionArrivals { users, last_emit: 0.0, profile }
+    }
+
+    pub fn n_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Which user produces the next request (index of min next_time).
+    fn next_user(&self) -> usize {
+        self.users
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.next_time.total_cmp(&b.1.next_time))
+            .expect("at least one user")
+            .0
+    }
+
+    /// Next request as `(gap_from_previous, user)`.
+    pub fn next_request(&mut self, rng: &mut Rng) -> (f64, usize) {
+        let u = self.next_user();
+        let t = self.users[u].pop(rng);
+        let gap = (t - self.last_emit).max(0.0);
+        self.last_emit = t;
+        (gap, u)
+    }
+}
+
+impl ArrivalProcess for SessionArrivals {
+    fn next_gap(&mut self, rng: &mut Rng) -> f64 {
+        // ArrivalProcess requires strictly positive gaps; merging can give
+        // zero when two users collide, so floor at a nanosecond.
+        self.next_request(rng).0.max(1e-9)
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.users.len() as f64 * self.profile.rate_per_user()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::arrival_times;
+
+    fn profile() -> SessionProfile {
+        SessionProfile::new(0.5, 10.0, 5.0)
+    }
+
+    #[test]
+    fn per_user_rate_formula() {
+        let p = profile();
+        // 10 requests per 9·0.5 + 5 = 9.5 seconds → 10/9.5 req/s.
+        assert!((p.rate_per_user() - 10.0 / 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_rate_matches() {
+        let mut rng = Rng::new(1);
+        let mut s = SessionArrivals::new(20, profile(), &mut rng);
+        let times = arrival_times(&mut s, 100_000, &mut rng);
+        let span = times.last().unwrap() - times[0];
+        let rate = (times.len() - 1) as f64 / span;
+        let expected = s.mean_rate();
+        assert!(
+            (rate - expected).abs() / expected < 0.05,
+            "rate {rate} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_time_ordered() {
+        let mut rng = Rng::new(2);
+        let mut s = SessionArrivals::new(5, profile(), &mut rng);
+        let times = arrival_times(&mut s, 10_000, &mut rng);
+        for w in times.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn every_user_contributes() {
+        let mut rng = Rng::new(3);
+        let mut s = SessionArrivals::new(8, profile(), &mut rng);
+        let mut seen = vec![false; 8];
+        for _ in 0..5_000 {
+            let (_, u) = s.next_request(&mut rng);
+            seen[u] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn superposition_approaches_poisson() {
+        // With many users, the aggregate gap CV² approaches 1 (Palm's
+        // theorem) — justifying the paper's Poisson assumption.
+        let cv2_of = |n_users: usize, seed: u64| {
+            let mut rng = Rng::new(seed);
+            let mut s = SessionArrivals::new(n_users, profile(), &mut rng);
+            let mut gaps = Vec::with_capacity(60_000);
+            // Skip warm-up phase alignment.
+            for _ in 0..1_000 {
+                s.next_gap(&mut rng);
+            }
+            for _ in 0..60_000 {
+                gaps.push(s.next_gap(&mut rng));
+            }
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>()
+                / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let cv2_many = cv2_of(50, 5);
+        assert!(
+            (cv2_many - 1.0).abs() < 0.15,
+            "50-user aggregate should look Poisson: CV² {cv2_many}"
+        );
+    }
+
+    #[test]
+    fn bursty_single_user() {
+        // One user alone is bursty: within-session gaps (mean 0.5) vs idle
+        // gaps (mean 5) → gap CV² well above 1.
+        let mut rng = Rng::new(6);
+        let mut s = SessionArrivals::new(1, profile(), &mut rng);
+        let mut gaps = Vec::new();
+        for _ in 0..40_000 {
+            gaps.push(s.next_gap(&mut rng));
+        }
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv2 = var / (mean * mean);
+        assert!(cv2 > 1.5, "single user CV² {cv2}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Trace records and serialisation.
+//!
+//! Experiments can persist their request streams and replay them, so
+//! analytic and simulated runs see byte-identical workloads. Two formats:
+//!
+//! * **JSON lines** (via `serde_json`) — greppable, diffable, slow;
+//! * **binary** (via `bytes`) — 28 bytes/record, for long traces.
+
+use crate::catalog::ItemId;
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, Write};
+
+/// One request in a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Request time (seconds).
+    pub time: f64,
+    /// Issuing client.
+    pub client: u32,
+    /// Referenced item.
+    pub item: ItemId,
+    /// Item size (size-units).
+    pub size: f64,
+}
+
+impl TraceRecord {
+    pub fn new(time: f64, client: u32, item: ItemId, size: f64) -> Self {
+        TraceRecord { time, client, item, size }
+    }
+}
+
+/// Streams records as JSON lines.
+pub struct TraceWriter<W: Write> {
+    out: W,
+    written: usize,
+}
+
+impl<W: Write> TraceWriter<W> {
+    pub fn new(out: W) -> Self {
+        TraceWriter { out, written: 0 }
+    }
+
+    pub fn write(&mut self, rec: &TraceRecord) -> io::Result<()> {
+        let line = serde_json::to_string(rec).map_err(io::Error::other)?;
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.written += 1;
+        Ok(())
+    }
+
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+/// Reads JSON-lines records.
+pub struct TraceReader<R: BufRead> {
+    input: R,
+    line: String,
+}
+
+impl<R: BufRead> TraceReader<R> {
+    pub fn new(input: R) -> Self {
+        TraceReader { input, line: String::new() }
+    }
+
+    /// Next record; `Ok(None)` at end of input.
+    pub fn read(&mut self) -> io::Result<Option<TraceRecord>> {
+        loop {
+            self.line.clear();
+            if self.input.read_line(&mut self.line)? == 0 {
+                return Ok(None);
+            }
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            return serde_json::from_str(trimmed)
+                .map(Some)
+                .map_err(io::Error::other);
+        }
+    }
+
+    /// Reads all remaining records.
+    pub fn read_all(&mut self) -> io::Result<Vec<TraceRecord>> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.read()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+}
+
+/// Encodes records into the compact binary format:
+/// `time:f64 | client:u32 | item:u64 | size:f64`, little-endian.
+pub fn encode_binary(records: &[TraceRecord]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(records.len() * 28);
+    for r in records {
+        buf.put_f64_le(r.time);
+        buf.put_u32_le(r.client);
+        buf.put_u64_le(r.item.0);
+        buf.put_f64_le(r.size);
+    }
+    buf
+}
+
+/// Decodes the binary format. Errors on trailing garbage.
+pub fn decode_binary(mut buf: &[u8]) -> Result<Vec<TraceRecord>, String> {
+    const REC: usize = 8 + 4 + 8 + 8;
+    if buf.len() % REC != 0 {
+        return Err(format!("trace length {} is not a multiple of {REC}", buf.len()));
+    }
+    let mut out = Vec::with_capacity(buf.len() / REC);
+    while buf.has_remaining() {
+        let time = buf.get_f64_le();
+        let client = buf.get_u32_le();
+        let item = ItemId(buf.get_u64_le());
+        let size = buf.get_f64_le();
+        out.push(TraceRecord { time, client, item, size });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::new(0.5, 0, ItemId(10), 1.5),
+            TraceRecord::new(1.25, 3, ItemId(7), 0.25),
+            TraceRecord::new(2.0, 1, ItemId(u64::MAX), 100.0),
+        ]
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let records = sample_records();
+        let mut writer = TraceWriter::new(Vec::new());
+        for r in &records {
+            writer.write(r).unwrap();
+        }
+        assert_eq!(writer.written(), 3);
+        let bytes = writer.into_inner();
+        let mut reader = TraceReader::new(&bytes[..]);
+        let back = reader.read_all().unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn json_skips_blank_lines() {
+        let text = "\n{\"time\":1.0,\"client\":2,\"item\":3,\"size\":4.0}\n\n";
+        let mut reader = TraceReader::new(text.as_bytes());
+        let recs = reader.read_all().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].item, ItemId(3));
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        let mut reader = TraceReader::new("not json\n".as_bytes());
+        assert!(reader.read().is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let records = sample_records();
+        let buf = encode_binary(&records);
+        assert_eq!(buf.len(), 3 * 28);
+        let back = decode_binary(&buf).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn binary_rejects_truncated() {
+        let buf = encode_binary(&sample_records());
+        assert!(decode_binary(&buf[..buf.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn binary_empty_is_ok() {
+        assert_eq!(decode_binary(&[]).unwrap(), Vec::new());
+    }
+}

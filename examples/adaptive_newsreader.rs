@@ -1,0 +1,81 @@
+//! An ETEL-style electronic newspaper with an adaptive prefetch controller.
+//!
+//! ```text
+//! cargo run --release --example adaptive_newsreader
+//! ```
+//!
+//! The paper cites the ETEL newspaper project as a prefetching client. We
+//! model a reader session as a Markov chain over articles, drive the
+//! paper's *adaptive* controller (which estimates λ, s̄ and the
+//! counterfactual h′ online — §4), and watch its threshold converge to the
+//! analytic ρ′. Then the load doubles mid-session and the controller
+//! re-converges — the behaviour a fixed-threshold heuristic cannot give.
+
+use speculative_prefetch::core::controller::{AdaptiveController, ControllerConfig};
+use speculative_prefetch::core::estimator::EntryStatus;
+use speculative_prefetch::prelude::*;
+
+fn main() {
+    let bandwidth = 50.0;
+    let mut rng = Rng::new(42);
+
+    // Reader navigation: 150 articles, 3 links each, skewed follow-ups.
+    let mut chain = MarkovChain::random(150, 3, 0.4, &mut rng);
+    let mut cache: TaggedCache<ItemId, LruCache<ItemId>> = TaggedCache::new(LruCache::new(24));
+    let mut controller = AdaptiveController::new(ControllerConfig::model_a(bandwidth));
+
+    let mut t = 0.0;
+    let mut printed = Vec::new();
+    let phases = [(30.0, 30_000u32), (60.0, 30_000u32)]; // λ doubles halfway
+    let mut step = 0u32;
+
+    for (phase, &(lambda, steps)) in phases.iter().enumerate() {
+        let f_prime_target = |h: f64| (1.0 - h) * lambda * 1.0 / bandwidth;
+        for _ in 0..steps {
+            step += 1;
+            t += rng.exp(lambda);
+            let article = chain.next_item(&mut rng);
+            // Cache and controller bookkeeping (sizes are 1.0 here).
+            match cache.probe(article) {
+                cachesim::AccessKind::HitTagged => {
+                    controller.on_cache_hit(t, EntryStatus::Tagged, 1.0);
+                }
+                cachesim::AccessKind::HitUntagged => {
+                    controller.on_cache_hit(t, EntryStatus::Untagged, 1.0);
+                }
+                cachesim::AccessKind::Miss => {
+                    controller.on_miss(t, 1.0);
+                    cache.admit_after_fetch(article);
+                }
+            }
+            // Prefetch the successors the controller's threshold admits.
+            let policy = controller.policy();
+            for (next, p) in chain.successors(article) {
+                if policy.should_prefetch(p) && !cache.inner().contains(&next) {
+                    cache.prefetch_insert(next);
+                    controller.on_prefetch_insert();
+                }
+            }
+            if step % 10_000 == 0 {
+                let th = controller.threshold_estimate().unwrap_or(f64::NAN);
+                let h_est = controller.h_prime_estimate().unwrap_or(f64::NAN);
+                let target = f_prime_target(h_est);
+                printed.push((step, phase, lambda, th, h_est, target));
+            }
+        }
+    }
+
+    println!("adaptive controller on the newspaper session (b = {bandwidth}):\n");
+    println!(
+        "{:>8}  {:>6}  {:>9}  {:>9}  {:>12}",
+        "request", "λ", "ĥ′", "p̂_th", "analytic ρ̂′"
+    );
+    for (step, _phase, lambda, th, h_est, target) in printed {
+        println!("{step:>8}  {lambda:>6.0}  {h_est:>9.3}  {th:>9.3}  {target:>12.3}");
+    }
+    println!();
+    println!("The estimated threshold tracks ρ′ = f′λs̄/b in both phases: when the");
+    println!("request rate doubles, the controller raises the bar for prefetching —");
+    println!("under load, only the surest predictions are worth the bandwidth (§5's");
+    println!("load impedance in action).");
+}

@@ -1,0 +1,63 @@
+//! Capacity planning with the threshold formula.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+//!
+//! Figure 1 turned into an operator's tool: given a workload `(λ, s̄, h′)`
+//! and a candidate quality `p`, how much bandwidth do you need before
+//! speculative prefetching starts paying? And how much before the prefetch
+//! load itself would destabilise the link?
+
+use speculative_prefetch::core::sensitivity::{
+    min_bandwidth_for_profit, saturation_bandwidth, size_where_threshold_saturates,
+    threshold_vs_size,
+};
+use speculative_prefetch::prelude::*;
+
+fn main() {
+    let lambda = 30.0;
+    let h_prime = 0.3;
+    let mean_size = 1.0;
+
+    println!("workload: λ = {lambda} req/s, s̄ = {mean_size}, h′ = {h_prime}\n");
+
+    // 1. The Figure-1 view: the profitability bar per bandwidth.
+    println!("threshold p_th = f′λs̄/b (eq 13) by provisioned bandwidth:");
+    println!("{:>6}  {:>8}  {}", "b", "p_th", "verdict for a p = 0.5 predictor");
+    for b in [30.0, 42.0, 50.0, 70.0, 100.0, 200.0] {
+        let pth = threshold_vs_size(lambda, b, h_prime, mean_size);
+        let verdict = if pth >= 1.0 {
+            "nothing is worth prefetching"
+        } else if 0.5 > pth {
+            "prefetching pays"
+        } else {
+            "prefetching hurts"
+        };
+        println!("{b:>6}  {pth:>8.3}  {verdict}");
+    }
+    println!();
+
+    // 2. Exact break-even bandwidth for several candidate qualities.
+    let params = SystemParams::new(lambda, 50.0, mean_size, h_prime).unwrap();
+    println!("minimum bandwidth for prefetching items of quality p to pay (cond. 1 of eq 12):");
+    for p in [0.9, 0.7, 0.5, 0.3] {
+        let b_min = min_bandwidth_for_profit(&params, p);
+        println!("  p = {p}: b > {b_min:.1}");
+    }
+    println!();
+
+    // 3. Stability margin: bandwidth below which the prefetch volume itself
+    //    saturates the server (condition 3 of eq 12).
+    println!("saturation bandwidth for n̄(F) = 1 prefetch/request:");
+    for p in [0.9, 0.5, 0.1] {
+        let b_star = saturation_bandwidth(&params, 1.0, p);
+        println!("  p = {p}: link saturates below b = {b_star:.1}");
+    }
+    println!();
+
+    // 4. Item-size cutoff: beyond s*, even a certain access isn't worth it.
+    let s_star = size_where_threshold_saturates(lambda, 50.0, h_prime).unwrap();
+    println!("at b = 50, items larger than s* = {s_star:.2} are never worth prefetching");
+    println!("(p_th(s) reaches 1 there — the Figure-1 curves hitting the ceiling).");
+}

@@ -1,0 +1,61 @@
+//! Quickstart: the paper's result in thirty lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Computes the no-prefetch baseline, the threshold `p_th = ρ′`, and the
+//! predicted effect of three prefetching configurations — then checks one
+//! of them against the discrete-event simulator.
+
+use speculative_prefetch::prelude::*;
+
+fn main() {
+    // A proxy serving λ = 30 req/s over a b = 50 link; mean item size 1;
+    // the clients' caches already absorb 30% of requests.
+    let params = SystemParams::new(30.0, 50.0, 1.0, 0.3).expect("valid parameters");
+
+    println!("baseline (no prefetch):");
+    println!("  utilisation  ρ′  = {:.3}", params.rho_prime());
+    println!("  retrieval    r̄′ = {:.4}s  (eq 4)", params.retrieval_time().unwrap());
+    println!("  access time  t̄′ = {:.4}s  (eq 5)", params.access_time().unwrap());
+    println!();
+
+    // The paper's headline: prefetch exactly the items with p > ρ′.
+    let policy = ThresholdPolicy::from_model_a(&params);
+    println!("threshold policy: prefetch iff p > p_th = {:.3}  (eq 13)", policy.threshold);
+    println!();
+
+    println!("what each configuration would do (Model A):");
+    for (label, n_f, p) in [
+        ("confident, light   (p=0.9, n̄F=0.5)", 0.5, 0.9),
+        ("borderline         (p=0.45, n̄F=0.5)", 0.5, 0.45),
+        ("speculative, heavy (p=0.2, n̄F=1.5)", 1.5, 0.2),
+    ] {
+        let m = ModelA::new(params, n_f, p);
+        let verdict = match m.improvement() {
+            Some(g) if g > 0.0 => format!("G = +{g:.5}s per request — prefetch"),
+            Some(g) => format!("G = {g:.5}s per request — DON'T"),
+            None => "destabilises the server (ρ ≥ 1) — DON'T".to_string(),
+        };
+        println!("  {label}: {verdict}");
+    }
+    println!();
+
+    // Trust but verify: run the confident configuration through the
+    // discrete-event simulator (same assumptions, real queueing).
+    let size = simcore::dist::Exponential::with_mean(1.0);
+    let config = ParametricConfig {
+        params,
+        n_f: 0.5,
+        p: 0.9,
+        size_dist: &size,
+        requests: 200_000,
+        warmup: 30_000,
+    };
+    let (base, with, g) = netsim::parametric::run_with_baseline(&config, 7);
+    let predicted = ModelA::new(params, 0.5, 0.9).improvement().unwrap();
+    println!("simulation check (200k requests):");
+    println!("  measured t̄′ = {:.5}s, t̄ = {:.5}s", base.mean_access_time, with.mean_access_time);
+    println!("  measured G  = {g:.5}s  vs eq (11) prediction {predicted:.5}s");
+}

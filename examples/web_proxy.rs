@@ -1,0 +1,66 @@
+//! A multi-client web proxy with speculative prefetching, end to end.
+//!
+//! ```text
+//! cargo run --release --example web_proxy
+//! ```
+//!
+//! Twelve clients browse a 400-page site (Markov navigation, heavy-tailed
+//! page sizes) through one shared link. Each client has an LRU cache and a
+//! learned order-1 Markov predictor. We compare the paper's adaptive
+//! threshold policy against no prefetching and against indiscriminate
+//! prefetching.
+
+use speculative_prefetch::netsim::traced::{run, Policy, PredictorKind, TracedConfig};
+use speculative_prefetch::workload::synth_web::SynthWebConfig;
+
+fn main() {
+    let base = TracedConfig {
+        web: SynthWebConfig {
+            n_clients: 12,
+            lambda: 30.0,
+            n_items: 400,
+            branching: 3,
+            link_skew: 0.3,
+            mean_size: 1.0,
+            size_shape: 2.5,
+        },
+        cache_capacity: 32,
+        bandwidth: 60.0,
+        predictor: PredictorKind::Markov1,
+        policy: Policy::Adaptive,
+        max_candidates: 3,
+        prefetch_jitter: 0.01,
+        requests: 80_000,
+        warmup: 15_000,
+    };
+
+    println!("12 clients, λ=30 req/s, b=60, LRU(32), learned Markov-1 predictor\n");
+    println!(
+        "{:<22} {:>10} {:>7} {:>7} {:>7} {:>7} {:>8}",
+        "policy", "t̄ (s)", "hit", "ρ", "n̄(F)", "useful", "thresh"
+    );
+    for policy in [
+        Policy::NoPrefetch,
+        Policy::Adaptive,
+        Policy::FixedThreshold(0.45),
+        Policy::PrefetchAll,
+    ] {
+        let mut cfg = base;
+        cfg.policy = policy;
+        let r = run(&cfg, 2024);
+        println!(
+            "{:<22} {:>10.5} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>8}",
+            r.policy,
+            r.mean_access_time,
+            r.hit_ratio,
+            r.utilisation,
+            r.prefetches_per_request,
+            r.useful_prefetch_fraction,
+            if r.mean_threshold.is_nan() { "-".to_string() } else { format!("{:.3}", r.mean_threshold) },
+        );
+    }
+    println!();
+    println!("Reading: the adaptive policy (threshold = estimated ρ′, the paper's");
+    println!("eq 13) cuts the mean access time below the no-prefetch baseline, while");
+    println!("prefetch-all saturates the shared link and multiplies it instead.");
+}

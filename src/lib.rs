@@ -1,0 +1,83 @@
+//! # speculative-prefetch
+//!
+//! A full reproduction of
+//!
+//! > N. J. Tuah, M. Kumar, S. Venkatesh,
+//! > *"Effect of Speculative Prefetching on Network Load in Distributed
+//! > Systems"*, IPDPS 2001,
+//!
+//! as a production-quality Rust workspace: the paper's analytical models,
+//! every substrate they assume (queueing, caches, predictors, workloads, a
+//! discrete-event simulator), and an experiment harness that regenerates
+//! every figure.
+//!
+//! This crate is the facade: it re-exports the workspace crates under one
+//! name and hosts the runnable examples and the cross-crate integration
+//! tests.
+//!
+//! ## The sixty-second version
+//!
+//! Prefetching an item that will be used with probability `p` *helps* the
+//! average access time **iff `p` exceeds the server utilisation** the
+//! system would have without prefetching:
+//!
+//! ```
+//! use speculative_prefetch::prelude::*;
+//!
+//! // λ = 30 req/s, bandwidth 50, mean item size 1, no-prefetch hit ratio 0.3.
+//! let params = SystemParams::new(30.0, 50.0, 1.0, 0.3).unwrap();
+//! assert!((params.rho_prime() - 0.42).abs() < 1e-12);
+//!
+//! // The optimal policy: prefetch *exactly* the candidates above ρ′.
+//! let policy = ThresholdPolicy::from_model_a(&params);
+//! let decision = policy.decide(vec![("logo.png", 0.9), ("search", 0.1)]);
+//! assert_eq!(decision.selected.len(), 1); // only logo.png clears 0.42
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |-----------|-------|----------|
+//! | [`core`] | `prefetch-core` | the paper's equations: Models A/B/AB, thresholds, `G`, `C`, §4 estimator, adaptive controller |
+//! | [`queueing`] | `queueing` | M/G/1-PS theory + PS/RR/FIFO server simulations |
+//! | [`simcore`] | `simcore` | DES engine, PRNG, distributions, statistics |
+//! | [`workload`] | `workload` | catalogs, arrival processes, Markov streams, traces |
+//! | [`cachesim`] | `cachesim` | LRU/LFU/FIFO/CLOCK/random caches + §4 tagging |
+//! | [`predictor`] | `predictor` | Markov/PPM/LZ78/dependency-graph/oracle predictors |
+//! | [`netsim`] | `netsim` | parametric + trace-driven end-to-end simulators |
+//! | [`harness`] | `harness` | experiment reports E1–E10 (figures + validation) |
+
+pub use cachesim;
+pub use harness;
+pub use netsim;
+pub use predictor;
+/// The paper's analytical models (`prefetch-core`).
+pub use prefetch_core as core;
+pub use queueing;
+pub use simcore;
+pub use workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use cachesim::{LruCache, ReplacementCache, TaggedCache};
+    pub use netsim::parametric::{ParametricConfig, ParametricReport};
+    pub use netsim::traced::{Policy, PredictorKind, TracedConfig};
+    pub use predictor::{MarkovPredictor, OraclePredictor, Predictor};
+    pub use prefetch_core::{
+        AdaptiveController, HPrimeEstimator, ModelA, ModelAb, ModelB, PrefetchDecision,
+        SystemParams, ThresholdPolicy,
+    };
+    pub use queueing::theory::{MG1Fifo, MG1Ps, MM1};
+    pub use simcore::prelude::*;
+    pub use workload::{Catalog, ItemId, MarkovChain, RequestStream};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired() {
+        use crate::prelude::*;
+        let params = SystemParams::paper_figure2(0.0);
+        assert_eq!(ModelA::new(params, 1.0, 0.9).threshold(), 0.6);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests (proptest) on the analytical models' invariants.
+
+use proptest::prelude::*;
+use speculative_prefetch::core::excess;
+use speculative_prefetch::core::{ModelA, ModelAb, ModelB, SystemParams};
+
+/// Strategy: parameters with a stable baseline (ρ′ < 1).
+fn stable_params() -> impl Strategy<Value = SystemParams> {
+    (0.1f64..100.0, 0.1f64..10.0, 0.0f64..0.95f64)
+        .prop_flat_map(|(lambda, mean_size, h_prime)| {
+            // Choose b strictly above the demand load.
+            let demand = (1.0 - h_prime) * lambda * mean_size;
+            (
+                Just(lambda),
+                Just(mean_size),
+                Just(h_prime),
+                (demand * 1.05 + 0.01)..(demand * 20.0 + 10.0),
+            )
+        })
+        .prop_map(|(lambda, mean_size, h_prime, bandwidth)| {
+            SystemParams::new(lambda, bandwidth, mean_size, h_prime).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Model A is exactly the q = 0 member of the AB family.
+    #[test]
+    fn model_a_is_ab_at_zero((params, n_f, p) in (stable_params(), 0.0f64..2.0, 0.0f64..=1.0)) {
+        let a = ModelA::new(params, n_f, p);
+        let ab = ModelAb::model_a(params, n_f, p);
+        prop_assert!((a.hit_ratio_raw() - ab.hit_ratio_raw()).abs() < 1e-12);
+        prop_assert!((a.utilisation() - ab.utilisation()).abs() < 1e-12);
+        prop_assert!((a.threshold() - ab.threshold()).abs() < 1e-12);
+        let (ga, gab) = (a.improvement_raw(), ab.improvement_raw());
+        prop_assert!((ga - gab).abs() <= 1e-9 * ga.abs().max(1.0));
+    }
+
+    /// Model B is exactly the q = h′/n̄(C) member of the AB family.
+    #[test]
+    fn model_b_is_ab_at_average((params, n_f, p, n_c) in
+        (stable_params(), 0.0f64..2.0, 0.0f64..=1.0, 1.0f64..500.0))
+    {
+        let b = ModelB::new(params, n_f, p, n_c);
+        let ab = ModelAb::model_b(params, n_f, p, n_c);
+        prop_assert!((b.hit_ratio_raw() - ab.hit_ratio_raw()).abs() < 1e-9);
+        prop_assert!((b.utilisation() - ab.utilisation()).abs() < 1e-9);
+        prop_assert!((b.threshold() - ab.threshold()).abs() < 1e-12);
+    }
+
+    /// Sign of G matches the threshold comparison whenever the system is
+    /// stable — conditions (12) are sound and complete for G > 0.
+    #[test]
+    fn g_sign_iff_threshold((params, n_f, p) in (stable_params(), 0.001f64..2.0, 0.0f64..=1.0)) {
+        let m = ModelA::new(params, n_f, p);
+        if m.is_stable() {
+            let g = m.improvement().unwrap();
+            let pth = m.threshold();
+            if p > pth + 1e-9 {
+                prop_assert!(g > 0.0, "p {p} > pth {pth} but G = {g}");
+            } else if p < pth - 1e-9 {
+                prop_assert!(g < 0.0, "p {p} < pth {pth} but G = {g}");
+            }
+        }
+    }
+
+    /// G is monotone in n̄(F) at fixed p (the "no volume limit" result),
+    /// within the stable region.
+    #[test]
+    fn g_monotone_in_volume((params, p, nf1, nf2) in
+        (stable_params(), 0.0f64..=1.0, 0.0f64..1.0, 0.0f64..1.0))
+    {
+        let (lo, hi) = if nf1 <= nf2 { (nf1, nf2) } else { (nf2, nf1) };
+        let m_lo = ModelA::new(params, lo, p);
+        let m_hi = ModelA::new(params, hi, p);
+        if m_lo.is_stable() && m_hi.is_stable() {
+            let (g_lo, g_hi) = (m_lo.improvement().unwrap(), m_hi.improvement().unwrap());
+            let pth = params.rho_prime();
+            if p > pth + 1e-9 {
+                prop_assert!(g_hi >= g_lo - 1e-12);
+            } else if p < pth - 1e-9 {
+                prop_assert!(g_hi <= g_lo + 1e-12);
+            }
+        }
+    }
+
+    /// The threshold gap between B and A is h′/n̄(C) ≤ 1/n̄(C) (paper §6).
+    #[test]
+    fn threshold_gap_bound((params, n_c) in (stable_params(), 1.0f64..1000.0)) {
+        let a = ModelA::new(params, 1.0, 0.5).threshold();
+        let b = ModelB::new(params, 1.0, 0.5, n_c).threshold();
+        prop_assert!(b >= a);
+        prop_assert!(b - a <= 1.0 / n_c + 1e-12);
+    }
+
+    /// B → A as n̄(C) → ∞: improvement gap shrinks monotonically in n̄(C).
+    #[test]
+    fn model_b_converges_to_a((params, n_f, p) in (stable_params(), 0.01f64..1.0, 0.0f64..=1.0)) {
+        let a = ModelA::new(params, n_f, p);
+        if !a.is_stable() {
+            return Ok(());
+        }
+        let ga = a.improvement().unwrap();
+        let mut last_gap = f64::INFINITY;
+        for nc in [2.0, 8.0, 32.0, 128.0, 1024.0] {
+            let b = ModelB::new(params, n_f, p, nc);
+            if let Some(gb) = b.improvement() {
+                let gap = (gb - ga).abs();
+                prop_assert!(gap <= last_gap + 1e-12);
+                last_gap = gap;
+            }
+        }
+    }
+
+    /// Excess cost is zero iff no extra load, positive otherwise, and
+    /// consistent with its R-difference definition (eqs 23, 25, 27).
+    #[test]
+    fn excess_cost_definition((rho_p, extra, lambda) in
+        (0.0f64..0.9, 0.0f64..0.099, 0.1f64..100.0))
+    {
+        let rho = rho_p + extra;
+        let c = excess::excess_cost(rho_p, rho, lambda).unwrap();
+        let direct = excess::retrieval_per_request(rho, lambda).unwrap()
+            - excess::retrieval_per_request(rho_p, lambda).unwrap();
+        prop_assert!((c - direct).abs() < 1e-9);
+        if extra == 0.0 {
+            prop_assert!(c.abs() < 1e-12);
+        } else {
+            prop_assert!(c > 0.0);
+        }
+    }
+
+    /// Load impedance: the same Δρ costs strictly more at higher base load.
+    #[test]
+    fn load_impedance_property((rho1, rho2, delta, lambda) in
+        (0.0f64..0.8, 0.0f64..0.8, 0.001f64..0.19, 0.1f64..100.0))
+    {
+        let (lo, hi) = if rho1 <= rho2 { (rho1, rho2) } else { (rho2, rho1) };
+        prop_assume!(hi + delta < 1.0);
+        prop_assume!(hi - lo > 1e-9);
+        let c_lo = excess::excess_cost(lo, lo + delta, lambda).unwrap();
+        let c_hi = excess::excess_cost(hi, hi + delta, lambda).unwrap();
+        prop_assert!(c_hi > c_lo, "c_hi {c_hi} <= c_lo {c_lo}");
+    }
+
+    /// Evaluations never produce NaN for stable configurations, and the
+    /// conditions bits are consistent with the computed quantities.
+    #[test]
+    fn evaluation_coherence((params, n_f, p) in (stable_params(), 0.0f64..2.0, 0.0f64..=1.0)) {
+        let m = ModelA::new(params, n_f, p);
+        let e = m.evaluate();
+        prop_assert!(!e.hit_ratio.is_nan());
+        prop_assert!(!e.utilisation.is_nan());
+        prop_assert_eq!(e.conditions.stable_without_prefetch, params.is_stable());
+        prop_assert_eq!(e.conditions.stable_with_prefetch, m.is_stable());
+        if let Some(g) = e.improvement {
+            prop_assert!(!g.is_nan());
+            // t̄′ − t̄ = G.
+            let direct = params.access_time().unwrap() - e.access_time.unwrap();
+            prop_assert!((direct - g).abs() < 1e-9 * g.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Integration tests asserting the paper's headline results across crates:
+//! the analytic models (`prefetch-core`), the queueing substrate
+//! (`queueing`), and the mechanism-level simulator (`netsim`) must all
+//! agree on who wins, by roughly what factor, and where crossovers fall.
+
+use speculative_prefetch::core::{ModelA, ModelB, SystemParams};
+use speculative_prefetch::netsim::parametric::{run_with_baseline, ParametricConfig};
+use speculative_prefetch::simcore::dist::Exponential;
+
+/// G of a mixed prefetch configuration `(Σvᵢpᵢ, Σvᵢ)` computed from t̄
+/// directly; `None` outside the consistent/stable region.
+fn g_of(params: &SystemParams, h_extra: f64, volume: f64) -> Option<f64> {
+    let h = params.h_prime + h_extra;
+    let rho = (1.0 - h + volume) * params.lambda * params.mean_size / params.bandwidth;
+    if rho >= 1.0 || h > 1.0 {
+        return None;
+    }
+    let t = (1.0 - h) * params.mean_size / (params.bandwidth * (1.0 - rho));
+    Some(params.access_time().unwrap() - t)
+}
+
+/// G of a subset of unit-volume candidates.
+fn g_of_mix(params: &SystemParams, items: &[(f64, bool)]) -> Option<f64> {
+    let h_extra: f64 = items.iter().filter(|(_, inc)| *inc).map(|(p, _)| p).sum();
+    let volume = items.iter().filter(|(_, inc)| *inc).count() as f64;
+    g_of(params, h_extra, volume)
+}
+
+/// The headline conclusion for the paper's *homogeneous* setting: with a
+/// single probability class available up to the consistency bound
+/// `max(np) = f′/p` (eq 6), the optimal volume is the maximum iff
+/// `p > ρ′`, and zero otherwise — "prefetch exclusively all items above
+/// the threshold", with no interior optimum.
+#[test]
+fn homogeneous_threshold_rule_is_exact() {
+    let params = SystemParams::paper_figure2(0.3); // p_th = 0.42
+    for (p, profitable) in [(0.6, true), (0.3, false)] {
+        let max_volume = params.max_prefetch_count(p); // f′/p
+        let steps = 20;
+        let mut best_g = f64::NEG_INFINITY;
+        let mut best_k = usize::MAX;
+        for k in 0..=steps {
+            let volume = max_volume * k as f64 / steps as f64;
+            if let Some(g) = g_of(&params, volume * p, volume) {
+                if g > best_g {
+                    best_g = g;
+                    best_k = k;
+                }
+            }
+        }
+        if profitable {
+            assert_eq!(best_k, steps, "p={p}: take the full consistent volume");
+        } else {
+            assert_eq!(best_k, 0, "p={p}: take nothing");
+        }
+    }
+}
+
+/// Beyond the paper: with *heterogeneous* candidates, the optimum includes
+/// every above-ρ′ item and may include more (profitable inclusions lower
+/// the marginal threshold). The greedy `OptimalMixPolicy` must match the
+/// brute-force optimum over all subsets.
+#[test]
+fn optimal_mix_matches_brute_force() {
+    use speculative_prefetch::core::OptimalMixPolicy;
+    // Roomier link (ρ′ = 0.21) and candidate sets that are *consistent*
+    // probability assignments for one next request: h′ + Σp ≤ 1.
+    let params = SystemParams::new(30.0, 100.0, 1.0, 0.3).unwrap();
+    let candidate_sets: Vec<Vec<f64>> = vec![
+        vec![0.5, 0.15, 0.03],
+        vec![0.45, 0.2, 0.04],
+        vec![0.1, 0.05, 0.03],
+        vec![0.22, 0.22, 0.22],
+        vec![0.3, 0.25, 0.15],
+    ];
+    for probs in candidate_sets {
+        // Brute force over all subsets.
+        let n = probs.len();
+        let mut best_g = 0.0f64; // empty set gives G = 0
+        let mut best_mask = 0usize;
+        for mask in 0..(1usize << n) {
+            let items: Vec<(f64, bool)> =
+                probs.iter().enumerate().map(|(i, &p)| (p, mask >> i & 1 == 1)).collect();
+            if let Some(g) = g_of_mix(&params, &items) {
+                if g > best_g + 1e-15 {
+                    best_g = g;
+                    best_mask = mask;
+                }
+            }
+        }
+        // Greedy policy.
+        let pol = OptimalMixPolicy::new(params);
+        let (decision, _) = pol.decide(probs.iter().enumerate().map(|(i, &p)| (i, p)));
+        let greedy_items: Vec<(f64, bool)> = probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, decision.selected.iter().any(|(j, _)| *j == i)))
+            .collect();
+        let greedy_g = g_of_mix(&params, &greedy_items).unwrap_or(f64::NEG_INFINITY);
+        assert!(
+            (greedy_g - best_g).abs() < 1e-12,
+            "{probs:?}: greedy G {greedy_g} vs brute-force {best_g} (mask {best_mask:b})"
+        );
+        // And the optimum always contains every above-ρ′ candidate.
+        for (i, &p) in probs.iter().enumerate() {
+            if p > params.rho_prime() {
+                assert!(best_mask >> i & 1 == 1, "{probs:?}: p={p} missing from optimum");
+            }
+        }
+    }
+}
+
+/// The same result under Model B with its shifted threshold.
+#[test]
+fn model_b_threshold_governs_inclusion() {
+    let params = SystemParams::paper_figure2(0.3);
+    let n_c = 5.0; // p_th(B) = 0.42 + 0.06 = 0.48
+    // p = 0.45 is profitable under A but not under B.
+    let a = ModelA::new(params, 0.5, 0.45).improvement().unwrap();
+    let b = ModelB::new(params, 0.5, 0.45, n_c).improvement().unwrap();
+    assert!(a > 0.0);
+    assert!(b < 0.0);
+}
+
+/// Mechanism-level agreement: simulated G is positive above threshold and
+/// negative below, at matching magnitudes.
+#[test]
+fn simulated_crossover_matches_threshold() {
+    let params = SystemParams::paper_figure2(0.0); // p_th = 0.6
+    let size = Exponential::with_mean(1.0);
+    let mut gains = Vec::new();
+    for &p in &[0.4, 0.8] {
+        let config = ParametricConfig {
+            params,
+            n_f: 0.4,
+            p,
+            size_dist: &size,
+            requests: 80_000,
+            warmup: 15_000,
+        };
+        let (_, _, g) = run_with_baseline(&config, 5150);
+        gains.push((p, g));
+    }
+    assert!(gains[0].1 < 0.0, "below threshold: {gains:?}");
+    assert!(gains[1].1 > 0.0, "above threshold: {gains:?}");
+}
+
+/// The paper's "no volume restriction" result, simulated: doubling the
+/// volume of above-threshold prefetching increases G (while stable).
+#[test]
+fn more_above_threshold_volume_helps() {
+    let params = SystemParams::paper_figure2(0.0);
+    let size = Exponential::with_mean(1.0);
+    let mut gains = Vec::new();
+    for &n_f in &[0.25, 0.5, 1.0] {
+        let config = ParametricConfig {
+            params,
+            n_f,
+            p: 0.9,
+            size_dist: &size,
+            requests: 80_000,
+            warmup: 15_000,
+        };
+        let (_, _, g) = run_with_baseline(&config, 99);
+        gains.push(g);
+    }
+    assert!(gains[1] > gains[0], "{gains:?}");
+    assert!(gains[2] > gains[1], "{gains:?}");
+}
+
+/// Figure-level spot checks of the exact closed-form values.
+#[test]
+fn figure_values_spot_checks() {
+    // Fig 2, h'=0 panel, p=0.9, nF=1: G = 15/340.
+    let g = ModelA::new(SystemParams::paper_figure2(0.0), 1.0, 0.9)
+        .improvement()
+        .unwrap();
+    assert!((g - 15.0 / 340.0).abs() < 1e-12);
+    // Fig 3, same point: C = 0.06/(30·0.34·0.4).
+    let c = ModelA::new(SystemParams::paper_figure2(0.0), 1.0, 0.9)
+        .excess_cost()
+        .unwrap();
+    assert!((c - 0.06 / (30.0 * 0.34 * 0.4)).abs() < 1e-12);
+    // Fig 1: p_th(s=1, b=50, h'=0.3) = 0.42.
+    let pth = ModelA::new(SystemParams::paper_figure2(0.3), 1.0, 0.5).threshold();
+    assert!((pth - 0.42).abs() < 1e-12);
+}

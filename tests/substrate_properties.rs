@@ -1,0 +1,138 @@
+//! Property-based tests on the substrates: processor-sharing server
+//! invariants, cache-policy laws, and distribution/statistics machinery.
+
+use proptest::prelude::*;
+use speculative_prefetch::cachesim::{
+    ClockCache, FifoCache, LfuCache, LruCache, RandomCache, ReplacementCache,
+};
+use speculative_prefetch::queueing::{drive, PsServer, Server};
+use speculative_prefetch::simcore::rng::Rng;
+use speculative_prefetch::simcore::stats::Welford;
+
+/// Strategy: a sorted arrival list of (time, work).
+fn arrivals(max_jobs: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.0f64..100.0, 0.01f64..5.0), 1..max_jobs).prop_map(|mut v| {
+        v.sort_by(|a, b| a.0.total_cmp(&b.0));
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// PS conservation laws: every job departs, after its arrival, and the
+    /// total work processed equals the work submitted.
+    #[test]
+    fn ps_conservation(arr in arrivals(60), cap in 0.5f64..10.0) {
+        let mut server = PsServer::new(cap);
+        let deps = drive(&mut server, &arr);
+        prop_assert_eq!(deps.len(), arr.len());
+        for d in &deps {
+            prop_assert!(d.departed >= d.arrived);
+            // No job finishes faster than its dedicated service time.
+            prop_assert!(d.response() >= d.work / cap - 1e-9);
+        }
+        let total: f64 = arr.iter().map(|a| a.1).sum();
+        prop_assert!((server.work_done() - total).abs() < 1e-6 * total.max(1.0));
+        prop_assert_eq!(server.in_system(), 0);
+    }
+
+    /// PS fairness: for jobs present simultaneously, the one with less
+    /// remaining work never departs later... specialised to jobs arriving
+    /// at the same instant: departure order follows work order.
+    #[test]
+    fn ps_simultaneous_jobs_depart_in_work_order(
+        works in proptest::collection::vec(0.01f64..5.0, 2..12),
+        cap in 0.5f64..4.0)
+    {
+        let arr: Vec<(f64, f64)> = works.iter().map(|&w| (0.0, w)).collect();
+        let mut server = PsServer::new(cap);
+        let mut deps = drive(&mut server, &arr);
+        deps.sort_by(|a, b| a.departed.total_cmp(&b.departed));
+        for pair in deps.windows(2) {
+            prop_assert!(pair[0].work <= pair[1].work + 1e-9,
+                "departed earlier with more work: {:?}", pair);
+        }
+    }
+
+    /// Work conservation across disciplines: PS, FIFO and RR finish the
+    /// same total work; the *last* departure time (makespan) is identical
+    /// because all are work-conserving.
+    #[test]
+    fn makespan_is_discipline_invariant(arr in arrivals(40)) {
+        use speculative_prefetch::queueing::{FifoServer, RrServer};
+        let cap = 2.0;
+        let mut ps = PsServer::new(cap);
+        let mut fifo = FifoServer::new(cap);
+        let mut rr = RrServer::new(cap, 0.25);
+        let m1 = drive(&mut ps, &arr).iter().map(|d| d.departed).fold(0.0, f64::max);
+        let m2 = drive(&mut fifo, &arr).iter().map(|d| d.departed).fold(0.0, f64::max);
+        let m3 = drive(&mut rr, &arr).iter().map(|d| d.departed).fold(0.0, f64::max);
+        prop_assert!((m1 - m2).abs() < 1e-6, "PS {m1} vs FIFO {m2}");
+        prop_assert!((m1 - m3).abs() < 1e-6, "PS {m1} vs RR {m3}");
+    }
+
+    /// Cache-policy laws that every implementation must satisfy.
+    #[test]
+    fn cache_laws(ops in proptest::collection::vec((0u8..3, 0u32..40), 1..300), cap in 1usize..16) {
+        fn check<C: ReplacementCache<u32>>(mut c: C, ops: &[(u8, u32)], cap: usize) {
+            for &(op, k) in ops {
+                match op {
+                    0 => {
+                        let evicted = c.insert(k);
+                        assert!(c.contains(&k), "inserted key must be present");
+                        if let Some(v) = evicted {
+                            assert!(!c.contains(&v), "evicted key must be gone");
+                            assert_ne!(v, k);
+                        }
+                    }
+                    1 => {
+                        let hit = c.touch(k);
+                        assert_eq!(hit, c.contains(&k));
+                    }
+                    _ => {
+                        c.remove(&k);
+                        assert!(!c.contains(&k));
+                    }
+                }
+                assert!(c.len() <= cap, "capacity exceeded");
+                assert_eq!(c.keys().len(), c.len());
+            }
+        }
+        check(LruCache::new(cap), &ops, cap);
+        check(LfuCache::new(cap), &ops, cap);
+        check(FifoCache::new(cap), &ops, cap);
+        check(ClockCache::new(cap), &ops, cap);
+        check(RandomCache::new(cap, 42), &ops, cap);
+    }
+
+    /// Welford merge is associative-ish: merging partitions gives the same
+    /// moments as a single pass.
+    #[test]
+    fn welford_merge_partition(xs in proptest::collection::vec(-1e3f64..1e3, 2..200),
+                               split in 1usize..100)
+    {
+        let split = split.min(xs.len() - 1);
+        let mut whole = Welford::new();
+        for &x in &xs { whole.push(x); }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..split] { a.push(x); }
+        for &x in &xs[split..] { b.push(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * whole.mean().abs().max(1.0));
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-7 * whole.variance().max(1.0));
+    }
+
+    /// The PRNG's `below` never exceeds its bound and `f64` stays in [0,1).
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(bound) < bound);
+            let x = rng.f64();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+}
