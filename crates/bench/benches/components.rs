@@ -61,9 +61,8 @@ fn bench_predictors(c: &mut Criterion) {
     let mut g = c.benchmark_group("predictors");
     let mut rng = Rng::new(3);
     let mut chain = workload::MarkovChain::random(500, 4, 0.5, &mut rng);
-    let stream: Vec<workload::ItemId> = (0..50_000)
-        .map(|_| workload::RequestStream::next_item(&mut chain, &mut rng))
-        .collect();
+    let stream: Vec<workload::ItemId> =
+        (0..50_000).map(|_| workload::RequestStream::next_item(&mut chain, &mut rng)).collect();
     g.throughput(Throughput::Elements(stream.len() as u64));
     g.bench_function("markov1_observe_predict", |b| {
         b.iter(|| {

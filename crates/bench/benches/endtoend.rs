@@ -26,10 +26,7 @@ fn bench_traced(c: &mut Criterion) {
     let mut g = c.benchmark_group("traced_sim");
     g.sample_size(10);
     g.throughput(Throughput::Elements(15_000));
-    for (label, policy) in [
-        ("no_prefetch", Policy::NoPrefetch),
-        ("adaptive", Policy::Adaptive),
-    ] {
+    for (label, policy) in [("no_prefetch", Policy::NoPrefetch), ("adaptive", Policy::Adaptive)] {
         g.bench_function(format!("15k_requests_{label}"), |b| {
             let mut seed = 0u64;
             b.iter(|| {

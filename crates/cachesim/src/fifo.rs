@@ -108,6 +108,7 @@ mod tests {
         c.insert(3);
         c.remove(&1); // ghost in queue
         c.insert(4); // fills the free slot, no eviction
+
         // Next eviction must skip ghost 1 and take 2.
         assert_eq!(c.insert(5), Some(2));
     }

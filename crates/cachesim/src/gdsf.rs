@@ -176,6 +176,7 @@ mod tests {
             c.touch(1); // freq 21 → H = 2.1
         }
         c.insert_sized(2, 1.0); // H = 1
+
         // Victim must be 2 (H = 1 < 2.1) even though 1 is 10x larger.
         assert_eq!(c.insert_sized(3, 1.0), Some(2));
         assert!(c.contains(&1));
@@ -187,6 +188,7 @@ mod tests {
         c.insert_sized(1, 1.0); // H = 1
         c.insert_sized(2, 2.0); // H = 0.5
         assert_eq!(c.insert_sized(3, 2.0), Some(2)); // L becomes 0.5; 3 has H = 1.0
+
         // A new small item now enters with H = L + 1 = 1.5 > 1: evicts the
         // old H = 1 entries despite equal size/frequency — aging at work.
         assert!(c.inflation() > 0.0);

@@ -1,0 +1,431 @@
+//! Closed-loop (adaptive) cluster engine.
+//!
+//! Each proxy is a real edge cache: a Zipf catalog with Markov client
+//! navigation (`workload::SynthWeb`), a shared tagged LRU cache
+//! (`cachesim::TaggedCache`) fronting its whole client population, an
+//! online `prefetch_core::AdaptiveController` provisioned against the
+//! proxy's bottleneck bandwidth, and a per-proxy access predictor that
+//! proposes prefetch candidates with probabilities. Misses and accepted
+//! prefetches traverse the proxy's route of queueing links; items are
+//! partitioned over origin shards by `item % n_shards`.
+//!
+//! Because every controller estimates `ρ̂′` from *its own* traffic, two
+//! proxies with different local load converge to different thresholds —
+//! the per-node divergence the cluster experiment (E13) demonstrates.
+
+use crate::report::{ClusterReport, LinkReport, NodeReport};
+use crate::sim::{earliest_link_event, proxy_seed, LinkState};
+use crate::{AdaptiveWorkload, CandidateSource, ProxyPolicy, Topology};
+use cachesim::{AccessKind, LruCache, ReplacementCache, TaggedCache};
+use predictor::{MarkovPredictor, OraclePredictor, Predictor};
+use prefetch_core::controller::{AdaptiveController, ControllerConfig};
+use prefetch_core::estimator::EntryStatus;
+use simcore::rng::Rng;
+use simcore::stats::{BatchMeans, Welford};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use workload::synth_web::SynthWeb;
+use workload::{ItemId, TraceRecord};
+
+#[derive(Clone, Copy)]
+enum JobKind {
+    Demand { measured: bool },
+    Prefetch { measured: bool },
+}
+
+#[derive(Clone, Copy)]
+struct Job {
+    proxy: u32,
+    shard: u32,
+    hop: usize,
+    size: f64,
+    issued: f64,
+    item: ItemId,
+    kind: JobKind,
+}
+
+/// A prefetch decision waiting out its pacing jitter before hitting the
+/// first link.
+#[derive(Clone, Copy)]
+struct PendingPrefetch {
+    due: f64,
+    item: ItemId,
+    size: f64,
+    measured: bool,
+}
+
+impl PartialEq for PendingPrefetch {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due
+    }
+}
+impl Eq for PendingPrefetch {}
+impl PartialOrd for PendingPrefetch {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingPrefetch {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest due first.
+        other.due.total_cmp(&self.due)
+    }
+}
+
+struct ProxyState {
+    rng: Rng,
+    jitter_rng: Rng,
+    web: SynthWeb,
+    cache: TaggedCache<ItemId, LruCache<ItemId>>,
+    controller: AdaptiveController,
+    predictor: Box<dyn Predictor>,
+    inflight: HashSet<ItemId>,
+    waiters: HashMap<ItemId, Vec<(f64, bool)>>,
+    delayed: BinaryHeap<PendingPrefetch>,
+    pending: TraceRecord,
+    issued: u64,
+    access_times: BatchMeans,
+    retrievals: Welford,
+    total_job_time: f64,
+    hits: u64,
+    measured: u64,
+    prefetch_jobs: u64,
+    threshold_sum: f64,
+    threshold_n: u64,
+    demand_bytes: f64,
+    prefetch_bytes: f64,
+    used_prefetch_bytes: f64,
+}
+
+pub(crate) fn run(
+    topology: &Topology,
+    w: &AdaptiveWorkload,
+    requests: usize,
+    warmup: usize,
+    seed: u64,
+) -> ClusterReport {
+    let n_shards = topology.n_shards() as u64;
+    let mut links: Vec<LinkState> = topology.links().iter().map(LinkState::new).collect();
+
+    let mut proxies: Vec<ProxyState> = w
+        .proxies
+        .iter()
+        .enumerate()
+        .map(|(i, web_cfg)| {
+            let mut rng = Rng::new(proxy_seed(seed, i));
+            let jitter_rng = rng.split();
+            let mut web = SynthWeb::new(*web_cfg, &mut rng);
+            let predictor: Box<dyn Predictor> = match w.predictor {
+                CandidateSource::Oracle => Box::new(OraclePredictor::from_chain(&web.chain)),
+                CandidateSource::Markov1 => Box::new(MarkovPredictor::new(1)),
+            };
+            let pending = web.next_request(&mut rng);
+            ProxyState {
+                rng,
+                jitter_rng,
+                web,
+                cache: TaggedCache::new(LruCache::new(w.cache_capacity)),
+                controller: AdaptiveController::new(ControllerConfig::model_a(
+                    topology.proxy_bottleneck(i),
+                )),
+                predictor,
+                inflight: HashSet::new(),
+                waiters: HashMap::new(),
+                delayed: BinaryHeap::new(),
+                pending,
+                issued: 0,
+                access_times: BatchMeans::new(20),
+                retrievals: Welford::new(),
+                total_job_time: 0.0,
+                hits: 0,
+                measured: 0,
+                prefetch_jobs: 0,
+                threshold_sum: 0.0,
+                threshold_n: 0,
+                demand_bytes: 0.0,
+                prefetch_bytes: 0.0,
+                used_prefetch_bytes: 0.0,
+            }
+        })
+        .collect();
+
+    let warm = warmup as u64;
+    let n_requests = requests as u64;
+    let mut jobs: HashMap<u64, Job> = HashMap::new();
+    let mut next_job_id: u64 = 0;
+    let mut t_end = 0.0;
+
+    enum Ev {
+        Link(f64, usize),
+        Request(usize),
+        IssuePrefetch(usize),
+    }
+
+    loop {
+        let link_ev = earliest_link_event(&links);
+        let mut req: Option<(f64, usize)> = None;
+        let mut pre: Option<(f64, usize)> = None;
+        for (i, p) in proxies.iter().enumerate() {
+            if p.issued < n_requests && req.is_none_or(|(t, _)| p.pending.time < t) {
+                req = Some((p.pending.time, i));
+            }
+            // Pending prefetches are still issued after the request stream
+            // ends so any waiters attached to them resolve.
+            if let Some(d) = p.delayed.peek() {
+                if pre.is_none_or(|(t, _)| d.due < t) {
+                    pre = Some((d.due, i));
+                }
+            }
+        }
+
+        let ts = link_ev.map_or(f64::INFINITY, |(t, _)| t);
+        let tr = req.map_or(f64::INFINITY, |(t, _)| t);
+        let tp = pre.map_or(f64::INFINITY, |(t, _)| t);
+        let ev = if ts.is_infinite() && tr.is_infinite() && tp.is_infinite() {
+            break;
+        } else if ts <= tr && ts <= tp {
+            let (t, l) = link_ev.expect("link event");
+            Ev::Link(t, l)
+        } else if tr <= tp {
+            Ev::Request(req.expect("request event").1)
+        } else {
+            Ev::IssuePrefetch(pre.expect("prefetch event").1)
+        };
+
+        match ev {
+            Ev::IssuePrefetch(i) => {
+                let pfx = proxies[i].delayed.pop().expect("pending prefetch");
+                t_end = pfx.due;
+                let p = &mut proxies[i];
+                // The item may have been demand-fetched while waiting; the
+                // in-flight marker was set at decision time, so only issue
+                // if it is still not cached.
+                if !p.cache.inner().contains(&pfx.item) {
+                    p.prefetch_jobs += 1;
+                    p.prefetch_bytes += pfx.size;
+                    let shard = (pfx.item.0 % n_shards) as u32;
+                    let id = next_job_id;
+                    next_job_id += 1;
+                    jobs.insert(
+                        id,
+                        Job {
+                            proxy: i as u32,
+                            shard,
+                            hop: 0,
+                            size: pfx.size,
+                            issued: pfx.due,
+                            item: pfx.item,
+                            kind: JobKind::Prefetch { measured: pfx.measured },
+                        },
+                    );
+                    links[topology.route(i, shard as usize)[0]].arrive(pfx.due, pfx.size, id);
+                } else {
+                    p.inflight.remove(&pfx.item);
+                }
+            }
+            Ev::Link(t, l) => {
+                t_end = t;
+                for c in links[l].on_event(t) {
+                    let job = jobs[&c.tag];
+                    links[l].bytes_carried += job.size;
+                    let route = topology.route(job.proxy as usize, job.shard as usize);
+                    if job.hop + 1 < route.len() {
+                        let mut fwd = job;
+                        fwd.hop += 1;
+                        jobs.insert(c.tag, fwd);
+                        links[route[fwd.hop]].arrive(t, fwd.size, c.tag);
+                        continue;
+                    }
+                    jobs.remove(&c.tag);
+                    let p = &mut proxies[job.proxy as usize];
+                    match job.kind {
+                        JobKind::Demand { measured } => {
+                            p.cache.admit_after_fetch(job.item);
+                            p.inflight.remove(&job.item);
+                            if measured {
+                                let sojourn = t - job.issued;
+                                p.access_times.push(sojourn);
+                                p.retrievals.push(sojourn);
+                                p.total_job_time += sojourn;
+                            }
+                            if let Some(ws) = p.waiters.remove(&job.item) {
+                                for (tw, mw) in ws {
+                                    if mw {
+                                        p.access_times.push(t - tw);
+                                    }
+                                }
+                            }
+                        }
+                        JobKind::Prefetch { measured } => {
+                            if measured {
+                                p.total_job_time += t - job.issued;
+                            }
+                            if let Some(ws) = p.waiters.remove(&job.item) {
+                                // The item was demanded while the prefetch
+                                // was in flight: it lands as a demand-fetched
+                                // (tagged) entry and the waiters' clocks
+                                // stop now. The transfer still served real
+                                // demand, so its bytes count as used.
+                                p.cache.admit_after_fetch(job.item);
+                                p.used_prefetch_bytes += job.size;
+                                for (tw, mw) in ws {
+                                    if mw {
+                                        p.access_times.push(t - tw);
+                                    }
+                                }
+                            } else {
+                                p.cache.prefetch_insert(job.item);
+                                p.controller.on_prefetch_insert();
+                            }
+                            p.inflight.remove(&job.item);
+                        }
+                    }
+                }
+            }
+            Ev::Request(i) => {
+                let p = &mut proxies[i];
+                let req = p.pending;
+                p.pending = p.web.next_request(&mut p.rng);
+                let t = req.time;
+                t_end = t;
+                let idx = p.issued;
+                p.issued += 1;
+                let in_window = idx >= warm;
+
+                match p.cache.probe(req.item) {
+                    AccessKind::HitTagged => {
+                        p.controller.on_cache_hit(t, EntryStatus::Tagged, req.size);
+                        if in_window {
+                            p.access_times.push(0.0);
+                            p.hits += 1;
+                            p.measured += 1;
+                        }
+                    }
+                    AccessKind::HitUntagged => {
+                        p.controller.on_cache_hit(t, EntryStatus::Untagged, req.size);
+                        p.used_prefetch_bytes += req.size;
+                        if in_window {
+                            p.access_times.push(0.0);
+                            p.hits += 1;
+                            p.measured += 1;
+                        }
+                    }
+                    AccessKind::Miss => {
+                        p.controller.on_miss(t, req.size);
+                        if in_window {
+                            p.measured += 1;
+                        }
+                        if p.inflight.contains(&req.item) {
+                            // Join the in-flight fetch instead of duplicating
+                            // the transfer.
+                            p.waiters.entry(req.item).or_default().push((t, in_window));
+                        } else {
+                            p.inflight.insert(req.item);
+                            p.demand_bytes += req.size;
+                            let shard = (req.item.0 % n_shards) as u32;
+                            let id = next_job_id;
+                            next_job_id += 1;
+                            jobs.insert(
+                                id,
+                                Job {
+                                    proxy: i as u32,
+                                    shard,
+                                    hop: 0,
+                                    size: req.size,
+                                    issued: t,
+                                    item: req.item,
+                                    kind: JobKind::Demand { measured: in_window },
+                                },
+                            );
+                            links[topology.route(i, shard as usize)[0]].arrive(t, req.size, id);
+                        }
+                    }
+                }
+
+                // Predict and prefetch.
+                p.predictor.observe(req.item);
+                let threshold = match w.policy {
+                    ProxyPolicy::NoPrefetch => f64::INFINITY,
+                    ProxyPolicy::FixedThreshold(th) => th,
+                    ProxyPolicy::Adaptive => p.controller.policy().threshold,
+                };
+                if in_window && threshold.is_finite() {
+                    p.threshold_sum += threshold;
+                    p.threshold_n += 1;
+                }
+                if threshold.is_finite() {
+                    for (item, prob) in p.predictor.candidates(w.max_candidates) {
+                        if prob > threshold
+                            && !p.cache.inner().contains(&item)
+                            && !p.inflight.contains(&item)
+                        {
+                            p.inflight.insert(item);
+                            let size = p.web.catalog.size(item);
+                            let due = if w.prefetch_jitter > 0.0 {
+                                t + p.jitter_rng.exp(1.0 / w.prefetch_jitter)
+                            } else {
+                                t
+                            };
+                            p.delayed.push(PendingPrefetch {
+                                due,
+                                item,
+                                size,
+                                measured: in_window,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let nodes: Vec<NodeReport> = proxies
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let (mean_access, ci) = p.access_times.mean_ci();
+            let measured = p.measured.max(1);
+            NodeReport {
+                proxy: i,
+                measured_requests: p.measured,
+                hit_ratio: p.hits as f64 / measured as f64,
+                mean_access_time: mean_access,
+                access_time_ci95: ci,
+                mean_retrieval_time: p.retrievals.mean(),
+                retrieval_per_request: p.total_job_time / measured as f64,
+                prefetches_per_request: p.prefetch_jobs as f64 / n_requests.max(1) as f64,
+                goodput_bytes: Some(p.used_prefetch_bytes.min(p.prefetch_bytes)),
+                badput_bytes: Some((p.prefetch_bytes - p.used_prefetch_bytes).max(0.0)),
+                demand_bytes: p.demand_bytes,
+                mean_threshold: (p.threshold_n > 0).then(|| p.threshold_sum / p.threshold_n as f64),
+                rho_prime_estimate: p.controller.rho_prime_estimate(),
+                h_prime_estimate: p.controller.h_prime_estimate(),
+            }
+        })
+        .collect();
+
+    let link_reports: Vec<LinkReport> = topology
+        .links()
+        .iter()
+        .zip(&links)
+        .map(|(spec, state)| LinkReport {
+            name: spec.name.clone(),
+            utilisation: if t_end > 0.0 { state.busy_time() / t_end } else { 0.0 },
+            bytes_carried: state.bytes_carried,
+            jobs_completed: state.jobs_completed,
+        })
+        .collect();
+
+    let total_measured: u64 = nodes.iter().map(|n| n.measured_requests).sum();
+    let mean_access_time =
+        nodes.iter().map(|n| n.mean_access_time * n.measured_requests as f64).sum::<f64>()
+            / total_measured.max(1) as f64;
+    let total_bytes: f64 = proxies.iter().map(|p| p.demand_bytes + p.prefetch_bytes).sum();
+
+    ClusterReport {
+        nodes,
+        links: link_reports,
+        mean_access_time,
+        bytes_per_request: total_bytes / (n_requests * proxies.len() as u64).max(1) as f64,
+        duration: t_end,
+    }
+}

@@ -1,0 +1,64 @@
+//! Aggregate network-load curves: the cluster-scope analogue of the
+//! paper's Figures 2 (access improvement `G` vs `n̄(F)`) and 3 (excess
+//! network load `C` vs `n̄(F)`).
+//!
+//! The sweep re-runs the open-loop cluster at a grid of prefetch volumes,
+//! applying the same `n̄(F)` at every proxy, and reports each point against
+//! the shared no-prefetch baseline. Points are independent, so they run on
+//! the `simcore::par` pool; output order matches the input grid.
+
+use crate::report::CurvePoint;
+use crate::sim::ClusterSim;
+use crate::{ClusterConfig, StaticProxy, StaticWorkload, Topology, Workload};
+use simcore::dist::Sample;
+
+/// Fixed inputs of one [`network_load_curve`] sweep.
+pub struct CurveSpec<'a> {
+    pub topology: &'a Topology,
+    /// Each proxy's `(λ, h′)`; the sweep overrides `n̄(F)` and `p`
+    /// uniformly.
+    pub proxies: &'a [(f64, f64)],
+    /// Access probability of prefetched items, fixed across the sweep.
+    pub p: f64,
+    pub size_dist: &'a dyn Sample,
+    pub requests_per_proxy: usize,
+    pub warmup_per_proxy: usize,
+    /// Seeds follow the parametric convention: the baseline runs at
+    /// `seed`, every prefetch point at `seed + 1`.
+    pub seed: u64,
+}
+
+/// Sweeps prefetch volume `n̄(F)` over `n_fs` on the given topology,
+/// holding `p` and the per-proxy base parameters fixed.
+pub fn network_load_curve(spec: &CurveSpec<'_>, n_fs: &[f64]) -> Vec<CurvePoint> {
+    assert_eq!(spec.proxies.len(), spec.topology.n_proxies(), "one (λ, h′) pair per proxy");
+    let run_at = |n_f: f64, run_seed: u64| {
+        let config = ClusterConfig {
+            topology: spec.topology.clone(),
+            workload: Workload::Static(StaticWorkload {
+                proxies: spec
+                    .proxies
+                    .iter()
+                    .map(|&(lambda, h_prime)| StaticProxy { lambda, h_prime, n_f, p: spec.p })
+                    .collect(),
+                size_dist: spec.size_dist,
+            }),
+            requests_per_proxy: spec.requests_per_proxy,
+            warmup_per_proxy: spec.warmup_per_proxy,
+        };
+        ClusterSim::new(&config).run(run_seed)
+    };
+
+    let baseline = run_at(0.0, spec.seed);
+    let points = simcore::par::par_map_auto(n_fs, |_, &n_f| run_at(n_f, spec.seed.wrapping_add(1)));
+    n_fs.iter()
+        .zip(points)
+        .map(|(&n_f, report)| CurvePoint {
+            n_f,
+            mean_access_time: report.mean_access_time,
+            improvement: baseline.mean_access_time - report.mean_access_time,
+            excess_bytes_per_request: report.bytes_per_request - baseline.bytes_per_request,
+            max_link_utilisation: report.max_link_utilisation(),
+        })
+        .collect()
+}

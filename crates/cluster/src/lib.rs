@@ -1,0 +1,187 @@
+//! # cluster — multi-node network-of-queues prefetching simulator
+//!
+//! The paper analyses speculative prefetching over a *single* shared path.
+//! This crate lifts every substrate in the workspace to a **topology** of
+//! client populations, edge proxies, and sharded origin servers, where each
+//! hop is its own queueing resource:
+//!
+//! * [`Topology`] describes proxies, origin shards, per-link bandwidth and
+//!   discipline, and the route every `(proxy, shard)` fetch traverses —
+//!   with builders for star, two-tier-tree, and sharded-origin layouts;
+//! * each link runs as a `queueing` server (PS or FIFO);
+//! * each proxy hosts a `cachesim` tagged cache and, in adaptive mode, a
+//!   `prefetch_core::AdaptiveController` provisioned against its local
+//!   bottleneck bandwidth;
+//! * `workload` generates per-proxy client sessions (Zipf catalog, Markov
+//!   navigation).
+//!
+//! [`ClusterSim::run`] executes one deterministic discrete-event run and
+//! returns a [`ClusterReport`] with per-node and per-link utilisation `ρ`,
+//! mean access time `t̄`, prefetch goodput/badput, and aggregate network
+//! load; [`network_load_curve`] sweeps prefetch volume for the cluster
+//! analogue of the paper's Figures 2–3.
+//!
+//! ## Two engines, one API
+//!
+//! * **Open loop** ([`Workload::Static`]) — every proxy runs the paper's
+//!   Model-A mechanism (Bernoulli hits at `h′ + n̄(F)·p`, Poissonised
+//!   prefetch stream). On the degenerate [`Topology::single`] this is
+//!   event-for-event identical to `netsim::parametric`, which anchors the
+//!   whole crate to the validated single-path simulator (pinned by test
+//!   to 1e-6).
+//! * **Closed loop** ([`Workload::Adaptive`]) — real caches, online
+//!   estimators, and per-proxy threshold control. Because each controller
+//!   estimates `ρ̂′` from its *own* traffic, proxies under different local
+//!   load converge to different thresholds — the distributed behaviour the
+//!   single-path model cannot express.
+//!
+//! ## Example
+//!
+//! ```
+//! use cluster::{ClusterConfig, ClusterSim, StaticProxy, StaticWorkload, Topology, Workload};
+//! use simcore::dist::Exponential;
+//!
+//! // Two proxies share a backbone: same offered load as two private paths,
+//! // but now they impede each other.
+//! let size = Exponential::with_mean(1.0);
+//! let config = ClusterConfig {
+//!     topology: Topology::two_tier(2, 50.0, 60.0),
+//!     workload: Workload::Static(StaticWorkload {
+//!         proxies: vec![
+//!             StaticProxy { lambda: 20.0, h_prime: 0.3, n_f: 1.0, p: 0.8 },
+//!             StaticProxy { lambda: 10.0, h_prime: 0.3, n_f: 1.0, p: 0.8 },
+//!         ],
+//!         size_dist: &size,
+//!     }),
+//!     requests_per_proxy: 20_000,
+//!     warmup_per_proxy: 4_000,
+//! };
+//! let report = ClusterSim::new(&config).run(7);
+//! assert!(report.link("backbone").unwrap().utilisation > 0.0);
+//! assert!(report.mean_access_time.is_finite());
+//! ```
+
+mod adaptive_mode;
+mod curve;
+mod report;
+mod sim;
+mod static_mode;
+mod topology;
+
+pub use curve::{network_load_curve, CurveSpec};
+pub use report::{ClusterReport, CurvePoint, LinkReport, NodeReport};
+pub use sim::ClusterSim;
+pub use topology::{Discipline, Link, Topology, TopologyBuilder};
+
+use simcore::dist::Sample;
+use workload::synth_web::SynthWebConfig;
+
+/// Open-loop parameters of one proxy's population (the paper's symbols).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StaticProxy {
+    /// Aggregate request rate `λ` of this proxy's clients.
+    pub lambda: f64,
+    /// No-prefetch hit ratio `h′` of the proxy cache.
+    pub h_prime: f64,
+    /// Prefetches per request `n̄(F)`.
+    pub n_f: f64,
+    /// Access probability `p` of prefetched items.
+    pub p: f64,
+}
+
+/// Open-loop (Model-A mechanism) workload over every proxy.
+pub struct StaticWorkload<'a> {
+    /// One entry per topology proxy.
+    pub proxies: Vec<StaticProxy>,
+    /// Item-size distribution shared by all proxies.
+    pub size_dist: &'a dyn Sample,
+}
+
+/// Where adaptive-mode prefetch candidates come from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CandidateSource {
+    /// Ground-truth successor probabilities from the generating chain.
+    Oracle,
+    /// Learned order-1 Markov predictor.
+    Markov1,
+}
+
+/// Per-proxy prefetch policy in adaptive mode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProxyPolicy {
+    /// Never prefetch (baseline).
+    NoPrefetch,
+    /// Prefetch candidates above a constant probability.
+    FixedThreshold(f64),
+    /// The paper's policy: threshold `ρ̂′` from each proxy's own online
+    /// estimators — thresholds diverge with local load.
+    Adaptive,
+}
+
+/// Closed-loop workload: real caches, controllers, and predictors.
+#[derive(Clone, Debug)]
+pub struct AdaptiveWorkload {
+    /// One session-workload config per topology proxy (rates may differ —
+    /// that is what makes the local thresholds diverge).
+    pub proxies: Vec<SynthWebConfig>,
+    /// Per-proxy cache capacity (items).
+    pub cache_capacity: usize,
+    /// Maximum prefetch candidates considered per request.
+    pub max_candidates: usize,
+    /// Mean exponential pacing delay before a prefetch hits the network
+    /// (zero issues at the request instant, creating batch arrivals).
+    pub prefetch_jitter: f64,
+    /// Prefetch policy applied at every proxy.
+    pub policy: ProxyPolicy,
+    /// Candidate source for every proxy.
+    pub predictor: CandidateSource,
+}
+
+/// Which engine drives the cluster.
+pub enum Workload<'a> {
+    /// Open-loop Model-A mechanism (comparable with the closed forms).
+    Static(StaticWorkload<'a>),
+    /// Closed-loop adaptive prefetching.
+    Adaptive(AdaptiveWorkload),
+}
+
+/// A complete cluster configuration.
+pub struct ClusterConfig<'a> {
+    pub topology: Topology,
+    pub workload: Workload<'a>,
+    /// User requests issued by each proxy's population.
+    pub requests_per_proxy: usize,
+    /// Leading requests per proxy discarded as warm-up.
+    pub warmup_per_proxy: usize,
+}
+
+impl ClusterConfig<'_> {
+    pub(crate) fn validate(&self) {
+        assert!(self.requests_per_proxy > self.warmup_per_proxy, "need post-warmup requests");
+        match &self.workload {
+            Workload::Static(w) => {
+                assert_eq!(
+                    w.proxies.len(),
+                    self.topology.n_proxies(),
+                    "one StaticProxy per topology proxy"
+                );
+                for (i, p) in w.proxies.iter().enumerate() {
+                    assert!(p.lambda > 0.0 && p.lambda.is_finite(), "proxy {i}: bad λ");
+                    assert!((0.0..=1.0).contains(&p.h_prime), "proxy {i}: bad h′");
+                    assert!((0.0..=1.0).contains(&p.p), "proxy {i}: bad p");
+                    assert!(p.n_f >= 0.0 && p.n_f.is_finite(), "proxy {i}: bad n̄(F)");
+                }
+            }
+            Workload::Adaptive(w) => {
+                assert_eq!(
+                    w.proxies.len(),
+                    self.topology.n_proxies(),
+                    "one SynthWebConfig per topology proxy"
+                );
+                assert!(w.cache_capacity > 0, "cache capacity must be positive");
+                assert!(w.max_candidates > 0, "need at least one candidate");
+                assert!(w.prefetch_jitter >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Measurement records produced by one cluster run.
+//!
+//! Everything is plain data with `PartialEq` so determinism can be asserted
+//! structurally (same seed ⇒ identical report). Quantities that only exist
+//! in one mode (e.g. adaptive thresholds, prefetch goodput) are `Option`s
+//! and are always finite when present — `NaN` never appears in a report.
+
+/// Per-link measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkReport {
+    /// Topology name of the link.
+    pub name: String,
+    /// Busy fraction over the run, `ρ` of this hop.
+    pub utilisation: f64,
+    /// Size-units carried (every job counted once per traversal).
+    pub bytes_carried: f64,
+    /// Jobs that finished service on this link.
+    pub jobs_completed: u64,
+}
+
+/// Per-proxy (client-population) measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeReport {
+    /// Proxy index in the topology.
+    pub proxy: usize,
+    /// Requests measured (post warm-up).
+    pub measured_requests: u64,
+    /// Cache hit ratio over measured requests.
+    pub hit_ratio: f64,
+    /// Mean user-perceived access time `t̄` (hits cost zero).
+    pub mean_access_time: f64,
+    /// 95% CI half-width on `t̄` (batch means).
+    pub access_time_ci95: f64,
+    /// Mean sojourn of demand fetches (the paper's `r̄`).
+    pub mean_retrieval_time: f64,
+    /// Retrieval time per user request, `R` (demand + prefetch sojourns).
+    pub retrieval_per_request: f64,
+    /// Prefetch jobs issued per user request (`n̄(F)` realised).
+    pub prefetches_per_request: f64,
+    /// Prefetched size-units that later served a hit (adaptive mode only).
+    pub goodput_bytes: Option<f64>,
+    /// Prefetched size-units that never served a hit (adaptive mode only).
+    pub badput_bytes: Option<f64>,
+    /// Demand-fetched size-units.
+    pub demand_bytes: f64,
+    /// Mean threshold the local controller applied (adaptive mode only).
+    pub mean_threshold: Option<f64>,
+    /// The controller's final `ρ̂′` estimate (adaptive mode only).
+    pub rho_prime_estimate: Option<f64>,
+    /// The controller's final `ĥ′` estimate (adaptive mode only).
+    pub h_prime_estimate: Option<f64>,
+}
+
+/// One complete cluster run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterReport {
+    /// Per-proxy measurements, indexed by proxy.
+    pub nodes: Vec<NodeReport>,
+    /// Per-link measurements, in topology link order.
+    pub links: Vec<LinkReport>,
+    /// Request-weighted mean access time across all proxies.
+    pub mean_access_time: f64,
+    /// Network load: size-units injected (demand + prefetch, counted once
+    /// per job) per user request — the Fig. 3 quantity at cluster scope.
+    pub bytes_per_request: f64,
+    /// Virtual time of the last event.
+    pub duration: f64,
+}
+
+impl ClusterReport {
+    /// The highest per-link utilisation — the cluster's stability margin
+    /// (`max ρ < 1` ⇔ every queue is stable at these loads).
+    pub fn max_link_utilisation(&self) -> f64 {
+        self.links.iter().map(|l| l.utilisation).fold(0.0, f64::max)
+    }
+
+    /// Finds a link report by topology name.
+    pub fn link(&self, name: &str) -> Option<&LinkReport> {
+        self.links.iter().find(|l| l.name == name)
+    }
+}
+
+/// One point of the aggregate network-load curve (the cluster-scope
+/// analogue of the paper's Figures 2–3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CurvePoint {
+    /// Prefetch volume `n̄(F)` applied at every proxy.
+    pub n_f: f64,
+    /// Cluster mean access time `t̄` at this volume.
+    pub mean_access_time: f64,
+    /// Access improvement `G = t̄′ − t̄` vs the no-prefetch baseline (Fig 2).
+    pub improvement: f64,
+    /// Excess network load per request vs baseline, `C` analogue (Fig 3).
+    pub excess_bytes_per_request: f64,
+    /// Highest link utilisation at this volume.
+    pub max_link_utilisation: f64,
+}

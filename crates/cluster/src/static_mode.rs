@@ -1,0 +1,283 @@
+//! Open-loop (Model-A mechanism) cluster engine.
+//!
+//! Each proxy reproduces `netsim::parametric`'s mechanism on its own RNG
+//! streams: Poisson(λ) user requests, Bernoulli hits at
+//! `h = h′ + n̄(F)·p`, a Poissonised prefetch stream of rate `n̄(F)·λ`,
+//! and demand fetches that traverse the proxy's route of queueing links
+//! instead of one shared server. With the single-proxy, single-link
+//! topology the event sequence — and therefore every measured number — is
+//! *identical* to `netsim::parametric::run` at the same seed; that parity
+//! is pinned by a test against 1e-6.
+
+use crate::report::{ClusterReport, LinkReport, NodeReport};
+use crate::sim::{earliest_link_event, proxy_seed, LinkState};
+use crate::{StaticWorkload, Topology};
+use simcore::rng::Rng;
+use simcore::stats::{BatchMeans, Welford};
+use std::collections::HashMap;
+
+#[derive(Clone, Copy)]
+enum JobKind {
+    Demand { measured: bool },
+    Prefetch { measured: bool },
+}
+
+#[derive(Clone, Copy)]
+struct Job {
+    proxy: u32,
+    shard: u32,
+    hop: usize,
+    size: f64,
+    issued: f64,
+    kind: JobKind,
+}
+
+struct ProxyState {
+    rng: Rng,
+    prefetch_rng: Rng,
+    h: f64,
+    lambda: f64,
+    prefetch_rate: f64,
+    next_request_t: f64,
+    next_prefetch_t: f64,
+    issued: u64,
+    in_window: bool,
+    access_times: BatchMeans,
+    retrievals: Welford,
+    hits: u64,
+    total_job_time: f64,
+    prefetch_jobs: u64,
+    demand_bytes: f64,
+    prefetch_bytes: f64,
+}
+
+pub(crate) fn run(
+    topology: &Topology,
+    w: &StaticWorkload<'_>,
+    requests: usize,
+    warmup: usize,
+    seed: u64,
+) -> ClusterReport {
+    let n_shards = topology.n_shards() as u64;
+    let mut links: Vec<LinkState> = topology.links().iter().map(LinkState::new).collect();
+
+    let mut proxies: Vec<ProxyState> = w
+        .proxies
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            // Draw order matches netsim::parametric::run exactly: split the
+            // prefetch stream first, then the first inter-arrival gaps.
+            let mut rng = Rng::new(proxy_seed(seed, i));
+            let prefetch_rate = p.n_f * p.lambda;
+            let mut prefetch_rng = rng.split();
+            let next_request_t = rng.exp(p.lambda);
+            let next_prefetch_t =
+                if prefetch_rate > 0.0 { prefetch_rng.exp(prefetch_rate) } else { f64::INFINITY };
+            ProxyState {
+                rng,
+                prefetch_rng,
+                h: (p.h_prime + p.n_f * p.p).min(1.0),
+                lambda: p.lambda,
+                prefetch_rate,
+                next_request_t,
+                next_prefetch_t,
+                issued: 0,
+                in_window: false,
+                access_times: BatchMeans::new(20),
+                retrievals: Welford::new(),
+                hits: 0,
+                total_job_time: 0.0,
+                prefetch_jobs: 0,
+                demand_bytes: 0.0,
+                prefetch_bytes: 0.0,
+            }
+        })
+        .collect();
+
+    let warm = warmup as u64;
+    let n_requests = requests as u64;
+    let mut jobs: HashMap<u64, Job> = HashMap::new();
+    let mut next_job_id: u64 = 0;
+    let mut t_end = 0.0;
+
+    enum Ev {
+        Link(f64, usize),
+        Request(usize),
+        Prefetch(usize),
+    }
+
+    loop {
+        let link_ev = earliest_link_event(&links);
+        // Earliest request / prefetch over proxies still issuing; the
+        // prefetch stream of a proxy stops with its request stream.
+        let mut req: Option<(f64, usize)> = None;
+        let mut pre: Option<(f64, usize)> = None;
+        for (i, p) in proxies.iter().enumerate() {
+            if p.issued < n_requests {
+                if req.is_none_or(|(t, _)| p.next_request_t < t) {
+                    req = Some((p.next_request_t, i));
+                }
+                if p.next_prefetch_t.is_finite() && pre.is_none_or(|(t, _)| p.next_prefetch_t < t) {
+                    pre = Some((p.next_prefetch_t, i));
+                }
+            }
+        }
+
+        let ts = link_ev.map_or(f64::INFINITY, |(t, _)| t);
+        let tr = req.map_or(f64::INFINITY, |(t, _)| t);
+        let tp = pre.map_or(f64::INFINITY, |(t, _)| t);
+        // Tie-break order (links, then requests, then prefetches) mirrors
+        // the parametric simulator.
+        let ev = if ts.is_infinite() && tr.is_infinite() && tp.is_infinite() {
+            break;
+        } else if ts <= tr && ts <= tp {
+            let (t, l) = link_ev.expect("link event");
+            Ev::Link(t, l)
+        } else if tr <= tp {
+            Ev::Request(req.expect("request event").1)
+        } else {
+            Ev::Prefetch(pre.expect("prefetch event").1)
+        };
+
+        match ev {
+            Ev::Link(t, l) => {
+                t_end = t;
+                for c in links[l].on_event(t) {
+                    let job = jobs[&c.tag];
+                    links[l].bytes_carried += job.size;
+                    let route = topology.route(job.proxy as usize, job.shard as usize);
+                    if job.hop + 1 < route.len() {
+                        // Tandem hop: forward to the next link unchanged.
+                        let mut fwd = job;
+                        fwd.hop += 1;
+                        jobs.insert(c.tag, fwd);
+                        links[route[fwd.hop]].arrive(t, fwd.size, c.tag);
+                    } else {
+                        jobs.remove(&c.tag);
+                        let sojourn = t - job.issued;
+                        let p = &mut proxies[job.proxy as usize];
+                        match job.kind {
+                            JobKind::Demand { measured } => {
+                                if measured {
+                                    p.access_times.push(sojourn);
+                                    p.retrievals.push(sojourn);
+                                    p.total_job_time += sojourn;
+                                }
+                            }
+                            JobKind::Prefetch { measured } => {
+                                if measured {
+                                    p.total_job_time += sojourn;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Ev::Request(i) => {
+                let p = &mut proxies[i];
+                let t = p.next_request_t;
+                t_end = t;
+                let idx = p.issued;
+                p.issued += 1;
+                p.in_window = idx >= warm;
+                if p.rng.chance(p.h) {
+                    if p.in_window {
+                        p.access_times.push(0.0);
+                        p.hits += 1;
+                    }
+                } else {
+                    let size = w.size_dist.sample(&mut p.rng);
+                    let shard = if n_shards > 1 { p.rng.below(n_shards) } else { 0 };
+                    p.demand_bytes += size;
+                    let job = Job {
+                        proxy: i as u32,
+                        shard: shard as u32,
+                        hop: 0,
+                        size,
+                        issued: t,
+                        kind: JobKind::Demand { measured: p.in_window },
+                    };
+                    let id = next_job_id;
+                    next_job_id += 1;
+                    jobs.insert(id, job);
+                    links[topology.route(i, shard as usize)[0]].arrive(t, size, id);
+                }
+                p.next_request_t = t + p.rng.exp(p.lambda);
+            }
+            Ev::Prefetch(i) => {
+                let p = &mut proxies[i];
+                let t = p.next_prefetch_t;
+                t_end = t;
+                let size = w.size_dist.sample(&mut p.prefetch_rng);
+                let shard = if n_shards > 1 { p.prefetch_rng.below(n_shards) } else { 0 };
+                p.prefetch_jobs += 1;
+                p.prefetch_bytes += size;
+                let job = Job {
+                    proxy: i as u32,
+                    shard: shard as u32,
+                    hop: 0,
+                    size,
+                    issued: t,
+                    kind: JobKind::Prefetch { measured: p.in_window },
+                };
+                let id = next_job_id;
+                next_job_id += 1;
+                jobs.insert(id, job);
+                links[topology.route(i, shard as usize)[0]].arrive(t, size, id);
+                p.next_prefetch_t = t + p.prefetch_rng.exp(p.prefetch_rate);
+            }
+        }
+    }
+
+    let measured = n_requests - warm;
+    let nodes: Vec<NodeReport> = proxies
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let (mean_access, ci) = p.access_times.mean_ci();
+            NodeReport {
+                proxy: i,
+                measured_requests: measured,
+                hit_ratio: p.hits as f64 / measured as f64,
+                mean_access_time: mean_access,
+                access_time_ci95: ci,
+                mean_retrieval_time: p.retrievals.mean(),
+                retrieval_per_request: p.total_job_time / measured as f64,
+                prefetches_per_request: p.prefetch_jobs as f64 / n_requests as f64,
+                goodput_bytes: None,
+                badput_bytes: None,
+                demand_bytes: p.demand_bytes,
+                mean_threshold: None,
+                rho_prime_estimate: None,
+                h_prime_estimate: None,
+            }
+        })
+        .collect();
+
+    let link_reports: Vec<LinkReport> = topology
+        .links()
+        .iter()
+        .zip(&links)
+        .map(|(spec, state)| LinkReport {
+            name: spec.name.clone(),
+            utilisation: if t_end > 0.0 { state.busy_time() / t_end } else { 0.0 },
+            bytes_carried: state.bytes_carried,
+            jobs_completed: state.jobs_completed,
+        })
+        .collect();
+
+    let total_measured: u64 = measured * proxies.len() as u64;
+    let mean_access_time =
+        nodes.iter().map(|n| n.mean_access_time * n.measured_requests as f64).sum::<f64>()
+            / total_measured as f64;
+    let total_bytes: f64 = proxies.iter().map(|p| p.demand_bytes + p.prefetch_bytes).sum();
+
+    ClusterReport {
+        nodes,
+        links: link_reports,
+        mean_access_time,
+        bytes_per_request: total_bytes / (n_requests * proxies.len() as u64) as f64,
+        duration: t_end,
+    }
+}

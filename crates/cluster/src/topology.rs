@@ -1,0 +1,273 @@
+//! Cluster topologies: proxies, origin shards, and the links between them.
+//!
+//! A [`Topology`] is a bipartite routing structure: `P` edge proxies (each
+//! fronting a client population) fetch from `S` origin shards, and every
+//! `(proxy, shard)` pair is assigned a *route* — an ordered path of links a
+//! fetch traverses. Links are the queueing resources: each one becomes a
+//! processor-sharing (or FIFO) server with its own bandwidth in
+//! [`crate::ClusterSim`].
+//!
+//! Three canonical layouts are provided, spanning the shapes the scaling
+//! literature cares about (Anselmi & Walton's speculative queueing networks;
+//! the server-scale prefetching surveys):
+//!
+//! * [`Topology::single`] — one proxy, one shard, one link: degenerates to
+//!   the paper's single shared path (and is validated against
+//!   `netsim::parametric`);
+//! * [`Topology::star`] — every proxy has a private uplink to one origin:
+//!   no cross-proxy queueing interaction, the baseline for comparison;
+//! * [`Topology::two_tier`] — private access links feeding one shared
+//!   backbone: proxies now impede each other exactly as the paper's §5 load
+//!   impedance predicts;
+//! * [`Topology::sharded_origin`] — private uplinks into per-shard egress
+//!   links, items hash-partitioned across shards: the scale-out layout.
+
+/// A directed link with a fixed capacity and queueing discipline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Link {
+    /// Human-readable name used in reports (e.g. `"uplink[2]"`).
+    pub name: String,
+    /// Capacity in size-units/second (the paper's `b` for this hop).
+    pub bandwidth: f64,
+    /// Scheduling discipline of the link server.
+    pub discipline: Discipline,
+}
+
+/// Queueing discipline of one link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Discipline {
+    /// Processor sharing — the paper's model (insensitive to size dist).
+    ProcessorSharing,
+    /// First-in-first-out — the ablation discipline.
+    Fifo,
+}
+
+/// A multi-node layout: links plus a route for every `(proxy, shard)` pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Topology {
+    n_proxies: usize,
+    n_shards: usize,
+    links: Vec<Link>,
+    /// `routes[p * n_shards + s]` = ordered link indices from proxy `p` to
+    /// shard `s`.
+    routes: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Starts an empty custom topology; see [`TopologyBuilder`].
+    pub fn builder(n_proxies: usize, n_shards: usize) -> TopologyBuilder {
+        assert!(n_proxies > 0 && n_shards > 0);
+        TopologyBuilder {
+            n_proxies,
+            n_shards,
+            links: Vec::new(),
+            routes: vec![Vec::new(); n_proxies * n_shards],
+        }
+    }
+
+    /// One proxy, one shard, one PS link of the given bandwidth — the
+    /// paper's single shared path.
+    pub fn single(bandwidth: f64) -> Topology {
+        let mut b = Topology::builder(1, 1);
+        let l = b.add_link("path", bandwidth, Discipline::ProcessorSharing);
+        b.route(0, 0, vec![l]);
+        b.build()
+    }
+
+    /// `n_proxies` proxies, each with a private PS uplink of
+    /// `uplink_bandwidth` to a single origin.
+    pub fn star(n_proxies: usize, uplink_bandwidth: f64) -> Topology {
+        let mut b = Topology::builder(n_proxies, 1);
+        for p in 0..n_proxies {
+            let l =
+                b.add_link(format!("uplink[{p}]"), uplink_bandwidth, Discipline::ProcessorSharing);
+            b.route(p, 0, vec![l]);
+        }
+        b.build()
+    }
+
+    /// Private access links feeding one shared backbone to a single origin.
+    pub fn two_tier(n_proxies: usize, access_bandwidth: f64, backbone_bandwidth: f64) -> Topology {
+        let mut b = Topology::builder(n_proxies, 1);
+        let backbone = b.add_link("backbone", backbone_bandwidth, Discipline::ProcessorSharing);
+        for p in 0..n_proxies {
+            let l =
+                b.add_link(format!("access[{p}]"), access_bandwidth, Discipline::ProcessorSharing);
+            b.route(p, 0, vec![l, backbone]);
+        }
+        b.build()
+    }
+
+    /// Private uplinks into per-shard egress links; items are partitioned
+    /// across `n_shards` shards by `item % n_shards`.
+    pub fn sharded_origin(
+        n_proxies: usize,
+        n_shards: usize,
+        uplink_bandwidth: f64,
+        shard_bandwidth: f64,
+    ) -> Topology {
+        let mut b = Topology::builder(n_proxies, n_shards);
+        let shard_links: Vec<usize> = (0..n_shards)
+            .map(|s| {
+                b.add_link(format!("shard[{s}]"), shard_bandwidth, Discipline::ProcessorSharing)
+            })
+            .collect();
+        for p in 0..n_proxies {
+            let up =
+                b.add_link(format!("uplink[{p}]"), uplink_bandwidth, Discipline::ProcessorSharing);
+            for (s, &sl) in shard_links.iter().enumerate() {
+                b.route(p, s, vec![up, sl]);
+            }
+        }
+        b.build()
+    }
+
+    pub fn n_proxies(&self) -> usize {
+        self.n_proxies
+    }
+
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The link path a fetch from `proxy` to `shard` traverses.
+    pub fn route(&self, proxy: usize, shard: usize) -> &[usize] {
+        &self.routes[proxy * self.n_shards + shard]
+    }
+
+    /// The narrowest bandwidth on the route — the capacity an adaptive
+    /// controller at `proxy` should provision its threshold against for
+    /// fetches to `shard`.
+    pub fn bottleneck(&self, proxy: usize, shard: usize) -> f64 {
+        self.route(proxy, shard)
+            .iter()
+            .map(|&l| self.links[l].bandwidth)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The worst-case bottleneck over all shards reachable from `proxy`.
+    pub fn proxy_bottleneck(&self, proxy: usize) -> f64 {
+        (0..self.n_shards).map(|s| self.bottleneck(proxy, s)).fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Incremental construction of a custom [`Topology`].
+pub struct TopologyBuilder {
+    n_proxies: usize,
+    n_shards: usize,
+    links: Vec<Link>,
+    routes: Vec<Vec<usize>>,
+}
+
+impl TopologyBuilder {
+    /// Registers a link; returns its index for use in routes.
+    pub fn add_link(
+        &mut self,
+        name: impl Into<String>,
+        bandwidth: f64,
+        discipline: Discipline,
+    ) -> usize {
+        assert!(bandwidth > 0.0 && bandwidth.is_finite(), "link bandwidth must be positive");
+        self.links.push(Link { name: name.into(), bandwidth, discipline });
+        self.links.len() - 1
+    }
+
+    /// Sets the route for `(proxy, shard)`.
+    pub fn route(&mut self, proxy: usize, shard: usize, links: Vec<usize>) -> &mut Self {
+        assert!(proxy < self.n_proxies && shard < self.n_shards, "route endpoint out of range");
+        assert!(!links.is_empty(), "route must traverse at least one link");
+        for &l in &links {
+            assert!(l < self.links.len(), "route references unknown link {l}");
+        }
+        self.routes[proxy * self.n_shards + shard] = links;
+        self
+    }
+
+    /// Validates completeness and freezes the topology.
+    pub fn build(self) -> Topology {
+        for p in 0..self.n_proxies {
+            for s in 0..self.n_shards {
+                assert!(
+                    !self.routes[p * self.n_shards + s].is_empty(),
+                    "no route from proxy {p} to shard {s}"
+                );
+            }
+        }
+        Topology {
+            n_proxies: self.n_proxies,
+            n_shards: self.n_shards,
+            links: self.links,
+            routes: self.routes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_is_one_link() {
+        let t = Topology::single(50.0);
+        assert_eq!((t.n_proxies(), t.n_shards(), t.links().len()), (1, 1, 1));
+        assert_eq!(t.route(0, 0), &[0]);
+        assert_eq!(t.bottleneck(0, 0), 50.0);
+    }
+
+    #[test]
+    fn star_has_private_uplinks() {
+        let t = Topology::star(4, 25.0);
+        assert_eq!(t.links().len(), 4);
+        for p in 0..4 {
+            assert_eq!(t.route(p, 0).len(), 1);
+        }
+        // No two proxies share a link.
+        assert_ne!(t.route(0, 0), t.route(1, 0));
+    }
+
+    #[test]
+    fn two_tier_shares_the_backbone() {
+        let t = Topology::two_tier(3, 60.0, 100.0);
+        assert_eq!(t.links().len(), 4);
+        let backbone = t.route(0, 0)[1];
+        for p in 0..3 {
+            assert_eq!(t.route(p, 0)[1], backbone);
+        }
+        assert_eq!(t.bottleneck(0, 0), 60.0);
+    }
+
+    #[test]
+    fn sharded_routes_cross_product() {
+        let t = Topology::sharded_origin(3, 2, 40.0, 80.0);
+        assert_eq!(t.links().len(), 2 + 3);
+        for p in 0..3 {
+            let up = t.route(p, 0)[0];
+            for s in 0..2 {
+                assert_eq!(t.route(p, s)[0], up, "same uplink for every shard");
+            }
+            assert_ne!(t.route(p, 0)[1], t.route(p, 1)[1], "distinct shard links");
+        }
+        assert_eq!(t.bottleneck(0, 0), 40.0);
+        assert_eq!(t.proxy_bottleneck(0), 40.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_route_panics() {
+        let mut b = Topology::builder(2, 1);
+        let l = b.add_link("only", 10.0, Discipline::ProcessorSharing);
+        b.route(0, 0, vec![l]);
+        b.build(); // proxy 1 has no route
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bandwidth_panics() {
+        let mut b = Topology::builder(1, 1);
+        b.add_link("bad", 0.0, Discipline::ProcessorSharing);
+    }
+}

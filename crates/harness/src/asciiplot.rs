@@ -2,6 +2,9 @@
 //! charts (each series gets its own marker character, like the paper's
 //! gnuplot keys).
 
+/// One chart series: label, marker character, and `(x, y)` points.
+type Series = (String, char, Vec<(f64, f64)>);
+
 /// A multi-series scatter/line chart rendered to a character grid.
 pub struct Chart {
     title: String,
@@ -9,7 +12,7 @@ pub struct Chart {
     height: usize,
     x_range: (f64, f64),
     y_range: (f64, f64),
-    series: Vec<(String, char, Vec<(f64, f64)>)>,
+    series: Vec<Series>,
 }
 
 const MARKERS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&', '^', '~'];
@@ -24,14 +27,7 @@ impl Chart {
     ) -> Self {
         assert!(x_range.1 > x_range.0 && y_range.1 > y_range.0);
         assert!(width >= 16 && height >= 6);
-        Chart {
-            title: title.into(),
-            width,
-            height,
-            x_range,
-            y_range,
-            series: Vec::new(),
-        }
+        Chart { title: title.into(), width, height, x_range, y_range, series: Vec::new() }
     }
 
     /// Adds a series; points outside the ranges are clipped (exactly how

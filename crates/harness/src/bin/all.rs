@@ -7,10 +7,12 @@
 use std::fs;
 use std::time::Instant;
 
+type Experiment = (&'static str, fn() -> String);
+
 fn main() -> std::io::Result<()> {
     let out_dir = std::env::args().nth(1).unwrap_or_else(|| "results".to_string());
     fs::create_dir_all(&out_dir)?;
-    let experiments: Vec<(&str, fn() -> String)> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("e1_fig1", harness::experiments::e1_fig1::render),
         ("e2_fig2", harness::experiments::e2_fig2::render),
         ("e3_fig3", harness::experiments::e3_fig3::render),
@@ -23,13 +25,18 @@ fn main() -> std::io::Result<()> {
         ("e10_ablation", harness::experiments::e10_ablation::render),
         ("e11_wireless", harness::experiments::e11_wireless::render),
         ("e12_caches", harness::experiments::e12_caches::render),
+        ("e13_cluster", harness::experiments::e13_cluster::render),
     ];
     for (name, render) in experiments {
         let start = Instant::now();
         let report = render();
         let path = format!("{out_dir}/{name}.txt");
         fs::write(&path, &report)?;
-        println!("wrote {path} ({} lines, {:.1}s)", report.lines().count(), start.elapsed().as_secs_f64());
+        println!(
+            "wrote {path} ({} lines, {:.1}s)",
+            report.lines().count(),
+            start.elapsed().as_secs_f64()
+        );
     }
     println!("done — see {out_dir}/");
     Ok(())

@@ -1,0 +1,5 @@
+//! Regenerates the report of experiment `e13_cluster`: speculative
+//! prefetching across a multi-node network of queues.
+fn main() {
+    print!("{}", harness::experiments::e13_cluster::render());
+}

@@ -27,7 +27,8 @@ pub fn rr_convergence(jobs: usize, seed: u64) -> (Vec<(f64, f64)>, f64, f64) {
     for &quantum in &[10.0, 1.0, 0.25, 0.05, 0.01] {
         let mut rng = Rng::new(seed);
         let mut server = RrServer::new(1.0, quantum);
-        let stats = measure_mg1(&mut server, lambda, &Deterministic(1.0), jobs, jobs / 10, &mut rng);
+        let stats =
+            measure_mg1(&mut server, lambda, &Deterministic(1.0), jobs, jobs / 10, &mut rng);
         rows.push((quantum, stats.mean_response));
     }
     (rows, ps_theory, fifo_theory)
@@ -68,11 +69,7 @@ pub fn render() -> String {
         &["quantum", "measured E[T]", "gap to PS"],
     );
     for &(q, t) in &rows {
-        table.row(vec![
-            f(q, 2),
-            f(t, 4),
-            format!("{:+.1}%", 100.0 * (t - ps_theory) / ps_theory),
-        ]);
+        table.row(vec![f(q, 2), f(t, 4), format!("{:+.1}%", 100.0 * (t - ps_theory) / ps_theory)]);
     }
     out.push_str(&table.render());
     out.push('\n');

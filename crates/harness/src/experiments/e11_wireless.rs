@@ -47,8 +47,8 @@ impl Default for WirelessConfig {
             lambda: 30.0,
             mean_size: 1.0,
             h_prime: 0.3,
-            b_good: 80.0,  // ρ′ = 0.2625, p_th = 0.26
-            b_bad: 26.0,   // ρ′ = 0.8077, p_th = 0.81
+            b_good: 80.0, // ρ′ = 0.2625, p_th = 0.26
+            b_bad: 26.0,  // ρ′ = 0.8077, p_th = 0.81
             good_sojourn: 20.0,
             bad_sojourn: 6.0,
             p: 0.6, // clears the good-state bar, far below the bad-state bar
@@ -142,11 +142,8 @@ pub fn run(config: &WirelessConfig, policy: WirelessPolicy, seed: u64) -> Wirele
             }
         } else if tsw <= tr {
             good = !good;
-            let (b, sojourn) = if good {
-                (c.b_good, c.good_sojourn)
-            } else {
-                (c.b_bad, c.bad_sojourn)
-            };
+            let (b, sojourn) =
+                if good { (c.b_good, c.good_sojourn) } else { (c.b_bad, c.bad_sojourn) };
             server.set_capacity(tsw, b);
             next_switch = tsw + channel_rng.exp(1.0 / sojourn);
         } else {
@@ -215,11 +212,9 @@ pub fn render() -> String {
         "Policies over the switching channel",
         &["policy", "t mean", "ci95", "h", "n(F)", "bad-state prefetch %"],
     );
-    for policy in [
-        WirelessPolicy::Never,
-        WirelessPolicy::StaticGoodState,
-        WirelessPolicy::ChannelAware,
-    ] {
+    for policy in
+        [WirelessPolicy::Never, WirelessPolicy::StaticGoodState, WirelessPolicy::ChannelAware]
+    {
         let r = run(&config, policy, 11_011);
         table.row(vec![
             r.policy.to_string(),

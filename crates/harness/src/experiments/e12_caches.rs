@@ -103,13 +103,7 @@ pub fn render() -> String {
         let (_, h_markov) = markov[i];
         let (_, h_stack) = stack[i];
         let pth = (1.0 - h_zipf) * 30.0 * 1.0 / 100.0;
-        table.row(vec![
-            name.to_string(),
-            f(h_zipf, 3),
-            f(h_markov, 3),
-            f(h_stack, 3),
-            f(pth, 3),
-        ]);
+        table.row(vec![name.to_string(), f(h_zipf, 3), f(h_markov, 3), f(h_stack, 3), f(pth, 3)]);
     }
     out.push_str(&table.render());
     out.push_str(

@@ -1,0 +1,248 @@
+//! E13 — speculative prefetching across a multi-node cluster.
+//!
+//! The paper's analysis lives on one shared path; its title promises
+//! distributed systems. This experiment runs the `cluster` crate's
+//! network-of-queues simulator in three escalating settings:
+//!
+//! 1. **Degenerate parity** — the single-proxy topology against the
+//!    paper's eq (10)/(14) closed forms (and, by construction, against
+//!    `netsim::parametric` exactly);
+//! 2. **Topology comparison** — the same aggregate load over private
+//!    uplinks (star), a shared backbone (two-tier), and a sharded origin:
+//!    where the queueing actually happens decides what prefetching costs;
+//! 3. **Adaptive divergence** — three proxies with heterogeneous local
+//!    load, each running its own §4 estimators: their thresholds `p̂_th`
+//!    separate because each sees a different local `ρ̂′`.
+//!
+//! Plus the cluster-scope Figure 2/3 analogue: `G` and excess network
+//! load vs prefetch volume, at p above and below the threshold.
+
+use crate::report::{f, Table};
+use cluster::{
+    network_load_curve, AdaptiveWorkload, CandidateSource, ClusterConfig, ClusterReport,
+    ClusterSim, CurveSpec, ProxyPolicy, StaticProxy, StaticWorkload, Topology, Workload,
+};
+use prefetch_core::{ModelA, SystemParams};
+use simcore::dist::Exponential;
+use workload::synth_web::SynthWebConfig;
+
+const REQUESTS: usize = 60_000;
+const WARMUP: usize = 10_000;
+const SEED: u64 = 13;
+
+/// Runs the open-loop cluster at uniform per-proxy parameters.
+pub fn run_static(
+    topology: Topology,
+    lambda: f64,
+    h_prime: f64,
+    n_f: f64,
+    p: f64,
+    seed: u64,
+) -> ClusterReport {
+    let size = Exponential::with_mean(1.0);
+    let proxies =
+        (0..topology.n_proxies()).map(|_| StaticProxy { lambda, h_prime, n_f, p }).collect();
+    let config = ClusterConfig {
+        topology,
+        workload: Workload::Static(StaticWorkload { proxies, size_dist: &size }),
+        requests_per_proxy: REQUESTS,
+        warmup_per_proxy: WARMUP,
+    };
+    ClusterSim::new(&config).run(seed)
+}
+
+/// The heterogeneous-load adaptive deployment: 3 proxies, 2 origin shards.
+pub fn run_adaptive(lambdas: &[f64], policy: ProxyPolicy, seed: u64) -> ClusterReport {
+    let config = ClusterConfig {
+        topology: Topology::sharded_origin(lambdas.len(), 2, 45.0, 80.0),
+        workload: Workload::Adaptive(AdaptiveWorkload {
+            proxies: lambdas
+                .iter()
+                .map(|&lambda| SynthWebConfig {
+                    lambda,
+                    link_skew: 0.3,
+                    ..SynthWebConfig::default()
+                })
+                .collect(),
+            cache_capacity: 32,
+            max_candidates: 3,
+            prefetch_jitter: 0.01,
+            policy,
+            predictor: CandidateSource::Oracle,
+        }),
+        requests_per_proxy: REQUESTS,
+        warmup_per_proxy: WARMUP,
+    };
+    ClusterSim::new(&config).run(seed)
+}
+
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("# E13 — speculative prefetching across a multi-node cluster\n");
+    out.push_str("# every link is a PS queue; every proxy a cache + controller\n\n");
+
+    // 1. Degenerate parity against the closed forms.
+    let params = SystemParams::paper_figure2(0.0);
+    let mut parity = Table::new(
+        "Single-node degenerate topology vs Model A closed forms (lambda=30, b=50, h'=0)",
+        &["nf", "p", "rho measured", "rho eq(9)", "t measured", "t eq(10)"],
+    );
+    for (n_f, p) in [(0.0, 0.0), (0.5, 0.8), (1.0, 0.9)] {
+        let r = run_static(Topology::single(50.0), 30.0, 0.0, n_f, p, SEED);
+        let model = ModelA::new(params, n_f, p);
+        parity.row(vec![
+            f(n_f, 1),
+            f(p, 1),
+            f(r.links[0].utilisation, 4),
+            f(model.utilisation(), 4),
+            f(r.nodes[0].mean_access_time, 5),
+            f(model.access_time().unwrap_or(f64::NAN), 5),
+        ]);
+    }
+    out.push_str(&parity.render());
+
+    // 2. Same aggregate load, three topologies.
+    let mut topo = Table::new(
+        "Where the queue lives: aggregate lambda=30 (nf=0.5, p=0.8) across layouts",
+        &["layout", "links", "t mean", "max link rho", "bytes/req"],
+    );
+    let layouts: Vec<(&str, Topology, f64)> = vec![
+        ("single shared path", Topology::single(50.0), 30.0),
+        ("star, 3 private uplinks", Topology::star(3, 50.0 / 3.0), 10.0),
+        ("two-tier shared backbone", Topology::two_tier(3, 25.0, 50.0), 10.0),
+        ("sharded origin 3x2", Topology::sharded_origin(3, 2, 25.0, 30.0), 10.0),
+    ];
+    for (name, topology, lambda) in layouts {
+        let links = topology.links().len();
+        let r = run_static(topology, lambda, 0.0, 0.5, 0.8, SEED);
+        topo.row(vec![
+            name.to_string(),
+            links.to_string(),
+            f(r.mean_access_time, 5),
+            f(r.max_link_utilisation(), 3),
+            f(r.bytes_per_request, 3),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&topo.render());
+
+    // 3. Cluster-scope Figure 2/3 analogue.
+    let size = Exponential::with_mean(1.0);
+    let topology = Topology::star(2, 50.0);
+    let proxies = [(30.0, 0.0), (30.0, 0.0)];
+    let n_fs = [0.25, 0.5, 0.75, 1.0];
+    let mut fig23 = Table::new(
+        "Cluster Fig 2/3 analogue (star x2, rho'=0.6): G and excess load vs nf",
+        &["nf", "G(p=0.9)", "C(p=0.9)", "G(p=0.3)", "C(p=0.3)"],
+    );
+    let spec = |p| CurveSpec {
+        topology: &topology,
+        proxies: &proxies,
+        p,
+        size_dist: &size,
+        requests_per_proxy: REQUESTS,
+        warmup_per_proxy: WARMUP,
+        seed: SEED,
+    };
+    let above = network_load_curve(&spec(0.9), &n_fs);
+    let below = network_load_curve(&spec(0.3), &n_fs);
+    for (hi, lo) in above.iter().zip(&below) {
+        fig23.row(vec![
+            f(hi.n_f, 2),
+            f(hi.improvement, 5),
+            f(hi.excess_bytes_per_request, 3),
+            f(lo.improvement, 5),
+            f(lo.excess_bytes_per_request, 3),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&fig23.render());
+
+    // 4. Adaptive divergence under heterogeneous load.
+    let lambdas = [8.0, 18.0, 30.0];
+    let adaptive = run_adaptive(&lambdas, ProxyPolicy::Adaptive, SEED);
+    let baseline = run_adaptive(&lambdas, ProxyPolicy::NoPrefetch, SEED);
+    let mut diverge = Table::new(
+        "Per-proxy adaptive control (3 proxies, 2 shards): thresholds track local rho'",
+        &[
+            "proxy",
+            "lambda",
+            "rho' est",
+            "p_th mean",
+            "nf realised",
+            "hit ratio",
+            "hit (no-pf)",
+            "goodput%",
+        ],
+    );
+    for (i, node) in adaptive.nodes.iter().enumerate() {
+        let good = node.goodput_bytes.unwrap_or(0.0);
+        let bad = node.badput_bytes.unwrap_or(0.0);
+        let good_frac = if good + bad > 0.0 { 100.0 * good / (good + bad) } else { 0.0 };
+        diverge.row(vec![
+            i.to_string(),
+            f(lambdas[i], 0),
+            f(node.rho_prime_estimate.unwrap_or(f64::NAN), 3),
+            f(node.mean_threshold.unwrap_or(f64::NAN), 3),
+            f(node.prefetches_per_request, 3),
+            f(node.hit_ratio, 3),
+            f(baseline.nodes[i].hit_ratio, 3),
+            f(good_frac, 1),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&diverge.render());
+
+    let mut links = Table::new("Link view of the adaptive run", &["link", "rho", "bytes", "jobs"]);
+    for l in &adaptive.links {
+        links.row(vec![
+            l.name.clone(),
+            f(l.utilisation, 3),
+            f(l.bytes_carried, 0),
+            l.jobs_completed.to_string(),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&links.render());
+
+    out.push_str(
+        "\nReading: the degenerate topology lands on the closed forms (the cluster\n\
+         engine is the parametric simulator when the network is one link). Moving\n\
+         the same offered load onto a shared backbone costs more than private\n\
+         uplinks of equal aggregate capacity -- load impedance now acts *between*\n\
+         proxies. In the adaptive deployment each proxy's controller converges to\n\
+         its own threshold p_th = rho'_local: the busy proxy prefetches only\n\
+         near-certain items while the idle one speculates freely, which is\n\
+         exactly the paper's single-node rule applied node-by-node.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_all_sections() {
+        let report = render();
+        assert!(report.contains("closed forms"));
+        assert!(report.contains("shared backbone"));
+        assert!(report.contains("G and excess load"));
+        assert!(report.contains("thresholds track local rho'"));
+    }
+
+    #[test]
+    fn degenerate_rho_matches_model_a() {
+        let r = run_static(Topology::single(50.0), 30.0, 0.0, 1.0, 0.9, 2);
+        let m = ModelA::new(SystemParams::paper_figure2(0.0), 1.0, 0.9);
+        assert!((r.links[0].utilisation - m.utilisation()).abs() < 0.03);
+    }
+
+    #[test]
+    fn adaptive_thresholds_ordered_by_load() {
+        let r = run_adaptive(&[8.0, 30.0], ProxyPolicy::Adaptive, 3);
+        let lo = r.nodes[0].mean_threshold.unwrap();
+        let hi = r.nodes[1].mean_threshold.unwrap();
+        assert!(hi > lo, "p_th at lambda=30 ({hi}) must exceed lambda=8 ({lo})");
+    }
+}

@@ -15,13 +15,9 @@ use super::paper;
 
 /// One curve: `(n̄(F), G)` for stable points only.
 pub fn curve(h_prime: f64, p: f64, nf_points: usize) -> Vec<(f64, f64)> {
-    let params = SystemParams::new(
-        paper::LAMBDA,
-        paper::FIG23_BANDWIDTH,
-        paper::FIG23_MEAN_SIZE,
-        h_prime,
-    )
-    .expect("paper parameters");
+    let params =
+        SystemParams::new(paper::LAMBDA, paper::FIG23_BANDWIDTH, paper::FIG23_MEAN_SIZE, h_prime)
+            .expect("paper parameters");
     (0..=nf_points)
         .filter_map(|i| {
             let nf = 2.0 * i as f64 / nf_points as f64;
@@ -33,10 +29,7 @@ pub fn curve(h_prime: f64, p: f64, nf_points: usize) -> Vec<(f64, f64)> {
 
 /// The full panel: per `p`, its curve.
 pub fn panel(h_prime: f64, nf_points: usize) -> Vec<(f64, Vec<(f64, f64)>)> {
-    paper::FIG23_PROBS
-        .iter()
-        .map(|&p| (p, curve(h_prime, p, nf_points)))
-        .collect()
+    paper::FIG23_PROBS.iter().map(|&p| (p, curve(h_prime, p, nf_points))).collect()
 }
 
 pub fn render() -> String {
@@ -44,18 +37,11 @@ pub fn render() -> String {
     out.push_str("# E2 / Figure 2 — access improvement G vs n(F) (Model A)\n");
     out.push_str("# s = 1, lambda = 30, b = 50; eq (11); unstable points omitted\n\n");
     for &h in &paper::H_PRIMES {
-        let params = SystemParams::new(
-            paper::LAMBDA,
-            paper::FIG23_BANDWIDTH,
-            paper::FIG23_MEAN_SIZE,
-            h,
-        )
-        .unwrap();
+        let params =
+            SystemParams::new(paper::LAMBDA, paper::FIG23_BANDWIDTH, paper::FIG23_MEAN_SIZE, h)
+                .unwrap();
         let mut chart = Chart::new(
-            format!(
-                "Figure 2 panel: h' = {h} (p_th = {:.2})",
-                params.rho_prime()
-            ),
+            format!("Figure 2 panel: h' = {h} (p_th = {:.2})", params.rho_prime()),
             (0.0, 2.0),
             (-0.1, 0.1),
             72,

@@ -12,13 +12,9 @@ use super::paper;
 
 /// One curve: `(n̄(F), C)` for stable points only.
 pub fn curve(h_prime: f64, p: f64, nf_points: usize) -> Vec<(f64, f64)> {
-    let params = SystemParams::new(
-        paper::LAMBDA,
-        paper::FIG23_BANDWIDTH,
-        paper::FIG23_MEAN_SIZE,
-        h_prime,
-    )
-    .expect("paper parameters");
+    let params =
+        SystemParams::new(paper::LAMBDA, paper::FIG23_BANDWIDTH, paper::FIG23_MEAN_SIZE, h_prime)
+            .expect("paper parameters");
     (0..=nf_points)
         .filter_map(|i| {
             let nf = 2.0 * i as f64 / nf_points as f64;
@@ -30,10 +26,7 @@ pub fn curve(h_prime: f64, p: f64, nf_points: usize) -> Vec<(f64, f64)> {
 
 /// The full panel: per `p`, its curve.
 pub fn panel(h_prime: f64, nf_points: usize) -> Vec<(f64, Vec<(f64, f64)>)> {
-    paper::FIG23_PROBS
-        .iter()
-        .map(|&p| (p, curve(h_prime, p, nf_points)))
-        .collect()
+    paper::FIG23_PROBS.iter().map(|&p| (p, curve(h_prime, p, nf_points))).collect()
 }
 
 pub fn render() -> String {
@@ -41,13 +34,9 @@ pub fn render() -> String {
     out.push_str("# E3 / Figure 3 — excess retrieval cost C vs n(F) (Model A)\n");
     out.push_str("# s = 1, lambda = 30, b = 50; eq (27); unstable points omitted\n\n");
     for &h in &paper::H_PRIMES {
-        let params = SystemParams::new(
-            paper::LAMBDA,
-            paper::FIG23_BANDWIDTH,
-            paper::FIG23_MEAN_SIZE,
-            h,
-        )
-        .unwrap();
+        let params =
+            SystemParams::new(paper::LAMBDA, paper::FIG23_BANDWIDTH, paper::FIG23_MEAN_SIZE, h)
+                .unwrap();
         let mut chart = Chart::new(
             format!("Figure 3 panel: h' = {h} (rho' = {:.2})", params.rho_prime()),
             (0.0, 2.0),
@@ -113,11 +102,7 @@ mod tests {
     fn hand_computed_point() {
         // C(nf=1, p=0.9, h'=0) = 0.06/(30·0.34·0.4) ≈ 0.01471.
         let pts = curve(0.0, 0.9, 80);
-        let c = pts
-            .iter()
-            .find(|(nf, _)| (*nf - 1.0).abs() < 1e-9)
-            .unwrap()
-            .1;
+        let c = pts.iter().find(|(nf, _)| (*nf - 1.0).abs() < 1e-9).unwrap().1;
         assert!((c - 0.0147058823).abs() < 1e-8, "C = {c}");
     }
 

@@ -28,13 +28,9 @@ pub fn threshold_curve(h_prime: f64, bandwidth: f64, n_c: f64, s_points: usize) 
 
 /// Figure-2 analogue: `(n̄(F), G_B)` stable points.
 pub fn g_curve(h_prime: f64, p: f64, n_c: f64, nf_points: usize) -> Vec<(f64, f64)> {
-    let params = SystemParams::new(
-        paper::LAMBDA,
-        paper::FIG23_BANDWIDTH,
-        paper::FIG23_MEAN_SIZE,
-        h_prime,
-    )
-    .unwrap();
+    let params =
+        SystemParams::new(paper::LAMBDA, paper::FIG23_BANDWIDTH, paper::FIG23_MEAN_SIZE, h_prime)
+            .unwrap();
     (0..=nf_points)
         .filter_map(|i| {
             let nf = 2.0 * i as f64 / nf_points as f64;
@@ -45,13 +41,9 @@ pub fn g_curve(h_prime: f64, p: f64, n_c: f64, nf_points: usize) -> Vec<(f64, f6
 
 /// Figure-3 analogue: `(n̄(F), C_B)` stable points.
 pub fn c_curve(h_prime: f64, p: f64, n_c: f64, nf_points: usize) -> Vec<(f64, f64)> {
-    let params = SystemParams::new(
-        paper::LAMBDA,
-        paper::FIG23_BANDWIDTH,
-        paper::FIG23_MEAN_SIZE,
-        h_prime,
-    )
-    .unwrap();
+    let params =
+        SystemParams::new(paper::LAMBDA, paper::FIG23_BANDWIDTH, paper::FIG23_MEAN_SIZE, h_prime)
+            .unwrap();
     (0..=nf_points)
         .filter_map(|i| {
             let nf = 2.0 * i as f64 / nf_points as f64;

@@ -36,7 +36,8 @@ pub fn render() -> String {
         &["n(C)", "G(A)", "G(AB mid)", "G(B)", "|G(B)-G(A)|", "pth gap"],
     );
     for (nc, a, mid, b) in convergence(params, n_f, p) {
-        let gap = ModelB::new(params, n_f, p, nc).threshold() - ModelA::new(params, n_f, p).threshold();
+        let gap =
+            ModelB::new(params, n_f, p, nc).threshold() - ModelA::new(params, n_f, p).threshold();
         table.row(vec![
             format!("{nc}"),
             f(a, 6),

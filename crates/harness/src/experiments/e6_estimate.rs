@@ -76,7 +76,14 @@ pub fn render() -> String {
     let mut table = Table::new(
         "Tagged/untagged estimates vs twin-cache ground truth",
         &[
-            "cache", "predictor", "twin h'", "est(A)", "est(B)", "err(A)", "err(B)", "real h",
+            "cache",
+            "predictor",
+            "twin h'",
+            "est(A)",
+            "est(B)",
+            "err(A)",
+            "err(B)",
+            "real h",
             "n(F)",
         ],
     );

@@ -6,8 +6,8 @@
 //! (eq 8), `t̄` (eq 10), `G` (eq 11), `C` (eq 27). Points are independent,
 //! so the grid runs on all cores.
 
-use crate::report::{f, Table};
 use crate::rel_err;
+use crate::report::{f, Table};
 use netsim::parametric::{run, run_with_baseline, ParametricConfig};
 use prefetch_core::{ModelA, SystemParams};
 use simcore::dist::Exponential;
@@ -54,14 +54,8 @@ pub fn validate(requests: usize, seed: u64) -> Vec<ValidationRow> {
     par_map_auto(&points, |i, &(h, n_f, p)| {
         let params = SystemParams::new(30.0, 50.0, 1.0, h).unwrap();
         let size = Exponential::with_mean(1.0);
-        let config = ParametricConfig {
-            params,
-            n_f,
-            p,
-            size_dist: &size,
-            requests,
-            warmup: requests / 6,
-        };
+        let config =
+            ParametricConfig { params, n_f, p, size_dist: &size, requests, warmup: requests / 6 };
         let model = ModelA::new(params, n_f, p);
         let point_seed = seed.wrapping_add(i as u64 * 7919);
         if n_f > 0.0 {
@@ -110,8 +104,19 @@ pub fn render() -> String {
     let mut table = Table::new(
         "Measured vs predicted",
         &[
-            "h'", "n(F)", "p", "t meas", "t eq(10)", "err", "h meas", "rho meas", "rho eq(8)",
-            "G meas", "G eq(11)", "C meas", "C eq(27)",
+            "h'",
+            "n(F)",
+            "p",
+            "t meas",
+            "t eq(10)",
+            "err",
+            "h meas",
+            "rho meas",
+            "rho eq(8)",
+            "G meas",
+            "G eq(11)",
+            "C meas",
+            "C eq(27)",
         ],
     );
     for r in &rows {
@@ -132,7 +137,9 @@ pub fn render() -> String {
         ]);
     }
     out.push_str(&table.render());
-    out.push_str("\n(t err is the relative gap between the measured mean access time and eq (10)/(5).)\n");
+    out.push_str(
+        "\n(t err is the relative gap between the measured mean access time and eq (10)/(5).)\n",
+    );
     out
 }
 

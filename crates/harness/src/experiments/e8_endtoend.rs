@@ -85,8 +85,19 @@ pub fn render() -> String {
     let mut table = Table::new(
         "Policies x predictors",
         &[
-            "predictor", "policy", "t mean", "ci95", "h", "h'(est)", "h'(twin)", "rho", "n(F)",
-            "useful", "thresh", "bytes/req", "wasted B%",
+            "predictor",
+            "policy",
+            "t mean",
+            "ci95",
+            "h",
+            "h'(est)",
+            "h'(twin)",
+            "rho",
+            "n(F)",
+            "useful",
+            "thresh",
+            "bytes/req",
+            "wasted B%",
         ],
     );
     for r in matrix(8080) {
@@ -101,11 +112,7 @@ pub fn render() -> String {
             f(r.utilisation, 3),
             f(r.prefetches_per_request, 3),
             f(r.useful_prefetch_fraction, 3),
-            if r.mean_threshold.is_nan() {
-                "-".into()
-            } else {
-                f(r.mean_threshold, 3)
-            },
+            if r.mean_threshold.is_nan() { "-".into() } else { f(r.mean_threshold, 3) },
             f(r.bytes_per_request, 3),
             format!("{:.0}%", 100.0 * r.wasted_prefetch_bytes_fraction),
         ]);
@@ -122,10 +129,7 @@ pub fn render() -> String {
         table.row(vec![f(th, 1), f(t, 5)]);
     }
     out.push_str(&table.render());
-    let best = sweep
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("non-empty sweep");
+    let best = sweep.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty sweep");
     out.push_str(&format!(
         "\nEmpirical optimum threshold: {:.1} (t = {:.5}).\n\
          The adaptive controller's average threshold (table above) should sit in\n\
@@ -170,10 +174,18 @@ mod tests {
         let low = run(&cfg, 2);
         cfg.policy = Policy::FixedThreshold(0.45);
         let mid = run(&cfg, 2);
-        assert!(mid.mean_access_time < high.mean_access_time, "mid {} vs high {}",
-            mid.mean_access_time, high.mean_access_time);
-        assert!(mid.mean_access_time < low.mean_access_time, "mid {} vs low {}",
-            mid.mean_access_time, low.mean_access_time);
+        assert!(
+            mid.mean_access_time < high.mean_access_time,
+            "mid {} vs high {}",
+            mid.mean_access_time,
+            high.mean_access_time
+        );
+        assert!(
+            mid.mean_access_time < low.mean_access_time,
+            "mid {} vs low {}",
+            mid.mean_access_time,
+            low.mean_access_time
+        );
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! prefetch configuration `(n̄(F), p)` and sweep the background demand `λ`,
 //! measuring the excess retrieval cost `C` against eq (27).
 
-use crate::report::{f, Table};
 use crate::rel_err;
+use crate::report::{f, Table};
 use netsim::parametric::{run_with_baseline, ParametricConfig};
 use prefetch_core::{ModelA, SystemParams};
 use simcore::dist::Exponential;

@@ -1,7 +1,11 @@
-//! The experiment implementations (E1–E10). Each module exposes a
+//! The experiment implementations (E1–E13). Each module exposes a
 //! `render()` returning the full plain-text report, plus structured data
 //! functions used by the integration tests and benches.
 
+pub mod e10_ablation;
+pub mod e11_wireless;
+pub mod e12_caches;
+pub mod e13_cluster;
 pub mod e1_fig1;
 pub mod e2_fig2;
 pub mod e3_fig3;
@@ -11,9 +15,6 @@ pub mod e6_estimate;
 pub mod e7_validate;
 pub mod e8_endtoend;
 pub mod e9_impedance;
-pub mod e10_ablation;
-pub mod e11_wireless;
-pub mod e12_caches;
 
 /// The paper's global parameters: λ = 30 everywhere; Figures 2/3 use
 /// s̄ = 1, b = 50; every figure has panels h′ = 0.0 and h′ = 0.3.

@@ -14,6 +14,9 @@
 //! | `endtoend` | §1 motivation | E8: policies × predictors on the proxy workload |
 //! | `impedance` | §5 | E9: same prefetch volume under rising load |
 //! | `ablation` | §2.1 | E10: RR→PS convergence; PS insensitivity vs FIFO |
+//! | `wireless` | (derived) | E11: time-varying wireless channel |
+//! | `cache_policies` | (derived) | E12: measured `h′` by replacement policy |
+//! | `cluster` | title | E13: multi-node network-of-queues prefetching |
 //! | `all` | — | runs everything, writes `results/*.txt` |
 //!
 //! The library half provides plain-text tables ([`report::Table`]), terminal

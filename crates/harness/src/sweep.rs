@@ -55,9 +55,7 @@ impl Sweep {
     /// Adds a linearly spaced axis with `n ≥ 2` points over `[lo, hi]`.
     pub fn axis_linspace(self, name: impl Into<String>, lo: f64, hi: f64, n: usize) -> Self {
         assert!(n >= 2 && hi > lo);
-        let values = (0..n)
-            .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
-            .collect();
+        let values = (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect();
         self.axis(name, values)
     }
 
@@ -104,9 +102,7 @@ mod tests {
 
     #[test]
     fn cartesian_grid_enumeration() {
-        let sweep = Sweep::new(1)
-            .axis("a", vec![1.0, 2.0])
-            .axis("b", vec![10.0, 20.0, 30.0]);
+        let sweep = Sweep::new(1).axis("a", vec![1.0, 2.0]).axis("b", vec![10.0, 20.0, 30.0]);
         assert_eq!(sweep.len(), 6);
         let pts = sweep.points();
         assert_eq!(pts[0].values, vec![1.0, 10.0]);

@@ -109,11 +109,8 @@ pub fn run(config: &ParametricConfig<'_>, seed: u64) -> ParametricReport {
     let warm = config.warmup as u64;
     let n_requests = config.requests as u64;
     let mut next_request_t = rng.exp(params.lambda);
-    let mut next_prefetch_t = if prefetch_rate > 0.0 {
-        prefetch_rng.exp(prefetch_rate)
-    } else {
-        f64::INFINITY
-    };
+    let mut next_prefetch_t =
+        if prefetch_rate > 0.0 { prefetch_rng.exp(prefetch_rate) } else { f64::INFINITY };
     let mut issued: u64 = 0;
     let mut in_window = false;
     let mut t_end = 0.0;

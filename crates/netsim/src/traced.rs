@@ -396,10 +396,7 @@ pub fn run(config: &TracedConfig, seed: u64) -> TracedReport {
                     if cl.inflight.contains(&req.item) {
                         // Join the in-flight fetch (demand or prefetch)
                         // instead of duplicating it.
-                        waiters
-                            .entry((client_id, req.item))
-                            .or_default()
-                            .push((t, in_window));
+                        waiters.entry((client_id, req.item)).or_default().push((t, in_window));
                     } else {
                         cl.inflight.insert(req.item);
                         demand_bytes += req.size;
@@ -475,11 +472,7 @@ pub fn run(config: &TracedConfig, seed: u64) -> TracedReport {
         mean_access_time: mean_access,
         access_time_ci95: ci,
         hit_ratio: hits as f64 / measured.max(1) as f64,
-        h_prime_estimate: if n_access > 0 {
-            n_cf_hits as f64 / n_access as f64
-        } else {
-            0.0
-        },
+        h_prime_estimate: if n_access > 0 { n_cf_hits as f64 / n_access as f64 } else { 0.0 },
         twin_h_prime: twin_hits as f64 / twin_accesses.max(1) as f64,
         utilisation: server.utilisation(t_end),
         prefetches_per_request: prefetch_jobs as f64 / n_requests.max(1) as f64,
@@ -488,11 +481,7 @@ pub fn run(config: &TracedConfig, seed: u64) -> TracedReport {
         } else {
             0.0
         },
-        mean_threshold: if threshold_n > 0 {
-            threshold_sum / threshold_n as f64
-        } else {
-            f64::NAN
-        },
+        mean_threshold: if threshold_n > 0 { threshold_sum / threshold_n as f64 } else { f64::NAN },
         bytes_per_request: (demand_bytes + prefetch_bytes) / n_requests.max(1) as f64,
         wasted_prefetch_bytes_fraction: if prefetch_bytes > 0.0 {
             (1.0 - used_prefetch_bytes / prefetch_bytes).max(0.0)
@@ -657,11 +646,7 @@ mod tests {
             assert!(r.hit_ratio >= 0.0 && r.hit_ratio <= 1.0);
             // Every predictor learns *something* on this navigation graph.
             if pk != PredictorKind::DepGraph(2) {
-                assert!(
-                    r.prefetches_per_request > 0.0,
-                    "{} never prefetched",
-                    pk.label()
-                );
+                assert!(r.prefetches_per_request > 0.0, "{} never prefetched", pk.label());
             }
         }
     }

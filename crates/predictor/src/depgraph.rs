@@ -47,12 +47,7 @@ impl DependencyGraph {
         if occ == 0 {
             return 0.0;
         }
-        let c = self
-            .arcs
-            .get(&a)
-            .and_then(|m| m.get(&b))
-            .copied()
-            .unwrap_or(0);
+        let c = self.arcs.get(&a).and_then(|m| m.get(&b)).copied().unwrap_or(0);
         (c as f64 / occ as f64).min(1.0)
     }
 
@@ -67,12 +62,7 @@ impl Predictor for DependencyGraph {
         // The new item is a successor (within window) of each recent item.
         for &a in &self.recent {
             if a != item {
-                *self
-                    .arcs
-                    .entry(a)
-                    .or_default()
-                    .entry(item)
-                    .or_insert(0) += 1;
+                *self.arcs.entry(a).or_default().entry(item).or_insert(0) += 1;
             }
         }
         *self.occurrences.entry(item).or_insert(0) += 1;
@@ -94,10 +84,8 @@ impl Predictor for DependencyGraph {
         let Some(succ) = self.arcs.get(&a) else {
             return Vec::new();
         };
-        let mut v: Vec<(ItemId, f64)> = succ
-            .iter()
-            .map(|(&b, &c)| (b, (c as f64 / occ as f64).min(1.0)))
-            .collect();
+        let mut v: Vec<(ItemId, f64)> =
+            succ.iter().map(|(&b, &c)| (b, (c as f64 / occ as f64).min(1.0))).collect();
         sort_candidates(&mut v, max);
         v
     }

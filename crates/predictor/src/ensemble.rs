@@ -102,10 +102,7 @@ mod tests {
     use workload::{MarkovChain, RequestStream};
 
     fn make() -> Ensemble {
-        Ensemble::new(
-            vec![Box::new(MarkovPredictor::new(1)), Box::new(Lz78Predictor::new())],
-            0.02,
-        )
+        Ensemble::new(vec![Box::new(MarkovPredictor::new(1)), Box::new(Lz78Predictor::new())], 0.02)
     }
 
     #[test]

@@ -43,9 +43,9 @@ pub fn evaluate<P: Predictor, S: RequestStream>(
     let mut hit1 = 0usize;
     let mut hitk = 0usize;
     let mut scored = 0usize;
-    let mut bucket_pred = vec![0.0f64; 10];
-    let mut bucket_hits = vec![0usize; 10];
-    let mut bucket_n = vec![0usize; 10];
+    let mut bucket_pred = [0.0f64; 10];
+    let mut bucket_hits = [0usize; 10];
+    let mut bucket_n = [0usize; 10];
 
     for i in 0..warmup + n {
         let candidates = if i >= warmup { predictor.candidates(k) } else { Vec::new() };

@@ -69,16 +69,8 @@ mod tests {
 
     #[test]
     fn sort_candidates_is_deterministic() {
-        let mut v = vec![
-            (ItemId(3), 0.2),
-            (ItemId(1), 0.5),
-            (ItemId(2), 0.2),
-            (ItemId(0), 0.1),
-        ];
+        let mut v = vec![(ItemId(3), 0.2), (ItemId(1), 0.5), (ItemId(2), 0.2), (ItemId(0), 0.1)];
         sort_candidates(&mut v, 3);
-        assert_eq!(
-            v,
-            vec![(ItemId(1), 0.5), (ItemId(2), 0.2), (ItemId(3), 0.2)]
-        );
+        assert_eq!(v, vec![(ItemId(1), 0.5), (ItemId(2), 0.2), (ItemId(3), 0.2)]);
     }
 }

@@ -65,10 +65,8 @@ impl MarkovPredictor {
 impl Predictor for MarkovPredictor {
     fn observe(&mut self, item: ItemId) {
         if self.context.len() == self.order {
-            let entry = self
-                .table
-                .entry(self.context.clone())
-                .or_insert_with(|| (HashMap::new(), 0));
+            let entry =
+                self.table.entry(self.context.clone()).or_insert_with(|| (HashMap::new(), 0));
             *entry.0.entry(item).or_insert(0) += 1;
             entry.1 += 1;
         }
@@ -88,10 +86,8 @@ impl Predictor for MarkovPredictor {
         if *total == 0 {
             return Vec::new();
         }
-        let mut v: Vec<(ItemId, f64)> = counts
-            .iter()
-            .map(|(&id, &c)| (id, c as f64 / *total as f64))
-            .collect();
+        let mut v: Vec<(ItemId, f64)> =
+            counts.iter().map(|(&id, &c)| (id, c as f64 / *total as f64)).collect();
         sort_candidates(&mut v, max);
         v
     }

@@ -6,7 +6,7 @@
 //! predictor against the oracle quantifies how much of the analytic gain
 //! survives estimation noise.
 
-use crate::{Predictor, sort_candidates};
+use crate::{sort_candidates, Predictor};
 use std::collections::HashMap;
 use workload::{ItemId, MarkovChain};
 

@@ -60,6 +60,7 @@ impl PpmPredictor {
     fn blended(&self) -> HashMap<ItemId, f64> {
         let mut out: HashMap<ItemId, f64> = HashMap::new();
         let mut carry = 1.0; // probability mass not yet assigned
+
         // From longest matched context down to order 1.
         for order in (1..=self.max_order.min(self.history.len())).rev() {
             let ctx = &self.history[self.history.len() - order..];
@@ -89,10 +90,7 @@ impl Predictor for PpmPredictor {
         // Update every order's table with the current context suffix.
         for order in 1..=self.max_order.min(self.history.len()) {
             let ctx = self.history[self.history.len() - order..].to_vec();
-            self.tables[order - 1]
-                .entry(ctx)
-                .or_insert_with(ContextStats::new)
-                .add(item);
+            self.tables[order - 1].entry(ctx).or_insert_with(ContextStats::new).add(item);
         }
         self.order0.add(item);
         self.history.push(item);

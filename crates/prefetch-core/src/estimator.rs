@@ -85,8 +85,7 @@ impl HPrimeEstimator {
     pub fn estimate_model_b(&self, n_c: f64, n_f: f64) -> Option<f64> {
         assert!(n_c > 0.0 && n_f >= 0.0, "need n̄(C) > 0, n̄(F) ≥ 0");
         assert!(n_f < n_c, "model B correction requires n̄(F) < n̄(C)");
-        self.estimate_model_a()
-            .map(|e| (e * n_c / (n_c - n_f)).min(1.0))
+        self.estimate_model_a().map(|e| (e * n_c / (n_c - n_f)).min(1.0))
     }
 
     /// Resets the counters (e.g. at a measurement-epoch boundary).

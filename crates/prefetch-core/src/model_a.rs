@@ -76,8 +76,7 @@ impl ModelA {
     /// Mean access time with prefetching (eq 10): `t̄ = (1 − h)·r̄`.
     /// `None` when unstable.
     pub fn access_time(&self) -> Option<f64> {
-        self.retrieval_time()
-            .map(|r| (1.0 - self.hit_ratio_raw()) * r)
+        self.retrieval_time().map(|r| (1.0 - self.hit_ratio_raw()) * r)
     }
 
     /// Access improvement `G = t̄′ − t̄` (eq 11):

@@ -74,8 +74,7 @@ impl ModelB {
 
     /// Mean access time with prefetching (eq 18). `None` when unstable.
     pub fn access_time(&self) -> Option<f64> {
-        self.retrieval_time()
-            .map(|r| (1.0 - self.hit_ratio_raw()) * r)
+        self.retrieval_time().map(|r| (1.0 - self.hit_ratio_raw()) * r)
     }
 
     /// Access improvement `G` (eq 19). `None` when unstable.
@@ -99,7 +98,9 @@ impl ModelB {
         let hp = sp.h_prime;
         let num = self.n_f * s * (self.p * b - fp * l * s - b * hp / self.n_c);
         let den = (b - fp * l * s)
-            * (b - fp * l * s - self.n_f / self.n_c * hp * s * l - self.n_f * (1.0 - self.p) * l * s);
+            * (b - fp * l * s
+                - self.n_f / self.n_c * hp * s * l
+                - self.n_f * (1.0 - self.p) * l * s);
         num / den
     }
 

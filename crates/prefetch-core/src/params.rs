@@ -52,7 +52,12 @@ pub struct SystemParams {
 
 impl SystemParams {
     /// Validated constructor.
-    pub fn new(lambda: f64, bandwidth: f64, mean_size: f64, h_prime: f64) -> Result<Self, ParamError> {
+    pub fn new(
+        lambda: f64,
+        bandwidth: f64,
+        mean_size: f64,
+        h_prime: f64,
+    ) -> Result<Self, ParamError> {
         if !(lambda > 0.0 && lambda.is_finite()) {
             return Err(ParamError::BadLambda);
         }
@@ -103,8 +108,9 @@ impl SystemParams {
     /// Mean retrieval time without prefetching, `r̄′ = s̄/(b − f′λs̄)`
     /// (eq 4). `None` when the system is unstable.
     pub fn retrieval_time(&self) -> Option<f64> {
-        self.is_stable()
-            .then(|| self.mean_size / (self.bandwidth - self.f_prime() * self.lambda * self.mean_size))
+        self.is_stable().then(|| {
+            self.mean_size / (self.bandwidth - self.f_prime() * self.lambda * self.mean_size)
+        })
     }
 
     /// Mean access time without prefetching,
@@ -148,10 +154,7 @@ mod tests {
         assert_eq!(SystemParams::new(30.0, 50.0, -2.0, 0.0), Err(ParamError::BadMeanSize));
         assert_eq!(SystemParams::new(30.0, 50.0, 1.0, 1.5), Err(ParamError::BadHitRatio));
         assert_eq!(SystemParams::new(30.0, 50.0, 1.0, -0.1), Err(ParamError::BadHitRatio));
-        assert_eq!(
-            SystemParams::new(f64::NAN, 50.0, 1.0, 0.0),
-            Err(ParamError::BadLambda)
-        );
+        assert_eq!(SystemParams::new(f64::NAN, 50.0, 1.0, 0.0), Err(ParamError::BadLambda));
         assert!(SystemParams::new(30.0, 50.0, 1.0, 0.0).is_ok());
     }
 

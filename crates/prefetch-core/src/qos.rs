@@ -85,7 +85,7 @@ pub fn max_volume_for_budget(params: &SystemParams, p: f64, t_max: f64) -> Optio
         return Some(rhs / coeff);
     }
     // Baseline over budget: need n large enough, possible only if coeff > 0.
-    (coeff > 0.0).then(|| f64::INFINITY) // any n ≥ rhs/coeff works; no *max*.
+    (coeff > 0.0).then_some(f64::INFINITY) // any n ≥ rhs/coeff works; no *max*.
 }
 
 /// The minimum prefetch volume of probability-`p` items needed to *bring*

@@ -136,8 +136,12 @@ mod tests {
         let p = 0.5;
         let b_min = min_bandwidth_for_profit(&params, p);
         // Just above b_min: profitable. Just below: not.
-        let above = SystemParams::new(params.lambda, b_min * 1.01, params.mean_size, params.h_prime).unwrap();
-        let below = SystemParams::new(params.lambda, b_min * 0.99, params.mean_size, params.h_prime).unwrap();
+        let above =
+            SystemParams::new(params.lambda, b_min * 1.01, params.mean_size, params.h_prime)
+                .unwrap();
+        let below =
+            SystemParams::new(params.lambda, b_min * 0.99, params.mean_size, params.h_prime)
+                .unwrap();
         assert!(ModelA::new(above, 0.1, p).conditions().probability_above_threshold);
         assert!(!ModelA::new(below, 0.1, p).conditions().probability_above_threshold);
     }
@@ -147,8 +151,12 @@ mod tests {
         let params = SystemParams::paper_figure2(0.0);
         let (n_f, p) = (1.0, 0.1);
         let b_star = saturation_bandwidth(&params, n_f, p);
-        let stable = SystemParams::new(params.lambda, b_star * 1.01, params.mean_size, params.h_prime).unwrap();
-        let unstable = SystemParams::new(params.lambda, b_star * 0.99, params.mean_size, params.h_prime).unwrap();
+        let stable =
+            SystemParams::new(params.lambda, b_star * 1.01, params.mean_size, params.h_prime)
+                .unwrap();
+        let unstable =
+            SystemParams::new(params.lambda, b_star * 0.99, params.mean_size, params.h_prime)
+                .unwrap();
         assert!(ModelA::new(stable, n_f, p).is_stable());
         assert!(!ModelA::new(unstable, n_f, p).is_stable());
     }
@@ -164,7 +172,13 @@ mod tests {
     fn derivatives_match_finite_differences() {
         let params = SystemParams::paper_figure2(0.3);
         let eps = 1e-6;
-        let p_hi = SystemParams::new(params.lambda + eps, params.bandwidth, params.mean_size, params.h_prime).unwrap();
+        let p_hi = SystemParams::new(
+            params.lambda + eps,
+            params.bandwidth,
+            params.mean_size,
+            params.h_prime,
+        )
+        .unwrap();
         let fd_lambda = (p_hi.rho_prime() - params.rho_prime()) / eps;
         assert!((fd_lambda - dthreshold_dlambda(&params)).abs() < 1e-6);
 

@@ -139,8 +139,8 @@ impl OptimalMixPolicy {
                         threshold = th;
                         // Stability with this item included: ρ_new < 1.
                         let h_new = (sp.h_prime + h_extra + p).min(1.0);
-                        let rho_new = (1.0 - h_new + volume + 1.0) * sp.lambda * sp.mean_size
-                            / sp.bandwidth;
+                        let rho_new =
+                            (1.0 - h_new + volume + 1.0) * sp.lambda * sp.mean_size / sp.bandwidth;
                         p > th && rho_new < 1.0
                     }
                     None => false,
@@ -156,10 +156,7 @@ impl OptimalMixPolicy {
                 rejected.push((item, p));
             }
         }
-        (
-            PrefetchDecision { selected, rejected, threshold },
-            threshold,
-        )
+        (PrefetchDecision { selected, rejected, threshold }, threshold)
     }
 }
 
@@ -187,6 +184,11 @@ pub fn marginal_improvement(params: &SystemParams, n_f: f64, p: f64, evict_value
     //   (since d2 + n·c = d1).
     k / (d2 * d2)
 }
+
+// Quiet an unused-import warning in non-test builds: ModelAb is referenced
+// in the doc comment derivation and used directly by tests.
+#[allow(unused_imports)]
+use ModelAb as _ModelAbForDocs;
 
 #[cfg(test)]
 mod tests {
@@ -327,9 +329,9 @@ mod tests {
         assert!(d.volume() < 50);
         // And the chosen configuration is stable.
         let h_extra: f64 = d.selected.iter().map(|(_, p)| p).sum();
-        let rho = (1.0 - (sp.h_prime + h_extra).min(1.0) + d.volume() as f64) * sp.lambda
-            * sp.mean_size
-            / sp.bandwidth;
+        let rho =
+            (1.0 - (sp.h_prime + h_extra).min(1.0) + d.volume() as f64) * sp.lambda * sp.mean_size
+                / sp.bandwidth;
         assert!(rho < 1.0, "rho {rho}");
     }
 
@@ -339,8 +341,7 @@ mod tests {
         // the same set as the threshold policy selects.
         let sp = params();
         let pol = ThresholdPolicy::from_model_a(&sp);
-        let candidates: Vec<(u32, f64)> =
-            (0..20).map(|i| (i, (i as f64 + 0.5) / 20.0)).collect();
+        let candidates: Vec<(u32, f64)> = (0..20).map(|i| (i, (i as f64 + 0.5) / 20.0)).collect();
         let d = pol.decide(candidates.clone());
         let by_marginal: Vec<u32> = candidates
             .iter()
@@ -352,8 +353,3 @@ mod tests {
         assert_eq!(selected, by_marginal);
     }
 }
-
-// Quiet an unused-import warning in non-test builds: ModelAb is referenced
-// in the doc comment derivation and used directly by tests.
-#[allow(unused_imports)]
-use ModelAb as _ModelAbForDocs;

@@ -130,7 +130,8 @@ mod tests {
         // M/M/1-PS: lambda=0.6, mean work 1, capacity 1 → rho=0.6, E[T]=2.5.
         let mut rng = Rng::new(101);
         let mut server = PsServer::new(1.0);
-        let stats = measure_mg1(&mut server, 0.6, &Exponential::with_mean(1.0), N, WARMUP, &mut rng);
+        let stats =
+            measure_mg1(&mut server, 0.6, &Exponential::with_mean(1.0), N, WARMUP, &mut rng);
         let theory = MG1Ps::new(0.6, 1.0, 1.0).mean_response().unwrap();
         assert!(
             (stats.mean_response - theory).abs() < 0.1 + 3.0 * stats.ci95,
@@ -205,7 +206,12 @@ mod tests {
         let mut ps = PsServer::new(1.0);
         let p = measure_mg1(&mut ps, lambda, &heavy, N, WARMUP, &mut rng);
         let ps_theory = MG1Ps::new(lambda, 1.0, 1.0).mean_response().unwrap();
-        assert!(f.mean_response > p.mean_response, "fifo {} ps {}", f.mean_response, p.mean_response);
+        assert!(
+            f.mean_response > p.mean_response,
+            "fifo {} ps {}",
+            f.mean_response,
+            p.mean_response
+        );
         assert!((p.mean_response - ps_theory).abs() / ps_theory < 0.15);
     }
 

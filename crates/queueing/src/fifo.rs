@@ -29,10 +29,7 @@ impl<T> FifoServer<T> {
     }
 
     fn start_head(&mut self) {
-        self.head_done = self
-            .queue
-            .front()
-            .map(|job| self.tnow + job.work / self.capacity);
+        self.head_done = self.queue.front().map(|job| self.tnow + job.work / self.capacity);
     }
 }
 

@@ -36,10 +36,7 @@ impl PartialOrd for PsEntry {
 impl Ord for PsEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed for min-heap behaviour inside BinaryHeap.
-        other
-            .finish_v
-            .total_cmp(&self.finish_v)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.finish_v.total_cmp(&self.finish_v).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -288,7 +285,8 @@ mod tests {
 
     #[test]
     fn work_conservation() {
-        let arrivals: Vec<(f64, f64)> = (0..50).map(|i| (i as f64 * 0.3, 1.0 + (i % 5) as f64)).collect();
+        let arrivals: Vec<(f64, f64)> =
+            (0..50).map(|i| (i as f64 * 0.3, 1.0 + (i % 5) as f64)).collect();
         let total_work: f64 = arrivals.iter().map(|a| a.1).sum();
         let mut server = PsServer::new(2.0);
         let mut i = 0;

@@ -155,8 +155,7 @@ impl MG1Fifo {
 
     /// Mean waiting time in queue (excluding service).
     pub fn mean_wait(&self) -> Option<f64> {
-        self.is_stable()
-            .then(|| self.lambda * self.es2 / (2.0 * (1.0 - self.rho())))
+        self.is_stable().then(|| self.lambda * self.es2 / (2.0 * (1.0 - self.rho())))
     }
 
     /// Mean response time (waiting + service).

@@ -242,7 +242,8 @@ impl Sample for BoundedPareto {
         if (a - 1.0).abs() < 1e-12 {
             (l * h / (h - l)) * (h / l).ln()
         } else {
-            (l.powf(a) / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
+            (l.powf(a) / (1.0 - (l / h).powf(a)))
+                * (a / (a - 1.0))
                 * (l.powf(1.0 - a) - h.powf(1.0 - a))
         }
     }
@@ -303,6 +304,7 @@ impl Weibull {
 fn gamma_fn(x: f64) -> f64 {
     // Coefficients for g = 7, n = 9 (Numerical Recipes / Boost parameters).
     const G: f64 = 7.0;
+    #[allow(clippy::excessive_precision, clippy::inconsistent_digit_grouping)]
     const C: [f64; 9] = [
         0.999_999_999_999_809_93,
         676.520_368_121_885_1,
@@ -384,7 +386,10 @@ impl Discrete {
         assert!(n > 0, "Discrete: empty weight vector");
         assert!(n <= u32::MAX as usize, "Discrete: too many outcomes");
         let sum: f64 = weights.iter().sum();
-        assert!(sum > 0.0 && sum.is_finite(), "Discrete: weights must sum to a positive finite value");
+        assert!(
+            sum > 0.0 && sum.is_finite(),
+            "Discrete: weights must sum to a positive finite value"
+        );
         assert!(weights.iter().all(|&w| w >= 0.0), "Discrete: negative weight");
 
         let mut prob = vec![0.0f64; n];
@@ -416,12 +421,7 @@ impl Discrete {
         for &s in &small {
             prob[s as usize] = 1.0; // numerical leftovers
         }
-        let mean_index = weights
-            .iter()
-            .enumerate()
-            .map(|(i, &w)| i as f64 * w)
-            .sum::<f64>()
-            / sum;
+        let mean_index = weights.iter().enumerate().map(|(i, &w)| i as f64 * w).sum::<f64>() / sum;
         Discrete { prob, alias, weights_sum: sum, mean_index }
     }
 
@@ -560,7 +560,7 @@ mod tests {
         let mut rng = Rng::new(6);
         for _ in 0..50_000 {
             let x = d.sample(&mut rng);
-            assert!(x >= 0.5 && x <= 50.0, "sample {x}");
+            assert!((0.5..=50.0).contains(&x), "sample {x}");
         }
         let m = empirical_mean(&d, 7, 400_000);
         assert!((m - d.mean()).abs() / d.mean() < 0.05, "emp {m} vs analytic {}", d.mean());

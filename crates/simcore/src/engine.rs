@@ -30,11 +30,7 @@ impl<S> Default for Engine<S> {
 impl<S> Engine<S> {
     /// A fresh engine at time zero with an empty calendar.
     pub fn new() -> Self {
-        Engine {
-            now: SimTime::ZERO,
-            calendar: Calendar::new(),
-            fired: 0,
-        }
+        Engine { now: SimTime::ZERO, calendar: Calendar::new(), fired: 0 }
     }
 
     /// Current virtual time.
@@ -60,11 +56,7 @@ impl<S> Engine<S> {
         time: SimTime,
         f: impl FnOnce(&mut Engine<S>, &mut S) + 'static,
     ) -> EventToken {
-        assert!(
-            time >= self.now,
-            "cannot schedule into the past: {time:?} < {:?}",
-            self.now
-        );
+        assert!(time >= self.now, "cannot schedule into the past: {time:?} < {:?}", self.now);
         self.calendar.push(time, Box::new(f))
     }
 

@@ -43,10 +43,7 @@ impl<A> PartialOrd for Scheduled<A> {
 impl<A> Ord for Scheduled<A> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest-first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -66,12 +63,7 @@ impl<A> Default for Calendar<A> {
 
 impl<A> Calendar<A> {
     pub fn new() -> Self {
-        Calendar {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            cancelled: HashSet::new(),
-            live: 0,
-        }
+        Calendar { heap: BinaryHeap::new(), next_seq: 0, cancelled: HashSet::new(), live: 0 }
     }
 
     /// Number of live (non-cancelled) scheduled events.

@@ -18,7 +18,7 @@
 //! * [`stats`] — streaming statistics: Welford moments, time-weighted
 //!   averages, histograms, P² quantile estimation, batch-means confidence
 //!   intervals.
-//! * [`par`] — a small crossbeam-scoped-thread work-pool used to run
+//! * [`par`] — a small scoped-thread work-pool used to run
 //!   parameter sweeps in parallel with deterministic output ordering.
 //!
 //! The engine is deliberately generic: the higher-level crates (`queueing`,

@@ -1,7 +1,7 @@
 //! Parallel parameter sweeps.
 //!
 //! Experiments evaluate the same simulation at many parameter points; the
-//! points are independent, so we farm them out to a crossbeam scoped-thread
+//! points are independent, so we farm them out to a `std::thread::scope`
 //! pool. Work is distributed by an atomic cursor (self-balancing for
 //! heterogeneous run times) and results land in their input slots, so output
 //! order is deterministic regardless of scheduling.
@@ -42,9 +42,9 @@ where
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -53,8 +53,7 @@ where
                 *slots[i].lock().expect("result slot poisoned") = Some(r);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     slots
         .into_iter()

@@ -114,9 +114,9 @@ impl Welford {
 /// Exact table for small df, asymptote 1.96 beyond.
 pub fn t_critical_95(df: u64) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
-        2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
-        2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     match df {
         0 => f64::INFINITY,
@@ -462,16 +462,12 @@ pub fn mser5_truncation(series: &[f64]) -> (usize, f64) {
     let n_batches = series.len() / B;
     if n_batches < 4 {
         // Too short to batch meaningfully: keep everything.
-        let mean = if series.is_empty() {
-            0.0
-        } else {
-            series.iter().sum::<f64>() / series.len() as f64
-        };
+        let mean =
+            if series.is_empty() { 0.0 } else { series.iter().sum::<f64>() / series.len() as f64 };
         return (0, mean);
     }
-    let batch_means: Vec<f64> = (0..n_batches)
-        .map(|b| series[b * B..(b + 1) * B].iter().sum::<f64>() / B as f64)
-        .collect();
+    let batch_means: Vec<f64> =
+        (0..n_batches).map(|b| series[b * B..(b + 1) * B].iter().sum::<f64>() / B as f64).collect();
     // Suffix sums for O(1) mean/variance of each truncation candidate.
     let mut best_d = 0;
     let mut best_se = f64::INFINITY;
@@ -553,6 +549,7 @@ mod tests {
         tw.set(0.0, 1.0); // value 1 on [0, 2)
         tw.set(2.0, 3.0); // value 3 on [2, 4)
         tw.set(4.0, 0.0); // value 0 on [4, 8)
+
         // integral = 1*2 + 3*2 + 0*4 = 8 over 8 seconds
         assert!((tw.time_average(8.0) - 1.0).abs() < 1e-12);
     }

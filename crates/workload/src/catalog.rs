@@ -38,21 +38,13 @@ impl Catalog {
     /// `n` items, Zipf popularity, all sizes equal to `size`.
     pub fn zipf(n: usize, exponent: f64, size: f64, _rng: &mut Rng) -> Self {
         assert!(n > 0 && size > 0.0);
-        Catalog {
-            sizes: vec![size; n],
-            popularity: Zipf::new(n, exponent),
-            mean_size: size,
-        }
+        Catalog { sizes: vec![size; n], popularity: Zipf::new(n, exponent), mean_size: size }
     }
 
     /// Uniform popularity (Zipf exponent 0).
     pub fn uniform(n: usize, size: f64) -> Self {
         assert!(n > 0 && size > 0.0);
-        Catalog {
-            sizes: vec![size; n],
-            popularity: Zipf::new(n, 0.0),
-            mean_size: size,
-        }
+        Catalog { sizes: vec![size; n], popularity: Zipf::new(n, 0.0), mean_size: size }
     }
 
     /// Number of items.
@@ -77,9 +69,7 @@ impl Catalog {
     /// Popularity-weighted mean size — the `s̄` a request stream actually
     /// experiences under the IRM.
     pub fn request_weighted_mean_size(&self) -> f64 {
-        (0..self.sizes.len())
-            .map(|i| self.popularity.prob(i) * self.sizes[i])
-            .sum()
+        (0..self.sizes.len()).map(|i| self.popularity.prob(i) * self.sizes[i]).sum()
     }
 
     /// Request probability of an item under the popularity law.

@@ -27,10 +27,10 @@ pub mod synth_web;
 pub mod trace;
 
 pub use arrivals::{ArrivalProcess, Mmpp2, PoissonArrivals};
-pub use sessions::{SessionArrivals, SessionProfile};
 pub use catalog::{Catalog, ItemId};
 pub use lru_stack::LruStackStream;
 pub use markov::MarkovChain;
+pub use sessions::{SessionArrivals, SessionProfile};
 pub use trace::{TraceReader, TraceRecord, TraceWriter};
 
 use simcore::rng::Rng;

@@ -145,8 +145,7 @@ impl MarkovChain {
         let mut next = vec![0.0; n];
         for _ in 0..iterations {
             next.iter_mut().for_each(|x| *x = 0.0);
-            for i in 0..n {
-                let pi_i = pi[i];
+            for (i, &pi_i) in pi.iter().enumerate() {
                 if pi_i == 0.0 {
                     continue;
                 }
@@ -193,11 +192,8 @@ mod tests {
     #[test]
     fn transition_frequencies_match_matrix() {
         let mut rng = Rng::new(1);
-        let mut chain = MarkovChain::new(vec![
-            vec![0.1, 0.9, 0.0],
-            vec![0.0, 0.2, 0.8],
-            vec![0.5, 0.0, 0.5],
-        ]);
+        let mut chain =
+            MarkovChain::new(vec![vec![0.1, 0.9, 0.0], vec![0.0, 0.2, 0.8], vec![0.5, 0.0, 0.5]]);
         let mut counts = [[0usize; 3]; 3];
         let mut prev = chain.state().0 as usize;
         let n = 300_000;
@@ -206,10 +202,10 @@ mod tests {
             counts[prev][next] += 1;
             prev = next;
         }
-        for i in 0..3 {
-            let row_total: usize = counts[i].iter().sum();
-            for j in 0..3 {
-                let emp = counts[i][j] as f64 / row_total as f64;
+        for (i, row) in counts.iter().enumerate() {
+            let row_total: usize = row.iter().sum();
+            for (j, &count) in row.iter().enumerate() {
+                let emp = count as f64 / row_total as f64;
                 let truth = chain.prob(ItemId(i as u64), ItemId(j as u64));
                 assert!((emp - truth).abs() < 0.01, "P[{i}][{j}] emp {emp} vs {truth}");
             }
@@ -273,7 +269,7 @@ mod tests {
         let mut rng = Rng::new(6);
         let mut chain = MarkovChain::random(20, 3, 0.4, &mut rng);
         let pi = chain.stationary(1000);
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         let n = 400_000;
         for _ in 0..n {
             counts[chain.next_item(&mut rng).0 as usize] += 1;

@@ -161,10 +161,7 @@ mod tests {
         let span = times.last().unwrap() - times[0];
         let rate = (times.len() - 1) as f64 / span;
         let expected = s.mean_rate();
-        assert!(
-            (rate - expected).abs() / expected < 0.05,
-            "rate {rate} vs {expected}"
-        );
+        assert!((rate - expected).abs() / expected < 0.05, "rate {rate} vs {expected}");
     }
 
     #[test]
@@ -181,7 +178,7 @@ mod tests {
     fn every_user_contributes() {
         let mut rng = Rng::new(3);
         let mut s = SessionArrivals::new(8, profile(), &mut rng);
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for _ in 0..5_000 {
             let (_, u) = s.next_request(&mut rng);
             seen[u] = true;
@@ -205,8 +202,7 @@ mod tests {
                 gaps.push(s.next_gap(&mut rng));
             }
             let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>()
-                / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
             var / (mean * mean)
         };
         let cv2_many = cv2_of(50, 5);

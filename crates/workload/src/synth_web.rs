@@ -68,9 +68,8 @@ impl SynthWeb {
         let size_dist = BoundedPareto::new(config.size_shape, scale, scale * 50.0);
         let catalog = Catalog::with_sizes(config.n_items, 0.8, &size_dist, rng);
         let chain = MarkovChain::random(config.n_items, config.branching, config.link_skew, rng);
-        let client_states = (0..config.n_clients)
-            .map(|_| ItemId(rng.below(config.n_items as u64)))
-            .collect();
+        let client_states =
+            (0..config.n_clients).map(|_| ItemId(rng.below(config.n_items as u64))).collect();
         SynthWeb {
             catalog,
             chain,
@@ -129,7 +128,7 @@ mod tests {
         let mut rng = Rng::new(2);
         let mut w = make(&mut rng);
         let trace = w.generate(10_000, &mut rng);
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for r in &trace {
             seen[r.client as usize] = true;
         }

@@ -3,16 +3,15 @@
 //! Experiments can persist their request streams and replay them, so
 //! analytic and simulated runs see byte-identical workloads. Two formats:
 //!
-//! * **JSON lines** (via `serde_json`) — greppable, diffable, slow;
-//! * **binary** (via `bytes`) — 28 bytes/record, for long traces.
+//! * **JSON lines** — greppable, diffable, slow; the codec is hand-rolled
+//!   (four flat numeric fields) so the workspace carries no JSON dependency;
+//! * **binary** — 28 bytes/record little-endian, for long traces.
 
 use crate::catalog::ItemId;
-use bytes::{Buf, BufMut};
-use serde::{Deserialize, Serialize};
 use std::io::{self, BufRead, Write};
 
 /// One request in a trace.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TraceRecord {
     /// Request time (seconds).
     pub time: f64,
@@ -28,6 +27,49 @@ impl TraceRecord {
     pub fn new(time: f64, client: u32, item: ItemId, size: f64) -> Self {
         TraceRecord { time, client, item, size }
     }
+
+    /// Renders the record as one JSON object (field order fixed; floats in
+    /// Rust `{:?}` form, which always carries a decimal point or exponent).
+    fn to_json(self) -> String {
+        format!(
+            "{{\"time\":{:?},\"client\":{},\"item\":{},\"size\":{:?}}}",
+            self.time, self.client, self.item.0, self.size
+        )
+    }
+
+    /// Parses one JSON object with exactly the four record fields, in any
+    /// order, with optional whitespace.
+    fn from_json(s: &str) -> Result<Self, String> {
+        let body = s
+            .trim()
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .ok_or_else(|| format!("not a JSON object: {s:?}"))?;
+        let (mut time, mut client, mut item, mut size) = (None, None, None, None);
+        for field in body.split(',') {
+            let (key, value) =
+                field.split_once(':').ok_or_else(|| format!("malformed field: {field:?}"))?;
+            let key = key
+                .trim()
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| format!("malformed key: {key:?}"))?;
+            let value = value.trim();
+            match key {
+                "time" => time = Some(value.parse::<f64>().map_err(|e| e.to_string())?),
+                "client" => client = Some(value.parse::<u32>().map_err(|e| e.to_string())?),
+                "item" => item = Some(value.parse::<u64>().map_err(|e| e.to_string())?),
+                "size" => size = Some(value.parse::<f64>().map_err(|e| e.to_string())?),
+                other => return Err(format!("unknown field {other:?}")),
+            }
+        }
+        Ok(TraceRecord {
+            time: time.ok_or("missing field \"time\"")?,
+            client: client.ok_or("missing field \"client\"")?,
+            item: ItemId(item.ok_or("missing field \"item\"")?),
+            size: size.ok_or("missing field \"size\"")?,
+        })
+    }
 }
 
 /// Streams records as JSON lines.
@@ -42,8 +84,7 @@ impl<W: Write> TraceWriter<W> {
     }
 
     pub fn write(&mut self, rec: &TraceRecord) -> io::Result<()> {
-        let line = serde_json::to_string(rec).map_err(io::Error::other)?;
-        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(rec.to_json().as_bytes())?;
         self.out.write_all(b"\n")?;
         self.written += 1;
         Ok(())
@@ -80,9 +121,7 @@ impl<R: BufRead> TraceReader<R> {
             if trimmed.is_empty() {
                 continue;
             }
-            return serde_json::from_str(trimmed)
-                .map(Some)
-                .map_err(io::Error::other);
+            return TraceRecord::from_json(trimmed).map(Some).map_err(io::Error::other);
         }
     }
 
@@ -101,27 +140,29 @@ impl<R: BufRead> TraceReader<R> {
 pub fn encode_binary(records: &[TraceRecord]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(records.len() * 28);
     for r in records {
-        buf.put_f64_le(r.time);
-        buf.put_u32_le(r.client);
-        buf.put_u64_le(r.item.0);
-        buf.put_f64_le(r.size);
+        buf.extend_from_slice(&r.time.to_le_bytes());
+        buf.extend_from_slice(&r.client.to_le_bytes());
+        buf.extend_from_slice(&r.item.0.to_le_bytes());
+        buf.extend_from_slice(&r.size.to_le_bytes());
     }
     buf
 }
 
 /// Decodes the binary format. Errors on trailing garbage.
-pub fn decode_binary(mut buf: &[u8]) -> Result<Vec<TraceRecord>, String> {
+pub fn decode_binary(buf: &[u8]) -> Result<Vec<TraceRecord>, String> {
     const REC: usize = 8 + 4 + 8 + 8;
-    if buf.len() % REC != 0 {
+    if !buf.len().is_multiple_of(REC) {
         return Err(format!("trace length {} is not a multiple of {REC}", buf.len()));
     }
+    let f64_at = |b: &[u8]| f64::from_le_bytes(b.try_into().expect("8-byte slice"));
     let mut out = Vec::with_capacity(buf.len() / REC);
-    while buf.has_remaining() {
-        let time = buf.get_f64_le();
-        let client = buf.get_u32_le();
-        let item = ItemId(buf.get_u64_le());
-        let size = buf.get_f64_le();
-        out.push(TraceRecord { time, client, item, size });
+    for rec in buf.chunks_exact(REC) {
+        out.push(TraceRecord {
+            time: f64_at(&rec[0..8]),
+            client: u32::from_le_bytes(rec[8..12].try_into().expect("4-byte slice")),
+            item: ItemId(u64::from_le_bytes(rec[12..20].try_into().expect("8-byte slice"))),
+            size: f64_at(&rec[20..28]),
+        });
     }
     Ok(out)
 }
@@ -162,9 +203,19 @@ mod tests {
     }
 
     #[test]
+    fn json_accepts_reordered_fields_and_whitespace() {
+        let text = "{ \"size\": 4.0, \"item\": 3, \"client\": 2, \"time\": 1.0 }\n";
+        let mut reader = TraceReader::new(text.as_bytes());
+        let recs = reader.read_all().unwrap();
+        assert_eq!(recs, vec![TraceRecord::new(1.0, 2, ItemId(3), 4.0)]);
+    }
+
+    #[test]
     fn json_rejects_garbage() {
         let mut reader = TraceReader::new("not json\n".as_bytes());
         assert!(reader.read().is_err());
+        let mut reader = TraceReader::new("{\"time\":1.0}\n".as_bytes());
+        assert!(reader.read().is_err(), "missing fields must error");
     }
 
     #[test]

@@ -56,7 +56,7 @@ fn main() {
                     controller.on_prefetch_insert();
                 }
             }
-            if step % 10_000 == 0 {
+            if step.is_multiple_of(10_000) {
                 let th = controller.threshold_estimate().unwrap_or(f64::NAN);
                 let h_est = controller.h_prime_estimate().unwrap_or(f64::NAN);
                 let target = f_prime_target(h_est);
@@ -66,10 +66,7 @@ fn main() {
     }
 
     println!("adaptive controller on the newspaper session (b = {bandwidth}):\n");
-    println!(
-        "{:>8}  {:>6}  {:>9}  {:>9}  {:>12}",
-        "request", "λ", "ĥ′", "p̂_th", "analytic ρ̂′"
-    );
+    println!("{:>8}  {:>6}  {:>9}  {:>9}  {:>12}", "request", "λ", "ĥ′", "p̂_th", "analytic ρ̂′");
     for (step, _phase, lambda, th, h_est, target) in printed {
         println!("{step:>8}  {lambda:>6.0}  {h_est:>9.3}  {th:>9.3}  {target:>12.3}");
     }

@@ -24,7 +24,7 @@ fn main() {
 
     // 1. The Figure-1 view: the profitability bar per bandwidth.
     println!("threshold p_th = f′λs̄/b (eq 13) by provisioned bandwidth:");
-    println!("{:>6}  {:>8}  {}", "b", "p_th", "verdict for a p = 0.5 predictor");
+    println!("{:>6}  {:>8}  verdict for a p = 0.5 predictor", "b", "p_th");
     for b in [30.0, 42.0, 50.0, 70.0, 100.0, 200.0] {
         let pth = threshold_vs_size(lambda, b, h_prime, mean_size);
         let verdict = if pth >= 1.0 {

@@ -39,12 +39,9 @@ fn main() {
         "{:<22} {:>10} {:>7} {:>7} {:>7} {:>7} {:>8}",
         "policy", "t̄ (s)", "hit", "ρ", "n̄(F)", "useful", "thresh"
     );
-    for policy in [
-        Policy::NoPrefetch,
-        Policy::Adaptive,
-        Policy::FixedThreshold(0.45),
-        Policy::PrefetchAll,
-    ] {
+    for policy in
+        [Policy::NoPrefetch, Policy::Adaptive, Policy::FixedThreshold(0.45), Policy::PrefetchAll]
+    {
         let mut cfg = base;
         cfg.policy = policy;
         let r = run(&cfg, 2024);
@@ -56,7 +53,11 @@ fn main() {
             r.utilisation,
             r.prefetches_per_request,
             r.useful_prefetch_fraction,
-            if r.mean_threshold.is_nan() { "-".to_string() } else { format!("{:.3}", r.mean_threshold) },
+            if r.mean_threshold.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.3}", r.mean_threshold)
+            },
         );
     }
     println!();

@@ -33,11 +33,9 @@ fn main() {
         "{:<24} {:>10} {:>8} {:>8} {:>20}",
         "policy", "t̄ (s)", "hit", "n̄(F)", "prefetches in fade"
     );
-    for policy in [
-        WirelessPolicy::Never,
-        WirelessPolicy::StaticGoodState,
-        WirelessPolicy::ChannelAware,
-    ] {
+    for policy in
+        [WirelessPolicy::Never, WirelessPolicy::StaticGoodState, WirelessPolicy::ChannelAware]
+    {
         let r = run(&config, policy, 77);
         println!(
             "{:<24} {:>10.5} {:>8.3} {:>8.3} {:>19.1}%",

@@ -45,9 +45,26 @@
 //! | [`cachesim`] | `cachesim` | LRU/LFU/FIFO/CLOCK/random caches + §4 tagging |
 //! | [`predictor`] | `predictor` | Markov/PPM/LZ78/dependency-graph/oracle predictors |
 //! | [`netsim`] | `netsim` | parametric + trace-driven end-to-end simulators |
-//! | [`harness`] | `harness` | experiment reports E1–E10 (figures + validation) |
+//! | [`cluster`] | `cluster` | multi-node network-of-queues simulator (topologies, per-link `ρ`, per-node adaptive control) |
+//! | [`harness`] | `harness` | experiment reports E1–E13 (figures + validation + cluster) |
+//!
+//! ## Scaling out: the `cluster` layer
+//!
+//! The paper's "distributed system" is one shared path; [`cluster`] makes
+//! it an actual network. A [`cluster::Topology`] places edge proxies in
+//! front of sharded origins with per-link bandwidths (star, two-tier tree,
+//! or sharded-origin layouts), every link runs as its own PS/FIFO queue,
+//! and every proxy hosts a cache plus — in adaptive mode — its own online
+//! threshold controller. The degenerate one-proxy topology reproduces
+//! `netsim::parametric` *exactly* (pinned by test to 1e-6), so cluster
+//! results stay anchored to the validated single-path models; experiment
+//! E13 (`cargo run --release --bin cluster`) and
+//! `examples/edge_cluster.rs` show per-proxy thresholds diverging with
+//! local load — the paper's rule, applied node by node, needs no
+//! coordination.
 
 pub use cachesim;
+pub use cluster;
 pub use harness;
 pub use netsim;
 pub use predictor;
@@ -60,6 +77,7 @@ pub use workload;
 /// The most common imports in one place.
 pub mod prelude {
     pub use cachesim::{LruCache, ReplacementCache, TaggedCache};
+    pub use cluster::{ClusterConfig, ClusterReport, ClusterSim, Topology};
     pub use netsim::parametric::{ParametricConfig, ParametricReport};
     pub use netsim::traced::{Policy, PredictorKind, TracedConfig};
     pub use predictor::{MarkovPredictor, OraclePredictor, Predictor};

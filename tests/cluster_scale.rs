@@ -1,0 +1,75 @@
+//! Facade-level integration: the `cluster` crate composed through
+//! `speculative_prefetch`, checking the multi-node results stay coherent
+//! with the single-path models everything else in the workspace validates.
+
+use speculative_prefetch::cluster::{
+    ClusterConfig, ClusterSim, StaticProxy, StaticWorkload, Topology, Workload,
+};
+use speculative_prefetch::prelude::*;
+use speculative_prefetch::simcore::dist::Exponential;
+
+/// A star of independent proxies is N copies of the paper's system: every
+/// uplink's measured ρ must match Model A's closed form.
+#[test]
+fn star_uplinks_match_model_a_utilisation() {
+    let size = Exponential::with_mean(1.0);
+    let params = SystemParams::new(30.0, 50.0, 1.0, 0.0).unwrap();
+    let (n_f, p) = (1.0, 0.9);
+    let config = ClusterConfig {
+        topology: Topology::star(3, params.bandwidth),
+        workload: Workload::Static(StaticWorkload {
+            proxies: vec![
+                StaticProxy { lambda: params.lambda, h_prime: params.h_prime, n_f, p };
+                3
+            ],
+            size_dist: &size,
+        }),
+        requests_per_proxy: 50_000,
+        warmup_per_proxy: 10_000,
+    };
+    let report = ClusterSim::new(&config).run(97);
+    let predicted = ModelA::new(params, n_f, p).utilisation();
+    for link in &report.links {
+        assert!(
+            (link.utilisation - predicted).abs() < 0.03,
+            "{}: rho {} vs model {}",
+            link.name,
+            link.utilisation,
+            predicted
+        );
+    }
+    // Independent proxies, same parameters: node hit ratios all near h.
+    for node in &report.nodes {
+        assert!((node.hit_ratio - 0.9).abs() < 0.01, "node {}: h {}", node.proxy, node.hit_ratio);
+    }
+}
+
+/// Splitting one shared path into a two-hop tandem (access + backbone of
+/// the same bandwidth) can only slow fetches down: each job now queues
+/// twice. The aggregate network load, though, is topology-invariant.
+#[test]
+fn tandem_path_slower_than_single_hop_same_load() {
+    let size = Exponential::with_mean(1.0);
+    let proxies = vec![StaticProxy { lambda: 30.0, h_prime: 0.3, n_f: 0.5, p: 0.8 }];
+    let single = ClusterConfig {
+        topology: Topology::single(50.0),
+        workload: Workload::Static(StaticWorkload { proxies: proxies.clone(), size_dist: &size }),
+        requests_per_proxy: 40_000,
+        warmup_per_proxy: 8_000,
+    };
+    let tandem = ClusterConfig {
+        topology: Topology::two_tier(1, 50.0, 50.0),
+        workload: Workload::Static(StaticWorkload { proxies, size_dist: &size }),
+        requests_per_proxy: 40_000,
+        warmup_per_proxy: 8_000,
+    };
+    let r1 = ClusterSim::new(&single).run(31);
+    let r2 = ClusterSim::new(&tandem).run(31);
+    assert!(
+        r2.mean_access_time > r1.mean_access_time,
+        "tandem {} vs single {}",
+        r2.mean_access_time,
+        r1.mean_access_time
+    );
+    assert!((r2.bytes_per_request - r1.bytes_per_request).abs() < 1e-9, "same bytes injected");
+}

@@ -115,6 +115,7 @@ fn optimal_mix_matches_brute_force() {
 fn model_b_threshold_governs_inclusion() {
     let params = SystemParams::paper_figure2(0.3);
     let n_c = 5.0; // p_th(B) = 0.42 + 0.06 = 0.48
+
     // p = 0.45 is profitable under A but not under B.
     let a = ModelA::new(params, 0.5, 0.45).improvement().unwrap();
     let b = ModelB::new(params, 0.5, 0.45, n_c).improvement().unwrap();
@@ -172,14 +173,10 @@ fn more_above_threshold_volume_helps() {
 #[test]
 fn figure_values_spot_checks() {
     // Fig 2, h'=0 panel, p=0.9, nF=1: G = 15/340.
-    let g = ModelA::new(SystemParams::paper_figure2(0.0), 1.0, 0.9)
-        .improvement()
-        .unwrap();
+    let g = ModelA::new(SystemParams::paper_figure2(0.0), 1.0, 0.9).improvement().unwrap();
     assert!((g - 15.0 / 340.0).abs() < 1e-12);
     // Fig 3, same point: C = 0.06/(30·0.34·0.4).
-    let c = ModelA::new(SystemParams::paper_figure2(0.0), 1.0, 0.9)
-        .excess_cost()
-        .unwrap();
+    let c = ModelA::new(SystemParams::paper_figure2(0.0), 1.0, 0.9).excess_cost().unwrap();
     assert!((c - 0.06 / (30.0 * 0.34 * 0.4)).abs() < 1e-12);
     // Fig 1: p_th(s=1, b=50, h'=0.3) = 0.42.
     let pth = ModelA::new(SystemParams::paper_figure2(0.3), 1.0, 0.5).threshold();

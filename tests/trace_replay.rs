@@ -5,7 +5,9 @@
 use speculative_prefetch::cachesim::{LruCache, ReplacementCache, TaggedCache};
 use speculative_prefetch::simcore::rng::Rng;
 use speculative_prefetch::workload::synth_web::{SynthWeb, SynthWebConfig};
-use speculative_prefetch::workload::trace::{decode_binary, encode_binary, TraceReader, TraceWriter};
+use speculative_prefetch::workload::trace::{
+    decode_binary, encode_binary, TraceReader, TraceWriter,
+};
 use speculative_prefetch::workload::TraceRecord;
 
 fn make_trace(n: usize, seed: u64) -> Vec<TraceRecord> {
@@ -25,10 +27,8 @@ fn cache_fingerprint(trace: &[TraceRecord]) -> (u64, u64, Vec<u64>) {
     }
     let hits: u64 = caches.iter().map(|c| c.real_hits()).sum();
     let accesses: u64 = caches.iter().map(|c| c.accesses()).sum();
-    let mut contents: Vec<u64> = caches
-        .iter()
-        .flat_map(|c| c.inner().keys().into_iter().map(|k| k.0))
-        .collect();
+    let mut contents: Vec<u64> =
+        caches.iter().flat_map(|c| c.inner().keys().into_iter().map(|k| k.0)).collect();
     contents.sort_unstable();
     (hits, accesses, contents)
 }

@@ -1,0 +1,142 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the `bench` crate uses — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a plain
+//! wall-clock timer: each benchmark is warmed up once, then run for a fixed
+//! number of iterations, reporting mean time per iteration (and throughput
+//! when declared). No statistics, plots, or comparisons; it exists so
+//! `cargo bench` works without crates.io access and still yields usable
+//! relative numbers.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Declared throughput of one benchmark, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Iterations per benchmark after one warm-up pass.
+    iterations: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let iterations =
+            std::env::var("BENCH_ITERATIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(10);
+        Criterion { iterations }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let iterations = self.iterations;
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, iterations }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&name.into(), None, self.iterations, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    // Held only so the group borrows the driver exclusively, like real
+    // criterion's API shape.
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    /// Group-scoped iteration count (does not leak to later groups).
+    iterations: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iterations = (n as u32).max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, name.into());
+        run_one(&label, self.throughput, self.iterations, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    iterations: u32,
+    /// Mean seconds per iteration, filled in by `iter`.
+    mean_secs: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up (and forces at least one run)
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.mean_secs = start.elapsed().as_secs_f64() / self.iterations as f64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    iterations: u32,
+    mut f: F,
+) {
+    let mut b = Bencher { iterations, mean_secs: f64::NAN };
+    f(&mut b);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 / b.mean_secs),
+        Some(Throughput::Bytes(n)) => format!("  {:>12.0} B/s", n as f64 / b.mean_secs),
+        None => String::new(),
+    };
+    println!("{label:<40} {:>12.3} ms/iter{rate}", b.mean_secs * 1e3);
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,102 @@
+//! Test configuration, case outcomes, and the shim's RNG.
+
+/// Per-test configuration (only `cases` is honoured).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: usize) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of one generated case.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case does not apply (`prop_assume!` failed); try another.
+    Reject(String),
+    /// The property failed.
+    Fail(String),
+}
+
+/// SplitMix64 generator: small, fast, and good enough for test-input
+/// generation (the workspace's simulation RNG lives in `simcore::rng`).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Deterministic seed from the test's name, so every run regenerates
+    /// the same case sequence.
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::new(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` (rejection-free; bias is negligible
+    /// for test-input purposes).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        // 128-bit multiply-shift maps the full 64-bit draw onto [0, bound).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..10_000 {
+            assert!(rng.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut rng = TestRng::from_name("unit");
+        for _ in 0..10_000 {
+            let x = rng.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn from_name_is_deterministic() {
+        let mut a = TestRng::from_name("abc");
+        let mut b = TestRng::from_name("abc");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

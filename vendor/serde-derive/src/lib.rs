@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, and nothing in this
+//! workspace actually serialises through serde at runtime (the one JSON
+//! codec, `workload::trace`, is hand-rolled). The derives therefore expand
+//! to nothing; the sibling `serde` shim supplies blanket trait impls so
+//! `T: Serialize` bounds still hold.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

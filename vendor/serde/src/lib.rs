@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of plain-data
+//! types so downstream users can persist them, but no code path in this
+//! repository serialises through serde at runtime. Since the build
+//! environment cannot reach crates.io, this shim keeps those annotations
+//! compiling: the derives (re-exported from the `serde_derive` shim) expand
+//! to nothing, and the traits are satisfied by blanket impls.
+//!
+//! Swapping back to real serde is a two-line change in the workspace
+//! manifest; no source edits are required.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
