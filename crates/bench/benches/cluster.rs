@@ -1,0 +1,97 @@
+//! Cluster-scale benchmarks: the multi-node event loop in all three
+//! engines, and the `coop` digest/ring hot paths the cooperative mode
+//! leans on. These numbers are the perf baseline every later scaling PR
+//! (async runtime, sharding, batching) measures against.
+
+use bench::{small_adaptive_cluster, small_coop_cluster, small_static_cluster};
+use cluster::ClusterSim;
+use coop::{BloomFilter, CoopConfig, HashRing, Router};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use simcore::dist::Exponential;
+
+fn bench_cluster_event_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_event_loop");
+    let size = Exponential::with_mean(1.0);
+    for &n in &[2usize, 4] {
+        let config = small_static_cluster(n, &size);
+        g.throughput(Throughput::Elements((config.requests_per_proxy * n) as u64));
+        g.bench_function(format!("static_two_tier_{n}proxies"), |b| {
+            b.iter(|| black_box(ClusterSim::new(&config).run(1)));
+        });
+    }
+    let adaptive = small_adaptive_cluster(3);
+    g.throughput(Throughput::Elements((adaptive.requests_per_proxy * 3) as u64));
+    g.bench_function("adaptive_mesh_3proxies", |b| {
+        b.iter(|| black_box(ClusterSim::new(&adaptive).run(2)));
+    });
+    let coop = small_coop_cluster(3);
+    g.throughput(Throughput::Elements((coop.requests_per_proxy * 3) as u64));
+    g.bench_function("cooperative_mesh_3proxies", |b| {
+        b.iter(|| black_box(ClusterSim::new(&coop).run(2)));
+    });
+    g.finish();
+}
+
+fn bench_digest_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coop_digest");
+    let capacity = 1_024usize;
+    let keys: Vec<u64> = (0..capacity as u64).map(|k| k * 2_654_435_761).collect();
+
+    g.throughput(Throughput::Elements(capacity as u64));
+    g.bench_function("bloom_refresh_1k", |b| {
+        let mut filter = BloomFilter::for_capacity(capacity, 10, 4);
+        b.iter(|| {
+            filter.clear();
+            for &k in &keys {
+                filter.insert(k);
+            }
+            black_box(filter.inserted())
+        });
+    });
+
+    let mut filter = BloomFilter::for_capacity(capacity, 10, 4);
+    for &k in &keys {
+        filter.insert(k);
+    }
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("bloom_lookup_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for probe in 0..10_000u64 {
+                if filter.contains(probe * 977) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+
+    g.bench_function("router_resolve_10k", |b| {
+        let mut router = Router::new(4, capacity, CoopConfig::default());
+        router.refresh(1.0, |p| keys.iter().skip(p).step_by(4).copied().collect(), &[0.5; 4]);
+        b.iter(|| {
+            let mut peers = 0usize;
+            for probe in 0..10_000u64 {
+                if let coop::Resolution::Peer(_) = router.resolve(0, probe * 31) {
+                    peers += 1;
+                }
+            }
+            black_box(peers)
+        });
+    });
+
+    g.bench_function("ring_owner_10k", |b| {
+        let ring = HashRing::new(8, 64);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for key in 0..10_000u64 {
+                acc = acc.wrapping_add(ring.owner(key));
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(cluster_suite, bench_cluster_event_loop, bench_digest_hot_path);
+criterion_main!(cluster_suite);

@@ -1,6 +1,6 @@
 //! # bench — Criterion benchmarks
 //!
-//! Three benchmark suites (run `cargo bench --workspace`):
+//! Four benchmark suites (run `cargo bench --workspace`):
 //!
 //! * `figures` — one benchmark per paper figure (E1–E3): the cost of
 //!   regenerating each panel's full data series from the closed forms, plus
@@ -9,12 +9,21 @@
 //!   cache policies, predictors, samplers, and the §4 tagged estimator.
 //! * `endtoend` — whole-simulator runs: the parametric validator (E7) and
 //!   the trace-driven proxy (E8) at reduced scale.
+//! * `cluster` — the multi-node event loop (static, adaptive, and
+//!   cooperative engines) and the `coop` digest/ring hot paths: the first
+//!   perf baseline for the scaling trajectory.
 //!
 //! The library half provides shared setup helpers so the suites stay small.
 
+use cluster::{
+    AdaptiveWorkload, CandidateSource, ClusterConfig, CooperativeWorkload, ProxyPolicy,
+    StaticProxy, StaticWorkload, Topology, Workload,
+};
+use coop::CoopConfig;
 use netsim::parametric::ParametricConfig;
 use netsim::traced::{Policy, PredictorKind, TracedConfig};
 use prefetch_core::SystemParams;
+use simcore::dist::Sample;
 use workload::synth_web::SynthWebConfig;
 
 /// The paper's Figure-2 parameters with the given panel `h′`.
@@ -31,6 +40,60 @@ pub fn small_parametric(size_dist: &dyn simcore::dist::Sample) -> ParametricConf
         size_dist,
         requests: 20_000,
         warmup: 2_000,
+    }
+}
+
+/// A reduced-scale open-loop cluster over a shared backbone.
+pub fn small_static_cluster(n_proxies: usize, size_dist: &dyn Sample) -> ClusterConfig<'_> {
+    ClusterConfig {
+        topology: Topology::two_tier(n_proxies, 50.0, 40.0 * n_proxies as f64),
+        workload: Workload::Static(StaticWorkload {
+            proxies: (0..n_proxies)
+                .map(|_| StaticProxy { lambda: 12.0, h_prime: 0.3, n_f: 0.5, p: 0.8 })
+                .collect(),
+            size_dist,
+        }),
+        requests_per_proxy: 10_000,
+        warmup_per_proxy: 2_000,
+    }
+}
+
+/// A reduced-scale closed-loop workload (identical item universe per
+/// proxy so the cooperative variant has redundancy to remove).
+pub fn small_closed_loop(n_proxies: usize) -> AdaptiveWorkload {
+    AdaptiveWorkload {
+        proxies: (0..n_proxies)
+            .map(|_| SynthWebConfig { lambda: 14.0, link_skew: 0.3, ..SynthWebConfig::default() })
+            .collect(),
+        cache_capacity: 48,
+        max_candidates: 3,
+        prefetch_jitter: 0.01,
+        policy: ProxyPolicy::Adaptive,
+        predictor: CandidateSource::Oracle,
+        shared_structure_seed: Some(5),
+    }
+}
+
+/// A reduced-scale adaptive cluster configuration.
+pub fn small_adaptive_cluster(n_proxies: usize) -> ClusterConfig<'static> {
+    ClusterConfig {
+        topology: Topology::mesh(n_proxies, 50.0, 70.0, 45.0),
+        workload: Workload::Adaptive(small_closed_loop(n_proxies)),
+        requests_per_proxy: 8_000,
+        warmup_per_proxy: 1_600,
+    }
+}
+
+/// A reduced-scale cooperative cluster configuration.
+pub fn small_coop_cluster(n_proxies: usize) -> ClusterConfig<'static> {
+    ClusterConfig {
+        topology: Topology::mesh(n_proxies, 50.0, 70.0, 45.0),
+        workload: Workload::Cooperative(CooperativeWorkload {
+            base: small_closed_loop(n_proxies),
+            coop: CoopConfig::default(),
+        }),
+        requests_per_proxy: 8_000,
+        warmup_per_proxy: 1_600,
     }
 }
 

@@ -216,6 +216,12 @@ impl<K: Copy + Eq + Hash, C: ReplacementCache<K>> TaggedCache<K, C> {
     pub fn inner(&self) -> &C {
         &self.inner
     }
+
+    /// Snapshot of the cached keys (order follows the inner policy) — the
+    /// contents a cooperative digest summarises.
+    pub fn keys(&self) -> Vec<K> {
+        self.inner.keys()
+    }
 }
 
 #[cfg(test)]
@@ -308,6 +314,16 @@ mod tests {
         let (tagged, untagged) = c.evictions_by_tag();
         assert_eq!((tagged, untagged), (0, 1));
         assert_eq!(evicted, 1);
+    }
+
+    #[test]
+    fn keys_snapshot_matches_contents() {
+        let mut c = cache(4);
+        c.access(1);
+        c.prefetch_insert(2);
+        let mut keys = c.keys();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 2]);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Closed-loop (adaptive) cluster engine.
+//! Closed-loop cluster engine: adaptive prefetching, optionally with
+//! cooperative caching.
 //!
 //! Each proxy is a real edge cache: a Zipf catalog with Markov client
 //! navigation (`workload::SynthWeb`), a shared tagged LRU cache
@@ -6,17 +7,31 @@
 //! online `prefetch_core::AdaptiveController` provisioned against the
 //! proxy's bottleneck bandwidth, and a per-proxy access predictor that
 //! proposes prefetch candidates with probabilities. Misses and accepted
-//! prefetches traverse the proxy's route of queueing links; items are
-//! partitioned over origin shards by `item % n_shards`.
+//! prefetches traverse a route of queueing links; items are partitioned
+//! over origin shards by `item % n_shards`.
 //!
 //! Because every controller estimates `ρ̂′` from *its own* traffic, two
 //! proxies with different local load converge to different thresholds —
 //! the per-node divergence the cluster experiment (E13) demonstrates.
+//!
+//! With a [`coop::CoopConfig`] attached (the [`crate::Workload::Cooperative`]
+//! mode, experiment E14), a [`coop::Router`] additionally resolves every
+//! miss and prefetch against the peers' Bloom digests and the consistent-
+//! hash placement ring: a `Peer(q)` resolution traverses the proxy↔proxy
+//! peer links instead of the backbone, and a transfer that reaches a peer
+//! not actually holding the entry (a **false hit** — epoch staleness or a
+//! structural Bloom false positive) falls back to the origin, paying both
+//! paths. Digests refresh on the
+//! configured epoch, at which point the placement policy may migrate
+//! virtual nodes from hot proxies to cold ones. With a single proxy the
+//! router always resolves to the origin and the engine makes exactly the
+//! draws of plain adaptive mode — the parity the integration tests pin.
 
-use crate::report::{ClusterReport, LinkReport, NodeReport};
+use crate::report::{ClusterReport, CoopReport, LinkReport, NodeReport};
 use crate::sim::{earliest_link_event, proxy_seed, LinkState};
 use crate::{AdaptiveWorkload, CandidateSource, ProxyPolicy, Topology};
 use cachesim::{AccessKind, LruCache, ReplacementCache, TaggedCache};
+use coop::CoopConfig;
 use predictor::{MarkovPredictor, OraclePredictor, Predictor};
 use prefetch_core::controller::{AdaptiveController, ControllerConfig};
 use prefetch_core::estimator::EntryStatus;
@@ -32,15 +47,35 @@ enum JobKind {
     Prefetch { measured: bool },
 }
 
+/// Where a transfer is being served from.
+#[derive(Clone, Copy)]
+enum Dest {
+    /// The item's origin shard, over the proxy's origin route.
+    Origin,
+    /// A peer proxy's cache, over the peer route.
+    Peer(u32),
+}
+
 #[derive(Clone, Copy)]
 struct Job {
     proxy: u32,
     shard: u32,
+    dest: Dest,
     hop: usize,
     size: f64,
     issued: f64,
     item: ItemId,
     kind: JobKind,
+}
+
+impl Job {
+    /// The link path this job is currently traversing.
+    fn path<'t>(&self, topology: &'t Topology) -> &'t [usize] {
+        match self.dest {
+            Dest::Origin => topology.route(self.proxy as usize, self.shard as usize),
+            Dest::Peer(q) => topology.peer_route(self.proxy as usize, q as usize),
+        }
+    }
 }
 
 /// A prefetch decision waiting out its pacing jitter before hitting the
@@ -94,17 +129,23 @@ struct ProxyState {
     demand_bytes: f64,
     prefetch_bytes: f64,
     used_prefetch_bytes: f64,
+    peer_bytes: f64,
+    peer_fetches: u64,
+    peer_false_hits: u64,
 }
 
 pub(crate) fn run(
     topology: &Topology,
     w: &AdaptiveWorkload,
+    coop_cfg: Option<&CoopConfig>,
     requests: usize,
     warmup: usize,
     seed: u64,
 ) -> ClusterReport {
     let n_shards = topology.n_shards() as u64;
     let mut links: Vec<LinkState> = topology.links().iter().map(LinkState::new).collect();
+    let mut router =
+        coop_cfg.map(|c| coop::Router::new(topology.n_proxies(), w.cache_capacity, *c));
 
     let mut proxies: Vec<ProxyState> = w
         .proxies
@@ -113,7 +154,17 @@ pub(crate) fn run(
         .map(|(i, web_cfg)| {
             let mut rng = Rng::new(proxy_seed(seed, i));
             let jitter_rng = rng.split();
-            let mut web = SynthWeb::new(*web_cfg, &mut rng);
+            // With a shared structure seed every proxy draws the same
+            // catalog and navigation chain (the redundancy cooperative
+            // caching removes); otherwise each proxy's structure comes
+            // from its own stream, exactly as before.
+            let mut web = match w.shared_structure_seed {
+                Some(s) => {
+                    let mut structure_rng = Rng::new(s);
+                    SynthWeb::new(*web_cfg, &mut structure_rng)
+                }
+                None => SynthWeb::new(*web_cfg, &mut rng),
+            };
             let predictor: Box<dyn Predictor> = match w.predictor {
                 CandidateSource::Oracle => Box::new(OraclePredictor::from_chain(&web.chain)),
                 CandidateSource::Markov1 => Box::new(MarkovPredictor::new(1)),
@@ -144,6 +195,9 @@ pub(crate) fn run(
                 demand_bytes: 0.0,
                 prefetch_bytes: 0.0,
                 used_prefetch_bytes: 0.0,
+                peer_bytes: 0.0,
+                peer_fetches: 0,
+                peer_false_hits: 0,
             }
         })
         .collect();
@@ -153,6 +207,14 @@ pub(crate) fn run(
     let mut jobs: HashMap<u64, Job> = HashMap::new();
     let mut next_job_id: u64 = 0;
     let mut t_end = 0.0;
+
+    // Resolves where a miss/prefetch at `me` is served from.
+    let resolve = |router: &Option<coop::Router>, me: usize, item: ItemId| -> Dest {
+        match router.as_ref().map(|r| r.resolve(me, item.0)) {
+            Some(coop::Resolution::Peer(q)) => Dest::Peer(q as u32),
+            _ => Dest::Origin,
+        }
+    };
 
     enum Ev {
         Link(f64, usize),
@@ -195,31 +257,32 @@ pub(crate) fn run(
             Ev::IssuePrefetch(i) => {
                 let pfx = proxies[i].delayed.pop().expect("pending prefetch");
                 t_end = pfx.due;
-                let p = &mut proxies[i];
                 // The item may have been demand-fetched while waiting; the
                 // in-flight marker was set at decision time, so only issue
                 // if it is still not cached.
-                if !p.cache.inner().contains(&pfx.item) {
+                if !proxies[i].cache.inner().contains(&pfx.item) {
+                    let dest = resolve(&router, i, pfx.item);
+                    let p = &mut proxies[i];
                     p.prefetch_jobs += 1;
                     p.prefetch_bytes += pfx.size;
                     let shard = (pfx.item.0 % n_shards) as u32;
                     let id = next_job_id;
                     next_job_id += 1;
-                    jobs.insert(
-                        id,
-                        Job {
-                            proxy: i as u32,
-                            shard,
-                            hop: 0,
-                            size: pfx.size,
-                            issued: pfx.due,
-                            item: pfx.item,
-                            kind: JobKind::Prefetch { measured: pfx.measured },
-                        },
-                    );
-                    links[topology.route(i, shard as usize)[0]].arrive(pfx.due, pfx.size, id);
+                    let job = Job {
+                        proxy: i as u32,
+                        shard,
+                        dest,
+                        hop: 0,
+                        size: pfx.size,
+                        issued: pfx.due,
+                        item: pfx.item,
+                        kind: JobKind::Prefetch { measured: pfx.measured },
+                    };
+                    let first = job.path(topology)[0];
+                    jobs.insert(id, job);
+                    links[first].arrive(pfx.due, pfx.size, id);
                 } else {
-                    p.inflight.remove(&pfx.item);
+                    proxies[i].inflight.remove(&pfx.item);
                 }
             }
             Ev::Link(t, l) => {
@@ -227,7 +290,7 @@ pub(crate) fn run(
                 for c in links[l].on_event(t) {
                     let job = jobs[&c.tag];
                     links[l].bytes_carried += job.size;
-                    let route = topology.route(job.proxy as usize, job.shard as usize);
+                    let route = job.path(topology);
                     if job.hop + 1 < route.len() {
                         let mut fwd = job;
                         fwd.hop += 1;
@@ -235,8 +298,33 @@ pub(crate) fn run(
                         links[route[fwd.hop]].arrive(t, fwd.size, c.tag);
                         continue;
                     }
+                    // Digest false hit: the transfer reached a peer that
+                    // does not hold the item (evicted since the last
+                    // refresh, or a structural Bloom false positive) —
+                    // fall back to the origin, paying the peer path *and*
+                    // the origin path.
+                    if let Dest::Peer(q) = job.dest {
+                        if !proxies[q as usize].cache.inner().contains(&job.item) {
+                            let mut fwd = job;
+                            fwd.dest = Dest::Origin;
+                            fwd.hop = 0;
+                            jobs.insert(c.tag, fwd);
+                            let p = &mut proxies[job.proxy as usize];
+                            p.peer_false_hits += 1;
+                            match job.kind {
+                                JobKind::Demand { .. } => p.demand_bytes += job.size,
+                                JobKind::Prefetch { .. } => p.prefetch_bytes += job.size,
+                            }
+                            links[fwd.path(topology)[0]].arrive(t, fwd.size, c.tag);
+                            continue;
+                        }
+                    }
                     jobs.remove(&c.tag);
                     let p = &mut proxies[job.proxy as usize];
+                    if matches!(job.dest, Dest::Peer(_)) {
+                        p.peer_fetches += 1;
+                        p.peer_bytes += job.size;
+                    }
                     match job.kind {
                         JobKind::Demand { measured } => {
                             p.cache.admit_after_fetch(job.item);
@@ -322,26 +410,28 @@ pub(crate) fn run(
                             p.inflight.insert(req.item);
                             p.demand_bytes += req.size;
                             let shard = (req.item.0 % n_shards) as u32;
+                            let dest = resolve(&router, i, req.item);
                             let id = next_job_id;
                             next_job_id += 1;
-                            jobs.insert(
-                                id,
-                                Job {
-                                    proxy: i as u32,
-                                    shard,
-                                    hop: 0,
-                                    size: req.size,
-                                    issued: t,
-                                    item: req.item,
-                                    kind: JobKind::Demand { measured: in_window },
-                                },
-                            );
-                            links[topology.route(i, shard as usize)[0]].arrive(t, req.size, id);
+                            let job = Job {
+                                proxy: i as u32,
+                                shard,
+                                dest,
+                                hop: 0,
+                                size: req.size,
+                                issued: t,
+                                item: req.item,
+                                kind: JobKind::Demand { measured: in_window },
+                            };
+                            let first = job.path(topology)[0];
+                            jobs.insert(id, job);
+                            links[first].arrive(t, req.size, id);
                         }
                     }
                 }
 
                 // Predict and prefetch.
+                let p = &mut proxies[i];
                 p.predictor.observe(req.item);
                 let threshold = match w.policy {
                     ProxyPolicy::NoPrefetch => f64::INFINITY,
@@ -376,8 +466,25 @@ pub(crate) fn run(
                 }
             }
         }
+
+        // Digest epoch: rebuild every proxy's summary from its live cache
+        // and feed the controllers' ρ̂′ estimates to the placement policy.
+        if let Some(r) = router.as_mut() {
+            if r.refresh_due(t_end) {
+                let loads: Vec<f64> = proxies
+                    .iter()
+                    .map(|p| p.controller.rho_prime_estimate().unwrap_or(0.0))
+                    .collect();
+                r.refresh(
+                    t_end,
+                    |proxy| proxies[proxy].cache.keys().iter().map(|k| k.0).collect(),
+                    &loads,
+                );
+            }
+        }
     }
 
+    let coop_on = router.is_some();
     let nodes: Vec<NodeReport> = proxies
         .iter()
         .enumerate()
@@ -396,6 +503,9 @@ pub(crate) fn run(
                 goodput_bytes: Some(p.used_prefetch_bytes.min(p.prefetch_bytes)),
                 badput_bytes: Some((p.prefetch_bytes - p.used_prefetch_bytes).max(0.0)),
                 demand_bytes: p.demand_bytes,
+                peer_bytes: coop_on.then_some(p.peer_bytes),
+                peer_fetches: coop_on.then_some(p.peer_fetches),
+                peer_false_hits: coop_on.then_some(p.peer_false_hits),
                 mean_threshold: (p.threshold_n > 0).then(|| p.threshold_sum / p.threshold_n as f64),
                 rho_prime_estimate: p.controller.rho_prime_estimate(),
                 h_prime_estimate: p.controller.h_prime_estimate(),
@@ -427,5 +537,10 @@ pub(crate) fn run(
         mean_access_time,
         bytes_per_request: total_bytes / (n_requests * proxies.len() as u64).max(1) as f64,
         duration: t_end,
+        coop: router.map(|r| CoopReport {
+            router: r.stats(),
+            peer_fetches: proxies.iter().map(|p| p.peer_fetches).sum(),
+            peer_false_hits: proxies.iter().map(|p| p.peer_false_hits).sum(),
+        }),
     }
 }

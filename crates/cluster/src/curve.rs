@@ -32,7 +32,7 @@ pub struct CurveSpec<'a> {
 /// holding `p` and the per-proxy base parameters fixed.
 pub fn network_load_curve(spec: &CurveSpec<'_>, n_fs: &[f64]) -> Vec<CurvePoint> {
     assert_eq!(spec.proxies.len(), spec.topology.n_proxies(), "one (λ, h′) pair per proxy");
-    let run_at = |n_f: f64, run_seed: u64| {
+    let run_at = |&n_f: &f64, run_seed: u64| {
         let config = ClusterConfig {
             topology: spec.topology.clone(),
             workload: Workload::Static(StaticWorkload {
@@ -49,8 +49,7 @@ pub fn network_load_curve(spec: &CurveSpec<'_>, n_fs: &[f64]) -> Vec<CurvePoint>
         ClusterSim::new(&config).run(run_seed)
     };
 
-    let baseline = run_at(0.0, spec.seed);
-    let points = simcore::par::par_map_auto(n_fs, |_, &n_f| run_at(n_f, spec.seed.wrapping_add(1)));
+    let (baseline, points) = simcore::par::sweep_vs_baseline(&0.0, n_fs, spec.seed, run_at);
     n_fs.iter()
         .zip(points)
         .map(|(&n_f, report)| CurvePoint {

@@ -21,7 +21,7 @@
 //! load; [`network_load_curve`] sweeps prefetch volume for the cluster
 //! analogue of the paper's Figures 2–3.
 //!
-//! ## Two engines, one API
+//! ## Three engines, one API
 //!
 //! * **Open loop** ([`Workload::Static`]) — every proxy runs the paper's
 //!   Model-A mechanism (Bernoulli hits at `h′ + n̄(F)·p`, Poissonised
@@ -34,6 +34,13 @@
 //!   estimates `ρ̂′` from its *own* traffic, proxies under different local
 //!   load converge to different thresholds — the distributed behaviour the
 //!   single-path model cannot express.
+//! * **Cooperative** ([`Workload::Cooperative`]) — the closed loop plus
+//!   the `coop` crate's digest/placement/router layer: peers answer each
+//!   other's misses over [`Topology::mesh`]/[`Topology::ring`] peer links,
+//!   with digest-staleness false hits falling back to the origin and a
+//!   load-aware placement policy migrating virtual nodes on divergence.
+//!   With one proxy this reduces *exactly* to adaptive mode (pinned by
+//!   test to 1e-6), so cooperative results stay anchored too.
 //!
 //! ## Example
 //!
@@ -61,7 +68,7 @@
 //! assert!(report.mean_access_time.is_finite());
 //! ```
 
-mod adaptive_mode;
+mod closed_loop;
 mod curve;
 mod report;
 mod sim;
@@ -69,7 +76,7 @@ mod static_mode;
 mod topology;
 
 pub use curve::{network_load_curve, CurveSpec};
-pub use report::{ClusterReport, CurvePoint, LinkReport, NodeReport};
+pub use report::{ClusterReport, CoopReport, CurvePoint, LinkReport, NodeReport};
 pub use sim::ClusterSim;
 pub use topology::{Discipline, Link, Topology, TopologyBuilder};
 
@@ -135,6 +142,25 @@ pub struct AdaptiveWorkload {
     pub policy: ProxyPolicy,
     /// Candidate source for every proxy.
     pub predictor: CandidateSource,
+    /// When `Some(seed)`, every proxy draws its catalog and navigation
+    /// chain from this shared seed, so all proxies serve the *same* item
+    /// universe with the same hot set — the cross-proxy redundancy
+    /// cooperative caching exists to remove. Arrival randomness stays
+    /// per-proxy. `None` (the default situation) keeps fully independent
+    /// per-proxy structures, exactly as before.
+    pub shared_structure_seed: Option<u64>,
+}
+
+/// Closed-loop workload with the cooperative layer attached: peers answer
+/// each other's misses via Bloom digests and consistent-hash placement
+/// (see the `coop` crate), over the topology's proxy↔proxy peer links.
+#[derive(Clone, Debug)]
+pub struct CooperativeWorkload {
+    /// The underlying adaptive configuration (caches, controllers,
+    /// predictors).
+    pub base: AdaptiveWorkload,
+    /// Digest, placement, and rebalancing parameters.
+    pub coop: coop::CoopConfig,
 }
 
 /// Which engine drives the cluster.
@@ -143,6 +169,8 @@ pub enum Workload<'a> {
     Static(StaticWorkload<'a>),
     /// Closed-loop adaptive prefetching.
     Adaptive(AdaptiveWorkload),
+    /// Closed-loop adaptive prefetching with cooperative caching.
+    Cooperative(CooperativeWorkload),
 }
 
 /// A complete cluster configuration.
@@ -172,16 +200,28 @@ impl ClusterConfig<'_> {
                     assert!(p.n_f >= 0.0 && p.n_f.is_finite(), "proxy {i}: bad n̄(F)");
                 }
             }
-            Workload::Adaptive(w) => {
-                assert_eq!(
-                    w.proxies.len(),
-                    self.topology.n_proxies(),
-                    "one SynthWebConfig per topology proxy"
+            Workload::Adaptive(w) => w.validate(&self.topology),
+            Workload::Cooperative(w) => {
+                w.base.validate(&self.topology);
+                assert!(
+                    self.topology.n_proxies() == 1 || self.topology.is_peer_meshed(),
+                    "cooperative mode needs a peer path between every proxy pair \
+                     (use Topology::mesh or Topology::ring)"
                 );
-                assert!(w.cache_capacity > 0, "cache capacity must be positive");
-                assert!(w.max_candidates > 0, "need at least one candidate");
-                assert!(w.prefetch_jitter >= 0.0);
             }
         }
+    }
+}
+
+impl AdaptiveWorkload {
+    fn validate(&self, topology: &Topology) {
+        assert_eq!(
+            self.proxies.len(),
+            topology.n_proxies(),
+            "one SynthWebConfig per topology proxy"
+        );
+        assert!(self.cache_capacity > 0, "cache capacity must be positive");
+        assert!(self.max_candidates > 0, "need at least one candidate");
+        assert!(self.prefetch_jitter >= 0.0);
     }
 }

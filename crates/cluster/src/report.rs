@@ -43,12 +43,33 @@ pub struct NodeReport {
     pub badput_bytes: Option<f64>,
     /// Demand-fetched size-units.
     pub demand_bytes: f64,
+    /// Size-units of this proxy's misses/prefetches served from peer
+    /// caches instead of the origin (cooperative mode only).
+    pub peer_bytes: Option<f64>,
+    /// Transfers served from a peer cache (cooperative mode only).
+    pub peer_fetches: Option<u64>,
+    /// Peer transfers that arrived to find the entry absent — digest false
+    /// hits: epoch staleness plus the Bloom filter's structural
+    /// false-positive floor (cooperative mode only).
+    pub peer_false_hits: Option<u64>,
     /// Mean threshold the local controller applied (adaptive mode only).
     pub mean_threshold: Option<f64>,
     /// The controller's final `ρ̂′` estimate (adaptive mode only).
     pub rho_prime_estimate: Option<f64>,
     /// The controller's final `ĥ′` estimate (adaptive mode only).
     pub h_prime_estimate: Option<f64>,
+}
+
+/// Activity of the cooperative layer over one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoopReport {
+    /// The router's own counters (digest epochs, vnode migrations, …).
+    pub router: coop::RouterStats,
+    /// Peer-served transfers across all proxies.
+    pub peer_fetches: u64,
+    /// Digest false hits across all proxies (staleness + Bloom structural
+    /// false positives).
+    pub peer_false_hits: u64,
 }
 
 /// One complete cluster run.
@@ -65,6 +86,8 @@ pub struct ClusterReport {
     pub bytes_per_request: f64,
     /// Virtual time of the last event.
     pub duration: f64,
+    /// Cooperative-layer counters (cooperative mode only).
+    pub coop: Option<CoopReport>,
 }
 
 impl ClusterReport {
@@ -77,6 +100,12 @@ impl ClusterReport {
     /// Finds a link report by topology name.
     pub fn link(&self, name: &str) -> Option<&LinkReport> {
         self.links.iter().find(|l| l.name == name)
+    }
+
+    /// Size-units carried by the named link — the backbone load the
+    /// cooperative experiments compare. Zero when the link is absent.
+    pub fn link_bytes(&self, name: &str) -> f64 {
+        self.link(name).map_or(0.0, |l| l.bytes_carried)
     }
 }
 

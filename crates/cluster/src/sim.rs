@@ -1,6 +1,6 @@
 //! The cluster simulator facade and shared link machinery.
 
-use crate::adaptive_mode;
+use crate::closed_loop;
 use crate::report::ClusterReport;
 use crate::static_mode;
 use crate::{ClusterConfig, Workload};
@@ -32,9 +32,18 @@ impl<'a> ClusterSim<'a> {
                 self.config.warmup_per_proxy,
                 seed,
             ),
-            Workload::Adaptive(w) => adaptive_mode::run(
+            Workload::Adaptive(w) => closed_loop::run(
                 &self.config.topology,
                 w,
+                None,
+                self.config.requests_per_proxy,
+                self.config.warmup_per_proxy,
+                seed,
+            ),
+            Workload::Cooperative(w) => closed_loop::run(
+                &self.config.topology,
+                &w.base,
+                Some(&w.coop),
                 self.config.requests_per_proxy,
                 self.config.warmup_per_proxy,
                 seed,

@@ -248,6 +248,9 @@ pub(crate) fn run(
                 goodput_bytes: None,
                 badput_bytes: None,
                 demand_bytes: p.demand_bytes,
+                peer_bytes: None,
+                peer_fetches: None,
+                peer_false_hits: None,
                 mean_threshold: None,
                 rho_prime_estimate: None,
                 h_prime_estimate: None,
@@ -279,5 +282,6 @@ pub(crate) fn run(
         mean_access_time,
         bytes_per_request: total_bytes / (n_requests * proxies.len() as u64) as f64,
         duration: t_end,
+        coop: None,
     }
 }

@@ -42,7 +42,8 @@ pub enum Discipline {
     Fifo,
 }
 
-/// A multi-node layout: links plus a route for every `(proxy, shard)` pair.
+/// A multi-node layout: links plus a route for every `(proxy, shard)` pair,
+/// and optionally a peer route for every ordered `(proxy, proxy)` pair.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Topology {
     n_proxies: usize,
@@ -51,6 +52,10 @@ pub struct Topology {
     /// `routes[p * n_shards + s]` = ordered link indices from proxy `p` to
     /// shard `s`.
     routes: Vec<Vec<usize>>,
+    /// `peer_routes[p * n_proxies + q]` = ordered link indices from proxy
+    /// `p` to proxy `q`; empty when the pair has no peer path (the
+    /// cooperative engine requires one for every pair).
+    peer_routes: Vec<Vec<usize>>,
 }
 
 impl Topology {
@@ -62,6 +67,7 @@ impl Topology {
             n_shards,
             links: Vec::new(),
             routes: vec![Vec::new(); n_proxies * n_shards],
+            peer_routes: vec![Vec::new(); n_proxies * n_proxies],
         }
     }
 
@@ -122,6 +128,82 @@ impl Topology {
         b.build()
     }
 
+    /// A two-tier tree plus a full proxy↔proxy peer mesh: one PS peer link
+    /// per unordered proxy pair, so cooperative fetches bypass the
+    /// backbone entirely. With one proxy this degenerates to
+    /// [`Topology::two_tier`] (no peers to mesh).
+    pub fn mesh(
+        n_proxies: usize,
+        access_bandwidth: f64,
+        backbone_bandwidth: f64,
+        peer_bandwidth: f64,
+    ) -> Topology {
+        let mut b = Topology::builder(n_proxies, 1);
+        let backbone = b.add_link("backbone", backbone_bandwidth, Discipline::ProcessorSharing);
+        for p in 0..n_proxies {
+            let l =
+                b.add_link(format!("access[{p}]"), access_bandwidth, Discipline::ProcessorSharing);
+            b.route(p, 0, vec![l, backbone]);
+        }
+        for p in 0..n_proxies {
+            for q in p + 1..n_proxies {
+                let l = b.add_link(
+                    format!("peer[{p}-{q}]"),
+                    peer_bandwidth,
+                    Discipline::ProcessorSharing,
+                );
+                b.peer_route(p, q, vec![l]);
+                b.peer_route(q, p, vec![l]);
+            }
+        }
+        b.build()
+    }
+
+    /// A two-tier tree plus a peer *ring*: proxy `p` links to `(p+1) mod n`
+    /// and peer fetches traverse the shorter arc — fewer links than the
+    /// mesh, at the price of multi-hop peer transfers.
+    pub fn ring(
+        n_proxies: usize,
+        access_bandwidth: f64,
+        backbone_bandwidth: f64,
+        peer_bandwidth: f64,
+    ) -> Topology {
+        let mut b = Topology::builder(n_proxies, 1);
+        let backbone = b.add_link("backbone", backbone_bandwidth, Discipline::ProcessorSharing);
+        for p in 0..n_proxies {
+            let l =
+                b.add_link(format!("access[{p}]"), access_bandwidth, Discipline::ProcessorSharing);
+            b.route(p, 0, vec![l, backbone]);
+        }
+        if n_proxies >= 2 {
+            // `ring_links[p]` joins p and (p+1) mod n; with two proxies the
+            // cycle collapses to a single link.
+            let segments = if n_proxies == 2 { 1 } else { n_proxies };
+            let ring_links: Vec<usize> = (0..segments)
+                .map(|p| {
+                    b.add_link(format!("ring[{p}]"), peer_bandwidth, Discipline::ProcessorSharing)
+                })
+                .collect();
+            for p in 0..n_proxies {
+                for q in 0..n_proxies {
+                    if p == q {
+                        continue;
+                    }
+                    let clockwise = (q + n_proxies - p) % n_proxies;
+                    let path: Vec<usize> = if clockwise <= n_proxies - clockwise {
+                        (0..clockwise).map(|i| ring_links[(p + i) % segments]).collect()
+                    } else {
+                        (0..n_proxies - clockwise)
+                            .map(|i| ring_links[(p + n_proxies - 1 - i) % segments])
+                            .collect()
+                    };
+                    b.peer_route(p, q, path);
+                }
+            }
+        }
+        b.build()
+    }
+
     pub fn n_proxies(&self) -> usize {
         self.n_proxies
     }
@@ -137,6 +219,26 @@ impl Topology {
     /// The link path a fetch from `proxy` to `shard` traverses.
     pub fn route(&self, proxy: usize, shard: usize) -> &[usize] {
         &self.routes[proxy * self.n_shards + shard]
+    }
+
+    /// The link path a peer fetch from proxy `p` to proxy `q` traverses.
+    /// Panics when the pair has no peer path (see
+    /// [`Topology::has_peer_path`]).
+    pub fn peer_route(&self, p: usize, q: usize) -> &[usize] {
+        let r = &self.peer_routes[p * self.n_proxies + q];
+        assert!(!r.is_empty(), "no peer route from proxy {p} to proxy {q}");
+        r
+    }
+
+    /// Whether proxies `p` and `q` have a peer path (`p == q` has none).
+    pub fn has_peer_path(&self, p: usize, q: usize) -> bool {
+        p != q && !self.peer_routes[p * self.n_proxies + q].is_empty()
+    }
+
+    /// Whether every ordered proxy pair has a peer path — the property
+    /// the cooperative workload requires.
+    pub fn is_peer_meshed(&self) -> bool {
+        (0..self.n_proxies).all(|p| (0..self.n_proxies).all(|q| p == q || self.has_peer_path(p, q)))
     }
 
     /// The narrowest bandwidth on the route — the capacity an adaptive
@@ -161,6 +263,7 @@ pub struct TopologyBuilder {
     n_shards: usize,
     links: Vec<Link>,
     routes: Vec<Vec<usize>>,
+    peer_routes: Vec<Vec<usize>>,
 }
 
 impl TopologyBuilder {
@@ -187,6 +290,19 @@ impl TopologyBuilder {
         self
     }
 
+    /// Sets the peer route from proxy `p` to proxy `q` (one direction;
+    /// call twice for a symmetric pair).
+    pub fn peer_route(&mut self, p: usize, q: usize, links: Vec<usize>) -> &mut Self {
+        assert!(p < self.n_proxies && q < self.n_proxies, "peer route endpoint out of range");
+        assert!(p != q, "a proxy needs no route to itself");
+        assert!(!links.is_empty(), "peer route must traverse at least one link");
+        for &l in &links {
+            assert!(l < self.links.len(), "peer route references unknown link {l}");
+        }
+        self.peer_routes[p * self.n_proxies + q] = links;
+        self
+    }
+
     /// Validates completeness and freezes the topology.
     pub fn build(self) -> Topology {
         for p in 0..self.n_proxies {
@@ -202,6 +318,7 @@ impl TopologyBuilder {
             n_shards: self.n_shards,
             links: self.links,
             routes: self.routes,
+            peer_routes: self.peer_routes,
         }
     }
 }
@@ -253,6 +370,71 @@ mod tests {
         }
         assert_eq!(t.bottleneck(0, 0), 40.0);
         assert_eq!(t.proxy_bottleneck(0), 40.0);
+    }
+
+    #[test]
+    fn mesh_has_peer_path_per_pair() {
+        let t = Topology::mesh(4, 40.0, 80.0, 30.0);
+        // backbone + 4 access + C(4,2)=6 peer links.
+        assert_eq!(t.links().len(), 1 + 4 + 6);
+        assert!(t.is_peer_meshed());
+        for p in 0..4 {
+            assert!(!t.has_peer_path(p, p));
+            for q in 0..4 {
+                if p != q {
+                    assert_eq!(t.peer_route(p, q).len(), 1, "mesh peers are one hop");
+                    assert_eq!(t.peer_route(p, q), t.peer_route(q, p), "shared medium");
+                }
+            }
+        }
+        // Peer routes avoid the backbone.
+        let backbone = t.route(0, 0)[1];
+        assert!(!t.peer_route(0, 3).contains(&backbone));
+    }
+
+    #[test]
+    fn mesh_of_one_is_two_tier() {
+        let mesh = Topology::mesh(1, 40.0, 80.0, 30.0);
+        assert_eq!(mesh.links().len(), 2);
+        assert!(mesh.is_peer_meshed(), "vacuously meshed");
+    }
+
+    #[test]
+    fn ring_routes_take_the_shorter_arc() {
+        let t = Topology::ring(5, 40.0, 80.0, 30.0);
+        // backbone + 5 access + 5 ring segments.
+        assert_eq!(t.links().len(), 1 + 5 + 5);
+        assert!(t.is_peer_meshed());
+        assert_eq!(t.peer_route(0, 1).len(), 1);
+        assert_eq!(t.peer_route(0, 2).len(), 2);
+        assert_eq!(t.peer_route(0, 3).len(), 2, "counter-clockwise is shorter");
+        assert_eq!(t.peer_route(0, 4).len(), 1);
+        // Adjacent pairs share their segment in both directions.
+        assert_eq!(t.peer_route(1, 2), t.peer_route(2, 1));
+    }
+
+    #[test]
+    fn two_proxy_ring_is_a_single_segment() {
+        let t = Topology::ring(2, 40.0, 80.0, 30.0);
+        assert_eq!(t.links().len(), 1 + 2 + 1);
+        assert_eq!(t.peer_route(0, 1), t.peer_route(1, 0));
+        assert_eq!(t.peer_route(0, 1).len(), 1);
+    }
+
+    #[test]
+    fn classic_layouts_have_no_peer_paths() {
+        assert!(!Topology::two_tier(3, 50.0, 80.0).is_peer_meshed());
+        assert!(!Topology::star(3, 50.0).has_peer_path(0, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_peer_route_panics() {
+        let mut b = Topology::builder(2, 1);
+        let l = b.add_link("x", 10.0, Discipline::ProcessorSharing);
+        b.route(0, 0, vec![l]);
+        b.route(1, 0, vec![l]);
+        b.peer_route(0, 0, vec![l]);
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! phenomena the topology exists to expose.
 
 use cluster::{
-    AdaptiveWorkload, CandidateSource, ClusterConfig, ClusterSim, ProxyPolicy, StaticProxy,
-    StaticWorkload, Topology, Workload,
+    AdaptiveWorkload, CandidateSource, ClusterConfig, ClusterSim, CooperativeWorkload, ProxyPolicy,
+    StaticProxy, StaticWorkload, Topology, Workload,
 };
+use coop::{CoopConfig, DigestConfig, PlacementPolicy};
 use netsim::parametric::{self, ParametricConfig};
 use prefetch_core::SystemParams;
 use simcore::dist::Exponential;
@@ -101,6 +102,7 @@ fn same_seed_identical_report() {
             prefetch_jitter: 0.01,
             policy: ProxyPolicy::Adaptive,
             predictor: CandidateSource::Oracle,
+            shared_structure_seed: None,
         }),
         requests_per_proxy: 12_000,
         warmup_per_proxy: 3_000,
@@ -163,6 +165,7 @@ fn adaptive_thresholds_diverge_with_local_load() {
             prefetch_jitter: 0.01,
             policy: ProxyPolicy::Adaptive,
             predictor: CandidateSource::Oracle,
+            shared_structure_seed: None,
         }),
         requests_per_proxy: 30_000,
         warmup_per_proxy: 6_000,
@@ -193,6 +196,7 @@ fn adaptive_byte_accounting() {
             prefetch_jitter: 0.01,
             policy,
             predictor: CandidateSource::Oracle,
+            shared_structure_seed: None,
         }),
         requests_per_proxy: 25_000,
         warmup_per_proxy: 5_000,
@@ -226,6 +230,74 @@ fn adaptive_byte_accounting() {
                 n_off.hit_ratio
             );
         }
+    }
+}
+
+/// A cooperative workload over a peer mesh: every proxy serves the same
+/// item universe (shared structure seed), so peers can answer each
+/// other's misses.
+fn coop_workload(n_proxies: usize, lambda: f64, coop: CoopConfig) -> ClusterConfig<'static> {
+    ClusterConfig {
+        topology: Topology::mesh(n_proxies, 50.0, 70.0, 45.0),
+        workload: Workload::Cooperative(CooperativeWorkload {
+            base: AdaptiveWorkload {
+                proxies: (0..n_proxies)
+                    .map(|_| SynthWebConfig { lambda, link_skew: 0.3, ..SynthWebConfig::default() })
+                    .collect(),
+                cache_capacity: 48,
+                max_candidates: 3,
+                prefetch_jitter: 0.01,
+                policy: ProxyPolicy::Adaptive,
+                predictor: CandidateSource::Oracle,
+                shared_structure_seed: Some(4242),
+            },
+            coop,
+        }),
+        requests_per_proxy: 20_000,
+        warmup_per_proxy: 4_000,
+    }
+}
+
+/// Same seed ⇒ structurally identical report in cooperative mode, across
+/// both placement policies (the determinism property the digest/placement
+/// machinery must preserve).
+#[test]
+fn cooperative_same_seed_identical_report() {
+    for policy in [
+        PlacementPolicy::Static,
+        PlacementPolicy::LoadAware { divergence: 0.05, step: 4, min_vnodes: 8 },
+    ] {
+        let cfg = coop_workload(
+            3,
+            14.0,
+            CoopConfig {
+                placement: policy,
+                digest: DigestConfig { epoch: 2.0, bits_per_entry: 10, hashes: 4 },
+                ..CoopConfig::default()
+            },
+        );
+        let sim = ClusterSim::new(&cfg);
+        let a = sim.run(9);
+        assert_eq!(a, sim.run(9), "policy {policy:?}");
+        assert_ne!(a, sim.run(10), "different seeds must differ");
+        let coop = a.coop.expect("coop counters present");
+        assert!(coop.router.digest_epochs > 0, "digests must have refreshed");
+    }
+}
+
+/// Cooperative mode actually cooperates: peers serve a meaningful share
+/// of misses, and those transfers ride the peer links, not the backbone.
+#[test]
+fn cooperative_peers_carry_traffic() {
+    let cfg = coop_workload(3, 14.0, CoopConfig::default());
+    let report = ClusterSim::new(&cfg).run(21);
+    let coop = report.coop.expect("coop counters");
+    assert!(coop.peer_fetches > 100, "peer fetches {}", coop.peer_fetches);
+    let peer_bytes: f64 =
+        report.links.iter().filter(|l| l.name.starts_with("peer[")).map(|l| l.bytes_carried).sum();
+    assert!(peer_bytes > 0.0);
+    for node in &report.nodes {
+        assert!(node.peer_bytes.expect("peer bytes reported") >= 0.0);
     }
 }
 

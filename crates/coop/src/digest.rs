@@ -1,0 +1,166 @@
+//! Bloom-filter cache summaries ("digests").
+//!
+//! Each proxy periodically advertises a Bloom filter over the keys it
+//! caches (Fan et al.'s summary-cache scheme). Peers answer membership
+//! queries against the *advertised* filter, which has two error modes:
+//!
+//! * **structural false positives** — the Bloom filter itself, bounded by
+//!   `(1 − e^{−kn/m})^k` ([`BloomFilter::fp_bound`], pinned by proptest);
+//! * **staleness false hits** — the filter was true at refresh time but
+//!   the peer has since evicted the entry. The digest layer cannot see
+//!   these; the router absorbs them by falling back to the origin.
+//!
+//! Filters use double hashing (Kirsch–Mitzenmacher): two independent
+//! 64-bit mixes give `k` probe positions `h1 + i·h2 (mod m)`.
+
+use simcore::rng::splitmix64;
+
+/// Sizing and cadence of the digest exchange.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DigestConfig {
+    /// Virtual-time interval between digest rebuilds. Longer epochs cost
+    /// less exchange traffic but raise the staleness false-hit rate.
+    pub epoch: f64,
+    /// Bloom bits provisioned per cached entry (`m/n`).
+    pub bits_per_entry: usize,
+    /// Number of probe positions `k`.
+    pub hashes: usize,
+}
+
+impl DigestConfig {
+    pub(crate) fn validate(&self) {
+        assert!(self.epoch > 0.0 && self.epoch.is_finite(), "digest epoch must be positive");
+        assert!(self.bits_per_entry >= 1, "need at least one bit per entry");
+        assert!(self.hashes >= 1, "need at least one hash");
+    }
+
+    /// The structural false-positive bound at full provisioned occupancy:
+    /// `(1 − e^{−k/(m/n)})^k`.
+    pub fn fp_bound(&self) -> f64 {
+        let k = self.hashes as f64;
+        (1.0 - (-k / self.bits_per_entry as f64).exp()).powf(k)
+    }
+}
+
+/// A fixed-size Bloom filter over `u64` keys.
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    words: Vec<u64>,
+    m: u64,
+    k: u32,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// A filter provisioned for `capacity` entries at `bits_per_entry`
+    /// bits each, probed with `hashes` positions.
+    pub fn for_capacity(capacity: usize, bits_per_entry: usize, hashes: usize) -> Self {
+        assert!(capacity > 0 && bits_per_entry > 0 && hashes > 0);
+        let m = (capacity * bits_per_entry).max(64) as u64;
+        BloomFilter { words: vec![0; m.div_ceil(64) as usize], m, k: hashes as u32, inserted: 0 }
+    }
+
+    #[inline]
+    fn probes(&self, key: u64) -> (u64, u64) {
+        let mut s = key;
+        let h1 = splitmix64(&mut s);
+        // Odd stride so successive probes cycle through distinct bits.
+        let h2 = splitmix64(&mut s) | 1;
+        (h1, h2)
+    }
+
+    /// Sets the key's probe bits.
+    pub fn insert(&mut self, key: u64) {
+        let (h1, h2) = self.probes(key);
+        for i in 0..self.k {
+            let bit = h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.m;
+            self.words[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Whether all probe bits are set (no false negatives; false positives
+    /// at the [`BloomFilter::fp_bound`] rate).
+    pub fn contains(&self, key: u64) -> bool {
+        let (h1, h2) = self.probes(key);
+        (0..self.k).all(|i| {
+            let bit = h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.m;
+            self.words[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Resets the filter for the next epoch.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.inserted = 0;
+    }
+
+    /// Bits provisioned (`m`).
+    pub fn bits(&self) -> u64 {
+        self.m
+    }
+
+    /// Keys inserted since the last [`BloomFilter::clear`].
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Analytic false-positive bound `(1 − e^{−kn/m})^k` at the current
+    /// occupancy `n`.
+    pub fn fp_bound(&self) -> f64 {
+        let k = self.k as f64;
+        let n = self.inserted as f64;
+        (1.0 - (-k * n / self.m as f64).exp()).powf(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::for_capacity(256, 10, 4);
+        for key in (0..256u64).map(|k| k * 7 + 3) {
+            f.insert(key);
+        }
+        for key in (0..256u64).map(|k| k * 7 + 3) {
+            assert!(f.contains(key), "inserted key {key} missing");
+        }
+    }
+
+    #[test]
+    fn clear_empties_the_filter() {
+        let mut f = BloomFilter::for_capacity(64, 10, 4);
+        for key in 0..64u64 {
+            f.insert(key);
+        }
+        f.clear();
+        assert_eq!(f.inserted(), 0);
+        assert!((0..64u64).all(|k| !f.contains(k)));
+    }
+
+    #[test]
+    fn fp_rate_tracks_analytic_bound() {
+        // 10 bits/entry, 4 hashes → bound ≈ 1.2%.
+        let mut f = BloomFilter::for_capacity(1_000, 10, 4);
+        for key in 0..1_000u64 {
+            f.insert(key);
+        }
+        let false_positives =
+            (1_000_000..1_100_000u64).filter(|&k| f.contains(k)).count() as f64 / 100_000.0;
+        let bound = f.fp_bound();
+        assert!(bound < 0.02, "bound {bound}");
+        assert!(false_positives < 2.0 * bound + 0.005, "fp {false_positives} vs bound {bound}");
+    }
+
+    #[test]
+    fn config_bound_matches_filter_bound_at_capacity() {
+        let cfg = DigestConfig { epoch: 1.0, bits_per_entry: 10, hashes: 4 };
+        let mut f = BloomFilter::for_capacity(500, cfg.bits_per_entry, cfg.hashes);
+        for key in 0..500u64 {
+            f.insert(key);
+        }
+        assert!((f.fp_bound() - cfg.fp_bound()).abs() < 1e-9);
+    }
+}

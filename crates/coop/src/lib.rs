@@ -1,0 +1,85 @@
+//! # coop — cooperative edge caching and request routing
+//!
+//! The paper's network-load penalty is governed by how much redundant
+//! traffic crosses the shared path. When several edge proxies front the
+//! same origin, every proxy pulls its misses over the backbone even when a
+//! sibling already holds the object — the classic redundancy that
+//! cooperative caching (Fan et al.'s summary caches, Karger et al.'s
+//! consistent hashing) removes. This crate provides the three layers, over
+//! plain `u64` keys so it stays independent of any particular simulator:
+//!
+//! * [`ring`] / [`placement`] — a consistent-hash ring with virtual nodes
+//!   ([`HashRing`]) and a [`Placement`] policy on top that migrates virtual
+//!   nodes from hot proxies to cold ones when their load estimates diverge
+//!   ([`PlacementPolicy::LoadAware`]);
+//! * [`digest`] — Bloom-filter summaries ([`BloomFilter`]) of each proxy's
+//!   cache contents, rebuilt on a configurable epoch ([`DigestConfig`]);
+//!   between refreshes the summaries go stale, so lookups can report a peer
+//!   that has since evicted the object — the *false hit* the router must
+//!   absorb;
+//! * [`router`] — a [`Router`] that fuses both layers and resolves every
+//!   miss or prefetch to `Peer(q)` or `Origin` ([`Resolution`]).
+//!
+//! The `cluster` crate drives one [`Router`] per simulated cluster and maps
+//! each resolution onto its queueing fabric: peer resolutions traverse
+//! proxy↔proxy links, origin resolutions the backbone. A false hit costs
+//! the peer round-trip *and* the origin fetch — exactly the staleness tax
+//! real digest schemes pay.
+//!
+//! ## Example
+//!
+//! ```
+//! use coop::{CoopConfig, Resolution, Router};
+//!
+//! let mut router = Router::new(3, 128, CoopConfig::default());
+//! // Before any digest exchange every miss goes to the origin.
+//! assert_eq!(router.resolve(0, 42), Resolution::Origin);
+//! // After proxy 1 advertises key 42, proxy 0's misses route to it.
+//! router.refresh(5.0, |p| if p == 1 { vec![42] } else { vec![] }, &[0.5; 3]);
+//! assert_eq!(router.resolve(0, 42), Resolution::Peer(1));
+//! // The holder itself still fetches from the origin.
+//! assert_eq!(router.resolve(1, 42), Resolution::Origin);
+//! ```
+
+pub mod digest;
+pub mod placement;
+pub mod ring;
+pub mod router;
+
+pub use digest::{BloomFilter, DigestConfig};
+pub use placement::{Placement, PlacementPolicy};
+pub use ring::HashRing;
+pub use router::{Resolution, Router, RouterStats};
+
+/// Complete configuration of the cooperative layer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoopConfig {
+    /// Virtual nodes per proxy on the placement ring.
+    pub vnodes: usize,
+    /// Shard-placement policy (static, or load-aware migration).
+    pub placement: PlacementPolicy,
+    /// Digest exchange: epoch length and Bloom sizing.
+    pub digest: DigestConfig,
+}
+
+impl Default for CoopConfig {
+    fn default() -> Self {
+        CoopConfig {
+            vnodes: 64,
+            placement: PlacementPolicy::Static,
+            digest: DigestConfig { epoch: 5.0, bits_per_entry: 10, hashes: 4 },
+        }
+    }
+}
+
+impl CoopConfig {
+    pub(crate) fn validate(&self) {
+        assert!(self.vnodes > 0, "need at least one virtual node per proxy");
+        self.digest.validate();
+        if let PlacementPolicy::LoadAware { divergence, step, min_vnodes } = self.placement {
+            assert!(divergence > 0.0 && divergence.is_finite(), "bad divergence threshold");
+            assert!(step > 0, "migration step must move at least one vnode");
+            assert!(min_vnodes > 0, "a proxy must keep at least one vnode");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Miss/prefetch resolution: local knowledge → peer → origin.
+//!
+//! The router owns the cluster-wide view: one Bloom digest per proxy plus
+//! the placement ring. When proxy `me` misses on `key` it asks, in order:
+//!
+//! 1. the consistent-hash **owner** of the key (if its digest advertises
+//!    the key) — the proxy the placement layer steers the key toward, so
+//!    it is the most likely true holder;
+//! 2. any **other peer** whose digest advertises the key (scanned in a
+//!    deterministic order starting after the owner);
+//! 3. the **origin** otherwise.
+//!
+//! Digests refresh on the configured epoch; between refreshes they go
+//! stale, so a `Peer` resolution is a *claim*, not a guarantee — the
+//! caller must fall back to the origin when the peer no longer holds the
+//! key (the staleness false hit the `cluster` engine charges for).
+
+use crate::digest::BloomFilter;
+use crate::placement::Placement;
+use crate::CoopConfig;
+
+/// Where a miss (or prefetch) should be served from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Resolution {
+    /// No peer advertises the key: fetch from the origin.
+    Origin,
+    /// This peer's digest advertises the key.
+    Peer(usize),
+}
+
+/// Counters describing the cooperative layer's activity over a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Digest refresh rounds performed.
+    pub digest_epochs: u64,
+    /// Virtual nodes migrated by the placement policy.
+    pub vnode_migrations: u64,
+}
+
+/// The cooperative routing fabric for one cluster.
+pub struct Router {
+    placement: Placement,
+    digests: Vec<BloomFilter>,
+    epoch: f64,
+    next_refresh: f64,
+    epochs: u64,
+}
+
+impl Router {
+    /// A router over `n_nodes` proxies whose caches hold up to
+    /// `cache_capacity` entries each.
+    pub fn new(n_nodes: usize, cache_capacity: usize, config: CoopConfig) -> Self {
+        config.validate();
+        assert!(n_nodes > 0 && cache_capacity > 0);
+        let digests = (0..n_nodes)
+            .map(|_| {
+                BloomFilter::for_capacity(
+                    cache_capacity,
+                    config.digest.bits_per_entry,
+                    config.digest.hashes,
+                )
+            })
+            .collect();
+        Router {
+            placement: Placement::new(n_nodes, config.vnodes, config.placement),
+            digests,
+            epoch: config.digest.epoch,
+            next_refresh: config.digest.epoch,
+            epochs: 0,
+        }
+    }
+
+    /// Whether a digest refresh is due at virtual time `t`.
+    pub fn refresh_due(&self, t: f64) -> bool {
+        t >= self.next_refresh
+    }
+
+    /// Rebuilds every proxy's digest from `contents(proxy)` and feeds the
+    /// per-proxy load estimates to the placement policy. Call when
+    /// [`Router::refresh_due`]; the next refresh is scheduled one epoch
+    /// after `t`.
+    pub fn refresh(&mut self, t: f64, contents: impl Fn(usize) -> Vec<u64>, loads: &[f64]) {
+        for (proxy, digest) in self.digests.iter_mut().enumerate() {
+            digest.clear();
+            for key in contents(proxy) {
+                digest.insert(key);
+            }
+        }
+        self.placement.observe_load(loads);
+        self.epochs += 1;
+        self.next_refresh = t + self.epoch;
+    }
+
+    /// Resolves a miss/prefetch for `key` at proxy `me`.
+    pub fn resolve(&self, me: usize, key: u64) -> Resolution {
+        let n = self.digests.len();
+        if n == 1 {
+            return Resolution::Origin;
+        }
+        let owner = self.placement.owner(key);
+        if owner != me && self.digests[owner].contains(key) {
+            return Resolution::Peer(owner);
+        }
+        for offset in 1..n {
+            let q = (owner + offset) % n;
+            if q != me && q != owner && self.digests[q].contains(key) {
+                return Resolution::Peer(q);
+            }
+        }
+        Resolution::Origin
+    }
+
+    /// The placement owner of `key` (where prefetched copies gravitate).
+    pub fn owner(&self, key: u64) -> usize {
+        self.placement.owner(key)
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats { digest_epochs: self.epochs, vnode_migrations: self.placement.migrations() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router(n: usize) -> Router {
+        Router::new(n, 64, CoopConfig::default())
+    }
+
+    #[test]
+    fn cold_start_goes_to_origin() {
+        let r = router(4);
+        for key in 0..100 {
+            assert_eq!(r.resolve(0, key), Resolution::Origin);
+        }
+    }
+
+    #[test]
+    fn single_node_always_origin() {
+        let mut r = router(1);
+        r.refresh(1.0, |_| vec![7], &[0.5]);
+        assert_eq!(r.resolve(0, 7), Resolution::Origin);
+    }
+
+    #[test]
+    fn advertised_key_routes_to_peer() {
+        let mut r = router(3);
+        r.refresh(1.0, |p| if p == 2 { vec![11, 12] } else { vec![] }, &[0.0; 3]);
+        assert_eq!(r.resolve(0, 11), Resolution::Peer(2));
+        assert_eq!(r.resolve(1, 12), Resolution::Peer(2));
+        // The holder itself does not loop back.
+        assert_eq!(r.resolve(2, 11), Resolution::Origin);
+    }
+
+    #[test]
+    fn owner_digest_is_consulted_first() {
+        let mut r = router(4);
+        let key = 42u64;
+        let owner = r.owner(key);
+        // Everyone advertises the key; resolution from a non-owner must
+        // pick the placement owner.
+        r.refresh(1.0, |_| vec![key], &[0.0; 4]);
+        let me = (owner + 1) % 4;
+        assert_eq!(r.resolve(me, key), Resolution::Peer(owner));
+    }
+
+    #[test]
+    fn refresh_epochs_advance() {
+        let mut r = router(2);
+        assert!(!r.refresh_due(1.0));
+        assert!(r.refresh_due(5.0));
+        r.refresh(5.0, |_| vec![], &[0.0; 2]);
+        assert!(!r.refresh_due(9.0));
+        assert!(r.refresh_due(10.0));
+        assert_eq!(r.stats().digest_epochs, 1);
+    }
+
+    #[test]
+    fn stale_digest_keeps_claiming_until_refresh() {
+        let mut r = router(2);
+        r.refresh(5.0, |p| if p == 1 { vec![9] } else { vec![] }, &[0.0; 2]);
+        // Peer 1 has since evicted key 9, but until the next refresh the
+        // router still claims it — the staleness false hit.
+        assert_eq!(r.resolve(0, 9), Resolution::Peer(1));
+        r.refresh(10.0, |_| vec![], &[0.0; 2]);
+        assert_eq!(r.resolve(0, 9), Resolution::Origin);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the cooperative-caching substrate: Bloom digests
+//! stay under their configured false-positive bound, and the consistent-
+//! hash ring redistributes only the minimal key set on membership change.
+
+use coop::{BloomFilter, DigestConfig, HashRing};
+use proptest::prelude::*;
+
+proptest! {
+    /// The empirical false-positive rate of a digest filled to its
+    /// provisioned capacity stays under the configured analytic bound
+    /// (with sampling slack): the property real summary-cache deployments
+    /// size their filters by.
+    #[test]
+    fn bloom_fp_rate_stays_under_configured_bound(
+        capacity in 200usize..2_000,
+        bits_per_entry in 8usize..16,
+        hashes in 3usize..6,
+        key_base in 0u64..1_000_000,
+    ) {
+        let cfg = DigestConfig { epoch: 1.0, bits_per_entry, hashes };
+        let mut filter = BloomFilter::for_capacity(capacity, bits_per_entry, hashes);
+        for key in key_base..key_base + capacity as u64 {
+            filter.insert(key);
+        }
+        // Probe keys disjoint from the inserted range.
+        let probes = 20_000u64;
+        let probe_base = key_base + 10_000_000;
+        let fp = (probe_base..probe_base + probes).filter(|&k| filter.contains(k)).count();
+        let rate = fp as f64 / probes as f64;
+        let bound = cfg.fp_bound();
+        // 2x the analytic bound plus an absolute floor absorbs sampling
+        // noise at small rates; a broken filter exceeds this immediately.
+        prop_assert!(
+            rate <= 2.0 * bound + 0.01,
+            "fp rate {rate} exceeds bound {bound} (m/n={bits_per_entry}, k={hashes})"
+        );
+    }
+
+    /// No false negatives, ever: every inserted key is reported present.
+    #[test]
+    fn bloom_has_no_false_negatives(
+        keys in proptest::collection::vec(0u64..1_000_000_000, 1..500),
+    ) {
+        let mut filter = BloomFilter::for_capacity(keys.len(), 10, 4);
+        for &k in &keys {
+            filter.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(filter.contains(k), "inserted key {k} reported absent");
+        }
+    }
+
+    /// Node **leave**: the only keys whose owner changes are those the
+    /// departed node owned — nothing moves between survivors — and the
+    /// count is in the order of K/n (well under the K·(n−1)/n a naive
+    /// mod-n rehash would move).
+    #[test]
+    fn ring_leave_moves_at_most_the_departed_share(
+        n_nodes in 2usize..8,
+        victim_pick in 0usize..8,
+        key_base in 0u64..1_000_000,
+    ) {
+        let vnodes = 128;
+        let k_keys = 4_000u64;
+        let victim = victim_pick % n_nodes;
+        let before = HashRing::new(n_nodes, vnodes);
+        let mut after = before.clone();
+        after.remove_node(victim);
+
+        let mut moved = 0u64;
+        for key in key_base..key_base + k_keys {
+            let (a, b) = (before.owner(key), after.owner(key));
+            if a != b {
+                prop_assert_eq!(a, victim, "key {} moved from a surviving node", key);
+                moved += 1;
+            } else {
+                prop_assert!(b != victim, "departed node still owns key {}", key);
+            }
+        }
+        // Expected movement is K/n; 128 vnodes keep the realised count
+        // within 2x of that.
+        let bound = 2 * k_keys / n_nodes as u64;
+        prop_assert!(moved <= bound, "moved {moved} keys > bound {bound} (n={n_nodes})");
+    }
+
+    /// Node **join**: every relocated key lands on the joining node, and
+    /// at most ~K/(n+1) keys move.
+    #[test]
+    fn ring_join_moves_at_most_one_share(
+        n_nodes in 1usize..8,
+        key_base in 0u64..1_000_000,
+    ) {
+        let vnodes = 128;
+        let k_keys = 4_000u64;
+        let before = HashRing::new(n_nodes, vnodes);
+        let mut after = before.clone();
+        let joined = after.add_node(vnodes);
+
+        let mut moved = 0u64;
+        for key in key_base..key_base + k_keys {
+            let (a, b) = (before.owner(key), after.owner(key));
+            if a != b {
+                prop_assert_eq!(b, joined, "key {} relocated to a pre-existing node", key);
+                moved += 1;
+            }
+        }
+        let bound = 2 * k_keys / (n_nodes as u64 + 1);
+        prop_assert!(moved <= bound, "moved {moved} keys > bound {bound} (n={n_nodes})");
+    }
+}

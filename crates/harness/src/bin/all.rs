@@ -26,6 +26,7 @@ fn main() -> std::io::Result<()> {
         ("e11_wireless", harness::experiments::e11_wireless::render),
         ("e12_caches", harness::experiments::e12_caches::render),
         ("e13_cluster", harness::experiments::e13_cluster::render),
+        ("e14_coop", harness::experiments::e14_coop::render),
     ];
     for (name, render) in experiments {
         let start = Instant::now();

@@ -1,5 +1,17 @@
 //! Regenerates the report of experiment `e13_cluster`: speculative
 //! prefetching across a multi-node network of queues.
+//!
+//! Pass `--smoke` for the reduced problem size CI uses to keep this
+//! binary from rotting.
+
+use harness::experiments::e13_cluster;
+
 fn main() {
-    print!("{}", harness::experiments::e13_cluster::render());
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let report = if smoke {
+        e13_cluster::render_with(e13_cluster::SMOKE_REQUESTS, e13_cluster::SMOKE_WARMUP)
+    } else {
+        e13_cluster::render()
+    };
+    print!("{report}");
 }

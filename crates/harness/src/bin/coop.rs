@@ -1,0 +1,17 @@
+//! Regenerates the report of experiment `e14_coop`: cooperative edge
+//! caching and request routing across the cluster.
+//!
+//! Pass `--smoke` for the reduced problem size CI uses to keep this
+//! binary from rotting.
+
+use harness::experiments::e14_coop;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let report = if smoke {
+        e14_coop::render_with(e14_coop::SMOKE_REQUESTS, e14_coop::SMOKE_WARMUP)
+    } else {
+        e14_coop::render()
+    };
+    print!("{report}");
+}

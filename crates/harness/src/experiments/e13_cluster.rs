@@ -30,29 +30,37 @@ const REQUESTS: usize = 60_000;
 const WARMUP: usize = 10_000;
 const SEED: u64 = 13;
 
-/// Runs the open-loop cluster at uniform per-proxy parameters.
+/// Reduced problem size for the CI smoke invocation (`--smoke`).
+pub const SMOKE_REQUESTS: usize = 4_000;
+pub const SMOKE_WARMUP: usize = 800;
+
+/// Runs the open-loop cluster with the same parameters at every proxy.
 pub fn run_static(
     topology: Topology,
-    lambda: f64,
-    h_prime: f64,
-    n_f: f64,
-    p: f64,
+    proxy: StaticProxy,
+    requests: usize,
+    warmup: usize,
     seed: u64,
 ) -> ClusterReport {
     let size = Exponential::with_mean(1.0);
-    let proxies =
-        (0..topology.n_proxies()).map(|_| StaticProxy { lambda, h_prime, n_f, p }).collect();
+    let proxies = (0..topology.n_proxies()).map(|_| proxy).collect();
     let config = ClusterConfig {
         topology,
         workload: Workload::Static(StaticWorkload { proxies, size_dist: &size }),
-        requests_per_proxy: REQUESTS,
-        warmup_per_proxy: WARMUP,
+        requests_per_proxy: requests,
+        warmup_per_proxy: warmup,
     };
     ClusterSim::new(&config).run(seed)
 }
 
 /// The heterogeneous-load adaptive deployment: 3 proxies, 2 origin shards.
-pub fn run_adaptive(lambdas: &[f64], policy: ProxyPolicy, seed: u64) -> ClusterReport {
+pub fn run_adaptive(
+    lambdas: &[f64],
+    policy: ProxyPolicy,
+    requests: usize,
+    warmup: usize,
+    seed: u64,
+) -> ClusterReport {
     let config = ClusterConfig {
         topology: Topology::sharded_origin(lambdas.len(), 2, 45.0, 80.0),
         workload: Workload::Adaptive(AdaptiveWorkload {
@@ -69,14 +77,22 @@ pub fn run_adaptive(lambdas: &[f64], policy: ProxyPolicy, seed: u64) -> ClusterR
             prefetch_jitter: 0.01,
             policy,
             predictor: CandidateSource::Oracle,
+            shared_structure_seed: None,
         }),
-        requests_per_proxy: REQUESTS,
-        warmup_per_proxy: WARMUP,
+        requests_per_proxy: requests,
+        warmup_per_proxy: warmup,
     };
     ClusterSim::new(&config).run(seed)
 }
 
+/// Full-size report.
 pub fn render() -> String {
+    render_with(REQUESTS, WARMUP)
+}
+
+/// Report at a caller-chosen problem size (the CI smoke run uses
+/// [`SMOKE_REQUESTS`]).
+pub fn render_with(requests: usize, warmup: usize) -> String {
     let mut out = String::new();
     out.push_str("# E13 — speculative prefetching across a multi-node cluster\n");
     out.push_str("# every link is a PS queue; every proxy a cache + controller\n\n");
@@ -88,7 +104,8 @@ pub fn render() -> String {
         &["nf", "p", "rho measured", "rho eq(9)", "t measured", "t eq(10)"],
     );
     for (n_f, p) in [(0.0, 0.0), (0.5, 0.8), (1.0, 0.9)] {
-        let r = run_static(Topology::single(50.0), 30.0, 0.0, n_f, p, SEED);
+        let proxy = StaticProxy { lambda: 30.0, h_prime: 0.0, n_f, p };
+        let r = run_static(Topology::single(50.0), proxy, requests, warmup, SEED);
         let model = ModelA::new(params, n_f, p);
         parity.row(vec![
             f(n_f, 1),
@@ -114,7 +131,8 @@ pub fn render() -> String {
     ];
     for (name, topology, lambda) in layouts {
         let links = topology.links().len();
-        let r = run_static(topology, lambda, 0.0, 0.5, 0.8, SEED);
+        let proxy = StaticProxy { lambda, h_prime: 0.0, n_f: 0.5, p: 0.8 };
+        let r = run_static(topology, proxy, requests, warmup, SEED);
         topo.row(vec![
             name.to_string(),
             links.to_string(),
@@ -140,8 +158,8 @@ pub fn render() -> String {
         proxies: &proxies,
         p,
         size_dist: &size,
-        requests_per_proxy: REQUESTS,
-        warmup_per_proxy: WARMUP,
+        requests_per_proxy: requests,
+        warmup_per_proxy: warmup,
         seed: SEED,
     };
     let above = network_load_curve(&spec(0.9), &n_fs);
@@ -160,8 +178,8 @@ pub fn render() -> String {
 
     // 4. Adaptive divergence under heterogeneous load.
     let lambdas = [8.0, 18.0, 30.0];
-    let adaptive = run_adaptive(&lambdas, ProxyPolicy::Adaptive, SEED);
-    let baseline = run_adaptive(&lambdas, ProxyPolicy::NoPrefetch, SEED);
+    let adaptive = run_adaptive(&lambdas, ProxyPolicy::Adaptive, requests, warmup, SEED);
+    let baseline = run_adaptive(&lambdas, ProxyPolicy::NoPrefetch, requests, warmup, SEED);
     let mut diverge = Table::new(
         "Per-proxy adaptive control (3 proxies, 2 shards): thresholds track local rho'",
         &[
@@ -233,14 +251,15 @@ mod tests {
 
     #[test]
     fn degenerate_rho_matches_model_a() {
-        let r = run_static(Topology::single(50.0), 30.0, 0.0, 1.0, 0.9, 2);
+        let proxy = StaticProxy { lambda: 30.0, h_prime: 0.0, n_f: 1.0, p: 0.9 };
+        let r = run_static(Topology::single(50.0), proxy, REQUESTS, WARMUP, 2);
         let m = ModelA::new(SystemParams::paper_figure2(0.0), 1.0, 0.9);
         assert!((r.links[0].utilisation - m.utilisation()).abs() < 0.03);
     }
 
     #[test]
     fn adaptive_thresholds_ordered_by_load() {
-        let r = run_adaptive(&[8.0, 30.0], ProxyPolicy::Adaptive, 3);
+        let r = run_adaptive(&[8.0, 30.0], ProxyPolicy::Adaptive, REQUESTS, WARMUP, 3);
         let lo = r.nodes[0].mean_threshold.unwrap();
         let hi = r.nodes[1].mean_threshold.unwrap();
         assert!(hi > lo, "p_th at lambda=30 ({hi}) must exceed lambda=8 ({lo})");

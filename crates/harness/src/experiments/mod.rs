@@ -6,6 +6,7 @@ pub mod e10_ablation;
 pub mod e11_wireless;
 pub mod e12_caches;
 pub mod e13_cluster;
+pub mod e14_coop;
 pub mod e1_fig1;
 pub mod e2_fig2;
 pub mod e3_fig3;

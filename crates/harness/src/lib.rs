@@ -17,6 +17,7 @@
 //! | `wireless` | (derived) | E11: time-varying wireless channel |
 //! | `cache_policies` | (derived) | E12: measured `h′` by replacement policy |
 //! | `cluster` | title | E13: multi-node network-of-queues prefetching |
+//! | `coop` | (derived) | E14: cooperative edge caching over peer meshes |
 //! | `all` | — | runs everything, writes `results/*.txt` |
 //!
 //! The library half provides plain-text tables ([`report::Table`]), terminal

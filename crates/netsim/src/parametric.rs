@@ -206,21 +206,30 @@ pub fn run(config: &ParametricConfig<'_>, seed: u64) -> ParametricReport {
 }
 
 /// Convenience: run the no-prefetch baseline and a prefetch configuration
-/// with the same seed, returning (baseline, with-prefetch, measured G).
+/// under the shared Fig-2/3 sweep convention
+/// ([`simcore::par::sweep_vs_baseline`]: baseline at `seed`, treatment at
+/// `seed + 1`), returning (baseline, with-prefetch, measured G).
 pub fn run_with_baseline(
     config: &ParametricConfig<'_>,
     seed: u64,
 ) -> (ParametricReport, ParametricReport, f64) {
-    let baseline_cfg = ParametricConfig {
-        params: config.params,
-        n_f: 0.0,
-        p: 0.0,
-        size_dist: config.size_dist,
-        requests: config.requests,
-        warmup: config.warmup,
-    };
-    let base = run(&baseline_cfg, seed);
-    let with = run(config, seed.wrapping_add(1));
+    let (base, mut with) = simcore::par::sweep_vs_baseline(
+        &(0.0, 0.0),
+        &[(config.n_f, config.p)],
+        seed,
+        |&(n_f, p), run_seed| {
+            let point = ParametricConfig {
+                params: config.params,
+                n_f,
+                p,
+                size_dist: config.size_dist,
+                requests: config.requests,
+                warmup: config.warmup,
+            };
+            run(&point, run_seed)
+        },
+    );
+    let with = with.pop().expect("one treatment point");
     let g = base.mean_access_time - with.mean_access_time;
     (base, with, g)
 }

@@ -71,6 +71,24 @@ where
     par_map(items, default_threads(items.len()), f)
 }
 
+/// The network-load-curve convention shared by the single-path
+/// (`netsim::parametric::run_with_baseline`) and cluster
+/// (`cluster::network_load_curve`) Figure-2/3 sweeps: run the `baseline`
+/// point at `seed`, then every treatment point at `seed + 1` (all
+/// treatment points share one seed so they differ only in parameters),
+/// fanning the treatments out over the pool. Returns
+/// `(baseline result, per-point results in input order)`.
+pub fn sweep_vs_baseline<T, R, F>(baseline: &T, points: &[T], seed: u64, run: F) -> (R, Vec<R>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, u64) -> R + Sync,
+{
+    let base = run(baseline, seed);
+    let treated = par_map_auto(points, |_, point| run(point, seed.wrapping_add(1)));
+    (base, treated)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +142,13 @@ mod tests {
             acc
         });
         assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn sweep_vs_baseline_seeding_convention() {
+        let (base, points) = sweep_vs_baseline(&0.0f64, &[1.0, 2.0], 41, |&x, s| (x, s));
+        assert_eq!(base, (0.0, 41));
+        assert_eq!(points, vec![(1.0, 42), (2.0, 42)]);
     }
 
     #[test]

@@ -45,6 +45,7 @@ fn main() {
                 prefetch_jitter: 0.01,
                 policy,
                 predictor: CandidateSource::Oracle,
+                shared_structure_seed: None,
             }),
             requests_per_proxy: 60_000,
             warmup_per_proxy: 10_000,

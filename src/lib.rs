@@ -45,26 +45,45 @@
 //! | [`cachesim`] | `cachesim` | LRU/LFU/FIFO/CLOCK/random caches + §4 tagging |
 //! | [`predictor`] | `predictor` | Markov/PPM/LZ78/dependency-graph/oracle predictors |
 //! | [`netsim`] | `netsim` | parametric + trace-driven end-to-end simulators |
-//! | [`cluster`] | `cluster` | multi-node network-of-queues simulator (topologies, per-link `ρ`, per-node adaptive control) |
-//! | [`harness`] | `harness` | experiment reports E1–E13 (figures + validation + cluster) |
+//! | [`cluster`] | `cluster` | multi-node network-of-queues simulator (topologies, per-link `ρ`, per-node adaptive control, cooperative mode) |
+//! | [`coop`] | `coop` | cooperative caching: consistent-hash placement, Bloom digests, peer/origin routing |
+//! | [`harness`] | `harness` | experiment reports E1–E14 (figures + validation + cluster + cooperation) |
 //!
 //! ## Scaling out: the `cluster` layer
 //!
 //! The paper's "distributed system" is one shared path; [`cluster`] makes
 //! it an actual network. A [`cluster::Topology`] places edge proxies in
 //! front of sharded origins with per-link bandwidths (star, two-tier tree,
-//! or sharded-origin layouts), every link runs as its own PS/FIFO queue,
-//! and every proxy hosts a cache plus — in adaptive mode — its own online
-//! threshold controller. The degenerate one-proxy topology reproduces
-//! `netsim::parametric` *exactly* (pinned by test to 1e-6), so cluster
-//! results stay anchored to the validated single-path models; experiment
-//! E13 (`cargo run --release --bin cluster`) and
+//! sharded-origin, or peer-meshed layouts), every link runs as its own
+//! PS/FIFO queue, and every proxy hosts a cache plus — in adaptive mode —
+//! its own online threshold controller. The degenerate one-proxy topology
+//! reproduces `netsim::parametric` *exactly* (pinned by test to 1e-6), so
+//! cluster results stay anchored to the validated single-path models;
+//! experiment E13 (`cargo run --release --bin cluster`) and
 //! `examples/edge_cluster.rs` show per-proxy thresholds diverging with
 //! local load — the paper's rule, applied node by node, needs no
 //! coordination.
+//!
+//! ## Cooperating at the edge: the `coop` layer
+//!
+//! With several proxies fronting one origin, every proxy pulls its misses
+//! over the backbone even when a sibling already holds the object. The
+//! [`coop`] crate removes that redundancy: a consistent-hash ring with
+//! virtual nodes places keys ([`coop::Placement`], optionally migrating
+//! virtual nodes off hot proxies when per-proxy `ρ̂′` diverges), Bloom
+//! digests summarise each cache on a configurable epoch
+//! ([`coop::DigestConfig`], with staleness-induced false hits modelled),
+//! and a [`coop::Router`] resolves every miss/prefetch to a peer or the
+//! origin. `cluster::Workload::Cooperative` runs it over
+//! [`cluster::Topology::mesh`]/[`cluster::Topology::ring`] peer links:
+//! experiment E14 (`cargo run --release --bin coop`) and
+//! `examples/coop_mesh.rs` show backbone bytes dropping at equal hit
+//! ratio, and a single-proxy cooperative run reproducing plain adaptive
+//! mode to 1e-6.
 
 pub use cachesim;
 pub use cluster;
+pub use coop;
 pub use harness;
 pub use netsim;
 pub use predictor;
@@ -77,7 +96,8 @@ pub use workload;
 /// The most common imports in one place.
 pub mod prelude {
     pub use cachesim::{LruCache, ReplacementCache, TaggedCache};
-    pub use cluster::{ClusterConfig, ClusterReport, ClusterSim, Topology};
+    pub use cluster::{ClusterConfig, ClusterReport, ClusterSim, Topology, Workload};
+    pub use coop::{CoopConfig, HashRing, Placement, Resolution, Router};
     pub use netsim::parametric::{ParametricConfig, ParametricReport};
     pub use netsim::traced::{Policy, PredictorKind, TracedConfig};
     pub use predictor::{MarkovPredictor, OraclePredictor, Predictor};

@@ -1,0 +1,130 @@
+//! Cross-crate pins for the cooperative caching subsystem (`coop` +
+//! `cluster::Workload::Cooperative`):
+//!
+//! 1. on a two-tier + peer-mesh topology with identical Zipf workloads at
+//!    every proxy, cooperative mode moves strictly fewer bytes over the
+//!    backbone than plain adaptive mode at (statistically) the same hit
+//!    ratio — redundant origin fetches become peer fetches;
+//! 2. the degenerate single-proxy cooperative configuration reproduces
+//!    the adaptive-mode report to 1e-6 — the cooperative layer adds
+//!    nothing when there are no peers, so cooperative results stay
+//!    anchored to the validated adaptive engine.
+
+use speculative_prefetch::cluster::{
+    AdaptiveWorkload, CandidateSource, ClusterConfig, ClusterReport, ClusterSim,
+    CooperativeWorkload, ProxyPolicy, Topology, Workload,
+};
+use speculative_prefetch::coop::{CoopConfig, DigestConfig, PlacementPolicy};
+use speculative_prefetch::workload::synth_web::SynthWebConfig;
+
+const REQUESTS: usize = 30_000;
+const WARMUP: usize = 6_000;
+const SEED: u64 = 77;
+
+/// Identical Zipf/Markov structure at every proxy (shared seed), equal
+/// request rates: the maximally redundant deployment.
+fn base_workload(n_proxies: usize) -> AdaptiveWorkload {
+    AdaptiveWorkload {
+        proxies: (0..n_proxies)
+            .map(|_| SynthWebConfig { lambda: 14.0, link_skew: 0.3, ..SynthWebConfig::default() })
+            .collect(),
+        cache_capacity: 48,
+        max_candidates: 3,
+        prefetch_jitter: 0.01,
+        policy: ProxyPolicy::Adaptive,
+        predictor: CandidateSource::Oracle,
+        shared_structure_seed: Some(1234),
+    }
+}
+
+fn run(topology: Topology, workload: Workload<'_>) -> ClusterReport {
+    let config = ClusterConfig {
+        topology,
+        workload,
+        requests_per_proxy: REQUESTS,
+        warmup_per_proxy: WARMUP,
+    };
+    ClusterSim::new(&config).run(SEED)
+}
+
+#[test]
+fn cooperative_reduces_backbone_bytes_at_equal_hit_ratio() {
+    let n = 3;
+    let topology = Topology::mesh(n, 50.0, 70.0, 45.0);
+    let adaptive = run(topology.clone(), Workload::Adaptive(base_workload(n)));
+    let cooperative = run(
+        topology,
+        Workload::Cooperative(CooperativeWorkload {
+            base: base_workload(n),
+            coop: CoopConfig {
+                digest: DigestConfig { epoch: 2.0, bits_per_entry: 10, hashes: 4 },
+                ..CoopConfig::default()
+            },
+        }),
+    );
+
+    let backbone_adaptive = adaptive.link_bytes("backbone");
+    let backbone_coop = cooperative.link_bytes("backbone");
+    assert!(
+        backbone_coop < 0.95 * backbone_adaptive,
+        "cooperative backbone bytes {backbone_coop} must undercut adaptive {backbone_adaptive}"
+    );
+
+    // ... at equal hit ratio: peers only re-route misses, they do not
+    // change what the caches absorb.
+    for (a, c) in adaptive.nodes.iter().zip(&cooperative.nodes) {
+        assert!(
+            (a.hit_ratio - c.hit_ratio).abs() < 0.03,
+            "proxy {}: adaptive hit {} vs cooperative {}",
+            a.proxy,
+            a.hit_ratio,
+            c.hit_ratio
+        );
+    }
+
+    // The saved bytes went over the peer links instead.
+    let coop_stats = cooperative.coop.expect("coop counters");
+    assert!(coop_stats.peer_fetches > 0);
+    assert!(adaptive.coop.is_none(), "adaptive mode reports no coop counters");
+}
+
+#[test]
+fn single_proxy_cooperative_matches_adaptive_to_1e6() {
+    let adaptive = run(Topology::two_tier(1, 50.0, 70.0), Workload::Adaptive(base_workload(1)));
+    let cooperative = run(
+        Topology::two_tier(1, 50.0, 70.0),
+        Workload::Cooperative(CooperativeWorkload {
+            base: base_workload(1),
+            coop: CoopConfig {
+                placement: PlacementPolicy::LoadAware { divergence: 0.1, step: 4, min_vnodes: 8 },
+                ..CoopConfig::default()
+            },
+        }),
+    );
+
+    let tol = 1e-6;
+    assert!((adaptive.mean_access_time - cooperative.mean_access_time).abs() < tol);
+    assert!((adaptive.bytes_per_request - cooperative.bytes_per_request).abs() < tol);
+    assert!((adaptive.duration - cooperative.duration).abs() < tol);
+    for (a, c) in adaptive.nodes.iter().zip(&cooperative.nodes) {
+        assert_eq!(a.measured_requests, c.measured_requests);
+        assert!((a.hit_ratio - c.hit_ratio).abs() < tol);
+        assert!((a.mean_access_time - c.mean_access_time).abs() < tol);
+        assert!((a.mean_retrieval_time - c.mean_retrieval_time).abs() < tol);
+        assert!((a.retrieval_per_request - c.retrieval_per_request).abs() < tol);
+        assert!((a.prefetches_per_request - c.prefetches_per_request).abs() < tol);
+        assert!((a.demand_bytes - c.demand_bytes).abs() < tol);
+        assert_eq!(a.goodput_bytes, c.goodput_bytes);
+        assert_eq!(a.badput_bytes, c.badput_bytes);
+        // The cooperative run reports (zero) peer activity; adaptive none.
+        assert_eq!(c.peer_fetches, Some(0));
+        assert_eq!(c.peer_false_hits, Some(0));
+        assert_eq!(a.peer_fetches, None);
+    }
+    for (a, c) in adaptive.links.iter().zip(&cooperative.links) {
+        assert_eq!(a.name, c.name);
+        assert!((a.utilisation - c.utilisation).abs() < tol);
+        assert!((a.bytes_carried - c.bytes_carried).abs() < tol);
+        assert_eq!(a.jobs_completed, c.jobs_completed);
+    }
+}
