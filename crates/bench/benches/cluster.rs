@@ -3,7 +3,9 @@
 //! leans on. These numbers are the perf baseline every later scaling PR
 //! (async runtime, sharding, batching) measures against.
 
-use bench::{small_adaptive_cluster, small_coop_cluster, small_static_cluster};
+use bench::{
+    small_adaptive_cluster, small_coop_cluster, small_static_cluster, wide_adaptive_cluster,
+};
 use cluster::ClusterSim;
 use coop::{BloomFilter, CoopConfig, HashRing, Router};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
@@ -12,7 +14,7 @@ use simcore::dist::Exponential;
 fn bench_cluster_event_loop(c: &mut Criterion) {
     let mut g = c.benchmark_group("cluster_event_loop");
     let size = Exponential::with_mean(1.0);
-    for &n in &[2usize, 4] {
+    for &n in &[2usize, 4, 16] {
         let config = small_static_cluster(n, &size);
         g.throughput(Throughput::Elements((config.requests_per_proxy * n) as u64));
         g.bench_function(format!("static_two_tier_{n}proxies"), |b| {
@@ -24,6 +26,20 @@ fn bench_cluster_event_loop(c: &mut Criterion) {
     g.bench_function("adaptive_mesh_3proxies", |b| {
         b.iter(|| black_box(ClusterSim::new(&adaptive).run(2)));
     });
+    // Wide fabrics: where the old O(links + proxies) per-event scan hurt.
+    // The `legacy_scan_*` rows drive the same engine core through the
+    // retired scan driver, so the indexed-scheduler win reads directly
+    // off adjacent lines.
+    for &n in &[16usize, 64] {
+        let wide = wide_adaptive_cluster(n, 2_000);
+        g.throughput(Throughput::Elements((wide.requests_per_proxy * n) as u64));
+        g.bench_function(format!("adaptive_mesh_{n}proxies"), |b| {
+            b.iter(|| black_box(ClusterSim::new(&wide).run(2)));
+        });
+        g.bench_function(format!("legacy_scan_adaptive_mesh_{n}proxies"), |b| {
+            b.iter(|| black_box(cluster::legacy::run(&wide, 2)));
+        });
+    }
     let coop = small_coop_cluster(3);
     g.throughput(Throughput::Elements((coop.requests_per_proxy * 3) as u64));
     g.bench_function("cooperative_mesh_3proxies", |b| {

@@ -84,6 +84,21 @@ pub fn small_adaptive_cluster(n_proxies: usize) -> ClusterConfig<'static> {
     }
 }
 
+/// A wide-fabric adaptive cluster (backbone scaled with the proxy count,
+/// shallow per-proxy request streams): the 16+-proxy event-loop baseline
+/// the indexed scheduler is measured on.
+pub fn wide_adaptive_cluster(
+    n_proxies: usize,
+    requests_per_proxy: usize,
+) -> ClusterConfig<'static> {
+    ClusterConfig {
+        topology: Topology::mesh(n_proxies, 50.0, 25.0 * n_proxies as f64, 45.0),
+        workload: Workload::Adaptive(small_closed_loop(n_proxies)),
+        requests_per_proxy,
+        warmup_per_proxy: requests_per_proxy / 5,
+    }
+}
+
 /// A reduced-scale cooperative cluster configuration.
 pub fn small_coop_cluster(n_proxies: usize) -> ClusterConfig<'static> {
     ClusterConfig {

@@ -21,14 +21,27 @@
 //! peer links instead of the backbone, and a transfer that reaches a peer
 //! not actually holding the entry (a **false hit** — epoch staleness or a
 //! structural Bloom false positive) falls back to the origin, paying both
-//! paths. Digests refresh on the
-//! configured epoch, at which point the placement policy may migrate
-//! virtual nodes from hot proxies to cold ones. With a single proxy the
-//! router always resolves to the origin and the engine makes exactly the
-//! draws of plain adaptive mode — the parity the integration tests pin.
+//! paths. Digest refresh is a first-class periodic event firing exactly on
+//! the epoch grid `k · epoch`, at which point the placement policy may
+//! migrate virtual nodes from hot proxies to cold ones. With a single
+//! proxy the router always resolves to the origin and the engine makes
+//! exactly the draws of plain adaptive mode — the parity the integration
+//! tests pin.
+//!
+//! ## Event core vs drivers
+//!
+//! The module is split into an [`Engine`] — all simulation state plus one
+//! handler per event kind — and the event *driver* that decides which
+//! event fires next. The production driver ([`run`]) is an indexed
+//! scheduler (`simcore::sched::Scheduler`): one timer per link (re-armed
+//! from `LinkServer::next_event` only when that link's revision moved),
+//! one request-arrival timer and one pending-prefetch timer per proxy,
+//! and one digest-refresh timer — O(log n) per event. The retired
+//! O(links + proxies) scan driver survives only in [`crate::legacy`],
+//! pinned byte-identical to this one by the engine-parity tests.
 
 use crate::report::{ClusterReport, CoopReport, LinkReport, NodeReport};
-use crate::sim::{earliest_link_event, proxy_seed, LinkState};
+use crate::sim::{proxy_seed, LinkState};
 use crate::{AdaptiveWorkload, CandidateSource, ProxyPolicy, Topology};
 use cachesim::{AccessKind, LruCache, ReplacementCache, TaggedCache};
 use coop::CoopConfig;
@@ -37,6 +50,7 @@ use prefetch_core::controller::{AdaptiveController, ControllerConfig};
 use prefetch_core::estimator::EntryStatus;
 use simcore::rng::Rng;
 use simcore::stats::{BatchMeans, Welford};
+use simcore::Scheduler;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use workload::synth_web::SynthWeb;
 use workload::{ItemId, TraceRecord};
@@ -63,6 +77,10 @@ struct Job {
     dest: Dest,
     hop: usize,
     size: f64,
+    /// Bytes this transfer has cost so far: `size`, plus `size` again for
+    /// every false-hit fallback path — the per-transfer quantity good/bad
+    /// prefetch accounting conserves.
+    spent: f64,
     issued: f64,
     item: ItemId,
     kind: JobKind,
@@ -116,6 +134,12 @@ struct ProxyState {
     inflight: HashSet<ItemId>,
     waiters: HashMap<ItemId, Vec<(f64, bool)>>,
     delayed: BinaryHeap<PendingPrefetch>,
+    /// Bytes spent on the prefetch transfer behind each *untagged* cache
+    /// entry, credited to goodput once, on the entry's first use. Keyed by
+    /// item; an entry is removed exactly when the item's untagged copy is
+    /// first accessed, so each distinct prefetched entry is counted at
+    /// most once and goodput can never exceed the prefetched volume.
+    prefetch_cost: HashMap<ItemId, f64>,
     pending: TraceRecord,
     issued: u64,
     access_times: BatchMeans,
@@ -134,6 +158,506 @@ struct ProxyState {
     peer_false_hits: u64,
 }
 
+/// All closed-loop simulation state plus one handler per event kind.
+/// Drivers (the indexed scheduler below, the legacy scan) own only event
+/// *selection*; every state transition lives here, so the two drivers
+/// cannot diverge semantically.
+pub(crate) struct Engine<'a> {
+    topology: &'a Topology,
+    w: &'a AdaptiveWorkload,
+    n_shards: u64,
+    pub(crate) links: Vec<LinkState>,
+    router: Option<coop::Router>,
+    proxies: Vec<ProxyState>,
+    jobs: HashMap<u64, Job>,
+    next_job_id: u64,
+    t_end: f64,
+    warm: u64,
+    n_requests: u64,
+    /// Links touched since the driver last re-synced timers.
+    pub(crate) dirty_links: Vec<usize>,
+}
+
+impl<'a> Engine<'a> {
+    pub(crate) fn new(
+        topology: &'a Topology,
+        w: &'a AdaptiveWorkload,
+        coop_cfg: Option<&CoopConfig>,
+        requests: usize,
+        warmup: usize,
+        seed: u64,
+    ) -> Self {
+        let links: Vec<LinkState> = topology.links().iter().map(LinkState::new).collect();
+        let router =
+            coop_cfg.map(|c| coop::Router::new(topology.n_proxies(), w.cache_capacity, *c));
+
+        let proxies: Vec<ProxyState> = w
+            .proxies
+            .iter()
+            .enumerate()
+            .map(|(i, web_cfg)| {
+                let mut rng = Rng::new(proxy_seed(seed, i));
+                let jitter_rng = rng.split();
+                // With a shared structure seed every proxy draws the same
+                // catalog and navigation chain (the redundancy cooperative
+                // caching removes); otherwise each proxy's structure comes
+                // from its own stream, exactly as before.
+                let mut web = match w.shared_structure_seed {
+                    Some(s) => {
+                        let mut structure_rng = Rng::new(s);
+                        SynthWeb::new(*web_cfg, &mut structure_rng)
+                    }
+                    None => SynthWeb::new(*web_cfg, &mut rng),
+                };
+                let predictor: Box<dyn Predictor> = match w.predictor {
+                    CandidateSource::Oracle => Box::new(OraclePredictor::from_chain(&web.chain)),
+                    CandidateSource::Markov1 => Box::new(MarkovPredictor::new(1)),
+                };
+                let pending = web.next_request(&mut rng);
+                ProxyState {
+                    rng,
+                    jitter_rng,
+                    web,
+                    cache: TaggedCache::new(LruCache::new(w.cache_capacity)),
+                    controller: AdaptiveController::new(ControllerConfig::model_a(
+                        topology.proxy_bottleneck(i),
+                    )),
+                    predictor,
+                    inflight: HashSet::new(),
+                    waiters: HashMap::new(),
+                    delayed: BinaryHeap::new(),
+                    prefetch_cost: HashMap::new(),
+                    pending,
+                    issued: 0,
+                    access_times: BatchMeans::new(20),
+                    retrievals: Welford::new(),
+                    total_job_time: 0.0,
+                    hits: 0,
+                    measured: 0,
+                    prefetch_jobs: 0,
+                    threshold_sum: 0.0,
+                    threshold_n: 0,
+                    demand_bytes: 0.0,
+                    prefetch_bytes: 0.0,
+                    used_prefetch_bytes: 0.0,
+                    peer_bytes: 0.0,
+                    peer_fetches: 0,
+                    peer_false_hits: 0,
+                }
+            })
+            .collect();
+
+        Engine {
+            topology,
+            w,
+            n_shards: topology.n_shards() as u64,
+            links,
+            router,
+            proxies,
+            jobs: HashMap::new(),
+            next_job_id: 0,
+            t_end: 0.0,
+            warm: warmup as u64,
+            n_requests: requests as u64,
+            dirty_links: Vec::new(),
+        }
+    }
+
+    pub(crate) fn n_proxies(&self) -> usize {
+        self.proxies.len()
+    }
+
+    /// When proxy `i`'s next client request arrives, while its stream has
+    /// requests left.
+    pub(crate) fn request_due(&self, i: usize) -> Option<f64> {
+        let p = &self.proxies[i];
+        (p.issued < self.n_requests).then_some(p.pending.time)
+    }
+
+    /// When proxy `i`'s earliest jittered prefetch decision comes due.
+    /// Pending prefetches are still issued after the request stream ends
+    /// so any waiters attached to them resolve.
+    pub(crate) fn prefetch_due(&self, i: usize) -> Option<f64> {
+        self.proxies[i].delayed.peek().map(|d| d.due)
+    }
+
+    /// The next digest-refresh boundary (cooperative mode only). Always on
+    /// the epoch grid `k · epoch` — refresh is a first-class event, not a
+    /// side effect of whatever event straddles the boundary.
+    pub(crate) fn refresh_boundary(&self) -> Option<f64> {
+        self.router.as_ref().map(|r| r.next_refresh())
+    }
+
+    /// Resolves where a miss/prefetch at `me` is served from.
+    fn resolve(&self, me: usize, item: ItemId) -> Dest {
+        match self.router.as_ref().map(|r| r.resolve(me, item.0)) {
+            Some(coop::Resolution::Peer(q)) => Dest::Peer(q as u32),
+            _ => Dest::Origin,
+        }
+    }
+
+    /// Injects `job` onto the first link of its path at time `t`.
+    fn launch(&mut self, t: f64, job: Job) {
+        let first = job.path(self.topology)[0];
+        let id = self.next_job_id;
+        self.next_job_id += 1;
+        self.jobs.insert(id, job);
+        self.links[first].arrive(t, job.size, id);
+        self.dirty_links.push(first);
+    }
+
+    /// A link departure event on link `l` at time `t`.
+    pub(crate) fn on_link(&mut self, t: f64, l: usize) {
+        self.t_end = t;
+        self.dirty_links.push(l);
+        for c in self.links[l].on_event(t) {
+            let job = self.jobs[&c.tag];
+            self.links[l].bytes_carried += job.size;
+            let route = job.path(self.topology);
+            if job.hop + 1 < route.len() {
+                let mut fwd = job;
+                fwd.hop += 1;
+                self.jobs.insert(c.tag, fwd);
+                self.links[route[fwd.hop]].arrive(t, fwd.size, c.tag);
+                self.dirty_links.push(route[fwd.hop]);
+                continue;
+            }
+            // Digest false hit: the transfer reached a peer that does not
+            // hold the item (evicted since the last refresh, or a
+            // structural Bloom false positive) — fall back to the origin,
+            // paying the peer path *and* the origin path.
+            if let Dest::Peer(q) = job.dest {
+                if !self.proxies[q as usize].cache.inner().contains(&job.item) {
+                    let mut fwd = job;
+                    fwd.dest = Dest::Origin;
+                    fwd.hop = 0;
+                    fwd.spent += fwd.size;
+                    self.jobs.insert(c.tag, fwd);
+                    let p = &mut self.proxies[job.proxy as usize];
+                    p.peer_false_hits += 1;
+                    match job.kind {
+                        JobKind::Demand { .. } => p.demand_bytes += job.size,
+                        JobKind::Prefetch { .. } => p.prefetch_bytes += job.size,
+                    }
+                    let first = fwd.path(self.topology)[0];
+                    self.links[first].arrive(t, fwd.size, c.tag);
+                    self.dirty_links.push(first);
+                    continue;
+                }
+            }
+            self.jobs.remove(&c.tag);
+            let p = &mut self.proxies[job.proxy as usize];
+            if matches!(job.dest, Dest::Peer(_)) {
+                p.peer_fetches += 1;
+                p.peer_bytes += job.size;
+            }
+            match job.kind {
+                JobKind::Demand { measured } => {
+                    p.cache.admit_after_fetch(job.item);
+                    p.inflight.remove(&job.item);
+                    if measured {
+                        let sojourn = t - job.issued;
+                        p.access_times.push(sojourn);
+                        p.retrievals.push(sojourn);
+                        p.total_job_time += sojourn;
+                    }
+                    if let Some(ws) = p.waiters.remove(&job.item) {
+                        for (tw, mw) in ws {
+                            if mw {
+                                p.access_times.push(t - tw);
+                            }
+                        }
+                    }
+                }
+                JobKind::Prefetch { measured } => {
+                    if measured {
+                        p.total_job_time += t - job.issued;
+                    }
+                    if let Some(ws) = p.waiters.remove(&job.item) {
+                        // The item was demanded while the prefetch was in
+                        // flight: it lands as a demand-fetched (tagged)
+                        // entry and the waiters' clocks stop now. The
+                        // transfer served real demand, so everything it
+                        // cost counts as used.
+                        p.cache.admit_after_fetch(job.item);
+                        p.used_prefetch_bytes += job.spent;
+                        for (tw, mw) in ws {
+                            if mw {
+                                p.access_times.push(t - tw);
+                            }
+                        }
+                    } else {
+                        p.cache.prefetch_insert(job.item);
+                        p.controller.on_prefetch_insert();
+                        p.prefetch_cost.insert(job.item, job.spent);
+                    }
+                    p.inflight.remove(&job.item);
+                }
+            }
+        }
+    }
+
+    /// A jittered prefetch decision of proxy `i` coming due.
+    pub(crate) fn on_issue_prefetch(&mut self, i: usize) {
+        let pfx = self.proxies[i].delayed.pop().expect("pending prefetch");
+        self.t_end = pfx.due;
+        if !self.proxies[i].cache.inner().contains(&pfx.item) {
+            let dest = self.resolve(i, pfx.item);
+            let shard = (pfx.item.0 % self.n_shards) as u32;
+            {
+                let p = &mut self.proxies[i];
+                p.prefetch_jobs += 1;
+                p.prefetch_bytes += pfx.size;
+            }
+            self.launch(
+                pfx.due,
+                Job {
+                    proxy: i as u32,
+                    shard,
+                    dest,
+                    hop: 0,
+                    size: pfx.size,
+                    spent: pfx.size,
+                    issued: pfx.due,
+                    item: pfx.item,
+                    kind: JobKind::Prefetch { measured: pfx.measured },
+                },
+            );
+        } else {
+            // Unreachable by construction: the in-flight marker set at
+            // decision time reserves the item until this transfer (or its
+            // cancellation here) resolves — demand misses on a reserved
+            // item join `waiters` instead of fetching, and duplicate
+            // prefetch decisions are filtered on `inflight` — so nothing
+            // can have cached the item since the decision checked it was
+            // absent. Pinned by `pending_prefetch_never_finds_item_cached`.
+            debug_assert!(
+                false,
+                "pending prefetch for item {:?} found it already cached",
+                pfx.item
+            );
+            // If a release build ever does get here, resolve any waiters
+            // at the cancellation instant instead of silently dropping
+            // their measured access times (the waiter-leak bug).
+            let p = &mut self.proxies[i];
+            if let Some(ws) = p.waiters.remove(&pfx.item) {
+                for (tw, mw) in ws {
+                    if mw {
+                        p.access_times.push(pfx.due - tw);
+                    }
+                }
+            }
+            p.inflight.remove(&pfx.item);
+        }
+    }
+
+    /// The next client request of proxy `i`.
+    pub(crate) fn on_request(&mut self, i: usize) {
+        let n_shards = self.n_shards;
+        let p = &mut self.proxies[i];
+        let req = p.pending;
+        p.pending = p.web.next_request(&mut p.rng);
+        let t = req.time;
+        self.t_end = t;
+        let idx = p.issued;
+        p.issued += 1;
+        let in_window = idx >= self.warm;
+        let mut launch_demand = false;
+
+        match p.cache.probe(req.item) {
+            AccessKind::HitTagged => {
+                p.controller.on_cache_hit(t, EntryStatus::Tagged, req.size);
+                if in_window {
+                    p.access_times.push(0.0);
+                    p.hits += 1;
+                    p.measured += 1;
+                }
+            }
+            AccessKind::HitUntagged => {
+                p.controller.on_cache_hit(t, EntryStatus::Untagged, req.size);
+                // First use of a prefetched entry: credit exactly what its
+                // transfer cost, once. The probe retags the entry, so a
+                // re-access is a tagged hit and cannot double-count.
+                let cost = p
+                    .prefetch_cost
+                    .remove(&req.item)
+                    .expect("untagged cache entry must have a recorded prefetch cost");
+                p.used_prefetch_bytes += cost;
+                if in_window {
+                    p.access_times.push(0.0);
+                    p.hits += 1;
+                    p.measured += 1;
+                }
+            }
+            AccessKind::Miss => {
+                p.controller.on_miss(t, req.size);
+                if in_window {
+                    p.measured += 1;
+                }
+                if p.inflight.contains(&req.item) {
+                    // Join the in-flight fetch instead of duplicating the
+                    // transfer.
+                    p.waiters.entry(req.item).or_default().push((t, in_window));
+                } else {
+                    p.inflight.insert(req.item);
+                    p.demand_bytes += req.size;
+                    launch_demand = true;
+                }
+            }
+        }
+        if launch_demand {
+            let shard = (req.item.0 % n_shards) as u32;
+            let dest = self.resolve(i, req.item);
+            self.launch(
+                t,
+                Job {
+                    proxy: i as u32,
+                    shard,
+                    dest,
+                    hop: 0,
+                    size: req.size,
+                    spent: req.size,
+                    issued: t,
+                    item: req.item,
+                    kind: JobKind::Demand { measured: in_window },
+                },
+            );
+        }
+
+        // Predict and prefetch.
+        let p = &mut self.proxies[i];
+        p.predictor.observe(req.item);
+        let threshold = match self.w.policy {
+            ProxyPolicy::NoPrefetch => f64::INFINITY,
+            ProxyPolicy::FixedThreshold(th) => th,
+            ProxyPolicy::Adaptive => p.controller.policy().threshold,
+        };
+        if in_window && threshold.is_finite() {
+            p.threshold_sum += threshold;
+            p.threshold_n += 1;
+        }
+        if threshold.is_finite() {
+            for (item, prob) in p.predictor.candidates(self.w.max_candidates) {
+                if prob > threshold
+                    && !p.cache.inner().contains(&item)
+                    && !p.inflight.contains(&item)
+                {
+                    p.inflight.insert(item);
+                    let size = p.web.catalog.size(item);
+                    let due = if self.w.prefetch_jitter > 0.0 {
+                        t + p.jitter_rng.exp(1.0 / self.w.prefetch_jitter)
+                    } else {
+                        t
+                    };
+                    p.delayed.push(PendingPrefetch { due, item, size, measured: in_window });
+                }
+            }
+        }
+    }
+
+    /// The digest-refresh event at epoch boundary `t`: rebuild every
+    /// proxy's summary from its live cache and feed the controllers' `ρ̂′`
+    /// estimates to the placement policy.
+    pub(crate) fn on_refresh(&mut self, t: f64) {
+        let proxies = &self.proxies;
+        let r = self.router.as_mut().expect("refresh event without a router");
+        let loads: Vec<f64> =
+            proxies.iter().map(|p| p.controller.rho_prime_estimate().unwrap_or(0.0)).collect();
+        r.refresh(t, |proxy| proxies[proxy].cache.keys().iter().map(|k| k.0).collect(), &loads);
+    }
+
+    pub(crate) fn into_report(self) -> ClusterReport {
+        let coop_on = self.router.is_some();
+        let n_requests = self.n_requests;
+        let nodes: Vec<NodeReport> = self
+            .proxies
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let (mean_access, ci) = p.access_times.mean_ci();
+                let measured = p.measured.max(1);
+                // Per-distinct-entry accounting conserves prefetched bytes
+                // exactly: every transferred byte is either used (served a
+                // demand) or not — no clamp needed to keep goodput within
+                // the prefetched volume.
+                debug_assert!(
+                    p.used_prefetch_bytes <= p.prefetch_bytes * (1.0 + 1e-9) + 1e-9,
+                    "proxy {i}: goodput {} exceeds prefetched volume {}",
+                    p.used_prefetch_bytes,
+                    p.prefetch_bytes
+                );
+                let goodput = p.used_prefetch_bytes;
+                let badput = (p.prefetch_bytes - p.used_prefetch_bytes).max(0.0);
+                debug_assert!(
+                    (goodput + badput - p.prefetch_bytes).abs() <= 1e-6 * p.prefetch_bytes.max(1.0),
+                    "proxy {i}: goodput {goodput} + badput {badput} != prefetched {}",
+                    p.prefetch_bytes
+                );
+                NodeReport {
+                    proxy: i,
+                    measured_requests: p.measured,
+                    hit_ratio: p.hits as f64 / measured as f64,
+                    mean_access_time: mean_access,
+                    access_time_ci95: ci,
+                    mean_retrieval_time: p.retrievals.mean(),
+                    retrieval_per_request: p.total_job_time / measured as f64,
+                    prefetches_per_request: p.prefetch_jobs as f64 / n_requests.max(1) as f64,
+                    goodput_bytes: Some(goodput),
+                    badput_bytes: Some(badput),
+                    demand_bytes: p.demand_bytes,
+                    peer_bytes: coop_on.then_some(p.peer_bytes),
+                    peer_fetches: coop_on.then_some(p.peer_fetches),
+                    peer_false_hits: coop_on.then_some(p.peer_false_hits),
+                    mean_threshold: (p.threshold_n > 0)
+                        .then(|| p.threshold_sum / p.threshold_n as f64),
+                    rho_prime_estimate: p.controller.rho_prime_estimate(),
+                    h_prime_estimate: p.controller.h_prime_estimate(),
+                }
+            })
+            .collect();
+
+        let t_end = self.t_end;
+        let link_reports: Vec<LinkReport> = self
+            .topology
+            .links()
+            .iter()
+            .zip(&self.links)
+            .map(|(spec, state)| LinkReport {
+                name: spec.name.clone(),
+                utilisation: if t_end > 0.0 { state.busy_time() / t_end } else { 0.0 },
+                bytes_carried: state.bytes_carried,
+                jobs_completed: state.jobs_completed,
+            })
+            .collect();
+
+        let total_measured: u64 = nodes.iter().map(|n| n.measured_requests).sum();
+        let mean_access_time =
+            nodes.iter().map(|n| n.mean_access_time * n.measured_requests as f64).sum::<f64>()
+                / total_measured.max(1) as f64;
+        let total_bytes: f64 = self.proxies.iter().map(|p| p.demand_bytes + p.prefetch_bytes).sum();
+
+        ClusterReport {
+            nodes,
+            links: link_reports,
+            mean_access_time,
+            bytes_per_request: total_bytes / (n_requests * self.proxies.len() as u64).max(1) as f64,
+            duration: t_end,
+            coop: self.router.map(|r| CoopReport {
+                router: r.stats(),
+                peer_fetches: self.proxies.iter().map(|p| p.peer_fetches).sum(),
+                peer_false_hits: self.proxies.iter().map(|p| p.peer_false_hits).sum(),
+            }),
+        }
+    }
+}
+
+/// Runs the closed loop on the indexed event scheduler.
+///
+/// Timer-key layout (also the same-instant firing order, since the
+/// scheduler breaks time ties by ascending key — matching the engine's
+/// historical link < request < prefetch < refresh precedence):
+/// `[0, L)` link departures, `[L, L+P)` request arrivals, `[L+P, L+2P)`
+/// pending-prefetch issues, `L+2P` digest refresh.
 pub(crate) fn run(
     topology: &Topology,
     w: &AdaptiveWorkload,
@@ -142,405 +666,52 @@ pub(crate) fn run(
     warmup: usize,
     seed: u64,
 ) -> ClusterReport {
-    let n_shards = topology.n_shards() as u64;
-    let mut links: Vec<LinkState> = topology.links().iter().map(LinkState::new).collect();
-    let mut router =
-        coop_cfg.map(|c| coop::Router::new(topology.n_proxies(), w.cache_capacity, *c));
+    let mut eng = Engine::new(topology, w, coop_cfg, requests, warmup, seed);
+    let n_links = eng.links.len();
+    let n_proxies = eng.n_proxies();
+    let req_key = n_links;
+    let pre_key = n_links + n_proxies;
+    let refresh_key = n_links + 2 * n_proxies;
+    let mut sched = Scheduler::with_timers(refresh_key + 1);
 
-    let mut proxies: Vec<ProxyState> = w
-        .proxies
-        .iter()
-        .enumerate()
-        .map(|(i, web_cfg)| {
-            let mut rng = Rng::new(proxy_seed(seed, i));
-            let jitter_rng = rng.split();
-            // With a shared structure seed every proxy draws the same
-            // catalog and navigation chain (the redundancy cooperative
-            // caching removes); otherwise each proxy's structure comes
-            // from its own stream, exactly as before.
-            let mut web = match w.shared_structure_seed {
-                Some(s) => {
-                    let mut structure_rng = Rng::new(s);
-                    SynthWeb::new(*web_cfg, &mut structure_rng)
-                }
-                None => SynthWeb::new(*web_cfg, &mut rng),
-            };
-            let predictor: Box<dyn Predictor> = match w.predictor {
-                CandidateSource::Oracle => Box::new(OraclePredictor::from_chain(&web.chain)),
-                CandidateSource::Markov1 => Box::new(MarkovPredictor::new(1)),
-            };
-            let pending = web.next_request(&mut rng);
-            ProxyState {
-                rng,
-                jitter_rng,
-                web,
-                cache: TaggedCache::new(LruCache::new(w.cache_capacity)),
-                controller: AdaptiveController::new(ControllerConfig::model_a(
-                    topology.proxy_bottleneck(i),
-                )),
-                predictor,
-                inflight: HashSet::new(),
-                waiters: HashMap::new(),
-                delayed: BinaryHeap::new(),
-                pending,
-                issued: 0,
-                access_times: BatchMeans::new(20),
-                retrievals: Welford::new(),
-                total_job_time: 0.0,
-                hits: 0,
-                measured: 0,
-                prefetch_jobs: 0,
-                threshold_sum: 0.0,
-                threshold_n: 0,
-                demand_bytes: 0.0,
-                prefetch_bytes: 0.0,
-                used_prefetch_bytes: 0.0,
-                peer_bytes: 0.0,
-                peer_fetches: 0,
-                peer_false_hits: 0,
-            }
-        })
-        .collect();
-
-    let warm = warmup as u64;
-    let n_requests = requests as u64;
-    let mut jobs: HashMap<u64, Job> = HashMap::new();
-    let mut next_job_id: u64 = 0;
-    let mut t_end = 0.0;
-
-    // Resolves where a miss/prefetch at `me` is served from.
-    let resolve = |router: &Option<coop::Router>, me: usize, item: ItemId| -> Dest {
-        match router.as_ref().map(|r| r.resolve(me, item.0)) {
-            Some(coop::Resolution::Peer(q)) => Dest::Peer(q as u32),
-            _ => Dest::Origin,
+    for i in 0..n_proxies {
+        if let Some(t) = eng.request_due(i) {
+            sched.schedule(req_key + i, t);
         }
-    };
-
-    enum Ev {
-        Link(f64, usize),
-        Request(usize),
-        IssuePrefetch(usize),
+    }
+    if let Some(t) = eng.refresh_boundary() {
+        sched.schedule(refresh_key, t);
     }
 
     loop {
-        let link_ev = earliest_link_event(&links);
-        let mut req: Option<(f64, usize)> = None;
-        let mut pre: Option<(f64, usize)> = None;
-        for (i, p) in proxies.iter().enumerate() {
-            if p.issued < n_requests && req.is_none_or(|(t, _)| p.pending.time < t) {
-                req = Some((p.pending.time, i));
-            }
-            // Pending prefetches are still issued after the request stream
-            // ends so any waiters attached to them resolve.
-            if let Some(d) = p.delayed.peek() {
-                if pre.is_none_or(|(t, _)| d.due < t) {
-                    pre = Some((d.due, i));
-                }
-            }
+        // The refresh timer re-arms forever; stop once it is all that is
+        // left (boundaries beyond the last real event never fire).
+        match sched.peek() {
+            None => break,
+            Some((_, key)) if key == refresh_key && sched.len() == 1 => break,
+            _ => {}
         }
-
-        let ts = link_ev.map_or(f64::INFINITY, |(t, _)| t);
-        let tr = req.map_or(f64::INFINITY, |(t, _)| t);
-        let tp = pre.map_or(f64::INFINITY, |(t, _)| t);
-        let ev = if ts.is_infinite() && tr.is_infinite() && tp.is_infinite() {
-            break;
-        } else if ts <= tr && ts <= tp {
-            let (t, l) = link_ev.expect("link event");
-            Ev::Link(t, l)
-        } else if tr <= tp {
-            Ev::Request(req.expect("request event").1)
+        let (t, key) = sched.pop().expect("peeked event");
+        if key < n_links {
+            eng.on_link(t, key);
+        } else if key < pre_key {
+            let i = key - req_key;
+            eng.on_request(i);
+            sched.sync(req_key + i, eng.request_due(i));
+            // The request may have queued new (possibly earlier) prefetch
+            // decisions.
+            sched.sync(pre_key + i, eng.prefetch_due(i));
+        } else if key < refresh_key {
+            let i = key - pre_key;
+            eng.on_issue_prefetch(i);
+            sched.sync(pre_key + i, eng.prefetch_due(i));
         } else {
-            Ev::IssuePrefetch(pre.expect("prefetch event").1)
-        };
-
-        match ev {
-            Ev::IssuePrefetch(i) => {
-                let pfx = proxies[i].delayed.pop().expect("pending prefetch");
-                t_end = pfx.due;
-                // The item may have been demand-fetched while waiting; the
-                // in-flight marker was set at decision time, so only issue
-                // if it is still not cached.
-                if !proxies[i].cache.inner().contains(&pfx.item) {
-                    let dest = resolve(&router, i, pfx.item);
-                    let p = &mut proxies[i];
-                    p.prefetch_jobs += 1;
-                    p.prefetch_bytes += pfx.size;
-                    let shard = (pfx.item.0 % n_shards) as u32;
-                    let id = next_job_id;
-                    next_job_id += 1;
-                    let job = Job {
-                        proxy: i as u32,
-                        shard,
-                        dest,
-                        hop: 0,
-                        size: pfx.size,
-                        issued: pfx.due,
-                        item: pfx.item,
-                        kind: JobKind::Prefetch { measured: pfx.measured },
-                    };
-                    let first = job.path(topology)[0];
-                    jobs.insert(id, job);
-                    links[first].arrive(pfx.due, pfx.size, id);
-                } else {
-                    proxies[i].inflight.remove(&pfx.item);
-                }
-            }
-            Ev::Link(t, l) => {
-                t_end = t;
-                for c in links[l].on_event(t) {
-                    let job = jobs[&c.tag];
-                    links[l].bytes_carried += job.size;
-                    let route = job.path(topology);
-                    if job.hop + 1 < route.len() {
-                        let mut fwd = job;
-                        fwd.hop += 1;
-                        jobs.insert(c.tag, fwd);
-                        links[route[fwd.hop]].arrive(t, fwd.size, c.tag);
-                        continue;
-                    }
-                    // Digest false hit: the transfer reached a peer that
-                    // does not hold the item (evicted since the last
-                    // refresh, or a structural Bloom false positive) —
-                    // fall back to the origin, paying the peer path *and*
-                    // the origin path.
-                    if let Dest::Peer(q) = job.dest {
-                        if !proxies[q as usize].cache.inner().contains(&job.item) {
-                            let mut fwd = job;
-                            fwd.dest = Dest::Origin;
-                            fwd.hop = 0;
-                            jobs.insert(c.tag, fwd);
-                            let p = &mut proxies[job.proxy as usize];
-                            p.peer_false_hits += 1;
-                            match job.kind {
-                                JobKind::Demand { .. } => p.demand_bytes += job.size,
-                                JobKind::Prefetch { .. } => p.prefetch_bytes += job.size,
-                            }
-                            links[fwd.path(topology)[0]].arrive(t, fwd.size, c.tag);
-                            continue;
-                        }
-                    }
-                    jobs.remove(&c.tag);
-                    let p = &mut proxies[job.proxy as usize];
-                    if matches!(job.dest, Dest::Peer(_)) {
-                        p.peer_fetches += 1;
-                        p.peer_bytes += job.size;
-                    }
-                    match job.kind {
-                        JobKind::Demand { measured } => {
-                            p.cache.admit_after_fetch(job.item);
-                            p.inflight.remove(&job.item);
-                            if measured {
-                                let sojourn = t - job.issued;
-                                p.access_times.push(sojourn);
-                                p.retrievals.push(sojourn);
-                                p.total_job_time += sojourn;
-                            }
-                            if let Some(ws) = p.waiters.remove(&job.item) {
-                                for (tw, mw) in ws {
-                                    if mw {
-                                        p.access_times.push(t - tw);
-                                    }
-                                }
-                            }
-                        }
-                        JobKind::Prefetch { measured } => {
-                            if measured {
-                                p.total_job_time += t - job.issued;
-                            }
-                            if let Some(ws) = p.waiters.remove(&job.item) {
-                                // The item was demanded while the prefetch
-                                // was in flight: it lands as a demand-fetched
-                                // (tagged) entry and the waiters' clocks
-                                // stop now. The transfer still served real
-                                // demand, so its bytes count as used.
-                                p.cache.admit_after_fetch(job.item);
-                                p.used_prefetch_bytes += job.size;
-                                for (tw, mw) in ws {
-                                    if mw {
-                                        p.access_times.push(t - tw);
-                                    }
-                                }
-                            } else {
-                                p.cache.prefetch_insert(job.item);
-                                p.controller.on_prefetch_insert();
-                            }
-                            p.inflight.remove(&job.item);
-                        }
-                    }
-                }
-            }
-            Ev::Request(i) => {
-                let p = &mut proxies[i];
-                let req = p.pending;
-                p.pending = p.web.next_request(&mut p.rng);
-                let t = req.time;
-                t_end = t;
-                let idx = p.issued;
-                p.issued += 1;
-                let in_window = idx >= warm;
-
-                match p.cache.probe(req.item) {
-                    AccessKind::HitTagged => {
-                        p.controller.on_cache_hit(t, EntryStatus::Tagged, req.size);
-                        if in_window {
-                            p.access_times.push(0.0);
-                            p.hits += 1;
-                            p.measured += 1;
-                        }
-                    }
-                    AccessKind::HitUntagged => {
-                        p.controller.on_cache_hit(t, EntryStatus::Untagged, req.size);
-                        p.used_prefetch_bytes += req.size;
-                        if in_window {
-                            p.access_times.push(0.0);
-                            p.hits += 1;
-                            p.measured += 1;
-                        }
-                    }
-                    AccessKind::Miss => {
-                        p.controller.on_miss(t, req.size);
-                        if in_window {
-                            p.measured += 1;
-                        }
-                        if p.inflight.contains(&req.item) {
-                            // Join the in-flight fetch instead of duplicating
-                            // the transfer.
-                            p.waiters.entry(req.item).or_default().push((t, in_window));
-                        } else {
-                            p.inflight.insert(req.item);
-                            p.demand_bytes += req.size;
-                            let shard = (req.item.0 % n_shards) as u32;
-                            let dest = resolve(&router, i, req.item);
-                            let id = next_job_id;
-                            next_job_id += 1;
-                            let job = Job {
-                                proxy: i as u32,
-                                shard,
-                                dest,
-                                hop: 0,
-                                size: req.size,
-                                issued: t,
-                                item: req.item,
-                                kind: JobKind::Demand { measured: in_window },
-                            };
-                            let first = job.path(topology)[0];
-                            jobs.insert(id, job);
-                            links[first].arrive(t, req.size, id);
-                        }
-                    }
-                }
-
-                // Predict and prefetch.
-                let p = &mut proxies[i];
-                p.predictor.observe(req.item);
-                let threshold = match w.policy {
-                    ProxyPolicy::NoPrefetch => f64::INFINITY,
-                    ProxyPolicy::FixedThreshold(th) => th,
-                    ProxyPolicy::Adaptive => p.controller.policy().threshold,
-                };
-                if in_window && threshold.is_finite() {
-                    p.threshold_sum += threshold;
-                    p.threshold_n += 1;
-                }
-                if threshold.is_finite() {
-                    for (item, prob) in p.predictor.candidates(w.max_candidates) {
-                        if prob > threshold
-                            && !p.cache.inner().contains(&item)
-                            && !p.inflight.contains(&item)
-                        {
-                            p.inflight.insert(item);
-                            let size = p.web.catalog.size(item);
-                            let due = if w.prefetch_jitter > 0.0 {
-                                t + p.jitter_rng.exp(1.0 / w.prefetch_jitter)
-                            } else {
-                                t
-                            };
-                            p.delayed.push(PendingPrefetch {
-                                due,
-                                item,
-                                size,
-                                measured: in_window,
-                            });
-                        }
-                    }
-                }
-            }
+            eng.on_refresh(t);
+            sched.sync(refresh_key, eng.refresh_boundary());
         }
-
-        // Digest epoch: rebuild every proxy's summary from its live cache
-        // and feed the controllers' ρ̂′ estimates to the placement policy.
-        if let Some(r) = router.as_mut() {
-            if r.refresh_due(t_end) {
-                let loads: Vec<f64> = proxies
-                    .iter()
-                    .map(|p| p.controller.rho_prime_estimate().unwrap_or(0.0))
-                    .collect();
-                r.refresh(
-                    t_end,
-                    |proxy| proxies[proxy].cache.keys().iter().map(|k| k.0).collect(),
-                    &loads,
-                );
-            }
+        while let Some(l) = eng.dirty_links.pop() {
+            eng.links[l].sync_timer(&mut sched, l);
         }
     }
-
-    let coop_on = router.is_some();
-    let nodes: Vec<NodeReport> = proxies
-        .iter()
-        .enumerate()
-        .map(|(i, p)| {
-            let (mean_access, ci) = p.access_times.mean_ci();
-            let measured = p.measured.max(1);
-            NodeReport {
-                proxy: i,
-                measured_requests: p.measured,
-                hit_ratio: p.hits as f64 / measured as f64,
-                mean_access_time: mean_access,
-                access_time_ci95: ci,
-                mean_retrieval_time: p.retrievals.mean(),
-                retrieval_per_request: p.total_job_time / measured as f64,
-                prefetches_per_request: p.prefetch_jobs as f64 / n_requests.max(1) as f64,
-                goodput_bytes: Some(p.used_prefetch_bytes.min(p.prefetch_bytes)),
-                badput_bytes: Some((p.prefetch_bytes - p.used_prefetch_bytes).max(0.0)),
-                demand_bytes: p.demand_bytes,
-                peer_bytes: coop_on.then_some(p.peer_bytes),
-                peer_fetches: coop_on.then_some(p.peer_fetches),
-                peer_false_hits: coop_on.then_some(p.peer_false_hits),
-                mean_threshold: (p.threshold_n > 0).then(|| p.threshold_sum / p.threshold_n as f64),
-                rho_prime_estimate: p.controller.rho_prime_estimate(),
-                h_prime_estimate: p.controller.h_prime_estimate(),
-            }
-        })
-        .collect();
-
-    let link_reports: Vec<LinkReport> = topology
-        .links()
-        .iter()
-        .zip(&links)
-        .map(|(spec, state)| LinkReport {
-            name: spec.name.clone(),
-            utilisation: if t_end > 0.0 { state.busy_time() / t_end } else { 0.0 },
-            bytes_carried: state.bytes_carried,
-            jobs_completed: state.jobs_completed,
-        })
-        .collect();
-
-    let total_measured: u64 = nodes.iter().map(|n| n.measured_requests).sum();
-    let mean_access_time =
-        nodes.iter().map(|n| n.mean_access_time * n.measured_requests as f64).sum::<f64>()
-            / total_measured.max(1) as f64;
-    let total_bytes: f64 = proxies.iter().map(|p| p.demand_bytes + p.prefetch_bytes).sum();
-
-    ClusterReport {
-        nodes,
-        links: link_reports,
-        mean_access_time,
-        bytes_per_request: total_bytes / (n_requests * proxies.len() as u64).max(1) as f64,
-        duration: t_end,
-        coop: router.map(|r| CoopReport {
-            router: r.stats(),
-            peer_fetches: proxies.iter().map(|p| p.peer_fetches).sum(),
-            peer_false_hits: proxies.iter().map(|p| p.peer_false_hits).sum(),
-        }),
-    }
+    eng.into_report()
 }

@@ -1,0 +1,146 @@
+//! The retired O(links + proxies) scan drivers, kept **only** as a parity
+//! oracle.
+//!
+//! Before the indexed event scheduler (`simcore::sched`) landed, both
+//! cluster engines selected the next event by scanning every link and
+//! every proxy per iteration. The scan is gone from the hot paths
+//! (`closed_loop`/`static_mode` now arm per-link/per-proxy timers), but
+//! it survives here, driving the *same* `Engine` handler cores, so the
+//! engine-parity tests can pin that the scheduler rewrite changed event
+//! *selection cost* and nothing else: both drivers must produce
+//! byte-identical [`ClusterReport`]s.
+//!
+//! Not part of the public API surface (`#[doc(hidden)]` at the re-export);
+//! do not build features on it.
+
+use crate::report::ClusterReport;
+use crate::sim::LinkState;
+use crate::{closed_loop, static_mode, ClusterConfig, Workload};
+
+/// Earliest pending event over a set of links: `(time, link_index)`,
+/// lowest index first on ties — the O(links) scan the scheduler replaced.
+fn earliest_link_event(links: &[LinkState]) -> Option<(f64, usize)> {
+    let mut best: Option<(f64, usize)> = None;
+    for (i, l) in links.iter().enumerate() {
+        if let Some(t) = l.next_event() {
+            if best.is_none_or(|(bt, _)| t < bt) {
+                best = Some((t, i));
+            }
+        }
+    }
+    best
+}
+
+/// Runs one cluster simulation with the legacy scan driver. Same
+/// semantics, dispatch, and validation as [`crate::ClusterSim::run`].
+pub fn run(config: &ClusterConfig<'_>, seed: u64) -> ClusterReport {
+    config.validate();
+    match &config.workload {
+        Workload::Static(w) => run_static(static_mode::Engine::new(
+            &config.topology,
+            w,
+            config.requests_per_proxy,
+            config.warmup_per_proxy,
+            seed,
+        )),
+        Workload::Adaptive(w) => run_closed(closed_loop::Engine::new(
+            &config.topology,
+            w,
+            None,
+            config.requests_per_proxy,
+            config.warmup_per_proxy,
+            seed,
+        )),
+        Workload::Cooperative(w) => run_closed(closed_loop::Engine::new(
+            &config.topology,
+            &w.base,
+            Some(&w.coop),
+            config.requests_per_proxy,
+            config.warmup_per_proxy,
+            seed,
+        )),
+    }
+}
+
+/// The closed-loop scan loop: every iteration walks all links and all
+/// proxies for the earliest event. Tie order (links by index, then
+/// requests by proxy, then prefetches, refresh strictly last) matches the
+/// scheduler's key layout exactly.
+fn run_closed(mut eng: closed_loop::Engine<'_>) -> ClusterReport {
+    loop {
+        let link_ev = earliest_link_event(&eng.links);
+        let mut req: Option<(f64, usize)> = None;
+        let mut pre: Option<(f64, usize)> = None;
+        for i in 0..eng.n_proxies() {
+            if let Some(t) = eng.request_due(i) {
+                if req.is_none_or(|(bt, _)| t < bt) {
+                    req = Some((t, i));
+                }
+            }
+            if let Some(t) = eng.prefetch_due(i) {
+                if pre.is_none_or(|(bt, _)| t < bt) {
+                    pre = Some((t, i));
+                }
+            }
+        }
+
+        let ts = link_ev.map_or(f64::INFINITY, |(t, _)| t);
+        let tr = req.map_or(f64::INFINITY, |(t, _)| t);
+        let tp = pre.map_or(f64::INFINITY, |(t, _)| t);
+        if ts.is_infinite() && tr.is_infinite() && tp.is_infinite() {
+            // Refresh boundaries beyond the last real event never fire.
+            break;
+        }
+        let tb = eng.refresh_boundary().unwrap_or(f64::INFINITY);
+        if tb < ts && tb < tr && tb < tp {
+            eng.on_refresh(tb);
+        } else if ts <= tr && ts <= tp {
+            let (t, l) = link_ev.expect("link event");
+            eng.on_link(t, l);
+        } else if tr <= tp {
+            eng.on_request(req.expect("request event").1);
+        } else {
+            eng.on_issue_prefetch(pre.expect("prefetch event").1);
+        }
+        // The scan recomputes everything next iteration; no timers to sync.
+        eng.dirty_links.clear();
+    }
+    eng.into_report()
+}
+
+/// The open-loop scan loop, mirroring the closed-loop one (no refresh).
+fn run_static(mut eng: static_mode::Engine<'_>) -> ClusterReport {
+    loop {
+        let link_ev = earliest_link_event(&eng.links);
+        let mut req: Option<(f64, usize)> = None;
+        let mut pre: Option<(f64, usize)> = None;
+        for i in 0..eng.n_proxies() {
+            if let Some(t) = eng.request_due(i) {
+                if req.is_none_or(|(bt, _)| t < bt) {
+                    req = Some((t, i));
+                }
+            }
+            if let Some(t) = eng.prefetch_due(i) {
+                if pre.is_none_or(|(bt, _)| t < bt) {
+                    pre = Some((t, i));
+                }
+            }
+        }
+
+        let ts = link_ev.map_or(f64::INFINITY, |(t, _)| t);
+        let tr = req.map_or(f64::INFINITY, |(t, _)| t);
+        let tp = pre.map_or(f64::INFINITY, |(t, _)| t);
+        if ts.is_infinite() && tr.is_infinite() && tp.is_infinite() {
+            break;
+        } else if ts <= tr && ts <= tp {
+            let (t, l) = link_ev.expect("link event");
+            eng.on_link(t, l);
+        } else if tr <= tp {
+            eng.on_request(req.expect("request event").1);
+        } else {
+            eng.on_prefetch(pre.expect("prefetch event").1);
+        }
+        eng.dirty_links.clear();
+    }
+    eng.into_report()
+}

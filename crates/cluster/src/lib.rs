@@ -21,6 +21,13 @@
 //! load; [`network_load_curve`] sweeps prefetch volume for the cluster
 //! analogue of the paper's Figures 2–3.
 //!
+//! Both engines run on `simcore::sched`'s indexed event scheduler (one
+//! timer per link / request stream / prefetch stream, plus a digest-
+//! refresh timer on the epoch grid), so per-event cost is O(log n) and
+//! 256-proxy meshes are routine (experiment E15). The retired
+//! O(links + proxies) scan driver survives in the hidden [`legacy`]
+//! module purely as a parity oracle.
+//!
 //! ## Three engines, one API
 //!
 //! * **Open loop** ([`Workload::Static`]) — every proxy runs the paper's
@@ -70,6 +77,8 @@
 
 mod closed_loop;
 mod curve;
+#[doc(hidden)]
+pub mod legacy;
 mod report;
 mod sim;
 mod static_mode;

@@ -5,6 +5,7 @@ use crate::report::ClusterReport;
 use crate::static_mode;
 use crate::{ClusterConfig, Workload};
 use queueing::{Completion, FifoServer, PsServer, Server};
+use simcore::Scheduler;
 
 /// A multi-node discrete-event run over a [`crate::Topology`].
 ///
@@ -65,6 +66,9 @@ pub(crate) struct LinkState {
     server: LinkServer,
     pub bytes_carried: f64,
     pub jobs_completed: u64,
+    /// Server revision last mirrored into the scheduler (see
+    /// [`LinkState::sync_timer`]).
+    synced_rev: u64,
 }
 
 enum LinkServer {
@@ -78,7 +82,7 @@ impl LinkState {
             crate::Discipline::ProcessorSharing => LinkServer::Ps(PsServer::new(link.bandwidth)),
             crate::Discipline::Fifo => LinkServer::Fifo(FifoServer::new(link.bandwidth)),
         };
-        LinkState { server, bytes_carried: 0.0, jobs_completed: 0 }
+        LinkState { server, bytes_carried: 0.0, jobs_completed: 0, synced_rev: 0 }
     }
 
     pub fn arrive(&mut self, t: f64, work: f64, job: u64) {
@@ -110,18 +114,25 @@ impl LinkState {
             LinkServer::Fifo(s) => s.busy_time(),
         }
     }
-}
 
-/// Earliest pending event over a set of links: `(time, link_index)`,
-/// lowest index first on ties.
-pub(crate) fn earliest_link_event(links: &[LinkState]) -> Option<(f64, usize)> {
-    let mut best: Option<(f64, usize)> = None;
-    for (i, l) in links.iter().enumerate() {
-        if let Some(t) = l.next_event() {
-            if best.is_none_or(|(bt, _)| t < bt) {
-                best = Some((t, i));
-            }
+    /// The server's next-event revision (see [`queueing::Server::revision`]).
+    pub fn revision(&self) -> u64 {
+        match &self.server {
+            LinkServer::Ps(s) => s.revision(),
+            LinkServer::Fifo(s) => s.revision(),
         }
     }
-    best
+
+    /// Mirrors this link's next departure into the indexed scheduler under
+    /// `key`. A no-op when the server revision has not moved since the last
+    /// sync, so re-syncing after every touched event costs nothing when
+    /// the deadline is unchanged.
+    pub fn sync_timer(&mut self, sched: &mut Scheduler, key: usize) {
+        let rev = self.revision();
+        if rev == self.synced_rev {
+            return;
+        }
+        self.synced_rev = rev;
+        sched.sync(key, self.next_event());
+    }
 }

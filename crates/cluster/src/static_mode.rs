@@ -8,12 +8,18 @@
 //! topology the event sequence — and therefore every measured number — is
 //! *identical* to `netsim::parametric::run` at the same seed; that parity
 //! is pinned by a test against 1e-6.
+//!
+//! Like the closed loop, the module is an [`Engine`] (state + one handler
+//! per event kind) plus the indexed-scheduler driver ([`run`]); the
+//! retired O(links + proxies) scan driver lives in [`crate::legacy`] and
+//! is pinned identical by the engine-parity tests.
 
 use crate::report::{ClusterReport, LinkReport, NodeReport};
-use crate::sim::{earliest_link_event, proxy_seed, LinkState};
+use crate::sim::{proxy_seed, LinkState};
 use crate::{StaticWorkload, Topology};
 use simcore::rng::Rng;
 use simcore::stats::{BatchMeans, Welford};
+use simcore::Scheduler;
 use std::collections::HashMap;
 
 #[derive(Clone, Copy)]
@@ -51,6 +57,274 @@ struct ProxyState {
     prefetch_bytes: f64,
 }
 
+/// Open-loop simulation state plus one handler per event kind; drivers
+/// own only event selection (see the closed-loop twin for the rationale).
+pub(crate) struct Engine<'a> {
+    topology: &'a Topology,
+    w: &'a StaticWorkload<'a>,
+    n_shards: u64,
+    pub(crate) links: Vec<LinkState>,
+    proxies: Vec<ProxyState>,
+    jobs: HashMap<u64, Job>,
+    next_job_id: u64,
+    t_end: f64,
+    warm: u64,
+    n_requests: u64,
+    /// Links touched since the driver last re-synced timers.
+    pub(crate) dirty_links: Vec<usize>,
+}
+
+impl<'a> Engine<'a> {
+    pub(crate) fn new(
+        topology: &'a Topology,
+        w: &'a StaticWorkload<'a>,
+        requests: usize,
+        warmup: usize,
+        seed: u64,
+    ) -> Self {
+        let links: Vec<LinkState> = topology.links().iter().map(LinkState::new).collect();
+        let proxies: Vec<ProxyState> = w
+            .proxies
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                // Draw order matches netsim::parametric::run exactly: split
+                // the prefetch stream first, then the first inter-arrival
+                // gaps.
+                let mut rng = Rng::new(proxy_seed(seed, i));
+                let prefetch_rate = p.n_f * p.lambda;
+                let mut prefetch_rng = rng.split();
+                let next_request_t = rng.exp(p.lambda);
+                let next_prefetch_t = if prefetch_rate > 0.0 {
+                    prefetch_rng.exp(prefetch_rate)
+                } else {
+                    f64::INFINITY
+                };
+                ProxyState {
+                    rng,
+                    prefetch_rng,
+                    h: (p.h_prime + p.n_f * p.p).min(1.0),
+                    lambda: p.lambda,
+                    prefetch_rate,
+                    next_request_t,
+                    next_prefetch_t,
+                    issued: 0,
+                    in_window: false,
+                    access_times: BatchMeans::new(20),
+                    retrievals: Welford::new(),
+                    hits: 0,
+                    total_job_time: 0.0,
+                    prefetch_jobs: 0,
+                    demand_bytes: 0.0,
+                    prefetch_bytes: 0.0,
+                }
+            })
+            .collect();
+
+        Engine {
+            topology,
+            w,
+            n_shards: topology.n_shards() as u64,
+            links,
+            proxies,
+            jobs: HashMap::new(),
+            next_job_id: 0,
+            t_end: 0.0,
+            warm: warmup as u64,
+            n_requests: requests as u64,
+            dirty_links: Vec::new(),
+        }
+    }
+
+    pub(crate) fn n_proxies(&self) -> usize {
+        self.proxies.len()
+    }
+
+    /// When proxy `i`'s next request arrives, while its stream is live.
+    pub(crate) fn request_due(&self, i: usize) -> Option<f64> {
+        let p = &self.proxies[i];
+        (p.issued < self.n_requests).then_some(p.next_request_t)
+    }
+
+    /// When proxy `i`'s next Poissonised prefetch fires. The prefetch
+    /// stream of a proxy stops with its request stream.
+    pub(crate) fn prefetch_due(&self, i: usize) -> Option<f64> {
+        let p = &self.proxies[i];
+        (p.issued < self.n_requests && p.next_prefetch_t.is_finite()).then_some(p.next_prefetch_t)
+    }
+
+    fn launch(&mut self, t: f64, job: Job) {
+        let first = self.topology.route(job.proxy as usize, job.shard as usize)[0];
+        let id = self.next_job_id;
+        self.next_job_id += 1;
+        self.jobs.insert(id, job);
+        self.links[first].arrive(t, job.size, id);
+        self.dirty_links.push(first);
+    }
+
+    /// A link departure event on link `l` at time `t`.
+    pub(crate) fn on_link(&mut self, t: f64, l: usize) {
+        self.t_end = t;
+        self.dirty_links.push(l);
+        for c in self.links[l].on_event(t) {
+            let job = self.jobs[&c.tag];
+            self.links[l].bytes_carried += job.size;
+            let route = self.topology.route(job.proxy as usize, job.shard as usize);
+            if job.hop + 1 < route.len() {
+                // Tandem hop: forward to the next link unchanged.
+                let mut fwd = job;
+                fwd.hop += 1;
+                self.jobs.insert(c.tag, fwd);
+                self.links[route[fwd.hop]].arrive(t, fwd.size, c.tag);
+                self.dirty_links.push(route[fwd.hop]);
+            } else {
+                self.jobs.remove(&c.tag);
+                let sojourn = t - job.issued;
+                let p = &mut self.proxies[job.proxy as usize];
+                match job.kind {
+                    JobKind::Demand { measured } => {
+                        if measured {
+                            p.access_times.push(sojourn);
+                            p.retrievals.push(sojourn);
+                            p.total_job_time += sojourn;
+                        }
+                    }
+                    JobKind::Prefetch { measured } => {
+                        if measured {
+                            p.total_job_time += sojourn;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The next user request of proxy `i`.
+    pub(crate) fn on_request(&mut self, i: usize) {
+        let n_shards = self.n_shards;
+        let p = &mut self.proxies[i];
+        let t = p.next_request_t;
+        self.t_end = t;
+        let idx = p.issued;
+        p.issued += 1;
+        p.in_window = idx >= self.warm;
+        if p.rng.chance(p.h) {
+            if p.in_window {
+                p.access_times.push(0.0);
+                p.hits += 1;
+            }
+            p.next_request_t = t + p.rng.exp(p.lambda);
+        } else {
+            let size = self.w.size_dist.sample(&mut p.rng);
+            let shard = if n_shards > 1 { p.rng.below(n_shards) } else { 0 };
+            p.demand_bytes += size;
+            let measured = p.in_window;
+            p.next_request_t = t + p.rng.exp(p.lambda);
+            self.launch(
+                t,
+                Job {
+                    proxy: i as u32,
+                    shard: shard as u32,
+                    hop: 0,
+                    size,
+                    issued: t,
+                    kind: JobKind::Demand { measured },
+                },
+            );
+        }
+    }
+
+    /// The next Poissonised prefetch of proxy `i`.
+    pub(crate) fn on_prefetch(&mut self, i: usize) {
+        let n_shards = self.n_shards;
+        let p = &mut self.proxies[i];
+        let t = p.next_prefetch_t;
+        self.t_end = t;
+        let size = self.w.size_dist.sample(&mut p.prefetch_rng);
+        let shard = if n_shards > 1 { p.prefetch_rng.below(n_shards) } else { 0 };
+        p.prefetch_jobs += 1;
+        p.prefetch_bytes += size;
+        let measured = p.in_window;
+        p.next_prefetch_t = t + p.prefetch_rng.exp(p.prefetch_rate);
+        self.launch(
+            t,
+            Job {
+                proxy: i as u32,
+                shard: shard as u32,
+                hop: 0,
+                size,
+                issued: t,
+                kind: JobKind::Prefetch { measured },
+            },
+        );
+    }
+
+    pub(crate) fn into_report(self) -> ClusterReport {
+        let measured = self.n_requests - self.warm;
+        let n_requests = self.n_requests;
+        let nodes: Vec<NodeReport> = self
+            .proxies
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let (mean_access, ci) = p.access_times.mean_ci();
+                NodeReport {
+                    proxy: i,
+                    measured_requests: measured,
+                    hit_ratio: p.hits as f64 / measured as f64,
+                    mean_access_time: mean_access,
+                    access_time_ci95: ci,
+                    mean_retrieval_time: p.retrievals.mean(),
+                    retrieval_per_request: p.total_job_time / measured as f64,
+                    prefetches_per_request: p.prefetch_jobs as f64 / n_requests as f64,
+                    goodput_bytes: None,
+                    badput_bytes: None,
+                    demand_bytes: p.demand_bytes,
+                    peer_bytes: None,
+                    peer_fetches: None,
+                    peer_false_hits: None,
+                    mean_threshold: None,
+                    rho_prime_estimate: None,
+                    h_prime_estimate: None,
+                }
+            })
+            .collect();
+
+        let t_end = self.t_end;
+        let link_reports: Vec<LinkReport> = self
+            .topology
+            .links()
+            .iter()
+            .zip(&self.links)
+            .map(|(spec, state)| LinkReport {
+                name: spec.name.clone(),
+                utilisation: if t_end > 0.0 { state.busy_time() / t_end } else { 0.0 },
+                bytes_carried: state.bytes_carried,
+                jobs_completed: state.jobs_completed,
+            })
+            .collect();
+
+        let total_measured: u64 = measured * self.proxies.len() as u64;
+        let mean_access_time =
+            nodes.iter().map(|n| n.mean_access_time * n.measured_requests as f64).sum::<f64>()
+                / total_measured as f64;
+        let total_bytes: f64 = self.proxies.iter().map(|p| p.demand_bytes + p.prefetch_bytes).sum();
+
+        ClusterReport {
+            nodes,
+            links: link_reports,
+            mean_access_time,
+            bytes_per_request: total_bytes / (n_requests * self.proxies.len() as u64) as f64,
+            duration: t_end,
+            coop: None,
+        }
+    }
+}
+
+/// Runs the open loop on the indexed event scheduler. Timer-key layout as
+/// in the closed loop: `[0, L)` links, `[L, L+P)` requests, `[L+P, L+2P)`
+/// prefetch streams — ascending-key tie order reproduces the engine's
+/// historical link < request < prefetch precedence.
 pub(crate) fn run(
     topology: &Topology,
     w: &StaticWorkload<'_>,
@@ -58,230 +332,39 @@ pub(crate) fn run(
     warmup: usize,
     seed: u64,
 ) -> ClusterReport {
-    let n_shards = topology.n_shards() as u64;
-    let mut links: Vec<LinkState> = topology.links().iter().map(LinkState::new).collect();
+    let mut eng = Engine::new(topology, w, requests, warmup, seed);
+    let n_links = eng.links.len();
+    let n_proxies = eng.n_proxies();
+    let req_key = n_links;
+    let pre_key = n_links + n_proxies;
+    let mut sched = Scheduler::with_timers(n_links + 2 * n_proxies);
 
-    let mut proxies: Vec<ProxyState> = w
-        .proxies
-        .iter()
-        .enumerate()
-        .map(|(i, p)| {
-            // Draw order matches netsim::parametric::run exactly: split the
-            // prefetch stream first, then the first inter-arrival gaps.
-            let mut rng = Rng::new(proxy_seed(seed, i));
-            let prefetch_rate = p.n_f * p.lambda;
-            let mut prefetch_rng = rng.split();
-            let next_request_t = rng.exp(p.lambda);
-            let next_prefetch_t =
-                if prefetch_rate > 0.0 { prefetch_rng.exp(prefetch_rate) } else { f64::INFINITY };
-            ProxyState {
-                rng,
-                prefetch_rng,
-                h: (p.h_prime + p.n_f * p.p).min(1.0),
-                lambda: p.lambda,
-                prefetch_rate,
-                next_request_t,
-                next_prefetch_t,
-                issued: 0,
-                in_window: false,
-                access_times: BatchMeans::new(20),
-                retrievals: Welford::new(),
-                hits: 0,
-                total_job_time: 0.0,
-                prefetch_jobs: 0,
-                demand_bytes: 0.0,
-                prefetch_bytes: 0.0,
-            }
-        })
-        .collect();
-
-    let warm = warmup as u64;
-    let n_requests = requests as u64;
-    let mut jobs: HashMap<u64, Job> = HashMap::new();
-    let mut next_job_id: u64 = 0;
-    let mut t_end = 0.0;
-
-    enum Ev {
-        Link(f64, usize),
-        Request(usize),
-        Prefetch(usize),
+    for i in 0..n_proxies {
+        if let Some(t) = eng.request_due(i) {
+            sched.schedule(req_key + i, t);
+        }
+        if let Some(t) = eng.prefetch_due(i) {
+            sched.schedule(pre_key + i, t);
+        }
     }
 
-    loop {
-        let link_ev = earliest_link_event(&links);
-        // Earliest request / prefetch over proxies still issuing; the
-        // prefetch stream of a proxy stops with its request stream.
-        let mut req: Option<(f64, usize)> = None;
-        let mut pre: Option<(f64, usize)> = None;
-        for (i, p) in proxies.iter().enumerate() {
-            if p.issued < n_requests {
-                if req.is_none_or(|(t, _)| p.next_request_t < t) {
-                    req = Some((p.next_request_t, i));
-                }
-                if p.next_prefetch_t.is_finite() && pre.is_none_or(|(t, _)| p.next_prefetch_t < t) {
-                    pre = Some((p.next_prefetch_t, i));
-                }
-            }
-        }
-
-        let ts = link_ev.map_or(f64::INFINITY, |(t, _)| t);
-        let tr = req.map_or(f64::INFINITY, |(t, _)| t);
-        let tp = pre.map_or(f64::INFINITY, |(t, _)| t);
-        // Tie-break order (links, then requests, then prefetches) mirrors
-        // the parametric simulator.
-        let ev = if ts.is_infinite() && tr.is_infinite() && tp.is_infinite() {
-            break;
-        } else if ts <= tr && ts <= tp {
-            let (t, l) = link_ev.expect("link event");
-            Ev::Link(t, l)
-        } else if tr <= tp {
-            Ev::Request(req.expect("request event").1)
+    while let Some((t, key)) = sched.pop() {
+        if key < n_links {
+            eng.on_link(t, key);
+        } else if key < pre_key {
+            let i = key - req_key;
+            eng.on_request(i);
+            sched.sync(req_key + i, eng.request_due(i));
+            // The final request shuts the proxy's prefetch stream down.
+            sched.sync(pre_key + i, eng.prefetch_due(i));
         } else {
-            Ev::Prefetch(pre.expect("prefetch event").1)
-        };
-
-        match ev {
-            Ev::Link(t, l) => {
-                t_end = t;
-                for c in links[l].on_event(t) {
-                    let job = jobs[&c.tag];
-                    links[l].bytes_carried += job.size;
-                    let route = topology.route(job.proxy as usize, job.shard as usize);
-                    if job.hop + 1 < route.len() {
-                        // Tandem hop: forward to the next link unchanged.
-                        let mut fwd = job;
-                        fwd.hop += 1;
-                        jobs.insert(c.tag, fwd);
-                        links[route[fwd.hop]].arrive(t, fwd.size, c.tag);
-                    } else {
-                        jobs.remove(&c.tag);
-                        let sojourn = t - job.issued;
-                        let p = &mut proxies[job.proxy as usize];
-                        match job.kind {
-                            JobKind::Demand { measured } => {
-                                if measured {
-                                    p.access_times.push(sojourn);
-                                    p.retrievals.push(sojourn);
-                                    p.total_job_time += sojourn;
-                                }
-                            }
-                            JobKind::Prefetch { measured } => {
-                                if measured {
-                                    p.total_job_time += sojourn;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            Ev::Request(i) => {
-                let p = &mut proxies[i];
-                let t = p.next_request_t;
-                t_end = t;
-                let idx = p.issued;
-                p.issued += 1;
-                p.in_window = idx >= warm;
-                if p.rng.chance(p.h) {
-                    if p.in_window {
-                        p.access_times.push(0.0);
-                        p.hits += 1;
-                    }
-                } else {
-                    let size = w.size_dist.sample(&mut p.rng);
-                    let shard = if n_shards > 1 { p.rng.below(n_shards) } else { 0 };
-                    p.demand_bytes += size;
-                    let job = Job {
-                        proxy: i as u32,
-                        shard: shard as u32,
-                        hop: 0,
-                        size,
-                        issued: t,
-                        kind: JobKind::Demand { measured: p.in_window },
-                    };
-                    let id = next_job_id;
-                    next_job_id += 1;
-                    jobs.insert(id, job);
-                    links[topology.route(i, shard as usize)[0]].arrive(t, size, id);
-                }
-                p.next_request_t = t + p.rng.exp(p.lambda);
-            }
-            Ev::Prefetch(i) => {
-                let p = &mut proxies[i];
-                let t = p.next_prefetch_t;
-                t_end = t;
-                let size = w.size_dist.sample(&mut p.prefetch_rng);
-                let shard = if n_shards > 1 { p.prefetch_rng.below(n_shards) } else { 0 };
-                p.prefetch_jobs += 1;
-                p.prefetch_bytes += size;
-                let job = Job {
-                    proxy: i as u32,
-                    shard: shard as u32,
-                    hop: 0,
-                    size,
-                    issued: t,
-                    kind: JobKind::Prefetch { measured: p.in_window },
-                };
-                let id = next_job_id;
-                next_job_id += 1;
-                jobs.insert(id, job);
-                links[topology.route(i, shard as usize)[0]].arrive(t, size, id);
-                p.next_prefetch_t = t + p.prefetch_rng.exp(p.prefetch_rate);
-            }
+            let i = key - pre_key;
+            eng.on_prefetch(i);
+            sched.sync(pre_key + i, eng.prefetch_due(i));
+        }
+        while let Some(l) = eng.dirty_links.pop() {
+            eng.links[l].sync_timer(&mut sched, l);
         }
     }
-
-    let measured = n_requests - warm;
-    let nodes: Vec<NodeReport> = proxies
-        .iter()
-        .enumerate()
-        .map(|(i, p)| {
-            let (mean_access, ci) = p.access_times.mean_ci();
-            NodeReport {
-                proxy: i,
-                measured_requests: measured,
-                hit_ratio: p.hits as f64 / measured as f64,
-                mean_access_time: mean_access,
-                access_time_ci95: ci,
-                mean_retrieval_time: p.retrievals.mean(),
-                retrieval_per_request: p.total_job_time / measured as f64,
-                prefetches_per_request: p.prefetch_jobs as f64 / n_requests as f64,
-                goodput_bytes: None,
-                badput_bytes: None,
-                demand_bytes: p.demand_bytes,
-                peer_bytes: None,
-                peer_fetches: None,
-                peer_false_hits: None,
-                mean_threshold: None,
-                rho_prime_estimate: None,
-                h_prime_estimate: None,
-            }
-        })
-        .collect();
-
-    let link_reports: Vec<LinkReport> = topology
-        .links()
-        .iter()
-        .zip(&links)
-        .map(|(spec, state)| LinkReport {
-            name: spec.name.clone(),
-            utilisation: if t_end > 0.0 { state.busy_time() / t_end } else { 0.0 },
-            bytes_carried: state.bytes_carried,
-            jobs_completed: state.jobs_completed,
-        })
-        .collect();
-
-    let total_measured: u64 = measured * proxies.len() as u64;
-    let mean_access_time =
-        nodes.iter().map(|n| n.mean_access_time * n.measured_requests as f64).sum::<f64>()
-            / total_measured as f64;
-    let total_bytes: f64 = proxies.iter().map(|p| p.demand_bytes + p.prefetch_bytes).sum();
-
-    ClusterReport {
-        nodes,
-        links: link_reports,
-        mean_access_time,
-        bytes_per_request: total_bytes / (n_requests * proxies.len() as u64) as f64,
-        duration: t_end,
-        coop: None,
-    }
+    eng.into_report()
 }

@@ -75,10 +75,16 @@ impl Router {
         t >= self.next_refresh
     }
 
+    /// The next epoch boundary a refresh is scheduled for. Boundaries sit
+    /// on the fixed grid `k · epoch`, so an event-driven host can arm a
+    /// timer here and fire [`Router::refresh`] exactly on the grid.
+    pub fn next_refresh(&self) -> f64 {
+        self.next_refresh
+    }
+
     /// Rebuilds every proxy's digest from `contents(proxy)` and feeds the
     /// per-proxy load estimates to the placement policy. Call when
-    /// [`Router::refresh_due`]; the next refresh is scheduled one epoch
-    /// after `t`.
+    /// [`Router::refresh_due`]; the next refresh stays on the epoch grid.
     pub fn refresh(&mut self, t: f64, contents: impl Fn(usize) -> Vec<u64>, loads: &[f64]) {
         for (proxy, digest) in self.digests.iter_mut().enumerate() {
             digest.clear();
@@ -88,7 +94,14 @@ impl Router {
         }
         self.placement.observe_load(loads);
         self.epochs += 1;
-        self.next_refresh = t + self.epoch;
+        // Advance along the epoch grid rather than rescheduling from `t`:
+        // `t + epoch` inherits the overshoot of whatever event straddled
+        // the boundary, so under sparse traffic every epoch would start a
+        // little later than the last (the digest-epoch drift bug). A host
+        // that calls late skips the boundaries it already missed.
+        while self.next_refresh <= t {
+            self.next_refresh += self.epoch;
+        }
     }
 
     /// Resolves a miss/prefetch for `key` at proxy `me`.
@@ -175,6 +188,25 @@ mod tests {
         assert!(!r.refresh_due(9.0));
         assert!(r.refresh_due(10.0));
         assert_eq!(r.stats().digest_epochs, 1);
+    }
+
+    #[test]
+    fn refresh_stays_on_the_epoch_grid() {
+        // Default epoch is 5. A refresh handled *late* (t = 7.3, because
+        // the triggering event straddled the t = 5 boundary) must still
+        // schedule the next boundary at 10, not at 12.3 — epochs may not
+        // drift with traffic.
+        let mut r = router(2);
+        assert_eq!(r.next_refresh(), 5.0);
+        r.refresh(7.3, |_| vec![], &[0.0; 2]);
+        assert_eq!(r.next_refresh(), 10.0);
+        // Called exactly on the grid, it advances exactly one epoch.
+        r.refresh(10.0, |_| vec![], &[0.0; 2]);
+        assert_eq!(r.next_refresh(), 15.0);
+        // A host that slept through several boundaries skips them rather
+        // than firing a burst of catch-up refreshes.
+        r.refresh(31.0, |_| vec![], &[0.0; 2]);
+        assert_eq!(r.next_refresh(), 35.0);
     }
 
     #[test]

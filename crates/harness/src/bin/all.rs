@@ -1,4 +1,4 @@
-//! Runs every experiment (E1–E10) and writes the reports under `results/`.
+//! Runs every experiment (E1–E15) and writes the reports under `results/`.
 //!
 //! ```text
 //! cargo run --release -p harness --bin all
@@ -27,6 +27,7 @@ fn main() -> std::io::Result<()> {
         ("e12_caches", harness::experiments::e12_caches::render),
         ("e13_cluster", harness::experiments::e13_cluster::render),
         ("e14_coop", harness::experiments::e14_coop::render),
+        ("e15_scale", harness::experiments::e15_scale::render),
     ];
     for (name, render) in experiments {
         let start = Instant::now();

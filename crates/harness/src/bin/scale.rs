@@ -1,0 +1,18 @@
+//! Regenerates the report of experiment `e15_scale`: the cluster scale
+//! sweep over 64/128/256-proxy peer meshes on the indexed event
+//! scheduler.
+//!
+//! Pass `--smoke` for the reduced request budget CI uses to keep the
+//! 256-proxy path from rotting.
+
+use harness::experiments::e15_scale;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let report = if smoke {
+        e15_scale::render_with(e15_scale::SMOKE_TOTAL_REQUESTS)
+    } else {
+        e15_scale::render()
+    };
+    print!("{report}");
+}

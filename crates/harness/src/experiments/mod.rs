@@ -1,4 +1,4 @@
-//! The experiment implementations (E1–E13). Each module exposes a
+//! The experiment implementations (E1–E15). Each module exposes a
 //! `render()` returning the full plain-text report, plus structured data
 //! functions used by the integration tests and benches.
 
@@ -7,6 +7,7 @@ pub mod e11_wireless;
 pub mod e12_caches;
 pub mod e13_cluster;
 pub mod e14_coop;
+pub mod e15_scale;
 pub mod e1_fig1;
 pub mod e2_fig2;
 pub mod e3_fig3;

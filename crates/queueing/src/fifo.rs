@@ -20,16 +20,25 @@ pub struct FifoServer<T> {
     /// Completion time of the job in service (the queue head).
     head_done: Option<f64>,
     busy: f64,
+    revision: u64,
 }
 
 impl<T> FifoServer<T> {
     pub fn new(capacity: f64) -> Self {
         assert!(capacity > 0.0);
-        FifoServer { capacity, tnow: 0.0, queue: VecDeque::new(), head_done: None, busy: 0.0 }
+        FifoServer {
+            capacity,
+            tnow: 0.0,
+            queue: VecDeque::new(),
+            head_done: None,
+            busy: 0.0,
+            revision: 0,
+        }
     }
 
     fn start_head(&mut self) {
         self.head_done = self.queue.front().map(|job| self.tnow + job.work / self.capacity);
+        self.revision += 1;
     }
 }
 
@@ -64,6 +73,12 @@ impl<T> Server<T> for FifoServer<T> {
 
     fn busy_time(&self) -> f64 {
         self.busy
+    }
+
+    /// Only moves when the head (and therefore `next_event`) changes: an
+    /// arrival that joins a busy queue leaves the revision alone.
+    fn revision(&self) -> u64 {
+        self.revision
     }
 }
 
@@ -120,6 +135,20 @@ mod tests {
         let out = run(1.0, &[(0.0, 1.0), (10.0, 1.0)]);
         assert!((out[0].1 - 1.0).abs() < 1e-9);
         assert!((out[1].1 - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn revision_only_moves_when_next_event_changes() {
+        let mut server = FifoServer::new(1.0);
+        let r0 = server.revision();
+        server.arrive(0.0, 2.0, 0usize);
+        let r1 = server.revision();
+        assert!(r1 > r0, "first arrival starts the head");
+        server.arrive(0.5, 1.0, 1usize);
+        assert_eq!(server.revision(), r1, "joining a busy queue leaves next_event alone");
+        let t = server.next_event().unwrap();
+        server.on_event(t);
+        assert!(server.revision() > r1, "a departure starts the next head");
     }
 
     #[test]

@@ -71,4 +71,13 @@ pub trait Server<T> {
 
     /// Total busy time (at least one job present) up to the last update.
     fn busy_time(&self) -> f64;
+
+    /// Monotone generation counter that moves every time the answer of
+    /// [`Server::next_event`] may have changed (an arrival that reshuffles
+    /// departure times, a processed event, a capacity change). Owners that
+    /// mirror the server into an indexed scheduler (`simcore::sched`)
+    /// re-arm its timer only when the revision moved, so arrivals that
+    /// leave the next departure untouched (e.g. joining a busy FIFO queue)
+    /// cost no heap churn.
+    fn revision(&self) -> u64;
 }

@@ -67,6 +67,7 @@ pub struct PsServer<T> {
     busy: f64,
     work_done: f64,
     in_system: TimeWeighted,
+    revision: u64,
 }
 
 impl<T> PsServer<T> {
@@ -84,6 +85,7 @@ impl<T> PsServer<T> {
             busy: 0.0,
             work_done: 0.0,
             in_system: TimeWeighted::new(),
+            revision: 0,
         }
     }
 
@@ -101,6 +103,7 @@ impl<T> PsServer<T> {
         assert!(capacity > 0.0, "capacity must stay positive");
         self.advance_clock(t);
         self.capacity = capacity;
+        self.revision += 1;
     }
 
     /// Cumulative work completed (units).
@@ -163,6 +166,8 @@ impl<T> Server<T> for PsServer<T> {
         self.next_seq += 1;
         self.heap.push(PsEntry { finish_v: self.vnow + work, seq, slot });
         self.in_system.set(t, self.heap.len() as f64);
+        // Every arrival changes the sharing rate, so every departure moves.
+        self.revision += 1;
     }
 
     fn next_event(&self) -> Option<f64> {
@@ -192,6 +197,7 @@ impl<T> Server<T> for PsServer<T> {
             }
         }
         self.in_system.set(t, self.heap.len() as f64);
+        self.revision += 1;
         out
     }
 
@@ -201,6 +207,10 @@ impl<T> Server<T> for PsServer<T> {
 
     fn busy_time(&self) -> f64 {
         self.busy
+    }
+
+    fn revision(&self) -> u64 {
+        self.revision
     }
 }
 
@@ -374,6 +384,23 @@ mod tests {
         server.set_capacity(1.0, 9.0); // 9 units left? no: 1 done, 9 left at rate 9
         let t = server.next_event().unwrap();
         assert!((t - 2.0).abs() < 1e-9, "departure {t}");
+    }
+
+    #[test]
+    fn every_arrival_moves_the_revision() {
+        // PS resharing shifts every departure on each arrival, so the
+        // revision must move every time.
+        let mut server = PsServer::new(1.0);
+        let r0 = server.revision();
+        server.arrive(0.0, 2.0, 0usize);
+        let r1 = server.revision();
+        assert!(r1 > r0);
+        server.arrive(0.5, 1.0, 1usize);
+        let r2 = server.revision();
+        assert!(r2 > r1, "a second arrival reshuffles departures");
+        let t = server.next_event().unwrap();
+        server.on_event(t);
+        assert!(server.revision() > r2);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub struct RrServer<T> {
     /// Work that the current slice will deliver.
     slice_work: f64,
     busy: f64,
+    revision: u64,
 }
 
 impl<T> RrServer<T> {
@@ -40,6 +41,7 @@ impl<T> RrServer<T> {
             slice_end: None,
             slice_work: 0.0,
             busy: 0.0,
+            revision: 0,
         }
     }
 
@@ -52,6 +54,7 @@ impl<T> RrServer<T> {
             self.slice_end = None;
             self.slice_work = 0.0;
         }
+        self.revision += 1;
     }
 }
 
@@ -93,6 +96,12 @@ impl<T> Server<T> for RrServer<T> {
 
     fn busy_time(&self) -> f64 {
         self.busy
+    }
+
+    /// Moves whenever a slice starts or the server drains — an arrival
+    /// behind a running slice does not disturb the next event.
+    fn revision(&self) -> u64 {
+        self.revision
     }
 }
 

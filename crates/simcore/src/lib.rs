@@ -13,6 +13,11 @@
 //!   exists.
 //! * [`event`] — a binary-heap event calendar with stable FIFO tie-breaking
 //!   and O(1) cancellation tokens.
+//! * [`sched`] — an indexed event scheduler ([`sched::Scheduler`]): a
+//!   binary-heap timer wheel over a fixed key space with generation-stamped
+//!   entries, so re-arming or cancelling a timer stream is O(log n)/O(1)
+//!   with lazy invalidation — the core the multi-node `cluster` engines
+//!   run on.
 //! * [`engine`] — the event loop ([`Engine`]) that owns the calendar and the
 //!   virtual clock.
 //! * [`stats`] — streaming statistics: Welford moments, time-weighted
@@ -44,6 +49,7 @@ pub mod engine;
 pub mod event;
 pub mod par;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod time;
 
@@ -51,6 +57,7 @@ pub use dist::Sample;
 pub use engine::Engine;
 pub use event::EventToken;
 pub use rng::Rng;
+pub use sched::Scheduler;
 pub use stats::{BatchMeans, Histogram, TimeWeighted, Welford};
 pub use time::SimTime;
 
@@ -60,6 +67,7 @@ pub mod prelude {
     pub use crate::engine::Engine;
     pub use crate::event::EventToken;
     pub use crate::rng::Rng;
+    pub use crate::sched::Scheduler;
     pub use crate::stats::{BatchMeans, Histogram, TimeWeighted, Welford};
     pub use crate::time::SimTime;
 }

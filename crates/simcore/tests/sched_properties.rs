@@ -1,0 +1,100 @@
+//! Property tests for the indexed event scheduler: under arbitrary
+//! interleavings of arm / re-arm / cancel / pop, events fire in
+//! nondecreasing time with a stable ascending-key tie order, and every
+//! fired event matches the *latest* deadline its key was armed with.
+
+use proptest::prelude::*;
+use simcore::sched::Scheduler;
+
+/// One scripted operation against the scheduler.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Schedule { key: usize, t: f64 },
+    Cancel { key: usize },
+    Pop,
+}
+
+fn op_strategy(n_keys: usize) -> impl Strategy<Value = Op> {
+    // Discriminant-weighted mix: mostly arms, some pops, a few cancels.
+    (0u32..7, 0..n_keys, 0.0..1_000.0f64).prop_map(|(kind, key, t)| match kind {
+        0..=3 => Op::Schedule { key, t },
+        4 => Op::Cancel { key },
+        _ => Op::Pop,
+    })
+}
+
+proptest! {
+    /// Replaying any op script against a mirror of "latest deadline per
+    /// key" state: every pop returns exactly the earliest (time, key)
+    /// armed in the mirror, so the full pop sequence is nondecreasing in
+    /// time, ties resolve by ascending key, and stale (superseded or
+    /// cancelled) deadlines never fire.
+    #[test]
+    fn pop_always_returns_the_earliest_live_deadline(
+        ops in proptest::collection::vec(op_strategy(12), 1..400),
+    ) {
+        let mut sched = Scheduler::with_timers(12);
+        let mut mirror: Vec<Option<f64>> = vec![None; 12];
+        for op in ops {
+            match op {
+                Op::Schedule { key, t } => {
+                    sched.schedule(key, t);
+                    mirror[key] = Some(t);
+                }
+                Op::Cancel { key } => {
+                    sched.cancel(key);
+                    mirror[key] = None;
+                }
+                Op::Pop => {
+                    let expected = mirror
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(k, t)| t.map(|t| (t, k)))
+                        .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                    prop_assert_eq!(sched.pop(), expected);
+                    if let Some((_, k)) = expected {
+                        mirror[k] = None;
+                    }
+                }
+            }
+            prop_assert_eq!(sched.len(), mirror.iter().flatten().count());
+        }
+    }
+
+    /// Draining a scheduler after arbitrary arming yields times in
+    /// nondecreasing order with ascending keys on ties — the determinism
+    /// contract the cluster engines' event ordering rests on.
+    #[test]
+    fn drain_is_sorted_by_time_then_key(
+        arms in proptest::collection::vec((0usize..32, 0.0..100.0f64), 1..200),
+    ) {
+        let mut sched = Scheduler::with_timers(32);
+        for &(key, t) in &arms {
+            sched.schedule(key, t);
+        }
+        let mut fired = Vec::new();
+        while let Some(ev) = sched.pop() {
+            fired.push(ev);
+        }
+        for pair in fired.windows(2) {
+            prop_assert!(
+                pair[0].0 < pair[1].0 || (pair[0].0 == pair[1].0 && pair[0].1 < pair[1].1),
+                "out of order: {:?} before {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+        // Exactly the latest arm per key fired.
+        let mut latest: Vec<Option<f64>> = vec![None; 32];
+        for &(key, t) in &arms {
+            latest[key] = Some(t);
+        }
+        let mut expected: Vec<(f64, usize)> = latest
+            .iter()
+            .enumerate()
+            .filter_map(|(k, t)| t.map(|t| (t, k)))
+            .collect();
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        prop_assert_eq!(fired, expected);
+    }
+}

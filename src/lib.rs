@@ -39,15 +39,15 @@
 //! | Re-export | Crate | Contents |
 //! |-----------|-------|----------|
 //! | [`core`] | `prefetch-core` | the paper's equations: Models A/B/AB, thresholds, `G`, `C`, §4 estimator, adaptive controller |
-//! | [`queueing`] | `queueing` | M/G/1-PS theory + PS/RR/FIFO server simulations |
-//! | [`simcore`] | `simcore` | DES engine, PRNG, distributions, statistics |
+//! | [`queueing`] | `queueing` | M/G/1-PS theory + PS/RR/FIFO server simulations (with next-event revision counters) |
+//! | [`simcore`] | `simcore` | DES engine, indexed event scheduler (`sched`), PRNG, distributions, statistics |
 //! | [`workload`] | `workload` | catalogs, arrival processes, Markov streams, traces |
 //! | [`cachesim`] | `cachesim` | LRU/LFU/FIFO/CLOCK/random caches + §4 tagging |
 //! | [`predictor`] | `predictor` | Markov/PPM/LZ78/dependency-graph/oracle predictors |
 //! | [`netsim`] | `netsim` | parametric + trace-driven end-to-end simulators |
 //! | [`cluster`] | `cluster` | multi-node network-of-queues simulator (topologies, per-link `ρ`, per-node adaptive control, cooperative mode) |
 //! | [`coop`] | `coop` | cooperative caching: consistent-hash placement, Bloom digests, peer/origin routing |
-//! | [`harness`] | `harness` | experiment reports E1–E14 (figures + validation + cluster + cooperation) |
+//! | [`harness`] | `harness` | experiment reports E1–E15 (figures + validation + cluster + cooperation + scale) |
 //!
 //! ## Scaling out: the `cluster` layer
 //!
@@ -80,6 +80,22 @@
 //! `examples/coop_mesh.rs` show backbone bytes dropping at equal hit
 //! ratio, and a single-proxy cooperative run reproducing plain adaptive
 //! mode to 1e-6.
+//!
+//! ## Scaling the event loop: `simcore::sched`
+//!
+//! Both cluster engines run on [`simcore::sched::Scheduler`], an indexed
+//! event scheduler: a binary-heap timer wheel over a fixed key space —
+//! one timer per link (re-armed from the queueing server's `next_event`
+//! only when its [`queueing::Server::revision`] counter moved), one
+//! request-arrival and one pending-prefetch timer per proxy, and one
+//! digest-refresh timer pinned to the epoch grid `k · epoch`. Re-arming
+//! bumps the key's generation and stale heap entries are skipped lazily,
+//! so every event costs O(log n) instead of the former O(links + proxies)
+//! scan; simultaneous events fire in ascending key order, which keeps
+//! runs bit-deterministic (pinned by old-vs-new engine parity tests
+//! against the retired scan driver in `cluster::legacy`). Experiment E15
+//! (`cargo run --release --bin scale`) sweeps 64/128/256-proxy peer
+//! meshes — ~32k queueing links at the top end — on that core.
 
 pub use cachesim;
 pub use cluster;

@@ -28,8 +28,14 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        let iterations =
-            std::env::var("BENCH_ITERATIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(10);
+        // `cargo bench -- --test` mirrors real criterion's test mode: run
+        // every benchmark once to prove it still works, skip the timing
+        // loop. CI uses it as a bench smoke step.
+        let iterations = if std::env::args().any(|a| a == "--test") {
+            1
+        } else {
+            std::env::var("BENCH_ITERATIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(10)
+        };
         Criterion { iterations }
     }
 }
