@@ -5,9 +5,10 @@
 
 use bench::{
     small_adaptive_cluster, small_coop_cluster, small_static_cluster, wide_adaptive_cluster,
+    wide_coop_cluster,
 };
 use cluster::ClusterSim;
-use coop::{BloomFilter, CoopConfig, HashRing, Router};
+use coop::{BloomFilter, CoopConfig, DeltaOp, HashRing, RefreshStrategy, Router};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use simcore::dist::Exponential;
 
@@ -45,6 +46,21 @@ fn bench_cluster_event_loop(c: &mut Criterion) {
     g.bench_function("cooperative_mesh_3proxies", |b| {
         b.iter(|| black_box(ClusterSim::new(&coop).run(2)));
     });
+    // Delta refresh vs the full-rebuild oracle, whole-engine: identical
+    // simulations (pinned by the delta-parity suite) differing only in
+    // how the epoch boundary regenerates the advertised digests.
+    for &n in &[16usize, 64] {
+        for (label, strategy) in [
+            ("delta_refresh", RefreshStrategy::Deltas),
+            ("full_rebuild", RefreshStrategy::FullRebuild),
+        ] {
+            let config = wide_coop_cluster(n, 1_000, strategy);
+            g.throughput(Throughput::Elements((config.requests_per_proxy * n) as u64));
+            g.bench_function(format!("{label}_coop_mesh_{n}proxies"), |b| {
+                b.iter(|| black_box(ClusterSim::new(&config).run(2)));
+            });
+        }
+    }
     g.finish();
 }
 
@@ -106,6 +122,56 @@ fn bench_digest_hot_path(c: &mut Criterion) {
             black_box(acc)
         });
     });
+
+    // The refresh paths head-to-head at wide fan-outs: a full rebuild
+    // re-inserts every proxy's whole cache (O(proxies × capacity) per
+    // boundary), the delta path applies only the churn (here 32 ops per
+    // proxy per epoch against 1k-entry caches — the ~3% per-epoch turnover
+    // real summary caches see). One iteration = one epoch boundary.
+    let cache_capacity = 1_024usize;
+    let churn = 32u64;
+    for &n in &[64usize, 256] {
+        let contents: Vec<Vec<u64>> = (0..n as u64)
+            .map(|p| (0..cache_capacity as u64).map(|i| p * 1_000_003 + i * 97).collect())
+            .collect();
+        let loads = vec![0.5; n];
+        g.throughput(Throughput::Elements(n as u64 * cache_capacity as u64));
+        g.bench_function(format!("full_rebuild_refresh_{n}proxies"), |b| {
+            let mut router = Router::new(n, cache_capacity, CoopConfig::default());
+            let mut t = 0.0;
+            b.iter(|| {
+                t += 5.0;
+                router.refresh(t, |p| contents[p].clone(), &loads);
+                black_box(router.stats().digest_epochs)
+            });
+        });
+        g.throughput(Throughput::Elements(n as u64 * churn));
+        g.bench_function(format!("delta_refresh_{n}proxies"), |b| {
+            let mut router = Router::new(n, cache_capacity, CoopConfig::default());
+            // Seed the first churn window so every later epoch's evict ops
+            // have matching inserts (the delta discipline).
+            let key = |p: u64, round: u64, i: u64| p * 1_000_003 + (round * churn + i) % 4_096;
+            let mut deltas: Vec<Vec<DeltaOp>> = (0..n as u64)
+                .map(|p| (0..churn).map(|i| DeltaOp::Insert(key(p, 0, i))).collect())
+                .collect();
+            router.apply_deltas(5.0, &mut deltas, &loads);
+            let mut round = 1u64;
+            b.iter(|| {
+                let t = (round + 1) as f64 * 5.0;
+                let mut deltas: Vec<Vec<DeltaOp>> = (0..n as u64)
+                    .map(|p| {
+                        (0..churn)
+                            .map(|i| DeltaOp::Insert(key(p, round, i)))
+                            .chain((0..churn).map(|i| DeltaOp::Evict(key(p, round - 1, i))))
+                            .collect()
+                    })
+                    .collect();
+                router.apply_deltas(t, &mut deltas, &loads);
+                round += 1;
+                black_box(router.stats().delta_ops)
+            });
+        });
+    }
     g.finish();
 }
 

@@ -66,6 +66,7 @@ pub fn small_closed_loop(n_proxies: usize) -> AdaptiveWorkload {
             .map(|_| SynthWebConfig { lambda: 14.0, link_skew: 0.3, ..SynthWebConfig::default() })
             .collect(),
         cache_capacity: 48,
+        cache_bytes: None,
         max_candidates: 3,
         prefetch_jitter: 0.01,
         policy: ProxyPolicy::Adaptive,
@@ -109,6 +110,33 @@ pub fn small_coop_cluster(n_proxies: usize) -> ClusterConfig<'static> {
         }),
         requests_per_proxy: 8_000,
         warmup_per_proxy: 1_600,
+    }
+}
+
+/// A wide-fabric cooperative cluster pinned to one digest refresh
+/// strategy — the engine-level `delta_refresh_*` vs `full_rebuild_*`
+/// comparison rows. Byte-addressed caches sized so the per-epoch churn
+/// sits in the regime the delta protocol targets.
+pub fn wide_coop_cluster(
+    n_proxies: usize,
+    requests_per_proxy: usize,
+    refresh: coop::RefreshStrategy,
+) -> ClusterConfig<'static> {
+    let mut base = small_closed_loop(n_proxies);
+    base.cache_capacity = 192;
+    base.cache_bytes = Some(160.0);
+    ClusterConfig {
+        topology: Topology::mesh(n_proxies, 50.0, 25.0 * n_proxies as f64, 45.0),
+        workload: Workload::Cooperative(CooperativeWorkload {
+            base,
+            coop: CoopConfig {
+                digest: coop::DigestConfig { epoch: 1.0, bits_per_entry: 10, hashes: 4 },
+                refresh,
+                ..CoopConfig::default()
+            },
+        }),
+        requests_per_proxy,
+        warmup_per_proxy: requests_per_proxy / 5,
     }
 }
 

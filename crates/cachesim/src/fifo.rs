@@ -2,24 +2,68 @@
 //! don't refresh. The cheapest policy and the weakest — used as a baseline
 //! in cache-policy comparisons.
 
-use crate::ReplacementCache;
+use crate::{ByteCapacity, ChargeOutcome, ReplacementCache};
 use core::hash::Hash;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// FIFO cache.
 pub struct FifoCache<K> {
     set: HashSet<K>,
     queue: VecDeque<K>,
     capacity: usize,
+    byte_capacity: f64,
+    sizes: HashMap<K, f64>,
+    used_bytes: f64,
 }
 
 impl<K: Copy + Eq + Hash> FifoCache<K> {
     pub fn new(capacity: usize) -> Self {
+        Self::with_byte_capacity(capacity, f64::INFINITY)
+    }
+
+    /// A FIFO cache bounded by `capacity` entries **and** `byte_capacity`
+    /// bytes: admissions via [`ByteCapacity::charge`] evict in admission
+    /// order until both budgets hold.
+    pub fn with_byte_capacity(capacity: usize, byte_capacity: f64) -> Self {
         assert!(capacity > 0);
+        assert!(byte_capacity > 0.0, "byte capacity must be positive");
         FifoCache {
             set: HashSet::with_capacity(capacity + 1),
             queue: VecDeque::with_capacity(capacity + 1),
             capacity,
+            byte_capacity,
+            sizes: HashMap::new(),
+            used_bytes: 0.0,
+        }
+    }
+
+    /// Evicts the oldest live entry (skipping lazily removed ghosts).
+    fn evict_oldest(&mut self) -> Option<K> {
+        while let Some(victim) = self.queue.pop_front() {
+            if self.set.remove(&victim) {
+                self.used_bytes -= self.sizes.remove(&victim).unwrap_or(0.0);
+                if self.set.is_empty() {
+                    // Kill accumulated f64 residue: an empty cache charges
+                    // exactly zero bytes.
+                    self.used_bytes = 0.0;
+                }
+                return Some(victim);
+            }
+        }
+        None
+    }
+
+    fn note_admit(&mut self, k: K, bytes: f64) {
+        self.set.insert(k);
+        self.queue.push_back(k);
+        if bytes > 0.0 {
+            self.sizes.insert(k, bytes);
+        }
+        self.used_bytes += bytes;
+        // Bound ghost growth from lazy removals.
+        if self.queue.len() > 2 * self.capacity {
+            let set = &self.set;
+            self.queue.retain(|key| set.contains(key));
         }
     }
 }
@@ -47,31 +91,84 @@ impl<K: Copy + Eq + Hash> ReplacementCache<K> for FifoCache<K> {
         }
         let mut evicted = None;
         if self.set.len() == self.capacity {
-            // Skip queue entries already removed via `remove`.
-            while let Some(victim) = self.queue.pop_front() {
-                if self.set.remove(&victim) {
-                    evicted = Some(victim);
-                    break;
-                }
-            }
+            evicted = self.evict_oldest();
         }
-        self.set.insert(k);
-        self.queue.push_back(k);
-        // Bound ghost growth from lazy removals.
-        if self.queue.len() > 2 * self.capacity {
-            let set = &self.set;
-            self.queue.retain(|key| set.contains(key));
-        }
+        self.note_admit(k, 0.0);
         evicted
     }
 
     fn remove(&mut self, k: &K) -> bool {
         // Lazy removal: the queue entry is skipped at eviction time.
-        self.set.remove(k)
+        if self.set.remove(k) {
+            self.used_bytes -= self.sizes.remove(k).unwrap_or(0.0);
+            if self.set.is_empty() {
+                self.used_bytes = 0.0; // see evict_oldest on residue
+            }
+            true
+        } else {
+            false
+        }
     }
 
     fn keys(&self) -> Vec<K> {
         self.set.iter().copied().collect()
+    }
+}
+
+impl<K: Copy + Eq + Hash> ByteCapacity<K> for FifoCache<K> {
+    fn byte_capacity(&self) -> f64 {
+        self.byte_capacity
+    }
+
+    fn used_bytes(&self) -> f64 {
+        self.used_bytes
+    }
+
+    fn entry_bytes(&self, k: &K) -> Option<f64> {
+        self.set.contains(k).then(|| self.sizes.get(k).copied().unwrap_or(0.0))
+    }
+
+    fn charge(&mut self, k: K, bytes: f64) -> ChargeOutcome<K> {
+        assert!(bytes >= 0.0 && bytes.is_finite(), "bad entry size {bytes}");
+        if bytes > self.byte_capacity {
+            let mut evicted = Vec::new();
+            if self.remove(&k) {
+                evicted.push(k);
+            }
+            return ChargeOutcome { admitted: false, evicted };
+        }
+        let mut evicted = Vec::new();
+        if self.set.contains(&k) {
+            // FIFO keeps admission order: re-charging swaps the size only.
+            self.used_bytes += bytes - self.sizes.get(&k).copied().unwrap_or(0.0);
+            if bytes > 0.0 {
+                self.sizes.insert(k, bytes);
+            } else {
+                self.sizes.remove(&k);
+            }
+            // Evict the oldest live entries other than `k` (which fits
+            // alone) without disturbing `k`'s admission position. The
+            // linear victim scan only runs on this exotic re-charge path.
+            while self.used_bytes > self.byte_capacity {
+                let victim = self.queue.iter().copied().find(|c| self.set.contains(c) && *c != k);
+                match victim {
+                    Some(v) => {
+                        self.remove(&v);
+                        evicted.push(v);
+                    }
+                    None => break,
+                }
+            }
+            return ChargeOutcome { admitted: true, evicted };
+        }
+        while self.set.len() == self.capacity || self.used_bytes + bytes > self.byte_capacity {
+            match self.evict_oldest() {
+                Some(v) => evicted.push(v),
+                None => break,
+            }
+        }
+        self.note_admit(k, bytes);
+        ChargeOutcome { admitted: true, evicted }
     }
 }
 

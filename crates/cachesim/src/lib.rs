@@ -16,6 +16,19 @@
 //!
 //! All policies are deterministic data structures (the [`random`] policy
 //! owns a seeded PRNG), so simulations remain reproducible.
+//!
+//! ## Byte-addressed capacity
+//!
+//! The paper's network-load curves are denominated in *bytes*, so caches
+//! that count items misstate occupancy under heterogeneous object sizes.
+//! Policies that also implement [`ByteCapacity`] (LRU, FIFO — and
+//! [`TaggedCache`] over either) carry a second budget in bytes:
+//! [`ByteCapacity::charge`] admits a key with an explicit size and evicts
+//! in policy order until **both** the entry-count and the byte budgets
+//! hold, returning every victim (byte-driven eviction can claim several).
+//! With an unbounded byte budget (the plain constructors) `charge`
+//! reproduces [`ReplacementCache::insert`] exactly, so item-counted
+//! simulations are the degenerate case, not a separate code path.
 
 pub mod clock;
 pub mod fifo;
@@ -73,6 +86,43 @@ pub trait ReplacementCache<K: Copy + Eq + Hash> {
 
     /// Snapshot of the cached keys (order unspecified).
     fn keys(&self) -> Vec<K>;
+}
+
+/// Outcome of a byte-charged admission ([`ByteCapacity::charge`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChargeOutcome<K> {
+    /// Whether `k` resides in the cache after the call. `false` only when
+    /// the entry alone exceeds the byte budget (it is never admitted, and
+    /// a previously cached copy is evicted).
+    pub admitted: bool,
+    /// Keys evicted to make room, in the policy's eviction order.
+    pub evicted: Vec<K>,
+}
+
+/// A cache with a second budget denominated in bytes.
+///
+/// Implementors keep the [`ReplacementCache`] entry-count budget *and* a
+/// byte budget: an admission via [`ByteCapacity::charge`] evicts (in the
+/// policy's usual order) until both hold, so occupancy in bytes never
+/// exceeds [`ByteCapacity::byte_capacity`] — the invariant the byte-
+/// accounting proptests pin. Keys admitted through the size-oblivious
+/// [`ReplacementCache::insert`] are charged zero bytes.
+pub trait ByteCapacity<K: Copy + Eq + Hash>: ReplacementCache<K> {
+    /// Maximum occupancy in bytes (`f64::INFINITY` when unconstrained).
+    fn byte_capacity(&self) -> f64;
+
+    /// Current occupancy in bytes.
+    fn used_bytes(&self) -> f64;
+
+    /// Bytes currently charged for `k`, if cached.
+    fn entry_bytes(&self, k: &K) -> Option<f64>;
+
+    /// Admits `k` charging `bytes`, evicting in policy order until both
+    /// the entry-count and the byte budgets hold. Charging a present key
+    /// refreshes its replacement metadata (like
+    /// [`ReplacementCache::insert`]) and re-charges its size. An entry
+    /// larger than the whole byte budget is rejected, never admitted.
+    fn charge(&mut self, k: K, bytes: f64) -> ChargeOutcome<K>;
 }
 
 #[cfg(test)]

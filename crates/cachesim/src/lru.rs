@@ -4,7 +4,7 @@
 //! index links) tracks recency; a `HashMap` gives O(1) key → node lookup.
 //! No unsafe code, no pointer juggling — indices are the links.
 
-use crate::ReplacementCache;
+use crate::{ByteCapacity, ChargeOutcome, ReplacementCache};
 use core::hash::Hash;
 use std::collections::HashMap;
 
@@ -12,6 +12,7 @@ const NIL: usize = usize::MAX;
 
 struct Node<K> {
     key: K,
+    bytes: f64,
     prev: usize,
     next: usize,
 }
@@ -24,11 +25,21 @@ pub struct LruCache<K> {
     head: usize, // MRU
     tail: usize, // LRU
     capacity: usize,
+    byte_capacity: f64,
+    used_bytes: f64,
 }
 
 impl<K: Copy + Eq + Hash> LruCache<K> {
     pub fn new(capacity: usize) -> Self {
+        Self::with_byte_capacity(capacity, f64::INFINITY)
+    }
+
+    /// An LRU cache bounded by `capacity` entries **and** `byte_capacity`
+    /// bytes: admissions via [`ByteCapacity::charge`] evict from the LRU
+    /// end until both budgets hold.
+    pub fn with_byte_capacity(capacity: usize, byte_capacity: f64) -> Self {
         assert!(capacity > 0, "capacity must be positive");
+        assert!(byte_capacity > 0.0, "byte capacity must be positive");
         LruCache {
             map: HashMap::with_capacity(capacity + 1),
             nodes: Vec::with_capacity(capacity),
@@ -36,7 +47,27 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
             head: NIL,
             tail: NIL,
             capacity,
+            byte_capacity,
+            used_bytes: 0.0,
         }
+    }
+
+    /// Unlinks and frees the LRU entry, returning its key.
+    fn evict_lru(&mut self) -> K {
+        let victim_idx = self.tail;
+        debug_assert!(victim_idx != NIL, "evict_lru on an empty cache");
+        let victim = self.nodes[victim_idx].key;
+        self.used_bytes -= self.nodes[victim_idx].bytes;
+        self.unlink(victim_idx);
+        self.map.remove(&victim);
+        self.free.push(victim_idx);
+        if self.map.is_empty() {
+            // Kill accumulated f64 residue (a + b - b ≠ a): an empty cache
+            // must charge exactly zero bytes, or the eviction loops could
+            // keep "evicting" from nothing.
+            self.used_bytes = 0.0;
+        }
+        victim
     }
 
     fn unlink(&mut self, idx: usize) {
@@ -72,12 +103,12 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
         }
     }
 
-    fn alloc(&mut self, key: K) -> usize {
+    fn alloc(&mut self, key: K, bytes: f64) -> usize {
         if let Some(idx) = self.free.pop() {
-            self.nodes[idx] = Node { key, prev: NIL, next: NIL };
+            self.nodes[idx] = Node { key, bytes, prev: NIL, next: NIL };
             idx
         } else {
-            self.nodes.push(Node { key, prev: NIL, next: NIL });
+            self.nodes.push(Node { key, bytes, prev: NIL, next: NIL });
             self.nodes.len() - 1
         }
     }
@@ -127,14 +158,9 @@ impl<K: Copy + Eq + Hash> ReplacementCache<K> for LruCache<K> {
         }
         let mut evicted = None;
         if self.map.len() == self.capacity {
-            let victim_idx = self.tail;
-            let victim = self.nodes[victim_idx].key;
-            self.unlink(victim_idx);
-            self.map.remove(&victim);
-            self.free.push(victim_idx);
-            evicted = Some(victim);
+            evicted = Some(self.evict_lru());
         }
-        let idx = self.alloc(k);
+        let idx = self.alloc(k, 0.0);
         self.push_front(idx);
         self.map.insert(k, idx);
         evicted
@@ -142,8 +168,12 @@ impl<K: Copy + Eq + Hash> ReplacementCache<K> for LruCache<K> {
 
     fn remove(&mut self, k: &K) -> bool {
         if let Some(idx) = self.map.remove(k) {
+            self.used_bytes -= self.nodes[idx].bytes;
             self.unlink(idx);
             self.free.push(idx);
+            if self.map.is_empty() {
+                self.used_bytes = 0.0; // see evict_lru on residue
+            }
             true
         } else {
             false
@@ -152,6 +182,60 @@ impl<K: Copy + Eq + Hash> ReplacementCache<K> for LruCache<K> {
 
     fn keys(&self) -> Vec<K> {
         self.keys_mru_first()
+    }
+}
+
+impl<K: Copy + Eq + Hash> ByteCapacity<K> for LruCache<K> {
+    fn byte_capacity(&self) -> f64 {
+        self.byte_capacity
+    }
+
+    fn used_bytes(&self) -> f64 {
+        self.used_bytes
+    }
+
+    fn entry_bytes(&self, k: &K) -> Option<f64> {
+        self.map.get(k).map(|&idx| self.nodes[idx].bytes)
+    }
+
+    fn charge(&mut self, k: K, bytes: f64) -> ChargeOutcome<K> {
+        assert!(bytes >= 0.0 && bytes.is_finite(), "bad entry size {bytes}");
+        if bytes > self.byte_capacity {
+            // The entry alone busts the byte budget: never admit it (and
+            // drop any previously cached, smaller copy).
+            let mut evicted = Vec::new();
+            if self.remove(&k) {
+                evicted.push(k);
+            }
+            return ChargeOutcome { admitted: false, evicted };
+        }
+        if let Some(&idx) = self.map.get(&k) {
+            // Re-charge in place: refresh recency, swap the size.
+            self.used_bytes += bytes - self.nodes[idx].bytes;
+            self.nodes[idx].bytes = bytes;
+            self.move_to_front(idx);
+            let mut evicted = Vec::new();
+            // `k` fits alone (checked above), so stop once it is the only
+            // entry left — the guard also keeps f64 residue in the ledger
+            // from "evicting" `k` itself.
+            while self.used_bytes > self.byte_capacity && self.map.len() > 1 {
+                evicted.push(self.evict_lru());
+            }
+            return ChargeOutcome { admitted: true, evicted };
+        }
+        let mut evicted = Vec::new();
+        // The emptiness guard mirrors the FIFO twin: ledger residue must
+        // not drive eviction of nothing.
+        while !self.map.is_empty()
+            && (self.map.len() == self.capacity || self.used_bytes + bytes > self.byte_capacity)
+        {
+            evicted.push(self.evict_lru());
+        }
+        let idx = self.alloc(k, bytes);
+        self.push_front(idx);
+        self.map.insert(k, idx);
+        self.used_bytes += bytes;
+        ChargeOutcome { admitted: true, evicted }
     }
 }
 

@@ -16,7 +16,7 @@
 //! The wrapper also counts *real* hits, so one pass over a trace yields
 //! both `h` (with prefetching) and `ĥ′` (the counterfactual).
 
-use crate::ReplacementCache;
+use crate::{ByteCapacity, ReplacementCache};
 use core::hash::Hash;
 use std::collections::HashMap;
 
@@ -94,6 +94,13 @@ impl<K: Copy + Eq + Hash, C: ReplacementCache<K>> TaggedCache<K, C> {
                 Some(Tag::Tagged) => self.evictions_of_tagged += 1,
                 None => {}
             }
+        }
+        evicted
+    }
+
+    fn note_evictions(&mut self, evicted: Vec<K>) -> Vec<K> {
+        for v in &evicted {
+            self.note_eviction(Some(*v));
         }
         evicted
     }
@@ -221,6 +228,61 @@ impl<K: Copy + Eq + Hash, C: ReplacementCache<K>> TaggedCache<K, C> {
     /// contents a cooperative digest summarises.
     pub fn keys(&self) -> Vec<K> {
         self.inner.keys()
+    }
+}
+
+/// Byte-charged admissions, available when the wrapped policy carries a
+/// byte budget. Each mirrors its item-counted twin exactly — same tag
+/// transitions, same "already present" short-circuits — but charges an
+/// explicit size and can evict several victims, so the §4 counters stay
+/// correct under byte-driven eviction.
+impl<K: Copy + Eq + Hash, C: ByteCapacity<K>> TaggedCache<K, C> {
+    /// Byte-charged [`TaggedCache::admit_after_fetch`]: admits a
+    /// demand-fetched item (tag: tagged) charging `bytes`. Returns whether
+    /// the entry was *newly* admitted (false when a concurrent fetch
+    /// already admitted it, or the entry alone exceeds the byte budget)
+    /// and the evicted keys.
+    pub fn charge_after_fetch(&mut self, k: K, bytes: f64) -> (bool, Vec<K>) {
+        if self.inner.contains(&k) {
+            // Concurrent fetch already admitted it; just ensure the tag.
+            self.tags.insert(k, Tag::Tagged);
+            return (false, Vec::new());
+        }
+        let outcome = self.inner.charge(k, bytes);
+        let evicted = self.note_evictions(outcome.evicted);
+        if outcome.admitted {
+            self.tags.insert(k, Tag::Tagged);
+        }
+        (outcome.admitted, evicted)
+    }
+
+    /// Byte-charged [`TaggedCache::prefetch_insert`]: a prefetch insertion
+    /// of `k` (tag: untagged, not a user access) charging `bytes`.
+    /// Prefetching an already-cached item is a no-op (its tag is
+    /// preserved). Returns whether the entry was newly admitted, and the
+    /// evicted keys.
+    pub fn charge_prefetch(&mut self, k: K, bytes: f64) -> (bool, Vec<K>) {
+        self.prefetch_inserts += 1;
+        if self.inner.contains(&k) {
+            return (false, Vec::new());
+        }
+        let outcome = self.inner.charge(k, bytes);
+        let evicted = self.note_evictions(outcome.evicted);
+        if outcome.admitted {
+            self.tags.insert(k, Tag::Untagged);
+        }
+        (outcome.admitted, evicted)
+    }
+
+    /// Occupancy of the wrapped cache in bytes.
+    pub fn used_bytes(&self) -> f64 {
+        self.inner.used_bytes()
+    }
+
+    /// Byte budget of the wrapped cache (`f64::INFINITY` when the cache
+    /// only counts entries).
+    pub fn byte_capacity(&self) -> f64 {
+        self.inner.byte_capacity()
     }
 }
 

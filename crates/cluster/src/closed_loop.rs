@@ -44,7 +44,7 @@ use crate::report::{ClusterReport, CoopReport, LinkReport, NodeReport};
 use crate::sim::{proxy_seed, LinkState};
 use crate::{AdaptiveWorkload, CandidateSource, ProxyPolicy, Topology};
 use cachesim::{AccessKind, LruCache, ReplacementCache, TaggedCache};
-use coop::CoopConfig;
+use coop::{CoopConfig, DeltaOp, RefreshStrategy};
 use predictor::{MarkovPredictor, OraclePredictor, Predictor};
 use prefetch_core::controller::{AdaptiveController, ControllerConfig};
 use prefetch_core::estimator::EntryStatus;
@@ -168,6 +168,13 @@ pub(crate) struct Engine<'a> {
     n_shards: u64,
     pub(crate) links: Vec<LinkState>,
     router: Option<coop::Router>,
+    /// How the router regenerates advertised digests at epoch boundaries
+    /// (deltas, or the full-rebuild parity oracle).
+    refresh_strategy: RefreshStrategy,
+    /// Per-proxy digest-delta buffers: one op per cache-content change
+    /// since the last epoch boundary, flushed by [`Engine::on_refresh`].
+    /// Empty (never written) without a router.
+    deltas: Vec<Vec<DeltaOp>>,
     proxies: Vec<ProxyState>,
     jobs: HashMap<u64, Job>,
     next_job_id: u64,
@@ -176,6 +183,32 @@ pub(crate) struct Engine<'a> {
     n_requests: u64,
     /// Links touched since the driver last re-synced timers.
     pub(crate) dirty_links: Vec<usize>,
+}
+
+/// Bookkeeping shared by every cache admission: drop evicted entries'
+/// pending prefetch-cost records (they can never be credited once the
+/// entry is gone) and append the ops the digest delta protocol ships at
+/// the next epoch boundary. `deltas` is empty when no router is attached,
+/// which disables the recording without a branch at every site.
+fn note_cache_change(
+    deltas: &mut [Vec<DeltaOp>],
+    proxy: usize,
+    p: &mut ProxyState,
+    item: ItemId,
+    admitted: bool,
+    evicted: &[ItemId],
+) {
+    for v in evicted {
+        p.prefetch_cost.remove(v);
+    }
+    if let Some(d) = deltas.get_mut(proxy) {
+        for v in evicted {
+            d.push(DeltaOp::Evict(v.0));
+        }
+        if admitted {
+            d.push(DeltaOp::Insert(item.0));
+        }
+    }
 }
 
 impl<'a> Engine<'a> {
@@ -218,7 +251,10 @@ impl<'a> Engine<'a> {
                     rng,
                     jitter_rng,
                     web,
-                    cache: TaggedCache::new(LruCache::new(w.cache_capacity)),
+                    cache: TaggedCache::new(match w.cache_bytes {
+                        Some(bytes) => LruCache::with_byte_capacity(w.cache_capacity, bytes),
+                        None => LruCache::new(w.cache_capacity),
+                    }),
                     controller: AdaptiveController::new(ControllerConfig::model_a(
                         topology.proxy_bottleneck(i),
                     )),
@@ -247,12 +283,18 @@ impl<'a> Engine<'a> {
             })
             .collect();
 
+        let deltas = match &router {
+            Some(_) => vec![Vec::new(); proxies.len()],
+            None => Vec::new(),
+        };
         Engine {
             topology,
             w,
             n_shards: topology.n_shards() as u64,
             links,
             router,
+            refresh_strategy: coop_cfg.map(|c| c.refresh).unwrap_or_default(),
+            deltas,
             proxies,
             jobs: HashMap::new(),
             next_job_id: 0,
@@ -353,7 +395,15 @@ impl<'a> Engine<'a> {
             }
             match job.kind {
                 JobKind::Demand { measured } => {
-                    p.cache.admit_after_fetch(job.item);
+                    let (admitted, evicted) = p.cache.charge_after_fetch(job.item, job.size);
+                    note_cache_change(
+                        &mut self.deltas,
+                        job.proxy as usize,
+                        p,
+                        job.item,
+                        admitted,
+                        &evicted,
+                    );
                     p.inflight.remove(&job.item);
                     if measured {
                         let sojourn = t - job.issued;
@@ -379,7 +429,15 @@ impl<'a> Engine<'a> {
                         // entry and the waiters' clocks stop now. The
                         // transfer served real demand, so everything it
                         // cost counts as used.
-                        p.cache.admit_after_fetch(job.item);
+                        let (admitted, evicted) = p.cache.charge_after_fetch(job.item, job.size);
+                        note_cache_change(
+                            &mut self.deltas,
+                            job.proxy as usize,
+                            p,
+                            job.item,
+                            admitted,
+                            &evicted,
+                        );
                         p.used_prefetch_bytes += job.spent;
                         for (tw, mw) in ws {
                             if mw {
@@ -387,9 +445,19 @@ impl<'a> Engine<'a> {
                             }
                         }
                     } else {
-                        p.cache.prefetch_insert(job.item);
-                        p.controller.on_prefetch_insert();
-                        p.prefetch_cost.insert(job.item, job.spent);
+                        let (admitted, evicted) = p.cache.charge_prefetch(job.item, job.size);
+                        note_cache_change(
+                            &mut self.deltas,
+                            job.proxy as usize,
+                            p,
+                            job.item,
+                            admitted,
+                            &evicted,
+                        );
+                        if admitted {
+                            p.controller.on_prefetch_insert();
+                            p.prefetch_cost.insert(job.item, job.spent);
+                        }
                     }
                     p.inflight.remove(&job.item);
                 }
@@ -555,15 +623,33 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// The digest-refresh event at epoch boundary `t`: rebuild every
-    /// proxy's summary from its live cache and feed the controllers' `ρ̂′`
-    /// estimates to the placement policy.
+    /// The digest-refresh event at epoch boundary `t`: regenerate the
+    /// advertised summaries — by flushing the accumulated delta streams
+    /// (the production path) or by full rebuild from the live caches (the
+    /// parity oracle) — and feed the controllers' `ρ̂′` estimates to the
+    /// placement policy. Both strategies leave the router advertising the
+    /// same state, so reports only differ in digest-exchange bytes.
     pub(crate) fn on_refresh(&mut self, t: f64) {
         let proxies = &self.proxies;
         let r = self.router.as_mut().expect("refresh event without a router");
         let loads: Vec<f64> =
             proxies.iter().map(|p| p.controller.rho_prime_estimate().unwrap_or(0.0)).collect();
-        r.refresh(t, |proxy| proxies[proxy].cache.keys().iter().map(|k| k.0).collect(), &loads);
+        match self.refresh_strategy {
+            RefreshStrategy::Deltas => r.apply_deltas(t, &mut self.deltas, &loads),
+            RefreshStrategy::FullRebuild => {
+                r.refresh(
+                    t,
+                    |proxy| proxies[proxy].cache.keys().iter().map(|k| k.0).collect(),
+                    &loads,
+                );
+                // The oracle rebuilt from the live caches; discard the
+                // buffered stream it did not ship so engine state stays
+                // identical across strategies.
+                for d in &mut self.deltas {
+                    d.clear();
+                }
+            }
+        }
     }
 
     pub(crate) fn into_report(self) -> ClusterReport {
@@ -605,6 +691,7 @@ impl<'a> Engine<'a> {
                     goodput_bytes: Some(goodput),
                     badput_bytes: Some(badput),
                     demand_bytes: p.demand_bytes,
+                    cache_used_bytes: Some(p.cache.used_bytes()),
                     peer_bytes: coop_on.then_some(p.peer_bytes),
                     peer_fetches: coop_on.then_some(p.peer_fetches),
                     peer_false_hits: coop_on.then_some(p.peer_false_hits),

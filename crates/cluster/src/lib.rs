@@ -85,6 +85,8 @@ mod static_mode;
 mod topology;
 
 pub use curve::{network_load_curve, CurveSpec};
+#[doc(hidden)]
+pub use report::parity;
 pub use report::{ClusterReport, CoopReport, CurvePoint, LinkReport, NodeReport};
 pub use sim::ClusterSim;
 pub use topology::{Discipline, Link, Topology, TopologyBuilder};
@@ -142,6 +144,13 @@ pub struct AdaptiveWorkload {
     pub proxies: Vec<SynthWebConfig>,
     /// Per-proxy cache capacity (items).
     pub cache_capacity: usize,
+    /// Per-proxy cache capacity in **bytes** (size-units). `None` keeps
+    /// the cache item-counted; `Some(b)` makes eviction byte-driven: an
+    /// admission evicts as many LRU victims as its size requires, so under
+    /// heterogeneous object sizes occupancy tracks the paper's byte-
+    /// denominated load instead of an item count. The item budget still
+    /// applies as a second bound.
+    pub cache_bytes: Option<f64>,
     /// Maximum prefetch candidates considered per request.
     pub max_candidates: usize,
     /// Mean exponential pacing delay before a prefetch hits the network
@@ -230,6 +239,9 @@ impl AdaptiveWorkload {
             "one SynthWebConfig per topology proxy"
         );
         assert!(self.cache_capacity > 0, "cache capacity must be positive");
+        if let Some(bytes) = self.cache_bytes {
+            assert!(bytes > 0.0 && bytes.is_finite(), "cache byte capacity must be positive");
+        }
         assert!(self.max_candidates > 0, "need at least one candidate");
         assert!(self.prefetch_jitter >= 0.0);
     }

@@ -43,6 +43,10 @@ pub struct NodeReport {
     pub badput_bytes: Option<f64>,
     /// Demand-fetched size-units.
     pub demand_bytes: f64,
+    /// Cache occupancy in size-units at the end of the run (closed-loop
+    /// modes only; `None` in the cache-less open loop). Bounded by the
+    /// workload's `cache_bytes` budget when one is set.
+    pub cache_used_bytes: Option<f64>,
     /// Size-units of this proxy's misses/prefetches served from peer
     /// caches instead of the origin (cooperative mode only).
     pub peer_bytes: Option<f64>,
@@ -106,6 +110,109 @@ impl ClusterReport {
     /// cooperative experiments compare. Zero when the link is absent.
     pub fn link_bytes(&self, name: &str) -> f64 {
         self.link(name).map_or(0.0, |l| l.bytes_carried)
+    }
+
+    /// Digest-exchange bytes the cooperative layer shipped (zero without
+    /// cooperation) — the metadata overhead the delta protocol shrinks.
+    pub fn digest_bytes(&self) -> u64 {
+        self.coop.map_or(0, |c| c.router.digest_bytes)
+    }
+}
+
+/// Structural report-equality assertions shared by the parity test suites
+/// (`engine_parity.rs`, `delta_parity.rs`). Not part of the public API.
+#[doc(hidden)]
+pub mod parity {
+    use super::ClusterReport;
+
+    /// Absolute tolerance on every floating-point field; counters must
+    /// match exactly.
+    pub const TOL: f64 = 1e-12;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= TOL
+    }
+
+    fn close_opt(a: Option<f64>, b: Option<f64>) -> bool {
+        match (a, b) {
+            (Some(a), Some(b)) => close(a, b),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+
+    /// Full structural report equality to [`TOL`] on every float, exact on
+    /// every counter — including the digest-exchange traffic.
+    pub fn assert_reports_match(a: &ClusterReport, b: &ClusterReport, label: &str) {
+        assert_reports_match_impl(a, b, label, false);
+    }
+
+    /// Like [`assert_reports_match`], but ignores the digest-exchange
+    /// volume counters (`digest_bytes`, `delta_ops`): deltas and full
+    /// rebuilds advertise identical state while *by design* shipping
+    /// different byte volumes, so the delta-parity suite compares
+    /// everything else exactly.
+    pub fn assert_reports_match_modulo_digest_traffic(
+        a: &ClusterReport,
+        b: &ClusterReport,
+        label: &str,
+    ) {
+        assert_reports_match_impl(a, b, label, true);
+    }
+
+    fn assert_reports_match_impl(
+        a: &ClusterReport,
+        b: &ClusterReport,
+        label: &str,
+        ignore_digest_traffic: bool,
+    ) {
+        assert!(close(a.mean_access_time, b.mean_access_time), "{label}: mean_access_time");
+        assert!(close(a.bytes_per_request, b.bytes_per_request), "{label}: bytes_per_request");
+        assert!(close(a.duration, b.duration), "{label}: duration");
+        assert_eq!(a.nodes.len(), b.nodes.len(), "{label}: node count");
+        for (x, y) in a.nodes.iter().zip(&b.nodes) {
+            let l = format!("{label}: proxy {}", x.proxy);
+            assert_eq!(x.proxy, y.proxy, "{l}: index");
+            assert_eq!(x.measured_requests, y.measured_requests, "{l}: measured");
+            assert!(close(x.hit_ratio, y.hit_ratio), "{l}: hit_ratio");
+            assert!(close(x.mean_access_time, y.mean_access_time), "{l}: mean_access_time");
+            assert!(close(x.access_time_ci95, y.access_time_ci95), "{l}: ci95");
+            assert!(close(x.mean_retrieval_time, y.mean_retrieval_time), "{l}: retrieval");
+            assert!(close(x.retrieval_per_request, y.retrieval_per_request), "{l}: R");
+            assert!(close(x.prefetches_per_request, y.prefetches_per_request), "{l}: nf");
+            assert!(close_opt(x.goodput_bytes, y.goodput_bytes), "{l}: goodput");
+            assert!(close_opt(x.badput_bytes, y.badput_bytes), "{l}: badput");
+            assert!(close(x.demand_bytes, y.demand_bytes), "{l}: demand bytes");
+            assert!(close_opt(x.cache_used_bytes, y.cache_used_bytes), "{l}: cache bytes");
+            assert!(close_opt(x.peer_bytes, y.peer_bytes), "{l}: peer bytes");
+            assert_eq!(x.peer_fetches, y.peer_fetches, "{l}: peer fetches");
+            assert_eq!(x.peer_false_hits, y.peer_false_hits, "{l}: false hits");
+            assert!(close_opt(x.mean_threshold, y.mean_threshold), "{l}: threshold");
+            assert!(close_opt(x.rho_prime_estimate, y.rho_prime_estimate), "{l}: rho'");
+            assert!(close_opt(x.h_prime_estimate, y.h_prime_estimate), "{l}: h'");
+        }
+        assert_eq!(a.links.len(), b.links.len(), "{label}: link count");
+        for (x, y) in a.links.iter().zip(&b.links) {
+            let l = format!("{label}: link {}", x.name);
+            assert_eq!(x.name, y.name, "{l}: name");
+            assert!(close(x.utilisation, y.utilisation), "{l}: rho");
+            assert!(close(x.bytes_carried, y.bytes_carried), "{l}: bytes");
+            assert_eq!(x.jobs_completed, y.jobs_completed, "{l}: jobs");
+        }
+        assert_eq!(a.coop.is_some(), b.coop.is_some(), "{label}: coop presence");
+        if let (Some(x), Some(y)) = (&a.coop, &b.coop) {
+            assert_eq!(x.peer_fetches, y.peer_fetches, "{label}: coop peer fetches");
+            assert_eq!(x.peer_false_hits, y.peer_false_hits, "{label}: coop false hits");
+            assert_eq!(x.router.digest_epochs, y.router.digest_epochs, "{label}: digest epochs");
+            assert_eq!(
+                x.router.vnode_migrations, y.router.vnode_migrations,
+                "{label}: vnode migrations"
+            );
+            if !ignore_digest_traffic {
+                assert_eq!(x.router.digest_bytes, y.router.digest_bytes, "{label}: digest bytes");
+                assert_eq!(x.router.delta_ops, y.router.delta_ops, "{label}: delta ops");
+            }
+        }
     }
 }
 

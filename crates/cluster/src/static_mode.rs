@@ -280,6 +280,10 @@ impl<'a> Engine<'a> {
                     goodput_bytes: None,
                     badput_bytes: None,
                     demand_bytes: p.demand_bytes,
+                    // The open loop models hits as Bernoulli draws — there
+                    // is no cache to meter, hence no digest-delta stream
+                    // to emit either.
+                    cache_used_bytes: None,
                     peer_bytes: None,
                     peer_fetches: None,
                     peer_false_hits: None,

@@ -98,6 +98,7 @@ fn same_seed_identical_report() {
                 })
                 .collect(),
             cache_capacity: 32,
+            cache_bytes: None,
             max_candidates: 3,
             prefetch_jitter: 0.01,
             policy: ProxyPolicy::Adaptive,
@@ -161,6 +162,7 @@ fn adaptive_thresholds_diverge_with_local_load() {
                 SynthWebConfig { lambda: 28.0, ..SynthWebConfig::default() },
             ],
             cache_capacity: 32,
+            cache_bytes: None,
             max_candidates: 3,
             prefetch_jitter: 0.01,
             policy: ProxyPolicy::Adaptive,
@@ -192,6 +194,7 @@ fn adaptive_byte_accounting() {
                 SynthWebConfig { lambda: 12.0, link_skew: 0.3, ..SynthWebConfig::default() },
             ],
             cache_capacity: 24,
+            cache_bytes: None,
             max_candidates: 3,
             prefetch_jitter: 0.01,
             policy,
@@ -245,6 +248,7 @@ fn coop_workload(n_proxies: usize, lambda: f64, coop: CoopConfig) -> ClusterConf
                     .map(|_| SynthWebConfig { lambda, link_skew: 0.3, ..SynthWebConfig::default() })
                     .collect(),
                 cache_capacity: 48,
+                cache_bytes: None,
                 max_candidates: 3,
                 prefetch_jitter: 0.01,
                 policy: ProxyPolicy::Adaptive,

@@ -9,68 +9,14 @@
 //! E14-shaped cooperative configurations (and the open-loop mode), across
 //! seeds.
 
+use cluster::parity::assert_reports_match;
 use cluster::{
-    legacy, AdaptiveWorkload, CandidateSource, ClusterConfig, ClusterReport, ClusterSim,
-    CooperativeWorkload, ProxyPolicy, StaticProxy, StaticWorkload, Topology, Workload,
+    legacy, AdaptiveWorkload, CandidateSource, ClusterConfig, ClusterSim, CooperativeWorkload,
+    ProxyPolicy, StaticProxy, StaticWorkload, Topology, Workload,
 };
 use coop::{CoopConfig, DigestConfig, PlacementPolicy};
 use simcore::dist::Exponential;
 use workload::synth_web::SynthWebConfig;
-
-const TOL: f64 = 1e-12;
-
-fn close(a: f64, b: f64) -> bool {
-    (a - b).abs() <= TOL
-}
-
-fn close_opt(a: Option<f64>, b: Option<f64>) -> bool {
-    match (a, b) {
-        (Some(a), Some(b)) => close(a, b),
-        (None, None) => true,
-        _ => false,
-    }
-}
-
-/// Full structural report equality to 1e-12 on every float, exact on
-/// every counter.
-fn assert_reports_match(a: &ClusterReport, b: &ClusterReport, label: &str) {
-    assert!(close(a.mean_access_time, b.mean_access_time), "{label}: mean_access_time");
-    assert!(close(a.bytes_per_request, b.bytes_per_request), "{label}: bytes_per_request");
-    assert!(close(a.duration, b.duration), "{label}: duration");
-    assert_eq!(a.nodes.len(), b.nodes.len(), "{label}: node count");
-    for (x, y) in a.nodes.iter().zip(&b.nodes) {
-        let l = format!("{label}: proxy {}", x.proxy);
-        assert_eq!(x.proxy, y.proxy, "{l}: index");
-        assert_eq!(x.measured_requests, y.measured_requests, "{l}: measured");
-        assert!(close(x.hit_ratio, y.hit_ratio), "{l}: hit_ratio");
-        assert!(close(x.mean_access_time, y.mean_access_time), "{l}: mean_access_time");
-        assert!(close(x.access_time_ci95, y.access_time_ci95), "{l}: ci95");
-        assert!(close(x.mean_retrieval_time, y.mean_retrieval_time), "{l}: retrieval");
-        assert!(close(x.retrieval_per_request, y.retrieval_per_request), "{l}: R");
-        assert!(close(x.prefetches_per_request, y.prefetches_per_request), "{l}: nf");
-        assert!(close_opt(x.goodput_bytes, y.goodput_bytes), "{l}: goodput");
-        assert!(close_opt(x.badput_bytes, y.badput_bytes), "{l}: badput");
-        assert!(close(x.demand_bytes, y.demand_bytes), "{l}: demand bytes");
-        assert!(close_opt(x.peer_bytes, y.peer_bytes), "{l}: peer bytes");
-        assert_eq!(x.peer_fetches, y.peer_fetches, "{l}: peer fetches");
-        assert_eq!(x.peer_false_hits, y.peer_false_hits, "{l}: false hits");
-        assert!(close_opt(x.mean_threshold, y.mean_threshold), "{l}: threshold");
-        assert!(close_opt(x.rho_prime_estimate, y.rho_prime_estimate), "{l}: rho'");
-        assert!(close_opt(x.h_prime_estimate, y.h_prime_estimate), "{l}: h'");
-    }
-    assert_eq!(a.links.len(), b.links.len(), "{label}: link count");
-    for (x, y) in a.links.iter().zip(&b.links) {
-        let l = format!("{label}: link {}", x.name);
-        assert_eq!(x.name, y.name, "{l}: name");
-        assert!(close(x.utilisation, y.utilisation), "{l}: rho");
-        assert!(close(x.bytes_carried, y.bytes_carried), "{l}: bytes");
-        assert_eq!(x.jobs_completed, y.jobs_completed, "{l}: jobs");
-    }
-    assert_eq!(a.coop.is_some(), b.coop.is_some(), "{label}: coop presence");
-    if let (Some(x), Some(y)) = (&a.coop, &b.coop) {
-        assert_eq!(x, y, "{label}: coop counters");
-    }
-}
 
 /// The E13-shaped adaptive deployment: 3 proxies over 2 origin shards,
 /// heterogeneous local load, oracle candidates, jittered prefetch pacing.
@@ -87,6 +33,7 @@ fn e13_adaptive_config(policy: ProxyPolicy) -> ClusterConfig<'static> {
                 })
                 .collect(),
             cache_capacity: 32,
+            cache_bytes: None,
             max_candidates: 3,
             prefetch_jitter: 0.01,
             policy,
@@ -113,6 +60,7 @@ fn e14_coop_config(epoch: f64) -> ClusterConfig<'static> {
                     })
                     .collect(),
                 cache_capacity: 48,
+                cache_bytes: None,
                 max_candidates: 3,
                 prefetch_jitter: 0.01,
                 policy: ProxyPolicy::Adaptive,
@@ -209,6 +157,7 @@ fn pending_prefetch_never_finds_item_cached() {
                 SynthWebConfig { lambda: 12.0, link_skew: 0.3, ..SynthWebConfig::default() },
             ],
             cache_capacity: 16,
+            cache_bytes: None,
             max_candidates: 4,
             // Pacing delay ~12x the mean inter-request gap of the busy
             // proxy: many demands race each pending prefetch.

@@ -12,13 +12,39 @@
 //!   ([`HashRing`]) and a [`Placement`] policy on top that migrates virtual
 //!   nodes from hot proxies to cold ones when their load estimates diverge
 //!   ([`PlacementPolicy::LoadAware`]);
-//! * [`digest`] — Bloom-filter summaries ([`BloomFilter`]) of each proxy's
-//!   cache contents, rebuilt on a configurable epoch ([`DigestConfig`]);
-//!   between refreshes the summaries go stale, so lookups can report a peer
-//!   that has since evicted the object — the *false hit* the router must
-//!   absorb;
+//! * [`digest`] — cache summaries: bitwise Bloom filters ([`BloomFilter`])
+//!   and their counting-Bloom twin ([`DeltaDigest`]), refreshed on a
+//!   configurable epoch ([`DigestConfig`]); between refreshes the
+//!   summaries go stale, so lookups can report a peer that has since
+//!   evicted the object — the *false hit* the router must absorb;
 //! * [`router`] — a [`Router`] that fuses both layers and resolves every
 //!   miss or prefetch to `Peer(q)` or `Origin` ([`Resolution`]).
+//!
+//! ## The delta protocol
+//!
+//! Advertised summaries can be regenerated two ways ([`RefreshStrategy`]):
+//!
+//! * **Full rebuild** ([`Router::refresh`]) — every boundary, every proxy
+//!   rebuilds its filter from its full cache contents and ships the whole
+//!   `⌈m/8⌉`-byte snapshot. O(proxies × capacity) per boundary: the
+//!   scaling wall at wide fabrics, retained as the parity oracle.
+//! * **Deltas** ([`Router::apply_deltas`], the default) — each proxy
+//!   accumulates one [`DeltaOp`] per cache *change* (`Insert` on
+//!   absent→present, `Evict` on present→absent) and ships only that
+//!   stream ([`DELTA_OP_WIRE_BYTES`] per op) at the boundary. The
+//!   receiver maintains a counting [`DeltaDigest`] per proxy, so applying
+//!   the stream reproduces exactly the membership a rebuild would give —
+//!   structural false positives included — at O(churn) cost.
+//!
+//! **Staleness semantics are identical in both modes**: the advertised
+//! state only moves at epoch boundaries, so mid-epoch evictions produce
+//! the same false-hit claims either way, and the `cluster` crate pins
+//! full `ClusterReport` parity between the two protocols to 1e-12
+//! (`cluster/tests/delta_parity.rs`). What changes is the exchange cost,
+//! metered by [`RouterStats::digest_bytes`]: deltas ship bytes
+//! proportional to cache churn per epoch instead of cache capacity per
+//! epoch, which is what removes the last O(proxies × capacity) per-epoch
+//! term from the cluster engines.
 //!
 //! The `cluster` crate drives one [`Router`] per simulated cluster and maps
 //! each resolution onto its queueing fabric: peer resolutions traverse
@@ -29,13 +55,14 @@
 //! ## Example
 //!
 //! ```
-//! use coop::{CoopConfig, Resolution, Router};
+//! use coop::{CoopConfig, DeltaOp, Resolution, Router};
 //!
 //! let mut router = Router::new(3, 128, CoopConfig::default());
 //! // Before any digest exchange every miss goes to the origin.
 //! assert_eq!(router.resolve(0, 42), Resolution::Origin);
-//! // After proxy 1 advertises key 42, proxy 0's misses route to it.
-//! router.refresh(5.0, |p| if p == 1 { vec![42] } else { vec![] }, &[0.5; 3]);
+//! // Proxy 1 cached key 42 this epoch and ships the delta at the boundary.
+//! let mut deltas = vec![vec![], vec![DeltaOp::Insert(42)], vec![]];
+//! router.apply_deltas(5.0, &mut deltas, &[0.5; 3]);
 //! assert_eq!(router.resolve(0, 42), Resolution::Peer(1));
 //! // The holder itself still fetches from the origin.
 //! assert_eq!(router.resolve(1, 42), Resolution::Origin);
@@ -46,7 +73,9 @@ pub mod placement;
 pub mod ring;
 pub mod router;
 
-pub use digest::{BloomFilter, DigestConfig};
+pub use digest::{
+    BloomFilter, DeltaDigest, DeltaOp, DigestConfig, RefreshStrategy, DELTA_OP_WIRE_BYTES,
+};
 pub use placement::{Placement, PlacementPolicy};
 pub use ring::HashRing;
 pub use router::{Resolution, Router, RouterStats};
@@ -60,6 +89,9 @@ pub struct CoopConfig {
     pub placement: PlacementPolicy,
     /// Digest exchange: epoch length and Bloom sizing.
     pub digest: DigestConfig,
+    /// How advertised digests are regenerated at epoch boundaries:
+    /// incremental deltas (default) or the full-rebuild parity oracle.
+    pub refresh: RefreshStrategy,
 }
 
 impl Default for CoopConfig {
@@ -68,6 +100,7 @@ impl Default for CoopConfig {
             vnodes: 64,
             placement: PlacementPolicy::Static,
             digest: DigestConfig { epoch: 5.0, bits_per_entry: 10, hashes: 4 },
+            refresh: RefreshStrategy::Deltas,
         }
     }
 }

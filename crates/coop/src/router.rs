@@ -1,23 +1,39 @@
 //! Miss/prefetch resolution: local knowledge → peer → origin.
 //!
-//! The router owns the cluster-wide view: one Bloom digest per proxy plus
-//! the placement ring. When proxy `me` misses on `key` it asks, in order:
+//! The router owns the cluster-wide view: one counting-Bloom digest per
+//! proxy ([`DeltaDigest`]), an inverted *holder index* (key → advertising
+//! proxies) derived from the same refresh stream, and the placement ring.
+//! When proxy `me` misses on `key` it asks, in order:
 //!
 //! 1. the consistent-hash **owner** of the key (if its digest advertises
 //!    the key) — the proxy the placement layer steers the key toward, so
 //!    it is the most likely true holder;
-//! 2. any **other peer** whose digest advertises the key (scanned in a
-//!    deterministic order starting after the owner);
+//! 2. the first **other peer** the holder index advertises for the key,
+//!    in a deterministic cyclic order starting after the owner — an O(1)
+//!    lookup in the common case, replacing the O(n) digest scan;
 //! 3. the **origin** otherwise.
 //!
-//! Digests refresh on the configured epoch; between refreshes they go
-//! stale, so a `Peer` resolution is a *claim*, not a guarantee — the
-//! caller must fall back to the origin when the peer no longer holds the
-//! key (the staleness false hit the `cluster` engine charges for).
+//! The advertised state refreshes on the configured epoch, by full
+//! rebuild ([`Router::refresh`]) or by applying the proxies' accumulated
+//! insert/evict delta streams ([`Router::apply_deltas`]); between
+//! boundaries it goes stale, so a `Peer` resolution is a *claim*, not a
+//! guarantee — the caller must fall back to the origin when the peer no
+//! longer holds the key (the staleness false hit the `cluster` engine
+//! charges for). The two refresh protocols reproduce identical advertised
+//! state (pinned by `coop/tests/digest_delta.rs` and the cluster's
+//! delta-parity suite); they differ only in exchange bytes, which
+//! [`RouterStats::digest_bytes`] meters.
+//!
+//! The owner probe still goes through the Bloom digest, so structural
+//! false positives on the placement owner survive exactly as before; the
+//! non-owner fallback consults the holder index (exact at refresh time),
+//! so it no longer manufactures peer claims out of non-owner structural
+//! false positives — staleness false hits remain in full.
 
-use crate::digest::BloomFilter;
+use crate::digest::{DeltaDigest, DeltaOp, DELTA_OP_WIRE_BYTES};
 use crate::placement::Placement;
 use crate::CoopConfig;
+use std::collections::HashMap;
 
 /// Where a miss (or prefetch) should be served from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,15 +51,28 @@ pub struct RouterStats {
     pub digest_epochs: u64,
     /// Virtual nodes migrated by the placement policy.
     pub vnode_migrations: u64,
+    /// Digest-exchange bytes shipped over the run: full snapshots cost
+    /// `⌈m/8⌉` per proxy per boundary, deltas [`DELTA_OP_WIRE_BYTES`] per
+    /// op.
+    pub digest_bytes: u64,
+    /// Delta ops applied ([`Router::apply_deltas`] boundaries only).
+    pub delta_ops: u64,
 }
 
 /// The cooperative routing fabric for one cluster.
 pub struct Router {
     placement: Placement,
-    digests: Vec<BloomFilter>,
+    digests: Vec<DeltaDigest>,
+    /// Advertised holders per key, each list sorted by proxy index. Exact
+    /// knowledge *as of the last refresh boundary* — it goes stale
+    /// together with the digests, preserving the staleness-false-hit
+    /// semantics.
+    holders: HashMap<u64, Vec<u32>>,
     epoch: f64,
     next_refresh: f64,
     epochs: u64,
+    digest_bytes: u64,
+    delta_ops: u64,
 }
 
 impl Router {
@@ -54,7 +83,7 @@ impl Router {
         assert!(n_nodes > 0 && cache_capacity > 0);
         let digests = (0..n_nodes)
             .map(|_| {
-                BloomFilter::for_capacity(
+                DeltaDigest::for_capacity(
                     cache_capacity,
                     config.digest.bits_per_entry,
                     config.digest.hashes,
@@ -64,9 +93,12 @@ impl Router {
         Router {
             placement: Placement::new(n_nodes, config.vnodes, config.placement),
             digests,
+            holders: HashMap::new(),
             epoch: config.digest.epoch,
             next_refresh: config.digest.epoch,
             epochs: 0,
+            digest_bytes: 0,
+            delta_ops: 0,
         }
     }
 
@@ -77,34 +109,96 @@ impl Router {
 
     /// The next epoch boundary a refresh is scheduled for. Boundaries sit
     /// on the fixed grid `k · epoch`, so an event-driven host can arm a
-    /// timer here and fire [`Router::refresh`] exactly on the grid.
+    /// timer here and fire [`Router::refresh`] / [`Router::apply_deltas`]
+    /// exactly on the grid.
     pub fn next_refresh(&self) -> f64 {
         self.next_refresh
     }
 
-    /// Rebuilds every proxy's digest from `contents(proxy)` and feeds the
-    /// per-proxy load estimates to the placement policy. Call when
-    /// [`Router::refresh_due`]; the next refresh stays on the epoch grid.
-    pub fn refresh(&mut self, t: f64, contents: impl Fn(usize) -> Vec<u64>, loads: &[f64]) {
-        for (proxy, digest) in self.digests.iter_mut().enumerate() {
-            digest.clear();
-            for key in contents(proxy) {
-                digest.insert(key);
+    /// Registers proxy `p` as a holder of `key` in the inverted index.
+    fn index_insert(&mut self, p: usize, key: u64) {
+        let list = self.holders.entry(key).or_default();
+        if let Err(pos) = list.binary_search(&(p as u32)) {
+            list.insert(pos, p as u32);
+        }
+    }
+
+    /// Deregisters proxy `p` as a holder of `key`.
+    fn index_remove(&mut self, p: usize, key: u64) {
+        if let Some(list) = self.holders.get_mut(&key) {
+            if let Ok(pos) = list.binary_search(&(p as u32)) {
+                list.remove(pos);
+            }
+            if list.is_empty() {
+                self.holders.remove(&key);
             }
         }
+    }
+
+    /// Book-keeping shared by both refresh protocols: feed the placement
+    /// policy and advance along the epoch grid rather than rescheduling
+    /// from `t` — `t + epoch` would inherit the overshoot of whatever
+    /// event straddled the boundary, so under sparse traffic every epoch
+    /// would start a little later than the last (the digest-epoch drift
+    /// bug). A host that calls late skips the boundaries it already
+    /// missed.
+    fn finish_boundary(&mut self, t: f64, loads: &[f64]) {
         self.placement.observe_load(loads);
         self.epochs += 1;
-        // Advance along the epoch grid rather than rescheduling from `t`:
-        // `t + epoch` inherits the overshoot of whatever event straddled
-        // the boundary, so under sparse traffic every epoch would start a
-        // little later than the last (the digest-epoch drift bug). A host
-        // that calls late skips the boundaries it already missed.
         while self.next_refresh <= t {
             self.next_refresh += self.epoch;
         }
     }
 
-    /// Resolves a miss/prefetch for `key` at proxy `me`.
+    /// **Full rebuild** boundary: reconstructs every proxy's digest and
+    /// the holder index from `contents(proxy)` and feeds the per-proxy
+    /// load estimates to the placement policy. O(proxies × capacity) work
+    /// and `n · ⌈m/8⌉` exchange bytes — the parity oracle for
+    /// [`Router::apply_deltas`]. Call when [`Router::refresh_due`]; the
+    /// next refresh stays on the epoch grid.
+    pub fn refresh(&mut self, t: f64, contents: impl Fn(usize) -> Vec<u64>, loads: &[f64]) {
+        self.holders.clear();
+        for proxy in 0..self.digests.len() {
+            self.digests[proxy].clear();
+            for key in contents(proxy) {
+                self.digests[proxy].insert(key);
+                self.index_insert(proxy, key);
+            }
+            self.digest_bytes += self.digests[proxy].snapshot_wire_bytes();
+        }
+        self.finish_boundary(t, loads);
+    }
+
+    /// **Delta** boundary: applies each proxy's accumulated insert/evict
+    /// stream to its counting digest and the holder index, draining the
+    /// buffers. O(churn) work and [`DELTA_OP_WIRE_BYTES`]·ops exchange
+    /// bytes; produces advertised state identical to [`Router::refresh`]
+    /// over the same cache contents.
+    ///
+    /// `deltas[p]` must hold proxy `p`'s ops in chronological order, one
+    /// `Insert` per absent→present cache transition and one `Evict` per
+    /// present→absent (the matched-pair discipline [`DeltaDigest`]
+    /// asserts).
+    pub fn apply_deltas(&mut self, t: f64, deltas: &mut [Vec<DeltaOp>], loads: &[f64]) {
+        assert_eq!(deltas.len(), self.digests.len(), "one delta stream per proxy");
+        for (proxy, buf) in deltas.iter_mut().enumerate() {
+            let ops = std::mem::take(buf);
+            self.digest_bytes += DELTA_OP_WIRE_BYTES * ops.len() as u64;
+            self.delta_ops += ops.len() as u64;
+            for op in ops {
+                self.digests[proxy].apply(op);
+                match op {
+                    DeltaOp::Insert(k) => self.index_insert(proxy, k),
+                    DeltaOp::Evict(k) => self.index_remove(proxy, k),
+                }
+            }
+        }
+        self.finish_boundary(t, loads);
+    }
+
+    /// Resolves a miss/prefetch for `key` at proxy `me`: the placement
+    /// owner's digest first, then the holder index in cyclic order from
+    /// `owner + 1` — O(holders of `key`), not O(proxies).
     pub fn resolve(&self, me: usize, key: u64) -> Resolution {
         let n = self.digests.len();
         if n == 1 {
@@ -114,9 +208,19 @@ impl Router {
         if owner != me && self.digests[owner].contains(key) {
             return Resolution::Peer(owner);
         }
-        for offset in 1..n {
-            let q = (owner + offset) % n;
-            if q != me && q != owner && self.digests[q].contains(key) {
+        if let Some(list) = self.holders.get(&key) {
+            let mut best: Option<(usize, usize)> = None; // (offset from owner, proxy)
+            for &q in list {
+                let q = q as usize;
+                if q == me || q == owner {
+                    continue;
+                }
+                let offset = (q + n - owner) % n;
+                if best.is_none_or(|(b, _)| offset < b) {
+                    best = Some((offset, q));
+                }
+            }
+            if let Some((_, q)) = best {
                 return Resolution::Peer(q);
             }
         }
@@ -130,7 +234,12 @@ impl Router {
 
     /// Activity counters.
     pub fn stats(&self) -> RouterStats {
-        RouterStats { digest_epochs: self.epochs, vnode_migrations: self.placement.migrations() }
+        RouterStats {
+            digest_epochs: self.epochs,
+            vnode_migrations: self.placement.migrations(),
+            digest_bytes: self.digest_bytes,
+            delta_ops: self.delta_ops,
+        }
     }
 }
 
@@ -180,6 +289,27 @@ mod tests {
     }
 
     #[test]
+    fn non_owner_fallback_follows_cyclic_scan_order() {
+        // Multiple non-owner holders: resolution must pick the first one
+        // after the owner in cyclic index order — the order the retired
+        // O(n) digest scan used, now answered from the holder index.
+        let n = 6;
+        let mut r = router(n);
+        let key = 4242u64;
+        let owner = r.owner(key);
+        let holder_a = (owner + 2) % n;
+        let holder_b = (owner + 4) % n;
+        r.refresh(
+            1.0,
+            |p| if p == holder_a || p == holder_b { vec![key] } else { vec![] },
+            &[0.0; 6],
+        );
+        let me = (owner + 5) % n;
+        let expect = if me == holder_a { holder_b } else { holder_a };
+        assert_eq!(r.resolve(me, key), Resolution::Peer(expect));
+    }
+
+    #[test]
     fn refresh_epochs_advance() {
         let mut r = router(2);
         assert!(!r.refresh_due(1.0));
@@ -218,5 +348,48 @@ mod tests {
         assert_eq!(r.resolve(0, 9), Resolution::Peer(1));
         r.refresh(10.0, |_| vec![], &[0.0; 2]);
         assert_eq!(r.resolve(0, 9), Resolution::Origin);
+    }
+
+    #[test]
+    fn delta_boundary_matches_full_rebuild() {
+        // Same cache history, two protocols: identical resolutions.
+        let mut by_delta = router(3);
+        let mut by_rebuild = router(3);
+        let contents: [Vec<u64>; 3] = [vec![1, 2], vec![3], vec![]];
+        by_rebuild.refresh(5.0, |p| contents[p].clone(), &[0.0; 3]);
+        let mut deltas: Vec<Vec<DeltaOp>> = vec![
+            vec![DeltaOp::Insert(1), DeltaOp::Insert(9), DeltaOp::Evict(9), DeltaOp::Insert(2)],
+            vec![DeltaOp::Insert(3)],
+            vec![],
+        ];
+        by_delta.apply_deltas(5.0, &mut deltas, &[0.0; 3]);
+        assert!(deltas.iter().all(Vec::is_empty), "apply_deltas drains the buffers");
+        for me in 0..3 {
+            for key in 0..64u64 {
+                assert_eq!(
+                    by_delta.resolve(me, key),
+                    by_rebuild.resolve(me, key),
+                    "me {me} key {key}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn digest_bytes_meter_full_vs_delta_cost() {
+        let mut full = router(2);
+        full.refresh(5.0, |_| vec![1, 2, 3], &[0.0; 2]);
+        let full_bytes = full.stats().digest_bytes;
+        // 64 entries × 10 bits each → 640 bits → 80 bytes per proxy.
+        assert_eq!(full_bytes, 2 * 80);
+
+        let mut delta = router(2);
+        let mut ops =
+            vec![vec![DeltaOp::Insert(1), DeltaOp::Insert(2), DeltaOp::Insert(3)], vec![]];
+        delta.apply_deltas(5.0, &mut ops, &[0.0; 2]);
+        let s = delta.stats();
+        assert_eq!(s.delta_ops, 3);
+        assert_eq!(s.digest_bytes, 3 * DELTA_OP_WIRE_BYTES);
+        assert!(s.digest_bytes < full_bytes);
     }
 }

@@ -1,0 +1,157 @@
+//! Delta/full-rebuild equivalence, proptested over arbitrary interleavings
+//! of cache inserts, evicts, and epoch flushes:
+//!
+//! * a [`DeltaDigest`] maintained purely from the delta stream answers
+//!   `contains` identically to a [`BloomFilter`] rebuilt from scratch at
+//!   every flush — structural false positives included;
+//! * a [`Router`] refreshed via [`Router::apply_deltas`] resolves every
+//!   (proxy, key) pair identically to one refreshed via the full-rebuild
+//!   [`Router::refresh`] oracle, and both follow the retired O(n) scan's
+//!   resolution order (owner first, then ascending cyclic offset);
+//! * the counting slots never underflow under the matched-pair discipline
+//!   (one `Insert` per absent→present transition, one `Evict` per
+//!   present→absent) — [`DeltaDigest::remove`] asserts it, so any
+//!   violation fails the test loudly.
+
+use coop::{BloomFilter, CoopConfig, DeltaDigest, DeltaOp, Resolution, Router};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const CAPACITY: usize = 32;
+const BITS_PER_ENTRY: usize = 10;
+const HASHES: usize = 4;
+
+/// Interprets a generated `(proxy, key, action)` step against per-proxy
+/// model sets, keeping the delta streams legal: `Insert` only when absent
+/// (and below capacity), `Evict` only when present.
+fn apply_step(model: &mut [BTreeSet<u64>], pending: &mut [Vec<DeltaOp>], proxy: usize, key: u64) {
+    if model[proxy].remove(&key) {
+        pending[proxy].push(DeltaOp::Evict(key));
+    } else if model[proxy].len() < CAPACITY {
+        model[proxy].insert(key);
+        pending[proxy].push(DeltaOp::Insert(key));
+    }
+}
+
+proptest! {
+    /// After any interleaving of inserts, evicts, and flushes, the
+    /// delta-maintained counting digest answers membership identically to
+    /// a bitwise filter rebuilt from the live contents, and its live
+    /// count matches the model exactly (no underflow, no leak).
+    #[test]
+    fn delta_maintained_digest_matches_full_rebuild(
+        steps in proptest::collection::vec((0usize..4, 0u64..48, 0u32..8), 1..500),
+    ) {
+        let n = 4;
+        let mut model: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); n];
+        let mut pending: Vec<Vec<DeltaOp>> = vec![Vec::new(); n];
+        let mut digests: Vec<DeltaDigest> =
+            (0..n).map(|_| DeltaDigest::for_capacity(CAPACITY, BITS_PER_ENTRY, HASHES)).collect();
+        let mut flushed = false;
+        for (proxy, key, action) in steps {
+            if action == 7 {
+                flushed = true;
+                for q in 0..n {
+                    for op in pending[q].drain(..) {
+                        digests[q].apply(op);
+                    }
+                    let mut rebuilt =
+                        BloomFilter::for_capacity(CAPACITY, BITS_PER_ENTRY, HASHES);
+                    for &k in &model[q] {
+                        rebuilt.insert(k);
+                    }
+                    prop_assert_eq!(
+                        digests[q].live(),
+                        model[q].len() as u64,
+                        "proxy {}: live-count drift", q
+                    );
+                    // Probe both the key universe and a disjoint range, so
+                    // false-positive structure is compared too.
+                    for probe in (0..48u64).chain(1_000..1_200) {
+                        prop_assert_eq!(
+                            digests[q].contains(probe),
+                            rebuilt.contains(probe),
+                            "proxy {} probe {}: delta vs rebuild disagree", q, probe
+                        );
+                    }
+                }
+            } else {
+                apply_step(&mut model, &mut pending, proxy, key);
+            }
+        }
+        // Make sure the property was exercised at least once per case.
+        if !flushed {
+            for q in 0..n {
+                for op in pending[q].drain(..) {
+                    digests[q].apply(op);
+                }
+                prop_assert_eq!(digests[q].live(), model[q].len() as u64);
+            }
+        }
+    }
+
+    /// The router's two refresh protocols are observationally identical:
+    /// after every flush, `resolve` agrees pairwise across all proxies and
+    /// keys, and both agree with a reference reimplementation of the
+    /// retired O(n) scan order (owner's digest first, then the first
+    /// advertised holder by ascending cyclic offset from the owner).
+    #[test]
+    fn router_delta_path_matches_full_rebuild_path(
+        steps in proptest::collection::vec((0usize..3, 0u64..64, 0u32..6), 1..400),
+    ) {
+        let n = 3;
+        let cfg = CoopConfig::default();
+        let mut by_delta = Router::new(n, CAPACITY, cfg);
+        let mut by_full = Router::new(n, CAPACITY, cfg);
+        let mut model: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); n];
+        let mut pending: Vec<Vec<DeltaOp>> = vec![Vec::new(); n];
+        let mut t = 0.0;
+        for (proxy, key, action) in steps {
+            if action == 5 {
+                t += cfg.digest.epoch;
+                let loads = [0.3, 0.5, 0.7];
+                by_delta.apply_deltas(t, &mut pending, &loads);
+                by_full.refresh(t, |p| model[p].iter().copied().collect(), &loads);
+                for me in 0..n {
+                    for probe in 0..96u64 {
+                        let got = by_delta.resolve(me, probe);
+                        prop_assert_eq!(
+                            got,
+                            by_full.resolve(me, probe),
+                            "me {} key {}: delta vs full disagree", me, probe
+                        );
+                        // Reference scan, given the advertised holder sets.
+                        let owner = by_full.owner(probe);
+                        let mut expect = Resolution::Origin;
+                        if owner != me && model[owner].contains(&probe) {
+                            expect = Resolution::Peer(owner);
+                        } else {
+                            for offset in 1..n {
+                                let q = (owner + offset) % n;
+                                if q != me && q != owner && model[q].contains(&probe) {
+                                    expect = Resolution::Peer(q);
+                                    break;
+                                }
+                            }
+                        }
+                        // The only legal divergence from the reference is a
+                        // structural false positive on the owner's digest.
+                        if got != expect {
+                            prop_assert_eq!(
+                                got,
+                                Resolution::Peer(owner),
+                                "me {} key {}: divergence is not an owner FP", me, probe
+                            );
+                            prop_assert!(
+                                !model[owner].contains(&probe),
+                                "me {} key {}: owner really holds the key", me, probe
+                            );
+                        }
+                    }
+                }
+            } else {
+                apply_step(&mut model, &mut pending, proxy, key);
+            }
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! Runs every experiment (E1–E15) and writes the reports under `results/`.
+//! Runs every experiment (E1–E16) and writes the reports under `results/`.
 //!
 //! ```text
 //! cargo run --release -p harness --bin all
@@ -28,6 +28,7 @@ fn main() -> std::io::Result<()> {
         ("e13_cluster", harness::experiments::e13_cluster::render),
         ("e14_coop", harness::experiments::e14_coop::render),
         ("e15_scale", harness::experiments::e15_scale::render),
+        ("e16_delta", harness::experiments::e16_delta::render),
     ];
     for (name, render) in experiments {
         let start = Instant::now();

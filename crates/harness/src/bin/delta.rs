@@ -1,0 +1,18 @@
+//! Regenerates the report of experiment `e16_delta`: incremental digest
+//! deltas vs full snapshot rebuilds, with byte-addressed caches, over
+//! 64/128/256-proxy peer meshes.
+//!
+//! Pass `--smoke` for the reduced request budget CI uses to keep the
+//! delta path from rotting.
+
+use harness::experiments::e16_delta;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let report = if smoke {
+        e16_delta::render_with(e16_delta::SMOKE_TOTAL_REQUESTS)
+    } else {
+        e16_delta::render()
+    };
+    print!("{report}");
+}

@@ -73,6 +73,7 @@ pub fn run_adaptive(
                 })
                 .collect(),
             cache_capacity: 32,
+            cache_bytes: None,
             max_candidates: 3,
             prefetch_jitter: 0.01,
             policy,

@@ -44,6 +44,7 @@ pub fn base_workload(lambdas: &[f64], policy: ProxyPolicy) -> AdaptiveWorkload {
             .map(|&lambda| SynthWebConfig { lambda, link_skew: 0.3, ..SynthWebConfig::default() })
             .collect(),
         cache_capacity: 48,
+        cache_bytes: None,
         max_candidates: 3,
         prefetch_jitter: 0.01,
         policy,

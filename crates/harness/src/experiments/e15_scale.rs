@@ -52,6 +52,7 @@ fn workload(n_proxies: usize, policy: ProxyPolicy) -> AdaptiveWorkload {
             .map(|_| SynthWebConfig { lambda: LAMBDA, link_skew: 0.3, ..SynthWebConfig::default() })
             .collect(),
         cache_capacity: 48,
+        cache_bytes: None,
         max_candidates: 3,
         prefetch_jitter: 0.01,
         policy,

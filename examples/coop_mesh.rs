@@ -39,6 +39,7 @@ fn main() {
             .map(|_| SynthWebConfig { lambda: 14.0, link_skew: 0.3, ..SynthWebConfig::default() })
             .collect(),
         cache_capacity: 48,
+        cache_bytes: None,
         max_candidates: 3,
         prefetch_jitter: 0.01,
         policy: ProxyPolicy::Adaptive,

@@ -41,6 +41,7 @@ fn main() {
                     })
                     .collect(),
                 cache_capacity: 32,
+                cache_bytes: None,
                 max_candidates: 3,
                 prefetch_jitter: 0.01,
                 policy,

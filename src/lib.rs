@@ -46,8 +46,8 @@
 //! | [`predictor`] | `predictor` | Markov/PPM/LZ78/dependency-graph/oracle predictors |
 //! | [`netsim`] | `netsim` | parametric + trace-driven end-to-end simulators |
 //! | [`cluster`] | `cluster` | multi-node network-of-queues simulator (topologies, per-link `ρ`, per-node adaptive control, cooperative mode) |
-//! | [`coop`] | `coop` | cooperative caching: consistent-hash placement, Bloom digests, peer/origin routing |
-//! | [`harness`] | `harness` | experiment reports E1–E15 (figures + validation + cluster + cooperation + scale) |
+//! | [`coop`] | `coop` | cooperative caching: consistent-hash placement, Bloom digests + incremental delta exchange, peer/origin routing |
+//! | [`harness`] | `harness` | experiment reports E1–E16 (figures + validation + cluster + cooperation + scale + digest deltas) |
 //!
 //! ## Scaling out: the `cluster` layer
 //!
@@ -96,6 +96,28 @@
 //! against the retired scan driver in `cluster::legacy`). Experiment E15
 //! (`cargo run --release --bin scale`) sweeps 64/128/256-proxy peer
 //! meshes — ~32k queueing links at the top end — on that core.
+//!
+//! ## Deltas on the wire: incremental digests + byte-addressed caches
+//!
+//! With the event loop indexed, the remaining per-epoch cost was the
+//! digest exchange itself: every boundary rebuilt and shipped every
+//! proxy's whole Bloom summary — O(proxies × capacity) in work and
+//! bytes. The [`coop`] layer now defaults to **incremental digest
+//! deltas** ([`coop::RefreshStrategy::Deltas`]): proxies accumulate one
+//! [`coop::DeltaOp`] per cache change and ship only that stream; the
+//! router maintains counting-Bloom [`coop::DeltaDigest`]s whose
+//! membership answers are provably identical to a from-scratch rebuild
+//! (proptested in `coop`, and pinned to 1e-12 whole-`ClusterReport`
+//! parity in `cluster/tests/delta_parity.rs` — the full-rebuild path
+//! survives as the oracle, mirroring `cluster::legacy`). Caches are also
+//! **byte-addressed** now: `cachesim`'s [`cachesim::ByteCapacity`] trait
+//! adds a byte budget with multi-victim eviction, `cluster`'s
+//! `AdaptiveWorkload::cache_bytes` turns it on, and occupancy,
+//! goodput/badput, and digest traffic all come out denominated in the
+//! paper's unit — bytes. Experiment E16 (`cargo run --release --bin
+//! delta`) sweeps both refresh protocols across the E15 fabrics;
+//! `cargo bench -p bench --bench cluster` carries `delta_refresh_*` vs
+//! `full_rebuild_*` rows at router and whole-engine scope.
 
 pub use cachesim;
 pub use cluster;
@@ -111,9 +133,11 @@ pub use workload;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use cachesim::{LruCache, ReplacementCache, TaggedCache};
+    pub use cachesim::{ByteCapacity, LruCache, ReplacementCache, TaggedCache};
     pub use cluster::{ClusterConfig, ClusterReport, ClusterSim, Topology, Workload};
-    pub use coop::{CoopConfig, HashRing, Placement, Resolution, Router};
+    pub use coop::{
+        CoopConfig, DeltaDigest, DeltaOp, HashRing, Placement, RefreshStrategy, Resolution, Router,
+    };
     pub use netsim::parametric::{ParametricConfig, ParametricReport};
     pub use netsim::traced::{Policy, PredictorKind, TracedConfig};
     pub use predictor::{MarkovPredictor, OraclePredictor, Predictor};

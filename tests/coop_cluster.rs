@@ -4,7 +4,9 @@
 //! 1. on a two-tier + peer-mesh topology with identical Zipf workloads at
 //!    every proxy, cooperative mode moves strictly fewer bytes over the
 //!    backbone than plain adaptive mode at (statistically) the same hit
-//!    ratio — redundant origin fetches become peer fetches;
+//!    ratio — redundant origin fetches become peer fetches. The ~20%
+//!    backbone-relief headline is pinned with explicit tolerance
+//!    constants over a seed matrix, not a single lucky seed;
 //! 2. the degenerate single-proxy cooperative configuration reproduces
 //!    the adaptive-mode report to 1e-6 — the cooperative layer adds
 //!    nothing when there are no peers, so cooperative results stay
@@ -17,9 +19,27 @@ use speculative_prefetch::cluster::{
 use speculative_prefetch::coop::{CoopConfig, DigestConfig, PlacementPolicy};
 use speculative_prefetch::workload::synth_web::SynthWebConfig;
 
-const REQUESTS: usize = 30_000;
-const WARMUP: usize = 6_000;
-const SEED: u64 = 77;
+const REQUESTS: usize = 20_000;
+const WARMUP: usize = 4_000;
+
+/// The seed matrix the headline claim is pinned over: every seed must
+/// show relief individually, and the matrix mean must sit in the
+/// headline bracket.
+const SEEDS: [u64; 3] = [77, 101, 9001];
+
+/// Per-seed floor: cooperation must shed at least this fraction of
+/// backbone bytes at every seed (a conservative bound well below the
+/// headline, so ordinary seed-to-seed variance cannot flake the test).
+const MIN_RELIEF_PER_SEED: f64 = 0.05;
+
+/// The "~20% backbone relief" headline, as an explicit bracket on the
+/// seed-matrix mean. Drift outside [10%, 35%] means the cooperative
+/// layer's behaviour has genuinely changed and the docs must change too.
+const HEADLINE_RELIEF_BRACKET: (f64, f64) = (0.10, 0.35);
+
+/// Cooperation re-routes misses; it must not move the hit ratio by more
+/// than this at any proxy.
+const HIT_RATIO_TOL: f64 = 0.03;
 
 /// Identical Zipf/Markov structure at every proxy (shared seed), equal
 /// request rates: the maximally redundant deployment.
@@ -29,6 +49,7 @@ fn base_workload(n_proxies: usize) -> AdaptiveWorkload {
             .map(|_| SynthWebConfig { lambda: 14.0, link_skew: 0.3, ..SynthWebConfig::default() })
             .collect(),
         cache_capacity: 48,
+        cache_bytes: None,
         max_candidates: 3,
         prefetch_jitter: 0.01,
         policy: ProxyPolicy::Adaptive,
@@ -37,60 +58,79 @@ fn base_workload(n_proxies: usize) -> AdaptiveWorkload {
     }
 }
 
-fn run(topology: Topology, workload: Workload<'_>) -> ClusterReport {
+fn run(topology: Topology, workload: Workload<'_>, seed: u64) -> ClusterReport {
     let config = ClusterConfig {
         topology,
         workload,
         requests_per_proxy: REQUESTS,
         warmup_per_proxy: WARMUP,
     };
-    ClusterSim::new(&config).run(SEED)
+    ClusterSim::new(&config).run(seed)
 }
 
 #[test]
 fn cooperative_reduces_backbone_bytes_at_equal_hit_ratio() {
     let n = 3;
-    let topology = Topology::mesh(n, 50.0, 70.0, 45.0);
-    let adaptive = run(topology.clone(), Workload::Adaptive(base_workload(n)));
-    let cooperative = run(
-        topology,
-        Workload::Cooperative(CooperativeWorkload {
-            base: base_workload(n),
-            coop: CoopConfig {
-                digest: DigestConfig { epoch: 2.0, bits_per_entry: 10, hashes: 4 },
-                ..CoopConfig::default()
-            },
-        }),
-    );
-
-    let backbone_adaptive = adaptive.link_bytes("backbone");
-    let backbone_coop = cooperative.link_bytes("backbone");
-    assert!(
-        backbone_coop < 0.95 * backbone_adaptive,
-        "cooperative backbone bytes {backbone_coop} must undercut adaptive {backbone_adaptive}"
-    );
-
-    // ... at equal hit ratio: peers only re-route misses, they do not
-    // change what the caches absorb.
-    for (a, c) in adaptive.nodes.iter().zip(&cooperative.nodes) {
-        assert!(
-            (a.hit_ratio - c.hit_ratio).abs() < 0.03,
-            "proxy {}: adaptive hit {} vs cooperative {}",
-            a.proxy,
-            a.hit_ratio,
-            c.hit_ratio
+    let mut reliefs = Vec::new();
+    for seed in SEEDS {
+        let topology = Topology::mesh(n, 50.0, 70.0, 45.0);
+        let adaptive = run(topology.clone(), Workload::Adaptive(base_workload(n)), seed);
+        let cooperative = run(
+            topology,
+            Workload::Cooperative(CooperativeWorkload {
+                base: base_workload(n),
+                coop: CoopConfig {
+                    digest: DigestConfig { epoch: 2.0, bits_per_entry: 10, hashes: 4 },
+                    ..CoopConfig::default()
+                },
+            }),
+            seed,
         );
+
+        let backbone_adaptive = adaptive.link_bytes("backbone");
+        let backbone_coop = cooperative.link_bytes("backbone");
+        let relief = 1.0 - backbone_coop / backbone_adaptive;
+        assert!(
+            relief >= MIN_RELIEF_PER_SEED,
+            "seed {seed}: relief {relief:.3} below the per-seed floor \
+             ({backbone_coop} vs {backbone_adaptive} backbone bytes)"
+        );
+        reliefs.push(relief);
+
+        // ... at equal hit ratio: peers only re-route misses, they do not
+        // change what the caches absorb.
+        for (a, c) in adaptive.nodes.iter().zip(&cooperative.nodes) {
+            assert!(
+                (a.hit_ratio - c.hit_ratio).abs() < HIT_RATIO_TOL,
+                "seed {seed} proxy {}: adaptive hit {} vs cooperative {}",
+                a.proxy,
+                a.hit_ratio,
+                c.hit_ratio
+            );
+        }
+
+        // The saved bytes went over the peer links instead, and the digest
+        // exchange (delta mode by default) actually shipped metadata.
+        let coop_stats = cooperative.coop.expect("coop counters");
+        assert!(coop_stats.peer_fetches > 0, "seed {seed}: no peer fetches");
+        assert!(coop_stats.router.digest_bytes > 0, "seed {seed}: no digest exchange");
+        assert!(adaptive.coop.is_none(), "adaptive mode reports no coop counters");
     }
 
-    // The saved bytes went over the peer links instead.
-    let coop_stats = cooperative.coop.expect("coop counters");
-    assert!(coop_stats.peer_fetches > 0);
-    assert!(adaptive.coop.is_none(), "adaptive mode reports no coop counters");
+    let mean_relief = reliefs.iter().sum::<f64>() / reliefs.len() as f64;
+    let (lo, hi) = HEADLINE_RELIEF_BRACKET;
+    assert!(
+        (lo..=hi).contains(&mean_relief),
+        "mean backbone relief {mean_relief:.3} over seeds {SEEDS:?} left the headline \
+         bracket [{lo}, {hi}] (per-seed: {reliefs:?})"
+    );
 }
 
 #[test]
 fn single_proxy_cooperative_matches_adaptive_to_1e6() {
-    let adaptive = run(Topology::two_tier(1, 50.0, 70.0), Workload::Adaptive(base_workload(1)));
+    let seed = SEEDS[0];
+    let adaptive =
+        run(Topology::two_tier(1, 50.0, 70.0), Workload::Adaptive(base_workload(1)), seed);
     let cooperative = run(
         Topology::two_tier(1, 50.0, 70.0),
         Workload::Cooperative(CooperativeWorkload {
@@ -100,6 +140,7 @@ fn single_proxy_cooperative_matches_adaptive_to_1e6() {
                 ..CoopConfig::default()
             },
         }),
+        seed,
     );
 
     let tol = 1e-6;
@@ -116,6 +157,7 @@ fn single_proxy_cooperative_matches_adaptive_to_1e6() {
         assert!((a.demand_bytes - c.demand_bytes).abs() < tol);
         assert_eq!(a.goodput_bytes, c.goodput_bytes);
         assert_eq!(a.badput_bytes, c.badput_bytes);
+        assert_eq!(a.cache_used_bytes, c.cache_used_bytes);
         // The cooperative run reports (zero) peer activity; adaptive none.
         assert_eq!(c.peer_fetches, Some(0));
         assert_eq!(c.peer_false_hits, Some(0));
