@@ -140,6 +140,38 @@ pub fn wide_coop_cluster(
     }
 }
 
+/// The E17-shaped latency mesh: every link carries a propagation delay,
+/// which is both the physically honest WAN model and the conservative
+/// lookahead the sharded driver's windows run on. The strong-scaling
+/// rows (`sharded_coop_mesh_*`) drive this config through
+/// `ClusterSim::run_sharded` at 1 vs 8 shards; their ratio on a
+/// multi-core host is the headline speedup, and on any host their
+/// reports are bit-identical.
+pub fn latency_coop_cluster(
+    n_proxies: usize,
+    requests_per_proxy: usize,
+    latency: f64,
+) -> ClusterConfig<'static> {
+    ClusterConfig {
+        topology: Topology::mesh_with_latency(
+            n_proxies,
+            50.0,
+            25.0 * n_proxies as f64,
+            45.0,
+            latency,
+        ),
+        workload: Workload::Cooperative(CooperativeWorkload {
+            base: small_closed_loop(n_proxies),
+            coop: CoopConfig {
+                digest: coop::DigestConfig { epoch: 2.0, bits_per_entry: 10, hashes: 4 },
+                ..CoopConfig::default()
+            },
+        }),
+        requests_per_proxy,
+        warmup_per_proxy: requests_per_proxy / 5,
+    }
+}
+
 /// A reduced-scale traced configuration for benchmarking.
 pub fn small_traced(policy: Policy) -> TracedConfig {
     TracedConfig {

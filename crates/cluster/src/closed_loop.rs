@@ -30,39 +30,57 @@
 //!
 //! ## Event core vs drivers
 //!
-//! The module is split into an [`Engine`] — all simulation state plus one
-//! handler per event kind — and the event *driver* that decides which
-//! event fires next. The production driver ([`run`]) is an indexed
-//! scheduler (`simcore::sched::Scheduler`): one timer per link (re-armed
-//! from `LinkServer::next_event` only when that link's revision moved),
-//! one request-arrival timer and one pending-prefetch timer per proxy,
-//! and one digest-refresh timer — O(log n) per event. The retired
-//! O(links + proxies) scan driver survives only in [`crate::legacy`],
-//! pinned byte-identical to this one by the engine-parity tests.
+//! The module is an [`Engine`] — a **scope** of the simulation state
+//! (some subset of proxies and link servers, or all of them) plus one
+//! handler per event kind — while event *selection* lives in the
+//! [`crate::shard`] drivers: the single-threaded merge (the classic
+//! driver, and the parity oracle) and the conservative-window
+//! multi-threaded driver. Handlers never reach outside their scope:
+//! anything an event does to an entity at a later instant or in another
+//! scope is emitted as a timestamped [`Effect`] which the driver settles —
+//! depth-first at the same instant (reproducing inline handling
+//! bit-for-bit), through per-entity `TimedQueue`s when the topology's
+//! link latency puts it in the future, and across shard mailboxes when it
+//! belongs to another thread. On zero-latency topologies every effect
+//! settles at its emission instant and the engine behaves exactly as the
+//! pre-shard monolith — pinned against the retired scan driver
+//! ([`crate::legacy`]) by the engine-parity tests.
+//!
+//! Digest refresh turned into a two-phase protocol so it shards: each
+//! scope builds per-proxy [`RefreshPayload`]s (delta streams, snapshots,
+//! or the cheaper of the two under [`RefreshStrategy::Auto`] — the
+//! compaction fallback), and the driver flushes them to the shared router
+//! at the epoch boundary.
 
 use crate::report::{ClusterReport, CoopReport, LinkReport, NodeReport};
-use crate::sim::{proxy_seed, LinkState};
+use crate::shard::{
+    self, Effect, ShardRunner, CLASS_ARRIVE, CLASS_CHECK, CLASS_DELIVER, CLASS_DEPART,
+    CLASS_PREFETCH, CLASS_REQUEST, N_CLASSES,
+};
+use crate::sim::{proxy_seed, LinkState, Scope, ScopeIndex};
+use crate::topology::ShardPlan;
 use crate::{AdaptiveWorkload, CandidateSource, ProxyPolicy, Topology};
 use cachesim::{AccessKind, LruCache, ReplacementCache, TaggedCache};
-use coop::{CoopConfig, DeltaOp, RefreshStrategy};
+use coop::{CoopConfig, DeltaOp, RefreshPayload, RefreshStrategy, Router};
 use predictor::{MarkovPredictor, OraclePredictor, Predictor};
 use prefetch_core::controller::{AdaptiveController, ControllerConfig};
 use prefetch_core::estimator::EntryStatus;
 use simcore::rng::Rng;
+use simcore::sched::TimedQueue;
 use simcore::stats::{BatchMeans, Welford};
 use simcore::Scheduler;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use workload::synth_web::SynthWeb;
 use workload::{ItemId, TraceRecord};
 
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Debug)]
 enum JobKind {
     Demand { measured: bool },
     Prefetch { measured: bool },
 }
 
 /// Where a transfer is being served from.
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Debug)]
 enum Dest {
     /// The item's origin shard, over the proxy's origin route.
     Origin,
@@ -70,8 +88,13 @@ enum Dest {
     Peer(u32),
 }
 
-#[derive(Clone, Copy)]
-struct Job {
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Job {
+    /// Stable id: requesting proxy in the high bits, that proxy's job
+    /// sequence number in the low — allocation is per proxy, so ids are
+    /// identical under every sharding (they break `(time, id)` ties in
+    /// the pending queues).
+    id: u64,
     proxy: u32,
     shard: u32,
     dest: Dest,
@@ -130,7 +153,7 @@ struct ProxyState {
     web: SynthWeb,
     cache: TaggedCache<ItemId, LruCache<ItemId>>,
     controller: AdaptiveController,
-    predictor: Box<dyn Predictor>,
+    predictor: Box<dyn Predictor + Send>,
     inflight: HashSet<ItemId>,
     waiters: HashMap<ItemId, Vec<(f64, bool)>>,
     delayed: BinaryHeap<PendingPrefetch>,
@@ -141,6 +164,7 @@ struct ProxyState {
     /// most once and goodput can never exceed the prefetched volume.
     prefetch_cost: HashMap<ItemId, f64>,
     pending: TraceRecord,
+    job_seq: u64,
     issued: u64,
     access_times: BatchMeans,
     retrievals: Welford,
@@ -158,31 +182,45 @@ struct ProxyState {
     peer_false_hits: u64,
 }
 
-/// All closed-loop simulation state plus one handler per event kind.
-/// Drivers (the indexed scheduler below, the legacy scan) own only event
-/// *selection*; every state transition lives here, so the two drivers
-/// cannot diverge semantically.
+/// One scope of closed-loop simulation state plus one handler per event
+/// kind. Drivers (`crate::shard`) own only event *selection* and effect
+/// routing; every state transition lives here, so no two drivers can
+/// diverge semantically.
 pub(crate) struct Engine<'a> {
     topology: &'a Topology,
     w: &'a AdaptiveWorkload,
     n_shards: u64,
+    pub(crate) scope: Scope,
+    /// Local link servers, indexed by scope-local link id.
     pub(crate) links: Vec<LinkState>,
-    router: Option<coop::Router>,
-    /// How the router regenerates advertised digests at epoch boundaries
-    /// (deltas, or the full-rebuild parity oracle).
+    /// How this scope's proxies flush their digests at epoch boundaries.
     refresh_strategy: RefreshStrategy,
-    /// Per-proxy digest-delta buffers: one op per cache-content change
-    /// since the last epoch boundary, flushed by [`Engine::on_refresh`].
-    /// Empty (never written) without a router.
+    /// Delta-stream length past which `Auto` ships a snapshot instead
+    /// (`⌈capacity · bits / 8⌉ / 9` ops — the E16 crossover).
+    delta_crossover: u64,
+    coop_on: bool,
+    /// Per-local-proxy digest-delta buffers: one op per cache-content
+    /// change since the last epoch boundary, drained into the refresh
+    /// payloads. Empty (never written) without a router.
     deltas: Vec<Vec<DeltaOp>>,
     proxies: Vec<ProxyState>,
+    /// Jobs currently on this scope's links, by job id. A job in a
+    /// pending queue or in flight to another shard lives in its
+    /// effect/queue entry instead.
     jobs: HashMap<u64, Job>,
-    next_job_id: u64,
+    /// Per-local-link queued arrivals (latency topologies only).
+    arrivals: Vec<TimedQueue<Job>>,
+    /// Per-local-proxy queued peer-serve checks.
+    checks: Vec<TimedQueue<Job>>,
+    /// Per-local-proxy queued response deliveries (`false_hit` flagged).
+    delivers: Vec<TimedQueue<(Job, bool)>>,
+    /// Cross-instant / cross-scope handoffs staged for the driver.
+    effects: Vec<Effect<Job>>,
+    /// Timer streams touched since the driver last re-synced.
+    dirty: Vec<(usize, usize)>,
     t_end: f64,
     warm: u64,
     n_requests: u64,
-    /// Links touched since the driver last re-synced timers.
-    pub(crate) dirty_links: Vec<usize>,
 }
 
 /// Bookkeeping shared by every cache admission: drop evicted entries'
@@ -211,6 +249,14 @@ fn note_cache_change(
     }
 }
 
+/// Resolves where a miss/prefetch at global proxy `me` is served from.
+fn resolve(router: Option<&Router>, me: usize, item: ItemId) -> Dest {
+    match router.map(|r| r.resolve(me, item.0)) {
+        Some(coop::Resolution::Peer(q)) => Dest::Peer(q as u32),
+        _ => Dest::Origin,
+    }
+}
+
 impl<'a> Engine<'a> {
     pub(crate) fn new(
         topology: &'a Topology,
@@ -219,16 +265,16 @@ impl<'a> Engine<'a> {
         requests: usize,
         warmup: usize,
         seed: u64,
+        scope: Scope,
     ) -> Self {
-        let links: Vec<LinkState> = topology.links().iter().map(LinkState::new).collect();
-        let router =
-            coop_cfg.map(|c| coop::Router::new(topology.n_proxies(), w.cache_capacity, *c));
+        let links: Vec<LinkState> =
+            scope.links.iter().map(|&g| LinkState::new(&topology.links()[g])).collect();
 
-        let proxies: Vec<ProxyState> = w
+        let proxies: Vec<ProxyState> = scope
             .proxies
             .iter()
-            .enumerate()
-            .map(|(i, web_cfg)| {
+            .map(|&i| {
+                let web_cfg = &w.proxies[i];
                 let mut rng = Rng::new(proxy_seed(seed, i));
                 let jitter_rng = rng.split();
                 // With a shared structure seed every proxy draws the same
@@ -242,7 +288,7 @@ impl<'a> Engine<'a> {
                     }
                     None => SynthWeb::new(*web_cfg, &mut rng),
                 };
-                let predictor: Box<dyn Predictor> = match w.predictor {
+                let predictor: Box<dyn Predictor + Send> = match w.predictor {
                     CandidateSource::Oracle => Box::new(OraclePredictor::from_chain(&web.chain)),
                     CandidateSource::Markov1 => Box::new(MarkovPredictor::new(1)),
                 };
@@ -264,6 +310,7 @@ impl<'a> Engine<'a> {
                     delayed: BinaryHeap::new(),
                     prefetch_cost: HashMap::new(),
                     pending,
+                    job_seq: 0,
                     issued: 0,
                     access_times: BatchMeans::new(20),
                     retrievals: Welford::new(),
@@ -283,204 +330,254 @@ impl<'a> Engine<'a> {
             })
             .collect();
 
-        let deltas = match &router {
+        let deltas = match coop_cfg {
             Some(_) => vec![Vec::new(); proxies.len()],
             None => Vec::new(),
         };
+        let delta_crossover =
+            coop_cfg.map(|c| c.digest.delta_crossover_ops(w.cache_capacity)).unwrap_or(u64::MAX);
         Engine {
             topology,
             w,
             n_shards: topology.n_shards() as u64,
             links,
-            router,
             refresh_strategy: coop_cfg.map(|c| c.refresh).unwrap_or_default(),
+            delta_crossover,
+            coop_on: coop_cfg.is_some(),
             deltas,
             proxies,
             jobs: HashMap::new(),
-            next_job_id: 0,
+            arrivals: (0..scope.links.len()).map(|_| TimedQueue::new()).collect(),
+            checks: (0..scope.proxies.len()).map(|_| TimedQueue::new()).collect(),
+            delivers: (0..scope.proxies.len()).map(|_| TimedQueue::new()).collect(),
+            effects: Vec::new(),
+            dirty: Vec::new(),
             t_end: 0.0,
             warm: warmup as u64,
             n_requests: requests as u64,
-            dirty_links: Vec::new(),
+            scope,
         }
     }
 
+    /// Local proxy count (the legacy scan's iteration bound).
+    #[cfg(feature = "legacy-oracle")]
     pub(crate) fn n_proxies(&self) -> usize {
         self.proxies.len()
     }
 
-    /// When proxy `i`'s next client request arrives, while its stream has
-    /// requests left.
+    /// When local proxy `i`'s next client request arrives, while its
+    /// stream has requests left.
     pub(crate) fn request_due(&self, i: usize) -> Option<f64> {
         let p = &self.proxies[i];
         (p.issued < self.n_requests).then_some(p.pending.time)
     }
 
-    /// When proxy `i`'s earliest jittered prefetch decision comes due.
-    /// Pending prefetches are still issued after the request stream ends
-    /// so any waiters attached to them resolve.
+    /// When local proxy `i`'s earliest jittered prefetch decision comes
+    /// due. Pending prefetches are still issued after the request stream
+    /// ends so any waiters attached to them resolve.
     pub(crate) fn prefetch_due(&self, i: usize) -> Option<f64> {
         self.proxies[i].delayed.peek().map(|d| d.due)
     }
 
-    /// The next digest-refresh boundary (cooperative mode only). Always on
-    /// the epoch grid `k · epoch` — refresh is a first-class event, not a
-    /// side effect of whatever event straddles the boundary.
-    pub(crate) fn refresh_boundary(&self) -> Option<f64> {
-        self.router.as_ref().map(|r| r.next_refresh())
+    /// Stages `job`'s entry into global link `g` at `tau` (`now` plus the
+    /// link's propagation latency; equal to `now` on zero-latency hops).
+    fn send_arrive(&mut self, g: usize, now: f64, job: Job) {
+        let tau = now + self.topology.entry_latency(g);
+        debug_assert!(tau >= now);
+        self.effects.push(Effect::Arrive { link: g as u32, t: tau, job });
     }
 
-    /// Resolves where a miss/prefetch at `me` is served from.
-    fn resolve(&self, me: usize, item: ItemId) -> Dest {
-        match self.router.as_ref().map(|r| r.resolve(me, item.0)) {
-            Some(coop::Resolution::Peer(q)) => Dest::Peer(q as u32),
-            _ => Dest::Origin,
-        }
+    /// Stages the peer-serve check of `job` at proxy `q` (the far end of
+    /// the peer route's last hop).
+    fn send_check(&mut self, last_link: usize, now: f64, job: Job) {
+        let Dest::Peer(q) = job.dest else { unreachable!("check on an origin transfer") };
+        let tau = now + self.topology.entry_latency(last_link);
+        self.effects.push(Effect::Check { q, t: tau, job });
+    }
+
+    /// Stages `job`'s response delivery back at its requesting proxy,
+    /// after the return propagation of `route`.
+    fn send_deliver(&mut self, route: &[usize], now: f64, job: Job, false_hit: bool) {
+        let tau = now + self.topology.return_latency(route);
+        self.effects.push(Effect::Deliver { p: job.proxy, t: tau, job, false_hit });
     }
 
     /// Injects `job` onto the first link of its path at time `t`.
     fn launch(&mut self, t: f64, job: Job) {
         let first = job.path(self.topology)[0];
-        let id = self.next_job_id;
-        self.next_job_id += 1;
-        self.jobs.insert(id, job);
-        self.links[first].arrive(t, job.size, id);
-        self.dirty_links.push(first);
+        self.send_arrive(first, t, job);
     }
 
-    /// A link departure event on link `l` at time `t`.
+    /// A link departure event on local link `l` at time `t`.
     pub(crate) fn on_link(&mut self, t: f64, l: usize) {
         self.t_end = t;
-        self.dirty_links.push(l);
+        self.dirty.push((CLASS_DEPART, l));
+        let g_l = self.scope.links[l];
         for c in self.links[l].on_event(t) {
-            let job = self.jobs[&c.tag];
+            let job = self.jobs.remove(&c.tag).expect("completed job on this scope's link");
             self.links[l].bytes_carried += job.size;
             let route = job.path(self.topology);
             if job.hop + 1 < route.len() {
                 let mut fwd = job;
                 fwd.hop += 1;
-                self.jobs.insert(c.tag, fwd);
-                self.links[route[fwd.hop]].arrive(t, fwd.size, c.tag);
-                self.dirty_links.push(route[fwd.hop]);
+                self.send_arrive(route[fwd.hop], t, fwd);
                 continue;
             }
-            // Digest false hit: the transfer reached a peer that does not
-            // hold the item (evicted since the last refresh, or a
-            // structural Bloom false positive) — fall back to the origin,
-            // paying the peer path *and* the origin path.
-            if let Dest::Peer(q) = job.dest {
-                if !self.proxies[q as usize].cache.inner().contains(&job.item) {
-                    let mut fwd = job;
-                    fwd.dest = Dest::Origin;
-                    fwd.hop = 0;
-                    fwd.spent += fwd.size;
-                    self.jobs.insert(c.tag, fwd);
-                    let p = &mut self.proxies[job.proxy as usize];
-                    p.peer_false_hits += 1;
-                    match job.kind {
-                        JobKind::Demand { .. } => p.demand_bytes += job.size,
-                        JobKind::Prefetch { .. } => p.prefetch_bytes += job.size,
-                    }
-                    let first = fwd.path(self.topology)[0];
-                    self.links[first].arrive(t, fwd.size, c.tag);
-                    self.dirty_links.push(first);
-                    continue;
-                }
-            }
-            self.jobs.remove(&c.tag);
-            let p = &mut self.proxies[job.proxy as usize];
-            if matches!(job.dest, Dest::Peer(_)) {
-                p.peer_fetches += 1;
-                p.peer_bytes += job.size;
-            }
-            match job.kind {
-                JobKind::Demand { measured } => {
-                    let (admitted, evicted) = p.cache.charge_after_fetch(job.item, job.size);
-                    note_cache_change(
-                        &mut self.deltas,
-                        job.proxy as usize,
-                        p,
-                        job.item,
-                        admitted,
-                        &evicted,
-                    );
-                    p.inflight.remove(&job.item);
-                    if measured {
-                        let sojourn = t - job.issued;
-                        p.access_times.push(sojourn);
-                        p.retrievals.push(sojourn);
-                        p.total_job_time += sojourn;
-                    }
-                    if let Some(ws) = p.waiters.remove(&job.item) {
-                        for (tw, mw) in ws {
-                            if mw {
-                                p.access_times.push(t - tw);
-                            }
-                        }
-                    }
-                }
-                JobKind::Prefetch { measured } => {
-                    if measured {
-                        p.total_job_time += t - job.issued;
-                    }
-                    if let Some(ws) = p.waiters.remove(&job.item) {
-                        // The item was demanded while the prefetch was in
-                        // flight: it lands as a demand-fetched (tagged)
-                        // entry and the waiters' clocks stop now. The
-                        // transfer served real demand, so everything it
-                        // cost counts as used.
-                        let (admitted, evicted) = p.cache.charge_after_fetch(job.item, job.size);
-                        note_cache_change(
-                            &mut self.deltas,
-                            job.proxy as usize,
-                            p,
-                            job.item,
-                            admitted,
-                            &evicted,
-                        );
-                        p.used_prefetch_bytes += job.spent;
-                        for (tw, mw) in ws {
-                            if mw {
-                                p.access_times.push(t - tw);
-                            }
-                        }
-                    } else {
-                        let (admitted, evicted) = p.cache.charge_prefetch(job.item, job.size);
-                        note_cache_change(
-                            &mut self.deltas,
-                            job.proxy as usize,
-                            p,
-                            job.item,
-                            admitted,
-                            &evicted,
-                        );
-                        if admitted {
-                            p.controller.on_prefetch_insert();
-                            p.prefetch_cost.insert(job.item, job.spent);
-                        }
-                    }
-                    p.inflight.remove(&job.item);
-                }
+            match job.dest {
+                // A peer transfer must find the entry actually present at
+                // the peer — checked at the peer itself (its cache is that
+                // shard's state), after the last hop's propagation.
+                Dest::Peer(_) => self.send_check(g_l, t, job),
+                Dest::Origin => self.send_deliver(route, t, job, false),
             }
         }
     }
 
-    /// A jittered prefetch decision of proxy `i` coming due.
-    pub(crate) fn on_issue_prefetch(&mut self, i: usize) {
+    /// Queued arrivals on local link `l` coming due at `t`, in
+    /// `(time, job id)` order.
+    pub(crate) fn on_arrivals(&mut self, t: f64, l: usize) {
+        self.t_end = t;
+        while let Some(job) = self.arrivals[l].pop_due(t) {
+            self.arrive_now(l, t, job);
+        }
+        self.dirty.push((CLASS_ARRIVE, l));
+    }
+
+    /// `job` enters local link `l`'s server at `t`.
+    fn arrive_now(&mut self, l: usize, t: f64, job: Job) {
+        self.jobs.insert(job.id, job);
+        self.links[l].arrive(t, job.size, job.id);
+        self.dirty.push((CLASS_DEPART, l));
+    }
+
+    /// Queued peer-serve checks at local proxy `i` coming due at `t`.
+    pub(crate) fn on_checks(&mut self, t: f64, i: usize) {
+        self.t_end = t;
+        while let Some(job) = self.checks[i].pop_due(t) {
+            self.check_now(i, t, job);
+        }
+        self.dirty.push((CLASS_CHECK, i));
+    }
+
+    /// The peer-serve check of `job` at local proxy `i` (= `job.dest`'s
+    /// peer): does the peer actually hold the item? Either way the answer
+    /// travels back to the requester over the peer route.
+    fn check_now(&mut self, i: usize, t: f64, job: Job) {
+        self.t_end = t;
+        debug_assert!(matches!(job.dest, Dest::Peer(q) if self.scope.proxies[i] == q as usize));
+        let holds = self.proxies[i].cache.inner().contains(&job.item);
+        let route = job.path(self.topology);
+        self.send_deliver(route, t, job, !holds);
+    }
+
+    /// Queued response deliveries at local proxy `i` coming due at `t`.
+    pub(crate) fn on_delivers(&mut self, t: f64, i: usize) {
+        self.t_end = t;
+        while let Some((job, false_hit)) = self.delivers[i].pop_due(t) {
+            self.deliver_now(i, t, job, false_hit);
+        }
+        self.dirty.push((CLASS_DELIVER, i));
+    }
+
+    /// `job`'s response (or false-hit notification) lands at its
+    /// requesting proxy — local index `i`.
+    fn deliver_now(&mut self, i: usize, t: f64, job: Job, false_hit: bool) {
+        self.t_end = t;
+        debug_assert_eq!(self.scope.proxies[i], job.proxy as usize);
+        if false_hit {
+            // Digest false hit: the transfer reached a peer that does not
+            // hold the item (evicted since the last refresh, or a
+            // structural Bloom false positive) — fall back to the origin,
+            // paying the peer path *and* the origin path.
+            let mut fwd = job;
+            fwd.dest = Dest::Origin;
+            fwd.hop = 0;
+            fwd.spent += fwd.size;
+            let p = &mut self.proxies[i];
+            p.peer_false_hits += 1;
+            match job.kind {
+                JobKind::Demand { .. } => p.demand_bytes += job.size,
+                JobKind::Prefetch { .. } => p.prefetch_bytes += job.size,
+            }
+            self.launch(t, fwd);
+            return;
+        }
+        let p = &mut self.proxies[i];
+        if matches!(job.dest, Dest::Peer(_)) {
+            p.peer_fetches += 1;
+            p.peer_bytes += job.size;
+        }
+        match job.kind {
+            JobKind::Demand { measured } => {
+                let (admitted, evicted) = p.cache.charge_after_fetch(job.item, job.size);
+                note_cache_change(&mut self.deltas, i, p, job.item, admitted, &evicted);
+                p.inflight.remove(&job.item);
+                if measured {
+                    let sojourn = t - job.issued;
+                    p.access_times.push(sojourn);
+                    p.retrievals.push(sojourn);
+                    p.total_job_time += sojourn;
+                }
+                if let Some(ws) = p.waiters.remove(&job.item) {
+                    for (tw, mw) in ws {
+                        if mw {
+                            p.access_times.push(t - tw);
+                        }
+                    }
+                }
+            }
+            JobKind::Prefetch { measured } => {
+                if measured {
+                    p.total_job_time += t - job.issued;
+                }
+                if let Some(ws) = p.waiters.remove(&job.item) {
+                    // The item was demanded while the prefetch was in
+                    // flight: it lands as a demand-fetched (tagged)
+                    // entry and the waiters' clocks stop now. The
+                    // transfer served real demand, so everything it
+                    // cost counts as used.
+                    let (admitted, evicted) = p.cache.charge_after_fetch(job.item, job.size);
+                    note_cache_change(&mut self.deltas, i, p, job.item, admitted, &evicted);
+                    p.used_prefetch_bytes += job.spent;
+                    for (tw, mw) in ws {
+                        if mw {
+                            p.access_times.push(t - tw);
+                        }
+                    }
+                } else {
+                    let (admitted, evicted) = p.cache.charge_prefetch(job.item, job.size);
+                    note_cache_change(&mut self.deltas, i, p, job.item, admitted, &evicted);
+                    if admitted {
+                        p.controller.on_prefetch_insert();
+                        p.prefetch_cost.insert(job.item, job.spent);
+                    }
+                }
+                p.inflight.remove(&job.item);
+            }
+        }
+    }
+
+    /// A jittered prefetch decision of local proxy `i` coming due.
+    pub(crate) fn on_issue_prefetch(&mut self, i: usize, router: Option<&Router>) {
+        let me = self.scope.proxies[i];
         let pfx = self.proxies[i].delayed.pop().expect("pending prefetch");
         self.t_end = pfx.due;
+        self.dirty.push((CLASS_PREFETCH, i));
         if !self.proxies[i].cache.inner().contains(&pfx.item) {
-            let dest = self.resolve(i, pfx.item);
+            let dest = resolve(router, me, pfx.item);
             let shard = (pfx.item.0 % self.n_shards) as u32;
-            {
+            let id = {
                 let p = &mut self.proxies[i];
                 p.prefetch_jobs += 1;
                 p.prefetch_bytes += pfx.size;
-            }
+                p.job_seq += 1;
+                ((me as u64) << 40) | p.job_seq
+            };
             self.launch(
                 pfx.due,
                 Job {
-                    proxy: i as u32,
+                    id,
+                    proxy: me as u32,
                     shard,
                     dest,
                     hop: 0,
@@ -519,8 +616,9 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// The next client request of proxy `i`.
-    pub(crate) fn on_request(&mut self, i: usize) {
+    /// The next client request of local proxy `i`.
+    pub(crate) fn on_request(&mut self, i: usize, router: Option<&Router>) {
+        let me = self.scope.proxies[i];
         let n_shards = self.n_shards;
         let p = &mut self.proxies[i];
         let req = p.pending;
@@ -575,11 +673,17 @@ impl<'a> Engine<'a> {
         }
         if launch_demand {
             let shard = (req.item.0 % n_shards) as u32;
-            let dest = self.resolve(i, req.item);
+            let dest = resolve(router, me, req.item);
+            let id = {
+                let p = &mut self.proxies[i];
+                p.job_seq += 1;
+                ((me as u64) << 40) | p.job_seq
+            };
             self.launch(
                 t,
                 Job {
-                    proxy: i as u32,
+                    id,
+                    proxy: me as u32,
                     shard,
                     dest,
                     hop: 0,
@@ -621,130 +725,246 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        self.dirty.push((CLASS_REQUEST, i));
+        self.dirty.push((CLASS_PREFETCH, i));
+    }
+}
+
+impl shard::EngineCore for Engine<'_> {
+    type Job = Job;
+
+    fn class_counts(&self) -> [usize; N_CLASSES] {
+        let (l, p) = (self.links.len(), self.proxies.len());
+        [l, l, p, p, p, p]
     }
 
-    /// The digest-refresh event at epoch boundary `t`: regenerate the
-    /// advertised summaries — by flushing the accumulated delta streams
-    /// (the production path) or by full rebuild from the live caches (the
-    /// parity oracle) — and feed the controllers' `ρ̂′` estimates to the
-    /// placement policy. Both strategies leave the router advertising the
-    /// same state, so reports only differ in digest-exchange bytes.
-    pub(crate) fn on_refresh(&mut self, t: f64) {
-        let proxies = &self.proxies;
-        let r = self.router.as_mut().expect("refresh event without a router");
-        let loads: Vec<f64> =
-            proxies.iter().map(|p| p.controller.rho_prime_estimate().unwrap_or(0.0)).collect();
-        match self.refresh_strategy {
-            RefreshStrategy::Deltas => r.apply_deltas(t, &mut self.deltas, &loads),
-            RefreshStrategy::FullRebuild => {
-                r.refresh(
-                    t,
-                    |proxy| proxies[proxy].cache.keys().iter().map(|k| k.0).collect(),
-                    &loads,
-                );
-                // The oracle rebuilt from the live caches; discard the
-                // buffered stream it did not ship so engine state stays
-                // identical across strategies.
-                for d in &mut self.deltas {
-                    d.clear();
-                }
+    fn global_id(&self, class: usize, idx: usize) -> usize {
+        match class {
+            CLASS_DEPART | CLASS_ARRIVE => self.scope.links[idx],
+            _ => self.scope.proxies[idx],
+        }
+    }
+
+    fn due(&self, class: usize, idx: usize) -> Option<f64> {
+        match class {
+            CLASS_DEPART => self.links[idx].next_event(),
+            CLASS_ARRIVE => self.arrivals[idx].next_time(),
+            CLASS_CHECK => self.checks[idx].next_time(),
+            CLASS_DELIVER => self.delivers[idx].next_time(),
+            CLASS_REQUEST => self.request_due(idx),
+            CLASS_PREFETCH => self.prefetch_due(idx),
+            _ => unreachable!("unknown class {class}"),
+        }
+    }
+
+    fn dispatch(&mut self, class: usize, idx: usize, t: f64, router: Option<&Router>) {
+        match class {
+            CLASS_DEPART => self.on_link(t, idx),
+            CLASS_ARRIVE => self.on_arrivals(t, idx),
+            CLASS_CHECK => self.on_checks(t, idx),
+            CLASS_DELIVER => self.on_delivers(t, idx),
+            CLASS_REQUEST => self.on_request(idx, router),
+            CLASS_PREFETCH => self.on_issue_prefetch(idx, router),
+            _ => unreachable!("unknown class {class}"),
+        }
+    }
+
+    fn apply_now(&mut self, e: Effect<Job>, t: f64) {
+        debug_assert_eq!(e.time(), t);
+        match e {
+            Effect::Arrive { link, job, .. } => {
+                let l = self.scope.link_local(link as usize).expect("arrive in scope");
+                self.arrive_now(l, t, job);
+            }
+            Effect::Check { q, job, .. } => {
+                let i = self.scope.proxy_local(q as usize).expect("check in scope");
+                self.check_now(i, t, job);
+            }
+            Effect::Deliver { p, job, false_hit, .. } => {
+                let i = self.scope.proxy_local(p as usize).expect("deliver in scope");
+                self.deliver_now(i, t, job, false_hit);
             }
         }
     }
 
-    pub(crate) fn into_report(self) -> ClusterReport {
-        let coop_on = self.router.is_some();
-        let n_requests = self.n_requests;
-        let nodes: Vec<NodeReport> = self
-            .proxies
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let (mean_access, ci) = p.access_times.mean_ci();
-                let measured = p.measured.max(1);
-                // Per-distinct-entry accounting conserves prefetched bytes
-                // exactly: every transferred byte is either used (served a
-                // demand) or not — no clamp needed to keep goodput within
-                // the prefetched volume.
-                debug_assert!(
-                    p.used_prefetch_bytes <= p.prefetch_bytes * (1.0 + 1e-9) + 1e-9,
-                    "proxy {i}: goodput {} exceeds prefetched volume {}",
-                    p.used_prefetch_bytes,
-                    p.prefetch_bytes
-                );
-                let goodput = p.used_prefetch_bytes;
-                let badput = (p.prefetch_bytes - p.used_prefetch_bytes).max(0.0);
-                debug_assert!(
-                    (goodput + badput - p.prefetch_bytes).abs() <= 1e-6 * p.prefetch_bytes.max(1.0),
-                    "proxy {i}: goodput {goodput} + badput {badput} != prefetched {}",
-                    p.prefetch_bytes
-                );
-                NodeReport {
-                    proxy: i,
-                    measured_requests: p.measured,
-                    hit_ratio: p.hits as f64 / measured as f64,
-                    mean_access_time: mean_access,
-                    access_time_ci95: ci,
-                    mean_retrieval_time: p.retrievals.mean(),
-                    retrieval_per_request: p.total_job_time / measured as f64,
-                    prefetches_per_request: p.prefetch_jobs as f64 / n_requests.max(1) as f64,
-                    goodput_bytes: Some(goodput),
-                    badput_bytes: Some(badput),
-                    demand_bytes: p.demand_bytes,
-                    cache_used_bytes: Some(p.cache.used_bytes()),
-                    peer_bytes: coop_on.then_some(p.peer_bytes),
-                    peer_fetches: coop_on.then_some(p.peer_fetches),
-                    peer_false_hits: coop_on.then_some(p.peer_false_hits),
-                    mean_threshold: (p.threshold_n > 0)
-                        .then(|| p.threshold_sum / p.threshold_n as f64),
-                    rho_prime_estimate: p.controller.rho_prime_estimate(),
-                    h_prime_estimate: p.controller.h_prime_estimate(),
+    fn enqueue(&mut self, e: Effect<Job>) {
+        match e {
+            Effect::Arrive { link, t, job } => {
+                let l = self.scope.link_local(link as usize).expect("arrive in scope");
+                self.arrivals[l].push(t, job.id, job);
+                self.dirty.push((CLASS_ARRIVE, l));
+            }
+            Effect::Check { q, t, job } => {
+                let i = self.scope.proxy_local(q as usize).expect("check in scope");
+                self.checks[i].push(t, job.id, job);
+                self.dirty.push((CLASS_CHECK, i));
+            }
+            Effect::Deliver { p, t, job, false_hit } => {
+                let i = self.scope.proxy_local(p as usize).expect("deliver in scope");
+                self.delivers[i].push(t, job.id, (job, false_hit));
+                self.dirty.push((CLASS_DELIVER, i));
+            }
+        }
+    }
+
+    fn owns(&self, e: &Effect<Job>) -> bool {
+        match e {
+            Effect::Arrive { link, .. } => self.scope.link_local(*link as usize).is_some(),
+            Effect::Check { q, .. } => self.scope.proxy_local(*q as usize).is_some(),
+            Effect::Deliver { p, .. } => self.scope.proxy_local(*p as usize).is_some(),
+        }
+    }
+
+    fn take_effects(&mut self, out: &mut Vec<Effect<Job>>) {
+        out.append(&mut self.effects);
+    }
+
+    fn drain_dirty(&mut self, out: &mut Vec<(usize, usize)>) {
+        out.append(&mut self.dirty);
+    }
+
+    fn sync_link_timer(&mut self, idx: usize, sched: &mut Scheduler, key: usize) {
+        self.links[idx].sync_timer(sched, key);
+    }
+
+    fn refresh_payloads(&mut self, out: &mut Vec<shard::BoundaryEntry>) {
+        if !self.coop_on {
+            return;
+        }
+        for (li, p) in self.proxies.iter().enumerate() {
+            let load = p.controller.rho_prime_estimate().unwrap_or(0.0);
+            let snapshot =
+                |p: &ProxyState| p.cache.keys().iter().map(|k| k.0).collect::<Vec<u64>>();
+            let payload = match self.refresh_strategy {
+                RefreshStrategy::Deltas => {
+                    RefreshPayload::Deltas(std::mem::take(&mut self.deltas[li]))
                 }
-            })
-            .collect();
-
-        let t_end = self.t_end;
-        let link_reports: Vec<LinkReport> = self
-            .topology
-            .links()
-            .iter()
-            .zip(&self.links)
-            .map(|(spec, state)| LinkReport {
-                name: spec.name.clone(),
-                utilisation: if t_end > 0.0 { state.busy_time() / t_end } else { 0.0 },
-                bytes_carried: state.bytes_carried,
-                jobs_completed: state.jobs_completed,
-            })
-            .collect();
-
-        let total_measured: u64 = nodes.iter().map(|n| n.measured_requests).sum();
-        let mean_access_time =
-            nodes.iter().map(|n| n.mean_access_time * n.measured_requests as f64).sum::<f64>()
-                / total_measured.max(1) as f64;
-        let total_bytes: f64 = self.proxies.iter().map(|p| p.demand_bytes + p.prefetch_bytes).sum();
-
-        ClusterReport {
-            nodes,
-            links: link_reports,
-            mean_access_time,
-            bytes_per_request: total_bytes / (n_requests * self.proxies.len() as u64).max(1) as f64,
-            duration: t_end,
-            coop: self.router.map(|r| CoopReport {
-                router: r.stats(),
-                peer_fetches: self.proxies.iter().map(|p| p.peer_fetches).sum(),
-                peer_false_hits: self.proxies.iter().map(|p| p.peer_false_hits).sum(),
-            }),
+                RefreshStrategy::FullRebuild => {
+                    // The snapshot supersedes the buffered stream; discard
+                    // it so engine state stays identical across strategies.
+                    self.deltas[li].clear();
+                    RefreshPayload::Snapshot(snapshot(p))
+                }
+                RefreshStrategy::Auto => {
+                    // The compaction fallback: a delta stream that outgrew
+                    // the snapshot's wire size ships the snapshot instead.
+                    if self.deltas[li].len() as u64 > self.delta_crossover {
+                        self.deltas[li].clear();
+                        RefreshPayload::Snapshot(snapshot(p))
+                    } else {
+                        RefreshPayload::Deltas(std::mem::take(&mut self.deltas[li]))
+                    }
+                }
+            };
+            out.push((self.scope.proxies[li], load, payload));
         }
     }
 }
 
-/// Runs the closed loop on the indexed event scheduler.
-///
-/// Timer-key layout (also the same-instant firing order, since the
-/// scheduler breaks time ties by ascending key — matching the engine's
-/// historical link < request < prefetch < refresh precedence):
-/// `[0, L)` link departures, `[L, L+P)` request arrivals, `[L+P, L+2P)`
-/// pending-prefetch issues, `L+2P` digest refresh.
+/// Builds one proxy's report block.
+fn node_report(p: &ProxyState, proxy: usize, n_requests: u64, coop_on: bool) -> NodeReport {
+    let (mean_access, ci) = p.access_times.mean_ci();
+    let measured = p.measured.max(1);
+    // Per-distinct-entry accounting conserves prefetched bytes exactly:
+    // every transferred byte is either used (served a demand) or not — no
+    // clamp needed to keep goodput within the prefetched volume.
+    debug_assert!(
+        p.used_prefetch_bytes <= p.prefetch_bytes * (1.0 + 1e-9) + 1e-9,
+        "proxy {proxy}: goodput {} exceeds prefetched volume {}",
+        p.used_prefetch_bytes,
+        p.prefetch_bytes
+    );
+    let goodput = p.used_prefetch_bytes;
+    let badput = (p.prefetch_bytes - p.used_prefetch_bytes).max(0.0);
+    debug_assert!(
+        (goodput + badput - p.prefetch_bytes).abs() <= 1e-6 * p.prefetch_bytes.max(1.0),
+        "proxy {proxy}: goodput {goodput} + badput {badput} != prefetched {}",
+        p.prefetch_bytes
+    );
+    NodeReport {
+        proxy,
+        measured_requests: p.measured,
+        hit_ratio: p.hits as f64 / measured as f64,
+        mean_access_time: mean_access,
+        access_time_ci95: ci,
+        mean_retrieval_time: p.retrievals.mean(),
+        retrieval_per_request: p.total_job_time / measured as f64,
+        prefetches_per_request: p.prefetch_jobs as f64 / n_requests.max(1) as f64,
+        goodput_bytes: Some(goodput),
+        badput_bytes: Some(badput),
+        demand_bytes: p.demand_bytes,
+        cache_used_bytes: Some(p.cache.used_bytes()),
+        peer_bytes: coop_on.then_some(p.peer_bytes),
+        peer_fetches: coop_on.then_some(p.peer_fetches),
+        peer_false_hits: coop_on.then_some(p.peer_false_hits),
+        mean_threshold: (p.threshold_n > 0).then(|| p.threshold_sum / p.threshold_n as f64),
+        rho_prime_estimate: p.controller.rho_prime_estimate(),
+        h_prime_estimate: p.controller.h_prime_estimate(),
+    }
+}
+
+/// Assembles the cluster report from the (possibly sharded) engine
+/// scopes, iterating every per-proxy and per-link aggregate in **global**
+/// index order so the floating-point reductions are identical under every
+/// partitioning.
+pub(crate) fn merge_reports(
+    topology: &Topology,
+    engines: Vec<Engine<'_>>,
+    router: Option<Router>,
+) -> ClusterReport {
+    let n_requests = engines[0].n_requests;
+    let t_end = engines.iter().map(|e| e.t_end).fold(0.0, f64::max);
+    let coop_on = router.is_some();
+
+    let n_proxies = topology.n_proxies();
+    let index = ScopeIndex::new(topology, engines.iter().map(|e| &e.scope));
+    let proxy = |g: usize| {
+        let (ei, li) = index.proxy(g);
+        &engines[ei].proxies[li]
+    };
+
+    let nodes: Vec<NodeReport> =
+        (0..n_proxies).map(|g| node_report(proxy(g), g, n_requests, coop_on)).collect();
+
+    let link_reports: Vec<LinkReport> = topology
+        .links()
+        .iter()
+        .enumerate()
+        .map(|(g, spec)| {
+            let (ei, li) = index.link(g);
+            let state = &engines[ei].links[li];
+            LinkReport {
+                name: spec.name.clone(),
+                utilisation: if t_end > 0.0 { state.busy_time() / t_end } else { 0.0 },
+                bytes_carried: state.bytes_carried,
+                jobs_completed: state.jobs_completed,
+            }
+        })
+        .collect();
+
+    let total_measured: u64 = nodes.iter().map(|n| n.measured_requests).sum();
+    let mean_access_time =
+        nodes.iter().map(|n| n.mean_access_time * n.measured_requests as f64).sum::<f64>()
+            / total_measured.max(1) as f64;
+    let total_bytes: f64 =
+        (0..n_proxies).map(|g| proxy(g).demand_bytes + proxy(g).prefetch_bytes).sum();
+
+    ClusterReport {
+        nodes,
+        links: link_reports,
+        mean_access_time,
+        bytes_per_request: total_bytes / (n_requests * n_proxies as u64).max(1) as f64,
+        duration: t_end,
+        coop: router.map(|r| CoopReport {
+            router: r.stats(),
+            peer_fetches: (0..n_proxies).map(|g| proxy(g).peer_fetches).sum(),
+            peer_false_hits: (0..n_proxies).map(|g| proxy(g).peer_false_hits).sum(),
+        }),
+    }
+}
+
+/// Runs the closed loop partitioned by `plan` — the single-shard plan is
+/// the classic single-threaded driver.
 pub(crate) fn run(
     topology: &Topology,
     w: &AdaptiveWorkload,
@@ -752,53 +972,15 @@ pub(crate) fn run(
     requests: usize,
     warmup: usize,
     seed: u64,
+    plan: &ShardPlan,
 ) -> ClusterReport {
-    let mut eng = Engine::new(topology, w, coop_cfg, requests, warmup, seed);
-    let n_links = eng.links.len();
-    let n_proxies = eng.n_proxies();
-    let req_key = n_links;
-    let pre_key = n_links + n_proxies;
-    let refresh_key = n_links + 2 * n_proxies;
-    let mut sched = Scheduler::with_timers(refresh_key + 1);
-
-    for i in 0..n_proxies {
-        if let Some(t) = eng.request_due(i) {
-            sched.schedule(req_key + i, t);
-        }
-    }
-    if let Some(t) = eng.refresh_boundary() {
-        sched.schedule(refresh_key, t);
-    }
-
-    loop {
-        // The refresh timer re-arms forever; stop once it is all that is
-        // left (boundaries beyond the last real event never fire).
-        match sched.peek() {
-            None => break,
-            Some((_, key)) if key == refresh_key && sched.len() == 1 => break,
-            _ => {}
-        }
-        let (t, key) = sched.pop().expect("peeked event");
-        if key < n_links {
-            eng.on_link(t, key);
-        } else if key < pre_key {
-            let i = key - req_key;
-            eng.on_request(i);
-            sched.sync(req_key + i, eng.request_due(i));
-            // The request may have queued new (possibly earlier) prefetch
-            // decisions.
-            sched.sync(pre_key + i, eng.prefetch_due(i));
-        } else if key < refresh_key {
-            let i = key - pre_key;
-            eng.on_issue_prefetch(i);
-            sched.sync(pre_key + i, eng.prefetch_due(i));
-        } else {
-            eng.on_refresh(t);
-            sched.sync(refresh_key, eng.refresh_boundary());
-        }
-        while let Some(l) = eng.dirty_links.pop() {
-            eng.links[l].sync_timer(&mut sched, l);
-        }
-    }
-    eng.into_report()
+    let router = coop_cfg.map(|c| Router::new(topology.n_proxies(), w.cache_capacity, *c));
+    let runners: Vec<ShardRunner<Engine<'_>>> = (0..plan.n_shards())
+        .map(|s| {
+            let scope = Scope::shard(topology, plan, s);
+            ShardRunner::new(Engine::new(topology, w, coop_cfg, requests, warmup, seed, scope))
+        })
+        .collect();
+    let (engines, router) = shard::drive(runners, router, plan);
+    merge_reports(topology, engines, router)
 }

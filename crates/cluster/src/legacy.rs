@@ -4,18 +4,29 @@
 //! Before the indexed event scheduler (`simcore::sched`) landed, both
 //! cluster engines selected the next event by scanning every link and
 //! every proxy per iteration. The scan is gone from the hot paths
-//! (`closed_loop`/`static_mode` now arm per-link/per-proxy timers), but
-//! it survives here, driving the *same* `Engine` handler cores, so the
-//! engine-parity tests can pin that the scheduler rewrite changed event
-//! *selection cost* and nothing else: both drivers must produce
-//! byte-identical [`ClusterReport`]s.
+//! (`closed_loop`/`static_mode` now arm per-link/per-proxy timers and run
+//! under the `shard` drivers), but it survives here, driving the *same*
+//! `Engine` handler cores, so the engine-parity tests can pin that the
+//! scheduler rewrite changed event *selection cost* and nothing else: both
+//! drivers must produce byte-identical [`ClusterReport`]s.
 //!
-//! Not part of the public API surface (`#[doc(hidden)]` at the re-export);
-//! do not build features on it.
+//! Compiled only under the `legacy-oracle` cargo feature (on by default
+//! for this crate, so `cargo test` keeps the parity suites; release
+//! consumers — the harness, the facade — opt out with
+//! `default-features = false` and carry no dead driver). Not part of the
+//! public API surface (`#[doc(hidden)]` at the re-export); do not build
+//! features on it.
+//!
+//! The scan predates link latency, so it only accepts zero-latency
+//! topologies (every effect settles at its emission instant, inline —
+//! exactly the behaviour the pre-shard engines hard-coded).
 
 use crate::report::ClusterReport;
-use crate::sim::LinkState;
+use crate::shard::{flush_boundary, BoundaryEntry, Effect, EngineCore};
+use crate::sim::{LinkState, Scope};
 use crate::{closed_loop, static_mode, ClusterConfig, Workload};
+use coop::Router;
+use std::collections::VecDeque;
 
 /// Earliest pending event over a set of links: `(time, link_index)`,
 /// lowest index first on ties — the O(links) scan the scheduler replaced.
@@ -31,42 +42,86 @@ fn earliest_link_event(links: &[LinkState]) -> Option<(f64, usize)> {
     best
 }
 
+/// Inline settlement of a full-scope handler's effects: on the
+/// zero-latency topologies the scan supports, every effect applies at its
+/// emission instant, children-before-siblings — byte-identical to the
+/// nesting the pre-shard engines executed inline.
+fn settle<C: EngineCore>(core: &mut C, t: f64, scratch: &mut Vec<Effect<C::Job>>) {
+    let mut dq: VecDeque<Effect<C::Job>> = VecDeque::new();
+    core.take_effects(scratch);
+    dq.extend(scratch.drain(..));
+    while let Some(e) = dq.pop_front() {
+        debug_assert!(core.owns(&e), "legacy scan runs one full scope");
+        debug_assert_eq!(e.time(), t, "legacy scan supports zero-latency topologies only");
+        core.apply_now(e, t);
+        core.take_effects(scratch);
+        for child in scratch.drain(..).rev() {
+            dq.push_front(child);
+        }
+    }
+}
+
 /// Runs one cluster simulation with the legacy scan driver. Same
-/// semantics, dispatch, and validation as [`crate::ClusterSim::run`].
+/// semantics, dispatch, and validation as [`crate::ClusterSim::run`] on
+/// zero-latency topologies (the only kind the scan era had).
 pub fn run(config: &ClusterConfig<'_>, seed: u64) -> ClusterReport {
     config.validate();
+    assert!(
+        !config.topology.has_latency(),
+        "the legacy scan predates link latency; use the shard drivers"
+    );
+    let scope = Scope::full(&config.topology);
     match &config.workload {
-        Workload::Static(w) => run_static(static_mode::Engine::new(
-            &config.topology,
-            w,
-            config.requests_per_proxy,
-            config.warmup_per_proxy,
-            seed,
-        )),
-        Workload::Adaptive(w) => run_closed(closed_loop::Engine::new(
-            &config.topology,
-            w,
-            None,
-            config.requests_per_proxy,
-            config.warmup_per_proxy,
-            seed,
-        )),
-        Workload::Cooperative(w) => run_closed(closed_loop::Engine::new(
-            &config.topology,
-            &w.base,
-            Some(&w.coop),
-            config.requests_per_proxy,
-            config.warmup_per_proxy,
-            seed,
-        )),
+        Workload::Static(w) => {
+            let eng = static_mode::Engine::new(
+                &config.topology,
+                w,
+                config.requests_per_proxy,
+                config.warmup_per_proxy,
+                seed,
+                scope,
+            );
+            run_static(&config.topology, eng)
+        }
+        Workload::Adaptive(w) => {
+            let eng = closed_loop::Engine::new(
+                &config.topology,
+                w,
+                None,
+                config.requests_per_proxy,
+                config.warmup_per_proxy,
+                seed,
+                scope,
+            );
+            run_closed(&config.topology, eng, None)
+        }
+        Workload::Cooperative(w) => {
+            let eng = closed_loop::Engine::new(
+                &config.topology,
+                &w.base,
+                Some(&w.coop),
+                config.requests_per_proxy,
+                config.warmup_per_proxy,
+                seed,
+                scope,
+            );
+            let router = Router::new(config.topology.n_proxies(), w.base.cache_capacity, w.coop);
+            run_closed(&config.topology, eng, Some(router))
+        }
     }
 }
 
 /// The closed-loop scan loop: every iteration walks all links and all
 /// proxies for the earliest event. Tie order (links by index, then
 /// requests by proxy, then prefetches, refresh strictly last) matches the
-/// scheduler's key layout exactly.
-fn run_closed(mut eng: closed_loop::Engine<'_>) -> ClusterReport {
+/// shard drivers' class layout exactly.
+fn run_closed(
+    topology: &crate::Topology,
+    mut eng: closed_loop::Engine<'_>,
+    mut router: Option<Router>,
+) -> ClusterReport {
+    let mut scratch = Vec::new();
+    let mut dirty = Vec::new();
     loop {
         let link_ev = earliest_link_event(&eng.links);
         let mut req: Option<(f64, usize)> = None;
@@ -91,25 +146,35 @@ fn run_closed(mut eng: closed_loop::Engine<'_>) -> ClusterReport {
             // Refresh boundaries beyond the last real event never fire.
             break;
         }
-        let tb = eng.refresh_boundary().unwrap_or(f64::INFINITY);
+        let tb = router.as_ref().map_or(f64::INFINITY, |r| r.next_refresh());
         if tb < ts && tb < tr && tb < tp {
-            eng.on_refresh(tb);
+            let mut entries: Vec<BoundaryEntry> = Vec::new();
+            eng.refresh_payloads(&mut entries);
+            flush_boundary(router.as_mut().expect("boundary without a router"), entries);
         } else if ts <= tr && ts <= tp {
             let (t, l) = link_ev.expect("link event");
             eng.on_link(t, l);
+            settle(&mut eng, t, &mut scratch);
         } else if tr <= tp {
-            eng.on_request(req.expect("request event").1);
+            let (t, i) = req.expect("request event");
+            eng.on_request(i, router.as_ref());
+            settle(&mut eng, t, &mut scratch);
         } else {
-            eng.on_issue_prefetch(pre.expect("prefetch event").1);
+            let (t, i) = pre.expect("prefetch event");
+            eng.on_issue_prefetch(i, router.as_ref());
+            settle(&mut eng, t, &mut scratch);
         }
         // The scan recomputes everything next iteration; no timers to sync.
-        eng.dirty_links.clear();
+        eng.drain_dirty(&mut dirty);
+        dirty.clear();
     }
-    eng.into_report()
+    closed_loop::merge_reports(topology, vec![eng], router)
 }
 
 /// The open-loop scan loop, mirroring the closed-loop one (no refresh).
-fn run_static(mut eng: static_mode::Engine<'_>) -> ClusterReport {
+fn run_static(topology: &crate::Topology, mut eng: static_mode::Engine<'_>) -> ClusterReport {
+    let mut scratch = Vec::new();
+    let mut dirty = Vec::new();
     loop {
         let link_ev = earliest_link_event(&eng.links);
         let mut req: Option<(f64, usize)> = None;
@@ -135,12 +200,18 @@ fn run_static(mut eng: static_mode::Engine<'_>) -> ClusterReport {
         } else if ts <= tr && ts <= tp {
             let (t, l) = link_ev.expect("link event");
             eng.on_link(t, l);
+            settle(&mut eng, t, &mut scratch);
         } else if tr <= tp {
-            eng.on_request(req.expect("request event").1);
+            let (t, i) = req.expect("request event");
+            eng.on_request(i);
+            settle(&mut eng, t, &mut scratch);
         } else {
-            eng.on_prefetch(pre.expect("prefetch event").1);
+            let (t, i) = pre.expect("prefetch event");
+            eng.on_prefetch(i);
+            settle(&mut eng, t, &mut scratch);
         }
-        eng.dirty_links.clear();
+        eng.drain_dirty(&mut dirty);
+        dirty.clear();
     }
-    eng.into_report()
+    static_mode::merge_reports(topology, vec![eng])
 }

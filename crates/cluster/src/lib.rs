@@ -25,8 +25,27 @@
 //! timer per link / request stream / prefetch stream, plus a digest-
 //! refresh timer on the epoch grid), so per-event cost is O(log n) and
 //! 256-proxy meshes are routine (experiment E15). The retired
-//! O(links + proxies) scan driver survives in the hidden [`legacy`]
-//! module purely as a parity oracle.
+//! O(links + proxies) scan driver survives purely as a parity oracle in
+//! the hidden `legacy` module, behind the default-on `legacy-oracle`
+//! feature (release consumers opt out).
+//!
+//! ## Sharded parallel execution
+//!
+//! [`ClusterSim::run_sharded`] splits the topology into per-thread
+//! shards ([`ShardPlan`]: contiguous proxy blocks, majority-use link
+//! assignment) and runs one event loop per shard under a conservative
+//! time-window protocol: the **lookahead** — the minimum propagation
+//! delay of any cross-shard handoff, from per-link latencies
+//! ([`Link::latency`], e.g. [`Topology::mesh_with_latency`]) — bounds how
+//! far every shard may run past the globally earliest pending event
+//! before a barrier exchanges in-flight transfers through per-shard
+//! mailboxes. Determinism is contractual, not statistical: for a fixed
+//! seed the [`ClusterReport`] is **bit-identical** across shard counts
+//! and equal to the single-threaded [`ClusterSim::run`] (pinned by
+//! `tests/shard_parity.rs`) — on zero-latency topologies the lookahead is
+//! zero, no window is admissible, and the shards merge on one thread
+//! instead. Experiment E17 drives the strong-scaling ladder over
+//! 256/512-proxy latency meshes (~32k/~131k PS links).
 //!
 //! ## Three engines, one API
 //!
@@ -77,9 +96,11 @@
 
 mod closed_loop;
 mod curve;
+#[cfg(feature = "legacy-oracle")]
 #[doc(hidden)]
 pub mod legacy;
 mod report;
+mod shard;
 mod sim;
 mod static_mode;
 mod topology;
@@ -89,7 +110,7 @@ pub use curve::{network_load_curve, CurveSpec};
 pub use report::parity;
 pub use report::{ClusterReport, CoopReport, CurvePoint, LinkReport, NodeReport};
 pub use sim::ClusterSim;
-pub use topology::{Discipline, Link, Topology, TopologyBuilder};
+pub use topology::{Discipline, Link, ShardPlan, Topology, TopologyBuilder};
 
 use simcore::dist::Sample;
 use workload::synth_web::SynthWebConfig;
@@ -111,8 +132,10 @@ pub struct StaticProxy {
 pub struct StaticWorkload<'a> {
     /// One entry per topology proxy.
     pub proxies: Vec<StaticProxy>,
-    /// Item-size distribution shared by all proxies.
-    pub size_dist: &'a dyn Sample,
+    /// Item-size distribution shared by all proxies (`Sync` so the
+    /// sharded driver can sample it from every shard thread — all
+    /// `simcore::dist` distributions are plain data).
+    pub size_dist: &'a (dyn Sample + Sync),
 }
 
 /// Where adaptive-mode prefetch candidates come from.

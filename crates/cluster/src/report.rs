@@ -211,6 +211,14 @@ pub mod parity {
             if !ignore_digest_traffic {
                 assert_eq!(x.router.digest_bytes, y.router.digest_bytes, "{label}: digest bytes");
                 assert_eq!(x.router.delta_ops, y.router.delta_ops, "{label}: delta ops");
+                assert_eq!(
+                    x.router.delta_flushes, y.router.delta_flushes,
+                    "{label}: delta flushes"
+                );
+                assert_eq!(
+                    x.router.snapshot_flushes, y.router.snapshot_flushes,
+                    "{label}: snapshot flushes"
+                );
             }
         }
     }

@@ -1,0 +1,509 @@
+//! Sharded event-loop drivers: conservative time windows over
+//! `simcore::sched`, with the single-threaded merge as the degenerate (and
+//! oracle) case.
+//!
+//! ## The protocol
+//!
+//! A [`crate::ShardPlan`] splits the topology into shards, each owning a
+//! subset of proxies and link servers. Every shard runs its *own*
+//! `simcore::sched::Scheduler` over the shared event-class layout below;
+//! anything one shard's event does to an entity owned by another shard is
+//! expressed as a timestamped [`Effect`] — a job entering a remote link, a
+//! peer-serve check at a remote proxy, a response delivered to a remote
+//! proxy. Effects are the *only* channel between shards, which is what
+//! makes the partitioning invisible: an effect's timestamp and content are
+//! pure functions of the topology and the emitting shard's deterministic
+//! state, never of which shard owns what.
+//!
+//! Two drivers execute the same shard set:
+//!
+//! * [`drive_sequential`] — one thread merges the shard schedulers,
+//!   always firing the globally earliest `(time, class, entity)` event and
+//!   applying same-instant effects depth-first, exactly the order a single
+//!   monolithic scheduler would produce. This is the parity oracle, and
+//!   the fallback whenever the partition's lookahead is zero.
+//! * [`drive_windowed`] — one thread per shard plus a coordinator,
+//!   synchronised with the classic **conservative time-window** scheme:
+//!   with `L = plan.lookahead()` (the minimum propagation delay of any
+//!   cross-shard handoff) and `T` the globally earliest pending event,
+//!   every event in `[T, T + L)` can be executed without seeing any other
+//!   shard's window — an effect emitted at `t ≥ T` arrives at
+//!   `t + delay ≥ T + L`, past the window's end. Each round the
+//!   coordinator publishes the horizon, shards drain their windows in
+//!   parallel (posting cross-shard effects to `simcore::par::Mailboxes`),
+//!   and a barrier exchanges the mail before the next horizon is computed
+//!   from the shards' published next-event times (`simcore::par::TimeBoard`).
+//!
+//! ## Why determinism holds
+//!
+//! * **Within a shard** events fire in `(time, key)` order, and the local
+//!   key layout lists classes in the same order, and entities within a
+//!   class in ascending *global* id order — so a shard's local order is
+//!   exactly the global order restricted to its entities.
+//! * **Across shards within a window** no interaction exists by
+//!   construction (that is what the lookahead guarantees), and same-time
+//!   events on different shards touch disjoint state, so any thread
+//!   interleaving yields the same end state as the global order.
+//! * **Mailbox delivery order is irrelevant**: received effects land in
+//!   per-entity [`simcore::sched::TimedQueue`]s keyed by
+//!   `(time, job id)`, and job ids are allocated per *proxy* (a
+//!   deterministic stream), so the replay order is a pure function of the
+//!   simulation, not of thread scheduling.
+//! * **Floating-point accumulation order is preserved** because every
+//!   accumulator (per-proxy stats, per-link counters) is owned by exactly
+//!   one shard and fed in that shard's local event order — the global
+//!   order restricted to the owning entity.
+//!
+//! Digest refreshes are the one global synchronisation: the horizon never
+//! crosses the next epoch boundary, and when every shard's next event lies
+//! beyond it the coordinator collects per-proxy payloads
+//! ([`coop::RefreshPayload`]) at a barrier, applies them to the shared
+//! router, and only then opens the next window. Between boundaries the
+//! router is immutable, so shards read it lock-free in spirit (a shared
+//! `RwLock` read guard held for the whole window).
+
+use crate::topology::ShardPlan;
+use coop::{RefreshPayload, Router};
+use simcore::par::{Mailboxes, TimeBoard};
+use simcore::sched::{KeyLayout, Scheduler};
+use std::collections::VecDeque;
+use std::sync::{Barrier, Mutex, RwLock};
+
+/// Event classes, in same-instant firing order. Both engines and every
+/// driver build their key layouts from this sequence, so tie order is
+/// global: link departures < queued link arrivals < peer-serve checks <
+/// response deliveries < client requests < prefetch issues (< digest
+/// refresh, which the drivers order strictly last themselves).
+pub(crate) const CLASS_DEPART: usize = 0;
+pub(crate) const CLASS_ARRIVE: usize = 1;
+pub(crate) const CLASS_CHECK: usize = 2;
+pub(crate) const CLASS_DELIVER: usize = 3;
+pub(crate) const CLASS_REQUEST: usize = 4;
+pub(crate) const CLASS_PREFETCH: usize = 5;
+pub(crate) const N_CLASSES: usize = 6;
+
+/// A timestamped handoff between entities — possibly across shards. `J`
+/// is the engine's job type; effects carry the whole job so a transfer
+/// migrates between shards with its accounting intact.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Effect<J> {
+    /// `job` enters link `link`'s queue at `t`.
+    Arrive { link: u32, t: f64, job: J },
+    /// A peer transfer for `job` reaches proxy `q` at `t`; `q` checks its
+    /// cache and answers with a `Deliver` (serve or false hit).
+    Check { q: u32, t: f64, job: J },
+    /// `job`'s response reaches its requesting proxy `p` at `t`;
+    /// `false_hit` marks a peer that turned out not to hold the item (the
+    /// requester then falls back to the origin).
+    Deliver { p: u32, t: f64, job: J, false_hit: bool },
+}
+
+impl<J> Effect<J> {
+    pub(crate) fn time(&self) -> f64 {
+        match self {
+            Effect::Arrive { t, .. } | Effect::Check { t, .. } | Effect::Deliver { t, .. } => *t,
+        }
+    }
+
+    /// The shard that must execute this effect.
+    pub(crate) fn owner(&self, plan: &ShardPlan) -> usize {
+        match self {
+            Effect::Arrive { link, .. } => plan.link_shard(*link as usize),
+            Effect::Check { q, .. } => plan.proxy_shard(*q as usize),
+            Effect::Deliver { p, .. } => plan.proxy_shard(*p as usize),
+        }
+    }
+}
+
+/// One proxy's epoch-boundary contribution:
+/// `(global proxy, load estimate, payload)`.
+pub(crate) type BoundaryEntry = (usize, f64, RefreshPayload);
+
+/// The driver-facing surface of a shard-local engine core. Both cluster
+/// engines implement it; the drivers below are generic over it.
+pub(crate) trait EngineCore: Send {
+    type Job: Copy + Send;
+
+    /// Local stream counts per class, in class order.
+    fn class_counts(&self) -> [usize; N_CLASSES];
+    /// Global entity id of local stream `(class, idx)` — the global tie
+    /// rank within the class.
+    fn global_id(&self, class: usize, idx: usize) -> usize;
+    /// Next due time of local stream `(class, idx)`.
+    fn due(&self, class: usize, idx: usize) -> Option<f64>;
+    /// Fires stream `(class, idx)` at `t`. Consequences for entities in
+    /// scope at later times are queued internally; every handoff at the
+    /// same instant or out of scope is emitted as an [`Effect`].
+    fn dispatch(&mut self, class: usize, idx: usize, t: f64, router: Option<&Router>);
+    /// Applies an effect owned by this scope *now*, at its timestamp
+    /// (`e.time() == t`). May emit further effects.
+    fn apply_now(&mut self, e: Effect<Self::Job>, t: f64);
+    /// Queues an effect owned by this scope for its (future) timestamp.
+    fn enqueue(&mut self, e: Effect<Self::Job>);
+    /// Whether this scope owns the entity the effect targets.
+    fn owns(&self, e: &Effect<Self::Job>) -> bool;
+    /// Moves the effects emitted since the last take into `out`,
+    /// preserving emission order.
+    fn take_effects(&mut self, out: &mut Vec<Effect<Self::Job>>);
+    /// Streams touched since the last drain, as `(class, local idx)`.
+    fn drain_dirty(&mut self, out: &mut Vec<(usize, usize)>);
+    /// Re-arms local link `idx`'s departure timer under `key` (the
+    /// server-revision fast path).
+    fn sync_link_timer(&mut self, idx: usize, sched: &mut Scheduler, key: usize);
+    /// Appends this scope's boundary payloads (cooperative engines only).
+    fn refresh_payloads(&mut self, out: &mut Vec<BoundaryEntry>);
+}
+
+/// A shard bundled with its scheduler: owns event *selection* for one
+/// scope, the way `closed_loop::run`'s single scheduler used to for the
+/// whole topology.
+pub(crate) struct ShardRunner<C: EngineCore> {
+    pub(crate) core: C,
+    sched: Scheduler,
+    layout: KeyLayout,
+    dirty: Vec<(usize, usize)>,
+    staged: Vec<Effect<C::Job>>,
+    dq: VecDeque<Effect<C::Job>>,
+}
+
+impl<C: EngineCore> ShardRunner<C> {
+    pub(crate) fn new(core: C) -> Self {
+        let counts = core.class_counts();
+        let mut layout = KeyLayout::new();
+        for count in counts {
+            layout.class(count);
+        }
+        let mut sched = layout.scheduler();
+        for (class, count) in counts.into_iter().enumerate() {
+            for idx in 0..count {
+                if let Some(t) = core.due(class, idx) {
+                    sched.schedule(layout.key(class, idx), t);
+                }
+            }
+        }
+        ShardRunner {
+            core,
+            sched,
+            layout,
+            dirty: Vec::new(),
+            staged: Vec::new(),
+            dq: VecDeque::new(),
+        }
+    }
+
+    /// Re-arms every stream the core touched since the last call.
+    fn resync(&mut self) {
+        self.core.drain_dirty(&mut self.dirty);
+        while let Some((class, idx)) = self.dirty.pop() {
+            let key = self.layout.key(class, idx);
+            if class == CLASS_DEPART {
+                self.core.sync_link_timer(idx, &mut self.sched, key);
+            } else {
+                self.sched.sync(key, self.core.due(class, idx));
+            }
+        }
+    }
+
+    /// Earliest pending `(time, global rank)`; rank is class-major so
+    /// cross-shard comparisons reproduce a single global scheduler's tie
+    /// order.
+    pub(crate) fn peek(&mut self) -> Option<(f64, u64)> {
+        self.sched.peek().map(|(t, key)| {
+            let (class, idx) = self.layout.decode(key);
+            (t, ((class as u64) << 48) | self.core.global_id(class, idx) as u64)
+        })
+    }
+
+    /// Earliest pending event time.
+    pub(crate) fn next_time(&mut self) -> Option<f64> {
+        self.sched.peek().map(|(t, _)| t)
+    }
+
+    /// Fires the earliest event and stages its effects (does **not**
+    /// settle them — the sequential driver settles globally).
+    fn step(&mut self, router: Option<&Router>) -> f64 {
+        let (t, key) = self.sched.pop().expect("step on an idle shard");
+        let (class, idx) = self.layout.decode(key);
+        self.core.dispatch(class, idx, t, router);
+        self.resync();
+        t
+    }
+
+    /// Queues an incoming (strictly future — the lookahead guarantees
+    /// it) cross-shard effect delivered at a window barrier.
+    pub(crate) fn accept(&mut self, e: Effect<C::Job>) {
+        debug_assert!(self.core.owns(&e));
+        self.core.enqueue(e);
+        self.resync();
+    }
+
+    /// Drains every event strictly below `limit` (or at it, when
+    /// `inclusive` — the pre-refresh sweep), settling same-instant effect
+    /// chains depth-first locally and posting cross-shard effects through
+    /// `send`.
+    fn run_window(
+        &mut self,
+        limit: f64,
+        inclusive: bool,
+        router: Option<&Router>,
+        send: &mut impl FnMut(Effect<C::Job>),
+    ) {
+        loop {
+            match self.sched.peek() {
+                Some((t, _)) if t < limit || (inclusive && t <= limit) => {
+                    let t = self.step(router);
+                    self.settle_local(t, send);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Depth-first settlement of the effects staged by the last dispatch:
+    /// a same-instant local effect is applied immediately and its children
+    /// are processed before its siblings — reproducing the call-nesting a
+    /// monolithic engine's inline handling produced. Future local effects
+    /// are queued; out-of-scope effects go to `send`.
+    fn settle_local(&mut self, t: f64, send: &mut impl FnMut(Effect<C::Job>)) {
+        self.core.take_effects(&mut self.staged);
+        debug_assert!(self.dq.is_empty());
+        self.dq.extend(self.staged.drain(..));
+        while let Some(e) = self.dq.pop_front() {
+            if !self.core.owns(&e) {
+                debug_assert!(e.time() > t, "cross-shard handoff with zero delay in a window");
+                send(e);
+                continue;
+            }
+            if e.time() == t {
+                self.core.apply_now(e, t);
+                self.core.take_effects(&mut self.staged);
+                for child in self.staged.drain(..).rev() {
+                    self.dq.push_front(child);
+                }
+            } else {
+                self.core.enqueue(e);
+            }
+        }
+        self.resync();
+    }
+}
+
+/// Sorts one boundary's payload entries by proxy and applies them to the
+/// router at the epoch boundary it has armed. Shared by every driver (and
+/// the legacy scan), so refresh semantics cannot diverge.
+pub(crate) fn flush_boundary(router: &mut Router, mut entries: Vec<BoundaryEntry>) {
+    let t = router.next_refresh();
+    entries.sort_by_key(|&(proxy, _, _)| proxy);
+    let loads: Vec<f64> = entries.iter().map(|&(_, load, _)| load).collect();
+    let payloads: Vec<(usize, RefreshPayload)> =
+        entries.into_iter().map(|(proxy, _, payload)| (proxy, payload)).collect();
+    router.apply_payloads(t, payloads, &loads);
+}
+
+/// Collects every shard's boundary payloads and flushes them.
+fn refresh_all<C: EngineCore>(router: &mut Router, runners: &mut [ShardRunner<C>]) {
+    let mut entries: Vec<BoundaryEntry> = Vec::new();
+    for runner in runners.iter_mut() {
+        runner.core.refresh_payloads(&mut entries);
+    }
+    flush_boundary(router, entries);
+}
+
+/// Single-threaded driver: merges the shard schedulers into the global
+/// `(time, rank)` order, with depth-first cross-shard effect settlement at
+/// each instant. With one full-scope shard this **is** the classic
+/// single-threaded engine driver; with several shards it is the oracle the
+/// windowed driver is pinned against — and the required fallback when the
+/// partition's lookahead is zero (a conservative window of width zero
+/// admits no parallel execution at all).
+pub(crate) fn drive_sequential<C: EngineCore>(
+    mut runners: Vec<ShardRunner<C>>,
+    mut router: Option<Router>,
+    plan: &ShardPlan,
+) -> (Vec<C>, Option<Router>) {
+    let mut dq: VecDeque<Effect<C::Job>> = VecDeque::new();
+    let mut staged: Vec<Effect<C::Job>> = Vec::new();
+    loop {
+        // The globally earliest (time, rank) across shards.
+        let mut best: Option<(f64, u64, usize)> = None;
+        for (i, runner) in runners.iter_mut().enumerate() {
+            if let Some((t, rank)) = runner.peek() {
+                let better = match best {
+                    None => true,
+                    Some((bt, br, _)) => t < bt || (t == bt && rank < br),
+                };
+                if better {
+                    best = Some((t, rank, i));
+                }
+            }
+        }
+        let Some((t, _, who)) = best else { break };
+
+        // Epoch boundaries strictly between events fire first (same
+        // precedence as the refresh timer's last-key position in the old
+        // single-scheduler driver: events at the boundary instant win).
+        if let Some(r) = router.as_mut() {
+            if r.next_refresh() < t {
+                refresh_all(r, &mut runners);
+                continue;
+            }
+        }
+
+        runners[who].step(router.as_ref());
+        runners[who].core.take_effects(&mut staged);
+        debug_assert!(dq.is_empty());
+        dq.extend(staged.drain(..));
+        // Global depth-first settlement: an effect's children (emitted by
+        // applying it, possibly on another shard) run before its siblings,
+        // reproducing the monolithic engine's inline nesting exactly.
+        while let Some(e) = dq.pop_front() {
+            let owner = e.owner(plan);
+            let runner = &mut runners[owner];
+            debug_assert!(runner.core.owns(&e));
+            if e.time() == t {
+                runner.core.apply_now(e, t);
+                runner.core.take_effects(&mut staged);
+                for child in staged.drain(..).rev() {
+                    dq.push_front(child);
+                }
+            } else {
+                runner.core.enqueue(e);
+            }
+            runner.resync();
+        }
+    }
+    (runners.into_iter().map(|r| r.core).collect(), router)
+}
+
+/// What the coordinator asks the shard threads to do next.
+#[derive(Clone, Copy, Debug)]
+enum Round {
+    /// Drain the window up to `limit` (inclusive at the pre-refresh
+    /// boundary sweep).
+    Window { limit: f64, inclusive: bool },
+    /// Build and publish refresh payloads for the armed epoch boundary.
+    Refresh,
+    /// All shards idle: exit.
+    Stop,
+}
+
+/// Multi-threaded conservative-window driver: one `std::thread::scope`
+/// worker per shard plus the calling thread as coordinator. Requires
+/// `plan.lookahead() > 0` — callers fall back to [`drive_sequential`]
+/// otherwise. Produces bit-identical state evolution to the sequential
+/// driver (see the module docs for the argument; `shard_parity.rs` for the
+/// pin).
+pub(crate) fn drive_windowed<C: EngineCore>(
+    mut runners: Vec<ShardRunner<C>>,
+    router: Option<Router>,
+    plan: &ShardPlan,
+) -> (Vec<C>, Option<Router>) {
+    let lookahead = plan.lookahead();
+    assert!(lookahead > 0.0, "windowed driver needs positive lookahead");
+    let n = runners.len();
+
+    let board = TimeBoard::new(n);
+    for (i, runner) in runners.iter_mut().enumerate() {
+        board.publish(i, runner.next_time());
+    }
+    let mail: Mailboxes<Effect<C::Job>> = Mailboxes::new(n);
+    // Workers + coordinator: three waits per round (publish horizon; work;
+    // exchange mail and publish times).
+    let barrier = Barrier::new(n + 1);
+    let round = Mutex::new(Round::Stop);
+    let router_cell = RwLock::new(router);
+    let payload_cell: Mutex<Vec<BoundaryEntry>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for (me, runner) in runners.iter_mut().enumerate() {
+            let (board, mail, barrier, round) = (&board, &mail, &barrier, &round);
+            let (router_cell, payload_cell) = (&router_cell, &payload_cell);
+            scope.spawn(move || loop {
+                barrier.wait();
+                let what = *round.lock().expect("round descriptor poisoned");
+                match what {
+                    Round::Stop => break,
+                    Round::Window { limit, inclusive } => {
+                        let guard = router_cell.read().expect("router poisoned");
+                        runner.run_window(limit, inclusive, guard.as_ref(), &mut |e| {
+                            let dest = e.owner(plan);
+                            debug_assert_ne!(dest, me, "local effect routed to the mailboxes");
+                            mail.send(dest, e);
+                        });
+                    }
+                    Round::Refresh => {
+                        let mut sink = payload_cell.lock().expect("payload sink poisoned");
+                        runner.core.refresh_payloads(&mut sink);
+                    }
+                }
+                barrier.wait();
+                // Exchange phase: everyone's sends for this round are in
+                // (the barrier above orders them); drain ours and publish
+                // our next pending time for the coordinator's horizon.
+                for e in mail.drain(me) {
+                    runner.accept(e);
+                }
+                board.publish(me, runner.next_time());
+                barrier.wait();
+            });
+        }
+
+        // Coordinator.
+        loop {
+            let t_min = board.min();
+            let next_refresh =
+                router_cell.read().expect("router poisoned").as_ref().map(|r| r.next_refresh());
+            let what = if t_min.is_infinite() {
+                Round::Stop
+            } else if next_refresh.is_some_and(|r| r < t_min) {
+                Round::Refresh
+            } else {
+                let (limit, inclusive) = match next_refresh {
+                    // Events exactly at the boundary precede the refresh:
+                    // sweep them (and only them) inclusively.
+                    Some(r) if t_min == r => (r, true),
+                    Some(r) => ((t_min + lookahead).min(r), false),
+                    None => (t_min + lookahead, false),
+                };
+                assert!(
+                    inclusive || limit > t_min,
+                    "window [{t_min}, {limit}) collapsed — lookahead {lookahead} \
+                     under-flows the time magnitude"
+                );
+                Round::Window { limit, inclusive }
+            };
+            *round.lock().expect("round descriptor poisoned") = what;
+            barrier.wait();
+            if matches!(what, Round::Stop) {
+                break;
+            }
+            barrier.wait();
+            if matches!(what, Round::Refresh) {
+                // Workers are in the exchange phase and never touch the
+                // router there; apply the boundary while they drain mail.
+                let entries = std::mem::take(&mut *payload_cell.lock().expect("payload sink"));
+                let mut guard = router_cell.write().expect("router poisoned");
+                flush_boundary(guard.as_mut().expect("refresh round without a router"), entries);
+            }
+            barrier.wait();
+        }
+    });
+
+    let router = router_cell.into_inner().expect("router poisoned");
+    (runners.into_iter().map(|r| r.core).collect(), router)
+}
+
+/// Chooses the driver a plan admits: windows when the lookahead is
+/// positive and there is more than one shard, the sequential merge
+/// otherwise.
+pub(crate) fn drive<C: EngineCore>(
+    runners: Vec<ShardRunner<C>>,
+    router: Option<Router>,
+    plan: &ShardPlan,
+) -> (Vec<C>, Option<Router>) {
+    if runners.len() > 1 && plan.lookahead() > 0.0 {
+        drive_windowed(runners, router, plan)
+    } else {
+        drive_sequential(runners, router, plan)
+    }
+}

@@ -1,9 +1,10 @@
-//! The cluster simulator facade and shared link machinery.
+//! The cluster simulator facade and shared link/scope machinery.
 
 use crate::closed_loop;
 use crate::report::ClusterReport;
 use crate::static_mode;
-use crate::{ClusterConfig, Workload};
+use crate::topology::ShardPlan;
+use crate::{ClusterConfig, Topology, Workload};
 use queueing::{Completion, FifoServer, PsServer, Server};
 use simcore::Scheduler;
 
@@ -23,8 +24,27 @@ impl<'a> ClusterSim<'a> {
         ClusterSim { config }
     }
 
-    /// Runs the simulation to completion. Deterministic in `seed`.
+    /// Runs the simulation to completion on the single-threaded driver.
+    /// Deterministic in `seed`.
     pub fn run(&self, seed: u64) -> ClusterReport {
+        self.run_on(seed, &ShardPlan::partition(&self.config.topology, 1))
+    }
+
+    /// Runs the simulation partitioned into `shards` shard-local event
+    /// loops (see [`crate::shard`] for the protocol). Deterministic in
+    /// `seed` **and in `shards`**: the report is bit-identical to
+    /// [`ClusterSim::run`] for every shard count — the property
+    /// `cluster/tests/shard_parity.rs` pins. Shards execute on their own
+    /// threads whenever the partition admits a positive conservative
+    /// lookahead (cross-shard hops with propagation latency, e.g.
+    /// [`Topology::mesh_with_latency`]); a zero-lookahead partition (any
+    /// zero-latency crossing hop) admits no conservative window at all,
+    /// so the shards are merged on one thread instead.
+    pub fn run_sharded(&self, seed: u64, shards: usize) -> ClusterReport {
+        self.run_on(seed, &ShardPlan::partition(&self.config.topology, shards))
+    }
+
+    fn run_on(&self, seed: u64, plan: &ShardPlan) -> ClusterReport {
         match &self.config.workload {
             Workload::Static(w) => static_mode::run(
                 &self.config.topology,
@@ -32,6 +52,7 @@ impl<'a> ClusterSim<'a> {
                 self.config.requests_per_proxy,
                 self.config.warmup_per_proxy,
                 seed,
+                plan,
             ),
             Workload::Adaptive(w) => closed_loop::run(
                 &self.config.topology,
@@ -40,6 +61,7 @@ impl<'a> ClusterSim<'a> {
                 self.config.requests_per_proxy,
                 self.config.warmup_per_proxy,
                 seed,
+                plan,
             ),
             Workload::Cooperative(w) => closed_loop::run(
                 &self.config.topology,
@@ -48,6 +70,7 @@ impl<'a> ClusterSim<'a> {
                 self.config.requests_per_proxy,
                 self.config.warmup_per_proxy,
                 seed,
+                plan,
             ),
         }
     }
@@ -56,9 +79,113 @@ impl<'a> ClusterSim<'a> {
 /// Per-proxy RNG seed: proxy 0 uses the run seed unchanged so the
 /// degenerate single-proxy topology makes *exactly* the draw sequence of
 /// `netsim::parametric::run` (the parity property the tests pin down);
-/// later proxies decorrelate through golden-ratio increments.
+/// later proxies decorrelate through golden-ratio increments
+/// ([`simcore::rng::stream_seed`]). Because the stream is a pure function
+/// of the *global* proxy index, every sharding hands each proxy the same
+/// draws.
 pub(crate) fn proxy_seed(seed: u64, proxy: usize) -> u64 {
-    seed.wrapping_add((proxy as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    simcore::rng::stream_seed(seed, proxy as u64)
+}
+
+/// The slice of a topology one shard owns: its proxies and links, with
+/// global↔local index maps. The full scope (every entity, identity maps)
+/// is the single-threaded case — the engines are written against `Scope`
+/// exclusively, so the monolithic and sharded drivers run literally the
+/// same handler code.
+pub(crate) struct Scope {
+    /// Local → global link index.
+    pub links: Vec<usize>,
+    /// Local → global proxy index.
+    pub proxies: Vec<usize>,
+    link_local: Vec<usize>,
+    proxy_local: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl Scope {
+    /// The whole topology as one scope (used by the legacy scan driver;
+    /// the shard drivers build per-shard scopes, which degenerate to this
+    /// at one shard).
+    #[cfg(feature = "legacy-oracle")]
+    pub fn full(topology: &Topology) -> Scope {
+        Scope {
+            links: (0..topology.links().len()).collect(),
+            proxies: (0..topology.n_proxies()).collect(),
+            link_local: (0..topology.links().len()).collect(),
+            proxy_local: (0..topology.n_proxies()).collect(),
+        }
+    }
+
+    /// The entities `plan` assigns to shard `s`, in ascending global
+    /// order (so local tie order equals global tie order).
+    pub fn shard(topology: &Topology, plan: &ShardPlan, s: usize) -> Scope {
+        let links: Vec<usize> =
+            (0..topology.links().len()).filter(|&l| plan.link_shard(l) == s).collect();
+        let proxies: Vec<usize> =
+            (0..topology.n_proxies()).filter(|&p| plan.proxy_shard(p) == s).collect();
+        let mut link_local = vec![ABSENT; topology.links().len()];
+        for (li, &g) in links.iter().enumerate() {
+            link_local[g] = li;
+        }
+        let mut proxy_local = vec![ABSENT; topology.n_proxies()];
+        for (li, &g) in proxies.iter().enumerate() {
+            proxy_local[g] = li;
+        }
+        Scope { links, proxies, link_local, proxy_local }
+    }
+
+    /// Local index of global link `g`, if owned by this scope.
+    pub fn link_local(&self, g: usize) -> Option<usize> {
+        let l = self.link_local[g];
+        (l != ABSENT).then_some(l)
+    }
+
+    /// Local index of global proxy `g`, if owned by this scope.
+    pub fn proxy_local(&self, g: usize) -> Option<usize> {
+        let p = self.proxy_local[g];
+        (p != ABSENT).then_some(p)
+    }
+}
+
+/// Global-order lookup over a set of scopes: which `(scope index, local
+/// index)` owns each global proxy and link. The report mergers iterate
+/// these tables in ascending global order, which is what keeps every
+/// floating-point reduction identical under every partitioning — both
+/// engines share this scaffolding so the contract cannot drift between
+/// them.
+pub(crate) struct ScopeIndex {
+    proxy_at: Vec<(usize, usize)>,
+    link_at: Vec<(usize, usize)>,
+}
+
+impl ScopeIndex {
+    /// Builds the tables from the scopes of a complete partition (every
+    /// global entity owned exactly once).
+    pub fn new<'s>(topology: &Topology, scopes: impl Iterator<Item = &'s Scope>) -> ScopeIndex {
+        let mut proxy_at = vec![(usize::MAX, 0); topology.n_proxies()];
+        let mut link_at = vec![(usize::MAX, 0); topology.links().len()];
+        for (si, scope) in scopes.enumerate() {
+            for (li, &g) in scope.proxies.iter().enumerate() {
+                proxy_at[g] = (si, li);
+            }
+            for (li, &g) in scope.links.iter().enumerate() {
+                link_at[g] = (si, li);
+            }
+        }
+        debug_assert!(proxy_at.iter().chain(&link_at).all(|&(s, _)| s != usize::MAX));
+        ScopeIndex { proxy_at, link_at }
+    }
+
+    /// `(scope, local)` owning global proxy `g`.
+    pub fn proxy(&self, g: usize) -> (usize, usize) {
+        self.proxy_at[g]
+    }
+
+    /// `(scope, local)` owning global link `g`.
+    pub fn link(&self, g: usize) -> (usize, usize) {
+        self.link_at[g]
+    }
 }
 
 /// One topology link instantiated as a queueing server.

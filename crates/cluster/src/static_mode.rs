@@ -9,27 +9,37 @@
 //! *identical* to `netsim::parametric::run` at the same seed; that parity
 //! is pinned by a test against 1e-6.
 //!
-//! Like the closed loop, the module is an [`Engine`] (state + one handler
-//! per event kind) plus the indexed-scheduler driver ([`run`]); the
-//! retired O(links + proxies) scan driver lives in [`crate::legacy`] and
-//! is pinned identical by the engine-parity tests.
+//! Like the closed loop, the module is an [`Engine`] — a scope of state
+//! plus one handler per event kind — driven by the [`crate::shard`]
+//! drivers (single-threaded merge, or conservative windows across
+//! threads); the retired O(links + proxies) scan driver lives in
+//! [`crate::legacy`] and is pinned identical by the engine-parity tests.
 
 use crate::report::{ClusterReport, LinkReport, NodeReport};
-use crate::sim::{proxy_seed, LinkState};
+use crate::shard::{
+    self, Effect, ShardRunner, CLASS_ARRIVE, CLASS_CHECK, CLASS_DELIVER, CLASS_DEPART,
+    CLASS_PREFETCH, CLASS_REQUEST, N_CLASSES,
+};
+use crate::sim::{proxy_seed, LinkState, Scope, ScopeIndex};
+use crate::topology::ShardPlan;
 use crate::{StaticWorkload, Topology};
+use coop::Router;
 use simcore::rng::Rng;
+use simcore::sched::TimedQueue;
 use simcore::stats::{BatchMeans, Welford};
 use simcore::Scheduler;
 use std::collections::HashMap;
 
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Debug)]
 enum JobKind {
     Demand { measured: bool },
     Prefetch { measured: bool },
 }
 
-#[derive(Clone, Copy)]
-struct Job {
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Job {
+    /// Per-proxy sequential id (sharding-independent tie-breaker).
+    id: u64,
     proxy: u32,
     shard: u32,
     hop: usize,
@@ -46,6 +56,7 @@ struct ProxyState {
     prefetch_rate: f64,
     next_request_t: f64,
     next_prefetch_t: f64,
+    job_seq: u64,
     issued: u64,
     in_window: bool,
     access_times: BatchMeans,
@@ -57,21 +68,24 @@ struct ProxyState {
     prefetch_bytes: f64,
 }
 
-/// Open-loop simulation state plus one handler per event kind; drivers
-/// own only event selection (see the closed-loop twin for the rationale).
+/// One scope of open-loop simulation state plus one handler per event
+/// kind; drivers own only event selection and effect routing (see the
+/// closed-loop twin for the rationale).
 pub(crate) struct Engine<'a> {
     topology: &'a Topology,
     w: &'a StaticWorkload<'a>,
     n_shards: u64,
+    pub(crate) scope: Scope,
     pub(crate) links: Vec<LinkState>,
     proxies: Vec<ProxyState>,
     jobs: HashMap<u64, Job>,
-    next_job_id: u64,
+    arrivals: Vec<TimedQueue<Job>>,
+    delivers: Vec<TimedQueue<(Job, bool)>>,
+    effects: Vec<Effect<Job>>,
+    dirty: Vec<(usize, usize)>,
     t_end: f64,
     warm: u64,
     n_requests: u64,
-    /// Links touched since the driver last re-synced timers.
-    pub(crate) dirty_links: Vec<usize>,
 }
 
 impl<'a> Engine<'a> {
@@ -81,13 +95,15 @@ impl<'a> Engine<'a> {
         requests: usize,
         warmup: usize,
         seed: u64,
+        scope: Scope,
     ) -> Self {
-        let links: Vec<LinkState> = topology.links().iter().map(LinkState::new).collect();
-        let proxies: Vec<ProxyState> = w
+        let links: Vec<LinkState> =
+            scope.links.iter().map(|&g| LinkState::new(&topology.links()[g])).collect();
+        let proxies: Vec<ProxyState> = scope
             .proxies
             .iter()
-            .enumerate()
-            .map(|(i, p)| {
+            .map(|&i| {
+                let p = &w.proxies[i];
                 // Draw order matches netsim::parametric::run exactly: split
                 // the prefetch stream first, then the first inter-arrival
                 // gaps.
@@ -108,6 +124,7 @@ impl<'a> Engine<'a> {
                     prefetch_rate,
                     next_request_t,
                     next_prefetch_t,
+                    job_seq: 0,
                     issued: 0,
                     in_window: false,
                     access_times: BatchMeans::new(20),
@@ -128,79 +145,116 @@ impl<'a> Engine<'a> {
             links,
             proxies,
             jobs: HashMap::new(),
-            next_job_id: 0,
+            arrivals: (0..scope.links.len()).map(|_| TimedQueue::new()).collect(),
+            delivers: (0..scope.proxies.len()).map(|_| TimedQueue::new()).collect(),
+            effects: Vec::new(),
+            dirty: Vec::new(),
             t_end: 0.0,
             warm: warmup as u64,
             n_requests: requests as u64,
-            dirty_links: Vec::new(),
+            scope,
         }
     }
 
+    /// Local proxy count (the legacy scan's iteration bound).
+    #[cfg(feature = "legacy-oracle")]
     pub(crate) fn n_proxies(&self) -> usize {
         self.proxies.len()
     }
 
-    /// When proxy `i`'s next request arrives, while its stream is live.
+    /// When local proxy `i`'s next request arrives, while its stream is
+    /// live.
     pub(crate) fn request_due(&self, i: usize) -> Option<f64> {
         let p = &self.proxies[i];
         (p.issued < self.n_requests).then_some(p.next_request_t)
     }
 
-    /// When proxy `i`'s next Poissonised prefetch fires. The prefetch
-    /// stream of a proxy stops with its request stream.
+    /// When local proxy `i`'s next Poissonised prefetch fires. The
+    /// prefetch stream of a proxy stops with its request stream.
     pub(crate) fn prefetch_due(&self, i: usize) -> Option<f64> {
         let p = &self.proxies[i];
         (p.issued < self.n_requests && p.next_prefetch_t.is_finite()).then_some(p.next_prefetch_t)
     }
 
-    fn launch(&mut self, t: f64, job: Job) {
-        let first = self.topology.route(job.proxy as usize, job.shard as usize)[0];
-        let id = self.next_job_id;
-        self.next_job_id += 1;
-        self.jobs.insert(id, job);
-        self.links[first].arrive(t, job.size, id);
-        self.dirty_links.push(first);
+    fn send_arrive(&mut self, g: usize, now: f64, job: Job) {
+        let tau = now + self.topology.entry_latency(g);
+        self.effects.push(Effect::Arrive { link: g as u32, t: tau, job });
     }
 
-    /// A link departure event on link `l` at time `t`.
+    fn launch(&mut self, t: f64, job: Job) {
+        let first = self.topology.route(job.proxy as usize, job.shard as usize)[0];
+        self.send_arrive(first, t, job);
+    }
+
+    /// A link departure event on local link `l` at time `t`.
     pub(crate) fn on_link(&mut self, t: f64, l: usize) {
         self.t_end = t;
-        self.dirty_links.push(l);
+        self.dirty.push((CLASS_DEPART, l));
         for c in self.links[l].on_event(t) {
-            let job = self.jobs[&c.tag];
+            let job = self.jobs.remove(&c.tag).expect("completed job on this scope's link");
             self.links[l].bytes_carried += job.size;
             let route = self.topology.route(job.proxy as usize, job.shard as usize);
             if job.hop + 1 < route.len() {
                 // Tandem hop: forward to the next link unchanged.
                 let mut fwd = job;
                 fwd.hop += 1;
-                self.jobs.insert(c.tag, fwd);
-                self.links[route[fwd.hop]].arrive(t, fwd.size, c.tag);
-                self.dirty_links.push(route[fwd.hop]);
+                self.send_arrive(route[fwd.hop], t, fwd);
             } else {
-                self.jobs.remove(&c.tag);
-                let sojourn = t - job.issued;
-                let p = &mut self.proxies[job.proxy as usize];
-                match job.kind {
-                    JobKind::Demand { measured } => {
-                        if measured {
-                            p.access_times.push(sojourn);
-                            p.retrievals.push(sojourn);
-                            p.total_job_time += sojourn;
-                        }
-                    }
-                    JobKind::Prefetch { measured } => {
-                        if measured {
-                            p.total_job_time += sojourn;
-                        }
-                    }
+                let tau = t + self.topology.return_latency(route);
+                self.effects.push(Effect::Deliver { p: job.proxy, t: tau, job, false_hit: false });
+            }
+        }
+    }
+
+    /// Queued arrivals on local link `l` coming due at `t`.
+    pub(crate) fn on_arrivals(&mut self, t: f64, l: usize) {
+        self.t_end = t;
+        while let Some(job) = self.arrivals[l].pop_due(t) {
+            self.arrive_now(l, t, job);
+        }
+        self.dirty.push((CLASS_ARRIVE, l));
+    }
+
+    fn arrive_now(&mut self, l: usize, t: f64, job: Job) {
+        self.jobs.insert(job.id, job);
+        self.links[l].arrive(t, job.size, job.id);
+        self.dirty.push((CLASS_DEPART, l));
+    }
+
+    /// Queued deliveries at local proxy `i` coming due at `t`.
+    pub(crate) fn on_delivers(&mut self, t: f64, i: usize) {
+        self.t_end = t;
+        while let Some((job, _)) = self.delivers[i].pop_due(t) {
+            self.deliver_now(i, t, job);
+        }
+        self.dirty.push((CLASS_DELIVER, i));
+    }
+
+    /// `job`'s response lands at its requesting proxy — local index `i`.
+    fn deliver_now(&mut self, i: usize, t: f64, job: Job) {
+        self.t_end = t;
+        debug_assert_eq!(self.scope.proxies[i], job.proxy as usize);
+        let sojourn = t - job.issued;
+        let p = &mut self.proxies[i];
+        match job.kind {
+            JobKind::Demand { measured } => {
+                if measured {
+                    p.access_times.push(sojourn);
+                    p.retrievals.push(sojourn);
+                    p.total_job_time += sojourn;
+                }
+            }
+            JobKind::Prefetch { measured } => {
+                if measured {
+                    p.total_job_time += sojourn;
                 }
             }
         }
     }
 
-    /// The next user request of proxy `i`.
+    /// The next user request of local proxy `i`.
     pub(crate) fn on_request(&mut self, i: usize) {
+        let me = self.scope.proxies[i];
         let n_shards = self.n_shards;
         let p = &mut self.proxies[i];
         let t = p.next_request_t;
@@ -220,10 +274,13 @@ impl<'a> Engine<'a> {
             p.demand_bytes += size;
             let measured = p.in_window;
             p.next_request_t = t + p.rng.exp(p.lambda);
+            p.job_seq += 1;
+            let id = ((me as u64) << 40) | p.job_seq;
             self.launch(
                 t,
                 Job {
-                    proxy: i as u32,
+                    id,
+                    proxy: me as u32,
                     shard: shard as u32,
                     hop: 0,
                     size,
@@ -232,10 +289,13 @@ impl<'a> Engine<'a> {
                 },
             );
         }
+        self.dirty.push((CLASS_REQUEST, i));
+        self.dirty.push((CLASS_PREFETCH, i));
     }
 
-    /// The next Poissonised prefetch of proxy `i`.
+    /// The next Poissonised prefetch of local proxy `i`.
     pub(crate) fn on_prefetch(&mut self, i: usize) {
+        let me = self.scope.proxies[i];
         let n_shards = self.n_shards;
         let p = &mut self.proxies[i];
         let t = p.next_prefetch_t;
@@ -246,10 +306,14 @@ impl<'a> Engine<'a> {
         p.prefetch_bytes += size;
         let measured = p.in_window;
         p.next_prefetch_t = t + p.prefetch_rng.exp(p.prefetch_rate);
+        p.job_seq += 1;
+        let id = ((me as u64) << 40) | p.job_seq;
+        self.dirty.push((CLASS_PREFETCH, i));
         self.launch(
             t,
             Job {
-                proxy: i as u32,
+                id,
+                proxy: me as u32,
                 shard: shard as u32,
                 hop: 0,
                 size,
@@ -258,117 +322,197 @@ impl<'a> Engine<'a> {
             },
         );
     }
+}
 
-    pub(crate) fn into_report(self) -> ClusterReport {
-        let measured = self.n_requests - self.warm;
-        let n_requests = self.n_requests;
-        let nodes: Vec<NodeReport> = self
-            .proxies
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let (mean_access, ci) = p.access_times.mean_ci();
-                NodeReport {
-                    proxy: i,
-                    measured_requests: measured,
-                    hit_ratio: p.hits as f64 / measured as f64,
-                    mean_access_time: mean_access,
-                    access_time_ci95: ci,
-                    mean_retrieval_time: p.retrievals.mean(),
-                    retrieval_per_request: p.total_job_time / measured as f64,
-                    prefetches_per_request: p.prefetch_jobs as f64 / n_requests as f64,
-                    goodput_bytes: None,
-                    badput_bytes: None,
-                    demand_bytes: p.demand_bytes,
-                    // The open loop models hits as Bernoulli draws — there
-                    // is no cache to meter, hence no digest-delta stream
-                    // to emit either.
-                    cache_used_bytes: None,
-                    peer_bytes: None,
-                    peer_fetches: None,
-                    peer_false_hits: None,
-                    mean_threshold: None,
-                    rho_prime_estimate: None,
-                    h_prime_estimate: None,
-                }
-            })
-            .collect();
+impl shard::EngineCore for Engine<'_> {
+    type Job = Job;
 
-        let t_end = self.t_end;
-        let link_reports: Vec<LinkReport> = self
-            .topology
-            .links()
-            .iter()
-            .zip(&self.links)
-            .map(|(spec, state)| LinkReport {
+    fn class_counts(&self) -> [usize; N_CLASSES] {
+        let (l, p) = (self.links.len(), self.proxies.len());
+        // No peer fabric in the open loop: the check class is empty.
+        [l, l, 0, p, p, p]
+    }
+
+    fn global_id(&self, class: usize, idx: usize) -> usize {
+        match class {
+            CLASS_DEPART | CLASS_ARRIVE => self.scope.links[idx],
+            _ => self.scope.proxies[idx],
+        }
+    }
+
+    fn due(&self, class: usize, idx: usize) -> Option<f64> {
+        match class {
+            CLASS_DEPART => self.links[idx].next_event(),
+            CLASS_ARRIVE => self.arrivals[idx].next_time(),
+            CLASS_CHECK => unreachable!("open loop has no peer checks"),
+            CLASS_DELIVER => self.delivers[idx].next_time(),
+            CLASS_REQUEST => self.request_due(idx),
+            CLASS_PREFETCH => self.prefetch_due(idx),
+            _ => unreachable!("unknown class {class}"),
+        }
+    }
+
+    fn dispatch(&mut self, class: usize, idx: usize, t: f64, _router: Option<&Router>) {
+        match class {
+            CLASS_DEPART => self.on_link(t, idx),
+            CLASS_ARRIVE => self.on_arrivals(t, idx),
+            CLASS_DELIVER => self.on_delivers(t, idx),
+            CLASS_REQUEST => self.on_request(idx),
+            CLASS_PREFETCH => self.on_prefetch(idx),
+            _ => unreachable!("unknown class {class}"),
+        }
+    }
+
+    fn apply_now(&mut self, e: Effect<Job>, t: f64) {
+        debug_assert_eq!(e.time(), t);
+        match e {
+            Effect::Arrive { link, job, .. } => {
+                let l = self.scope.link_local(link as usize).expect("arrive in scope");
+                self.arrive_now(l, t, job);
+            }
+            Effect::Check { .. } => unreachable!("open loop emits no checks"),
+            Effect::Deliver { p, job, .. } => {
+                let i = self.scope.proxy_local(p as usize).expect("deliver in scope");
+                self.deliver_now(i, t, job);
+            }
+        }
+    }
+
+    fn enqueue(&mut self, e: Effect<Job>) {
+        match e {
+            Effect::Arrive { link, t, job } => {
+                let l = self.scope.link_local(link as usize).expect("arrive in scope");
+                self.arrivals[l].push(t, job.id, job);
+                self.dirty.push((CLASS_ARRIVE, l));
+            }
+            Effect::Check { .. } => unreachable!("open loop emits no checks"),
+            Effect::Deliver { p, t, job, false_hit } => {
+                let i = self.scope.proxy_local(p as usize).expect("deliver in scope");
+                self.delivers[i].push(t, job.id, (job, false_hit));
+                self.dirty.push((CLASS_DELIVER, i));
+            }
+        }
+    }
+
+    fn owns(&self, e: &Effect<Job>) -> bool {
+        match e {
+            Effect::Arrive { link, .. } => self.scope.link_local(*link as usize).is_some(),
+            Effect::Check { .. } => false,
+            Effect::Deliver { p, .. } => self.scope.proxy_local(*p as usize).is_some(),
+        }
+    }
+
+    fn take_effects(&mut self, out: &mut Vec<Effect<Job>>) {
+        out.append(&mut self.effects);
+    }
+
+    fn drain_dirty(&mut self, out: &mut Vec<(usize, usize)>) {
+        out.append(&mut self.dirty);
+    }
+
+    fn sync_link_timer(&mut self, idx: usize, sched: &mut Scheduler, key: usize) {
+        self.links[idx].sync_timer(sched, key);
+    }
+
+    fn refresh_payloads(&mut self, _out: &mut Vec<shard::BoundaryEntry>) {
+        // The open loop has no caches, hence no digests to flush.
+    }
+}
+
+/// Assembles the cluster report from the (possibly sharded) engine
+/// scopes, in global index order (see the closed-loop twin).
+pub(crate) fn merge_reports(topology: &Topology, engines: Vec<Engine<'_>>) -> ClusterReport {
+    let n_requests = engines[0].n_requests;
+    let warm = engines[0].warm;
+    let measured = n_requests - warm;
+    let t_end = engines.iter().map(|e| e.t_end).fold(0.0, f64::max);
+
+    let n_proxies = topology.n_proxies();
+    let index = ScopeIndex::new(topology, engines.iter().map(|e| &e.scope));
+    let proxy = |g: usize| {
+        let (ei, li) = index.proxy(g);
+        &engines[ei].proxies[li]
+    };
+
+    let nodes: Vec<NodeReport> = (0..n_proxies)
+        .map(|g| {
+            let p = proxy(g);
+            let (mean_access, ci) = p.access_times.mean_ci();
+            NodeReport {
+                proxy: g,
+                measured_requests: measured,
+                hit_ratio: p.hits as f64 / measured as f64,
+                mean_access_time: mean_access,
+                access_time_ci95: ci,
+                mean_retrieval_time: p.retrievals.mean(),
+                retrieval_per_request: p.total_job_time / measured as f64,
+                prefetches_per_request: p.prefetch_jobs as f64 / n_requests as f64,
+                goodput_bytes: None,
+                badput_bytes: None,
+                demand_bytes: p.demand_bytes,
+                // The open loop models hits as Bernoulli draws — there
+                // is no cache to meter, hence no digest-delta stream
+                // to emit either.
+                cache_used_bytes: None,
+                peer_bytes: None,
+                peer_fetches: None,
+                peer_false_hits: None,
+                mean_threshold: None,
+                rho_prime_estimate: None,
+                h_prime_estimate: None,
+            }
+        })
+        .collect();
+
+    let link_reports: Vec<LinkReport> = topology
+        .links()
+        .iter()
+        .enumerate()
+        .map(|(g, spec)| {
+            let (ei, li) = index.link(g);
+            let state = &engines[ei].links[li];
+            LinkReport {
                 name: spec.name.clone(),
                 utilisation: if t_end > 0.0 { state.busy_time() / t_end } else { 0.0 },
                 bytes_carried: state.bytes_carried,
                 jobs_completed: state.jobs_completed,
-            })
-            .collect();
+            }
+        })
+        .collect();
 
-        let total_measured: u64 = measured * self.proxies.len() as u64;
-        let mean_access_time =
-            nodes.iter().map(|n| n.mean_access_time * n.measured_requests as f64).sum::<f64>()
-                / total_measured as f64;
-        let total_bytes: f64 = self.proxies.iter().map(|p| p.demand_bytes + p.prefetch_bytes).sum();
+    let total_measured: u64 = measured * n_proxies as u64;
+    let mean_access_time =
+        nodes.iter().map(|n| n.mean_access_time * n.measured_requests as f64).sum::<f64>()
+            / total_measured as f64;
+    let total_bytes: f64 =
+        (0..n_proxies).map(|g| proxy(g).demand_bytes + proxy(g).prefetch_bytes).sum();
 
-        ClusterReport {
-            nodes,
-            links: link_reports,
-            mean_access_time,
-            bytes_per_request: total_bytes / (n_requests * self.proxies.len() as u64) as f64,
-            duration: t_end,
-            coop: None,
-        }
+    ClusterReport {
+        nodes,
+        links: link_reports,
+        mean_access_time,
+        bytes_per_request: total_bytes / (n_requests * n_proxies as u64) as f64,
+        duration: t_end,
+        coop: None,
     }
 }
 
-/// Runs the open loop on the indexed event scheduler. Timer-key layout as
-/// in the closed loop: `[0, L)` links, `[L, L+P)` requests, `[L+P, L+2P)`
-/// prefetch streams — ascending-key tie order reproduces the engine's
-/// historical link < request < prefetch precedence.
+/// Runs the open loop partitioned by `plan` — the single-shard plan is
+/// the classic single-threaded driver.
 pub(crate) fn run(
     topology: &Topology,
     w: &StaticWorkload<'_>,
     requests: usize,
     warmup: usize,
     seed: u64,
+    plan: &ShardPlan,
 ) -> ClusterReport {
-    let mut eng = Engine::new(topology, w, requests, warmup, seed);
-    let n_links = eng.links.len();
-    let n_proxies = eng.n_proxies();
-    let req_key = n_links;
-    let pre_key = n_links + n_proxies;
-    let mut sched = Scheduler::with_timers(n_links + 2 * n_proxies);
-
-    for i in 0..n_proxies {
-        if let Some(t) = eng.request_due(i) {
-            sched.schedule(req_key + i, t);
-        }
-        if let Some(t) = eng.prefetch_due(i) {
-            sched.schedule(pre_key + i, t);
-        }
-    }
-
-    while let Some((t, key)) = sched.pop() {
-        if key < n_links {
-            eng.on_link(t, key);
-        } else if key < pre_key {
-            let i = key - req_key;
-            eng.on_request(i);
-            sched.sync(req_key + i, eng.request_due(i));
-            // The final request shuts the proxy's prefetch stream down.
-            sched.sync(pre_key + i, eng.prefetch_due(i));
-        } else {
-            let i = key - pre_key;
-            eng.on_prefetch(i);
-            sched.sync(pre_key + i, eng.prefetch_due(i));
-        }
-        while let Some(l) = eng.dirty_links.pop() {
-            eng.links[l].sync_timer(&mut sched, l);
-        }
-    }
-    eng.into_report()
+    let runners: Vec<ShardRunner<Engine<'_>>> = (0..plan.n_shards())
+        .map(|s| {
+            let scope = Scope::shard(topology, plan, s);
+            ShardRunner::new(Engine::new(topology, w, requests, warmup, seed, scope))
+        })
+        .collect();
+    let (engines, _) = shard::drive(runners, None, plan);
+    merge_reports(topology, engines)
 }

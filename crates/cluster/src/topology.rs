@@ -29,6 +29,15 @@ pub struct Link {
     pub name: String,
     /// Capacity in size-units/second (the paper's `b` for this hop).
     pub bandwidth: f64,
+    /// One-way propagation delay of the hop, in seconds. Zero (the paper's
+    /// model, and every classic builder) means a transfer enters the next
+    /// hop at the instant it leaves this one. A positive latency delays
+    /// entry into this link by `latency` and, once the last hop's service
+    /// finishes, delays the response's arrival back at the proxy by the
+    /// route's summed latency — and it is what gives the sharded parallel
+    /// driver its conservative **lookahead** (see
+    /// [`ShardPlan::lookahead`]).
+    pub latency: f64,
     /// Scheduling discipline of the link server.
     pub discipline: Discipline,
 }
@@ -138,18 +147,50 @@ impl Topology {
         backbone_bandwidth: f64,
         peer_bandwidth: f64,
     ) -> Topology {
+        Topology::mesh_with_latency(
+            n_proxies,
+            access_bandwidth,
+            backbone_bandwidth,
+            peer_bandwidth,
+            0.0,
+        )
+    }
+
+    /// [`Topology::mesh`] with a uniform propagation `latency` on every
+    /// link — the deployment shape of the sharded scale experiments (E17):
+    /// the latency is physically the speed-of-light/serialisation floor a
+    /// real WAN hop pays, and operationally the conservative lookahead
+    /// that lets the sharded driver run whole windows of events without
+    /// cross-thread synchronisation (see [`ShardPlan::lookahead`]).
+    pub fn mesh_with_latency(
+        n_proxies: usize,
+        access_bandwidth: f64,
+        backbone_bandwidth: f64,
+        peer_bandwidth: f64,
+        latency: f64,
+    ) -> Topology {
         let mut b = Topology::builder(n_proxies, 1);
-        let backbone = b.add_link("backbone", backbone_bandwidth, Discipline::ProcessorSharing);
+        let backbone = b.add_link_latency(
+            "backbone",
+            backbone_bandwidth,
+            latency,
+            Discipline::ProcessorSharing,
+        );
         for p in 0..n_proxies {
-            let l =
-                b.add_link(format!("access[{p}]"), access_bandwidth, Discipline::ProcessorSharing);
+            let l = b.add_link_latency(
+                format!("access[{p}]"),
+                access_bandwidth,
+                latency,
+                Discipline::ProcessorSharing,
+            );
             b.route(p, 0, vec![l, backbone]);
         }
         for p in 0..n_proxies {
             for q in p + 1..n_proxies {
-                let l = b.add_link(
+                let l = b.add_link_latency(
                     format!("peer[{p}-{q}]"),
                     peer_bandwidth,
+                    latency,
                     Discipline::ProcessorSharing,
                 );
                 b.peer_route(p, q, vec![l]);
@@ -255,6 +296,209 @@ impl Topology {
     pub fn proxy_bottleneck(&self, proxy: usize) -> f64 {
         (0..self.n_shards).map(|s| self.bottleneck(proxy, s)).fold(f64::INFINITY, f64::min)
     }
+
+    /// Whether any link carries a positive propagation latency. The
+    /// classic builders never do — they are the paper's zero-latency
+    /// model, on which the engines behave exactly as before this field
+    /// existed.
+    pub fn has_latency(&self) -> bool {
+        self.links.iter().any(|l| l.latency > 0.0)
+    }
+
+    /// Propagation delay of entering link `l` (zero in classic layouts).
+    pub(crate) fn entry_latency(&self, l: usize) -> f64 {
+        self.links[l].latency
+    }
+
+    /// Summed propagation delay of a completed transfer's response
+    /// returning to the requesting proxy over `route` — the whole path,
+    /// reversed. The engines use it for both origin responses and peer
+    /// serve/false-hit notifications.
+    pub(crate) fn return_latency(&self, route: &[usize]) -> f64 {
+        route.iter().map(|&l| self.links[l].latency).sum()
+    }
+}
+
+/// A partition of a [`Topology`] into per-thread **shards** for the
+/// sharded cluster driver: every proxy and every link is owned by exactly
+/// one shard, and the plan knows the conservative **lookahead** the
+/// partition admits.
+///
+/// ## Partitioning heuristic
+///
+/// Proxies are split into contiguous, balanced index blocks — for the
+/// `mesh`/`ring`/`two_tier` families (symmetric peer fabrics over an
+/// index-ordered peer structure) contiguous blocks minimise or tie the
+/// edge cut among balanced partitions, and contiguity keeps the partition
+/// a pure function of `(n_proxies, n_shards)` so reports cannot depend on
+/// a randomised cut. Each link then goes to the shard that *routes over it
+/// most*: we count, for every route and peer route, one use per traversing
+/// proxy, and hand the link to the majority shard (lowest index on ties).
+/// Private access links land with their proxy, shared backbones with the
+/// largest user block, and peer links with one of their two endpoints —
+/// exactly the assignment that minimises cross-shard handoffs given the
+/// proxy blocks.
+///
+/// ## Lookahead
+///
+/// The conservative window protocol may run every shard `lookahead`
+/// seconds past the globally earliest pending event without any shard
+/// observing another's effects, because every **cross-shard handoff** —
+/// a job entering a link owned by another shard, a peer-serve check at a
+/// remote proxy, a response delivered to a remote proxy — takes at least
+/// this long. The plan computes it as the minimum propagation delay over
+/// all handoffs its cut actually crosses: `+∞` when nothing crosses
+/// (shards are independent between digest epochs), and `0` when any
+/// crossing hop has zero latency — in which case no window is admissible
+/// and the driver falls back to sequential merged execution.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    n_shards: usize,
+    proxy_shard: Vec<u32>,
+    link_shard: Vec<u32>,
+    lookahead: f64,
+}
+
+impl ShardPlan {
+    /// Partitions `topology` into `shards` shards (clamped to the proxy
+    /// count).
+    pub fn partition(topology: &Topology, shards: usize) -> ShardPlan {
+        assert!(shards > 0, "need at least one shard");
+        let n_proxies = topology.n_proxies();
+        let n_shards = shards.min(n_proxies);
+
+        // Contiguous balanced blocks: the first `rem` shards get one extra.
+        let base = n_proxies / n_shards;
+        let rem = n_proxies % n_shards;
+        let mut proxy_shard = Vec::with_capacity(n_proxies);
+        for s in 0..n_shards {
+            let count = base + usize::from(s < rem);
+            proxy_shard.extend(std::iter::repeat_n(s as u32, count));
+        }
+
+        // Majority-use link assignment: one use per proxy whose route (or
+        // peer route, in either direction) traverses the link.
+        let mut use_count = vec![vec![0u32; n_shards]; topology.links().len()];
+        let mut count_route = |route: &[usize], proxy: usize| {
+            for &l in route {
+                use_count[l][proxy_shard[proxy] as usize] += 1;
+            }
+        };
+        for p in 0..n_proxies {
+            for s in 0..topology.n_shards() {
+                count_route(topology.route(p, s), p);
+            }
+            for q in 0..n_proxies {
+                if topology.has_peer_path(p, q) {
+                    count_route(topology.peer_route(p, q), p);
+                }
+            }
+        }
+        let link_shard: Vec<u32> = use_count
+            .iter()
+            .map(|counts| {
+                let mut best = 0usize;
+                for (s, &c) in counts.iter().enumerate() {
+                    if c > counts[best] {
+                        best = s;
+                    }
+                }
+                best as u32
+            })
+            .collect();
+
+        let mut plan = ShardPlan { n_shards, proxy_shard, link_shard, lookahead: f64::INFINITY };
+        plan.lookahead = plan.compute_lookahead(topology);
+        plan
+    }
+
+    /// Minimum delay over the cross-shard handoffs this cut crosses (see
+    /// the type docs); `+∞` when no handoff crosses.
+    fn compute_lookahead(&self, topology: &Topology) -> f64 {
+        let mut min = f64::INFINITY;
+        let mut consider = |crosses: bool, delay: f64| {
+            if crosses {
+                min = min.min(delay);
+            }
+        };
+        let mut walk = |route: &[usize], proxy: usize, endpoint: u32| {
+            // Launch: the proxy injects into the route's first link.
+            consider(
+                self.proxy_shard[proxy] != self.link_shard[route[0]],
+                topology.entry_latency(route[0]),
+            );
+            // Tandem forwards between consecutive links.
+            for hop in route.windows(2) {
+                consider(
+                    self.link_shard[hop[0]] != self.link_shard[hop[1]],
+                    topology.entry_latency(hop[1]),
+                );
+            }
+            // Hand-off from the last link to the serving endpoint (the
+            // origin-side proxy itself, or the peer being checked).
+            let last = *route.last().expect("routes are non-empty");
+            consider(self.link_shard[last] != endpoint, topology.entry_latency(last));
+            // Response back to the requesting proxy.
+            consider(endpoint != self.proxy_shard[proxy], topology.return_latency(route));
+        };
+        for p in 0..topology.n_proxies() {
+            for s in 0..topology.n_shards() {
+                // Origin fetches complete at the requester itself.
+                walk(topology.route(p, s), p, self.proxy_shard[p]);
+            }
+            for q in 0..topology.n_proxies() {
+                if topology.has_peer_path(p, q) {
+                    // Peer fetches are checked at q, then answered to p.
+                    walk(topology.peer_route(p, q), p, self.proxy_shard[q]);
+                }
+            }
+        }
+        min
+    }
+
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The shard owning proxy `p`'s client population, cache, and timers.
+    pub fn proxy_shard(&self, p: usize) -> usize {
+        self.proxy_shard[p] as usize
+    }
+
+    /// The shard owning link `l`'s queueing server.
+    pub fn link_shard(&self, l: usize) -> usize {
+        self.link_shard[l] as usize
+    }
+
+    /// The conservative window width this partition admits (seconds).
+    pub fn lookahead(&self) -> f64 {
+        self.lookahead
+    }
+
+    /// Number of links whose server lives on a different shard than at
+    /// least one proxy routing over them — the cut the partitioning
+    /// heuristic minimises (diagnostic, reported by E17).
+    pub fn edge_cut(&self, topology: &Topology) -> usize {
+        let mut cut = vec![false; topology.links().len()];
+        let mut mark = |route: &[usize], proxy: usize| {
+            for &l in route {
+                if self.link_shard[l] != self.proxy_shard[proxy] {
+                    cut[l] = true;
+                }
+            }
+        };
+        for p in 0..topology.n_proxies() {
+            for s in 0..topology.n_shards() {
+                mark(topology.route(p, s), p);
+            }
+            for q in 0..topology.n_proxies() {
+                if topology.has_peer_path(p, q) {
+                    mark(topology.peer_route(p, q), p);
+                }
+            }
+        }
+        cut.iter().filter(|&&c| c).count()
+    }
 }
 
 /// Incremental construction of a custom [`Topology`].
@@ -267,15 +511,27 @@ pub struct TopologyBuilder {
 }
 
 impl TopologyBuilder {
-    /// Registers a link; returns its index for use in routes.
+    /// Registers a zero-latency link; returns its index for use in routes.
     pub fn add_link(
         &mut self,
         name: impl Into<String>,
         bandwidth: f64,
         discipline: Discipline,
     ) -> usize {
+        self.add_link_latency(name, bandwidth, 0.0, discipline)
+    }
+
+    /// Registers a link with a propagation `latency`; returns its index.
+    pub fn add_link_latency(
+        &mut self,
+        name: impl Into<String>,
+        bandwidth: f64,
+        latency: f64,
+        discipline: Discipline,
+    ) -> usize {
         assert!(bandwidth > 0.0 && bandwidth.is_finite(), "link bandwidth must be positive");
-        self.links.push(Link { name: name.into(), bandwidth, discipline });
+        assert!(latency >= 0.0 && latency.is_finite(), "link latency must be non-negative");
+        self.links.push(Link { name: name.into(), bandwidth, latency, discipline });
         self.links.len() - 1
     }
 
@@ -451,5 +707,67 @@ mod tests {
     fn zero_bandwidth_panics() {
         let mut b = Topology::builder(1, 1);
         b.add_link("bad", 0.0, Discipline::ProcessorSharing);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_latency_panics() {
+        let mut b = Topology::builder(1, 1);
+        b.add_link_latency("bad", 10.0, -0.1, Discipline::ProcessorSharing);
+    }
+
+    #[test]
+    fn classic_layouts_have_zero_latency() {
+        for t in [
+            Topology::single(50.0),
+            Topology::two_tier(3, 60.0, 100.0),
+            Topology::mesh(4, 40.0, 80.0, 30.0),
+        ] {
+            assert!(!t.has_latency());
+            for l in 0..t.links().len() {
+                assert_eq!(t.entry_latency(l), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn latency_mesh_matches_flat_mesh_shape() {
+        let lat = Topology::mesh_with_latency(4, 40.0, 80.0, 30.0, 0.02);
+        let flat = Topology::mesh(4, 40.0, 80.0, 30.0);
+        assert!(lat.has_latency());
+        assert_eq!(lat.links().len(), flat.links().len());
+        for (a, b) in lat.links().iter().zip(flat.links()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.bandwidth, b.bandwidth);
+            assert_eq!(a.latency, 0.02);
+        }
+        for p in 0..4 {
+            assert_eq!(lat.route(p, 0), flat.route(p, 0));
+            // Origin responses return over access + backbone: 2 hops.
+            assert_eq!(lat.return_latency(lat.route(p, 0)), 0.04);
+            for q in 0..4 {
+                if p != q {
+                    assert_eq!(lat.peer_route(p, q), flat.peer_route(p, q));
+                    assert_eq!(lat.return_latency(lat.peer_route(p, q)), 0.02);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_plan_clamps_to_proxy_count_and_keeps_private_links_local() {
+        let t = Topology::sharded_origin(3, 2, 40.0, 80.0);
+        let plan = ShardPlan::partition(&t, 8);
+        assert_eq!(plan.n_shards(), 3, "clamped to the proxy count");
+        for p in 0..3 {
+            let uplink = t.route(p, 0)[0];
+            assert_eq!(plan.link_shard(uplink), plan.proxy_shard(p));
+        }
+        // Zero-latency topology: any crossing handoff has zero delay.
+        assert_eq!(plan.lookahead(), 0.0);
+        // The single-shard plan crosses nothing at all.
+        let solo = ShardPlan::partition(&t, 1);
+        assert_eq!(solo.lookahead(), f64::INFINITY);
+        assert_eq!(solo.edge_cut(&t), 0);
     }
 }

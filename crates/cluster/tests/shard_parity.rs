@@ -1,0 +1,201 @@
+//! Sharded-driver determinism: `ClusterSim::run_sharded` must produce
+//! **bit-identical** reports for every shard count, equal to the
+//! single-threaded oracle (`ClusterSim::run`) — on the zero-latency
+//! E13/E14/E16-shaped configurations (where the conservative lookahead is
+//! zero and the shards run merged on one thread) *and* on latency-bearing
+//! meshes (where the shards run real conservative windows on their own
+//! threads).
+//!
+//! Bit-identity is asserted through `ClusterReport`'s derived
+//! `PartialEq` — every float compared exactly, not to a tolerance: the
+//! sharding must not even perturb floating-point accumulation order.
+
+use cluster::{
+    AdaptiveWorkload, CandidateSource, ClusterConfig, ClusterSim, CooperativeWorkload, ProxyPolicy,
+    ShardPlan, StaticProxy, StaticWorkload, Topology, Workload,
+};
+use coop::{CoopConfig, DigestConfig, PlacementPolicy, RefreshStrategy};
+use simcore::dist::Exponential;
+use workload::synth_web::SynthWebConfig;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn assert_shard_counts_agree(config: &ClusterConfig<'_>, seed: u64, label: &str) {
+    let oracle = ClusterSim::new(config).run(seed);
+    for shards in SHARD_COUNTS {
+        let sharded = ClusterSim::new(config).run_sharded(seed, shards);
+        assert_eq!(
+            sharded, oracle,
+            "{label}: report at {shards} shards differs from the single-threaded oracle"
+        );
+    }
+}
+
+/// The E13-shaped adaptive deployment: heterogeneous local load over a
+/// sharded origin, oracle candidates, jittered prefetch pacing.
+fn e13_adaptive_config() -> ClusterConfig<'static> {
+    ClusterConfig {
+        topology: Topology::sharded_origin(6, 2, 45.0, 80.0),
+        workload: Workload::Adaptive(AdaptiveWorkload {
+            proxies: [8.0, 18.0, 30.0, 11.0, 22.0, 14.0]
+                .iter()
+                .map(|&lambda| SynthWebConfig {
+                    lambda,
+                    link_skew: 0.3,
+                    ..SynthWebConfig::default()
+                })
+                .collect(),
+            cache_capacity: 32,
+            cache_bytes: None,
+            max_candidates: 3,
+            prefetch_jitter: 0.01,
+            policy: ProxyPolicy::Adaptive,
+            predictor: CandidateSource::Oracle,
+            shared_structure_seed: None,
+        }),
+        requests_per_proxy: 3_000,
+        warmup_per_proxy: 600,
+    }
+}
+
+/// The E14-shaped cooperative deployment: peer mesh, identical item
+/// universes, short digest epoch, load-aware placement.
+fn e14_coop_config(latency: f64, refresh: RefreshStrategy) -> ClusterConfig<'static> {
+    let topology = if latency > 0.0 {
+        Topology::mesh_with_latency(6, 50.0, 150.0, 45.0, latency)
+    } else {
+        Topology::mesh(6, 50.0, 150.0, 45.0)
+    };
+    ClusterConfig {
+        topology,
+        workload: Workload::Cooperative(CooperativeWorkload {
+            base: AdaptiveWorkload {
+                proxies: (0..6)
+                    .map(|_| SynthWebConfig {
+                        lambda: 14.0,
+                        link_skew: 0.3,
+                        ..SynthWebConfig::default()
+                    })
+                    .collect(),
+                cache_capacity: 48,
+                cache_bytes: None,
+                max_candidates: 3,
+                prefetch_jitter: 0.01,
+                policy: ProxyPolicy::Adaptive,
+                predictor: CandidateSource::Oracle,
+                shared_structure_seed: Some(99),
+            },
+            coop: CoopConfig {
+                placement: PlacementPolicy::LoadAware { divergence: 0.05, step: 4, min_vnodes: 8 },
+                digest: DigestConfig { epoch: 2.0, bits_per_entry: 10, hashes: 4 },
+                refresh,
+                ..CoopConfig::default()
+            },
+        }),
+        requests_per_proxy: 2_500,
+        warmup_per_proxy: 500,
+    }
+}
+
+/// The E16-shaped deployment: byte-addressed caches under a heavy Pareto
+/// size tail, delta digest exchange.
+fn e16_bytes_config() -> ClusterConfig<'static> {
+    let mut config = e14_coop_config(0.0, RefreshStrategy::Deltas);
+    let Workload::Cooperative(w) = &mut config.workload else { unreachable!() };
+    for p in &mut w.base.proxies {
+        p.size_shape = 1.6;
+    }
+    w.base.cache_capacity = 192;
+    w.base.cache_bytes = Some(160.0);
+    w.coop.digest.epoch = 1.0;
+    config
+}
+
+#[test]
+fn adaptive_sharding_is_invisible() {
+    assert_shard_counts_agree(&e13_adaptive_config(), 13, "e13 adaptive");
+}
+
+#[test]
+fn cooperative_sharding_is_invisible() {
+    assert_shard_counts_agree(&e14_coop_config(0.0, RefreshStrategy::Deltas), 14, "e14 coop");
+}
+
+#[test]
+fn byte_cache_sharding_is_invisible() {
+    assert_shard_counts_agree(&e16_bytes_config(), 16, "e16 bytes");
+}
+
+#[test]
+fn static_sharding_is_invisible() {
+    let size = Exponential::with_mean(1.0);
+    let config = ClusterConfig {
+        topology: Topology::sharded_origin(5, 2, 25.0, 30.0),
+        workload: Workload::Static(StaticWorkload {
+            proxies: vec![StaticProxy { lambda: 10.0, h_prime: 0.3, n_f: 0.5, p: 0.8 }; 5],
+            size_dist: &size,
+        }),
+        requests_per_proxy: 8_000,
+        warmup_per_proxy: 1_600,
+    };
+    assert_shard_counts_agree(&config, 29, "static");
+}
+
+/// The windowed multi-threaded path: a latency mesh gives the partition a
+/// positive lookahead, so shard counts > 1 actually run concurrent
+/// conservative windows — and must still match the sequential oracle
+/// bit-for-bit, across refresh strategies (the boundary is the one global
+/// synchronisation point).
+#[test]
+fn windowed_execution_matches_the_oracle() {
+    for refresh in [RefreshStrategy::Deltas, RefreshStrategy::Auto] {
+        let config = e14_coop_config(0.05, refresh);
+        let plan = ShardPlan::partition(&config.topology, 4);
+        assert!(
+            plan.lookahead() > 0.0,
+            "latency mesh must admit a positive lookahead, got {}",
+            plan.lookahead()
+        );
+        assert_shard_counts_agree(&config, 21, &format!("latency mesh {refresh:?}"));
+    }
+}
+
+/// Same windowed run, repeated: thread scheduling must not leak into the
+/// report at all.
+#[test]
+fn windowed_execution_is_stable_across_repeats() {
+    let config = e14_coop_config(0.05, RefreshStrategy::Deltas);
+    let first = ClusterSim::new(&config).run_sharded(7, 8);
+    for _ in 0..2 {
+        assert_eq!(ClusterSim::new(&config).run_sharded(7, 8), first);
+    }
+}
+
+/// The partitioner itself: balanced contiguous blocks, every entity
+/// owned, lookahead reflects the topology's latency floor.
+#[test]
+fn shard_plan_covers_the_topology() {
+    let topology = Topology::mesh_with_latency(10, 50.0, 200.0, 45.0, 0.02);
+    let plan = ShardPlan::partition(&topology, 4);
+    assert_eq!(plan.n_shards(), 4);
+    let mut per_shard = [0usize; 4];
+    for p in 0..10 {
+        per_shard[plan.proxy_shard(p)] += 1;
+    }
+    assert_eq!(per_shard.iter().sum::<usize>(), 10);
+    assert!(per_shard.iter().all(|&c| c == 2 || c == 3), "balanced blocks: {per_shard:?}");
+    // Private access links live with their proxy.
+    for p in 0..10 {
+        let access = topology.route(p, 0)[0];
+        assert_eq!(plan.link_shard(access), plan.proxy_shard(p), "access[{p}] follows its proxy");
+    }
+    // Uniform latency 0.02 ⇒ every crossing handoff costs ≥ 0.02.
+    assert_eq!(plan.lookahead(), 0.02);
+    assert!(plan.edge_cut(&topology) > 0, "a 4-way mesh cut crosses peer links");
+
+    // Zero-latency meshes admit no window at all.
+    let flat = Topology::mesh(10, 50.0, 200.0, 45.0);
+    assert_eq!(ShardPlan::partition(&flat, 4).lookahead(), 0.0);
+    // One shard crosses nothing.
+    assert_eq!(ShardPlan::partition(&flat, 1).lookahead(), f64::INFINITY);
+}

@@ -65,6 +65,21 @@ impl DigestConfig {
         let k = self.hashes as f64;
         (1.0 - (-k / self.bits_per_entry as f64).exp()).powf(k)
     }
+
+    /// Wire bytes of one full snapshot for a cache of `capacity` entries
+    /// under this sizing — `⌈m/8⌉` with `m = capacity · bits_per_entry`
+    /// (floored at the 64-slot minimum every digest is provisioned with).
+    pub fn snapshot_wire_bytes(&self, capacity: usize) -> u64 {
+        provision(capacity, self.bits_per_entry).div_ceil(8)
+    }
+
+    /// The delta-stream length at which a snapshot becomes the cheaper
+    /// flush for a cache of `capacity` entries — `capacity · bits / 8 / 9`
+    /// ops; see [`DeltaDigest::delta_crossover_ops`], with which this
+    /// always agrees.
+    pub fn delta_crossover_ops(&self, capacity: usize) -> u64 {
+        self.snapshot_wire_bytes(capacity) / DELTA_OP_WIRE_BYTES
+    }
 }
 
 /// How routers regenerate the advertised digests at epoch boundaries.
@@ -84,6 +99,15 @@ pub enum RefreshStrategy {
     ///
     /// [`Router::refresh`]: crate::Router::refresh
     FullRebuild,
+    /// Per proxy, per boundary: ship whichever is cheaper on the wire —
+    /// the delta stream, or a full snapshot once the stream has outgrown
+    /// it. The crossover is [`DeltaDigest::delta_crossover_ops`]
+    /// (`⌈m/8⌉ / 9` ops, i.e. `capacity · bits / 8 / 9` at standard
+    /// provisioning — the point E16 measures): below it a delta flush is
+    /// strictly smaller, above it the snapshot is, so `Auto` never ships
+    /// more than `min(churn · 9, ⌈m/8⌉)` bytes per proxy per epoch.
+    /// Advertised state is identical to both other strategies either way.
+    Auto,
 }
 
 /// Wire cost of one [`DeltaOp`]: an 8-byte key plus a 1-byte opcode.
@@ -279,6 +303,15 @@ impl DeltaDigest {
     /// regardless of how the sender maintains its counters.
     pub fn snapshot_wire_bytes(&self) -> u64 {
         self.m.div_ceil(8)
+    }
+
+    /// The delta-stream length at which a full snapshot becomes the
+    /// cheaper flush: `⌈m/8⌉ / 9` ops (snapshot bytes over
+    /// [`DELTA_OP_WIRE_BYTES`]). A stream of **more** than this many ops
+    /// costs more wire bytes than shipping the whole bit projection —
+    /// [`RefreshStrategy::Auto`]'s per-proxy decision point.
+    pub fn delta_crossover_ops(&self) -> u64 {
+        self.snapshot_wire_bytes() / DELTA_OP_WIRE_BYTES
     }
 }
 

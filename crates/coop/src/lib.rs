@@ -78,7 +78,7 @@ pub use digest::{
 };
 pub use placement::{Placement, PlacementPolicy};
 pub use ring::HashRing;
-pub use router::{Resolution, Router, RouterStats};
+pub use router::{RefreshPayload, Resolution, Router, RouterStats};
 
 /// Complete configuration of the cooperative layer.
 #[derive(Clone, Copy, Debug, PartialEq)]

@@ -33,7 +33,7 @@
 use crate::digest::{DeltaDigest, DeltaOp, DELTA_OP_WIRE_BYTES};
 use crate::placement::Placement;
 use crate::CoopConfig;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Where a miss (or prefetch) should be served from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,6 +57,32 @@ pub struct RouterStats {
     pub digest_bytes: u64,
     /// Delta ops applied ([`Router::apply_deltas`] boundaries only).
     pub delta_ops: u64,
+    /// Per-proxy boundary flushes that shipped a delta stream. Together
+    /// with [`RouterStats::snapshot_flushes`] this meters which side of
+    /// the compaction crossover each flush landed on (the
+    /// [`crate::RefreshStrategy::Auto`] decision).
+    pub delta_flushes: u64,
+    /// Per-proxy boundary flushes that shipped a full snapshot (full
+    /// rebuilds, or `Auto` flushes past the crossover).
+    pub snapshot_flushes: u64,
+}
+
+/// One proxy's contribution to an epoch boundary: what it puts on the
+/// wire to re-advertise its cache.
+///
+/// Both forms leave the router advertising exactly the proxy's cache
+/// contents at flush time, so the choice is purely a wire/CPU trade —
+/// [`Router::apply_payloads`] accepts any per-proxy mix, which is how
+/// [`crate::RefreshStrategy::Auto`] ships each proxy's cheaper form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RefreshPayload {
+    /// The insert/evict stream since the last boundary, in chronological
+    /// order ([`DELTA_OP_WIRE_BYTES`] per op on the wire).
+    Deltas(Vec<DeltaOp>),
+    /// The proxy's full cache key set (`⌈m/8⌉` wire bytes as a Bloom bit
+    /// projection). The router diffs it against the previously advertised
+    /// set, so counting-digest state stays exactly delta-equivalent.
+    Snapshot(Vec<u64>),
 }
 
 /// The cooperative routing fabric for one cluster.
@@ -68,11 +94,17 @@ pub struct Router {
     /// together with the digests, preserving the staleness-false-hit
     /// semantics.
     holders: HashMap<u64, Vec<u32>>,
+    /// The exact key set each proxy currently advertises — the baseline a
+    /// [`RefreshPayload::Snapshot`] is diffed against so snapshot flushes
+    /// reduce to the equivalent delta ops.
+    advertised: Vec<HashSet<u64>>,
     epoch: f64,
     next_refresh: f64,
     epochs: u64,
     digest_bytes: u64,
     delta_ops: u64,
+    delta_flushes: u64,
+    snapshot_flushes: u64,
 }
 
 impl Router {
@@ -94,11 +126,14 @@ impl Router {
             placement: Placement::new(n_nodes, config.vnodes, config.placement),
             digests,
             holders: HashMap::new(),
+            advertised: vec![HashSet::new(); n_nodes],
             epoch: config.digest.epoch,
             next_refresh: config.digest.epoch,
             epochs: 0,
             digest_bytes: 0,
             delta_ops: 0,
+            delta_flushes: 0,
+            snapshot_flushes: 0,
         }
     }
 
@@ -115,12 +150,14 @@ impl Router {
         self.next_refresh
     }
 
-    /// Registers proxy `p` as a holder of `key` in the inverted index.
+    /// Registers proxy `p` as a holder of `key` in the inverted index and
+    /// the advertised-set baseline.
     fn index_insert(&mut self, p: usize, key: u64) {
         let list = self.holders.entry(key).or_default();
         if let Err(pos) = list.binary_search(&(p as u32)) {
             list.insert(pos, p as u32);
         }
+        self.advertised[p].insert(key);
     }
 
     /// Deregisters proxy `p` as a holder of `key`.
@@ -133,6 +170,7 @@ impl Router {
                 self.holders.remove(&key);
             }
         }
+        self.advertised[p].remove(&key);
     }
 
     /// Book-keeping shared by both refresh protocols: feed the placement
@@ -158,6 +196,9 @@ impl Router {
     /// next refresh stays on the epoch grid.
     pub fn refresh(&mut self, t: f64, contents: impl Fn(usize) -> Vec<u64>, loads: &[f64]) {
         self.holders.clear();
+        for set in &mut self.advertised {
+            set.clear();
+        }
         for proxy in 0..self.digests.len() {
             self.digests[proxy].clear();
             for key in contents(proxy) {
@@ -165,6 +206,7 @@ impl Router {
                 self.index_insert(proxy, key);
             }
             self.digest_bytes += self.digests[proxy].snapshot_wire_bytes();
+            self.snapshot_flushes += 1;
         }
         self.finish_boundary(t, loads);
     }
@@ -183,17 +225,83 @@ impl Router {
         assert_eq!(deltas.len(), self.digests.len(), "one delta stream per proxy");
         for (proxy, buf) in deltas.iter_mut().enumerate() {
             let ops = std::mem::take(buf);
-            self.digest_bytes += DELTA_OP_WIRE_BYTES * ops.len() as u64;
-            self.delta_ops += ops.len() as u64;
-            for op in ops {
-                self.digests[proxy].apply(op);
-                match op {
-                    DeltaOp::Insert(k) => self.index_insert(proxy, k),
-                    DeltaOp::Evict(k) => self.index_remove(proxy, k),
-                }
+            self.flush_delta_ops(proxy, ops);
+        }
+        self.finish_boundary(t, loads);
+    }
+
+    /// Applies one proxy's delta flush and meters its wire cost.
+    fn flush_delta_ops(&mut self, proxy: usize, ops: Vec<DeltaOp>) {
+        self.digest_bytes += DELTA_OP_WIRE_BYTES * ops.len() as u64;
+        self.delta_ops += ops.len() as u64;
+        self.delta_flushes += 1;
+        for op in ops {
+            self.digests[proxy].apply(op);
+            match op {
+                DeltaOp::Insert(k) => self.index_insert(proxy, k),
+                DeltaOp::Evict(k) => self.index_remove(proxy, k),
+            }
+        }
+    }
+
+    /// Applies one proxy's snapshot flush: diff against the advertised
+    /// baseline, apply the equivalent ops, meter the snapshot wire cost.
+    /// Leaves digest counters, holder index, and advertised set exactly as
+    /// the equivalent delta flush would — the compaction fallback changes
+    /// bytes, never advertised state.
+    fn flush_snapshot(&mut self, proxy: usize, keys: Vec<u64>) {
+        let next: HashSet<u64> = keys.into_iter().collect();
+        // Sorted diffs so the op application order is a pure function of
+        // the sets, not of hash iteration order.
+        let mut evicted: Vec<u64> = self.advertised[proxy].difference(&next).copied().collect();
+        let mut inserted: Vec<u64> = next.difference(&self.advertised[proxy]).copied().collect();
+        evicted.sort_unstable();
+        inserted.sort_unstable();
+        for k in evicted {
+            self.digests[proxy].remove(k);
+            self.index_remove(proxy, k);
+        }
+        for k in inserted {
+            self.digests[proxy].insert(k);
+            self.index_insert(proxy, k);
+        }
+        debug_assert_eq!(self.advertised[proxy], next);
+        self.digest_bytes += self.digests[proxy].snapshot_wire_bytes();
+        self.snapshot_flushes += 1;
+    }
+
+    /// **Mixed-payload** boundary: applies one [`RefreshPayload`] per
+    /// proxy — deltas and snapshots freely mixed, which is how
+    /// [`crate::RefreshStrategy::Auto`] ships each proxy's cheaper form and how
+    /// the sharded cluster driver flushes shards that built their payloads
+    /// independently. `payloads` must hold exactly one entry per proxy
+    /// (any order); advertised state afterwards is identical to the
+    /// equivalent [`Router::apply_deltas`] boundary, only the metered wire
+    /// bytes differ.
+    pub fn apply_payloads(
+        &mut self,
+        t: f64,
+        payloads: Vec<(usize, RefreshPayload)>,
+        loads: &[f64],
+    ) {
+        assert_eq!(payloads.len(), self.digests.len(), "one payload per proxy");
+        let mut payloads = payloads;
+        payloads.sort_by_key(|(proxy, _)| *proxy);
+        for (expect, (proxy, payload)) in payloads.into_iter().enumerate() {
+            assert_eq!(proxy, expect, "payload set must cover every proxy exactly once");
+            match payload {
+                RefreshPayload::Deltas(ops) => self.flush_delta_ops(proxy, ops),
+                RefreshPayload::Snapshot(keys) => self.flush_snapshot(proxy, keys),
             }
         }
         self.finish_boundary(t, loads);
+    }
+
+    /// Whether a delta stream of `ops` ops should fall back to a snapshot
+    /// for `proxy` under [`crate::RefreshStrategy::Auto`] — true past the wire
+    /// crossover [`DeltaDigest::delta_crossover_ops`].
+    pub fn snapshot_cheaper(&self, proxy: usize, ops: usize) -> bool {
+        ops as u64 > self.digests[proxy].delta_crossover_ops()
     }
 
     /// Resolves a miss/prefetch for `key` at proxy `me`: the placement
@@ -239,6 +347,8 @@ impl Router {
             vnode_migrations: self.placement.migrations(),
             digest_bytes: self.digest_bytes,
             delta_ops: self.delta_ops,
+            delta_flushes: self.delta_flushes,
+            snapshot_flushes: self.snapshot_flushes,
         }
     }
 }
@@ -373,6 +483,106 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn snapshot_payload_matches_delta_payload_state() {
+        // Same cache history flushed as a delta stream on one router and a
+        // full snapshot on the other: identical resolutions afterwards, and
+        // the advertised baseline tracks so a later *delta* flush composes
+        // correctly on top of a snapshot flush.
+        let mut by_delta = router(3);
+        let mut by_snap = router(3);
+        let ops =
+            vec![DeltaOp::Insert(5), DeltaOp::Insert(9), DeltaOp::Evict(9), DeltaOp::Insert(2)];
+        by_delta.apply_payloads(
+            5.0,
+            vec![
+                (0, RefreshPayload::Deltas(ops)),
+                (1, RefreshPayload::Deltas(vec![])),
+                (2, RefreshPayload::Deltas(vec![])),
+            ],
+            &[0.0; 3],
+        );
+        by_snap.apply_payloads(
+            5.0,
+            vec![
+                // Out of order on purpose: apply_payloads sequences by proxy.
+                (2, RefreshPayload::Deltas(vec![])),
+                (0, RefreshPayload::Snapshot(vec![5, 2])),
+                (1, RefreshPayload::Deltas(vec![])),
+            ],
+            &[0.0; 3],
+        );
+        for me in 0..3 {
+            for key in 0..64u64 {
+                assert_eq!(
+                    by_delta.resolve(me, key),
+                    by_snap.resolve(me, key),
+                    "me {me} key {key}"
+                );
+            }
+        }
+        // Second boundary: proxy 0 evicts 5, both protocols again.
+        by_delta.apply_payloads(
+            10.0,
+            vec![
+                (0, RefreshPayload::Deltas(vec![DeltaOp::Evict(5)])),
+                (1, RefreshPayload::Deltas(vec![])),
+                (2, RefreshPayload::Deltas(vec![])),
+            ],
+            &[0.0; 3],
+        );
+        by_snap.apply_payloads(
+            10.0,
+            vec![
+                (0, RefreshPayload::Deltas(vec![DeltaOp::Evict(5)])),
+                (1, RefreshPayload::Deltas(vec![])),
+                (2, RefreshPayload::Deltas(vec![])),
+            ],
+            &[0.0; 3],
+        );
+        for me in 0..3 {
+            for key in 0..64u64 {
+                assert_eq!(
+                    by_delta.resolve(me, key),
+                    by_snap.resolve(me, key),
+                    "me {me} key {key}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_crossover_is_snapshot_over_delta_wire_cost() {
+        // capacity 64 × 10 bits → m = 640 slots → 80-byte snapshot →
+        // crossover at ⌊80 / 9⌋ = 8 ops.
+        let r = router(2);
+        assert!(!r.snapshot_cheaper(0, 8), "at the crossover deltas still win (ties go to deltas)");
+        assert!(r.snapshot_cheaper(0, 9), "past the crossover the snapshot is cheaper");
+        // The metered costs agree with the decision rule around the
+        // boundary: 9 ops cost more wire bytes than one snapshot, 8 less.
+        for (ops, cheaper) in [(8u64, false), (9, true)] {
+            assert_eq!(ops * DELTA_OP_WIRE_BYTES > 80, cheaper);
+        }
+    }
+
+    #[test]
+    fn flush_kinds_are_metered() {
+        let mut r = router(2);
+        r.apply_payloads(
+            5.0,
+            vec![
+                (0, RefreshPayload::Deltas(vec![DeltaOp::Insert(1)])),
+                (1, RefreshPayload::Snapshot(vec![7, 8])),
+            ],
+            &[0.0; 2],
+        );
+        let s = r.stats();
+        assert_eq!((s.delta_flushes, s.snapshot_flushes), (1, 1));
+        assert_eq!(s.delta_ops, 1);
+        // 1 delta op + one 80-byte snapshot (capacity 64 × 10 bits).
+        assert_eq!(s.digest_bytes, DELTA_OP_WIRE_BYTES + 80);
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//! Regenerates the report of experiment `e17_shard`: strong scaling of
+//! the sharded parallel cluster engine over latency meshes (256/512
+//! proxies, shards ∈ {1, 2, 4, 8}), with bit-identical reports asserted
+//! across the whole ladder.
+//!
+//! Pass `--smoke` for the reduced fabric CI uses (shards ∈ {1, 2}) so the
+//! parallel path is exercised on every push.
+
+use harness::experiments::e17_shard;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let report = if smoke { e17_shard::render_smoke() } else { e17_shard::render() };
+    print!("{report}");
+}

@@ -16,13 +16,17 @@
 //!   at shape 1.6), so cache occupancy, goodput/badput, and the digest
 //!   streams are all denominated in the paper's unit: bytes.
 //!
-//! Per fabric size the sweep runs both refresh strategies at a fixed
-//! total request budget and compares digest-exchange bytes, backbone
-//! load, and false hits. The crossover is part of the story: deltas win
-//! whenever per-epoch churn stays below `capacity · bits / 8` wire-bytes
-//! — the regime real summary caches live in — and degrade gracefully to
-//! snapshot cost under cold-cache churn. The stdout report carries only
-//! seeded, deterministic metrics; wall-clock goes to stderr.
+//! Per fabric size the sweep runs all three refresh strategies at a
+//! fixed total request budget and compares digest-exchange bytes,
+//! backbone load, and false hits. The crossover is part of the story:
+//! deltas win whenever per-epoch churn stays below
+//! `capacity · bits / 8` wire-bytes — the regime real summary caches
+//! live in — and `RefreshStrategy::Auto` (the compaction fallback) makes
+//! the bound structural: each proxy ships whichever of the two forms is
+//! cheaper that boundary, so its cost is `min(churn · 9, ⌈m/8⌉)` bytes
+//! per proxy per epoch by construction, with `RouterStats` metering
+//! which side fired. The stdout report carries only seeded,
+//! deterministic metrics; wall-clock goes to stderr.
 
 use crate::report::{f, Table};
 use cluster::{
@@ -140,16 +144,19 @@ pub fn render_with(total_requests: usize) -> String {
             "cache B used",
         ],
     );
-    let mut digest_bytes = [[0u64; 2]; SIZES.len()];
+    let mut digest_bytes = [[0u64; 3]; SIZES.len()];
     for (si, &n) in SIZES.iter().enumerate() {
         for (mi, strategy) in
-            [RefreshStrategy::Deltas, RefreshStrategy::FullRebuild].into_iter().enumerate()
+            [RefreshStrategy::Deltas, RefreshStrategy::FullRebuild, RefreshStrategy::Auto]
+                .into_iter()
+                .enumerate()
         {
             let (r, wall) = run_at(n, strategy, total_requests);
             let requests_total = (requests_per_proxy(n, total_requests) * n) as u64;
             let mode = match strategy {
                 RefreshStrategy::Deltas => "deltas",
                 RefreshStrategy::FullRebuild => "full rebuild",
+                RefreshStrategy::Auto => "auto",
             };
             eprintln!(
                 "e16: {n} proxies, {mode}: {wall:.2}s wall ({:.1} kreq/s)",
@@ -181,15 +188,17 @@ pub fn render_with(total_requests: usize) -> String {
     out.push('\n');
     let mut head = Table::new(
         "Delta exchange traffic as a share of full-rebuild traffic",
-        &["proxies", "delta KB", "rebuild KB", "delta share"],
+        &["proxies", "delta KB", "rebuild KB", "auto KB", "delta share", "auto share"],
     );
     for (si, &n) in SIZES.iter().enumerate() {
-        let [d, fl] = digest_bytes[si];
+        let [d, fl, auto] = digest_bytes[si];
         head.row(vec![
             n.to_string(),
             f(d as f64 / 1e3, 1),
             f(fl as f64 / 1e3, 1),
+            f(auto as f64 / 1e3, 1),
             format!("{:.0}%", 100.0 * d as f64 / fl.max(1) as f64),
+            format!("{:.0}%", 100.0 * auto as f64 / fl.max(1) as f64),
         ]);
     }
     out.push_str(&head.render());
@@ -236,6 +245,36 @@ mod tests {
             "e16 smoke 64 proxies",
         );
         assert!(by_delta.coop.unwrap().router.delta_ops > 0);
+    }
+
+    #[test]
+    fn auto_compaction_is_never_costlier_and_meters_its_choices() {
+        // Auto flushes each proxy's cheaper form per boundary, so its
+        // exchange volume is bounded by both pure strategies, while the
+        // advertised state (and hence the whole report modulo exchange
+        // metering) stays identical.
+        let (by_auto, _) = run_at(64, RefreshStrategy::Auto, SMOKE_TOTAL_REQUESTS);
+        let (by_delta, _) = run_at(64, RefreshStrategy::Deltas, SMOKE_TOTAL_REQUESTS);
+        let (by_full, _) = run_at(64, RefreshStrategy::FullRebuild, SMOKE_TOTAL_REQUESTS);
+        cluster::parity::assert_reports_match_modulo_digest_traffic(
+            &by_auto,
+            &by_delta,
+            "e16 auto vs deltas",
+        );
+        let auto = by_auto.coop.unwrap().router;
+        let delta = by_delta.coop.unwrap().router;
+        let full = by_full.coop.unwrap().router;
+        assert!(auto.digest_bytes <= delta.digest_bytes, "auto worse than pure deltas");
+        assert!(auto.digest_bytes <= full.digest_bytes, "auto worse than pure snapshots");
+        // The meter records which side of the crossover each flush took.
+        assert_eq!(delta.snapshot_flushes, 0);
+        assert_eq!(full.delta_flushes, 0);
+        assert_eq!(
+            auto.delta_flushes + auto.snapshot_flushes,
+            delta.delta_flushes,
+            "auto flushes once per proxy per boundary, same as pure deltas"
+        );
+        assert_eq!(delta.delta_flushes, full.snapshot_flushes);
     }
 
     #[test]

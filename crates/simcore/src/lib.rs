@@ -57,7 +57,7 @@ pub use dist::Sample;
 pub use engine::Engine;
 pub use event::EventToken;
 pub use rng::Rng;
-pub use sched::Scheduler;
+pub use sched::{KeyLayout, Scheduler, TimedQueue};
 pub use stats::{BatchMeans, Histogram, TimeWeighted, Welford};
 pub use time::SimTime;
 
@@ -67,7 +67,7 @@ pub mod prelude {
     pub use crate::engine::Engine;
     pub use crate::event::EventToken;
     pub use crate::rng::Rng;
-    pub use crate::sched::Scheduler;
+    pub use crate::sched::{KeyLayout, Scheduler, TimedQueue};
     pub use crate::stats::{BatchMeans, Histogram, TimeWeighted, Welford};
     pub use crate::time::SimTime;
 }

@@ -1,16 +1,90 @@
-//! Parallel parameter sweeps.
+//! Parallel execution primitives.
 //!
-//! Experiments evaluate the same simulation at many parameter points; the
-//! points are independent, so we farm them out to a `std::thread::scope`
-//! pool. Work is distributed by an atomic cursor (self-balancing for
-//! heterogeneous run times) and results land in their input slots, so output
-//! order is deterministic regardless of scheduling.
+//! Two layers live here, both on `std::thread::scope` (no external runtime):
 //!
-//! This is the only concurrency in the workspace — simulations themselves
-//! are single-threaded and reproducible.
+//! * **Parameter sweeps** ([`par_map`], [`sweep_vs_baseline`]) — experiments
+//!   evaluate the same simulation at many independent points; work is
+//!   distributed by an atomic cursor (self-balancing for heterogeneous run
+//!   times) and results land in their input slots, so output order is
+//!   deterministic regardless of scheduling.
+//! * **Conservative-window shard synchronization** ([`Mailboxes`],
+//!   [`TimeBoard`]) — the building blocks for a *single* simulation split
+//!   across threads: per-shard message inboxes filled concurrently during a
+//!   window and drained at its barrier, and an atomic board where each
+//!   shard publishes its next-event time so a coordinator can compute the
+//!   global horizon. Determinism is the callers' contract: receivers must
+//!   sequence drained messages by their own timestamps/ids (e.g. via
+//!   `sched::TimedQueue`), never by delivery order, which these primitives
+//!   deliberately leave unspecified.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// One message inbox per shard, safe to fill from any thread.
+///
+/// During a window every shard pushes cross-shard messages into the
+/// destination's inbox; at the barrier each shard [`Mailboxes::drain`]s its
+/// own. The drain order is whatever the send interleaving produced —
+/// receivers must re-sequence by message timestamp (the cluster drivers
+/// feed a `TimedQueue`, which orders by `(time, id)`).
+pub struct Mailboxes<M> {
+    boxes: Vec<Mutex<Vec<M>>>,
+}
+
+impl<M> Mailboxes<M> {
+    pub fn new(n: usize) -> Self {
+        Mailboxes { boxes: (0..n).map(|_| Mutex::new(Vec::new())).collect() }
+    }
+
+    pub fn n(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Appends `msg` to shard `to`'s inbox.
+    pub fn send(&self, to: usize, msg: M) {
+        self.boxes[to].lock().expect("mailbox poisoned").push(msg);
+    }
+
+    /// Takes everything currently in shard `me`'s inbox.
+    pub fn drain(&self, me: usize) -> Vec<M> {
+        std::mem::take(&mut *self.boxes[me].lock().expect("mailbox poisoned"))
+    }
+}
+
+/// A board of per-shard times published atomically (as `f64` bit patterns
+/// — monotone under `u64` comparison for the non-negative times simulations
+/// use, though [`TimeBoard::min`] decodes and compares as `f64` anyway).
+///
+/// Shards publish their next pending event time at each barrier; the
+/// coordinator reads the global minimum to size the next conservative
+/// window. `f64::INFINITY` means "idle — nothing pending".
+pub struct TimeBoard {
+    slots: Vec<AtomicU64>,
+}
+
+impl TimeBoard {
+    /// A board of `n` slots, all initially idle (`+∞`).
+    pub fn new(n: usize) -> Self {
+        TimeBoard { slots: (0..n).map(|_| AtomicU64::new(f64::INFINITY.to_bits())).collect() }
+    }
+
+    /// Publishes shard `me`'s next-event time (`None` ⇒ idle).
+    pub fn publish(&self, me: usize, t: Option<f64>) {
+        let t = t.unwrap_or(f64::INFINITY);
+        debug_assert!(!t.is_nan(), "published NaN time");
+        self.slots[me].store(t.to_bits(), Ordering::Release);
+    }
+
+    /// The published time of shard `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        f64::from_bits(self.slots[i].load(Ordering::Acquire))
+    }
+
+    /// The minimum published time across all shards (`+∞` when all idle).
+    pub fn min(&self) -> f64 {
+        (0..self.slots.len()).map(|i| self.get(i)).fold(f64::INFINITY, f64::min)
+    }
+}
 
 /// Number of worker threads to use: the available parallelism, capped by the
 /// work-item count.
@@ -156,5 +230,41 @@ mod tests {
         assert_eq!(default_threads(0), 1);
         assert!(default_threads(1) == 1);
         assert!(default_threads(1000) >= 1);
+    }
+
+    #[test]
+    fn mailboxes_collect_concurrent_sends() {
+        let boxes: Mailboxes<(usize, u64)> = Mailboxes::new(2);
+        std::thread::scope(|scope| {
+            for sender in 0..4usize {
+                let boxes = &boxes;
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        boxes.send((sender + i as usize) % 2, (sender, i));
+                    }
+                });
+            }
+        });
+        let mut got: Vec<(usize, u64)> = boxes.drain(0);
+        got.extend(boxes.drain(1));
+        assert_eq!(got.len(), 400, "no message lost or duplicated");
+        got.sort_unstable();
+        let expect: Vec<(usize, u64)> =
+            (0..4).flat_map(|s| (0..100).map(move |i| (s, i))).collect();
+        assert_eq!(got, expect);
+        assert!(boxes.drain(0).is_empty(), "drain empties the inbox");
+    }
+
+    #[test]
+    fn time_board_tracks_minimum() {
+        let board = TimeBoard::new(3);
+        assert_eq!(board.min(), f64::INFINITY, "all idle at start");
+        board.publish(0, Some(5.0));
+        board.publish(1, Some(2.5));
+        board.publish(2, None);
+        assert_eq!(board.min(), 2.5);
+        assert_eq!(board.get(2), f64::INFINITY);
+        board.publish(1, None);
+        assert_eq!(board.min(), 5.0);
     }
 }

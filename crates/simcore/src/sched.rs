@@ -36,6 +36,161 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// A partition of a scheduler's key space into ordered **classes** — the
+/// shard-handle API the `cluster` drivers build their timer layouts on.
+///
+/// A driver with several kinds of recurring timers (one per link, one per
+/// arrival process, …) registers one class per kind, in the order
+/// same-instant events must fire, and addresses each stream as
+/// `(class, index)` instead of hand-computing key offsets. Because
+/// [`Scheduler`] breaks time ties by ascending key, class registration
+/// order *is* the same-instant precedence — and two layouts built from the
+/// same class sequence assign consistent relative orders even when their
+/// per-class counts differ (the property the sharded cluster driver
+/// depends on: each shard's local layout must order its local events
+/// exactly as the global layout would).
+#[derive(Clone, Debug, Default)]
+pub struct KeyLayout {
+    /// `offsets[c]..offsets[c] + counts[c]` is class `c`'s key range.
+    offsets: Vec<usize>,
+    counts: Vec<usize>,
+}
+
+impl KeyLayout {
+    /// An empty layout; add classes with [`KeyLayout::class`].
+    pub fn new() -> Self {
+        KeyLayout::default()
+    }
+
+    /// Registers the next class with `count` timer streams; returns its
+    /// class index. Classes fire in registration order on time ties.
+    pub fn class(&mut self, count: usize) -> usize {
+        let offset = self.n_keys();
+        self.offsets.push(offset);
+        self.counts.push(count);
+        self.offsets.len() - 1
+    }
+
+    /// Total keys across all classes.
+    pub fn n_keys(&self) -> usize {
+        match (self.offsets.last(), self.counts.last()) {
+            (Some(o), Some(c)) => o + c,
+            _ => 0,
+        }
+    }
+
+    /// Number of streams in `class`.
+    pub fn count(&self, class: usize) -> usize {
+        self.counts[class]
+    }
+
+    /// The scheduler key of stream `idx` of `class`.
+    pub fn key(&self, class: usize, idx: usize) -> usize {
+        debug_assert!(idx < self.counts[class], "stream {idx} out of class {class}");
+        self.offsets[class] + idx
+    }
+
+    /// Inverse of [`KeyLayout::key`]: which `(class, index)` a key is.
+    pub fn decode(&self, key: usize) -> (usize, usize) {
+        // Layouts have a handful of classes; a linear scan beats a binary
+        // search at these sizes and keeps ties in registration order.
+        for (c, (&offset, &count)) in self.offsets.iter().zip(&self.counts).enumerate() {
+            if key < offset + count {
+                debug_assert!(key >= offset);
+                return (c, key - offset);
+            }
+        }
+        panic!("key {key} beyond layout ({} keys)", self.n_keys());
+    }
+
+    /// A scheduler provisioned with one timer per key of this layout.
+    pub fn scheduler(&self) -> Scheduler {
+        Scheduler::with_timers(self.n_keys())
+    }
+}
+
+/// A deterministic time-ordered queue of pending payloads, keyed by
+/// `(time, id)` — the companion structure for timer streams that carry
+/// *data* (a link's in-flight arrivals, a proxy's pending deliveries).
+///
+/// The owning driver arms one [`Scheduler`] timer at
+/// [`TimedQueue::next_time`] and drains every entry due at the fired
+/// instant. Entries pop in ascending `(time, id)` order **regardless of
+/// insertion order**, which is what makes a mailbox-fed queue
+/// deterministic: messages arriving from concurrent senders are sequenced
+/// by their timestamps and stable ids, never by delivery race.
+#[derive(Debug)]
+pub struct TimedQueue<T> {
+    heap: BinaryHeap<TimedEntry<T>>,
+}
+
+#[derive(Debug)]
+struct TimedEntry<T> {
+    time: f64,
+    id: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for TimedEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl<T> Eq for TimedEntry<T> {}
+impl<T> PartialOrd for TimedEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for TimedEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: earliest (time, id) first out of the max-heap.
+        other.time.total_cmp(&self.time).then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl<T> Default for TimedQueue<T> {
+    fn default() -> Self {
+        TimedQueue { heap: BinaryHeap::new() }
+    }
+}
+
+impl<T> TimedQueue<T> {
+    pub fn new() -> Self {
+        TimedQueue::default()
+    }
+
+    /// Enqueues `payload` to surface at `time`; `id` breaks time ties (it
+    /// must be unique per pending entry for the order to be total).
+    pub fn push(&mut self, time: f64, id: u64, payload: T) {
+        assert!(time.is_finite(), "queued entry at non-finite time {time}");
+        self.heap.push(TimedEntry { time, id, payload });
+    }
+
+    /// When the earliest pending entry is due.
+    pub fn next_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest entry if it is due exactly at `time` — drivers
+    /// drain a fired instant with `while let Some(x) = q.pop_due(t)`.
+    pub fn pop_due(&mut self, time: f64) -> Option<T> {
+        if self.heap.peek().is_some_and(|e| e.time == time) {
+            Some(self.heap.pop().expect("peeked entry").payload)
+        } else {
+            None
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
 /// A heap entry: deadline, owning key, and the generation it was armed
 /// under (stale once the key's generation moves on).
 #[derive(Clone, Copy, Debug)]
@@ -292,5 +447,51 @@ mod tests {
     fn non_finite_deadline_panics() {
         let mut s = Scheduler::with_timers(1);
         s.schedule(0, f64::NAN);
+    }
+
+    #[test]
+    fn key_layout_round_trips() {
+        let mut layout = KeyLayout::new();
+        let links = layout.class(3);
+        let empty = layout.class(0);
+        let proxies = layout.class(2);
+        assert_eq!((links, empty, proxies), (0, 1, 2));
+        assert_eq!(layout.n_keys(), 5);
+        assert_eq!(layout.count(empty), 0);
+        for (class, idx) in [(links, 0), (links, 2), (proxies, 0), (proxies, 1)] {
+            assert_eq!(layout.decode(layout.key(class, idx)), (class, idx));
+        }
+        assert_eq!(layout.scheduler().n_timers(), 5);
+    }
+
+    #[test]
+    fn key_layout_orders_classes_before_indices() {
+        // Same-instant precedence: every stream of an earlier class fires
+        // before any stream of a later class.
+        let mut layout = KeyLayout::new();
+        let a = layout.class(2);
+        let b = layout.class(2);
+        let mut s = layout.scheduler();
+        for key in 0..4 {
+            s.schedule(key, 1.0);
+        }
+        let order: Vec<(usize, usize)> =
+            std::iter::from_fn(|| s.pop()).map(|(_, key)| layout.decode(key)).collect();
+        assert_eq!(order, vec![(a, 0), (a, 1), (b, 0), (b, 1)]);
+    }
+
+    #[test]
+    fn timed_queue_pops_by_time_then_id_not_insertion() {
+        let mut q = TimedQueue::new();
+        q.push(2.0, 7, "late");
+        q.push(1.0, 9, "tie-high");
+        q.push(1.0, 4, "tie-low");
+        assert_eq!(q.next_time(), Some(1.0));
+        assert_eq!(q.pop_due(1.0), Some("tie-low"));
+        assert_eq!(q.pop_due(1.0), Some("tie-high"));
+        assert_eq!(q.pop_due(1.0), None, "2.0 entry is not due yet");
+        assert_eq!(q.next_time(), Some(2.0));
+        assert_eq!(q.pop_due(2.0), Some("late"));
+        assert!(q.is_empty());
     }
 }

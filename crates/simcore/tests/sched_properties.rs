@@ -4,7 +4,7 @@
 //! fired event matches the *latest* deadline its key was armed with.
 
 use proptest::prelude::*;
-use simcore::sched::Scheduler;
+use simcore::sched::{KeyLayout, Scheduler, TimedQueue};
 
 /// One scripted operation against the scheduler.
 #[derive(Clone, Copy, Debug)]
@@ -96,5 +96,103 @@ proptest! {
             .collect();
         expected.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         prop_assert_eq!(fired, expected);
+    }
+
+    /// Cancel/re-arm interleavings addressed through the shard-handle API
+    /// ([`KeyLayout`]): a layout-addressed scheduler behaves exactly like
+    /// a flat one, and same-instant pops come out class-major then
+    /// entity-ascending — the cross-shard tie order the sharded cluster
+    /// driver's global-rank merge depends on.
+    #[test]
+    fn layout_addressed_ops_match_flat_keys(
+        ops in proptest::collection::vec(
+            (0u32..7, 0usize..3, 0usize..5, 0.0..1_000.0f64),
+            1..300,
+        ),
+    ) {
+        // Three classes of five streams each.
+        let mut layout = KeyLayout::new();
+        let classes: Vec<usize> = (0..3).map(|_| layout.class(5)).collect();
+        let mut sched = layout.scheduler();
+        let mut mirror: Vec<Option<f64>> = vec![None; layout.n_keys()];
+        for (kind, class, idx, t) in ops {
+            let key = layout.key(classes[class], idx);
+            match kind {
+                0..=3 => {
+                    sched.schedule(key, t);
+                    mirror[key] = Some(t);
+                }
+                4 => {
+                    sched.cancel(key);
+                    mirror[key] = None;
+                }
+                _ => {
+                    let expected = mirror
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(k, t)| t.map(|t| (t, k)))
+                        .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                    let popped = sched.pop();
+                    prop_assert_eq!(popped, expected);
+                    if let Some((_, k)) = popped {
+                        // Round-trip: the fired key decodes into the
+                        // class/index it was armed through.
+                        let (c, i) = layout.decode(k);
+                        prop_assert_eq!(layout.key(c, i), k);
+                        mirror[k] = None;
+                    }
+                }
+            }
+        }
+        // Drain: class-major, then entity index, on every time tie.
+        let mut last: Option<(f64, usize)> = None;
+        while let Some((t, key)) = sched.pop() {
+            if let Some((lt, lk)) = last {
+                prop_assert!(lt < t || (lt == t && lk < key));
+                if lt == t {
+                    let (lc, li) = layout.decode(lk);
+                    let (c, i) = layout.decode(key);
+                    prop_assert!(lc < c || (lc == c && li < i), "tie order violates layout");
+                }
+            }
+            last = Some((t, key));
+        }
+    }
+
+    /// A mailbox-fed [`TimedQueue`] replays entries in `(time, id)` order
+    /// no matter how the sends were interleaved — the property that makes
+    /// cross-shard message delivery order irrelevant.
+    #[test]
+    fn timed_queue_order_is_insertion_invariant(
+        mut entries in proptest::collection::vec((0.0..100.0f64, 0u64..10_000), 1..100),
+    ) {
+        // Unique ids (the queue's contract: one pending entry per id).
+        entries.sort_by_key(|e| e.1);
+        entries.dedup_by_key(|e| e.1);
+        let mut forward = TimedQueue::new();
+        let mut backward = TimedQueue::new();
+        for &(t, id) in &entries {
+            forward.push(t, id, (t, id));
+        }
+        for &(t, id) in entries.iter().rev() {
+            backward.push(t, id, (t, id));
+        }
+        let drain = |q: &mut TimedQueue<(f64, u64)>| {
+            let mut out = Vec::new();
+            while let Some(t) = q.next_time() {
+                while let Some(e) = q.pop_due(t) {
+                    out.push(e);
+                }
+            }
+            out
+        };
+        let a = drain(&mut forward);
+        let b = drain(&mut backward);
+        prop_assert_eq!(&a, &b);
+        for pair in a.windows(2) {
+            prop_assert!(
+                pair[0].0 < pair[1].0 || (pair[0].0 == pair[1].0 && pair[0].1 < pair[1].1)
+            );
+        }
     }
 }

@@ -117,7 +117,35 @@
 //! paper's unit — bytes. Experiment E16 (`cargo run --release --bin
 //! delta`) sweeps both refresh protocols across the E15 fabrics;
 //! `cargo bench -p bench --bench cluster` carries `delta_refresh_*` vs
-//! `full_rebuild_*` rows at router and whole-engine scope.
+//! `full_rebuild_*` rows at router and whole-engine scope. A third
+//! strategy, [`coop::RefreshStrategy::Auto`], is the compaction fallback:
+//! each proxy ships whichever of the two forms is cheaper that boundary
+//! (crossover at `capacity · bits / 8 / 9` ops), with
+//! [`coop::RouterStats`] metering which side fired.
+//!
+//! ## Sharded parallel event loops: conservative time windows
+//!
+//! The event loop itself now shards across threads:
+//! [`cluster::ClusterSim::run_sharded`] partitions the topology with
+//! [`cluster::ShardPlan`] (contiguous proxy blocks, majority-use link
+//! assignment), gives each shard its own `simcore::sched` scheduler and
+//! per-proxy RNG streams ([`simcore::rng::stream_seed`]), and
+//! synchronises the shards with conservative time windows: the lookahead
+//! is the minimum propagation delay of any cross-shard handoff (per-link
+//! [`cluster::Link::latency`], e.g.
+//! [`cluster::Topology::mesh_with_latency`]), in-flight transfers cross
+//! shards as timestamped effects through `simcore::par::Mailboxes`, and
+//! digest refreshes are barrier-applied payload flushes
+//! ([`coop::Router::apply_payloads`]). The contract is bit-identical
+//! reports across shard counts *and* against the single-threaded driver
+//! — zero-latency topologies (lookahead 0) fall back to a single-thread
+//! merge of the shard schedulers, so sharding never changes an answer
+//! anywhere (pinned by `cluster/tests/shard_parity.rs`). Experiment E17
+//! (`cargo run --release --bin shard`) runs the strong-scaling ladder
+//! over 256- and 512-proxy latency meshes (~32k and ~131k PS links), and
+//! the bench suite's `sharded_coop_mesh_256proxies_{1,8}shards` rows pin
+//! the speedup measurement; every bench run also drops a
+//! machine-readable `BENCH_cluster.json` for cross-PR tracking.
 
 pub use cachesim;
 pub use cluster;

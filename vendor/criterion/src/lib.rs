@@ -8,10 +8,106 @@
 //! when declared). No statistics, plots, or comparisons; it exists so
 //! `cargo bench` works without crates.io access and still yields usable
 //! relative numbers.
+//!
+//! Besides the human-readable stdout lines, every bench binary appends its
+//! rows to a machine-readable `BENCH_<name>.json` in the working directory
+//! (`<name>` = the bench target, e.g. `BENCH_cluster.json`) — one JSON
+//! document per run with the mode (`test` for CI's `--test` smoke, `timed`
+//! otherwise), the iteration count, and per-benchmark mean seconds and
+//! throughput. CI archives it so the perf trajectory is diffable across
+//! PRs without scraping stdout.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 pub use std::hint::black_box;
+
+/// One benchmark's collected result, queued for the JSON report.
+struct Row {
+    label: String,
+    mean_secs: f64,
+    throughput_per_sec: Option<f64>,
+}
+
+static RESULTS: Mutex<Vec<Row>> = Mutex::new(Vec::new());
+
+/// Escapes a string for embedding in a JSON literal (labels are plain
+/// ASCII identifiers in practice; this keeps the writer total anyway).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON number that round-trips non-finite values as null.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The bench target's name: the binary file stem with cargo's trailing
+/// `-<hash>` stripped (`cluster-1a2b…` → `cluster`).
+fn bench_name() -> String {
+    let argv0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    match stem.rsplit_once('-') {
+        Some((name, hash))
+            if !name.is_empty()
+                && hash.len() == 16
+                && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            name.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Writes `BENCH_<name>.json` from the rows collected so far. Called by
+/// `criterion_main!` after every group has run; harmless to call with no
+/// rows.
+pub fn write_json_report() {
+    let rows = std::mem::take(&mut *RESULTS.lock().expect("bench results poisoned"));
+    if rows.is_empty() {
+        return;
+    }
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(&bench_name())));
+    out.push_str(&format!("  \"mode\": \"{}\",\n", if test_mode { "test" } else { "timed" }));
+    out.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let tp = row.throughput_per_sec.map_or("null".to_string(), json_f64);
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"mean_secs\": {}, \"throughput_per_sec\": {}}}{}\n",
+            json_escape(&row.label),
+            json_f64(row.mean_secs),
+            tp,
+            sep
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = format!("BENCH_{}.json", bench_name());
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("wrote {path} ({} rows)", rows.len()),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
 
 /// Declared throughput of one benchmark, for rate reporting.
 #[derive(Clone, Copy, Debug)]
@@ -124,6 +220,13 @@ fn run_one<F: FnMut(&mut Bencher)>(
         None => String::new(),
     };
     println!("{label:<40} {:>12.3} ms/iter{rate}", b.mean_secs * 1e3);
+    RESULTS.lock().expect("bench results poisoned").push(Row {
+        label: label.to_string(),
+        mean_secs: b.mean_secs,
+        throughput_per_sec: throughput.map(|t| match t {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n as f64 / b.mean_secs,
+        }),
+    });
 }
 
 /// Bundles benchmark functions into one runnable group function.
@@ -137,12 +240,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Entry point running every listed group.
+/// Entry point running every listed group, then writing the
+/// machine-readable `BENCH_<name>.json` report.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
