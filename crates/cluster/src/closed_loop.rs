@@ -52,6 +52,7 @@
 //! compaction fallback), and the driver flushes them to the shared router
 //! at the epoch boundary.
 
+use crate::obs::{ClusterObs, EngineObs};
 use crate::report::{ClusterReport, CoopReport, LinkReport, NodeReport};
 use crate::shard::{
     self, Effect, ShardRunner, CLASS_ARRIVE, CLASS_CHECK, CLASS_DELIVER, CLASS_DEPART,
@@ -65,10 +66,11 @@ use coop::{CoopConfig, DeltaOp, RefreshPayload, RefreshStrategy, Router};
 use predictor::{MarkovPredictor, OraclePredictor, Predictor};
 use prefetch_core::controller::{AdaptiveController, ControllerConfig};
 use prefetch_core::estimator::EntryStatus;
+use simcore::obs::ObsConfig;
 use simcore::rng::Rng;
 use simcore::sched::TimedQueue;
 use simcore::stats::{BatchMeans, Welford};
-use simcore::Scheduler;
+use simcore::{Registry, Scheduler};
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use workload::synth_web::SynthWeb;
 use workload::{ItemId, TraceRecord};
@@ -221,6 +223,19 @@ pub(crate) struct Engine<'a> {
     t_end: f64,
     warm: u64,
     n_requests: u64,
+    /// Probe state when this run is observed; `None` (the default) keeps
+    /// every hook to a single branch.
+    obs: Option<Box<EngineObs>>,
+}
+
+/// Mirrors one access-time sample into the latency probe. A free function
+/// over the `obs` field alone, so call sites holding a `&mut` proxy can
+/// still record (disjoint-field borrows).
+#[inline]
+fn obs_lat(obs: &mut Option<Box<EngineObs>>, x: f64) {
+    if let Some(o) = obs.as_deref_mut() {
+        o.latency(x);
+    }
 }
 
 /// Bookkeeping shared by every cache admission: drop evicted entries'
@@ -356,7 +371,42 @@ impl<'a> Engine<'a> {
             warm: warmup as u64,
             n_requests: requests as u64,
             scope,
+            obs: None,
         }
+    }
+
+    /// Arms this scope's observability probes.
+    pub(crate) fn attach_obs(&mut self, o: EngineObs) {
+        self.obs = Some(Box::new(o));
+    }
+
+    /// Flushes every sampling-grid point at or before `t`. Called at the
+    /// entry of every public handler (and the cross-shard `apply_now`
+    /// path) **before** any state mutation at `t`, so a grid point `g`
+    /// always samples "all events strictly before `g`" — the same state
+    /// under every sharding.
+    fn obs_tick(&mut self, t: f64) {
+        let Some(mut o) = self.obs.take() else { return };
+        let proxies = &self.proxies;
+        o.tick(t, &self.links, || {
+            let cache_bytes = proxies.iter().map(|p| p.cache.used_bytes()).sum();
+            let outstanding = proxies.iter().map(|p| p.inflight.len()).sum::<usize>() as f64;
+            (cache_bytes, outstanding)
+        });
+        self.obs = Some(o);
+    }
+
+    /// Final grid flush at the cluster-wide `t_end`, returning this
+    /// scope's registry for merging (`None` when unobserved).
+    pub(crate) fn obs_finish(&mut self, t_end: f64) -> Option<Registry> {
+        let mut o = self.obs.take()?;
+        let proxies = &self.proxies;
+        o.tick(t_end, &self.links, || {
+            let cache_bytes = proxies.iter().map(|p| p.cache.used_bytes()).sum();
+            let outstanding = proxies.iter().map(|p| p.inflight.len()).sum::<usize>() as f64;
+            (cache_bytes, outstanding)
+        });
+        Some(o.finish())
     }
 
     /// Local proxy count (the legacy scan's iteration bound).
@@ -410,10 +460,15 @@ impl<'a> Engine<'a> {
 
     /// A link departure event on local link `l` at time `t`.
     pub(crate) fn on_link(&mut self, t: f64, l: usize) {
+        self.obs_tick(t);
         self.t_end = t;
         self.dirty.push((CLASS_DEPART, l));
         let g_l = self.scope.links[l];
-        for c in self.links[l].on_event(t) {
+        let done = self.links[l].on_event(t);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.jobs_completed(l, done.len());
+        }
+        for c in done {
             let job = self.jobs.remove(&c.tag).expect("completed job on this scope's link");
             self.links[l].bytes_carried += job.size;
             let route = job.path(self.topology);
@@ -436,6 +491,7 @@ impl<'a> Engine<'a> {
     /// Queued arrivals on local link `l` coming due at `t`, in
     /// `(time, job id)` order.
     pub(crate) fn on_arrivals(&mut self, t: f64, l: usize) {
+        self.obs_tick(t);
         self.t_end = t;
         while let Some(job) = self.arrivals[l].pop_due(t) {
             self.arrive_now(l, t, job);
@@ -447,11 +503,15 @@ impl<'a> Engine<'a> {
     fn arrive_now(&mut self, l: usize, t: f64, job: Job) {
         self.jobs.insert(job.id, job);
         self.links[l].arrive(t, job.size, job.id);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.job_arrived(l);
+        }
         self.dirty.push((CLASS_DEPART, l));
     }
 
     /// Queued peer-serve checks at local proxy `i` coming due at `t`.
     pub(crate) fn on_checks(&mut self, t: f64, i: usize) {
+        self.obs_tick(t);
         self.t_end = t;
         while let Some(job) = self.checks[i].pop_due(t) {
             self.check_now(i, t, job);
@@ -472,6 +532,7 @@ impl<'a> Engine<'a> {
 
     /// Queued response deliveries at local proxy `i` coming due at `t`.
     pub(crate) fn on_delivers(&mut self, t: f64, i: usize) {
+        self.obs_tick(t);
         self.t_end = t;
         while let Some((job, false_hit)) = self.delivers[i].pop_due(t) {
             self.deliver_now(i, t, job, false_hit);
@@ -517,11 +578,13 @@ impl<'a> Engine<'a> {
                     p.access_times.push(sojourn);
                     p.retrievals.push(sojourn);
                     p.total_job_time += sojourn;
+                    obs_lat(&mut self.obs, sojourn);
                 }
                 if let Some(ws) = p.waiters.remove(&job.item) {
                     for (tw, mw) in ws {
                         if mw {
                             p.access_times.push(t - tw);
+                            obs_lat(&mut self.obs, t - tw);
                         }
                     }
                 }
@@ -542,6 +605,7 @@ impl<'a> Engine<'a> {
                     for (tw, mw) in ws {
                         if mw {
                             p.access_times.push(t - tw);
+                            obs_lat(&mut self.obs, t - tw);
                         }
                     }
                 } else {
@@ -560,6 +624,8 @@ impl<'a> Engine<'a> {
     /// A jittered prefetch decision of local proxy `i` coming due.
     pub(crate) fn on_issue_prefetch(&mut self, i: usize, router: Option<&Router>) {
         let me = self.scope.proxies[i];
+        let due = self.proxies[i].delayed.peek().expect("pending prefetch").due;
+        self.obs_tick(due);
         let pfx = self.proxies[i].delayed.pop().expect("pending prefetch");
         self.t_end = pfx.due;
         self.dirty.push((CLASS_PREFETCH, i));
@@ -573,6 +639,9 @@ impl<'a> Engine<'a> {
                 p.job_seq += 1;
                 ((me as u64) << 40) | p.job_seq
             };
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.prefetch_issued();
+            }
             self.launch(
                 pfx.due,
                 Job {
@@ -609,6 +678,7 @@ impl<'a> Engine<'a> {
                 for (tw, mw) in ws {
                     if mw {
                         p.access_times.push(pfx.due - tw);
+                        obs_lat(&mut self.obs, pfx.due - tw);
                     }
                 }
             }
@@ -620,6 +690,11 @@ impl<'a> Engine<'a> {
     pub(crate) fn on_request(&mut self, i: usize, router: Option<&Router>) {
         let me = self.scope.proxies[i];
         let n_shards = self.n_shards;
+        let t_req = self.proxies[i].pending.time;
+        self.obs_tick(t_req);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.request();
+        }
         let p = &mut self.proxies[i];
         let req = p.pending;
         p.pending = p.web.next_request(&mut p.rng);
@@ -635,6 +710,7 @@ impl<'a> Engine<'a> {
                 p.controller.on_cache_hit(t, EntryStatus::Tagged, req.size);
                 if in_window {
                     p.access_times.push(0.0);
+                    obs_lat(&mut self.obs, 0.0);
                     p.hits += 1;
                     p.measured += 1;
                 }
@@ -651,6 +727,7 @@ impl<'a> Engine<'a> {
                 p.used_prefetch_bytes += cost;
                 if in_window {
                     p.access_times.push(0.0);
+                    obs_lat(&mut self.obs, 0.0);
                     p.hits += 1;
                     p.measured += 1;
                 }
@@ -709,7 +786,11 @@ impl<'a> Engine<'a> {
             p.threshold_n += 1;
         }
         if threshold.is_finite() {
-            for (item, prob) in p.predictor.candidates(self.w.max_candidates) {
+            let cands = p.predictor.candidates(self.w.max_candidates);
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.predictions(cands.len() as u64);
+            }
+            for (item, prob) in cands {
                 if prob > threshold
                     && !p.cache.inner().contains(&item)
                     && !p.inflight.contains(&item)
@@ -771,6 +852,10 @@ impl shard::EngineCore for Engine<'_> {
 
     fn apply_now(&mut self, e: Effect<Job>, t: f64) {
         debug_assert_eq!(e.time(), t);
+        // A same-instant effect can land on a scope whose own dispatch at
+        // `t` has not fired yet — tick first so grid samples stay "state
+        // before `t`" under every sharding.
+        self.obs_tick(t);
         match e {
             Effect::Arrive { link, job, .. } => {
                 let l = self.scope.link_local(link as usize).expect("arrive in scope");
@@ -964,8 +1049,12 @@ pub(crate) fn merge_reports(
 }
 
 /// Runs the closed loop partitioned by `plan` — the single-shard plan is
-/// the classic single-threaded driver.
-pub(crate) fn run(
+/// the classic single-threaded driver — optionally with observability
+/// attached. The report is bit-identical with probes on or off (pinned by
+/// `obs_parity.rs`); the second return is `Some` exactly when an enabled
+/// config was passed.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_observed(
     topology: &Topology,
     w: &AdaptiveWorkload,
     coop_cfg: Option<&CoopConfig>,
@@ -973,14 +1062,78 @@ pub(crate) fn run(
     warmup: usize,
     seed: u64,
     plan: &ShardPlan,
-) -> ClusterReport {
+    obs: Option<&ObsConfig>,
+) -> (ClusterReport, Option<ClusterObs>) {
     let router = coop_cfg.map(|c| Router::new(topology.n_proxies(), w.cache_capacity, *c));
+    let obs_cfg = obs.filter(|c| c.enabled);
+    // Series sample on the explicit grid, or the cooperative digest epoch
+    // when none was given; without either, series probes stay off.
+    let grid = match obs_cfg {
+        Some(c) if c.sample_every > 0.0 => c.sample_every,
+        Some(_) => coop_cfg.map(|c| c.digest.epoch).unwrap_or(0.0),
+        None => 0.0,
+    };
     let runners: Vec<ShardRunner<Engine<'_>>> = (0..plan.n_shards())
         .map(|s| {
             let scope = Scope::shard(topology, plan, s);
-            ShardRunner::new(Engine::new(topology, w, coop_cfg, requests, warmup, seed, scope))
+            let mut engine = Engine::new(topology, w, coop_cfg, requests, warmup, seed, scope);
+            match obs_cfg {
+                Some(cfg) => {
+                    let probes = EngineObs::new(cfg, grid, topology, &engine.scope);
+                    engine.attach_obs(probes);
+                    ShardRunner::new(engine).with_obs(s, cfg)
+                }
+                None => ShardRunner::new(engine),
+            }
         })
         .collect();
-    let (engines, router) = shard::drive(runners, router, plan);
-    merge_reports(topology, engines, router)
+    let driver =
+        if plan.n_shards() > 1 && plan.lookahead() > 0.0 { "windowed" } else { "sequential" };
+    let (runners, router) = shard::drive(runners, router, plan);
+
+    let mut engines = Vec::with_capacity(plan.n_shards());
+    let mut profiles = Vec::new();
+    let mut flight = Vec::new();
+    for r in runners {
+        let (core, robs) = r.into_parts();
+        if let Some(o) = robs {
+            flight.extend(o.flight.records());
+            profiles.push(o.profile);
+        }
+        engines.push(core);
+    }
+
+    let cluster_obs = obs_cfg.map(|_| {
+        let t_end = engines.iter().map(|e| e.t_end).fold(0.0, f64::max);
+        let registries: Vec<Registry> =
+            engines.iter_mut().filter_map(|e| e.obs_finish(t_end)).collect();
+        let mut out = crate::obs::assemble(
+            registries,
+            profiles,
+            flight,
+            plan.n_shards(),
+            driver,
+            grid,
+            t_end,
+        );
+        // The router's counters become registry metrics (digest traffic is
+        // the cooperative layer's headline overhead).
+        if let Some(r) = router.as_ref() {
+            let s = r.stats();
+            for (name, v) in [
+                ("coop.digest_epochs", s.digest_epochs),
+                ("coop.vnode_migrations", s.vnode_migrations),
+                ("coop.digest_bytes", s.digest_bytes),
+                ("coop.delta_ops", s.delta_ops),
+                ("coop.delta_flushes", s.delta_flushes),
+                ("coop.snapshot_flushes", s.snapshot_flushes),
+            ] {
+                let id = out.registry.counter(name);
+                out.registry.inc(id, v);
+            }
+        }
+        out
+    });
+
+    (merge_reports(topology, engines, router), cluster_obs)
 }

@@ -47,6 +47,21 @@
 //! instead. Experiment E17 drives the strong-scaling ladder over
 //! 256/512-proxy latency meshes (~32k/~131k PS links).
 //!
+//! ## Observability
+//!
+//! [`ClusterSim::run_observed`] attaches `simcore::obs` probes to any
+//! run and returns the report **plus** a [`ClusterObs`]: merged metrics
+//! registry (request latency histogram, predictor/prefetch counters,
+//! the coop router's digest traffic), epoch-grid time-series (per-link
+//! utilisation, queue depth, cache occupancy, outstanding prefetches),
+//! per-shard driver profiles, and a flight-recorder tail of recent
+//! dispatches and cross-shard effects. Probes are pure observers: the
+//! report stays bit-identical with observability on or off, at every
+//! shard count (`tests/obs_parity.rs`), and the disabled default costs
+//! one branch per hook. [`report_to_json`] and [`ClusterObs::to_json`]
+//! serialise both halves with the workspace's hand-rolled JSON codec
+//! for the `OBS_cluster.json` artifact.
+//!
 //! ## Three engines, one API
 //!
 //! * **Open loop** ([`Workload::Static`]) — every proxy runs the paper's
@@ -99,6 +114,7 @@ mod curve;
 #[cfg(feature = "legacy-oracle")]
 #[doc(hidden)]
 pub mod legacy;
+mod obs;
 mod report;
 mod shard;
 mod sim;
@@ -106,6 +122,7 @@ mod static_mode;
 mod topology;
 
 pub use curve::{network_load_curve, CurveSpec};
+pub use obs::{report_to_json, ClusterObs};
 #[doc(hidden)]
 pub use report::parity;
 pub use report::{ClusterReport, CoopReport, CurvePoint, LinkReport, NodeReport};

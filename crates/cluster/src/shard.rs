@@ -64,10 +64,13 @@
 
 use crate::topology::ShardPlan;
 use coop::{RefreshPayload, Router};
+use simcore::obs::{FlightKind, FlightRecord, FlightRecorder, ObsConfig};
 use simcore::par::{Mailboxes, TimeBoard};
 use simcore::sched::{KeyLayout, Scheduler};
+use simcore::ShardProfile;
 use std::collections::VecDeque;
 use std::sync::{Barrier, Mutex, RwLock};
+use std::time::Instant;
 
 /// Event classes, in same-instant firing order. Both engines and every
 /// driver build their key layouts from this sequence, so tie order is
@@ -111,6 +114,38 @@ impl<J> Effect<J> {
             Effect::Arrive { link, .. } => plan.link_shard(*link as usize),
             Effect::Check { q, .. } => plan.proxy_shard(*q as usize),
             Effect::Deliver { p, .. } => plan.proxy_shard(*p as usize),
+        }
+    }
+
+    /// `(event class, global entity id)` for flight-recorder records.
+    fn trace_id(&self) -> (usize, u64) {
+        match self {
+            Effect::Arrive { link, .. } => (CLASS_ARRIVE, *link as u64),
+            Effect::Check { q, .. } => (CLASS_CHECK, *q as u64),
+            Effect::Deliver { p, .. } => (CLASS_DELIVER, *p as u64),
+        }
+    }
+}
+
+/// Per-runner observability state: the shard's runtime profile plus its
+/// flight-recorder ring. Boxed behind an `Option` on the runner so the
+/// disabled case costs one branch per step.
+pub(crate) struct RunnerObs {
+    pub(crate) profile: ShardProfile,
+    pub(crate) flight: FlightRecorder,
+}
+
+/// Waits on `barrier`, charging the wait to the shard's barrier-wall
+/// profile when observability is on.
+fn timed_wait(barrier: &Barrier, obs: &mut Option<Box<RunnerObs>>) {
+    match obs.as_deref_mut() {
+        Some(o) => {
+            let t0 = Instant::now();
+            barrier.wait();
+            o.profile.barrier_wall.push(t0.elapsed().as_secs_f64());
+        }
+        None => {
+            barrier.wait();
         }
     }
 }
@@ -164,6 +199,7 @@ pub(crate) struct ShardRunner<C: EngineCore> {
     dirty: Vec<(usize, usize)>,
     staged: Vec<Effect<C::Job>>,
     dq: VecDeque<Effect<C::Job>>,
+    obs: Option<Box<RunnerObs>>,
 }
 
 impl<C: EngineCore> ShardRunner<C> {
@@ -188,7 +224,23 @@ impl<C: EngineCore> ShardRunner<C> {
             dirty: Vec::new(),
             staged: Vec::new(),
             dq: VecDeque::new(),
+            obs: None,
         }
+    }
+
+    /// Arms this runner's profiler and flight recorder.
+    pub(crate) fn with_obs(mut self, shard: usize, cfg: &ObsConfig) -> Self {
+        self.obs = Some(Box::new(RunnerObs {
+            profile: ShardProfile::new(shard),
+            flight: FlightRecorder::new(cfg.flight_capacity),
+        }));
+        self
+    }
+
+    /// Tears the runner apart after a drive: the engine core plus whatever
+    /// observability state accumulated.
+    pub(crate) fn into_parts(self) -> (C, Option<Box<RunnerObs>>) {
+        (self.core, self.obs)
     }
 
     /// Re-arms every stream the core touched since the last call.
@@ -222,8 +274,21 @@ impl<C: EngineCore> ShardRunner<C> {
     /// Fires the earliest event and stages its effects (does **not**
     /// settle them — the sequential driver settles globally).
     fn step(&mut self, router: Option<&Router>) -> f64 {
+        if let Some(o) = &mut self.obs {
+            o.profile.heap_depth(self.sched.heap_depth());
+        }
         let (t, key) = self.sched.pop().expect("step on an idle shard");
         let (class, idx) = self.layout.decode(key);
+        if let Some(o) = &mut self.obs {
+            o.profile.events += 1;
+            o.flight.record(FlightRecord {
+                t,
+                shard: o.profile.shard as u32,
+                kind: FlightKind::Dispatch,
+                class: class as u8,
+                entity: self.core.global_id(class, idx) as u64,
+            });
+        }
         self.core.dispatch(class, idx, t, router);
         self.resync();
         t
@@ -233,8 +298,21 @@ impl<C: EngineCore> ShardRunner<C> {
     /// it) cross-shard effect delivered at a window barrier.
     pub(crate) fn accept(&mut self, e: Effect<C::Job>) {
         debug_assert!(self.core.owns(&e));
+        if let Some(o) = &mut self.obs {
+            let (class, entity) = e.trace_id();
+            o.flight.record(FlightRecord {
+                t: e.time(),
+                shard: o.profile.shard as u32,
+                kind: FlightKind::EffectIn,
+                class: class as u8,
+                entity,
+            });
+        }
         self.core.enqueue(e);
         self.resync();
+        if let Some(o) = &mut self.obs {
+            o.profile.heap_depth(self.sched.heap_depth());
+        }
     }
 
     /// Drains every event strictly below `limit` (or at it, when
@@ -305,6 +383,9 @@ fn refresh_all<C: EngineCore>(router: &mut Router, runners: &mut [ShardRunner<C>
     let mut entries: Vec<BoundaryEntry> = Vec::new();
     for runner in runners.iter_mut() {
         runner.core.refresh_payloads(&mut entries);
+        if let Some(o) = &mut runner.obs {
+            o.profile.refreshes += 1;
+        }
     }
     flush_boundary(router, entries);
 }
@@ -320,7 +401,7 @@ pub(crate) fn drive_sequential<C: EngineCore>(
     mut runners: Vec<ShardRunner<C>>,
     mut router: Option<Router>,
     plan: &ShardPlan,
-) -> (Vec<C>, Option<Router>) {
+) -> (Vec<ShardRunner<C>>, Option<Router>) {
     let mut dq: VecDeque<Effect<C::Job>> = VecDeque::new();
     let mut staged: Vec<Effect<C::Job>> = Vec::new();
     loop {
@@ -372,7 +453,7 @@ pub(crate) fn drive_sequential<C: EngineCore>(
             runner.resync();
         }
     }
-    (runners.into_iter().map(|r| r.core).collect(), router)
+    (runners, router)
 }
 
 /// What the coordinator asks the shard threads to do next.
@@ -397,7 +478,7 @@ pub(crate) fn drive_windowed<C: EngineCore>(
     mut runners: Vec<ShardRunner<C>>,
     router: Option<Router>,
     plan: &ShardPlan,
-) -> (Vec<C>, Option<Router>) {
+) -> (Vec<ShardRunner<C>>, Option<Router>) {
     let lookahead = plan.lookahead();
     assert!(lookahead > 0.0, "windowed driver needs positive lookahead");
     let n = runners.len();
@@ -419,32 +500,53 @@ pub(crate) fn drive_windowed<C: EngineCore>(
             let (board, mail, barrier, round) = (&board, &mail, &barrier, &round);
             let (router_cell, payload_cell) = (&router_cell, &payload_cell);
             scope.spawn(move || loop {
-                barrier.wait();
+                timed_wait(barrier, &mut runner.obs);
                 let what = *round.lock().expect("round descriptor poisoned");
                 match what {
                     Round::Stop => break,
                     Round::Window { limit, inclusive } => {
-                        let guard = router_cell.read().expect("router poisoned");
-                        runner.run_window(limit, inclusive, guard.as_ref(), &mut |e| {
-                            let dest = e.owner(plan);
-                            debug_assert_ne!(dest, me, "local effect routed to the mailboxes");
-                            mail.send(dest, e);
-                        });
+                        let timer = runner.obs.is_some().then(Instant::now);
+                        let mut sent = 0u64;
+                        {
+                            let guard = router_cell.read().expect("router poisoned");
+                            runner.run_window(limit, inclusive, guard.as_ref(), &mut |e| {
+                                let dest = e.owner(plan);
+                                debug_assert_ne!(dest, me, "local effect routed to the mailboxes");
+                                sent += 1;
+                                mail.send(dest, e);
+                            });
+                        }
+                        if let Some(o) = &mut runner.obs {
+                            o.profile.windows += 1;
+                            o.profile.effects_sent += sent;
+                            if let Some(t0) = timer {
+                                o.profile.window_wall.push(t0.elapsed().as_secs_f64());
+                            }
+                        }
                     }
                     Round::Refresh => {
-                        let mut sink = payload_cell.lock().expect("payload sink poisoned");
-                        runner.core.refresh_payloads(&mut sink);
+                        {
+                            let mut sink = payload_cell.lock().expect("payload sink poisoned");
+                            runner.core.refresh_payloads(&mut sink);
+                        }
+                        if let Some(o) = &mut runner.obs {
+                            o.profile.refreshes += 1;
+                        }
                     }
                 }
-                barrier.wait();
+                timed_wait(barrier, &mut runner.obs);
                 // Exchange phase: everyone's sends for this round are in
                 // (the barrier above orders them); drain ours and publish
                 // our next pending time for the coordinator's horizon.
-                for e in mail.drain(me) {
+                let msgs = mail.drain(me);
+                if let Some(o) = &mut runner.obs {
+                    o.profile.mailbox_drained(msgs.len());
+                }
+                for e in msgs {
                     runner.accept(e);
                 }
                 board.publish(me, runner.next_time());
-                barrier.wait();
+                timed_wait(barrier, &mut runner.obs);
             });
         }
 
@@ -490,7 +592,7 @@ pub(crate) fn drive_windowed<C: EngineCore>(
     });
 
     let router = router_cell.into_inner().expect("router poisoned");
-    (runners.into_iter().map(|r| r.core).collect(), router)
+    (runners, router)
 }
 
 /// Chooses the driver a plan admits: windows when the lookahead is
@@ -500,7 +602,7 @@ pub(crate) fn drive<C: EngineCore>(
     runners: Vec<ShardRunner<C>>,
     router: Option<Router>,
     plan: &ShardPlan,
-) -> (Vec<C>, Option<Router>) {
+) -> (Vec<ShardRunner<C>>, Option<Router>) {
     if runners.len() > 1 && plan.lookahead() > 0.0 {
         drive_windowed(runners, router, plan)
     } else {

@@ -1,11 +1,13 @@
 //! The cluster simulator facade and shared link/scope machinery.
 
 use crate::closed_loop;
+use crate::obs::ClusterObs;
 use crate::report::ClusterReport;
 use crate::static_mode;
 use crate::topology::ShardPlan;
 use crate::{ClusterConfig, Topology, Workload};
 use queueing::{Completion, FifoServer, PsServer, Server};
+use simcore::obs::ObsConfig;
 use simcore::Scheduler;
 
 /// A multi-node discrete-event run over a [`crate::Topology`].
@@ -27,7 +29,7 @@ impl<'a> ClusterSim<'a> {
     /// Runs the simulation to completion on the single-threaded driver.
     /// Deterministic in `seed`.
     pub fn run(&self, seed: u64) -> ClusterReport {
-        self.run_on(seed, &ShardPlan::partition(&self.config.topology, 1))
+        self.run_on(seed, &ShardPlan::partition(&self.config.topology, 1), None).0
     }
 
     /// Runs the simulation partitioned into `shards` shard-local event
@@ -41,20 +43,49 @@ impl<'a> ClusterSim<'a> {
     /// zero-latency crossing hop) admits no conservative window at all,
     /// so the shards are merged on one thread instead.
     pub fn run_sharded(&self, seed: u64, shards: usize) -> ClusterReport {
-        self.run_on(seed, &ShardPlan::partition(&self.config.topology, shards))
+        self.run_on(seed, &ShardPlan::partition(&self.config.topology, shards), None).0
     }
 
-    fn run_on(&self, seed: u64, plan: &ShardPlan) -> ClusterReport {
+    /// Runs the simulation with the observability layer attached: the
+    /// report plus a [`ClusterObs`] of metrics, probes, and profiles.
+    ///
+    /// The report is **bit-identical** to [`ClusterSim::run_sharded`] at
+    /// the same `(seed, shards)` whether `obs` is enabled or not — probes
+    /// never draw RNG, reorder events, or feed anything back (pinned by
+    /// `cluster/tests/obs_parity.rs`). With `obs.enabled == false` the
+    /// telemetry comes back as an empty shell.
+    pub fn run_observed(
+        &self,
+        seed: u64,
+        shards: usize,
+        obs: &ObsConfig,
+    ) -> (ClusterReport, ClusterObs) {
+        let plan = ShardPlan::partition(&self.config.topology, shards);
+        let driver = if shards > 1 && plan.lookahead() > 0.0 { "windowed" } else { "sequential" };
+        let wall = std::time::Instant::now();
+        let (report, obs_out) = self.run_on(seed, &plan, Some(obs));
+        let mut obs_out = obs_out.unwrap_or_else(|| ClusterObs::empty(shards, driver));
+        obs_out.wall_secs = wall.elapsed().as_secs_f64();
+        (report, obs_out)
+    }
+
+    fn run_on(
+        &self,
+        seed: u64,
+        plan: &ShardPlan,
+        obs: Option<&ObsConfig>,
+    ) -> (ClusterReport, Option<ClusterObs>) {
         match &self.config.workload {
-            Workload::Static(w) => static_mode::run(
+            Workload::Static(w) => static_mode::run_observed(
                 &self.config.topology,
                 w,
                 self.config.requests_per_proxy,
                 self.config.warmup_per_proxy,
                 seed,
                 plan,
+                obs,
             ),
-            Workload::Adaptive(w) => closed_loop::run(
+            Workload::Adaptive(w) => closed_loop::run_observed(
                 &self.config.topology,
                 w,
                 None,
@@ -62,8 +93,9 @@ impl<'a> ClusterSim<'a> {
                 self.config.warmup_per_proxy,
                 seed,
                 plan,
+                obs,
             ),
-            Workload::Cooperative(w) => closed_loop::run(
+            Workload::Cooperative(w) => closed_loop::run_observed(
                 &self.config.topology,
                 &w.base,
                 Some(&w.coop),
@@ -71,6 +103,7 @@ impl<'a> ClusterSim<'a> {
                 self.config.warmup_per_proxy,
                 seed,
                 plan,
+                obs,
             ),
         }
     }

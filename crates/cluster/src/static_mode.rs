@@ -15,6 +15,7 @@
 //! threads); the retired O(links + proxies) scan driver lives in
 //! [`crate::legacy`] and is pinned identical by the engine-parity tests.
 
+use crate::obs::{ClusterObs, EngineObs};
 use crate::report::{ClusterReport, LinkReport, NodeReport};
 use crate::shard::{
     self, Effect, ShardRunner, CLASS_ARRIVE, CLASS_CHECK, CLASS_DELIVER, CLASS_DEPART,
@@ -24,10 +25,11 @@ use crate::sim::{proxy_seed, LinkState, Scope, ScopeIndex};
 use crate::topology::ShardPlan;
 use crate::{StaticWorkload, Topology};
 use coop::Router;
+use simcore::obs::ObsConfig;
 use simcore::rng::Rng;
 use simcore::sched::TimedQueue;
 use simcore::stats::{BatchMeans, Welford};
-use simcore::Scheduler;
+use simcore::{Registry, Scheduler};
 use std::collections::HashMap;
 
 #[derive(Clone, Copy, Debug)]
@@ -86,6 +88,8 @@ pub(crate) struct Engine<'a> {
     t_end: f64,
     warm: u64,
     n_requests: u64,
+    /// Probe state when this run is observed (see the closed-loop twin).
+    obs: Option<Box<EngineObs>>,
 }
 
 impl<'a> Engine<'a> {
@@ -153,7 +157,31 @@ impl<'a> Engine<'a> {
             warm: warmup as u64,
             n_requests: requests as u64,
             scope,
+            obs: None,
         }
+    }
+
+    /// Arms this scope's observability probes.
+    pub(crate) fn attach_obs(&mut self, o: EngineObs) {
+        self.obs = Some(Box::new(o));
+    }
+
+    /// Flushes sampling-grid points at or before `t` — entry of every
+    /// public handler, before any mutation at `t` (see the closed-loop
+    /// twin for the determinism argument). The open loop has no caches or
+    /// trackable prefetch set, so the aggregate probes report zero.
+    fn obs_tick(&mut self, t: f64) {
+        let Some(mut o) = self.obs.take() else { return };
+        o.tick(t, &self.links, || (0.0, 0.0));
+        self.obs = Some(o);
+    }
+
+    /// Final grid flush at the cluster-wide `t_end`, returning this
+    /// scope's registry for merging (`None` when unobserved).
+    pub(crate) fn obs_finish(&mut self, t_end: f64) -> Option<Registry> {
+        let mut o = self.obs.take()?;
+        o.tick(t_end, &self.links, || (0.0, 0.0));
+        Some(o.finish())
     }
 
     /// Local proxy count (the legacy scan's iteration bound).
@@ -188,9 +216,14 @@ impl<'a> Engine<'a> {
 
     /// A link departure event on local link `l` at time `t`.
     pub(crate) fn on_link(&mut self, t: f64, l: usize) {
+        self.obs_tick(t);
         self.t_end = t;
         self.dirty.push((CLASS_DEPART, l));
-        for c in self.links[l].on_event(t) {
+        let done = self.links[l].on_event(t);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.jobs_completed(l, done.len());
+        }
+        for c in done {
             let job = self.jobs.remove(&c.tag).expect("completed job on this scope's link");
             self.links[l].bytes_carried += job.size;
             let route = self.topology.route(job.proxy as usize, job.shard as usize);
@@ -208,6 +241,7 @@ impl<'a> Engine<'a> {
 
     /// Queued arrivals on local link `l` coming due at `t`.
     pub(crate) fn on_arrivals(&mut self, t: f64, l: usize) {
+        self.obs_tick(t);
         self.t_end = t;
         while let Some(job) = self.arrivals[l].pop_due(t) {
             self.arrive_now(l, t, job);
@@ -218,11 +252,15 @@ impl<'a> Engine<'a> {
     fn arrive_now(&mut self, l: usize, t: f64, job: Job) {
         self.jobs.insert(job.id, job);
         self.links[l].arrive(t, job.size, job.id);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.job_arrived(l);
+        }
         self.dirty.push((CLASS_DEPART, l));
     }
 
     /// Queued deliveries at local proxy `i` coming due at `t`.
     pub(crate) fn on_delivers(&mut self, t: f64, i: usize) {
+        self.obs_tick(t);
         self.t_end = t;
         while let Some((job, _)) = self.delivers[i].pop_due(t) {
             self.deliver_now(i, t, job);
@@ -242,6 +280,9 @@ impl<'a> Engine<'a> {
                     p.access_times.push(sojourn);
                     p.retrievals.push(sojourn);
                     p.total_job_time += sojourn;
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.latency(sojourn);
+                    }
                 }
             }
             JobKind::Prefetch { measured } => {
@@ -256,6 +297,11 @@ impl<'a> Engine<'a> {
     pub(crate) fn on_request(&mut self, i: usize) {
         let me = self.scope.proxies[i];
         let n_shards = self.n_shards;
+        let t_req = self.proxies[i].next_request_t;
+        self.obs_tick(t_req);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.request();
+        }
         let p = &mut self.proxies[i];
         let t = p.next_request_t;
         self.t_end = t;
@@ -265,6 +311,9 @@ impl<'a> Engine<'a> {
         if p.rng.chance(p.h) {
             if p.in_window {
                 p.access_times.push(0.0);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.latency(0.0);
+                }
                 p.hits += 1;
             }
             p.next_request_t = t + p.rng.exp(p.lambda);
@@ -297,6 +346,11 @@ impl<'a> Engine<'a> {
     pub(crate) fn on_prefetch(&mut self, i: usize) {
         let me = self.scope.proxies[i];
         let n_shards = self.n_shards;
+        let t_pfx = self.proxies[i].next_prefetch_t;
+        self.obs_tick(t_pfx);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.prefetch_issued();
+        }
         let p = &mut self.proxies[i];
         let t = p.next_prefetch_t;
         self.t_end = t;
@@ -365,6 +419,9 @@ impl shard::EngineCore for Engine<'_> {
 
     fn apply_now(&mut self, e: Effect<Job>, t: f64) {
         debug_assert_eq!(e.time(), t);
+        // Tick before the mutation so grid samples stay "state before `t`"
+        // under every sharding (see the closed-loop twin).
+        self.obs_tick(t);
         match e {
             Effect::Arrive { link, job, .. } => {
                 let l = self.scope.link_local(link as usize).expect("arrive in scope");
@@ -498,21 +555,56 @@ pub(crate) fn merge_reports(topology: &Topology, engines: Vec<Engine<'_>>) -> Cl
 }
 
 /// Runs the open loop partitioned by `plan` — the single-shard plan is
-/// the classic single-threaded driver.
-pub(crate) fn run(
+/// the classic single-threaded driver — optionally with observability
+/// attached (see the closed-loop twin).
+pub(crate) fn run_observed(
     topology: &Topology,
     w: &StaticWorkload<'_>,
     requests: usize,
     warmup: usize,
     seed: u64,
     plan: &ShardPlan,
-) -> ClusterReport {
+    obs: Option<&ObsConfig>,
+) -> (ClusterReport, Option<ClusterObs>) {
+    let obs_cfg = obs.filter(|c| c.enabled);
+    // The open loop has no digest epochs; series need an explicit grid.
+    let grid = obs_cfg.map(|c| c.sample_every.max(0.0)).unwrap_or(0.0);
     let runners: Vec<ShardRunner<Engine<'_>>> = (0..plan.n_shards())
         .map(|s| {
             let scope = Scope::shard(topology, plan, s);
-            ShardRunner::new(Engine::new(topology, w, requests, warmup, seed, scope))
+            let mut engine = Engine::new(topology, w, requests, warmup, seed, scope);
+            match obs_cfg {
+                Some(cfg) => {
+                    let probes = EngineObs::new(cfg, grid, topology, &engine.scope);
+                    engine.attach_obs(probes);
+                    ShardRunner::new(engine).with_obs(s, cfg)
+                }
+                None => ShardRunner::new(engine),
+            }
         })
         .collect();
-    let (engines, _) = shard::drive(runners, None, plan);
-    merge_reports(topology, engines)
+    let driver =
+        if plan.n_shards() > 1 && plan.lookahead() > 0.0 { "windowed" } else { "sequential" };
+    let (runners, _) = shard::drive(runners, None, plan);
+
+    let mut engines = Vec::with_capacity(plan.n_shards());
+    let mut profiles = Vec::new();
+    let mut flight = Vec::new();
+    for r in runners {
+        let (core, robs) = r.into_parts();
+        if let Some(o) = robs {
+            flight.extend(o.flight.records());
+            profiles.push(o.profile);
+        }
+        engines.push(core);
+    }
+
+    let cluster_obs = obs_cfg.map(|_| {
+        let t_end = engines.iter().map(|e| e.t_end).fold(0.0, f64::max);
+        let registries: Vec<Registry> =
+            engines.iter_mut().filter_map(|e| e.obs_finish(t_end)).collect();
+        crate::obs::assemble(registries, profiles, flight, plan.n_shards(), driver, grid, t_end)
+    });
+
+    (merge_reports(topology, engines), cluster_obs)
 }

@@ -67,6 +67,21 @@ pub struct RouterStats {
     pub snapshot_flushes: u64,
 }
 
+impl RouterStats {
+    /// Renders the counters with the workspace JSON codec, for the
+    /// machine-readable run artifacts.
+    pub fn to_json(&self) -> simcore::Json {
+        use simcore::Json;
+        Json::obj()
+            .set("digest_epochs", Json::num(self.digest_epochs as f64))
+            .set("vnode_migrations", Json::num(self.vnode_migrations as f64))
+            .set("digest_bytes", Json::num(self.digest_bytes as f64))
+            .set("delta_ops", Json::num(self.delta_ops as f64))
+            .set("delta_flushes", Json::num(self.delta_flushes as f64))
+            .set("snapshot_flushes", Json::num(self.snapshot_flushes as f64))
+    }
+}
+
 /// One proxy's contribution to an epoch boundary: what it puts on the
 /// wire to re-advertise its cache.
 ///

@@ -101,6 +101,44 @@ impl Chart {
     }
 }
 
+/// The density ramp a sparkline cell is drawn from (pure ASCII, so the
+/// dashboards stay byte-stable across terminals and locales).
+const SPARK_RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a time series as a one-line ASCII sparkline of exactly `width`
+/// cells. The series is resampled by bucket-averaging (each cell covers a
+/// contiguous slice of points), then scaled to `[0, max]` — zero is always
+/// the ramp's blank so idle periods read as gaps. Non-finite points are
+/// skipped; an empty or all-zero series renders as blanks.
+pub fn sparkline(points: &[f64], width: usize) -> String {
+    assert!(width > 0);
+    let finite: Vec<f64> = points.iter().copied().filter(|x| x.is_finite()).collect();
+    if finite.is_empty() {
+        return " ".repeat(width);
+    }
+    let cells: Vec<f64> = (0..width)
+        .map(|c| {
+            let lo = c * finite.len() / width;
+            let hi = ((c + 1) * finite.len() / width).max(lo + 1).min(finite.len());
+            if lo >= finite.len() {
+                return f64::NAN;
+            }
+            finite[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+    let max = cells.iter().copied().filter(|x| x.is_finite()).fold(0.0_f64, f64::max);
+    cells
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() || max <= 0.0 {
+                return ' ';
+            }
+            let idx = (v / max * (SPARK_RAMP.len() - 1) as f64).round() as usize;
+            SPARK_RAMP[idx.min(SPARK_RAMP.len() - 1)] as char
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +187,34 @@ mod tests {
         let top_col = rows[top].find('*').unwrap();
         let bottom_col = rows[bottom].find('*').unwrap();
         assert!(top_col > bottom_col);
+    }
+
+    #[test]
+    fn sparkline_has_fixed_width_and_scale() {
+        let s = sparkline(&[0.0, 0.5, 1.0], 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.chars().next(), Some(' '), "zero is blank");
+        assert_eq!(s.chars().last(), Some('@'), "max hits the ramp top");
+        assert!(s.is_ascii());
+    }
+
+    #[test]
+    fn sparkline_resamples_long_series() {
+        let pts: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = sparkline(&pts, 10);
+        assert_eq!(s.len(), 10);
+        // Monotone input stays monotone after bucket-averaging.
+        let ranks: Vec<usize> =
+            s.bytes().map(|b| SPARK_RAMP.iter().position(|&r| r == b).unwrap()).collect();
+        assert!(ranks.windows(2).all(|w| w[0] <= w[1]), "{s:?}");
+    }
+
+    #[test]
+    fn sparkline_degenerate_inputs() {
+        assert_eq!(sparkline(&[], 4), "    ");
+        assert_eq!(sparkline(&[0.0, 0.0], 4), "    ");
+        assert_eq!(sparkline(&[f64::NAN, 1.0], 2).len(), 2);
+        // Fewer points than cells still fills the width.
+        assert_eq!(sparkline(&[1.0], 5).len(), 5);
     }
 }

@@ -1,4 +1,4 @@
-//! Runs every experiment (E1–E17) and writes the reports under `results/`.
+//! Runs every experiment (E1–E18) and writes the reports under `results/`.
 //!
 //! ```text
 //! cargo run --release -p harness --bin all
@@ -30,6 +30,7 @@ fn main() -> std::io::Result<()> {
         ("e15_scale", harness::experiments::e15_scale::render),
         ("e16_delta", harness::experiments::e16_delta::render),
         ("e17_shard", harness::experiments::e17_shard::render),
+        ("e18_obs", harness::experiments::e18_obs::render),
     ];
     for (name, render) in experiments {
         let start = Instant::now();

@@ -3,13 +3,36 @@
 //! proxies, shards ∈ {1, 2, 4, 8}), with bit-identical reports asserted
 //! across the whole ladder.
 //!
+//! The wall-clock ladder (formerly stderr-only) also lands as structured
+//! rows in the `e17_strong_scaling` section of `OBS_cluster.json`; stdout
+//! stays byte-identical run to run.
+//!
 //! Pass `--smoke` for the reduced fabric CI uses (shards ∈ {1, 2}) so the
 //! parallel path is exercised on every push.
 
+use harness::artifact::{self, OBS_ARTIFACT};
 use harness::experiments::e17_shard;
+use std::path::Path;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let report = if smoke { e17_shard::render_smoke() } else { e17_shard::render() };
+    let (report, rows) = if smoke {
+        e17_shard::render_with_rows(
+            &e17_shard::SMOKE_SIZES,
+            &e17_shard::SMOKE_SHARD_COUNTS,
+            e17_shard::SMOKE_TOTAL_REQUESTS,
+        )
+    } else {
+        e17_shard::render_with_rows(
+            &e17_shard::SIZES,
+            &e17_shard::SHARD_COUNTS,
+            e17_shard::TOTAL_REQUESTS,
+        )
+    };
     print!("{report}");
+    let path = Path::new(OBS_ARTIFACT);
+    match artifact::write_section(path, "e17_strong_scaling", rows) {
+        Ok(()) => eprintln!("e17: wrote section e17_strong_scaling of {}", path.display()),
+        Err(e) => eprintln!("e17: could not write {}: {e}", path.display()),
+    }
 }

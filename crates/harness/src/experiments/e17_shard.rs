@@ -25,6 +25,7 @@ use cluster::{
     CooperativeWorkload, ProxyPolicy, ShardPlan, Topology, Workload,
 };
 use coop::{CoopConfig, DigestConfig, PlacementPolicy};
+use simcore::Json;
 use std::time::Instant;
 use workload::synth_web::SynthWebConfig;
 
@@ -115,6 +116,19 @@ pub fn render_smoke() -> String {
 
 /// Report over caller-chosen fabric sizes, shard ladder, and budget.
 pub fn render_with(sizes: &[usize], shard_counts: &[usize], total_requests: usize) -> String {
+    render_with_rows(sizes, shard_counts, total_requests).0
+}
+
+/// Like [`render_with`], also returning the wall-clock ladder as
+/// structured rows for the `e17_strong_scaling` section of
+/// `OBS_cluster.json` — the same numbers the stderr lines carry, which
+/// is why stdout stays byte-identical: timings never print there.
+pub fn render_with_rows(
+    sizes: &[usize],
+    shard_counts: &[usize],
+    total_requests: usize,
+) -> (String, Json) {
+    let mut rows: Vec<Json> = Vec::new();
     let mut out = String::new();
     out.push_str("# E17 — sharded parallel cluster engine (strong scaling)\n");
     out.push_str("# conservative time windows over per-shard event loops;\n");
@@ -149,9 +163,9 @@ pub fn render_with(sizes: &[usize], shard_counts: &[usize], total_requests: usiz
         let mut baseline: Option<(ClusterReport, f64)> = None;
         for &shards in shard_counts {
             let (r, wall) = run_at(n, shards, total_requests);
-            // Wall-clock goes to stderr: stdout must be byte-identical
-            // run to run (the repo's determinism invariant).
-            match &baseline {
+            // Wall-clock goes to stderr and the JSON rows: stdout must be
+            // byte-identical run to run (the repo's determinism invariant).
+            let speedup = match &baseline {
                 None => {
                     eprintln!(
                         "e17: {n} proxies, {shards} shard(s): {wall:.2}s wall \
@@ -159,6 +173,7 @@ pub fn render_with(sizes: &[usize], shard_counts: &[usize], total_requests: usiz
                         requests_total as f64 / wall / 1e3
                     );
                     baseline = Some((r.clone(), wall));
+                    None
                 }
                 Some((oracle, base_wall)) => {
                     eprintln!(
@@ -172,8 +187,19 @@ pub fn render_with(sizes: &[usize], shard_counts: &[usize], total_requests: usiz
                         &r, oracle,
                         "{n}-proxy mesh at {shards} shards diverged from the oracle"
                     );
+                    Some(base_wall / wall)
                 }
-            }
+            };
+            rows.push(
+                Json::obj()
+                    .set("proxies", Json::num(n as f64))
+                    .set("links", Json::num(r.links.len() as f64))
+                    .set("shards", Json::num(shards as f64))
+                    .set("requests", Json::num(requests_total as f64))
+                    .set("wall_secs", Json::num(wall))
+                    .set("kreq_per_sec", Json::num(requests_total as f64 / wall / 1e3))
+                    .set("speedup_vs_1shard", speedup.map_or(Json::Null, Json::num)),
+            );
             let plan = ShardPlan::partition(&topology, shards);
             let hit = r.nodes.iter().map(|node| node.hit_ratio).sum::<f64>() / r.nodes.len() as f64;
             let peer_share = match &r.coop {
@@ -216,7 +242,12 @@ pub fn render_with(sizes: &[usize], shard_counts: &[usize], total_requests: usiz
          actually fire in it, bounded by the workload rate times the\n\
          lookahead, not by the topology's link count.\n",
     );
-    out
+    let section = Json::obj()
+        .set("experiment", Json::str("e17_shard"))
+        .set("lookahead", Json::num(LATENCY))
+        .set("total_requests", Json::num(total_requests as f64))
+        .set("rows", Json::Arr(rows));
+    (out, section)
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! The experiment implementations (E1–E17). Each module exposes a
+//! The experiment implementations (E1–E18). Each module exposes a
 //! `render()` returning the full plain-text report, plus structured data
 //! functions used by the integration tests and benches.
 
@@ -10,6 +10,7 @@ pub mod e14_coop;
 pub mod e15_scale;
 pub mod e16_delta;
 pub mod e17_shard;
+pub mod e18_obs;
 pub mod e1_fig1;
 pub mod e2_fig2;
 pub mod e3_fig3;

@@ -18,13 +18,21 @@
 //! | `cache_policies` | (derived) | E12: measured `h′` by replacement policy |
 //! | `cluster` | title | E13: multi-node network-of-queues prefetching |
 //! | `coop` | (derived) | E14: cooperative edge caching over peer meshes |
+//! | `scale` | (derived) | E15: wide fabrics on the indexed scheduler |
+//! | `delta` | (derived) | E16: digest deltas + byte-addressed caches |
+//! | `shard` | (derived) | E17: strong scaling of the sharded engine |
+//! | `obs` | (derived) | E18: observability dashboard + `OBS_cluster.json` |
 //! | `all` | — | runs everything, writes `results/*.txt` |
 //!
 //! The library half provides plain-text tables ([`report::Table`]), terminal
-//! line plots ([`asciiplot::Chart`]) and the experiment implementations
-//! themselves (under [`experiments`]), so integration tests and benches can
-//! call them directly.
+//! line plots ([`asciiplot::Chart`] and [`asciiplot::sparkline`]) and the
+//! experiment implementations themselves (under [`experiments`]), so
+//! integration tests and benches can call them directly. E17 and E18 also
+//! write machine-readable sections into `OBS_cluster.json` (see
+//! [`artifact`]), the observability twin of the bench shim's
+//! `BENCH_cluster.json`.
 
+pub mod artifact;
 pub mod asciiplot;
 pub mod experiments;
 pub mod report;

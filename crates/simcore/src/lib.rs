@@ -25,6 +25,14 @@
 //!   intervals.
 //! * [`par`] — a small scoped-thread work-pool used to run
 //!   parameter sweeps in parallel with deterministic output ordering.
+//! * [`obs`] — deterministic observability: a metrics registry (counters,
+//!   gauges, distributions, epoch-grid time series), a bounded
+//!   flight-recorder ring for parity debugging, and per-shard runtime
+//!   profiles. Off by default ([`obs::ObsConfig::off`]); when off,
+//!   instrumented hot paths pay one branch.
+//! * [`json`] — a dependency-free JSON value tree ([`json::Json`]) with a
+//!   deterministic renderer and a parser, for machine-readable artifacts
+//!   (`OBS_cluster.json`) and their CI schema checks.
 //!
 //! The engine is deliberately generic: the higher-level crates (`queueing`,
 //! `netsim`) define their own state types and schedule closures against them.
@@ -47,6 +55,8 @@
 pub mod dist;
 pub mod engine;
 pub mod event;
+pub mod json;
+pub mod obs;
 pub mod par;
 pub mod rng;
 pub mod sched;
@@ -56,6 +66,8 @@ pub mod time;
 pub use dist::Sample;
 pub use engine::Engine;
 pub use event::EventToken;
+pub use json::Json;
+pub use obs::{FlightRecord, FlightRecorder, ObsConfig, Registry, ShardProfile};
 pub use rng::Rng;
 pub use sched::{KeyLayout, Scheduler, TimedQueue};
 pub use stats::{BatchMeans, Histogram, TimeWeighted, Welford};
@@ -66,6 +78,8 @@ pub mod prelude {
     pub use crate::dist::{self, Sample};
     pub use crate::engine::Engine;
     pub use crate::event::EventToken;
+    pub use crate::json::Json;
+    pub use crate::obs::{ObsConfig, Registry};
     pub use crate::rng::Rng;
     pub use crate::sched::{KeyLayout, Scheduler, TimedQueue};
     pub use crate::stats::{BatchMeans, Histogram, TimeWeighted, Welford};

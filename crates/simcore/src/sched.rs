@@ -271,6 +271,14 @@ impl Scheduler {
         self.live == 0
     }
 
+    /// Physical heap depth, counting lazily-invalidated (stale) entries
+    /// still awaiting their pop — the number [`Scheduler::len`] hides. A
+    /// profiler watches this: a heap far deeper than the live count means
+    /// re-arm churn is piling up garbage.
+    pub fn heap_depth(&self) -> usize {
+        self.heap.len()
+    }
+
     /// The deadline `key` is armed for, if any.
     pub fn armed(&self, key: usize) -> Option<f64> {
         self.slots[key].armed

@@ -177,8 +177,18 @@ impl TimeWeighted {
     }
 
     /// Time-average over `[start, t_end]`.
+    ///
+    /// An empty accumulator (or `t_end` at/before the first sample)
+    /// averages to 0. A `t_end` before the last sample is clamped to the
+    /// last sample time: the accumulator cannot rewind history, so the
+    /// answer covers the full observed span rather than extrapolating a
+    /// *negative* contribution from the current value.
     pub fn time_average(&self, t_end: f64) -> f64 {
         if !self.started || t_end <= self.start_t {
+            return 0.0;
+        }
+        let t_end = t_end.max(self.last_t);
+        if t_end <= self.start_t {
             return 0.0;
         }
         let integral = self.integral + self.value * (t_end - self.last_t);
@@ -249,6 +259,25 @@ impl Histogram {
     /// Lower edge of bucket `i`.
     pub fn edge(&self, i: usize) -> f64 {
         self.lo + i as f64 * self.width
+    }
+
+    /// Merges another histogram into this one. Bucket counts are exact
+    /// integer adds, so the merge is associative and commutative — the
+    /// property parallel reductions rely on. Panics unless both share the
+    /// same bucket geometry.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo
+                && self.width == other.width
+                && self.counts.len() == other.counts.len(),
+            "histogram merge requires identical bucket geometry"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
     }
 
     /// Approximate quantile from bucket midpoints (`q` in `[0,1]`).
@@ -562,6 +591,101 @@ mod tests {
         tw.add(3.0, -2.0); // 0 afterwards
         assert!((tw.time_average(4.0) - 1.0).abs() < 1e-12);
         assert_eq!(tw.current(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_empty_is_zero() {
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.time_average(10.0), 0.0);
+        assert_eq!(tw.time_average(0.0), 0.0);
+        assert_eq!(tw.current(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_t_end_at_or_before_start_is_zero() {
+        let mut tw = TimeWeighted::new();
+        tw.set(5.0, 3.0);
+        assert_eq!(tw.time_average(5.0), 0.0);
+        assert_eq!(tw.time_average(4.0), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_t_end_before_last_sample_clamps() {
+        let mut tw = TimeWeighted::new();
+        tw.set(0.0, 1.0); // value 1 on [0, 4)
+        tw.set(4.0, 100.0);
+        // Querying inside the observed span must not extrapolate the
+        // current value backwards: the answer is the average over the
+        // full observed span [0, 4], which is exactly 1.
+        let avg = tw.time_average(2.0);
+        assert!((avg - 1.0).abs() < 1e-12, "clamped average {avg}");
+        assert!(avg >= 0.0, "never negative for a non-negative signal");
+    }
+
+    #[test]
+    fn time_weighted_single_sample_span() {
+        let mut tw = TimeWeighted::new();
+        tw.set(1.0, 2.0);
+        // Constant value 2 over [1, 3].
+        assert!((tw.time_average(3.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_stream() {
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 * 7.31) % 12.0 - 1.0).collect();
+        let mut all = Histogram::new(0.0, 10.0, 20);
+        let mut a = Histogram::new(0.0, 10.0, 20);
+        let mut b = Histogram::new(0.0, 10.0, 20);
+        for (i, &x) in xs.iter().enumerate() {
+            all.push(x);
+            if i % 3 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), all.total());
+        assert_eq!(a.underflow(), all.underflow());
+        assert_eq!(a.overflow(), all.overflow());
+        for i in 0..all.bins() {
+            assert_eq!(a.count(i), all.count(i), "bucket {i}");
+        }
+        assert_eq!(a.quantile(0.5), all.quantile(0.5));
+    }
+
+    #[test]
+    fn histogram_merge_associative() {
+        // u64 bucket adds are exactly associative: (a∪b)∪c == a∪(b∪c).
+        let mk = |vals: &[f64]| {
+            let mut h = Histogram::new(0.0, 1.0, 8);
+            for &v in vals {
+                h.push(v);
+            }
+            h
+        };
+        let (a, b, c) = (mk(&[0.1, 0.9, 2.0]), mk(&[0.5, -0.5]), mk(&[0.3, 0.3, 0.99]));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.total(), right.total());
+        for i in 0..left.bins() {
+            assert_eq!(left.count(i), right.count(i));
+        }
+        assert_eq!(left.underflow(), right.underflow());
+        assert_eq!(left.overflow(), right.overflow());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bucket geometry")]
+    fn histogram_merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let b = Histogram::new(0.0, 10.0, 20);
+        a.merge(&b);
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Property tests for the streaming statistics the observability layer
+//! leans on: parallel reductions (Welford merge, Histogram merge) must
+//! agree with the sequential stream they summarise, and histogram merging
+//! must be associative so any reduction tree gives the same answer.
+
+use proptest::prelude::*;
+use simcore::stats::{Histogram, TimeWeighted, Welford};
+
+fn welford_of(xs: &[f64]) -> Welford {
+    let mut w = Welford::new();
+    for &x in xs {
+        w.push(x);
+    }
+    w
+}
+
+fn histogram_of(xs: &[f64]) -> Histogram {
+    let mut h = Histogram::new(0.0, 1.0, 16);
+    for &x in xs {
+        h.push(x);
+    }
+    h
+}
+
+fn assert_histograms_equal(a: &Histogram, b: &Histogram) {
+    assert_eq!(a.total(), b.total());
+    assert_eq!(a.underflow(), b.underflow());
+    assert_eq!(a.overflow(), b.overflow());
+    for i in 0..a.bins() {
+        assert_eq!(a.count(i), b.count(i), "bucket {i}");
+    }
+}
+
+proptest! {
+    /// Splitting a stream at any point and merging the two accumulators
+    /// reproduces the sequential push of the whole stream.
+    #[test]
+    fn welford_merge_equals_sequential_push(
+        xs in proptest::collection::vec(-1.0e3..1.0e3f64, 0..200),
+        split in 0..200usize,
+    ) {
+        let split = split.min(xs.len());
+        let all = welford_of(&xs);
+        let mut merged = welford_of(&xs[..split]);
+        merged.merge(&welford_of(&xs[split..]));
+        prop_assert_eq!(merged.count(), all.count());
+        prop_assert!((merged.mean() - all.mean()).abs() < 1e-9);
+        prop_assert!((merged.variance() - all.variance()).abs() < 1e-6);
+        if !xs.is_empty() {
+            prop_assert_eq!(merged.min(), all.min());
+            prop_assert_eq!(merged.max(), all.max());
+        }
+    }
+
+    /// Histogram merge is exact (integer bucket adds), so any split of the
+    /// stream merges back to the sequential histogram...
+    #[test]
+    fn histogram_merge_equals_sequential_push(
+        xs in proptest::collection::vec(-0.5..1.5f64, 0..200),
+        split in 0..200usize,
+    ) {
+        let split = split.min(xs.len());
+        let all = histogram_of(&xs);
+        let mut merged = histogram_of(&xs[..split]);
+        merged.merge(&histogram_of(&xs[split..]));
+        assert_histograms_equal(&merged, &all);
+    }
+
+    /// ...and the merge is associative: `(a ∪ b) ∪ c == a ∪ (b ∪ c)`, the
+    /// property that makes shard-order-independent reductions safe.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in proptest::collection::vec(-0.5..1.5f64, 0..80),
+        b in proptest::collection::vec(-0.5..1.5f64, 0..80),
+        c in proptest::collection::vec(-0.5..1.5f64, 0..80),
+    ) {
+        let (ha, hb, hc) = (histogram_of(&a), histogram_of(&b), histogram_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        assert_histograms_equal(&left, &right);
+    }
+
+    /// `time_average` never extrapolates a negative span: for a
+    /// non-negative piecewise-constant signal the average is non-negative
+    /// for every query time, including queries before the last sample.
+    #[test]
+    fn time_weighted_average_never_negative_for_nonnegative_signal(
+        steps in proptest::collection::vec((0.0..10.0f64, 0.0..5.0f64), 1..40),
+        query in 0.0..50.0f64,
+    ) {
+        let mut tw = TimeWeighted::new();
+        let mut t = 0.0;
+        for (dt, v) in steps {
+            t += dt;
+            tw.set(t, v);
+        }
+        let avg = tw.time_average(query);
+        prop_assert!(avg >= 0.0, "avg {avg} at query {query} (last sample {t})");
+        prop_assert!(avg.is_finite());
+    }
+}

@@ -146,6 +146,56 @@
 //! the bench suite's `sharded_coop_mesh_256proxies_{1,8}shards` rows pin
 //! the speedup measurement; every bench run also drops a
 //! machine-readable `BENCH_cluster.json` for cross-PR tracking.
+//!
+//! ## Observability: metrics, probes, and the runtime profiler
+//!
+//! Every run can now explain itself. [`simcore::obs`] is a deterministic
+//! observability layer: a metrics [`simcore::Registry`] (counters,
+//! gauges, `Welford`/`Histogram`-backed distributions), time-series
+//! probes sampled on the digest-epoch grid, a per-shard runtime profiler
+//! ([`simcore::ShardProfile`]: events, window drains, barrier waits,
+//! mailbox occupancy, scheduler heap depth), and a bounded
+//! [`simcore::FlightRecorder`] ring of recent dispatches and cross-shard
+//! effects for diagnosing parity failures. Turn it on with
+//! [`cluster::ClusterSim::run_observed`] and a [`simcore::ObsConfig`]:
+//!
+//! ```
+//! use cluster::ClusterSim;
+//! use simcore::ObsConfig;
+//! # use cluster::{AdaptiveWorkload, CandidateSource, ClusterConfig, ProxyPolicy,
+//! #     Topology, Workload};
+//! # use workload::synth_web::SynthWebConfig;
+//! # let config = ClusterConfig {
+//! #     topology: Topology::sharded_origin(2, 2, 45.0, 80.0),
+//! #     workload: Workload::Adaptive(AdaptiveWorkload {
+//! #         proxies: vec![SynthWebConfig { lambda: 12.0, ..SynthWebConfig::default() }; 2],
+//! #         cache_capacity: 32, cache_bytes: None, max_candidates: 3,
+//! #         prefetch_jitter: 0.01, policy: ProxyPolicy::Adaptive,
+//! #         predictor: CandidateSource::Oracle, shared_structure_seed: None,
+//! #     }),
+//! #     requests_per_proxy: 400, warmup_per_proxy: 80,
+//! # };
+//! let obs_cfg = ObsConfig::on().with_sample_every(1.0);
+//! let (report, obs) = ClusterSim::new(&config).run_observed(7, 2, &obs_cfg);
+//! assert!(obs.registry.counter_value("requests.processed") > 0);
+//! assert!(obs.latency_quantile(0.99).is_some());
+//! ```
+//!
+//! Two contracts hold everywhere. **Determinism:** the probes never draw
+//! RNG, reorder events, or feed back — the report is bit-identical with
+//! observability on or off, at every shard count
+//! (`cluster/tests/obs_parity.rs`); only wall-clock fields differ
+//! run-to-run, and they live strictly in the telemetry, never the
+//! report. **Zero overhead when off:** with the default
+//! [`simcore::ObsConfig::off`] the engines carry a `None` sink and every
+//! hook is one branch. Experiment E18 (`cargo run --release --bin obs`)
+//! renders the telemetry of a 64-proxy cooperative mesh as an ASCII
+//! dashboard (sparkline series via `harness::asciiplot::sparkline`,
+//! latency p50/p90/p99, per-shard profiler columns) and writes the
+//! machine-readable twin into `OBS_cluster.json` (section `e18_obs`,
+//! next to `BENCH_cluster.json`; E17's wall-clock scaling ladder lands
+//! in section `e17_strong_scaling`). CI schema-checks the artifact with
+//! `--bin obs -- --check` and archives it on every push.
 
 pub use cachesim;
 pub use cluster;
