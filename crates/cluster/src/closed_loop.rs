@@ -70,6 +70,9 @@ use simcore::obs::ObsConfig;
 use simcore::rng::Rng;
 use simcore::sched::TimedQueue;
 use simcore::stats::{BatchMeans, Welford};
+use simcore::trace::{
+    self, SpanEvent, SpanKind, TraceBuf, TraceStore, TF_FALSE_HIT, TF_MEASURED, TF_PREFETCH,
+};
 use simcore::{Registry, Scheduler};
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use workload::synth_web::SynthWeb;
@@ -109,6 +112,12 @@ pub(crate) struct Job {
     issued: f64,
     item: ItemId,
     kind: JobKind,
+    /// Trace id when this job is head-sampled, 0 otherwise. Rides the job
+    /// through effects/mailboxes so cross-shard hops keep recording.
+    trace: u64,
+    /// Per-trace record counter: `(trace, tseq)` totally orders the job's
+    /// span records independent of sharding.
+    tseq: u32,
 }
 
 impl Job {
@@ -129,6 +138,8 @@ struct PendingPrefetch {
     item: ItemId,
     size: f64,
     measured: bool,
+    /// When the prefetch was decided — the trace's pending-stall start.
+    decided: f64,
 }
 
 impl PartialEq for PendingPrefetch {
@@ -157,7 +168,9 @@ struct ProxyState {
     controller: AdaptiveController,
     predictor: Box<dyn Predictor + Send>,
     inflight: HashSet<ItemId>,
-    waiters: HashMap<ItemId, Vec<(f64, bool)>>,
+    /// Per in-flight item: `(wait start, measured, waiter trace id)` — the
+    /// trace id is 0 when the waiting request is not sampled.
+    waiters: HashMap<ItemId, Vec<(f64, bool, u64)>>,
     delayed: BinaryHeap<PendingPrefetch>,
     /// Bytes spent on the prefetch transfer behind each *untagged* cache
     /// entry, credited to goodput once, on the entry's first use. Keyed by
@@ -226,6 +239,9 @@ pub(crate) struct Engine<'a> {
     /// Probe state when this run is observed; `None` (the default) keeps
     /// every hook to a single branch.
     obs: Option<Box<EngineObs>>,
+    /// Span buffer when this run is traced; same zero-overhead contract
+    /// as `obs`.
+    trace: Option<Box<TraceBuf>>,
 }
 
 /// Mirrors one access-time sample into the latency probe. A free function
@@ -235,6 +251,57 @@ pub(crate) struct Engine<'a> {
 fn obs_lat(obs: &mut Option<Box<EngineObs>>, x: f64) {
     if let Some(o) = obs.as_deref_mut() {
         o.latency(x);
+    }
+}
+
+/// Appends one span record for a traced job and advances its per-trace
+/// sequence counter. Free function over the buffer alone (like
+/// [`obs_lat`]) so call sites holding a `&mut` proxy can record.
+#[inline]
+fn trace_job(
+    buf: &mut Option<Box<TraceBuf>>,
+    job: &mut Job,
+    t: f64,
+    kind: SpanKind,
+    entity: u64,
+    aux: f64,
+    flags: u8,
+) {
+    if let Some(b) = buf.as_deref_mut() {
+        if job.trace != 0 {
+            let seq = job.tseq;
+            job.tseq += 1;
+            b.push(SpanEvent {
+                trace: job.trace,
+                seq,
+                t,
+                kind,
+                entity,
+                aux,
+                item: job.item.0,
+                flags,
+            });
+        }
+    }
+}
+
+/// Appends a single-record trace (a cache hit or an in-flight wait).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn trace_point(
+    buf: &mut Option<Box<TraceBuf>>,
+    id: u64,
+    t: f64,
+    kind: SpanKind,
+    entity: u64,
+    aux: f64,
+    item: u64,
+    flags: u8,
+) {
+    if id != 0 {
+        if let Some(b) = buf.as_deref_mut() {
+            b.push(SpanEvent { trace: id, seq: 0, t, kind, entity, aux, item, flags });
+        }
     }
 }
 
@@ -372,12 +439,23 @@ impl<'a> Engine<'a> {
             n_requests: requests as u64,
             scope,
             obs: None,
+            trace: None,
         }
     }
 
     /// Arms this scope's observability probes.
     pub(crate) fn attach_obs(&mut self, o: EngineObs) {
         self.obs = Some(Box::new(o));
+    }
+
+    /// Arms this scope's span buffer, head-sampling 1-in-`every`.
+    pub(crate) fn attach_trace(&mut self, every: u64) {
+        self.trace = Some(Box::new(TraceBuf::new(every)));
+    }
+
+    /// Takes this scope's recorded span events (empties the buffer).
+    pub(crate) fn take_trace_events(&mut self) -> Vec<SpanEvent> {
+        self.trace.take().map(|b| b.events).unwrap_or_default()
     }
 
     /// Flushes every sampling-grid point at or before `t`. Called at the
@@ -468,9 +546,12 @@ impl<'a> Engine<'a> {
         if let Some(o) = self.obs.as_deref_mut() {
             o.jobs_completed(l, done.len());
         }
+        let bandwidth = self.topology.links()[g_l].bandwidth;
         for c in done {
-            let job = self.jobs.remove(&c.tag).expect("completed job on this scope's link");
+            let mut job = self.jobs.remove(&c.tag).expect("completed job on this scope's link");
             self.links[l].bytes_carried += job.size;
+            let service = job.size / bandwidth;
+            trace_job(&mut self.trace, &mut job, t, SpanKind::Dequeue, g_l as u64, service, 0);
             let route = job.path(self.topology);
             if job.hop + 1 < route.len() {
                 let mut fwd = job;
@@ -500,7 +581,16 @@ impl<'a> Engine<'a> {
     }
 
     /// `job` enters local link `l`'s server at `t`.
-    fn arrive_now(&mut self, l: usize, t: f64, job: Job) {
+    fn arrive_now(&mut self, l: usize, t: f64, mut job: Job) {
+        trace_job(
+            &mut self.trace,
+            &mut job,
+            t,
+            SpanKind::Enqueue,
+            self.scope.links[l] as u64,
+            0.0,
+            0,
+        );
         self.jobs.insert(job.id, job);
         self.links[l].arrive(t, job.size, job.id);
         if let Some(o) = self.obs.as_deref_mut() {
@@ -522,10 +612,19 @@ impl<'a> Engine<'a> {
     /// The peer-serve check of `job` at local proxy `i` (= `job.dest`'s
     /// peer): does the peer actually hold the item? Either way the answer
     /// travels back to the requester over the peer route.
-    fn check_now(&mut self, i: usize, t: f64, job: Job) {
+    fn check_now(&mut self, i: usize, t: f64, mut job: Job) {
         self.t_end = t;
         debug_assert!(matches!(job.dest, Dest::Peer(q) if self.scope.proxies[i] == q as usize));
         let holds = self.proxies[i].cache.inner().contains(&job.item);
+        trace_job(
+            &mut self.trace,
+            &mut job,
+            t,
+            SpanKind::Check,
+            self.scope.proxies[i] as u64,
+            if holds { 1.0 } else { 0.0 },
+            if holds { 0 } else { TF_FALSE_HIT },
+        );
         let route = job.path(self.topology);
         self.send_deliver(route, t, job, !holds);
     }
@@ -542,7 +641,7 @@ impl<'a> Engine<'a> {
 
     /// `job`'s response (or false-hit notification) lands at its
     /// requesting proxy — local index `i`.
-    fn deliver_now(&mut self, i: usize, t: f64, job: Job, false_hit: bool) {
+    fn deliver_now(&mut self, i: usize, t: f64, mut job: Job, false_hit: bool) {
         self.t_end = t;
         debug_assert_eq!(self.scope.proxies[i], job.proxy as usize);
         if false_hit {
@@ -554,6 +653,8 @@ impl<'a> Engine<'a> {
             fwd.dest = Dest::Origin;
             fwd.hop = 0;
             fwd.spent += fwd.size;
+            let fp = fwd.proxy as u64;
+            trace_job(&mut self.trace, &mut fwd, t, SpanKind::Redirect, fp, 0.0, TF_FALSE_HIT);
             let p = &mut self.proxies[i];
             p.peer_false_hits += 1;
             match job.kind {
@@ -563,6 +664,8 @@ impl<'a> Engine<'a> {
             self.launch(t, fwd);
             return;
         }
+        let jp = job.proxy as u64;
+        trace_job(&mut self.trace, &mut job, t, SpanKind::Deliver, jp, 0.0, 0);
         let p = &mut self.proxies[i];
         if matches!(job.dest, Dest::Peer(_)) {
             p.peer_fetches += 1;
@@ -581,7 +684,18 @@ impl<'a> Engine<'a> {
                     obs_lat(&mut self.obs, sojourn);
                 }
                 if let Some(ws) = p.waiters.remove(&job.item) {
-                    for (tw, mw) in ws {
+                    for (tw, mw, wtid) in ws {
+                        let wf = if mw { TF_MEASURED } else { 0 };
+                        trace_point(
+                            &mut self.trace,
+                            wtid,
+                            t,
+                            SpanKind::Wait,
+                            job.proxy as u64,
+                            tw,
+                            job.item.0,
+                            wf,
+                        );
                         if mw {
                             p.access_times.push(t - tw);
                             obs_lat(&mut self.obs, t - tw);
@@ -602,7 +716,18 @@ impl<'a> Engine<'a> {
                     let (admitted, evicted) = p.cache.charge_after_fetch(job.item, job.size);
                     note_cache_change(&mut self.deltas, i, p, job.item, admitted, &evicted);
                     p.used_prefetch_bytes += job.spent;
-                    for (tw, mw) in ws {
+                    for (tw, mw, wtid) in ws {
+                        let wf = if mw { TF_MEASURED } else { 0 };
+                        trace_point(
+                            &mut self.trace,
+                            wtid,
+                            t,
+                            SpanKind::Wait,
+                            job.proxy as u64,
+                            tw,
+                            job.item.0,
+                            wf,
+                        );
                         if mw {
                             p.access_times.push(t - tw);
                             obs_lat(&mut self.obs, t - tw);
@@ -642,21 +767,37 @@ impl<'a> Engine<'a> {
             if let Some(o) = self.obs.as_deref_mut() {
                 o.prefetch_issued();
             }
-            self.launch(
+            // The prefetch-id stream mirrors the job-id stream: the low 40
+            // bits of `id` are this proxy's job sequence number.
+            let tid = match self.trace.as_deref() {
+                Some(b) => b.admit(trace::prefetch_trace_id(me as u64, id & ((1 << 40) - 1))),
+                None => 0,
+            };
+            let mut job = Job {
+                id,
+                proxy: me as u32,
+                shard,
+                dest,
+                hop: 0,
+                size: pfx.size,
+                spent: pfx.size,
+                issued: pfx.due,
+                item: pfx.item,
+                kind: JobKind::Prefetch { measured: pfx.measured },
+                trace: tid,
+                tseq: 0,
+            };
+            let mf = if pfx.measured { TF_MEASURED } else { 0 };
+            trace_job(
+                &mut self.trace,
+                &mut job,
                 pfx.due,
-                Job {
-                    id,
-                    proxy: me as u32,
-                    shard,
-                    dest,
-                    hop: 0,
-                    size: pfx.size,
-                    spent: pfx.size,
-                    issued: pfx.due,
-                    item: pfx.item,
-                    kind: JobKind::Prefetch { measured: pfx.measured },
-                },
+                SpanKind::Issue,
+                me as u64,
+                pfx.decided,
+                TF_PREFETCH | mf,
             );
+            self.launch(pfx.due, job);
         } else {
             // Unreachable by construction: the in-flight marker set at
             // decision time reserves the item until this transfer (or its
@@ -675,7 +816,18 @@ impl<'a> Engine<'a> {
             // their measured access times (the waiter-leak bug).
             let p = &mut self.proxies[i];
             if let Some(ws) = p.waiters.remove(&pfx.item) {
-                for (tw, mw) in ws {
+                for (tw, mw, wtid) in ws {
+                    let wf = if mw { TF_MEASURED } else { 0 };
+                    trace_point(
+                        &mut self.trace,
+                        wtid,
+                        pfx.due,
+                        SpanKind::Wait,
+                        me as u64,
+                        tw,
+                        pfx.item.0,
+                        wf,
+                    );
                     if mw {
                         p.access_times.push(pfx.due - tw);
                         obs_lat(&mut self.obs, pfx.due - tw);
@@ -704,10 +856,18 @@ impl<'a> Engine<'a> {
         p.issued += 1;
         let in_window = idx >= self.warm;
         let mut launch_demand = false;
+        // The request's head-sampling decision is a pure hash of
+        // `(proxy, request index)` — identical under every sharding.
+        let rid = match self.trace.as_deref() {
+            Some(b) => b.admit(trace::request_trace_id(me as u64, idx)),
+            None => 0,
+        };
+        let mf = if in_window { TF_MEASURED } else { 0 };
 
         match p.cache.probe(req.item) {
             AccessKind::HitTagged => {
                 p.controller.on_cache_hit(t, EntryStatus::Tagged, req.size);
+                trace_point(&mut self.trace, rid, t, SpanKind::Hit, me as u64, 0.0, req.item.0, mf);
                 if in_window {
                     p.access_times.push(0.0);
                     obs_lat(&mut self.obs, 0.0);
@@ -725,6 +885,7 @@ impl<'a> Engine<'a> {
                     .remove(&req.item)
                     .expect("untagged cache entry must have a recorded prefetch cost");
                 p.used_prefetch_bytes += cost;
+                trace_point(&mut self.trace, rid, t, SpanKind::Hit, me as u64, 0.0, req.item.0, mf);
                 if in_window {
                     p.access_times.push(0.0);
                     obs_lat(&mut self.obs, 0.0);
@@ -740,7 +901,7 @@ impl<'a> Engine<'a> {
                 if p.inflight.contains(&req.item) {
                     // Join the in-flight fetch instead of duplicating the
                     // transfer.
-                    p.waiters.entry(req.item).or_default().push((t, in_window));
+                    p.waiters.entry(req.item).or_default().push((t, in_window, rid));
                 } else {
                     p.inflight.insert(req.item);
                     p.demand_bytes += req.size;
@@ -756,21 +917,22 @@ impl<'a> Engine<'a> {
                 p.job_seq += 1;
                 ((me as u64) << 40) | p.job_seq
             };
-            self.launch(
-                t,
-                Job {
-                    id,
-                    proxy: me as u32,
-                    shard,
-                    dest,
-                    hop: 0,
-                    size: req.size,
-                    spent: req.size,
-                    issued: t,
-                    item: req.item,
-                    kind: JobKind::Demand { measured: in_window },
-                },
-            );
+            let mut job = Job {
+                id,
+                proxy: me as u32,
+                shard,
+                dest,
+                hop: 0,
+                size: req.size,
+                spent: req.size,
+                issued: t,
+                item: req.item,
+                kind: JobKind::Demand { measured: in_window },
+                trace: rid,
+                tseq: 0,
+            };
+            trace_job(&mut self.trace, &mut job, t, SpanKind::Issue, me as u64, t, mf);
+            self.launch(t, job);
         }
 
         // Predict and prefetch.
@@ -802,7 +964,13 @@ impl<'a> Engine<'a> {
                     } else {
                         t
                     };
-                    p.delayed.push(PendingPrefetch { due, item, size, measured: in_window });
+                    p.delayed.push(PendingPrefetch {
+                        due,
+                        item,
+                        size,
+                        measured: in_window,
+                        decided: t,
+                    });
                 }
             }
         }
@@ -1073,10 +1241,14 @@ pub(crate) fn run_observed(
         Some(_) => coop_cfg.map(|c| c.digest.epoch).unwrap_or(0.0),
         None => 0.0,
     };
+    let trace_every = obs_cfg.map(|c| c.trace_every).unwrap_or(0);
     let runners: Vec<ShardRunner<Engine<'_>>> = (0..plan.n_shards())
         .map(|s| {
             let scope = Scope::shard(topology, plan, s);
             let mut engine = Engine::new(topology, w, coop_cfg, requests, warmup, seed, scope);
+            if trace_every > 0 {
+                engine.attach_trace(trace_every);
+            }
             match obs_cfg {
                 Some(cfg) => {
                     let probes = EngineObs::new(cfg, grid, topology, &engine.scope);
@@ -1107,10 +1279,20 @@ pub(crate) fn run_observed(
         let t_end = engines.iter().map(|e| e.t_end).fold(0.0, f64::max);
         let registries: Vec<Registry> =
             engines.iter_mut().filter_map(|e| e.obs_finish(t_end)).collect();
+        // Span buffers concatenate in shard order; the store's total sort
+        // makes the merge order-independent anyway.
+        let traces = (trace_every > 0).then(|| {
+            let mut events = Vec::new();
+            for e in &mut engines {
+                events.extend(e.take_trace_events());
+            }
+            TraceStore::from_events(events, trace_every)
+        });
         let mut out = crate::obs::assemble(
             registries,
             profiles,
             flight,
+            traces,
             plan.n_shards(),
             driver,
             grid,

@@ -30,6 +30,7 @@ use crate::sim::{LinkState, Scope};
 use crate::topology::Topology;
 use simcore::json::Json;
 use simcore::obs::{CounterId, Dist, DistId, FlightRecord, GaugeId, ObsConfig, SeriesId};
+use simcore::trace::{ClassAttribution, TraceStore, BUCKETS};
 use simcore::{Registry, ShardProfile};
 
 /// Upper bound on per-link utilisation series shipped in the JSON artifact.
@@ -232,6 +233,9 @@ pub struct ClusterObs {
     /// Wall-clock seconds for the whole run (set by the caller that owns
     /// the timer; never read by simulation code).
     pub wall_secs: f64,
+    /// Extracted causal traces, present when the run set a
+    /// `trace_every > 0` (bit-identical across shard counts).
+    pub traces: Option<TraceStore>,
 }
 
 impl ClusterObs {
@@ -246,7 +250,14 @@ impl ClusterObs {
             grid: 0.0,
             duration: 0.0,
             wall_secs: 0.0,
+            traces: None,
         }
+    }
+
+    /// Per-class latency attribution over the run's sampled traces
+    /// (empty when tracing was off).
+    pub fn attribution(&self) -> Vec<ClassAttribution> {
+        self.traces.as_ref().map(TraceStore::attribution).unwrap_or_default()
     }
 
     /// The merged request-latency distribution.
@@ -384,6 +395,7 @@ impl ClusterObs {
                     .set("retained", Json::num(self.flight.len() as f64))
                     .set("records", flight_records),
             )
+            .set("trace", self.traces.as_ref().map_or(Json::Null, |s| s.to_json(5)))
     }
 }
 
@@ -465,12 +477,14 @@ pub fn report_to_json(r: &ClusterReport) -> Json {
 }
 
 /// Assembles the final [`ClusterObs`] from per-shard pieces: merged
-/// registries (in shard order), profiles, and flight records sorted by
-/// `(time, shard)`.
+/// registries (in shard order), profiles, flight records sorted by
+/// `(time, shard)`, and the merged trace store (when tracing ran).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn assemble(
     registries: Vec<Registry>,
     profiles: Vec<ShardProfile>,
     mut flight: Vec<FlightRecord>,
+    traces: Option<TraceStore>,
     shards: usize,
     driver: &'static str,
     grid: f64,
@@ -481,7 +495,36 @@ pub(crate) fn assemble(
         registry.merge(r);
     }
     flight.sort_by(|a, b| a.t.total_cmp(&b.t).then(a.shard.cmp(&b.shard)));
-    ClusterObs { registry, profiles, flight, shards, driver, grid, duration, wall_secs: 0.0 }
+    // Trace-derived aggregates become first-class registry metrics. The
+    // store iterates in its deterministic `(start, id)` order, so these
+    // reductions are identical at every shard count.
+    if let Some(store) = &traces {
+        for a in store.attribution() {
+            let id = registry.counter(&format!("trace.count.{}", a.class.name()));
+            registry.inc(id, a.traces);
+        }
+        let lat = registry.dist("trace.latency");
+        let seg_ids: Vec<DistId> =
+            BUCKETS.iter().map(|b| registry.dist(&format!("trace.seg.{b}"))).collect();
+        for tr in &store.traces {
+            registry.record(lat, tr.latency());
+            for s in &tr.segments {
+                let bi = BUCKETS.iter().position(|&n| n == s.bucket()).unwrap();
+                registry.record(seg_ids[bi], s.duration());
+            }
+        }
+    }
+    ClusterObs {
+        registry,
+        profiles,
+        flight,
+        shards,
+        driver,
+        grid,
+        duration,
+        wall_secs: 0.0,
+        traces,
+    }
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@ use simcore::obs::ObsConfig;
 use simcore::rng::Rng;
 use simcore::sched::TimedQueue;
 use simcore::stats::{BatchMeans, Welford};
+use simcore::trace::{self, SpanEvent, SpanKind, TraceBuf, TraceStore, TF_MEASURED, TF_PREFETCH};
 use simcore::{Registry, Scheduler};
 use std::collections::HashMap;
 
@@ -48,6 +49,10 @@ pub(crate) struct Job {
     size: f64,
     issued: f64,
     kind: JobKind,
+    /// Trace id when head-sampled, 0 otherwise (see the closed-loop twin).
+    trace: u64,
+    /// Per-trace record counter.
+    tseq: u32,
 }
 
 struct ProxyState {
@@ -90,6 +95,38 @@ pub(crate) struct Engine<'a> {
     n_requests: u64,
     /// Probe state when this run is observed (see the closed-loop twin).
     obs: Option<Box<EngineObs>>,
+    /// Span buffer when this run is traced (see the closed-loop twin).
+    trace: Option<Box<TraceBuf>>,
+}
+
+/// Appends one span record for a traced job (the open loop's jobs carry
+/// no item id — `u64::MAX` marks that in the record).
+#[inline]
+fn trace_job(
+    buf: &mut Option<Box<TraceBuf>>,
+    job: &mut Job,
+    t: f64,
+    kind: SpanKind,
+    entity: u64,
+    aux: f64,
+    flags: u8,
+) {
+    if let Some(b) = buf.as_deref_mut() {
+        if job.trace != 0 {
+            let seq = job.tseq;
+            job.tseq += 1;
+            b.push(SpanEvent {
+                trace: job.trace,
+                seq,
+                t,
+                kind,
+                entity,
+                aux,
+                item: u64::MAX,
+                flags,
+            });
+        }
+    }
 }
 
 impl<'a> Engine<'a> {
@@ -158,12 +195,23 @@ impl<'a> Engine<'a> {
             n_requests: requests as u64,
             scope,
             obs: None,
+            trace: None,
         }
     }
 
     /// Arms this scope's observability probes.
     pub(crate) fn attach_obs(&mut self, o: EngineObs) {
         self.obs = Some(Box::new(o));
+    }
+
+    /// Arms this scope's span buffer, head-sampling 1-in-`every`.
+    pub(crate) fn attach_trace(&mut self, every: u64) {
+        self.trace = Some(Box::new(TraceBuf::new(every)));
+    }
+
+    /// Takes this scope's recorded span events (empties the buffer).
+    pub(crate) fn take_trace_events(&mut self) -> Vec<SpanEvent> {
+        self.trace.take().map(|b| b.events).unwrap_or_default()
     }
 
     /// Flushes sampling-grid points at or before `t` — entry of every
@@ -223,9 +271,13 @@ impl<'a> Engine<'a> {
         if let Some(o) = self.obs.as_deref_mut() {
             o.jobs_completed(l, done.len());
         }
+        let g_l = self.scope.links[l];
+        let bandwidth = self.topology.links()[g_l].bandwidth;
         for c in done {
-            let job = self.jobs.remove(&c.tag).expect("completed job on this scope's link");
+            let mut job = self.jobs.remove(&c.tag).expect("completed job on this scope's link");
             self.links[l].bytes_carried += job.size;
+            let service = job.size / bandwidth;
+            trace_job(&mut self.trace, &mut job, t, SpanKind::Dequeue, g_l as u64, service, 0);
             let route = self.topology.route(job.proxy as usize, job.shard as usize);
             if job.hop + 1 < route.len() {
                 // Tandem hop: forward to the next link unchanged.
@@ -249,7 +301,16 @@ impl<'a> Engine<'a> {
         self.dirty.push((CLASS_ARRIVE, l));
     }
 
-    fn arrive_now(&mut self, l: usize, t: f64, job: Job) {
+    fn arrive_now(&mut self, l: usize, t: f64, mut job: Job) {
+        trace_job(
+            &mut self.trace,
+            &mut job,
+            t,
+            SpanKind::Enqueue,
+            self.scope.links[l] as u64,
+            0.0,
+            0,
+        );
         self.jobs.insert(job.id, job);
         self.links[l].arrive(t, job.size, job.id);
         if let Some(o) = self.obs.as_deref_mut() {
@@ -269,9 +330,11 @@ impl<'a> Engine<'a> {
     }
 
     /// `job`'s response lands at its requesting proxy — local index `i`.
-    fn deliver_now(&mut self, i: usize, t: f64, job: Job) {
+    fn deliver_now(&mut self, i: usize, t: f64, mut job: Job) {
         self.t_end = t;
         debug_assert_eq!(self.scope.proxies[i], job.proxy as usize);
+        let jp = job.proxy as u64;
+        trace_job(&mut self.trace, &mut job, t, SpanKind::Deliver, jp, 0.0, 0);
         let sojourn = t - job.issued;
         let p = &mut self.proxies[i];
         match job.kind {
@@ -308,7 +371,27 @@ impl<'a> Engine<'a> {
         let idx = p.issued;
         p.issued += 1;
         p.in_window = idx >= self.warm;
+        // Head sampling is a pure hash of `(proxy, request index)`.
+        let rid = match self.trace.as_deref() {
+            Some(b) => b.admit(trace::request_trace_id(me as u64, idx)),
+            None => 0,
+        };
+        let mf = if p.in_window { TF_MEASURED } else { 0 };
         if p.rng.chance(p.h) {
+            if rid != 0 {
+                if let Some(b) = self.trace.as_deref_mut() {
+                    b.push(SpanEvent {
+                        trace: rid,
+                        seq: 0,
+                        t,
+                        kind: SpanKind::Hit,
+                        entity: me as u64,
+                        aux: 0.0,
+                        item: u64::MAX,
+                        flags: mf,
+                    });
+                }
+            }
             if p.in_window {
                 p.access_times.push(0.0);
                 if let Some(o) = self.obs.as_deref_mut() {
@@ -325,18 +408,19 @@ impl<'a> Engine<'a> {
             p.next_request_t = t + p.rng.exp(p.lambda);
             p.job_seq += 1;
             let id = ((me as u64) << 40) | p.job_seq;
-            self.launch(
-                t,
-                Job {
-                    id,
-                    proxy: me as u32,
-                    shard: shard as u32,
-                    hop: 0,
-                    size,
-                    issued: t,
-                    kind: JobKind::Demand { measured },
-                },
-            );
+            let mut job = Job {
+                id,
+                proxy: me as u32,
+                shard: shard as u32,
+                hop: 0,
+                size,
+                issued: t,
+                kind: JobKind::Demand { measured },
+                trace: rid,
+                tseq: 0,
+            };
+            trace_job(&mut self.trace, &mut job, t, SpanKind::Issue, me as u64, t, mf);
+            self.launch(t, job);
         }
         self.dirty.push((CLASS_REQUEST, i));
         self.dirty.push((CLASS_PREFETCH, i));
@@ -362,19 +446,25 @@ impl<'a> Engine<'a> {
         p.next_prefetch_t = t + p.prefetch_rng.exp(p.prefetch_rate);
         p.job_seq += 1;
         let id = ((me as u64) << 40) | p.job_seq;
+        let tid = match self.trace.as_deref() {
+            Some(b) => b.admit(trace::prefetch_trace_id(me as u64, id & ((1 << 40) - 1))),
+            None => 0,
+        };
         self.dirty.push((CLASS_PREFETCH, i));
-        self.launch(
-            t,
-            Job {
-                id,
-                proxy: me as u32,
-                shard: shard as u32,
-                hop: 0,
-                size,
-                issued: t,
-                kind: JobKind::Prefetch { measured },
-            },
-        );
+        let mut job = Job {
+            id,
+            proxy: me as u32,
+            shard: shard as u32,
+            hop: 0,
+            size,
+            issued: t,
+            kind: JobKind::Prefetch { measured },
+            trace: tid,
+            tseq: 0,
+        };
+        let mf = if measured { TF_MEASURED } else { 0 };
+        trace_job(&mut self.trace, &mut job, t, SpanKind::Issue, me as u64, t, TF_PREFETCH | mf);
+        self.launch(t, job);
     }
 }
 
@@ -569,10 +659,14 @@ pub(crate) fn run_observed(
     let obs_cfg = obs.filter(|c| c.enabled);
     // The open loop has no digest epochs; series need an explicit grid.
     let grid = obs_cfg.map(|c| c.sample_every.max(0.0)).unwrap_or(0.0);
+    let trace_every = obs_cfg.map(|c| c.trace_every).unwrap_or(0);
     let runners: Vec<ShardRunner<Engine<'_>>> = (0..plan.n_shards())
         .map(|s| {
             let scope = Scope::shard(topology, plan, s);
             let mut engine = Engine::new(topology, w, requests, warmup, seed, scope);
+            if trace_every > 0 {
+                engine.attach_trace(trace_every);
+            }
             match obs_cfg {
                 Some(cfg) => {
                     let probes = EngineObs::new(cfg, grid, topology, &engine.scope);
@@ -603,7 +697,23 @@ pub(crate) fn run_observed(
         let t_end = engines.iter().map(|e| e.t_end).fold(0.0, f64::max);
         let registries: Vec<Registry> =
             engines.iter_mut().filter_map(|e| e.obs_finish(t_end)).collect();
-        crate::obs::assemble(registries, profiles, flight, plan.n_shards(), driver, grid, t_end)
+        let traces = (trace_every > 0).then(|| {
+            let mut events = Vec::new();
+            for e in &mut engines {
+                events.extend(e.take_trace_events());
+            }
+            TraceStore::from_events(events, trace_every)
+        });
+        crate::obs::assemble(
+            registries,
+            profiles,
+            flight,
+            traces,
+            plan.n_shards(),
+            driver,
+            grid,
+            t_end,
+        )
     });
 
     (merge_reports(topology, engines), cluster_obs)

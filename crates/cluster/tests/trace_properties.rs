@@ -1,0 +1,208 @@
+//! Property tests for the span extractor and the end-to-end tracing
+//! pipeline (satellite 3).
+//!
+//! Two layers:
+//!
+//! * **Extractor algebra** — random-but-causal synthetic job lifecycles
+//!   (jittered issue, 1–4 hops with arbitrary propagation/queue/service
+//!   gaps, an optional mid-path false-hit redirect) must extract to an
+//!   exactly-tiled segment list whose per-kind totals reproduce the gaps
+//!   the generator injected. This pins the cursor invariant on inputs no
+//!   hand-written case would think of.
+//! * **Whole-simulation invariants** — small cooperative cluster runs at
+//!   a random seed/shard count: every extracted trace is well-formed,
+//!   conserves latency, and the store is bit-identical to the
+//!   single-shard run's.
+
+use cluster::{
+    AdaptiveWorkload, CandidateSource, ClusterConfig, ClusterSim, CooperativeWorkload, ProxyPolicy,
+    Topology, Workload,
+};
+use coop::{CoopConfig, DigestConfig, PlacementPolicy, RefreshStrategy};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use simcore::trace::{
+    SegKind, SpanEvent, SpanKind, TraceStore, TF_FALSE_HIT, TF_MEASURED, TF_PREFETCH,
+};
+use simcore::ObsConfig;
+use workload::synth_web::SynthWebConfig;
+
+/// Builds one synthetic job lifecycle: issue (optionally after a pending
+/// stall), `hops` link traversals each `(prop, queue, service)` apart,
+/// an optional redirect after hop `redirect_after`, then delivery one
+/// more propagation gap later. Returns the raw events plus the exact
+/// per-kind totals the extractor must reproduce.
+#[allow(clippy::type_complexity)]
+fn synth_lifecycle(
+    stall: f64,
+    hops: &[(f64, f64, f64)],
+    redirect_after: Option<usize>,
+    tail_prop: f64,
+    prefetch: bool,
+) -> (Vec<SpanEvent>, [f64; 5], f64) {
+    let mut events = Vec::new();
+    let ev = |seq: u32, t: f64, kind: SpanKind, entity: u64, aux: f64, flags: u8| SpanEvent {
+        trace: 0xfeed,
+        seq,
+        t,
+        kind,
+        entity,
+        aux,
+        item: 3,
+        flags,
+    };
+    let decided = 10.0;
+    let issued = decided + stall;
+    let flags = TF_MEASURED | if prefetch { TF_PREFETCH } else { 0 };
+    let mut seq = 0u32;
+    events.push(ev(seq, issued, SpanKind::Issue, 1, decided, flags));
+    // totals indexed like SegKind::ALL: pending, queue, service, prop, wait
+    let mut totals = [0.0f64; 5];
+    totals[0] = stall;
+    let mut t = issued;
+    let mut wasted = 0.0;
+    for (h, &(prop, queue, service)) in hops.iter().enumerate() {
+        seq += 1;
+        t += prop;
+        totals[3] += prop;
+        events.push(ev(seq, t, SpanKind::Enqueue, 100 + h as u64, 0.0, 0));
+        seq += 1;
+        t += queue + service;
+        totals[1] += queue;
+        totals[2] += service;
+        events.push(ev(seq, t, SpanKind::Dequeue, 100 + h as u64, service, 0));
+        if redirect_after == Some(h) {
+            seq += 1;
+            events.push(ev(seq, t, SpanKind::Check, 2, 0.0, TF_FALSE_HIT));
+            seq += 1;
+            events.push(ev(seq, t, SpanKind::Redirect, 1, 0.0, TF_FALSE_HIT));
+            // Everything accumulated on this leg (all queue/service/prop
+            // so far — the pending stall is outside the leg) is wasted.
+            wasted = totals[1] + totals[2] + totals[3];
+        }
+    }
+    seq += 1;
+    t += tail_prop;
+    totals[3] += tail_prop;
+    events.push(ev(seq, t, SpanKind::Deliver, 1, 0.0, 0));
+    (events, totals, wasted)
+}
+
+fn tiny_coop_config(latency_on: bool) -> ClusterConfig<'static> {
+    let topology = if latency_on {
+        Topology::mesh_with_latency(4, 50.0, 150.0, 45.0, 0.05)
+    } else {
+        Topology::mesh(4, 50.0, 150.0, 45.0)
+    };
+    ClusterConfig {
+        topology,
+        workload: Workload::Cooperative(CooperativeWorkload {
+            base: AdaptiveWorkload {
+                proxies: (0..4)
+                    .map(|_| SynthWebConfig {
+                        lambda: 10.0,
+                        link_skew: 0.3,
+                        ..SynthWebConfig::default()
+                    })
+                    .collect(),
+                cache_capacity: 32,
+                cache_bytes: None,
+                max_candidates: 3,
+                prefetch_jitter: 0.01,
+                policy: ProxyPolicy::Adaptive,
+                predictor: CandidateSource::Oracle,
+                shared_structure_seed: Some(7),
+            },
+            coop: CoopConfig {
+                placement: PlacementPolicy::LoadAware { divergence: 0.05, step: 4, min_vnodes: 8 },
+                digest: DigestConfig { epoch: 2.0, bits_per_entry: 10, hashes: 4 },
+                refresh: RefreshStrategy::Deltas,
+                ..CoopConfig::default()
+            },
+        }),
+        requests_per_proxy: 300,
+        warmup_per_proxy: 60,
+    }
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The extractor reproduces exactly the time the generator injected,
+    /// kind by kind, on arbitrary causal lifecycles.
+    #[test]
+    fn extractor_attributes_every_injected_gap(
+        stall_q in 0u32..3,
+        hops in vec((0.0f64..0.5, 0.0f64..2.0, 0.01f64..1.0), 1..5),
+        redirect_sel in 0usize..8,
+        tail_prop in 0.0f64..0.5,
+        prefetch in any::<bool>(),
+    ) {
+        // A pending stall only exists for jittered prefetches; demand
+        // fetches issue at decision time.
+        let stall = if prefetch { stall_q as f64 * 0.21 } else { 0.0 };
+        // Redirect after one of the non-final hops, or never.
+        let redirect_after =
+            if redirect_sel + 1 < hops.len() { Some(redirect_sel) } else { None };
+        let (events, totals, wasted) =
+            synth_lifecycle(stall, &hops, redirect_after, tail_prop, prefetch);
+        let store = TraceStore::from_events(events, 1);
+        prop_assert_eq!(store.traces.len(), 1);
+        let tr = &store.traces[0];
+        prop_assert!(tr.check().is_ok(), "{:?}", tr.check());
+        prop_assert!(close(tr.segment_sum(), tr.latency()),
+            "segments {} vs latency {}", tr.segment_sum(), tr.latency());
+        for (ki, &kind) in SegKind::ALL.iter().enumerate() {
+            let got: f64 = tr
+                .segments
+                .iter()
+                .filter(|s| s.kind == kind)
+                .map(|s| s.end - s.start)
+                .sum();
+            prop_assert!(close(got, totals[ki]),
+                "{}: extracted {} vs injected {}", kind.name(), got, totals[ki]);
+        }
+        let got_wasted: f64 =
+            tr.segments.iter().filter(|s| s.wasted).map(|s| s.end - s.start).sum();
+        prop_assert!(close(got_wasted, wasted),
+            "wasted {} vs injected {}", got_wasted, wasted);
+        // The wasted leg never includes the pending stall.
+        prop_assert!(tr
+            .segments
+            .iter()
+            .all(|s| !(s.wasted && s.kind == SegKind::PendingWait)));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Whole small runs at random seeds: every trace well-formed and
+    /// conservative, and the store independent of the shard count.
+    #[test]
+    fn random_runs_trace_well_formed_and_shard_independent(
+        seed in 0u64..10_000,
+        shards_sel in 0usize..2,
+        latency_on in any::<bool>(),
+    ) {
+        let config = tiny_coop_config(latency_on);
+        let probes = ObsConfig::on().with_sample_every(1.0).with_trace_every(1);
+        let (report, base) = ClusterSim::new(&config).run_observed(seed, 1, &probes);
+        let base = base.traces.expect("tracing ran");
+        prop_assert!(!base.traces.is_empty());
+        for tr in &base.traces {
+            prop_assert!(tr.check().is_ok(), "{:?}", tr.check());
+            prop_assert!(close(tr.segment_sum(), tr.latency()),
+                "trace {:#x}: {} vs {}", tr.id, tr.segment_sum(), tr.latency());
+            prop_assert!(tr.start <= tr.end && tr.end <= report.duration);
+        }
+        let shards = [2, 4][shards_sel];
+        let (_, obs) = ClusterSim::new(&config).run_observed(seed, shards, &probes);
+        prop_assert_eq!(obs.traces.as_ref(), Some(&base),
+            "store differs at {} shards", shards);
+    }
+}

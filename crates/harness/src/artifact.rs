@@ -16,6 +16,12 @@ use std::path::Path;
 /// repository root under `cargo run`, mirroring `BENCH_cluster.json`).
 pub const OBS_ARTIFACT: &str = "OBS_cluster.json";
 
+/// Chrome trace-event export written by `--bin trace` (E19): the full
+/// span set of the traced run, loadable in Perfetto / `chrome://tracing`.
+/// A standalone file — the viewer wants the document at top level, so it
+/// cannot be a section of [`OBS_ARTIFACT`].
+pub const TRACE_ARTIFACT: &str = "TRACE_cluster.json";
+
 /// Loads the artifact at `path`, or a fresh shell when it is missing or
 /// unparseable (a corrupt artifact is rebuilt, not appended to).
 pub fn load(path: &Path) -> Json {

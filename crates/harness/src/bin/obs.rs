@@ -6,6 +6,8 @@
 //!
 //! Flags:
 //! * `--smoke` — the reduced 16-proxy/2-shard fabric CI runs on every push
+//! * `--top-k <N>` — also trace every request and append the N slowest
+//!   traces (E19's view) to the dashboard
 //! * `--check [path]` — no simulation: schema-check an existing artifact
 //!   (default `OBS_cluster.json`), exiting nonzero if it is malformed or
 //!   missing the fields the acceptance criteria name — the CI gate that
@@ -102,7 +104,15 @@ fn main() -> ExitCode {
     }
     let (n, shards, total) =
         if args.iter().any(|a| a == "--smoke") { e18_obs::SMOKE } else { e18_obs::FULL };
-    let (report, section) = e18_obs::render_with(n, shards, total);
+    let top_k = args
+        .iter()
+        .position(|a| a == "--top-k")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+    let (report, section) = match top_k {
+        Some(k) => e18_obs::render_with_top_k(n, shards, total, k),
+        None => e18_obs::render_with(n, shards, total),
+    };
     print!("{report}");
     let path = Path::new(OBS_ARTIFACT);
     match artifact::write_section(path, "e18_obs", section) {

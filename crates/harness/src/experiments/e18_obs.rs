@@ -43,7 +43,10 @@ pub const SMOKE: (usize, usize, usize) = (16, 2, 6_000);
 /// Sparkline width of the dashboard's series column.
 const SPARK_W: usize = 48;
 
-fn config(n_proxies: usize, total_requests: usize) -> ClusterConfig<'static> {
+/// The cooperative latency-mesh fabric E18 observes and E19 traces —
+/// shared so the trace experiment's attribution describes the same run
+/// family the dashboard summarizes.
+pub fn config(n_proxies: usize, total_requests: usize) -> ClusterConfig<'static> {
     let requests = (total_requests / n_proxies).max(60);
     ClusterConfig {
         topology: Topology::mesh_with_latency(
@@ -110,7 +113,34 @@ pub fn render_smoke() -> String {
 /// text and the artifact section for `OBS_cluster.json`. Wall-clock
 /// telemetry goes to stderr (stdout stays byte-stable).
 pub fn render_with(n_proxies: usize, shards: usize, total_requests: usize) -> (String, Json) {
-    let (report, obs) = run_observed(n_proxies, shards, total_requests);
+    render_impl(n_proxies, shards, total_requests, 0)
+}
+
+/// Like [`render_with`], but with span tracing on (the `--top-k` flag):
+/// the dashboard gains E19's slowest-traces table. Tracing is a pure
+/// observer (`cluster/tests/trace_parity.rs` pins the report
+/// bit-identical either way), so every other section is unchanged.
+pub fn render_with_top_k(
+    n_proxies: usize,
+    shards: usize,
+    total_requests: usize,
+    k: usize,
+) -> (String, Json) {
+    render_impl(n_proxies, shards, total_requests, k.max(1))
+}
+
+fn render_impl(
+    n_proxies: usize,
+    shards: usize,
+    total_requests: usize,
+    top_k: usize,
+) -> (String, Json) {
+    let cfg = config(n_proxies, total_requests);
+    let mut probe_set = probes();
+    if top_k > 0 {
+        probe_set = probe_set.with_trace_every(1);
+    }
+    let (report, obs) = ClusterSim::new(&cfg).run_observed(SEED, shards, &probe_set);
 
     let mut out = String::new();
     out.push_str("# E18 — observability: the cluster run as telemetry\n");
@@ -221,6 +251,12 @@ pub fn render_with(n_proxies: usize, shards: usize, total_requests: usize) -> (S
         ));
     }
 
+    // -- slowest traces (tracing enabled via --top-k) -------------------------
+    if let Some(store) = &obs.traces {
+        out.push('\n');
+        out.push_str(&crate::experiments::e19_trace::top_k_table(store, top_k).render());
+    }
+
     out.push_str(&format!(
         "\nReading: the probes are pure observers -- `cluster/tests/obs_parity.rs`\n\
          pins the report bit-identical with them on or off, at every shard\n\
@@ -271,6 +307,15 @@ mod tests {
         assert!(section.get("profiles").and_then(Json::as_arr).map(<[Json]>::len) == Some(SMOKE.1));
         assert!(section.get("preds_per_sec").is_some());
         assert!(section.get("report").is_some());
+    }
+
+    #[test]
+    fn top_k_flag_appends_the_slowest_traces() {
+        let (n, shards, total) = SMOKE;
+        let (text, section) = render_with_top_k(n, shards, total, 3);
+        assert!(text.contains("Top-3 slowest traces"));
+        // Tracing also lands in the artifact section.
+        assert!(section.get("trace").and_then(|t| t.get("traces")).is_some());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The experiment implementations (E1–E18). Each module exposes a
+//! The experiment implementations (E1–E19). Each module exposes a
 //! `render()` returning the full plain-text report, plus structured data
 //! functions used by the integration tests and benches.
 
@@ -11,6 +11,7 @@ pub mod e15_scale;
 pub mod e16_delta;
 pub mod e17_shard;
 pub mod e18_obs;
+pub mod e19_trace;
 pub mod e1_fig1;
 pub mod e2_fig2;
 pub mod e3_fig3;

@@ -21,7 +21,9 @@
 //! | `scale` | (derived) | E15: wide fabrics on the indexed scheduler |
 //! | `delta` | (derived) | E16: digest deltas + byte-addressed caches |
 //! | `shard` | (derived) | E17: strong scaling of the sharded engine |
-//! | `obs` | (derived) | E18: observability dashboard + `OBS_cluster.json` |
+//! | `obs` | (derived) | E18: observability dashboard + `OBS_cluster.json` (`--top-k N` appends the slowest-traces view) |
+//! | `trace` | (derived) | E19: causal tracing — latency attribution, top-K slowest traces, `TRACE_cluster.json` |
+//! | `sentinel` | — | regression gate: diffs `OBS_cluster.json`/`BENCH_cluster.json` against `baselines/` |
 //! | `all` | — | runs everything, writes `results/*.txt` |
 //!
 //! The library half provides plain-text tables ([`report::Table`]), terminal
@@ -36,6 +38,7 @@ pub mod artifact;
 pub mod asciiplot;
 pub mod experiments;
 pub mod report;
+pub mod sentinel;
 pub mod sweep;
 
 /// Formats an optional quantity, rendering instability as the paper's

@@ -62,6 +62,7 @@ pub mod rng;
 pub mod sched;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use dist::Sample;
 pub use engine::Engine;
@@ -72,6 +73,7 @@ pub use rng::Rng;
 pub use sched::{KeyLayout, Scheduler, TimedQueue};
 pub use stats::{BatchMeans, Histogram, TimeWeighted, Welford};
 pub use time::SimTime;
+pub use trace::{SpanEvent, SpanKind, Trace, TraceBuf, TraceClass, TraceStore};
 
 /// Convenient re-exports for downstream simulation code.
 pub mod prelude {

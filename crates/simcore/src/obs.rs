@@ -56,6 +56,10 @@ pub struct ObsConfig {
     pub latency_bins: usize,
     /// Capacity of the per-shard flight-recorder ring; `0` disables it.
     pub flight_capacity: usize,
+    /// Causal-trace head sampling: trace one request in `trace_every`
+    /// (`0` disables tracing — the default even under [`ObsConfig::on`],
+    /// since span buffers grow with the request count).
+    pub trace_every: u64,
 }
 
 impl ObsConfig {
@@ -68,6 +72,7 @@ impl ObsConfig {
             latency_hi: 2.0,
             latency_bins: 200,
             flight_capacity: 0,
+            trace_every: 0,
         }
     }
 
@@ -91,6 +96,13 @@ impl ObsConfig {
 
     pub fn with_flight_capacity(mut self, n: usize) -> Self {
         self.flight_capacity = n;
+        self
+    }
+
+    /// Enables causal tracing, head-sampling one request in `every`
+    /// (`1` traces everything, `0` turns tracing back off).
+    pub fn with_trace_every(mut self, every: u64) -> Self {
+        self.trace_every = every;
         self
     }
 

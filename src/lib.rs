@@ -196,6 +196,64 @@
 //! next to `BENCH_cluster.json`; E17's wall-clock scaling ladder lands
 //! in section `e17_strong_scaling`). CI schema-checks the artifact with
 //! `--bin obs -- --check` and archives it on every push.
+//!
+//! ## Tracing: where each request's latency went
+//!
+//! The metrics layer says how much; [`simcore::trace`] says *where*.
+//! Setting [`simcore::ObsConfig::with_trace_every`] head-samples requests
+//! and prefetches by a pure hash of their `(proxy, sequence)` coordinates
+//! (so the sampling decision is identical under every sharding), records
+//! a span at each handler seam — issue, per-hop enqueue/dequeue with the
+//! queue/service split at the job's nominal `size / bandwidth` demand,
+//! peer-serve check, false-hit redirect, in-flight wait, delivery — and
+//! merges the per-shard buffers on the `(trace, seq)` total key. Each
+//! trace extracts to a [`simcore::Trace`]: an end-to-end interval tiled
+//! by **exclusive segments** (pending-prefetch stall, queue, service,
+//! propagation, wait, and the wasted peer leg of a digest false hit), so
+//! segment durations sum to the measured latency by construction:
+//!
+//! ```
+//! use cluster::ClusterSim;
+//! use simcore::ObsConfig;
+//! # use cluster::{AdaptiveWorkload, CandidateSource, ClusterConfig, ProxyPolicy,
+//! #     Topology, Workload};
+//! # use workload::synth_web::SynthWebConfig;
+//! # let config = ClusterConfig {
+//! #     topology: Topology::sharded_origin(2, 2, 45.0, 80.0),
+//! #     workload: Workload::Adaptive(AdaptiveWorkload {
+//! #         proxies: vec![SynthWebConfig { lambda: 12.0, ..SynthWebConfig::default() }; 2],
+//! #         cache_capacity: 32, cache_bytes: None, max_candidates: 3,
+//! #         prefetch_jitter: 0.01, policy: ProxyPolicy::Adaptive,
+//! #         predictor: CandidateSource::Oracle, shared_structure_seed: None,
+//! #     }),
+//! #     requests_per_proxy: 400, warmup_per_proxy: 80,
+//! # };
+//! let obs_cfg = ObsConfig::on().with_trace_every(1); // trace every request
+//! let (_report, obs) = ClusterSim::new(&config).run_observed(7, 2, &obs_cfg);
+//! let store = obs.traces.expect("tracing was on");
+//! for trace in &store.traces {
+//!     trace.check().unwrap(); // segments tile [start, end] exactly
+//!     let residual = (trace.segment_sum() - trace.latency()).abs();
+//!     assert!(residual <= 1e-9 * trace.latency().max(1.0));
+//! }
+//! assert!(store.attribution().iter().any(|a| a.traces > 0));
+//! ```
+//!
+//! The same two contracts hold: reports are bit-identical with tracing
+//! on or off, traces are bit-identical across shard counts, and the
+//! default `trace_every = 0` costs one branch per seam
+//! (`cluster/tests/trace_parity.rs`, plus proptests in
+//! `trace_properties.rs`). Experiment E19 (`cargo run --release --bin
+//! trace`) renders the per-class latency-attribution table and the top-K
+//! slowest traces, writes section `e19_trace` of `OBS_cluster.json`, and
+//! exports the span set as Chrome trace-event JSON
+//! (`TRACE_cluster.json`, loadable in Perfetto); `--bin obs -- --top-k
+//! N` appends the same slowest-traces view to the E18 dashboard. On top
+//! of the artifacts sits the regression sentinel (`cargo run --release
+//! --bin sentinel`): CI diffs `OBS_cluster.json` and
+//! `BENCH_cluster.json` against the committed `baselines/`, excluding
+//! wall-clock fields by schema, requiring counters exact and floats
+//! within 1e-9 (see `baselines/README.md`).
 
 pub use cachesim;
 pub use cluster;
