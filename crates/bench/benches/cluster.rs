@@ -4,10 +4,10 @@
 //! (async runtime, sharding, batching) measures against.
 
 use bench::{
-    latency_coop_cluster, small_adaptive_cluster, small_coop_cluster, small_static_cluster,
-    wide_adaptive_cluster, wide_coop_cluster,
+    delayed_adaptive_cluster, latency_coop_cluster, small_adaptive_cluster, small_coop_cluster,
+    small_static_cluster, wide_adaptive_cluster, wide_coop_cluster,
 };
-use cluster::ClusterSim;
+use cluster::{ClusterSim, DelayedHitsConfig};
 use coop::{BloomFilter, CoopConfig, DeltaOp, HashRing, RefreshStrategy, Router};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use simcore::dist::Exponential;
@@ -63,6 +63,21 @@ fn bench_cluster_event_loop(c: &mut Criterion) {
                 b.iter(|| black_box(ClusterSim::new(&sharded).run_sharded(2, shards)));
             });
         }
+    }
+    // Delayed hits: the coalescing MSHR table vs the independent-miss
+    // baseline on the same 64-proxy latency mesh. The mshr row does
+    // strictly less network work (each waiter join is a transfer avoided,
+    // pinned by `cluster/tests/mshr_parity.rs`); these rows price the
+    // table's bookkeeping against that saving at event-loop scope.
+    for (label, delayed) in [
+        ("mshr", DelayedHitsConfig::default()),
+        ("independent", DelayedHitsConfig { coalesce: false, ..Default::default() }),
+    ] {
+        let config = delayed_adaptive_cluster(64, 1_000, delayed);
+        g.throughput(Throughput::Elements((config.requests_per_proxy * 64) as u64));
+        g.bench_function(format!("delayed_mesh_64proxies_{label}"), |b| {
+            b.iter(|| black_box(ClusterSim::new(&config).run(2)));
+        });
     }
     // Delta refresh vs the full-rebuild oracle, whole-engine: identical
     // simulations (pinned by the delta-parity suite) differing only in

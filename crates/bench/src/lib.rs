@@ -16,8 +16,8 @@
 //! The library half provides shared setup helpers so the suites stay small.
 
 use cluster::{
-    AdaptiveWorkload, CandidateSource, ClusterConfig, CooperativeWorkload, ProxyPolicy,
-    StaticProxy, StaticWorkload, Topology, Workload,
+    AdaptiveWorkload, CandidateSource, ClusterConfig, CooperativeWorkload, DelayedHitsConfig,
+    ProxyPolicy, StaticProxy, StaticWorkload, Topology, Workload,
 };
 use coop::CoopConfig;
 use netsim::parametric::ParametricConfig;
@@ -52,6 +52,7 @@ pub fn small_static_cluster(n_proxies: usize, size_dist: &dyn Sample) -> Cluster
                 .map(|_| StaticProxy { lambda: 12.0, h_prime: 0.3, n_f: 0.5, p: 0.8 })
                 .collect(),
             size_dist,
+            catalog_items: None,
         }),
         requests_per_proxy: 10_000,
         warmup_per_proxy: 2_000,
@@ -72,6 +73,7 @@ pub fn small_closed_loop(n_proxies: usize) -> AdaptiveWorkload {
         policy: ProxyPolicy::Adaptive,
         predictor: CandidateSource::Oracle,
         shared_structure_seed: Some(5),
+        delayed: Default::default(),
     }
 }
 
@@ -167,6 +169,31 @@ pub fn latency_coop_cluster(
                 ..CoopConfig::default()
             },
         }),
+        requests_per_proxy,
+        warmup_per_proxy: requests_per_proxy / 5,
+    }
+}
+
+/// The E20-shaped delayed-hits mesh: a slow, latency-bearing backbone
+/// whose fetch windows span later requests, so the MSHR table actually
+/// coalesces. Run with the coalescing table vs the independent-miss
+/// baseline, adjacent rows price the table itself (entry bookkeeping,
+/// waiter settlement) against the transfers it avoids.
+pub fn delayed_adaptive_cluster(
+    n_proxies: usize,
+    requests_per_proxy: usize,
+    delayed: DelayedHitsConfig,
+) -> ClusterConfig<'static> {
+    let mut base = small_closed_loop(n_proxies);
+    base.cache_capacity = 24;
+    base.delayed = delayed;
+    for (i, p) in base.proxies.iter_mut().enumerate() {
+        p.lambda = 24.0 + 4.0 * (i % 4) as f64;
+        p.n_items = 160;
+    }
+    ClusterConfig {
+        topology: Topology::mesh_with_latency(n_proxies, 60.0, 6.25 * n_proxies as f64, 45.0, 0.08),
+        workload: Workload::Adaptive(base),
         requests_per_proxy,
         warmup_per_proxy: requests_per_proxy / 5,
     }

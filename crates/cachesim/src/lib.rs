@@ -12,7 +12,11 @@
 //!   uniformly ⇒ model B);
 //! * [`tagged`] — a wrapper implementing the paper's §4 tagged/untagged
 //!   algorithm for estimating `h′` (the hit ratio the cache *would* have
-//!   without prefetching) while prefetching is live.
+//!   without prefetching) while prefetching is live;
+//! * [`mshr`] — an MSHR-style outstanding-fetch table making *delayed
+//!   hits* first class: misses for in-flight keys coalesce onto the
+//!   outstanding fetch's FIFO waiter queue instead of fetching again
+//!   ([`TaggedCache::probe_via`] consults it before any fetch).
 //!
 //! All policies are deterministic data structures (the [`random`] policy
 //! owns a seeded PRNG), so simulations remain reproducible.
@@ -35,6 +39,7 @@ pub mod fifo;
 pub mod gdsf;
 pub mod lfu;
 pub mod lru;
+pub mod mshr;
 pub mod random;
 pub mod slru;
 pub mod tagged;
@@ -45,6 +50,7 @@ pub use fifo::FifoCache;
 pub use gdsf::GdsfCache;
 pub use lfu::LfuCache;
 pub use lru::LruCache;
+pub use mshr::{FetchDecision, FetchOrigin, Mshr, MshrAccess, MshrConfig, MshrEntry, Waiter};
 pub use random::RandomCache;
 pub use slru::SlruCache;
 pub use tagged::{AccessKind, Tag, TaggedCache};

@@ -224,6 +224,14 @@ impl<K: Copy + Eq + Hash, C: ReplacementCache<K>> TaggedCache<K, C> {
         &self.inner
     }
 
+    /// Mutable access to the wrapped cache, for policy-metadata updates
+    /// (e.g. [`crate::ValueAwareCache::set_value`]). Inserting or removing
+    /// entries through this handle would desynchronise the §4 tag state —
+    /// use the tagged admission methods for that.
+    pub fn inner_mut(&mut self) -> &mut C {
+        &mut self.inner
+    }
+
     /// Snapshot of the cached keys (order follows the inner policy) — the
     /// contents a cooperative digest summarises.
     pub fn keys(&self) -> Vec<K> {

@@ -7,8 +7,13 @@
 //!   probability and prefetch-insert with eviction of the **minimum**-value
 //!   entry → model A when zero-value entries exist, model AB in general;
 //! * combine with uniform values → model B.
+//!
+//! It also carries an optional byte budget ([`ByteCapacity`]), so the
+//! delayed-hits engines can rank eviction by *aggregate delay* (value =
+//! accumulated residual waits charged to the key) while keeping the
+//! byte-denominated occupancy accounting of the size-aware caches.
 
-use crate::ReplacementCache;
+use crate::{ByteCapacity, ChargeOutcome, ReplacementCache};
 use core::hash::Hash;
 use std::collections::{BTreeSet, HashMap};
 
@@ -28,27 +33,82 @@ impl Ord for OrdF64 {
     }
 }
 
+#[derive(Clone, Copy)]
+struct Entry {
+    value: OrdF64,
+    seq: u64,
+    bytes: f64,
+}
+
 /// Cache that evicts the minimum-value entry (ties: oldest).
 pub struct ValueAwareCache<K> {
-    map: HashMap<K, (OrdF64, u64)>,
+    map: HashMap<K, Entry>,
     order: BTreeSet<(OrdF64, u64, K)>,
     capacity: usize,
+    byte_capacity: f64,
+    used_bytes: f64,
     next_seq: u64,
 }
 
 impl<K: Copy + Eq + Hash + Ord> ValueAwareCache<K> {
     pub fn new(capacity: usize) -> Self {
+        Self::with_byte_capacity(capacity, f64::INFINITY)
+    }
+
+    /// A value-aware cache bounded by `capacity` entries **and**
+    /// `byte_capacity` bytes: admissions via [`ByteCapacity::charge`]
+    /// evict minimum-value entries until both budgets hold.
+    pub fn with_byte_capacity(capacity: usize, byte_capacity: f64) -> Self {
         assert!(capacity > 0);
+        assert!(byte_capacity > 0.0, "byte capacity must be positive");
         ValueAwareCache {
             map: HashMap::with_capacity(capacity + 1),
             order: BTreeSet::new(),
             capacity,
+            byte_capacity,
+            used_bytes: 0.0,
             next_seq: 0,
         }
     }
 
+    /// Removes and returns the minimum-value entry's key.
+    fn evict_min(&mut self) -> K {
+        let victim = *self.order.iter().next().expect("evict_min on an empty cache");
+        self.order.remove(&victim);
+        let entry = self.map.remove(&victim.2).expect("order/map desync");
+        self.used_bytes -= entry.bytes;
+        if self.map.is_empty() {
+            // Kill accumulated f64 residue (a + b - b ≠ a): an empty cache
+            // must charge exactly zero bytes.
+            self.used_bytes = 0.0;
+        }
+        victim.2
+    }
+
+    /// [`ValueAwareCache::evict_min`], skipping `keep` — the key being
+    /// (re-)charged is not evictable during its own admission, mirroring
+    /// the LRU twin where the charged key sits at the MRU end.
+    fn evict_min_excluding(&mut self, keep: &K) -> Option<K> {
+        let victim = *self.order.iter().find(|(_, _, key)| key != keep)?;
+        self.order.remove(&victim);
+        let entry = self.map.remove(&victim.2).expect("order/map desync");
+        self.used_bytes -= entry.bytes;
+        Some(victim.2)
+    }
+
+    fn admit(&mut self, k: K, v: f64, bytes: f64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.map.insert(k, Entry { value: OrdF64(v), seq, bytes });
+        self.order.insert((OrdF64(v), seq, k));
+        self.used_bytes += bytes;
+    }
+
     /// Inserts or updates `k` with value `v`; evicts the minimum-value
-    /// entry if the insert overflows. Returns the evicted key.
+    /// entry if the insert overflows. Returns the evicted key. Entries
+    /// admitted this way are charged zero bytes — byte-denominated
+    /// simulations admit via [`ByteCapacity::charge`] and maintain values
+    /// with [`ValueAwareCache::set_value`].
     pub fn insert_valued(&mut self, k: K, v: f64) -> Option<K> {
         assert!(!v.is_nan(), "value cannot be NaN");
         if self.map.contains_key(&k) {
@@ -57,31 +117,25 @@ impl<K: Copy + Eq + Hash + Ord> ValueAwareCache<K> {
         }
         let mut evicted = None;
         if self.map.len() == self.capacity {
-            let victim = *self.order.iter().next().expect("full cache");
-            self.order.remove(&victim);
-            self.map.remove(&victim.2);
-            evicted = Some(victim.2);
+            evicted = Some(self.evict_min());
         }
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.map.insert(k, (OrdF64(v), seq));
-        self.order.insert((OrdF64(v), seq, k));
+        self.admit(k, v, 0.0);
         evicted
     }
 
     /// Updates the value of a cached entry (no-op when absent).
     pub fn set_value(&mut self, k: K, v: f64) {
         assert!(!v.is_nan());
-        if let Some(&(old_v, seq)) = self.map.get(&k) {
+        if let Some(&Entry { value: old_v, seq, bytes }) = self.map.get(&k) {
             self.order.remove(&(old_v, seq, k));
-            self.map.insert(k, (OrdF64(v), seq));
+            self.map.insert(k, Entry { value: OrdF64(v), seq, bytes });
             self.order.insert((OrdF64(v), seq, k));
         }
     }
 
     /// Current value of an entry.
     pub fn value(&self, k: &K) -> Option<f64> {
-        self.map.get(k).map(|&(v, _)| v.0)
+        self.map.get(k).map(|e| e.value.0)
     }
 
     /// The key that would be evicted next, with its value.
@@ -114,8 +168,12 @@ impl<K: Copy + Eq + Hash + Ord> ReplacementCache<K> for ValueAwareCache<K> {
     }
 
     fn remove(&mut self, k: &K) -> bool {
-        if let Some((v, seq)) = self.map.remove(k) {
-            self.order.remove(&(v, seq, *k));
+        if let Some(Entry { value, seq, bytes }) = self.map.remove(k) {
+            self.order.remove(&(value, seq, *k));
+            self.used_bytes -= bytes;
+            if self.map.is_empty() {
+                self.used_bytes = 0.0; // see evict_min on residue
+            }
             true
         } else {
             false
@@ -124,6 +182,64 @@ impl<K: Copy + Eq + Hash + Ord> ReplacementCache<K> for ValueAwareCache<K> {
 
     fn keys(&self) -> Vec<K> {
         self.map.keys().copied().collect()
+    }
+}
+
+impl<K: Copy + Eq + Hash + Ord> ByteCapacity<K> for ValueAwareCache<K> {
+    fn byte_capacity(&self) -> f64 {
+        self.byte_capacity
+    }
+
+    fn used_bytes(&self) -> f64 {
+        self.used_bytes
+    }
+
+    fn entry_bytes(&self, k: &K) -> Option<f64> {
+        self.map.get(k).map(|e| e.bytes)
+    }
+
+    fn charge(&mut self, k: K, bytes: f64) -> ChargeOutcome<K> {
+        assert!(bytes >= 0.0 && bytes.is_finite(), "bad entry size {bytes}");
+        if bytes > self.byte_capacity {
+            // The entry alone busts the byte budget: never admit it (and
+            // drop any previously cached, smaller copy).
+            let mut evicted = Vec::new();
+            if self.remove(&k) {
+                evicted.push(k);
+            }
+            return ChargeOutcome { admitted: false, evicted };
+        }
+        if self.map.contains_key(&k) {
+            // Re-charge in place, mirroring `insert` on a present key: the
+            // value resets to 0 (callers restore it via `set_value`) and
+            // the size is swapped.
+            let old = self.map.get(&k).map(|e| e.bytes).unwrap_or(0.0);
+            self.used_bytes += bytes - old;
+            if let Some(e) = self.map.get_mut(&k) {
+                e.bytes = bytes;
+            }
+            self.set_value(k, 0.0);
+            let mut evicted = Vec::new();
+            // `k` fits alone (checked above) and, having just been reset to
+            // value 0, may itself be the minimum — evict around it.
+            while self.used_bytes > self.byte_capacity && self.map.len() > 1 {
+                match self.evict_min_excluding(&k) {
+                    Some(v) => evicted.push(v),
+                    None => break,
+                }
+            }
+            return ChargeOutcome { admitted: true, evicted };
+        }
+        let mut evicted = Vec::new();
+        // The emptiness guard mirrors the LRU twin: ledger residue must
+        // not drive eviction of nothing.
+        while !self.map.is_empty()
+            && (self.map.len() == self.capacity || self.used_bytes + bytes > self.byte_capacity)
+        {
+            evicted.push(self.evict_min());
+        }
+        self.admit(k, 0.0, bytes);
+        ChargeOutcome { admitted: true, evicted }
     }
 }
 
@@ -196,5 +312,49 @@ mod tests {
         assert_eq!(c.value(&1), Some(0.9));
         // Now 2 is the minimum.
         assert_eq!(c.insert_valued(3, 0.5), Some(2));
+    }
+
+    #[test]
+    fn byte_budget_evicts_minimum_value_first() {
+        let mut c = ValueAwareCache::with_byte_capacity(8, 10.0);
+        c.charge(1, 4.0);
+        c.set_value(1, 0.9);
+        c.charge(2, 4.0);
+        c.set_value(2, 0.1);
+        // 4 + 4 + 4 > 10 → evicts the min-value entry (2), not the oldest.
+        let out = c.charge(3, 4.0);
+        assert!(out.admitted);
+        assert_eq!(out.evicted, vec![2]);
+        assert!(c.contains(&1));
+        assert_eq!(c.used_bytes(), 8.0);
+        assert_eq!(c.entry_bytes(&3), Some(4.0));
+    }
+
+    #[test]
+    fn oversized_entry_is_rejected() {
+        let mut c = ValueAwareCache::with_byte_capacity(4, 10.0);
+        c.charge(1, 4.0);
+        let out = c.charge(2, 11.0);
+        assert!(!out.admitted);
+        assert!(out.evicted.is_empty());
+        assert!(c.contains(&1));
+    }
+
+    #[test]
+    fn unbounded_charge_matches_insert() {
+        // Degenerate case: with an unbounded byte budget, charge admits and
+        // evicts exactly like insert.
+        let mut a = ValueAwareCache::new(3);
+        let mut b = ValueAwareCache::new(3);
+        for k in [5u32, 9, 5, 1, 7, 3] {
+            let ia = a.insert(k);
+            let ob = b.charge(k, 2.0);
+            assert_eq!(ia.into_iter().collect::<Vec<_>>(), ob.evicted);
+        }
+        let mut ka = a.keys();
+        let mut kb = b.keys();
+        ka.sort_unstable();
+        kb.sort_unstable();
+        assert_eq!(ka, kb);
     }
 }

@@ -9,7 +9,7 @@
 //!   to the item-counted `insert` — byte-addressed caches degenerate to
 //!   the validated item-counted behaviour, not a parallel code path.
 
-use cachesim::{ByteCapacity, FifoCache, LruCache, ReplacementCache};
+use cachesim::{ByteCapacity, FifoCache, LruCache, ReplacementCache, ValueAwareCache};
 use proptest::prelude::*;
 
 /// One generated cache operation. Sizes come quantised so eviction
@@ -141,6 +141,18 @@ proptest! {
     ) {
         let mut cache = FifoCache::with_byte_capacity(capacity, byte_capacity_q as f64 * 0.5);
         drive(&mut cache, &ops, "fifo")?;
+    }
+
+    /// Value-aware: the invariants hold through minimum-value eviction,
+    /// whose victim order differs from both LRU and FIFO.
+    #[test]
+    fn value_aware_byte_occupancy_never_exceeds_budget(
+        ops in proptest::collection::vec(op_strategy(24), 1..400),
+        capacity in 1usize..12,
+        byte_capacity_q in 1u32..20,
+    ) {
+        let mut cache = ValueAwareCache::with_byte_capacity(capacity, byte_capacity_q as f64 * 0.5);
+        drive(&mut cache, &ops, "value_aware")?;
     }
 
     /// With an unbounded byte budget, `charge` makes exactly the

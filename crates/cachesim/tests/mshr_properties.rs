@@ -1,0 +1,201 @@
+//! Property tests for the MSHR outstanding-fetch table, pinning the three
+//! invariants the cluster engines' determinism rests on:
+//!
+//! * **waiter FIFO order** — a settled entry yields its waiters in exactly
+//!   the order their demand misses coalesced, for any interleaving of
+//!   misses, prefetch reservations, and completions;
+//! * **entry-budget determinism** — two tables with the same budget driven
+//!   by the same operation sequence make identical Launch / Coalesced /
+//!   Bypass decisions and end with identical counters, and an unbounded
+//!   table never bypasses or rejects while coalescing is on;
+//! * **coalesced-bytes conservation** — origin bytes equal the sum of
+//!   bytes over launched+bypassed fetches only; coalesced waiters charge
+//!   nothing, so (origin fetches + coalesced joins) always equals the
+//!   total demand misses offered.
+
+use cachesim::{FetchDecision, Mshr, MshrConfig, Waiter};
+use proptest::prelude::*;
+
+/// One generated table operation. Keys are drawn from a small space so
+/// in-flight collisions (the interesting case) actually happen.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Demand(u32),
+    Prefetch(u32),
+    Complete(u32),
+}
+
+fn op_strategy(n_keys: u32) -> impl Strategy<Value = Op> {
+    (0u32..4, 0u32..n_keys).prop_map(|(kind, key)| match kind {
+        0 | 1 => Op::Demand(key),
+        2 => Op::Prefetch(key),
+        _ => Op::Complete(key),
+    })
+}
+
+/// Drives `ops` through a table, mirroring the expected waiter queues in
+/// plain Vecs, and checks FIFO release plus byte/count conservation.
+fn drive(config: MshrConfig, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut m: Mshr<u32> = Mshr::new(config);
+    // Expected waiter queue per in-flight key, by push order.
+    let mut expected: std::collections::HashMap<u32, Vec<u64>> = std::collections::HashMap::new();
+    let mut seq: u64 = 0;
+    let mut launched_bytes = 0.0f64;
+    let mut demand_misses = 0u64;
+
+    for (i, &op) in ops.iter().enumerate() {
+        let t = i as f64;
+        match op {
+            Op::Demand(k) => {
+                seq += 1;
+                demand_misses += 1;
+                let bytes = 1.0 + (k as f64) * 0.25;
+                let was_inflight = m.contains(&k);
+                let decision =
+                    m.on_demand_miss(k, t, bytes, Waiter { t, measured: true, trace: seq });
+                match decision {
+                    FetchDecision::Launch => {
+                        prop_assert!(!was_inflight, "launched over an in-flight entry");
+                        launched_bytes += bytes;
+                        expected.insert(k, Vec::new());
+                    }
+                    FetchDecision::Coalesced => {
+                        prop_assert!(config.coalesce, "coalesced with coalescing off");
+                        prop_assert!(was_inflight, "coalesced onto a missing entry");
+                        expected.get_mut(&k).unwrap().push(seq);
+                    }
+                    FetchDecision::Bypass => {
+                        // Bypasses still fetch from the origin.
+                        launched_bytes += bytes;
+                        if config.coalesce {
+                            prop_assert!(
+                                config.entries.is_some(),
+                                "unbounded coalescing table bypassed"
+                            );
+                            prop_assert!(!was_inflight, "bypass despite in-flight entry");
+                        }
+                    }
+                }
+            }
+            Op::Prefetch(k) => {
+                let issued = m.reserve_prefetch(k, t, 1.0);
+                if issued {
+                    expected.insert(k, Vec::new());
+                }
+            }
+            Op::Complete(k) => {
+                let entry = m.complete(&k);
+                match expected.remove(&k) {
+                    Some(want) => {
+                        let got: Vec<u64> =
+                            entry.unwrap().waiters.iter().map(|w| w.trace).collect();
+                        prop_assert_eq!(got, want, "waiters out of FIFO order for key {}", k);
+                    }
+                    None => prop_assert!(entry.is_none(), "settled an entry never allocated"),
+                }
+            }
+        }
+        if let Some(budget) = config.entries {
+            prop_assert!(m.len() <= budget, "table exceeded its entry budget");
+        }
+        // Conservation: every demand miss either fetched or coalesced.
+        prop_assert_eq!(m.origin_fetches() + m.coalesced(), demand_misses);
+        prop_assert!(
+            (m.origin_bytes() - launched_bytes).abs() < 1e-9,
+            "origin bytes {} diverged from launched+bypassed bytes {}",
+            m.origin_bytes(),
+            launched_bytes
+        );
+    }
+    Ok(())
+}
+
+/// Replays `ops` on a second identically-configured table and checks the
+/// decisions and counters match call-for-call: the full-table policy has
+/// no hidden nondeterminism (iteration order, hashing) to diverge on.
+fn replay_matches(config: MshrConfig, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut a: Mshr<u32> = Mshr::new(config);
+    let mut b: Mshr<u32> = Mshr::new(config);
+    for (i, &op) in ops.iter().enumerate() {
+        let t = i as f64;
+        match op {
+            Op::Demand(k) => {
+                let w = Waiter { t, measured: true, trace: i as u64 };
+                prop_assert_eq!(a.on_demand_miss(k, t, 1.0, w), b.on_demand_miss(k, t, 1.0, w));
+            }
+            Op::Prefetch(k) => {
+                prop_assert_eq!(a.reserve_prefetch(k, t, 1.0), b.reserve_prefetch(k, t, 1.0));
+            }
+            Op::Complete(k) => {
+                let (ea, eb) = (a.complete(&k), b.complete(&k));
+                prop_assert_eq!(ea.is_some(), eb.is_some());
+                if let (Some(ea), Some(eb)) = (ea, eb) {
+                    prop_assert_eq!(ea.waiters, eb.waiters);
+                    prop_assert_eq!(ea.origin, eb.origin);
+                }
+            }
+        }
+    }
+    prop_assert_eq!(a.origin_fetches(), b.origin_fetches());
+    prop_assert_eq!(a.coalesced(), b.coalesced());
+    prop_assert_eq!(a.rejections(), b.rejections());
+    prop_assert_eq!(a.settled_entries(), b.settled_entries());
+    prop_assert_eq!(a.settled_waiters(), b.settled_waiters());
+    Ok(())
+}
+
+proptest! {
+    /// Unbounded coalescing table: FIFO release and byte conservation
+    /// under arbitrary interleavings.
+    #[test]
+    fn unbounded_fifo_and_conservation(
+        ops in proptest::collection::vec(op_strategy(12), 1..400),
+    ) {
+        drive(MshrConfig { entries: None, coalesce: true }, &ops)?;
+    }
+
+    /// Budgeted table: the same invariants, plus the budget itself, hold
+    /// through the deterministic full-table bypass/drop policy.
+    #[test]
+    fn budgeted_fifo_and_conservation(
+        ops in proptest::collection::vec(op_strategy(12), 1..400),
+        budget in 1usize..6,
+    ) {
+        drive(MshrConfig { entries: Some(budget), coalesce: true }, &ops)?;
+    }
+
+    /// Independent-miss baseline: demand misses never coalesce, so origin
+    /// fetches equal demand misses exactly.
+    #[test]
+    fn independent_mode_fetches_every_miss(
+        ops in proptest::collection::vec(op_strategy(12), 1..400),
+    ) {
+        drive(MshrConfig { entries: None, coalesce: false }, &ops)?;
+        let mut m: Mshr<u32> = Mshr::new(MshrConfig { entries: None, coalesce: false });
+        let mut demand = 0u64;
+        for (i, &op) in ops.iter().enumerate() {
+            match op {
+                Op::Demand(k) => {
+                    demand += 1;
+                    m.on_demand_miss(k, i as f64, 1.0, Waiter::demand(i as f64));
+                }
+                Op::Prefetch(k) => { m.reserve_prefetch(k, i as f64, 1.0); }
+                Op::Complete(k) => { m.complete(&k); }
+            }
+        }
+        prop_assert_eq!(m.origin_fetches(), demand);
+        prop_assert_eq!(m.coalesced(), 0);
+    }
+
+    /// Budget-policy determinism: replaying the same sequence on a fresh
+    /// table reproduces every decision and counter.
+    #[test]
+    fn replayed_sequences_decide_identically(
+        ops in proptest::collection::vec(op_strategy(12), 1..400),
+        budget_q in 0usize..6,
+        coalesce in any::<bool>(),
+    ) {
+        let budget = (budget_q > 0).then_some(budget_q);
+        replay_matches(MshrConfig { entries: budget, coalesce }, &ops)?;
+    }
+}

@@ -60,12 +60,16 @@ use crate::shard::{
 };
 use crate::sim::{proxy_seed, LinkState, Scope, ScopeIndex};
 use crate::topology::ShardPlan;
-use crate::{AdaptiveWorkload, CandidateSource, ProxyPolicy, Topology};
-use cachesim::{AccessKind, LruCache, ReplacementCache, TaggedCache};
+use crate::{AdaptiveWorkload, CandidateSource, ProxyPolicy, RankingMode, Topology};
+use cachesim::{
+    AccessKind, LruCache, Mshr, MshrAccess, MshrConfig, ReplacementCache, TaggedCache,
+    ValueAwareCache, Waiter,
+};
 use coop::{CoopConfig, DeltaOp, RefreshPayload, RefreshStrategy, Router};
 use predictor::{MarkovPredictor, OraclePredictor, Predictor};
 use prefetch_core::controller::{AdaptiveController, ControllerConfig};
 use prefetch_core::estimator::EntryStatus;
+use prefetch_core::AggregateDelay;
 use simcore::obs::ObsConfig;
 use simcore::rng::Rng;
 use simcore::sched::TimedQueue;
@@ -74,7 +78,7 @@ use simcore::trace::{
     self, SpanEvent, SpanKind, TraceBuf, TraceStore, TF_FALSE_HIT, TF_MEASURED, TF_PREFETCH,
 };
 use simcore::{Registry, Scheduler};
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap};
 use workload::synth_web::SynthWeb;
 use workload::{ItemId, TraceRecord};
 
@@ -160,17 +164,97 @@ impl Ord for PendingPrefetch {
     }
 }
 
+/// The proxy's tagged cache under either ranking mode. Every call
+/// delegates to the same `TaggedCache` method on the wrapped policy, so
+/// the §4 estimator sees identical streams in both variants; only the
+/// eviction order differs (LRU vs minimum aggregate delay).
+enum Store {
+    /// Classic recency ranking ([`RankingMode::Recency`], the default).
+    Lru(TaggedCache<ItemId, LruCache<ItemId>>),
+    /// Delayed-hits-aware ranking ([`RankingMode::AggregateDelay`]):
+    /// evicts the minimum-aggregate-delay entry; values are maintained
+    /// from the proxy's [`AggregateDelay`] scores at every settle.
+    Ranked(TaggedCache<ItemId, ValueAwareCache<ItemId>>),
+}
+
+impl Store {
+    fn probe_via(
+        &mut self,
+        mshr: &mut Mshr<ItemId>,
+        k: ItemId,
+        t: f64,
+        bytes: f64,
+        w: Waiter,
+    ) -> MshrAccess {
+        match self {
+            Store::Lru(c) => c.probe_via(mshr, k, t, bytes, w),
+            Store::Ranked(c) => c.probe_via(mshr, k, t, bytes, w),
+        }
+    }
+
+    fn contains(&self, k: &ItemId) -> bool {
+        match self {
+            Store::Lru(c) => c.inner().contains(k),
+            Store::Ranked(c) => c.inner().contains(k),
+        }
+    }
+
+    fn charge_after_fetch(&mut self, k: ItemId, bytes: f64) -> (bool, Vec<ItemId>) {
+        match self {
+            Store::Lru(c) => c.charge_after_fetch(k, bytes),
+            Store::Ranked(c) => c.charge_after_fetch(k, bytes),
+        }
+    }
+
+    fn charge_prefetch(&mut self, k: ItemId, bytes: f64) -> (bool, Vec<ItemId>) {
+        match self {
+            Store::Lru(c) => c.charge_prefetch(k, bytes),
+            Store::Ranked(c) => c.charge_prefetch(k, bytes),
+        }
+    }
+
+    fn used_bytes(&self) -> f64 {
+        match self {
+            Store::Lru(c) => c.used_bytes(),
+            Store::Ranked(c) => c.used_bytes(),
+        }
+    }
+
+    fn keys(&self) -> Vec<ItemId> {
+        match self {
+            Store::Lru(c) => c.keys(),
+            Store::Ranked(c) => c.keys(),
+        }
+    }
+
+    /// Updates a cached entry's eviction value (no-op on the recency
+    /// store, and for absent keys).
+    fn set_value(&mut self, k: ItemId, v: f64) {
+        if let Store::Ranked(c) = self {
+            c.inner_mut().set_value(k, v);
+        }
+    }
+}
+
 struct ProxyState {
     rng: Rng,
     jitter_rng: Rng,
     web: SynthWeb,
-    cache: TaggedCache<ItemId, LruCache<ItemId>>,
+    cache: Store,
     controller: AdaptiveController,
     predictor: Box<dyn Predictor + Send>,
-    inflight: HashSet<ItemId>,
-    /// Per in-flight item: `(wait start, measured, waiter trace id)` — the
-    /// trace id is 0 when the waiting request is not sampled.
-    waiters: HashMap<ItemId, Vec<(f64, bool, u64)>>,
+    /// Outstanding-fetch table: one entry per in-flight item (demand
+    /// fetches and reserved prefetches), carrying the FIFO waiter queue
+    /// of demand misses coalesced onto the fetch.
+    mshr: Mshr<ItemId>,
+    /// Per-key aggregate-delay scores — `Some` exactly under
+    /// [`RankingMode::AggregateDelay`], charged at every settled fetch.
+    agg: Option<AggregateDelay<ItemId>>,
+    /// Measured requests settled as delayed hits (waiters on an
+    /// outstanding fetch inside the measurement window).
+    delayed_hits: u64,
+    /// Residual waits of those measured delayed hits.
+    residual: Welford,
     delayed: BinaryHeap<PendingPrefetch>,
     /// Bytes spent on the prefetch transfer behind each *untagged* cache
     /// entry, credited to goodput once, on the entry's first use. Keyed by
@@ -305,6 +389,36 @@ fn trace_point(
     }
 }
 
+/// Settles a completed MSHR entry's waiters at `t`, in FIFO order: one
+/// `Wait` span per waiter; measured waiters record their residual wait as
+/// an access time and count as **delayed hits**. Returns the sum of all
+/// waiters' residual waits — the aggregate-delay charge the blocking key
+/// accrues beyond the fetch's own latency. A free function (like
+/// [`obs_lat`]) so call sites holding a `&mut` proxy can settle.
+fn settle_waiters(
+    trace: &mut Option<Box<TraceBuf>>,
+    obs: &mut Option<Box<EngineObs>>,
+    p: &mut ProxyState,
+    waiters: &[Waiter],
+    t: f64,
+    proxy: u64,
+    item: u64,
+) -> f64 {
+    let mut residual_sum = 0.0;
+    for w in waiters {
+        let wf = if w.measured { TF_MEASURED } else { 0 };
+        trace_point(trace, w.trace, t, SpanKind::Wait, proxy, w.t, item, wf);
+        residual_sum += t - w.t;
+        if w.measured {
+            p.delayed_hits += 1;
+            p.residual.push(t - w.t);
+            p.access_times.push(t - w.t);
+            obs_lat(obs, t - w.t);
+        }
+    }
+    residual_sum
+}
+
 /// Bookkeeping shared by every cache admission: drop evicted entries'
 /// pending prefetch-cost records (they can never be credited once the
 /// entry is gone) and append the ops the digest delta protocol ships at
@@ -379,16 +493,32 @@ impl<'a> Engine<'a> {
                     rng,
                     jitter_rng,
                     web,
-                    cache: TaggedCache::new(match w.cache_bytes {
-                        Some(bytes) => LruCache::with_byte_capacity(w.cache_capacity, bytes),
-                        None => LruCache::new(w.cache_capacity),
-                    }),
+                    cache: match w.delayed.ranking {
+                        RankingMode::Recency => Store::Lru(TaggedCache::new(match w.cache_bytes {
+                            Some(bytes) => LruCache::with_byte_capacity(w.cache_capacity, bytes),
+                            None => LruCache::new(w.cache_capacity),
+                        })),
+                        RankingMode::AggregateDelay => {
+                            Store::Ranked(TaggedCache::new(match w.cache_bytes {
+                                Some(bytes) => {
+                                    ValueAwareCache::with_byte_capacity(w.cache_capacity, bytes)
+                                }
+                                None => ValueAwareCache::new(w.cache_capacity),
+                            }))
+                        }
+                    },
                     controller: AdaptiveController::new(ControllerConfig::model_a(
                         topology.proxy_bottleneck(i),
                     )),
                     predictor,
-                    inflight: HashSet::new(),
-                    waiters: HashMap::new(),
+                    mshr: Mshr::new(MshrConfig {
+                        entries: w.delayed.mshr_entries,
+                        coalesce: w.delayed.coalesce,
+                    }),
+                    agg: matches!(w.delayed.ranking, RankingMode::AggregateDelay)
+                        .then(AggregateDelay::new),
+                    delayed_hits: 0,
+                    residual: Welford::new(),
                     delayed: BinaryHeap::new(),
                     prefetch_cost: HashMap::new(),
                     pending,
@@ -468,7 +598,7 @@ impl<'a> Engine<'a> {
         let proxies = &self.proxies;
         o.tick(t, &self.links, || {
             let cache_bytes = proxies.iter().map(|p| p.cache.used_bytes()).sum();
-            let outstanding = proxies.iter().map(|p| p.inflight.len()).sum::<usize>() as f64;
+            let outstanding = proxies.iter().map(|p| p.mshr.len()).sum::<usize>() as f64;
             (cache_bytes, outstanding)
         });
         self.obs = Some(o);
@@ -481,7 +611,7 @@ impl<'a> Engine<'a> {
         let proxies = &self.proxies;
         o.tick(t_end, &self.links, || {
             let cache_bytes = proxies.iter().map(|p| p.cache.used_bytes()).sum();
-            let outstanding = proxies.iter().map(|p| p.inflight.len()).sum::<usize>() as f64;
+            let outstanding = proxies.iter().map(|p| p.mshr.len()).sum::<usize>() as f64;
             (cache_bytes, outstanding)
         });
         Some(o.finish())
@@ -615,7 +745,7 @@ impl<'a> Engine<'a> {
     fn check_now(&mut self, i: usize, t: f64, mut job: Job) {
         self.t_end = t;
         debug_assert!(matches!(job.dest, Dest::Peer(q) if self.scope.proxies[i] == q as usize));
-        let holds = self.proxies[i].cache.inner().contains(&job.item);
+        let holds = self.proxies[i].cache.contains(&job.item);
         trace_job(
             &mut self.trace,
             &mut job,
@@ -675,7 +805,10 @@ impl<'a> Engine<'a> {
             JobKind::Demand { measured } => {
                 let (admitted, evicted) = p.cache.charge_after_fetch(job.item, job.size);
                 note_cache_change(&mut self.deltas, i, p, job.item, admitted, &evicted);
-                p.inflight.remove(&job.item);
+                // Any landing of the key's data ends the wait — an entry
+                // already settled by a concurrent (bypassed) fetch, or a
+                // bypassed fetch itself, yields `None` here.
+                let entry = p.mshr.complete(&job.item);
                 if measured {
                     let sojourn = t - job.issued;
                     p.access_times.push(sojourn);
@@ -683,31 +816,30 @@ impl<'a> Engine<'a> {
                     p.total_job_time += sojourn;
                     obs_lat(&mut self.obs, sojourn);
                 }
-                if let Some(ws) = p.waiters.remove(&job.item) {
-                    for (tw, mw, wtid) in ws {
-                        let wf = if mw { TF_MEASURED } else { 0 };
-                        trace_point(
-                            &mut self.trace,
-                            wtid,
-                            t,
-                            SpanKind::Wait,
-                            job.proxy as u64,
-                            tw,
-                            job.item.0,
-                            wf,
-                        );
-                        if mw {
-                            p.access_times.push(t - tw);
-                            obs_lat(&mut self.obs, t - tw);
-                        }
-                    }
+                let waiters = entry.map(|e| e.waiters).unwrap_or_default();
+                let residual_sum = settle_waiters(
+                    &mut self.trace,
+                    &mut self.obs,
+                    p,
+                    &waiters,
+                    t,
+                    job.proxy as u64,
+                    job.item.0,
+                );
+                if let Some(agg) = p.agg.as_mut() {
+                    // The blocking fetch is charged its own latency plus
+                    // every waiter's residual — the key's aggregate delay.
+                    let score = agg.charge(job.item, (t - job.issued) + residual_sum);
+                    p.cache.set_value(job.item, score);
                 }
             }
             JobKind::Prefetch { measured } => {
                 if measured {
                     p.total_job_time += t - job.issued;
                 }
-                if let Some(ws) = p.waiters.remove(&job.item) {
+                let entry = p.mshr.complete(&job.item);
+                let waiters = entry.map(|e| e.waiters).unwrap_or_default();
+                if !waiters.is_empty() {
                     // The item was demanded while the prefetch was in
                     // flight: it lands as a demand-fetched (tagged)
                     // entry and the waiters' clocks stop now. The
@@ -716,22 +848,20 @@ impl<'a> Engine<'a> {
                     let (admitted, evicted) = p.cache.charge_after_fetch(job.item, job.size);
                     note_cache_change(&mut self.deltas, i, p, job.item, admitted, &evicted);
                     p.used_prefetch_bytes += job.spent;
-                    for (tw, mw, wtid) in ws {
-                        let wf = if mw { TF_MEASURED } else { 0 };
-                        trace_point(
-                            &mut self.trace,
-                            wtid,
-                            t,
-                            SpanKind::Wait,
-                            job.proxy as u64,
-                            tw,
-                            job.item.0,
-                            wf,
-                        );
-                        if mw {
-                            p.access_times.push(t - tw);
-                            obs_lat(&mut self.obs, t - tw);
-                        }
+                    let residual_sum = settle_waiters(
+                        &mut self.trace,
+                        &mut self.obs,
+                        p,
+                        &waiters,
+                        t,
+                        job.proxy as u64,
+                        job.item.0,
+                    );
+                    if let Some(agg) = p.agg.as_mut() {
+                        // A prefetch the demand stream caught up with:
+                        // only the residuals were felt as delay.
+                        let score = agg.charge(job.item, residual_sum);
+                        p.cache.set_value(job.item, score);
                     }
                 } else {
                     let (admitted, evicted) = p.cache.charge_prefetch(job.item, job.size);
@@ -739,9 +869,11 @@ impl<'a> Engine<'a> {
                     if admitted {
                         p.controller.on_prefetch_insert();
                         p.prefetch_cost.insert(job.item, job.spent);
+                        if let Some(agg) = p.agg.as_ref() {
+                            p.cache.set_value(job.item, agg.score(&job.item));
+                        }
                     }
                 }
-                p.inflight.remove(&job.item);
             }
         }
     }
@@ -754,7 +886,7 @@ impl<'a> Engine<'a> {
         let pfx = self.proxies[i].delayed.pop().expect("pending prefetch");
         self.t_end = pfx.due;
         self.dirty.push((CLASS_PREFETCH, i));
-        if !self.proxies[i].cache.inner().contains(&pfx.item) {
+        if !self.proxies[i].cache.contains(&pfx.item) {
             let dest = resolve(router, me, pfx.item);
             let shard = (pfx.item.0 % self.n_shards) as u32;
             let id = {
@@ -799,42 +931,36 @@ impl<'a> Engine<'a> {
             );
             self.launch(pfx.due, job);
         } else {
-            // Unreachable by construction: the in-flight marker set at
-            // decision time reserves the item until this transfer (or its
-            // cancellation here) resolves — demand misses on a reserved
-            // item join `waiters` instead of fetching, and duplicate
-            // prefetch decisions are filtered on `inflight` — so nothing
-            // can have cached the item since the decision checked it was
-            // absent. Pinned by `pending_prefetch_never_finds_item_cached`.
+            // Unreachable under the default unbounded coalescing table:
+            // the MSHR entry allocated at decision time reserves the item
+            // until this transfer (or its cancellation here) resolves —
+            // demand misses on a reserved item coalesce instead of
+            // fetching, and duplicate prefetch decisions are filtered on
+            // the table — so nothing can have cached the item since the
+            // decision checked it was absent. Pinned by
+            // `pending_prefetch_never_finds_item_cached`. With coalescing
+            // off, or a bounded table, an *untracked* concurrent demand
+            // fetch can legitimately land first and cache the item.
             debug_assert!(
-                false,
+                self.w.delayed.mshr_entries.is_some() || !self.w.delayed.coalesce,
                 "pending prefetch for item {:?} found it already cached",
                 pfx.item
             );
-            // If a release build ever does get here, resolve any waiters
-            // at the cancellation instant instead of silently dropping
-            // their measured access times (the waiter-leak bug).
+            // Cancel the reservation, resolving any waiters at the
+            // cancellation instant instead of silently dropping their
+            // measured access times (the waiter-leak bug).
             let p = &mut self.proxies[i];
-            if let Some(ws) = p.waiters.remove(&pfx.item) {
-                for (tw, mw, wtid) in ws {
-                    let wf = if mw { TF_MEASURED } else { 0 };
-                    trace_point(
-                        &mut self.trace,
-                        wtid,
-                        pfx.due,
-                        SpanKind::Wait,
-                        me as u64,
-                        tw,
-                        pfx.item.0,
-                        wf,
-                    );
-                    if mw {
-                        p.access_times.push(pfx.due - tw);
-                        obs_lat(&mut self.obs, pfx.due - tw);
-                    }
-                }
+            if let Some(entry) = p.mshr.complete(&pfx.item) {
+                settle_waiters(
+                    &mut self.trace,
+                    &mut self.obs,
+                    p,
+                    &entry.waiters,
+                    pfx.due,
+                    me as u64,
+                    pfx.item.0,
+                );
             }
-            p.inflight.remove(&pfx.item);
         }
     }
 
@@ -864,8 +990,13 @@ impl<'a> Engine<'a> {
         };
         let mf = if in_window { TF_MEASURED } else { 0 };
 
-        match p.cache.probe(req.item) {
-            AccessKind::HitTagged => {
+        // One probe consults the cache *and* the outstanding-fetch table:
+        // a miss on an in-flight item joins the fetch's FIFO waiter queue
+        // (a delayed hit in the making) instead of authorising a second
+        // transfer.
+        let waiter = Waiter { t, measured: in_window, trace: rid };
+        match p.cache.probe_via(&mut p.mshr, req.item, t, req.size, waiter) {
+            MshrAccess::Hit(AccessKind::HitTagged) => {
                 p.controller.on_cache_hit(t, EntryStatus::Tagged, req.size);
                 trace_point(&mut self.trace, rid, t, SpanKind::Hit, me as u64, 0.0, req.item.0, mf);
                 if in_window {
@@ -875,7 +1006,7 @@ impl<'a> Engine<'a> {
                     p.measured += 1;
                 }
             }
-            AccessKind::HitUntagged => {
+            MshrAccess::Hit(AccessKind::HitUntagged) => {
                 p.controller.on_cache_hit(t, EntryStatus::Untagged, req.size);
                 // First use of a prefetched entry: credit exactly what its
                 // transfer cost, once. The probe retags the entry, so a
@@ -893,20 +1024,22 @@ impl<'a> Engine<'a> {
                     p.measured += 1;
                 }
             }
-            AccessKind::Miss => {
+            MshrAccess::Hit(AccessKind::Miss) => unreachable!("probe_via maps misses"),
+            MshrAccess::Coalesced => {
+                // Joined the in-flight fetch instead of duplicating the
+                // transfer; the waiter settles when that fetch lands.
                 p.controller.on_miss(t, req.size);
                 if in_window {
                     p.measured += 1;
                 }
-                if p.inflight.contains(&req.item) {
-                    // Join the in-flight fetch instead of duplicating the
-                    // transfer.
-                    p.waiters.entry(req.item).or_default().push((t, in_window, rid));
-                } else {
-                    p.inflight.insert(req.item);
-                    p.demand_bytes += req.size;
-                    launch_demand = true;
+            }
+            MshrAccess::Fetch { .. } => {
+                p.controller.on_miss(t, req.size);
+                if in_window {
+                    p.measured += 1;
                 }
+                p.demand_bytes += req.size;
+                launch_demand = true;
             }
         }
         if launch_demand {
@@ -952,13 +1085,34 @@ impl<'a> Engine<'a> {
             if let Some(o) = self.obs.as_deref_mut() {
                 o.predictions(cands.len() as u64);
             }
+            let size_aware =
+                self.w.delayed.size_aware && matches!(self.w.policy, ProxyPolicy::Adaptive);
             for (item, prob) in cands {
-                if prob > threshold
-                    && !p.cache.inner().contains(&item)
-                    && !p.inflight.contains(&item)
-                {
-                    p.inflight.insert(item);
-                    let size = p.web.catalog.size(item);
+                // The catalog size is pure data (no RNG draw), so reading
+                // it before the acceptance check keeps draw order intact.
+                let size = p.web.catalog.size(item);
+                // Byte-charged threshold: a candidate is compared against
+                // ρ̂′ scaled by its own size, so big speculative objects
+                // need proportionally higher confidence. Item-counted
+                // configs are the degenerate case (size = ŝ̄).
+                let mut th = if size_aware {
+                    p.controller.threshold_for_size(size).unwrap_or(1.0)
+                } else {
+                    threshold
+                };
+                // Aggregate-delay bias: keys that have been charged
+                // delayed-hit latency get a proportionally lower bar —
+                // prefetching them saves their whole waiter queue.
+                if let Some(agg) = p.agg.as_ref() {
+                    let scale = p.retrievals.mean();
+                    if scale > 0.0 {
+                        th = th * scale / (scale + agg.score(&item));
+                    }
+                }
+                // `reserve_prefetch` is the in-flight filter: false when
+                // the item already has an outstanding entry (or the table
+                // is full, dropping the candidate deterministically).
+                if prob > th && !p.cache.contains(&item) && p.mshr.reserve_prefetch(item, t, size) {
                     let due = if self.w.prefetch_jitter > 0.0 {
                         t + p.jitter_rng.exp(1.0 / self.w.prefetch_jitter)
                     } else {
@@ -1153,6 +1307,12 @@ fn node_report(p: &ProxyState, proxy: usize, n_requests: u64, coop_on: bool) -> 
         mean_threshold: (p.threshold_n > 0).then(|| p.threshold_sum / p.threshold_n as f64),
         rho_prime_estimate: p.controller.rho_prime_estimate(),
         h_prime_estimate: p.controller.h_prime_estimate(),
+        delayed_hits: Some(p.delayed_hits),
+        coalesced_requests: Some(p.mshr.coalesced()),
+        origin_fetches: Some(p.mshr.origin_fetches()),
+        mean_residual_wait: (p.delayed_hits > 0).then(|| p.residual.mean()),
+        mean_waiter_depth: p.mshr.waiter_depth_mean(),
+        mshr_rejections: Some(p.mshr.rejections()),
     }
 }
 

@@ -42,6 +42,7 @@ pub fn network_load_curve(spec: &CurveSpec<'_>, n_fs: &[f64]) -> Vec<CurvePoint>
                     .map(|&(lambda, h_prime)| StaticProxy { lambda, h_prime, n_f, p: spec.p })
                     .collect(),
                 size_dist: spec.size_dist,
+                catalog_items: None,
             }),
             requests_per_proxy: spec.requests_per_proxy,
             warmup_per_proxy: spec.warmup_per_proxy,

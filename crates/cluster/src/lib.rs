@@ -100,6 +100,7 @@
 //!             StaticProxy { lambda: 10.0, h_prime: 0.3, n_f: 1.0, p: 0.8 },
 //!         ],
 //!         size_dist: &size,
+//!         catalog_items: None,
 //!     }),
 //!     requests_per_proxy: 20_000,
 //!     warmup_per_proxy: 4_000,
@@ -153,6 +154,14 @@ pub struct StaticWorkload<'a> {
     /// sharded driver can sample it from every shard thread — all
     /// `simcore::dist` distributions are plain data).
     pub size_dist: &'a (dyn Sample + Sync),
+    /// When `Some(n)`, every miss draws a concrete item id from a uniform
+    /// catalog of `n` items and the proxy's misses run through an MSHR
+    /// outstanding-fetch table: a miss for an in-flight item joins the
+    /// fetch's FIFO waiter queue (a **delayed hit**) instead of launching
+    /// another transfer, and settles when that fetch lands. `None` (the
+    /// default) keeps the itemless flow, event-for-event identical to
+    /// `netsim::parametric`.
+    pub catalog_items: Option<u64>,
 }
 
 /// Where adaptive-mode prefetch candidates come from.
@@ -207,6 +216,60 @@ pub struct AdaptiveWorkload {
     /// per-proxy. `None` (the default situation) keeps fully independent
     /// per-proxy structures, exactly as before.
     pub shared_structure_seed: Option<u64>,
+    /// Delayed-hits behaviour: MSHR table budget, miss coalescing,
+    /// aggregate-delay ranking, and byte-charged prefetch thresholds.
+    /// The default reproduces the coalescing engine bit-for-bit as it
+    /// behaved before these knobs existed.
+    pub delayed: DelayedHitsConfig,
+}
+
+/// How eviction and prefetch selection rank items in the closed loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RankingMode {
+    /// Classic recency ranking: LRU eviction, probability-vs-threshold
+    /// prefetch selection. The default.
+    #[default]
+    Recency,
+    /// Delayed-hits-aware ranking: each settled fetch charges its full
+    /// latency plus the sum of its waiters' residual waits to the fetched
+    /// key (`prefetch_core::AggregateDelay`); eviction removes the
+    /// minimum-aggregate-delay entry (`cachesim::ValueAwareCache`), and
+    /// keys that have caused delayed hits get a proportionally lower
+    /// prefetch threshold. Under high fetch latency this inverts the
+    /// recency ranking (Atre et al., SIGCOMM 2020) — experiment E20.
+    AggregateDelay,
+}
+
+/// Delayed-hits configuration of the closed-loop engines.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DelayedHitsConfig {
+    /// MSHR entry budget (`None` = unbounded). With a full table, a new
+    /// demand miss fetches independently (untracked) and a prefetch
+    /// candidate is dropped — both deterministic.
+    pub mshr_entries: Option<usize>,
+    /// Whether demand misses for in-flight keys coalesce onto the
+    /// outstanding fetch (`true`, the default) or refetch independently
+    /// (`false` — the baseline the coalescing win is measured against).
+    pub coalesce: bool,
+    /// Eviction/prefetch ranking mode.
+    pub ranking: RankingMode,
+    /// Charge prefetch candidates by bytes instead of count: compare each
+    /// candidate against `prefetch_core`'s byte-charged threshold
+    /// `ρ̂′·s/ŝ̄` rather than the item-counted `ρ̂′`. Item-counted configs
+    /// are the degenerate case (`s = ŝ̄`). Only meaningful under
+    /// [`ProxyPolicy::Adaptive`].
+    pub size_aware: bool,
+}
+
+impl Default for DelayedHitsConfig {
+    fn default() -> Self {
+        DelayedHitsConfig {
+            mshr_entries: None,
+            coalesce: true,
+            ranking: RankingMode::Recency,
+            size_aware: false,
+        }
+    }
 }
 
 /// Closed-loop workload with the cooperative layer attached: peers answer
@@ -257,6 +320,9 @@ impl ClusterConfig<'_> {
                     assert!((0.0..=1.0).contains(&p.p), "proxy {i}: bad p");
                     assert!(p.n_f >= 0.0 && p.n_f.is_finite(), "proxy {i}: bad n̄(F)");
                 }
+                if let Some(n) = w.catalog_items {
+                    assert!(n > 0, "static catalog must hold at least one item");
+                }
             }
             Workload::Adaptive(w) => w.validate(&self.topology),
             Workload::Cooperative(w) => {
@@ -284,5 +350,8 @@ impl AdaptiveWorkload {
         }
         assert!(self.max_candidates > 0, "need at least one candidate");
         assert!(self.prefetch_jitter >= 0.0);
+        if let Some(entries) = self.delayed.mshr_entries {
+            assert!(entries > 0, "MSHR entry budget must be positive");
+        }
     }
 }

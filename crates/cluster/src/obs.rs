@@ -444,6 +444,12 @@ pub fn report_to_json(r: &ClusterReport) -> Json {
                 doc.insert("mean_threshold", opt_num(n.mean_threshold));
                 doc.insert("rho_prime_estimate", opt_num(n.rho_prime_estimate));
                 doc.insert("h_prime_estimate", opt_num(n.h_prime_estimate));
+                doc.insert("delayed_hits", opt_num(n.delayed_hits.map(|v| v as f64)));
+                doc.insert("coalesced_requests", opt_num(n.coalesced_requests.map(|v| v as f64)));
+                doc.insert("origin_fetches", opt_num(n.origin_fetches.map(|v| v as f64)));
+                doc.insert("mean_residual_wait", opt_num(n.mean_residual_wait));
+                doc.insert("mean_waiter_depth", opt_num(n.mean_waiter_depth));
+                doc.insert("mshr_rejections", opt_num(n.mshr_rejections.map(|v| v as f64)));
                 doc
             })
             .collect(),

@@ -62,6 +62,24 @@ pub struct NodeReport {
     pub rho_prime_estimate: Option<f64>,
     /// The controller's final `ĥ′` estimate (adaptive mode only).
     pub h_prime_estimate: Option<f64>,
+    /// Measured requests settled as **delayed hits** — misses that joined
+    /// an outstanding fetch's waiter queue instead of fetching (modes with
+    /// an MSHR table; `None` in the itemless open loop).
+    pub delayed_hits: Option<u64>,
+    /// Demand misses absorbed by MSHR coalescing, warm-up included (the
+    /// transfers the table avoided launching).
+    pub coalesced_requests: Option<u64>,
+    /// Origin fetches the MSHR table authorised (tracked launches plus
+    /// full-table/independent-mode bypasses), warm-up included.
+    pub origin_fetches: Option<u64>,
+    /// Mean residual wait of the measured delayed hits (time from joining
+    /// the waiter queue to the fetch landing).
+    pub mean_residual_wait: Option<f64>,
+    /// Mean waiters per settled MSHR entry, warm-up included.
+    pub mean_waiter_depth: Option<f64>,
+    /// MSHR allocations refused by the entry budget (demand bypasses on a
+    /// full table plus dropped prefetch reservations).
+    pub mshr_rejections: Option<u64>,
 }
 
 /// Activity of the cooperative layer over one run.
@@ -116,6 +134,49 @@ impl ClusterReport {
     /// cooperation) — the metadata overhead the delta protocol shrinks.
     pub fn digest_bytes(&self) -> u64 {
         self.coop.map_or(0, |c| c.router.digest_bytes)
+    }
+
+    /// Measured delayed hits across all proxies (zero when the mode has no
+    /// MSHR table).
+    pub fn delayed_hits(&self) -> u64 {
+        self.nodes.iter().filter_map(|n| n.delayed_hits).sum()
+    }
+
+    /// Coalesced demand misses across all proxies.
+    pub fn coalesced_requests(&self) -> u64 {
+        self.nodes.iter().filter_map(|n| n.coalesced_requests).sum()
+    }
+
+    /// Origin fetches authorised across all proxies — the transfer count
+    /// the coalescing win shrinks at equal offered load.
+    pub fn origin_fetches(&self) -> u64 {
+        self.nodes.iter().filter_map(|n| n.origin_fetches).sum()
+    }
+
+    /// Delayed-hit-weighted mean residual wait across all proxies (`None`
+    /// when no proxy settled a measured delayed hit) — iterated in node
+    /// order, so the reduction is identical under every sharding.
+    pub fn mean_residual_wait(&self) -> Option<f64> {
+        let total: u64 = self.delayed_hits();
+        (total > 0).then(|| {
+            self.nodes
+                .iter()
+                .filter_map(|n| Some(n.mean_residual_wait? * n.delayed_hits? as f64))
+                .sum::<f64>()
+                / total as f64
+        })
+    }
+
+    /// Mean waiter depth across all proxies, weighted by each proxy's
+    /// coalesced-request count (`None` when nothing coalesced).
+    pub fn mean_waiter_depth(&self) -> Option<f64> {
+        let weighted: f64 = self
+            .nodes
+            .iter()
+            .filter_map(|n| Some(n.mean_waiter_depth? * n.coalesced_requests? as f64))
+            .sum();
+        let total: u64 = self.coalesced_requests();
+        (total > 0).then(|| weighted / total as f64)
     }
 }
 
@@ -190,6 +251,12 @@ pub mod parity {
             assert!(close_opt(x.mean_threshold, y.mean_threshold), "{l}: threshold");
             assert!(close_opt(x.rho_prime_estimate, y.rho_prime_estimate), "{l}: rho'");
             assert!(close_opt(x.h_prime_estimate, y.h_prime_estimate), "{l}: h'");
+            assert_eq!(x.delayed_hits, y.delayed_hits, "{l}: delayed hits");
+            assert_eq!(x.coalesced_requests, y.coalesced_requests, "{l}: coalesced");
+            assert_eq!(x.origin_fetches, y.origin_fetches, "{l}: origin fetches");
+            assert!(close_opt(x.mean_residual_wait, y.mean_residual_wait), "{l}: residual");
+            assert!(close_opt(x.mean_waiter_depth, y.mean_waiter_depth), "{l}: waiter depth");
+            assert_eq!(x.mshr_rejections, y.mshr_rejections, "{l}: mshr rejections");
         }
         assert_eq!(a.links.len(), b.links.len(), "{label}: link count");
         for (x, y) in a.links.iter().zip(&b.links) {

@@ -24,6 +24,7 @@ use crate::shard::{
 use crate::sim::{proxy_seed, LinkState, Scope, ScopeIndex};
 use crate::topology::ShardPlan;
 use crate::{StaticWorkload, Topology};
+use cachesim::{FetchDecision, Mshr, Waiter};
 use coop::Router;
 use simcore::obs::ObsConfig;
 use simcore::rng::Rng;
@@ -48,6 +49,10 @@ pub(crate) struct Job {
     hop: usize,
     size: f64,
     issued: f64,
+    /// Catalog item id of a demand fetch in catalog mode
+    /// ([`StaticWorkload::catalog_items`]); `u64::MAX` for the itemless
+    /// flow and for the Poissonised prefetch stream.
+    item: u64,
     kind: JobKind,
     /// Trace id when head-sampled, 0 otherwise (see the closed-loop twin).
     trace: u64,
@@ -73,6 +78,15 @@ struct ProxyState {
     prefetch_jobs: u64,
     demand_bytes: f64,
     prefetch_bytes: f64,
+    /// Outstanding-fetch table in catalog mode (`Some` exactly when the
+    /// workload sets [`StaticWorkload::catalog_items`]): misses for
+    /// in-flight items coalesce onto the fetch's FIFO waiter queue
+    /// instead of launching a second transfer.
+    mshr: Option<Mshr<u64>>,
+    /// Measured requests settled as delayed hits.
+    delayed_hits: u64,
+    /// Residual waits of those measured delayed hits.
+    residual: Welford,
 }
 
 /// One scope of open-loop simulation state plus one handler per event
@@ -99,8 +113,8 @@ pub(crate) struct Engine<'a> {
     trace: Option<Box<TraceBuf>>,
 }
 
-/// Appends one span record for a traced job (the open loop's jobs carry
-/// no item id — `u64::MAX` marks that in the record).
+/// Appends one span record for a traced job (itemless jobs carry
+/// `u64::MAX` in the record; catalog-mode demand fetches their item id).
 #[inline]
 fn trace_job(
     buf: &mut Option<Box<TraceBuf>>,
@@ -122,9 +136,29 @@ fn trace_job(
                 kind,
                 entity,
                 aux,
-                item: u64::MAX,
+                item: job.item,
                 flags,
             });
+        }
+    }
+}
+
+/// Appends a single-record trace (a Bernoulli hit or an in-flight wait).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn trace_point(
+    buf: &mut Option<Box<TraceBuf>>,
+    id: u64,
+    t: f64,
+    kind: SpanKind,
+    entity: u64,
+    aux: f64,
+    item: u64,
+    flags: u8,
+) {
+    if id != 0 {
+        if let Some(b) = buf.as_deref_mut() {
+            b.push(SpanEvent { trace: id, seq: 0, t, kind, entity, aux, item, flags });
         }
     }
 }
@@ -175,6 +209,9 @@ impl<'a> Engine<'a> {
                     prefetch_jobs: 0,
                     demand_bytes: 0.0,
                     prefetch_bytes: 0.0,
+                    mshr: w.catalog_items.map(|_| Mshr::unbounded()),
+                    delayed_hits: 0,
+                    residual: Welford::new(),
                 }
             })
             .collect();
@@ -220,7 +257,12 @@ impl<'a> Engine<'a> {
     /// trackable prefetch set, so the aggregate probes report zero.
     fn obs_tick(&mut self, t: f64) {
         let Some(mut o) = self.obs.take() else { return };
-        o.tick(t, &self.links, || (0.0, 0.0));
+        let proxies = &self.proxies;
+        o.tick(t, &self.links, || {
+            let outstanding =
+                proxies.iter().map(|p| p.mshr.as_ref().map_or(0, Mshr::len)).sum::<usize>();
+            (0.0, outstanding as f64)
+        });
         self.obs = Some(o);
     }
 
@@ -228,7 +270,12 @@ impl<'a> Engine<'a> {
     /// scope's registry for merging (`None` when unobserved).
     pub(crate) fn obs_finish(&mut self, t_end: f64) -> Option<Registry> {
         let mut o = self.obs.take()?;
-        o.tick(t_end, &self.links, || (0.0, 0.0));
+        let proxies = &self.proxies;
+        o.tick(t_end, &self.links, || {
+            let outstanding =
+                proxies.iter().map(|p| p.mshr.as_ref().map_or(0, Mshr::len)).sum::<usize>();
+            (0.0, outstanding as f64)
+        });
         Some(o.finish())
     }
 
@@ -347,6 +394,34 @@ impl<'a> Engine<'a> {
                         o.latency(sojourn);
                     }
                 }
+                // Catalog mode: the landing settles the item's
+                // outstanding entry — every coalesced waiter's clock
+                // stops now, in FIFO order.
+                if job.item != u64::MAX {
+                    if let Some(entry) = p.mshr.as_mut().and_then(|m| m.complete(&job.item)) {
+                        for w in &entry.waiters {
+                            let wf = if w.measured { TF_MEASURED } else { 0 };
+                            trace_point(
+                                &mut self.trace,
+                                w.trace,
+                                t,
+                                SpanKind::Wait,
+                                jp,
+                                w.t,
+                                job.item,
+                                wf,
+                            );
+                            if w.measured {
+                                p.delayed_hits += 1;
+                                p.residual.push(t - w.t);
+                                p.access_times.push(t - w.t);
+                                if let Some(o) = self.obs.as_deref_mut() {
+                                    o.latency(t - w.t);
+                                }
+                            }
+                        }
+                    }
+                }
             }
             JobKind::Prefetch { measured } => {
                 if measured {
@@ -402,25 +477,49 @@ impl<'a> Engine<'a> {
             p.next_request_t = t + p.rng.exp(p.lambda);
         } else {
             let size = self.w.size_dist.sample(&mut p.rng);
-            let shard = if n_shards > 1 { p.rng.below(n_shards) } else { 0 };
-            p.demand_bytes += size;
             let measured = p.in_window;
-            p.next_request_t = t + p.rng.exp(p.lambda);
-            p.job_seq += 1;
-            let id = ((me as u64) << 40) | p.job_seq;
-            let mut job = Job {
-                id,
-                proxy: me as u32,
-                shard: shard as u32,
-                hop: 0,
-                size,
-                issued: t,
-                kind: JobKind::Demand { measured },
-                trace: rid,
-                tseq: 0,
+            // Catalog mode draws a concrete item id (shard = item mod
+            // n_shards) and consults the MSHR table — a miss for an
+            // in-flight item coalesces onto its waiter queue instead of
+            // launching a second transfer. The itemless flow keeps the
+            // exact draw order of `netsim::parametric` (a shard id is
+            // drawn only on sharded topologies).
+            let (item, shard, launch) = match self.w.catalog_items {
+                Some(n) => {
+                    let item = p.rng.below(n);
+                    let waiter = Waiter { t, measured, trace: rid };
+                    let decision = p
+                        .mshr
+                        .as_mut()
+                        .expect("catalog mode carries a table")
+                        .on_demand_miss(item, t, size, waiter);
+                    // Unbounded coalescing: never a bypass.
+                    (item, item % n_shards, decision == FetchDecision::Launch)
+                }
+                None => (u64::MAX, if n_shards > 1 { p.rng.below(n_shards) } else { 0 }, true),
             };
-            trace_job(&mut self.trace, &mut job, t, SpanKind::Issue, me as u64, t, mf);
-            self.launch(t, job);
+            p.next_request_t = t + p.rng.exp(p.lambda);
+            if launch {
+                p.demand_bytes += size;
+                p.job_seq += 1;
+                let id = ((me as u64) << 40) | p.job_seq;
+                let mut job = Job {
+                    id,
+                    proxy: me as u32,
+                    shard: shard as u32,
+                    hop: 0,
+                    size,
+                    issued: t,
+                    item,
+                    kind: JobKind::Demand { measured },
+                    trace: rid,
+                    tseq: 0,
+                };
+                trace_job(&mut self.trace, &mut job, t, SpanKind::Issue, me as u64, t, mf);
+                self.launch(t, job);
+            }
+            // A coalesced miss records no job: its Wait span and access
+            // time land when the blocking fetch settles.
         }
         self.dirty.push((CLASS_REQUEST, i));
         self.dirty.push((CLASS_PREFETCH, i));
@@ -458,6 +557,9 @@ impl<'a> Engine<'a> {
             hop: 0,
             size,
             issued: t,
+            // The Poissonised prefetch stream is abstract volume, not a
+            // concrete item — it never touches the MSHR table.
+            item: u64::MAX,
             kind: JobKind::Prefetch { measured },
             trace: tid,
             tseq: 0,
@@ -607,6 +709,12 @@ pub(crate) fn merge_reports(topology: &Topology, engines: Vec<Engine<'_>>) -> Cl
                 mean_threshold: None,
                 rho_prime_estimate: None,
                 h_prime_estimate: None,
+                delayed_hits: p.mshr.as_ref().map(|_| p.delayed_hits),
+                coalesced_requests: p.mshr.as_ref().map(Mshr::coalesced),
+                origin_fetches: p.mshr.as_ref().map(Mshr::origin_fetches),
+                mean_residual_wait: (p.delayed_hits > 0).then(|| p.residual.mean()),
+                mean_waiter_depth: p.mshr.as_ref().and_then(Mshr::waiter_depth_mean),
+                mshr_rejections: p.mshr.as_ref().map(Mshr::rejections),
             }
         })
         .collect();

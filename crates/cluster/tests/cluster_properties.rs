@@ -25,6 +25,7 @@ fn single_node_config<'a>(
         workload: Workload::Static(StaticWorkload {
             proxies: vec![StaticProxy { lambda: params.lambda, h_prime: params.h_prime, n_f, p }],
             size_dist,
+            catalog_items: None,
         }),
         requests_per_proxy: requests,
         warmup_per_proxy: warmup,
@@ -104,6 +105,7 @@ fn same_seed_identical_report() {
             policy: ProxyPolicy::Adaptive,
             predictor: CandidateSource::Oracle,
             shared_structure_seed: None,
+            delayed: Default::default(),
         }),
         requests_per_proxy: 12_000,
         warmup_per_proxy: 3_000,
@@ -124,14 +126,22 @@ fn shared_backbone_impedes() {
     ];
     let private = ClusterConfig {
         topology: Topology::star(2, 50.0),
-        workload: Workload::Static(StaticWorkload { proxies: proxies.clone(), size_dist: &size }),
+        workload: Workload::Static(StaticWorkload {
+            proxies: proxies.clone(),
+            size_dist: &size,
+            catalog_items: None,
+        }),
         requests_per_proxy: 40_000,
         warmup_per_proxy: 8_000,
     };
     // Same access capacity, but the second hop is shared by both proxies.
     let shared = ClusterConfig {
         topology: Topology::two_tier(2, 50.0, 50.0),
-        workload: Workload::Static(StaticWorkload { proxies, size_dist: &size }),
+        workload: Workload::Static(StaticWorkload {
+            proxies,
+            size_dist: &size,
+            catalog_items: None,
+        }),
         requests_per_proxy: 40_000,
         warmup_per_proxy: 8_000,
     };
@@ -168,6 +178,7 @@ fn adaptive_thresholds_diverge_with_local_load() {
             policy: ProxyPolicy::Adaptive,
             predictor: CandidateSource::Oracle,
             shared_structure_seed: None,
+            delayed: Default::default(),
         }),
         requests_per_proxy: 30_000,
         warmup_per_proxy: 6_000,
@@ -200,6 +211,7 @@ fn adaptive_byte_accounting() {
             policy,
             predictor: CandidateSource::Oracle,
             shared_structure_seed: None,
+            delayed: Default::default(),
         }),
         requests_per_proxy: 25_000,
         warmup_per_proxy: 5_000,
@@ -254,6 +266,7 @@ fn coop_workload(n_proxies: usize, lambda: f64, coop: CoopConfig) -> ClusterConf
                 policy: ProxyPolicy::Adaptive,
                 predictor: CandidateSource::Oracle,
                 shared_structure_seed: Some(4242),
+                delayed: Default::default(),
             },
             coop,
         }),

@@ -46,6 +46,7 @@ fn e13_adaptive_config() -> ClusterConfig<'static> {
             policy: ProxyPolicy::Adaptive,
             predictor: CandidateSource::Oracle,
             shared_structure_seed: None,
+            delayed: Default::default(),
         }),
         requests_per_proxy: 8_000,
         warmup_per_proxy: 1_600,
@@ -73,6 +74,7 @@ fn e14_coop_config(strategy: RefreshStrategy, epoch: f64) -> ClusterConfig<'stat
                 policy: ProxyPolicy::Adaptive,
                 predictor: CandidateSource::Oracle,
                 shared_structure_seed: Some(99),
+                delayed: Default::default(),
             },
             coop: CoopConfig {
                 placement: PlacementPolicy::LoadAware { divergence: 0.05, step: 4, min_vnodes: 8 },
@@ -116,6 +118,7 @@ fn e16_byte_config(strategy: RefreshStrategy) -> ClusterConfig<'static> {
                 policy: ProxyPolicy::Adaptive,
                 predictor: CandidateSource::Oracle,
                 shared_structure_seed: Some(99),
+                delayed: Default::default(),
             },
             coop: CoopConfig {
                 placement: PlacementPolicy::LoadAware { divergence: 0.05, step: 4, min_vnodes: 8 },

@@ -39,6 +39,7 @@ fn e13_adaptive_config(policy: ProxyPolicy) -> ClusterConfig<'static> {
             policy,
             predictor: CandidateSource::Oracle,
             shared_structure_seed: None,
+            delayed: Default::default(),
         }),
         requests_per_proxy: 12_000,
         warmup_per_proxy: 2_400,
@@ -66,6 +67,7 @@ fn e14_coop_config(epoch: f64) -> ClusterConfig<'static> {
                 policy: ProxyPolicy::Adaptive,
                 predictor: CandidateSource::Oracle,
                 shared_structure_seed: Some(99),
+                delayed: Default::default(),
             },
             coop: CoopConfig {
                 placement: PlacementPolicy::LoadAware { divergence: 0.05, step: 4, min_vnodes: 8 },
@@ -111,6 +113,7 @@ fn static_engine_parity_old_vs_new() {
         workload: Workload::Static(StaticWorkload {
             proxies: vec![StaticProxy { lambda: 10.0, h_prime: 0.3, n_f: 0.5, p: 0.8 }; 3],
             size_dist: &size,
+            catalog_items: None,
         }),
         requests_per_proxy: 20_000,
         warmup_per_proxy: 4_000,
@@ -165,6 +168,7 @@ fn pending_prefetch_never_finds_item_cached() {
             policy: ProxyPolicy::FixedThreshold(0.05),
             predictor: CandidateSource::Oracle,
             shared_structure_seed: None,
+            delayed: Default::default(),
         }),
         requests_per_proxy: 15_000,
         warmup_per_proxy: 3_000,

@@ -45,6 +45,7 @@ fn coop_config(latency: f64) -> ClusterConfig<'static> {
                 policy: ProxyPolicy::Adaptive,
                 predictor: CandidateSource::Oracle,
                 shared_structure_seed: Some(99),
+                delayed: Default::default(),
             },
             coop: CoopConfig {
                 placement: PlacementPolicy::LoadAware { divergence: 0.05, step: 4, min_vnodes: 8 },
@@ -77,6 +78,7 @@ fn adaptive_config() -> ClusterConfig<'static> {
             policy: ProxyPolicy::Adaptive,
             predictor: CandidateSource::Oracle,
             shared_structure_seed: None,
+            delayed: Default::default(),
         }),
         requests_per_proxy: 1_500,
         warmup_per_proxy: 300,
@@ -89,6 +91,7 @@ fn static_config(size: &(dyn simcore::dist::Sample + Sync)) -> ClusterConfig<'_>
         workload: Workload::Static(StaticWorkload {
             proxies: vec![StaticProxy { lambda: 10.0, h_prime: 0.3, n_f: 0.5, p: 0.8 }; 4],
             size_dist: size,
+            catalog_items: None,
         }),
         requests_per_proxy: 4_000,
         warmup_per_proxy: 800,

@@ -52,6 +52,7 @@ fn e13_adaptive_config() -> ClusterConfig<'static> {
             policy: ProxyPolicy::Adaptive,
             predictor: CandidateSource::Oracle,
             shared_structure_seed: None,
+            delayed: Default::default(),
         }),
         requests_per_proxy: 3_000,
         warmup_per_proxy: 600,
@@ -84,6 +85,7 @@ fn e14_coop_config(latency: f64, refresh: RefreshStrategy) -> ClusterConfig<'sta
                 policy: ProxyPolicy::Adaptive,
                 predictor: CandidateSource::Oracle,
                 shared_structure_seed: Some(99),
+                delayed: Default::default(),
             },
             coop: CoopConfig {
                 placement: PlacementPolicy::LoadAware { divergence: 0.05, step: 4, min_vnodes: 8 },
@@ -134,6 +136,7 @@ fn static_sharding_is_invisible() {
         workload: Workload::Static(StaticWorkload {
             proxies: vec![StaticProxy { lambda: 10.0, h_prime: 0.3, n_f: 0.5, p: 0.8 }; 5],
             size_dist: &size,
+            catalog_items: None,
         }),
         requests_per_proxy: 8_000,
         warmup_per_proxy: 1_600,

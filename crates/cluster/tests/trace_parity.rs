@@ -13,8 +13,8 @@
 //! the same events.
 
 use cluster::{
-    AdaptiveWorkload, CandidateSource, ClusterConfig, ClusterSim, CooperativeWorkload, ProxyPolicy,
-    StaticProxy, StaticWorkload, Topology, Workload,
+    AdaptiveWorkload, CandidateSource, ClusterConfig, ClusterSim, CooperativeWorkload,
+    DelayedHitsConfig, ProxyPolicy, StaticProxy, StaticWorkload, Topology, Workload,
 };
 use coop::{CoopConfig, DigestConfig, PlacementPolicy, RefreshStrategy};
 use simcore::dist::Exponential;
@@ -48,6 +48,7 @@ fn coop_config(n: usize, latency: f64, requests: usize) -> ClusterConfig<'static
                 policy: ProxyPolicy::Adaptive,
                 predictor: CandidateSource::Oracle,
                 shared_structure_seed: Some(99),
+                delayed: Default::default(),
             },
             coop: CoopConfig {
                 placement: PlacementPolicy::LoadAware { divergence: 0.05, step: 4, min_vnodes: 8 },
@@ -80,6 +81,7 @@ fn adaptive_config(cache_bytes: Option<f64>) -> ClusterConfig<'static> {
             policy: ProxyPolicy::Adaptive,
             predictor: CandidateSource::Oracle,
             shared_structure_seed: None,
+            delayed: Default::default(),
         }),
         requests_per_proxy: 1_200,
         warmup_per_proxy: 240,
@@ -92,6 +94,7 @@ fn static_config(size: &(dyn simcore::dist::Sample + Sync)) -> ClusterConfig<'_>
         workload: Workload::Static(StaticWorkload {
             proxies: vec![StaticProxy { lambda: 10.0, h_prime: 0.3, n_f: 0.5, p: 0.8 }; 4],
             size_dist: size,
+            catalog_items: None,
         }),
         requests_per_proxy: 3_000,
         warmup_per_proxy: 600,
@@ -278,6 +281,106 @@ fn trace_stats_match_the_report_byte_budget() {
 fn trace_stats_match_the_report_static() {
     let size = Exponential::with_mean(1.0);
     assert_trace_stats_match_report(&static_config(&size), 61, "static");
+}
+
+/// A latency-bearing adaptive deployment whose fetch windows span later
+/// requests — the regime where the MSHR table settles delayed hits.
+fn delayed_adaptive_config() -> ClusterConfig<'static> {
+    ClusterConfig {
+        topology: Topology::mesh_with_latency(4, 60.0, 25.0, 45.0, 0.08),
+        workload: Workload::Adaptive(AdaptiveWorkload {
+            proxies: (0..4)
+                .map(|i| SynthWebConfig {
+                    lambda: 24.0 + 4.0 * i as f64,
+                    n_items: 160,
+                    link_skew: 0.3,
+                    ..SynthWebConfig::default()
+                })
+                .collect(),
+            cache_capacity: 24,
+            cache_bytes: None,
+            max_candidates: 3,
+            prefetch_jitter: 0.01,
+            policy: ProxyPolicy::Adaptive,
+            predictor: CandidateSource::Oracle,
+            shared_structure_seed: None,
+            delayed: DelayedHitsConfig::default(),
+        }),
+        requests_per_proxy: 1_500,
+        warmup_per_proxy: 300,
+    }
+}
+
+fn delayed_static_config(size: &(dyn simcore::dist::Sample + Sync)) -> ClusterConfig<'_> {
+    ClusterConfig {
+        topology: Topology::sharded_origin(4, 2, 25.0, 12.0),
+        workload: Workload::Static(StaticWorkload {
+            proxies: vec![StaticProxy { lambda: 14.0, h_prime: 0.3, n_f: 0.5, p: 0.8 }; 4],
+            size_dist: size,
+            catalog_items: Some(40),
+        }),
+        requests_per_proxy: 3_000,
+        warmup_per_proxy: 600,
+    }
+}
+
+/// Satellite 2, delayed-hits half: the trace layer and the MSHR report
+/// aggregates are two independent measurement paths over the same waiter
+/// settlements. With `trace_every = 1`, per proxy and cluster-wide:
+///
+/// * measured `DelayedHit` traces equal `delayed_hits` **exactly**;
+/// * the mean of their end-to-end latencies (each a single `Wait`
+///   segment: join → fetch landing) equals `mean_residual_wait` to 1e-9.
+fn assert_delayed_aggregates_match(config: &ClusterConfig<'_>, seed: u64, label: &str) {
+    let (report, obs) = ClusterSim::new(config).run_observed(seed, 2, &traced(1));
+    let store = obs.traces.expect("tracing ran");
+    let n = report.nodes.len();
+    let mut delayed = vec![0u64; n];
+    let mut residual = vec![0.0f64; n];
+    for tr in &store.traces {
+        if !tr.measured || tr.class != TraceClass::DelayedHit {
+            continue;
+        }
+        assert_eq!(tr.segments.len(), 1, "{label}: waiter trace has one segment");
+        assert_eq!(tr.segments[0].kind, SegKind::Wait);
+        delayed[tr.proxy as usize] += 1;
+        residual[tr.proxy as usize] += tr.latency();
+    }
+    for node in &report.nodes {
+        let g = node.proxy;
+        let l = format!("{label}: proxy {g}");
+        let report_delayed = node.delayed_hits.expect("MSHR mode reports delayed_hits");
+        assert_eq!(delayed[g], report_delayed, "{l}: DelayedHit traces vs delayed_hits");
+        match node.mean_residual_wait {
+            Some(mean) => {
+                assert!(delayed[g] > 0, "{l}: residual mean without delayed hits");
+                let trace_mean = residual[g] / delayed[g] as f64;
+                assert!(
+                    close(trace_mean, mean),
+                    "{l}: Wait-segment mean {trace_mean} vs mean_residual_wait {mean}"
+                );
+            }
+            None => assert_eq!(delayed[g], 0, "{l}: delayed hits without a residual mean"),
+        }
+    }
+    // Cluster-level rollups agree with the same sums.
+    let total: u64 = delayed.iter().sum();
+    assert!(total > 0, "{label}: config no longer settles delayed hits");
+    assert_eq!(report.delayed_hits(), total, "{label}: cluster delayed_hits rollup");
+    let mean = residual.iter().sum::<f64>() / total as f64;
+    let rollup = report.mean_residual_wait().expect("delayed hits imply a residual mean");
+    assert!(close(mean, rollup), "{label}: cluster residual mean {mean} vs rollup {rollup}");
+}
+
+#[test]
+fn delayed_hit_aggregates_match_the_traces_adaptive() {
+    assert_delayed_aggregates_match(&delayed_adaptive_config(), 73, "delayed adaptive");
+}
+
+#[test]
+fn delayed_hit_aggregates_match_the_traces_static() {
+    let size = Exponential::with_mean(1.0);
+    assert_delayed_aggregates_match(&delayed_static_config(&size), 79, "delayed static");
 }
 
 /// The trace-derived registry aggregates and both JSON artifacts agree

@@ -112,6 +112,7 @@ fn tiny_coop_config(latency_on: bool) -> ClusterConfig<'static> {
                 policy: ProxyPolicy::Adaptive,
                 predictor: CandidateSource::Oracle,
                 shared_structure_seed: Some(7),
+                delayed: Default::default(),
             },
             coop: CoopConfig {
                 placement: PlacementPolicy::LoadAware { divergence: 0.05, step: 4, min_vnodes: 8 },

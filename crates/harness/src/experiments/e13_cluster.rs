@@ -46,7 +46,11 @@ pub fn run_static(
     let proxies = (0..topology.n_proxies()).map(|_| proxy).collect();
     let config = ClusterConfig {
         topology,
-        workload: Workload::Static(StaticWorkload { proxies, size_dist: &size }),
+        workload: Workload::Static(StaticWorkload {
+            proxies,
+            size_dist: &size,
+            catalog_items: None,
+        }),
         requests_per_proxy: requests,
         warmup_per_proxy: warmup,
     };
@@ -79,6 +83,7 @@ pub fn run_adaptive(
             policy,
             predictor: CandidateSource::Oracle,
             shared_structure_seed: None,
+            delayed: Default::default(),
         }),
         requests_per_proxy: requests,
         warmup_per_proxy: warmup,

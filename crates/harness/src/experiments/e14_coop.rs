@@ -50,6 +50,7 @@ pub fn base_workload(lambdas: &[f64], policy: ProxyPolicy) -> AdaptiveWorkload {
         policy,
         predictor: CandidateSource::Oracle,
         shared_structure_seed: Some(99),
+        delayed: Default::default(),
     }
 }
 

@@ -58,6 +58,7 @@ fn workload(n_proxies: usize, policy: ProxyPolicy) -> AdaptiveWorkload {
         policy,
         predictor: CandidateSource::Oracle,
         shared_structure_seed: Some(99),
+        delayed: Default::default(),
     }
 }
 

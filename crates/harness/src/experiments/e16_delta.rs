@@ -79,6 +79,7 @@ fn workload(n_proxies: usize) -> AdaptiveWorkload {
         policy: ProxyPolicy::Adaptive,
         predictor: CandidateSource::Oracle,
         shared_structure_seed: Some(99),
+        delayed: Default::default(),
     }
 }
 

@@ -72,6 +72,7 @@ pub fn config(n_proxies: usize, total_requests: usize) -> ClusterConfig<'static>
                 policy: ProxyPolicy::Adaptive,
                 predictor: CandidateSource::Oracle,
                 shared_structure_seed: Some(99),
+                delayed: Default::default(),
             },
             coop: CoopConfig {
                 placement: PlacementPolicy::LoadAware { divergence: 0.05, step: 4, min_vnodes: 8 },

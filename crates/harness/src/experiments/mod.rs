@@ -13,6 +13,7 @@ pub mod e17_shard;
 pub mod e18_obs;
 pub mod e19_trace;
 pub mod e1_fig1;
+pub mod e20_delayed;
 pub mod e2_fig2;
 pub mod e3_fig3;
 pub mod e4_modelb;

@@ -145,6 +145,31 @@ impl AdaptiveController {
             None => ThresholdPolicy::new(1.0, self.config.model),
         }
     }
+
+    /// Byte-charged threshold for one candidate of size `size`.
+    ///
+    /// The headline threshold charges every speculative fetch one
+    /// mean-sized transfer (`ρ̂′ = (1−ĥ′)·λ̂·ŝ̄/b`), so a config that counts
+    /// items implicitly assumes `s = ŝ̄`. Charging by bytes scales the
+    /// utilisation term by the candidate's actual cost on the wire:
+    /// fetching `s` bytes occupies the path for `s/b`, so the break-even
+    /// probability is `ρ̂′·s/ŝ̄` (the model-B displacement term `ĥ′/n̄(C)`
+    /// counts entries and is not scaled). A candidate of exactly mean size
+    /// reproduces [`AdaptiveController::threshold_estimate`] — item-counted
+    /// configs are the degenerate case of the byte path, not a separate
+    /// policy. Clamped to 1; `None` while the estimators are cold.
+    pub fn threshold_for_size(&self, size: f64) -> Option<f64> {
+        assert!(size > 0.0 && size.is_finite(), "bad candidate size {size}");
+        let s_bar = self.mean_size_estimate()?;
+        let scaled = self.rho_prime_estimate()? * size / s_bar;
+        let th = match self.config.model {
+            InteractionModel::EvictZeroValue => scaled,
+            InteractionModel::EvictAverageValue => {
+                scaled + self.h_prime_estimate()? / self.config.n_c
+            }
+        };
+        Some(th.min(1.0))
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +265,38 @@ mod tests {
         }
         let th_high = ctl.threshold_estimate().unwrap();
         assert!(th_high > th_low * 1.5, "low {th_low} high {th_high}");
+    }
+
+    #[test]
+    fn item_counted_threshold_is_degenerate_case_of_byte_path() {
+        // Charging a mean-sized candidate by bytes must reproduce the
+        // item-counted threshold bit-for-bit, under both models.
+        for cfg in [ControllerConfig::model_a(50.0), ControllerConfig::model_b(50.0, 10.0, 1.0)] {
+            let mut ctl = AdaptiveController::new(cfg);
+            let mut t = 0.0;
+            for i in 0..5000 {
+                t += 1.0 / 30.0;
+                let size = if i % 2 == 0 { 0.5 } else { 1.5 };
+                if i % 10 < 3 {
+                    ctl.on_cache_hit(t, EntryStatus::Tagged, size);
+                } else {
+                    ctl.on_miss(t, size);
+                }
+            }
+            let s_bar = ctl.mean_size_estimate().unwrap();
+            assert_eq!(ctl.threshold_for_size(s_bar), Some(ctl.policy().threshold));
+            // Byte-charging is monotone in size: bigger candidates need a
+            // higher access probability to pay for their transfer.
+            let small = ctl.threshold_for_size(0.5 * s_bar).unwrap();
+            let big = ctl.threshold_for_size(2.0 * s_bar).unwrap();
+            assert!(small < ctl.policy().threshold && ctl.policy().threshold < big);
+        }
+    }
+
+    #[test]
+    fn byte_threshold_fails_safe_when_cold() {
+        let ctl = AdaptiveController::new(ControllerConfig::model_a(50.0));
+        assert_eq!(ctl.threshold_for_size(1.0), None);
     }
 
     #[test]

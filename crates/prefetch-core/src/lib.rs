@@ -56,6 +56,7 @@ pub mod model_ab;
 pub mod model_b;
 pub mod params;
 pub mod qos;
+pub mod ranking;
 pub mod sensitivity;
 pub mod threshold;
 
@@ -65,6 +66,7 @@ pub use model_a::ModelA;
 pub use model_ab::ModelAb;
 pub use model_b::ModelB;
 pub use params::{ParamError, SystemParams};
+pub use ranking::AggregateDelay;
 pub use threshold::{OptimalMixPolicy, PrefetchDecision, ThresholdPolicy};
 
 /// Which prefetch-cache interaction model a computation assumes.

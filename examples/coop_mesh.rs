@@ -45,6 +45,7 @@ fn main() {
         policy: ProxyPolicy::Adaptive,
         predictor: CandidateSource::Oracle,
         shared_structure_seed: Some(7),
+        delayed: Default::default(),
     };
     let run = |workload| {
         let config = ClusterConfig {

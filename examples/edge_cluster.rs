@@ -47,6 +47,7 @@ fn main() {
                 policy,
                 predictor: CandidateSource::Oracle,
                 shared_structure_seed: None,
+                delayed: Default::default(),
             }),
             requests_per_proxy: 60_000,
             warmup_per_proxy: 10_000,

@@ -54,6 +54,7 @@ fn main() {
                 policy: ProxyPolicy::Adaptive,
                 predictor: CandidateSource::Oracle,
                 shared_structure_seed: Some(99),
+                delayed: Default::default(),
             },
             coop: CoopConfig {
                 digest: DigestConfig { epoch: 2.0, bits_per_entry: 10, hashes: 4 },

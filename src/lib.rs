@@ -172,6 +172,7 @@
 //! #         cache_capacity: 32, cache_bytes: None, max_candidates: 3,
 //! #         prefetch_jitter: 0.01, policy: ProxyPolicy::Adaptive,
 //! #         predictor: CandidateSource::Oracle, shared_structure_seed: None,
+//! #         delayed: Default::default(),
 //! #     }),
 //! #     requests_per_proxy: 400, warmup_per_proxy: 80,
 //! # };
@@ -225,6 +226,7 @@
 //! #         cache_capacity: 32, cache_bytes: None, max_candidates: 3,
 //! #         prefetch_jitter: 0.01, policy: ProxyPolicy::Adaptive,
 //! #         predictor: CandidateSource::Oracle, shared_structure_seed: None,
+//! #         delayed: Default::default(),
 //! #     }),
 //! #     requests_per_proxy: 400, warmup_per_proxy: 80,
 //! # };
@@ -254,6 +256,63 @@
 //! `BENCH_cluster.json` against the committed `baselines/`, excluding
 //! wall-clock fields by schema, requiring counters exact and floats
 //! within 1e-9 (see `baselines/README.md`).
+//!
+//! ## Delayed hits: misses on keys already in flight
+//!
+//! At backbone latencies a miss's fetch window spans many later
+//! requests, so "hit or miss" stops being binary: a request for a key
+//! that is *already being fetched* pays only the residual latency of the
+//! outstanding fetch (Atre et al., SIGCOMM 2020). [`cachesim::Mshr`]
+//! lifts the hardware Miss Status Holding Register to the simulation —
+//! one entry per in-flight key with a FIFO waiter queue, a configurable
+//! entry budget with a deterministic full-table policy, and a coalescing
+//! switch whose off position is the resolve-each-miss-independently
+//! baseline. Both cluster engines consult the table before any fetch
+//! ([`cachesim::TaggedCache::probe_via`]), configured per workload by
+//! [`cluster::DelayedHitsConfig`]: the default (unbounded, coalescing)
+//! reproduces the previous engine behaviour bit-for-bit, and
+//! [`cluster::RankingMode::AggregateDelay`] switches eviction from
+//! recency to *aggregate delay* — keep the keys whose absence has cost
+//! the most total waiting, which beats LRU once fetch windows are long
+//! (experiment E20, `cargo run --release --bin delayed`):
+//!
+//! ```
+//! use cluster::{ClusterSim, DelayedHitsConfig};
+//! # use cluster::{AdaptiveWorkload, CandidateSource, ClusterConfig, ProxyPolicy,
+//! #     Topology, Workload};
+//! # use workload::synth_web::SynthWebConfig;
+//! # let make = |delayed: DelayedHitsConfig| ClusterConfig {
+//! #     // A slow, high-latency backbone: fetch windows span requests.
+//! #     topology: Topology::mesh_with_latency(2, 60.0, 12.5, 45.0, 0.08),
+//! #     workload: Workload::Adaptive(AdaptiveWorkload {
+//! #         proxies: vec![SynthWebConfig { lambda: 26.0, n_items: 160,
+//! #             ..SynthWebConfig::default() }; 2],
+//! #         cache_capacity: 24, cache_bytes: None, max_candidates: 3,
+//! #         prefetch_jitter: 0.01, policy: ProxyPolicy::Adaptive,
+//! #         predictor: CandidateSource::Oracle, shared_structure_seed: None,
+//! #         delayed,
+//! #     }),
+//! #     requests_per_proxy: 600, warmup_per_proxy: 120,
+//! # };
+//! // The same workload with and without coalescing, at the same seed.
+//! let coalescing = ClusterSim::new(&make(DelayedHitsConfig::default())).run(7);
+//! let independent =
+//!     ClusterSim::new(&make(DelayedHitsConfig { coalesce: false, ..Default::default() })).run(7);
+//!
+//! // Waiters joined in-flight fetches and were settled as delayed hits…
+//! assert!(coalescing.delayed_hits() > 0);
+//! // …each join is an origin transfer the baseline pays for.
+//! assert!(coalescing.origin_fetches() < independent.origin_fetches());
+//! assert_eq!(independent.delayed_hits(), 0);
+//! ```
+//!
+//! The per-node aggregates (`delayed_hits`, `coalesced_requests`,
+//! `origin_fetches`, `mean_residual_wait`, `mean_waiter_depth`,
+//! `mshr_rejections`) land in [`cluster::NodeReport`], roll up on
+//! [`cluster::ClusterReport`], and cross-check exactly against the trace
+//! layer's `DelayedHit` spans (`cluster/tests/trace_parity.rs`); shard
+//! parity holds bit-identically in every MSHR configuration
+//! (`cluster/tests/mshr_parity.rs`).
 
 pub use cachesim;
 pub use cluster;
@@ -269,8 +328,14 @@ pub use workload;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use cachesim::{ByteCapacity, LruCache, ReplacementCache, TaggedCache};
-    pub use cluster::{ClusterConfig, ClusterReport, ClusterSim, Topology, Workload};
+    pub use cachesim::{
+        ByteCapacity, LruCache, Mshr, MshrAccess, MshrConfig, ReplacementCache, TaggedCache,
+        ValueAwareCache, Waiter,
+    };
+    pub use cluster::{
+        ClusterConfig, ClusterReport, ClusterSim, DelayedHitsConfig, RankingMode, Topology,
+        Workload,
+    };
     pub use coop::{
         CoopConfig, DeltaDigest, DeltaOp, HashRing, Placement, RefreshStrategy, Resolution, Router,
     };

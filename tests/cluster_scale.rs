@@ -23,6 +23,7 @@ fn star_uplinks_match_model_a_utilisation() {
                 3
             ],
             size_dist: &size,
+            catalog_items: None,
         }),
         requests_per_proxy: 50_000,
         warmup_per_proxy: 10_000,
@@ -53,13 +54,21 @@ fn tandem_path_slower_than_single_hop_same_load() {
     let proxies = vec![StaticProxy { lambda: 30.0, h_prime: 0.3, n_f: 0.5, p: 0.8 }];
     let single = ClusterConfig {
         topology: Topology::single(50.0),
-        workload: Workload::Static(StaticWorkload { proxies: proxies.clone(), size_dist: &size }),
+        workload: Workload::Static(StaticWorkload {
+            proxies: proxies.clone(),
+            size_dist: &size,
+            catalog_items: None,
+        }),
         requests_per_proxy: 40_000,
         warmup_per_proxy: 8_000,
     };
     let tandem = ClusterConfig {
         topology: Topology::two_tier(1, 50.0, 50.0),
-        workload: Workload::Static(StaticWorkload { proxies, size_dist: &size }),
+        workload: Workload::Static(StaticWorkload {
+            proxies,
+            size_dist: &size,
+            catalog_items: None,
+        }),
         requests_per_proxy: 40_000,
         warmup_per_proxy: 8_000,
     };

@@ -55,6 +55,7 @@ fn base_workload(n_proxies: usize) -> AdaptiveWorkload {
         policy: ProxyPolicy::Adaptive,
         predictor: CandidateSource::Oracle,
         shared_structure_seed: Some(1234),
+        delayed: Default::default(),
     }
 }
 
