@@ -60,7 +60,10 @@ use crate::shard::{
 };
 use crate::sim::{proxy_seed, LinkState, Scope, ScopeIndex};
 use crate::topology::ShardPlan;
-use crate::{AdaptiveWorkload, CandidateSource, ProxyPolicy, RankingMode, Topology};
+use crate::{
+    AdaptiveWorkload, CandidateSource, DelayedHitsConfig, ProxyPolicy, RankingMode, Topology,
+    TraceWorkload,
+};
 use cachesim::{
     AccessKind, LruCache, Mshr, MshrAccess, MshrConfig, ReplacementCache, TaggedCache,
     ValueAwareCache, Waiter,
@@ -79,6 +82,8 @@ use simcore::trace::{
 };
 use simcore::{Registry, Scheduler};
 use std::collections::{BinaryHeap, HashMap};
+use std::io::Read;
+use workload::events::TraceStream;
 use workload::synth_web::SynthWeb;
 use workload::{ItemId, TraceRecord};
 
@@ -236,10 +241,116 @@ impl Store {
     }
 }
 
+/// The policy knobs the closed loop consults per event, identical whether
+/// the request stream is synthetic or replayed. Copied out of the workload
+/// at engine construction, so the hot path never branches on stream kind
+/// to read a threshold.
+#[derive(Clone, Copy)]
+pub(crate) struct Knobs {
+    cache_capacity: usize,
+    cache_bytes: Option<f64>,
+    max_candidates: usize,
+    prefetch_jitter: f64,
+    policy: ProxyPolicy,
+    delayed: DelayedHitsConfig,
+}
+
+/// What drives the closed loop: a synthetic workload (the classic
+/// adaptive/cooperative modes) or a recorded trace replayed from an
+/// `.events` source ([`crate::Workload::Trace`]).
+#[derive(Clone, Copy)]
+pub(crate) enum EngineWorkload<'a> {
+    Synth(&'a AdaptiveWorkload),
+    Trace(&'a TraceWorkload),
+}
+
+impl EngineWorkload<'_> {
+    pub(crate) fn knobs(&self) -> Knobs {
+        match self {
+            EngineWorkload::Synth(w) => Knobs {
+                cache_capacity: w.cache_capacity,
+                cache_bytes: w.cache_bytes,
+                max_candidates: w.max_candidates,
+                prefetch_jitter: w.prefetch_jitter,
+                policy: w.policy,
+                delayed: w.delayed,
+            },
+            EngineWorkload::Trace(w) => Knobs {
+                cache_capacity: w.cache_capacity,
+                cache_bytes: w.cache_bytes,
+                max_candidates: w.max_candidates,
+                prefetch_jitter: w.prefetch_jitter,
+                policy: w.policy,
+                delayed: w.delayed,
+            },
+        }
+    }
+}
+
+/// One proxy's lazy cursor into a replayed trace. The stream covers the
+/// *whole* trace; this proxy consumes only the records whose client id is
+/// congruent to it modulo the recording's proxy count (the recorder folds
+/// the source proxy into the client's low digits), so every proxy stays at
+/// O(chunk) resident bytes regardless of trace length.
+struct TraceFeed {
+    stream: TraceStream<Box<dyn Read + Send>>,
+    me: u32,
+    stride: u32,
+    /// Sizes learned from consumed records. With a Markov predictor every
+    /// candidate is a previously observed item, so this table answers
+    /// exactly the lookups the synthetic catalog would.
+    sizes: HashMap<ItemId, f64>,
+}
+
+/// Per-proxy request source: the synthetic web model, or a trace feed.
+enum Source {
+    Synth(SynthWeb),
+    Trace(TraceFeed),
+}
+
+impl Source {
+    /// Next request for this proxy; `None` when a replayed trace runs out.
+    /// Synthetic streams are endless. Replay decodes the recorder's
+    /// client folding, so a re-recorded replay round-trips.
+    fn next_request(&mut self, rng: &mut Rng) -> Option<TraceRecord> {
+        match self {
+            Source::Synth(web) => Some(web.next_request(rng)),
+            Source::Trace(feed) => {
+                for rec in &mut feed.stream {
+                    let rec = match rec {
+                        Ok(r) => r,
+                        Err(e) => panic!("trace replay failed: {e}"),
+                    };
+                    if rec.client % feed.stride == feed.me {
+                        feed.sizes.insert(rec.item, rec.size);
+                        return Some(TraceRecord {
+                            time: rec.time,
+                            client: rec.client / feed.stride,
+                            item: rec.item,
+                            size: rec.size,
+                        });
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Size of `item`, if known. Always `Some` on synthetic sources; on
+    /// replay, `Some` exactly for items this proxy has already seen —
+    /// which covers every Markov candidate.
+    fn size_of(&self, item: ItemId) -> Option<f64> {
+        match self {
+            Source::Synth(web) => Some(web.catalog.size(item)),
+            Source::Trace(feed) => feed.sizes.get(&item).copied(),
+        }
+    }
+}
+
 struct ProxyState {
     rng: Rng,
     jitter_rng: Rng,
-    web: SynthWeb,
+    source: Source,
     cache: Store,
     controller: AdaptiveController,
     predictor: Box<dyn Predictor + Send>,
@@ -262,7 +373,7 @@ struct ProxyState {
     /// first accessed, so each distinct prefetched entry is counted at
     /// most once and goodput can never exceed the prefetched volume.
     prefetch_cost: HashMap<ItemId, f64>,
-    pending: TraceRecord,
+    pending: Option<TraceRecord>,
     job_seq: u64,
     issued: u64,
     access_times: BatchMeans,
@@ -287,7 +398,7 @@ struct ProxyState {
 /// diverge semantically.
 pub(crate) struct Engine<'a> {
     topology: &'a Topology,
-    w: &'a AdaptiveWorkload,
+    knobs: Knobs,
     n_shards: u64,
     pub(crate) scope: Scope,
     /// Local link servers, indexed by scope-local link id.
@@ -326,6 +437,13 @@ pub(crate) struct Engine<'a> {
     /// Span buffer when this run is traced; same zero-overhead contract
     /// as `obs`.
     trace: Option<Box<TraceBuf>>,
+    /// Per-local-proxy recorded requests when this run records a trace
+    /// (`None`, the default, keeps the hook to one branch per request).
+    recorder: Option<Vec<Vec<TraceRecord>>>,
+    /// Client-id folding stride for the recorder: the recorded client is
+    /// `proxy + stride * client`, so replay can route each record back to
+    /// its source proxy by `client % stride`.
+    client_stride: u32,
 }
 
 /// Mirrors one access-time sample into the latency probe. A free function
@@ -456,7 +574,7 @@ fn resolve(router: Option<&Router>, me: usize, item: ItemId) -> Dest {
 impl<'a> Engine<'a> {
     pub(crate) fn new(
         topology: &'a Topology,
-        w: &'a AdaptiveWorkload,
+        workload: EngineWorkload<'a>,
         coop_cfg: Option<&CoopConfig>,
         requests: usize,
         warmup: usize,
@@ -465,45 +583,77 @@ impl<'a> Engine<'a> {
     ) -> Self {
         let links: Vec<LinkState> =
             scope.links.iter().map(|&g| LinkState::new(&topology.links()[g])).collect();
+        let knobs = workload.knobs();
 
         let proxies: Vec<ProxyState> = scope
             .proxies
             .iter()
             .map(|&i| {
-                let web_cfg = &w.proxies[i];
                 let mut rng = Rng::new(proxy_seed(seed, i));
+                // The jitter stream splits off *before* any workload draw,
+                // so it is a pure function of (seed, proxy) — replaying a
+                // recorded run reconstructs the identical jitter sequence.
                 let jitter_rng = rng.split();
-                // With a shared structure seed every proxy draws the same
-                // catalog and navigation chain (the redundancy cooperative
-                // caching removes); otherwise each proxy's structure comes
-                // from its own stream, exactly as before.
-                let mut web = match w.shared_structure_seed {
-                    Some(s) => {
-                        let mut structure_rng = Rng::new(s);
-                        SynthWeb::new(*web_cfg, &mut structure_rng)
+                let (mut source, predictor): (Source, Box<dyn Predictor + Send>) = match workload {
+                    EngineWorkload::Synth(w) => {
+                        let web_cfg = &w.proxies[i];
+                        // With a shared structure seed every proxy draws the
+                        // same catalog and navigation chain (the redundancy
+                        // cooperative caching removes); otherwise each
+                        // proxy's structure comes from its own stream,
+                        // exactly as before.
+                        let web = match w.shared_structure_seed {
+                            Some(s) => {
+                                let mut structure_rng = Rng::new(s);
+                                SynthWeb::new(*web_cfg, &mut structure_rng)
+                            }
+                            None => SynthWeb::new(*web_cfg, &mut rng),
+                        };
+                        let predictor: Box<dyn Predictor + Send> = match w.predictor {
+                            CandidateSource::Oracle => {
+                                Box::new(OraclePredictor::from_chain(&web.chain))
+                            }
+                            CandidateSource::Markov1 => Box::new(MarkovPredictor::new(1)),
+                        };
+                        (Source::Synth(web), predictor)
                     }
-                    None => SynthWeb::new(*web_cfg, &mut rng),
+                    EngineWorkload::Trace(tw) => {
+                        // Oracle candidates need the generating chain, which
+                        // a replayed trace does not carry — rejected by
+                        // `TraceWorkload::validate`.
+                        debug_assert!(matches!(tw.predictor, CandidateSource::Markov1));
+                        let feed = TraceFeed {
+                            stream: tw
+                                .source
+                                .open(tw.chunk_records)
+                                .expect("validated trace source"),
+                            me: i as u32,
+                            stride: topology.n_proxies() as u32,
+                            sizes: HashMap::new(),
+                        };
+                        (Source::Trace(feed), Box::new(MarkovPredictor::new(1)))
+                    }
                 };
-                let predictor: Box<dyn Predictor + Send> = match w.predictor {
-                    CandidateSource::Oracle => Box::new(OraclePredictor::from_chain(&web.chain)),
-                    CandidateSource::Markov1 => Box::new(MarkovPredictor::new(1)),
-                };
-                let pending = web.next_request(&mut rng);
+                let pending = source.next_request(&mut rng);
                 ProxyState {
                     rng,
                     jitter_rng,
-                    web,
-                    cache: match w.delayed.ranking {
-                        RankingMode::Recency => Store::Lru(TaggedCache::new(match w.cache_bytes {
-                            Some(bytes) => LruCache::with_byte_capacity(w.cache_capacity, bytes),
-                            None => LruCache::new(w.cache_capacity),
-                        })),
-                        RankingMode::AggregateDelay => {
-                            Store::Ranked(TaggedCache::new(match w.cache_bytes {
+                    source,
+                    cache: match knobs.delayed.ranking {
+                        RankingMode::Recency => {
+                            Store::Lru(TaggedCache::new(match knobs.cache_bytes {
                                 Some(bytes) => {
-                                    ValueAwareCache::with_byte_capacity(w.cache_capacity, bytes)
+                                    LruCache::with_byte_capacity(knobs.cache_capacity, bytes)
                                 }
-                                None => ValueAwareCache::new(w.cache_capacity),
+                                None => LruCache::new(knobs.cache_capacity),
+                            }))
+                        }
+                        RankingMode::AggregateDelay => {
+                            Store::Ranked(TaggedCache::new(match knobs.cache_bytes {
+                                Some(bytes) => {
+                                    ValueAwareCache::with_byte_capacity(knobs.cache_capacity, bytes)
+                                }
+                                None => ValueAwareCache::new(knobs.cache_capacity),
                             }))
                         }
                     },
@@ -512,10 +662,10 @@ impl<'a> Engine<'a> {
                     )),
                     predictor,
                     mshr: Mshr::new(MshrConfig {
-                        entries: w.delayed.mshr_entries,
-                        coalesce: w.delayed.coalesce,
+                        entries: knobs.delayed.mshr_entries,
+                        coalesce: knobs.delayed.coalesce,
                     }),
-                    agg: matches!(w.delayed.ranking, RankingMode::AggregateDelay)
+                    agg: matches!(knobs.delayed.ranking, RankingMode::AggregateDelay)
                         .then(AggregateDelay::new),
                     delayed_hits: 0,
                     residual: Welford::new(),
@@ -546,11 +696,12 @@ impl<'a> Engine<'a> {
             Some(_) => vec![Vec::new(); proxies.len()],
             None => Vec::new(),
         };
-        let delta_crossover =
-            coop_cfg.map(|c| c.digest.delta_crossover_ops(w.cache_capacity)).unwrap_or(u64::MAX);
+        let delta_crossover = coop_cfg
+            .map(|c| c.digest.delta_crossover_ops(knobs.cache_capacity))
+            .unwrap_or(u64::MAX);
         Engine {
             topology,
-            w,
+            knobs,
             n_shards: topology.n_shards() as u64,
             links,
             refresh_strategy: coop_cfg.map(|c| c.refresh).unwrap_or_default(),
@@ -570,7 +721,38 @@ impl<'a> Engine<'a> {
             scope,
             obs: None,
             trace: None,
+            recorder: None,
+            client_stride: topology.n_proxies() as u32,
         }
+    }
+
+    /// Arms this scope's request recorder: every issued request is kept as
+    /// a [`TraceRecord`] with the proxy folded into the client id.
+    pub(crate) fn attach_recorder(&mut self) {
+        self.recorder = Some(vec![Vec::new(); self.proxies.len()]);
+    }
+
+    /// Takes this scope's recorded requests, tagged with global proxy ids.
+    pub(crate) fn take_recorded(&mut self) -> Vec<(usize, Vec<TraceRecord>)> {
+        match self.recorder.take() {
+            Some(parts) => self.scope.proxies.iter().copied().zip(parts).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Replay accounting for this scope: `(records consumed, max per-stream
+    /// resident bytes)`. `None` when no proxy replays a trace.
+    pub(crate) fn replay_stats(&self) -> Option<(u64, usize)> {
+        let mut any = false;
+        let (mut records, mut peak) = (0u64, 0usize);
+        for p in &self.proxies {
+            if let Source::Trace(feed) = &p.source {
+                any = true;
+                records += p.issued;
+                peak = peak.max(feed.stream.peak_resident_bytes());
+            }
+        }
+        any.then_some((records, peak))
     }
 
     /// Arms this scope's observability probes.
@@ -624,10 +806,13 @@ impl<'a> Engine<'a> {
     }
 
     /// When local proxy `i`'s next client request arrives, while its
-    /// stream has requests left.
+    /// stream has requests left (a replayed trace may also run dry).
     pub(crate) fn request_due(&self, i: usize) -> Option<f64> {
         let p = &self.proxies[i];
-        (p.issued < self.n_requests).then_some(p.pending.time)
+        if p.issued >= self.n_requests {
+            return None;
+        }
+        p.pending.map(|r| r.time)
     }
 
     /// When local proxy `i`'s earliest jittered prefetch decision comes
@@ -942,7 +1127,7 @@ impl<'a> Engine<'a> {
             // off, or a bounded table, an *untracked* concurrent demand
             // fetch can legitimately land first and cache the item.
             debug_assert!(
-                self.w.delayed.mshr_entries.is_some() || !self.w.delayed.coalesce,
+                self.knobs.delayed.mshr_entries.is_some() || !self.knobs.delayed.coalesce,
                 "pending prefetch for item {:?} found it already cached",
                 pfx.item
             );
@@ -968,18 +1153,29 @@ impl<'a> Engine<'a> {
     pub(crate) fn on_request(&mut self, i: usize, router: Option<&Router>) {
         let me = self.scope.proxies[i];
         let n_shards = self.n_shards;
-        let t_req = self.proxies[i].pending.time;
+        let t_req = self.proxies[i].pending.expect("request due").time;
         self.obs_tick(t_req);
         if let Some(o) = self.obs.as_deref_mut() {
             o.request();
         }
         let p = &mut self.proxies[i];
-        let req = p.pending;
-        p.pending = p.web.next_request(&mut p.rng);
+        let req = p.pending.take().expect("request due");
+        p.pending = p.source.next_request(&mut p.rng);
         let t = req.time;
         self.t_end = t;
         let idx = p.issued;
         p.issued += 1;
+        if let Some(rec) = self.recorder.as_mut() {
+            // Fold the proxy into the client id so replay can route the
+            // record back (`client % n_proxies == proxy`) while keeping
+            // the original client recoverable by division.
+            rec[i].push(TraceRecord::new(
+                t,
+                me as u32 + self.client_stride * req.client,
+                req.item,
+                req.size,
+            ));
+        }
         let in_window = idx >= self.warm;
         let mut launch_demand = false;
         // The request's head-sampling decision is a pure hash of
@@ -1071,7 +1267,7 @@ impl<'a> Engine<'a> {
         // Predict and prefetch.
         let p = &mut self.proxies[i];
         p.predictor.observe(req.item);
-        let threshold = match self.w.policy {
+        let threshold = match self.knobs.policy {
             ProxyPolicy::NoPrefetch => f64::INFINITY,
             ProxyPolicy::FixedThreshold(th) => th,
             ProxyPolicy::Adaptive => p.controller.policy().threshold,
@@ -1081,16 +1277,18 @@ impl<'a> Engine<'a> {
             p.threshold_n += 1;
         }
         if threshold.is_finite() {
-            let cands = p.predictor.candidates(self.w.max_candidates);
+            let cands = p.predictor.candidates(self.knobs.max_candidates);
             if let Some(o) = self.obs.as_deref_mut() {
                 o.predictions(cands.len() as u64);
             }
             let size_aware =
-                self.w.delayed.size_aware && matches!(self.w.policy, ProxyPolicy::Adaptive);
+                self.knobs.delayed.size_aware && matches!(self.knobs.policy, ProxyPolicy::Adaptive);
             for (item, prob) in cands {
-                // The catalog size is pure data (no RNG draw), so reading
-                // it before the acceptance check keeps draw order intact.
-                let size = p.web.catalog.size(item);
+                // The size is pure data (no RNG draw), so reading it before
+                // the acceptance check keeps draw order intact. On replay
+                // an unknown size means the item was never seen here — a
+                // Markov predictor cannot propose one, but skip defensively.
+                let Some(size) = p.source.size_of(item) else { continue };
                 // Byte-charged threshold: a candidate is compared against
                 // ρ̂′ scaled by its own size, so big speculative objects
                 // need proportionally higher confidence. Item-counted
@@ -1113,8 +1311,8 @@ impl<'a> Engine<'a> {
                 // the item already has an outstanding entry (or the table
                 // is full, dropping the candidate deterministically).
                 if prob > th && !p.cache.contains(&item) && p.mshr.reserve_prefetch(item, t, size) {
-                    let due = if self.w.prefetch_jitter > 0.0 {
-                        t + p.jitter_rng.exp(1.0 / self.w.prefetch_jitter)
+                    let due = if self.knobs.prefetch_jitter > 0.0 {
+                        t + p.jitter_rng.exp(1.0 / self.knobs.prefetch_jitter)
                     } else {
                         t
                     };
@@ -1376,23 +1574,58 @@ pub(crate) fn merge_reports(
     }
 }
 
+/// What replaying a trace cost: consumed records and the high-water mark
+/// of any single proxy's resident trace buffer — pinned O(chunk-size), not
+/// O(trace), by the replay tests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplayStats {
+    /// Records consumed across all proxies.
+    pub records_replayed: u64,
+    /// Max per-stream resident trace bytes observed.
+    pub peak_resident_bytes: usize,
+}
+
+/// Side outputs of a run beyond the report/obs pair.
+pub(crate) struct RunExtras {
+    /// The recorded request trace, merged in global time order, when
+    /// recording was requested.
+    pub(crate) recorded: Option<Vec<TraceRecord>>,
+    /// Replay accounting, when the workload replayed a trace.
+    pub(crate) replay: Option<ReplayStats>,
+}
+
+/// Merges per-proxy recorded request streams (each already time-ordered)
+/// into one globally ordered trace: by time, ties by global proxy id, then
+/// by per-proxy sequence — deterministic under every sharding.
+pub(crate) fn merge_recorded(parts: Vec<(usize, Vec<TraceRecord>)>) -> Vec<TraceRecord> {
+    let mut tagged: Vec<(usize, usize, TraceRecord)> = parts
+        .into_iter()
+        .flat_map(|(g, recs)| recs.into_iter().enumerate().map(move |(s, r)| (g, s, r)))
+        .collect();
+    tagged.sort_by(|a, b| a.2.time.total_cmp(&b.2.time).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+    tagged.into_iter().map(|(_, _, r)| r).collect()
+}
+
 /// Runs the closed loop partitioned by `plan` — the single-shard plan is
 /// the classic single-threaded driver — optionally with observability
 /// attached. The report is bit-identical with probes on or off (pinned by
 /// `obs_parity.rs`); the second return is `Some` exactly when an enabled
-/// config was passed.
+/// config was passed. With `record` set, every issued request is captured
+/// and returned as a merged trace in [`RunExtras`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_observed(
     topology: &Topology,
-    w: &AdaptiveWorkload,
+    workload: EngineWorkload<'_>,
     coop_cfg: Option<&CoopConfig>,
     requests: usize,
     warmup: usize,
     seed: u64,
     plan: &ShardPlan,
     obs: Option<&ObsConfig>,
-) -> (ClusterReport, Option<ClusterObs>) {
-    let router = coop_cfg.map(|c| Router::new(topology.n_proxies(), w.cache_capacity, *c));
+    record: bool,
+) -> (ClusterReport, Option<ClusterObs>, RunExtras) {
+    let router =
+        coop_cfg.map(|c| Router::new(topology.n_proxies(), workload.knobs().cache_capacity, *c));
     let obs_cfg = obs.filter(|c| c.enabled);
     // Series sample on the explicit grid, or the cooperative digest epoch
     // when none was given; without either, series probes stay off.
@@ -1405,9 +1638,13 @@ pub(crate) fn run_observed(
     let runners: Vec<ShardRunner<Engine<'_>>> = (0..plan.n_shards())
         .map(|s| {
             let scope = Scope::shard(topology, plan, s);
-            let mut engine = Engine::new(topology, w, coop_cfg, requests, warmup, seed, scope);
+            let mut engine =
+                Engine::new(topology, workload, coop_cfg, requests, warmup, seed, scope);
             if trace_every > 0 {
                 engine.attach_trace(trace_every);
+            }
+            if record {
+                engine.attach_recorder();
             }
             match obs_cfg {
                 Some(cfg) => {
@@ -1477,5 +1714,26 @@ pub(crate) fn run_observed(
         out
     });
 
-    (merge_reports(topology, engines, router), cluster_obs)
+    let recorded = record.then(|| {
+        let mut parts = Vec::new();
+        for e in &mut engines {
+            parts.extend(e.take_recorded());
+        }
+        merge_recorded(parts)
+    });
+    let replay = {
+        let mut any = false;
+        let (mut records, mut peak) = (0u64, 0usize);
+        for e in &engines {
+            if let Some((r, pk)) = e.replay_stats() {
+                any = true;
+                records += r;
+                peak = peak.max(pk);
+            }
+        }
+        any.then_some(ReplayStats { records_replayed: records, peak_resident_bytes: peak })
+    };
+    let extras = RunExtras { recorded, replay };
+
+    (merge_reports(topology, engines, router), cluster_obs, extras)
 }

@@ -86,7 +86,7 @@ pub fn run(config: &ClusterConfig<'_>, seed: u64) -> ClusterReport {
         Workload::Adaptive(w) => {
             let eng = closed_loop::Engine::new(
                 &config.topology,
-                w,
+                closed_loop::EngineWorkload::Synth(w),
                 None,
                 config.requests_per_proxy,
                 config.warmup_per_proxy,
@@ -98,7 +98,7 @@ pub fn run(config: &ClusterConfig<'_>, seed: u64) -> ClusterReport {
         Workload::Cooperative(w) => {
             let eng = closed_loop::Engine::new(
                 &config.topology,
-                &w.base,
+                closed_loop::EngineWorkload::Synth(&w.base),
                 Some(&w.coop),
                 config.requests_per_proxy,
                 config.warmup_per_proxy,
@@ -107,6 +107,18 @@ pub fn run(config: &ClusterConfig<'_>, seed: u64) -> ClusterReport {
             );
             let router = Router::new(config.topology.n_proxies(), w.base.cache_capacity, w.coop);
             run_closed(&config.topology, eng, Some(router))
+        }
+        Workload::Trace(w) => {
+            let eng = closed_loop::Engine::new(
+                &config.topology,
+                closed_loop::EngineWorkload::Trace(w),
+                None,
+                config.requests_per_proxy,
+                config.warmup_per_proxy,
+                seed,
+                scope,
+            );
+            run_closed(&config.topology, eng, None)
         }
     }
 }

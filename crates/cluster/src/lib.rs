@@ -122,6 +122,7 @@ mod sim;
 mod static_mode;
 mod topology;
 
+pub use closed_loop::ReplayStats;
 pub use curve::{network_load_curve, CurveSpec};
 pub use obs::{report_to_json, ClusterObs};
 #[doc(hidden)]
@@ -129,8 +130,10 @@ pub use report::parity;
 pub use report::{ClusterReport, CoopReport, CurvePoint, LinkReport, NodeReport};
 pub use sim::ClusterSim;
 pub use topology::{Discipline, Link, ShardPlan, Topology, TopologyBuilder};
+pub use workload::TraceSource;
 
 use simcore::dist::Sample;
+use workload::events::DEFAULT_CHUNK_RECORDS;
 use workload::synth_web::SynthWebConfig;
 
 /// Open-loop parameters of one proxy's population (the paper's symbols).
@@ -284,6 +287,82 @@ pub struct CooperativeWorkload {
     pub coop: coop::CoopConfig,
 }
 
+/// Trace-replay workload: the closed-loop engine driven by a recorded
+/// `.events` stream instead of the synthetic web model.
+///
+/// Every proxy opens its own lazy [`TraceSource`] cursor and consumes the
+/// records whose client id maps back to it (the recorder folds the source
+/// proxy into the client id), so resident trace memory stays
+/// O(proxies × chunk) regardless of trace length. Replaying a trace
+/// recorded by [`ClusterSim::run_recorded`] on the same topology, seed,
+/// and knobs reproduces the source run's [`ClusterReport`] bit-for-bit:
+/// the jitter RNG splits off before any workload draw, and the learned
+/// Markov predictor only ever proposes items the replay has already seen,
+/// whose sizes the feed learned from the records themselves.
+#[derive(Clone, Debug)]
+pub struct TraceWorkload {
+    /// The recorded trace (file-backed or in-memory).
+    pub source: TraceSource,
+    /// Per-proxy cache capacity (items).
+    pub cache_capacity: usize,
+    /// Per-proxy cache capacity in bytes; see
+    /// [`AdaptiveWorkload::cache_bytes`].
+    pub cache_bytes: Option<f64>,
+    /// Maximum prefetch candidates considered per request.
+    pub max_candidates: usize,
+    /// Mean exponential pacing delay before a prefetch hits the network.
+    pub prefetch_jitter: f64,
+    /// Prefetch policy applied at every proxy.
+    pub policy: ProxyPolicy,
+    /// Candidate source. Must be [`CandidateSource::Markov1`]: oracle
+    /// candidates need the generating chain, which a trace does not carry.
+    pub predictor: CandidateSource,
+    /// Delayed-hits behaviour; see [`AdaptiveWorkload::delayed`].
+    pub delayed: DelayedHitsConfig,
+    /// Records each proxy's stream reader holds resident at a time.
+    pub chunk_records: usize,
+}
+
+impl TraceWorkload {
+    /// A replay configuration copying the policy knobs of the adaptive
+    /// workload that recorded `source` — the setup under which replay
+    /// reproduces the source report bit-for-bit.
+    pub fn replaying(w: &AdaptiveWorkload, source: TraceSource) -> Self {
+        TraceWorkload {
+            source,
+            cache_capacity: w.cache_capacity,
+            cache_bytes: w.cache_bytes,
+            max_candidates: w.max_candidates,
+            prefetch_jitter: w.prefetch_jitter,
+            policy: w.policy,
+            predictor: w.predictor,
+            delayed: w.delayed,
+            chunk_records: DEFAULT_CHUNK_RECORDS,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            matches!(self.predictor, CandidateSource::Markov1),
+            "trace replay needs a learned predictor: oracle candidates \
+             require the generating chain, which a trace does not carry"
+        );
+        assert!(self.cache_capacity > 0, "cache capacity must be positive");
+        if let Some(bytes) = self.cache_bytes {
+            assert!(bytes > 0.0 && bytes.is_finite(), "cache byte capacity must be positive");
+        }
+        assert!(self.max_candidates > 0, "need at least one candidate");
+        assert!(self.prefetch_jitter >= 0.0);
+        assert!(self.chunk_records > 0, "chunk size must be positive");
+        if let Some(entries) = self.delayed.mshr_entries {
+            assert!(entries > 0, "MSHR entry budget must be positive");
+        }
+        if let Err(e) = self.source.open(self.chunk_records) {
+            panic!("trace source failed to open: {e}");
+        }
+    }
+}
+
 /// Which engine drives the cluster.
 pub enum Workload<'a> {
     /// Open-loop Model-A mechanism (comparable with the closed forms).
@@ -292,6 +371,8 @@ pub enum Workload<'a> {
     Adaptive(AdaptiveWorkload),
     /// Closed-loop adaptive prefetching with cooperative caching.
     Cooperative(CooperativeWorkload),
+    /// Closed-loop engine replaying a recorded `.events` trace.
+    Trace(TraceWorkload),
 }
 
 /// A complete cluster configuration.
@@ -333,6 +414,7 @@ impl ClusterConfig<'_> {
                      (use Topology::mesh or Topology::ring)"
                 );
             }
+            Workload::Trace(w) => w.validate(),
         }
     }
 }

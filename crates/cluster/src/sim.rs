@@ -1,6 +1,6 @@
 //! The cluster simulator facade and shared link/scope machinery.
 
-use crate::closed_loop;
+use crate::closed_loop::{self, EngineWorkload, ReplayStats, RunExtras};
 use crate::obs::ClusterObs;
 use crate::report::ClusterReport;
 use crate::static_mode;
@@ -9,6 +9,7 @@ use crate::{ClusterConfig, Topology, Workload};
 use queueing::{Completion, FifoServer, PsServer, Server};
 use simcore::obs::ObsConfig;
 use simcore::Scheduler;
+use workload::TraceRecord;
 
 /// A multi-node discrete-event run over a [`crate::Topology`].
 ///
@@ -29,7 +30,7 @@ impl<'a> ClusterSim<'a> {
     /// Runs the simulation to completion on the single-threaded driver.
     /// Deterministic in `seed`.
     pub fn run(&self, seed: u64) -> ClusterReport {
-        self.run_on(seed, &ShardPlan::partition(&self.config.topology, 1), None).0
+        self.run_on(seed, &ShardPlan::partition(&self.config.topology, 1), None, false).0
     }
 
     /// Runs the simulation partitioned into `shards` shard-local event
@@ -43,7 +44,40 @@ impl<'a> ClusterSim<'a> {
     /// zero-latency crossing hop) admits no conservative window at all,
     /// so the shards are merged on one thread instead.
     pub fn run_sharded(&self, seed: u64, shards: usize) -> ClusterReport {
-        self.run_on(seed, &ShardPlan::partition(&self.config.topology, shards), None).0
+        self.run_on(seed, &ShardPlan::partition(&self.config.topology, shards), None, false).0
+    }
+
+    /// Runs the simulation while recording every issued request, returning
+    /// the report and the merged request trace (globally time-ordered,
+    /// with each record's source proxy folded into its client id). The
+    /// report is bit-identical to [`ClusterSim::run_sharded`] at the same
+    /// `(seed, shards)` — recording only copies requests out, it never
+    /// draws RNG or reorders events — and the recorded trace itself is
+    /// identical at every shard count. Encode it with
+    /// [`workload::events::write_events_file`] (or
+    /// [`workload::TraceSource::from_records`]) and replay it through
+    /// [`crate::Workload::Trace`].
+    pub fn run_recorded(&self, seed: u64, shards: usize) -> (ClusterReport, Vec<TraceRecord>) {
+        let plan = ShardPlan::partition(&self.config.topology, shards);
+        let (report, _, extras) = self.run_on(seed, &plan, None, true);
+        (report, extras.recorded.expect("recording was requested"))
+    }
+
+    /// Runs a [`crate::Workload::Trace`] replay, returning the report and
+    /// the replay accounting (records consumed, peak per-stream resident
+    /// trace bytes — O(chunk), never O(trace)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured workload is not `Workload::Trace`.
+    pub fn run_replayed(&self, seed: u64, shards: usize) -> (ClusterReport, ReplayStats) {
+        assert!(
+            matches!(self.config.workload, Workload::Trace(_)),
+            "run_replayed needs a Workload::Trace config"
+        );
+        let plan = ShardPlan::partition(&self.config.topology, shards);
+        let (report, _, extras) = self.run_on(seed, &plan, None, false);
+        (report, extras.replay.expect("trace workloads produce replay stats"))
     }
 
     /// Runs the simulation with the observability layer attached: the
@@ -63,7 +97,7 @@ impl<'a> ClusterSim<'a> {
         let plan = ShardPlan::partition(&self.config.topology, shards);
         let driver = if shards > 1 && plan.lookahead() > 0.0 { "windowed" } else { "sequential" };
         let wall = std::time::Instant::now();
-        let (report, obs_out) = self.run_on(seed, &plan, Some(obs));
+        let (report, obs_out, _) = self.run_on(seed, &plan, Some(obs), false);
         let mut obs_out = obs_out.unwrap_or_else(|| ClusterObs::empty(shards, driver));
         obs_out.wall_secs = wall.elapsed().as_secs_f64();
         (report, obs_out)
@@ -74,7 +108,8 @@ impl<'a> ClusterSim<'a> {
         seed: u64,
         plan: &ShardPlan,
         obs: Option<&ObsConfig>,
-    ) -> (ClusterReport, Option<ClusterObs>) {
+        record: bool,
+    ) -> (ClusterReport, Option<ClusterObs>, RunExtras) {
         match &self.config.workload {
             Workload::Static(w) => static_mode::run_observed(
                 &self.config.topology,
@@ -84,26 +119,40 @@ impl<'a> ClusterSim<'a> {
                 seed,
                 plan,
                 obs,
+                record,
             ),
             Workload::Adaptive(w) => closed_loop::run_observed(
                 &self.config.topology,
-                w,
+                EngineWorkload::Synth(w),
                 None,
                 self.config.requests_per_proxy,
                 self.config.warmup_per_proxy,
                 seed,
                 plan,
                 obs,
+                record,
             ),
             Workload::Cooperative(w) => closed_loop::run_observed(
                 &self.config.topology,
-                &w.base,
+                EngineWorkload::Synth(&w.base),
                 Some(&w.coop),
                 self.config.requests_per_proxy,
                 self.config.warmup_per_proxy,
                 seed,
                 plan,
                 obs,
+                record,
+            ),
+            Workload::Trace(w) => closed_loop::run_observed(
+                &self.config.topology,
+                EngineWorkload::Trace(w),
+                None,
+                self.config.requests_per_proxy,
+                self.config.warmup_per_proxy,
+                seed,
+                plan,
+                obs,
+                record,
             ),
         }
     }

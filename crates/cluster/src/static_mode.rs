@@ -33,6 +33,7 @@ use simcore::stats::{BatchMeans, Welford};
 use simcore::trace::{self, SpanEvent, SpanKind, TraceBuf, TraceStore, TF_MEASURED, TF_PREFETCH};
 use simcore::{Registry, Scheduler};
 use std::collections::HashMap;
+use workload::{ItemId, TraceRecord};
 
 #[derive(Clone, Copy, Debug)]
 enum JobKind {
@@ -111,6 +112,10 @@ pub(crate) struct Engine<'a> {
     obs: Option<Box<EngineObs>>,
     /// Span buffer when this run is traced (see the closed-loop twin).
     trace: Option<Box<TraceBuf>>,
+    /// Per-local-proxy recorded requests when this run records a trace.
+    /// Bernoulli hits record item `u64::MAX` and size 0 (the open loop
+    /// draws neither); catalog-mode misses record their item and size.
+    recorder: Option<Vec<Vec<TraceRecord>>>,
 }
 
 /// Appends one span record for a traced job (itemless jobs carry
@@ -233,12 +238,26 @@ impl<'a> Engine<'a> {
             scope,
             obs: None,
             trace: None,
+            recorder: None,
         }
     }
 
     /// Arms this scope's observability probes.
     pub(crate) fn attach_obs(&mut self, o: EngineObs) {
         self.obs = Some(Box::new(o));
+    }
+
+    /// Arms this scope's request recorder (see the closed-loop twin).
+    pub(crate) fn attach_recorder(&mut self) {
+        self.recorder = Some(vec![Vec::new(); self.proxies.len()]);
+    }
+
+    /// Takes this scope's recorded requests, tagged with global proxy ids.
+    pub(crate) fn take_recorded(&mut self) -> Vec<(usize, Vec<TraceRecord>)> {
+        match self.recorder.take() {
+            Some(parts) => self.scope.proxies.iter().copied().zip(parts).collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Arms this scope's span buffer, head-sampling 1-in-`every`.
@@ -453,6 +472,11 @@ impl<'a> Engine<'a> {
         };
         let mf = if p.in_window { TF_MEASURED } else { 0 };
         if p.rng.chance(p.h) {
+            if let Some(rec) = self.recorder.as_mut() {
+                // A Bernoulli hit draws no item or size; record the
+                // itemless sentinel so the stream stays replayable.
+                rec[i].push(TraceRecord::new(t, me as u32, ItemId(u64::MAX), 0.0));
+            }
             if rid != 0 {
                 if let Some(b) = self.trace.as_deref_mut() {
                     b.push(SpanEvent {
@@ -498,6 +522,9 @@ impl<'a> Engine<'a> {
                 }
                 None => (u64::MAX, if n_shards > 1 { p.rng.below(n_shards) } else { 0 }, true),
             };
+            if let Some(rec) = self.recorder.as_mut() {
+                rec[i].push(TraceRecord::new(t, me as u32, ItemId(item), size));
+            }
             p.next_request_t = t + p.rng.exp(p.lambda);
             if launch {
                 p.demand_bytes += size;
@@ -755,6 +782,7 @@ pub(crate) fn merge_reports(topology: &Topology, engines: Vec<Engine<'_>>) -> Cl
 /// Runs the open loop partitioned by `plan` — the single-shard plan is
 /// the classic single-threaded driver — optionally with observability
 /// attached (see the closed-loop twin).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_observed(
     topology: &Topology,
     w: &StaticWorkload<'_>,
@@ -763,7 +791,8 @@ pub(crate) fn run_observed(
     seed: u64,
     plan: &ShardPlan,
     obs: Option<&ObsConfig>,
-) -> (ClusterReport, Option<ClusterObs>) {
+    record: bool,
+) -> (ClusterReport, Option<ClusterObs>, crate::closed_loop::RunExtras) {
     let obs_cfg = obs.filter(|c| c.enabled);
     // The open loop has no digest epochs; series need an explicit grid.
     let grid = obs_cfg.map(|c| c.sample_every.max(0.0)).unwrap_or(0.0);
@@ -774,6 +803,9 @@ pub(crate) fn run_observed(
             let mut engine = Engine::new(topology, w, requests, warmup, seed, scope);
             if trace_every > 0 {
                 engine.attach_trace(trace_every);
+            }
+            if record {
+                engine.attach_recorder();
             }
             match obs_cfg {
                 Some(cfg) => {
@@ -824,5 +856,14 @@ pub(crate) fn run_observed(
         )
     });
 
-    (merge_reports(topology, engines), cluster_obs)
+    let recorded = record.then(|| {
+        let mut parts = Vec::new();
+        for e in &mut engines {
+            parts.extend(e.take_recorded());
+        }
+        crate::closed_loop::merge_recorded(parts)
+    });
+    let extras = crate::closed_loop::RunExtras { recorded, replay: None };
+
+    (merge_reports(topology, engines), cluster_obs, extras)
 }

@@ -23,6 +23,8 @@
 //! | `shard` | (derived) | E17: strong scaling of the sharded engine |
 //! | `obs` | (derived) | E18: observability dashboard + `OBS_cluster.json` (`--top-k N` appends the slowest-traces view) |
 //! | `trace` | (derived) | E19: causal tracing — latency attribution, top-K slowest traces, `TRACE_cluster.json` |
+//! | `delayed` | (derived) | E20: delayed hits — MSHR coalescing win + aggregate-delay ranking inversion |
+//! | `replay` | (derived) | E21: streaming trace replay — record to `.events`, scale by superposition, replay bit-identically |
 //! | `sentinel` | — | regression gate: diffs `OBS_cluster.json`/`BENCH_cluster.json` against `baselines/` |
 //! | `all` | — | runs everything, writes `results/*.txt` |
 //!

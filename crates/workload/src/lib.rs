@@ -14,22 +14,31 @@
 //!   ratio, giving direct command of the paper's `h′` knob.
 //! * [`trace`] — serialisable trace records (JSON-lines and a compact
 //!   binary format) so experiments can be replayed.
+//! * [`events`] — the versioned `.events` binary trace format: a chunked
+//!   [`TraceStream`] reader that validates records and never materializes
+//!   the trace, plus the matching [`EventsWriter`].
+//! * [`scale`] — [`TraceScaler`]: superpose K time-dilated copies of one
+//!   trace with disjoint key spaces, to synthesize production-scale load.
 //! * [`synth_web`] — a synthetic web-proxy workload combining all of the
 //!   above (the substitution for the proprietary proxy logs of the era;
 //!   see DESIGN.md §7).
 
 pub mod arrivals;
 pub mod catalog;
+pub mod events;
 pub mod lru_stack;
 pub mod markov;
+pub mod scale;
 pub mod sessions;
 pub mod synth_web;
 pub mod trace;
 
 pub use arrivals::{ArrivalProcess, Mmpp2, PoissonArrivals};
 pub use catalog::{Catalog, ItemId};
+pub use events::{EventsWriter, TraceError, TraceSource, TraceStream};
 pub use lru_stack::LruStackStream;
 pub use markov::MarkovChain;
+pub use scale::{ScaledStream, TraceScaler};
 pub use sessions::{SessionArrivals, SessionProfile};
 pub use trace::{TraceReader, TraceRecord, TraceWriter};
 

@@ -38,7 +38,9 @@ impl TraceRecord {
     }
 
     /// Parses one JSON object with exactly the four record fields, in any
-    /// order, with optional whitespace.
+    /// order, with optional whitespace. Duplicate fields are rejected: a
+    /// record like `{"time":1.0,"time":2.0,...}` is corrupt input, not a
+    /// last-wins override.
     fn from_json(s: &str) -> Result<Self, String> {
         let body = s
             .trim()
@@ -46,6 +48,13 @@ impl TraceRecord {
             .and_then(|r| r.strip_suffix('}'))
             .ok_or_else(|| format!("not a JSON object: {s:?}"))?;
         let (mut time, mut client, mut item, mut size) = (None, None, None, None);
+        fn set<T>(slot: &mut Option<T>, value: T, key: &str) -> Result<(), String> {
+            if slot.is_some() {
+                return Err(format!("duplicate field {key:?}"));
+            }
+            *slot = Some(value);
+            Ok(())
+        }
         for field in body.split(',') {
             let (key, value) =
                 field.split_once(':').ok_or_else(|| format!("malformed field: {field:?}"))?;
@@ -56,10 +65,12 @@ impl TraceRecord {
                 .ok_or_else(|| format!("malformed key: {key:?}"))?;
             let value = value.trim();
             match key {
-                "time" => time = Some(value.parse::<f64>().map_err(|e| e.to_string())?),
-                "client" => client = Some(value.parse::<u32>().map_err(|e| e.to_string())?),
-                "item" => item = Some(value.parse::<u64>().map_err(|e| e.to_string())?),
-                "size" => size = Some(value.parse::<f64>().map_err(|e| e.to_string())?),
+                "time" => set(&mut time, value.parse::<f64>().map_err(|e| e.to_string())?, key)?,
+                "client" => {
+                    set(&mut client, value.parse::<u32>().map_err(|e| e.to_string())?, key)?
+                }
+                "item" => set(&mut item, value.parse::<u64>().map_err(|e| e.to_string())?, key)?,
+                "size" => set(&mut size, value.parse::<f64>().map_err(|e| e.to_string())?, key)?,
                 other => return Err(format!("unknown field {other:?}")),
             }
         }
@@ -83,7 +94,16 @@ impl<W: Write> TraceWriter<W> {
         TraceWriter { out, written: 0 }
     }
 
+    /// Writes one record as a JSON line. Non-finite time or size is an
+    /// error: `{:?}` would render `inf`/`NaN`, which is not JSON (and
+    /// diverges from `simcore::json::render`, which nulls non-finite).
     pub fn write(&mut self, rec: &TraceRecord) -> io::Result<()> {
+        if !rec.time.is_finite() {
+            return Err(io::Error::other(format!("non-finite time {:?}", rec.time)));
+        }
+        if !rec.size.is_finite() {
+            return Err(io::Error::other(format!("non-finite size {:?}", rec.size)));
+        }
         self.out.write_all(rec.to_json().as_bytes())?;
         self.out.write_all(b"\n")?;
         self.written += 1;
@@ -148,8 +168,25 @@ pub fn encode_binary(records: &[TraceRecord]) -> Vec<u8> {
     buf
 }
 
-/// Decodes the binary format. Errors on trailing garbage.
+/// Decodes the binary format with the same per-record validation the
+/// `.events` streaming reader applies (finite non-negative time and size,
+/// non-decreasing time). Errors on trailing garbage. For old fixtures that
+/// predate validation, use [`decode_binary_unchecked`].
 pub fn decode_binary(buf: &[u8]) -> Result<Vec<TraceRecord>, String> {
+    let out = decode_binary_unchecked(buf)?;
+    let mut prev = None;
+    for (index, rec) in out.iter().enumerate() {
+        crate::events::validate_record(rec, prev)
+            .map_err(|reason| format!("record {index}: {reason}"))?;
+        prev = Some(rec.time);
+    }
+    Ok(out)
+}
+
+/// Decodes the binary format without record validation — the legacy
+/// behaviour, which accepts any 28-byte-multiple blob. Only length and
+/// alignment are checked.
+pub fn decode_binary_unchecked(buf: &[u8]) -> Result<Vec<TraceRecord>, String> {
     const REC: usize = 8 + 4 + 8 + 8;
     if !buf.len().is_multiple_of(REC) {
         return Err(format!("trace length {} is not a multiple of {REC}", buf.len()));
@@ -236,5 +273,68 @@ mod tests {
     #[test]
     fn binary_empty_is_ok() {
         assert_eq!(decode_binary(&[]).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn json_write_rejects_non_finite_time() {
+        let mut writer = TraceWriter::new(Vec::new());
+        let rec = TraceRecord::new(f64::INFINITY, 0, ItemId(1), 1.0);
+        let err = writer.write(&rec).unwrap_err();
+        assert!(err.to_string().contains("non-finite time"), "{err}");
+        assert_eq!(writer.written(), 0);
+        assert!(writer.into_inner().is_empty(), "nothing may reach the sink");
+    }
+
+    #[test]
+    fn json_write_rejects_nan_size() {
+        let mut writer = TraceWriter::new(Vec::new());
+        let rec = TraceRecord::new(1.0, 0, ItemId(1), f64::NAN);
+        let err = writer.write(&rec).unwrap_err();
+        assert!(err.to_string().contains("non-finite size"), "{err}");
+        assert_eq!(writer.written(), 0);
+    }
+
+    #[test]
+    fn json_rejects_duplicate_fields() {
+        let text = "{\"time\":1.0,\"time\":2.0,\"client\":2,\"item\":3,\"size\":4.0}\n";
+        let mut reader = TraceReader::new(text.as_bytes());
+        let err = reader.read().unwrap_err();
+        assert!(err.to_string().contains("duplicate field \"time\""), "{err}");
+        let text = "{\"time\":1.0,\"client\":2,\"item\":3,\"size\":4.0,\"size\":4.0}\n";
+        let mut reader = TraceReader::new(text.as_bytes());
+        let err = reader.read().unwrap_err();
+        assert!(err.to_string().contains("duplicate field \"size\""), "{err}");
+    }
+
+    #[test]
+    fn binary_rejects_invalid_records() {
+        let negative_time = vec![TraceRecord::new(-1.0, 0, ItemId(1), 1.0)];
+        let err = decode_binary(&encode_binary(&negative_time)).unwrap_err();
+        assert!(err.contains("negative time"), "{err}");
+
+        let nan_size = vec![TraceRecord::new(1.0, 0, ItemId(1), f64::NAN)];
+        let err = decode_binary(&encode_binary(&nan_size)).unwrap_err();
+        assert!(err.contains("non-finite size"), "{err}");
+
+        let decreasing = vec![
+            TraceRecord::new(2.0, 0, ItemId(1), 1.0),
+            TraceRecord::new(1.0, 0, ItemId(2), 1.0),
+        ];
+        let err = decode_binary(&encode_binary(&decreasing)).unwrap_err();
+        assert!(err.starts_with("record 1:"), "{err}");
+    }
+
+    #[test]
+    fn binary_unchecked_keeps_legacy_behaviour() {
+        let soup = vec![
+            TraceRecord::new(f64::NAN, 7, ItemId(9), -3.0),
+            TraceRecord::new(-5.0, 1, ItemId(2), f64::INFINITY),
+        ];
+        let buf = encode_binary(&soup);
+        let back = decode_binary_unchecked(&buf).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(back[0].time.is_nan());
+        assert_eq!(back[1].size, f64::INFINITY);
+        assert!(decode_binary(&buf).is_err(), "checked path must reject the same bytes");
     }
 }

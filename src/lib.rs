@@ -47,7 +47,7 @@
 //! | [`netsim`] | `netsim` | parametric + trace-driven end-to-end simulators |
 //! | [`cluster`] | `cluster` | multi-node network-of-queues simulator (topologies, per-link `ρ`, per-node adaptive control, cooperative mode) |
 //! | [`coop`] | `coop` | cooperative caching: consistent-hash placement, Bloom digests + incremental delta exchange, peer/origin routing |
-//! | [`harness`] | `harness` | experiment reports E1–E16 (figures + validation + cluster + cooperation + scale + digest deltas) |
+//! | [`harness`] | `harness` | experiment reports E1–E21 (figures + validation + cluster + cooperation + scale + digest deltas + observability + delayed hits + trace replay) |
 //!
 //! ## Scaling out: the `cluster` layer
 //!
@@ -313,6 +313,77 @@
 //! layer's `DelayedHit` spans (`cluster/tests/trace_parity.rs`); shard
 //! parity holds bit-identically in every MSHR configuration
 //! (`cluster/tests/mshr_parity.rs`).
+//!
+//! ## Trace replay: record once, rerun exactly, scale by superposition
+//!
+//! Every synthetic cluster run can now be captured as a versioned binary
+//! `.events` trace and replayed — **bit-identically**. The format is a
+//! 16-byte header (magic `PFEV`, version, record count) over the compact
+//! 28-byte record layout; [`workload::TraceStream`] decodes it lazily in
+//! fixed-size chunks with per-record validation (finite fields,
+//! non-decreasing time), so replaying a multi-gigabyte capture holds one
+//! chunk resident per proxy, never the trace
+//! ([`workload::TraceStream::peak_resident_bytes`] pins the high-water
+//! mark). [`cluster::ClusterSim::run_recorded`] attaches the recorder to
+//! any workload — recording never draws RNG or reorders events, so the
+//! report and the merged trace are identical at every shard count — and
+//! [`cluster::Workload::Trace`] drives the closed-loop engine from a
+//! [`cluster::TraceSource`] instead of the synthetic web model. Because
+//! each proxy's prefetch-jitter RNG splits off before any workload draw
+//! and the learned Markov predictor only proposes items the replay has
+//! already seen, a replay on the recording topology reproduces the source
+//! [`cluster::ClusterReport`] bit-for-bit (derived `PartialEq`, no
+//! tolerance — `cluster/tests/replay_parity.rs` pins it at shard counts
+//! {1, 2, 4, 8}):
+//!
+//! ```
+//! use cluster::{ClusterSim, TraceSource, TraceWorkload, Workload};
+//! # use cluster::{AdaptiveWorkload, CandidateSource, ClusterConfig, ProxyPolicy, Topology};
+//! # use workload::synth_web::SynthWebConfig;
+//! # let workload = AdaptiveWorkload {
+//! #     proxies: vec![SynthWebConfig { lambda: 14.0, n_items: 80,
+//! #         ..SynthWebConfig::default() }; 2],
+//! #     cache_capacity: 24, cache_bytes: None, max_candidates: 3,
+//! #     prefetch_jitter: 0.01, policy: ProxyPolicy::Adaptive,
+//! #     predictor: CandidateSource::Markov1, // replay needs a learned predictor
+//! #     shared_structure_seed: None, delayed: Default::default(),
+//! # };
+//! # let config = ClusterConfig {
+//! #     topology: Topology::mesh_with_latency(2, 60.0, 40.0, 45.0, 0.05),
+//! #     workload: Workload::Adaptive(workload.clone()),
+//! #     requests_per_proxy: 400, warmup_per_proxy: 80,
+//! # };
+//! // Record a synthetic run…
+//! let (source_report, trace) = ClusterSim::new(&config).run_recorded(7, 2);
+//!
+//! // …and replay the trace through the same mesh: bit-identical report.
+//! let replay_config = ClusterConfig {
+//!     topology: config.topology.clone(),
+//!     workload: Workload::Trace(TraceWorkload::replaying(
+//!         &workload,
+//!         TraceSource::from_records(&trace).unwrap(),
+//!     )),
+//!     requests_per_proxy: config.requests_per_proxy,
+//!     warmup_per_proxy: config.warmup_per_proxy,
+//! };
+//! let (replayed, stats) = ClusterSim::new(&replay_config).run_replayed(7, 2);
+//! assert_eq!(replayed, source_report);
+//! assert_eq!(stats.records_replayed, trace.len() as u64);
+//! ```
+//!
+//! One capture also scales: [`workload::TraceScaler`] superposes K
+//! time-dilated copies with disjoint key spaces (a lazy K-way merge —
+//! memory stays O(K × chunk)), modelling K independent populations on a
+//! K×-bigger fabric. Experiment E21 (`cargo run --release --bin replay`)
+//! runs the whole pipeline — record, write the `.events` sample, scale
+//! ×{1, 4, 16}, replay up to a 256-proxy mesh — and writes section
+//! `e21_replay` of `OBS_cluster.json` (records/sec, peak resident trace
+//! bytes, hit-ratio and network-load deltas vs the synthetic source),
+//! schema-checked in CI by `--bin replay -- --check` and covered by the
+//! sentinel. The codecs themselves are proptested
+//! (`workload/tests/trace_formats.rs`): arbitrary finite records
+//! round-trip JSON, legacy binary, and `.events` exactly; truncations,
+//! header bit-flips, and wrong versions are errors, never panics.
 
 pub use cachesim;
 pub use cluster;
@@ -333,8 +404,8 @@ pub mod prelude {
         ValueAwareCache, Waiter,
     };
     pub use cluster::{
-        ClusterConfig, ClusterReport, ClusterSim, DelayedHitsConfig, RankingMode, Topology,
-        Workload,
+        ClusterConfig, ClusterReport, ClusterSim, DelayedHitsConfig, RankingMode, ReplayStats,
+        Topology, TraceWorkload, Workload,
     };
     pub use coop::{
         CoopConfig, DeltaDigest, DeltaOp, HashRing, Placement, RefreshStrategy, Resolution, Router,
@@ -348,7 +419,10 @@ pub mod prelude {
     };
     pub use queueing::theory::{MG1Fifo, MG1Ps, MM1};
     pub use simcore::prelude::*;
-    pub use workload::{Catalog, ItemId, MarkovChain, RequestStream};
+    pub use workload::{
+        Catalog, ItemId, MarkovChain, RequestStream, TraceRecord, TraceScaler, TraceSource,
+        TraceStream,
+    };
 }
 
 #[cfg(test)]
