@@ -11,6 +11,7 @@ use cluster::{ClusterSim, DelayedHitsConfig};
 use coop::{BloomFilter, CoopConfig, DeltaOp, HashRing, RefreshStrategy, Router};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use simcore::dist::Exponential;
+use simcore::faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan, RetryPolicy};
 
 fn bench_cluster_event_loop(c: &mut Criterion) {
     let mut g = c.benchmark_group("cluster_event_loop");
@@ -77,6 +78,42 @@ fn bench_cluster_event_loop(c: &mut Criterion) {
         g.throughput(Throughput::Elements((config.requests_per_proxy * 64) as u64));
         g.bench_function(format!("delayed_mesh_64proxies_{label}"), |b| {
             b.iter(|| black_box(ClusterSim::new(&config).run(2)));
+        });
+    }
+    // Fault injection: the same 64-proxy cooperative latency mesh plain,
+    // through the fault-aware paths with an empty plan, and under a
+    // flapping plan. The first two rows are bit-identical simulations
+    // (pinned by `cluster/tests/fault_parity.rs`) — their wall-clock gap
+    // *is* the zero-fault overhead of threading `FaultConfig` through the
+    // engines, and it should read ≈ 0 off adjacent lines.
+    {
+        let config = latency_coop_cluster(64, 1_000, 0.05);
+        let reqs = (config.requests_per_proxy * 64) as u64;
+        let empty = FaultConfig::default();
+        let flapping = FaultConfig {
+            plan: FaultPlan::new(vec![
+                FaultEvent {
+                    t: 2.0,
+                    kind: FaultKind::LinkDegrade { link: 0, loss: 0.2, latency_factor: 1.5 },
+                },
+                FaultEvent { t: 4.0, kind: FaultKind::LinkDown { link: 1 } },
+                FaultEvent { t: 6.0, kind: FaultKind::LinkUp { link: 1 } },
+                FaultEvent { t: 8.0, kind: FaultKind::OriginBrownout { delay: 0.2 } },
+                FaultEvent { t: 10.0, kind: FaultKind::ProxyCrash { proxy: 3 } },
+                FaultEvent { t: 12.0, kind: FaultKind::LinkUp { link: 0 } },
+                FaultEvent { t: 12.0, kind: FaultKind::OriginRestore },
+            ]),
+            retry: RetryPolicy::default(),
+        };
+        g.throughput(Throughput::Elements(reqs));
+        g.bench_function("chaos_mesh_64proxies_baseline", |b| {
+            b.iter(|| black_box(ClusterSim::new(&config).run_sharded(2, 1)));
+        });
+        g.bench_function("chaos_mesh_64proxies_nofaults", |b| {
+            b.iter(|| black_box(ClusterSim::new(&config).run_faulted(2, 1, &empty)));
+        });
+        g.bench_function("chaos_mesh_64proxies_flapping", |b| {
+            b.iter(|| black_box(ClusterSim::new(&config).run_faulted(2, 1, &flapping)));
         });
     }
     // Delta refresh vs the full-rebuild oracle, whole-engine: identical

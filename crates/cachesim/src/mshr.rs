@@ -143,12 +143,14 @@ pub enum MshrAccess {
 pub struct Mshr<K> {
     config: MshrConfig,
     table: HashMap<K, MshrEntry>,
+    demand_misses: u64,
     origin_fetches: u64,
     origin_bytes: f64,
     coalesced: u64,
     rejections: u64,
     settled_entries: u64,
     settled_waiters: u64,
+    failed: u64,
 }
 
 impl<K: Copy + Eq + Hash> Mshr<K> {
@@ -159,12 +161,14 @@ impl<K: Copy + Eq + Hash> Mshr<K> {
         Mshr {
             config,
             table: HashMap::new(),
+            demand_misses: 0,
             origin_fetches: 0,
             origin_bytes: 0.0,
             coalesced: 0,
             rejections: 0,
             settled_entries: 0,
             settled_waiters: 0,
+            failed: 0,
         }
     }
 
@@ -207,6 +211,7 @@ impl<K: Copy + Eq + Hash> Mshr<K> {
     /// Coalesces onto an existing entry (recording `waiter`), allocates a
     /// new one, or bypasses the table — see [`FetchDecision`].
     pub fn on_demand_miss(&mut self, k: K, t: f64, bytes: f64, waiter: Waiter) -> FetchDecision {
+        self.demand_misses += 1;
         if self.config.coalesce {
             if let Some(entry) = self.table.get_mut(&k) {
                 entry.waiters.push(waiter);
@@ -266,6 +271,43 @@ impl<K: Copy + Eq + Hash> Mshr<K> {
         entry
     }
 
+    /// The fetch for `k` was abandoned (timed out past its retry budget,
+    /// or lost to a crash): removes and returns its entry so the caller
+    /// can settle the queued waiters with a failure outcome — waiters
+    /// never leak. A demand-origin entry is *reclassified*: it no longer
+    /// counts as an origin fetch (the data never arrived) and instead
+    /// counts toward [`Mshr::failed`], preserving the conservation law
+    /// `origin_fetches + coalesced + failed == demand_misses`. Prefetch
+    /// entries are simply dropped — speculative fetches were never part
+    /// of the demand ledger. `None` for untracked or already-settled
+    /// keys.
+    /// The outstanding entry for `k`, if any — lets callers check the
+    /// entry's origin and launch instant before deciding whether a
+    /// pending failure settlement still refers to it (a crash may have
+    /// drained the table, or a newer fetch generation may own the slot).
+    pub fn entry(&self, k: &K) -> Option<&MshrEntry> {
+        self.table.get(k)
+    }
+
+    pub fn fail(&mut self, k: &K) -> Option<MshrEntry> {
+        let entry = self.table.remove(k)?;
+        if entry.origin == FetchOrigin::Demand {
+            self.failed += 1;
+            self.origin_fetches -= 1;
+            self.origin_bytes -= entry.bytes;
+        }
+        Some(entry)
+    }
+
+    /// An *untracked* (bypassed) demand fetch was abandoned: reclassify
+    /// it from origin fetch to failure, refunding `bytes`, exactly as
+    /// [`Mshr::fail`] does for tracked entries.
+    pub fn fail_untracked(&mut self, bytes: f64) {
+        self.failed += 1;
+        self.origin_fetches -= 1;
+        self.origin_bytes -= bytes;
+    }
+
     /// Origin fetches authorised (tracked launches + bypasses): how many
     /// times key data was actually requested from upstream.
     pub fn origin_fetches(&self) -> u64 {
@@ -304,6 +346,42 @@ impl<K: Copy + Eq + Hash> Mshr<K> {
     pub fn waiter_depth_mean(&self) -> Option<f64> {
         (self.settled_entries > 0)
             .then(|| self.settled_waiters as f64 / self.settled_entries as f64)
+    }
+
+    /// Demand misses that ended in failure (see [`Mshr::fail`]).
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
+    /// Demand misses presented to the table, whatever their outcome.
+    pub fn demand_misses(&self) -> u64 {
+        self.demand_misses
+    }
+
+    /// The extended conservation law: every demand miss either launched a
+    /// fetch that (eventually) succeeds, coalesced onto one, or failed.
+    pub fn conservation_ok(&self) -> bool {
+        self.origin_fetches + self.coalesced + self.failed == self.demand_misses
+    }
+}
+
+impl<K: Copy + Eq + Hash + Ord> Mshr<K> {
+    /// Drains every outstanding entry — a node crash loses the table
+    /// wholesale. Demand-origin entries reclassify as failures exactly as
+    /// in [`Mshr::fail`]; the survivors' waiters are returned (sorted by
+    /// key, so crash settlement order is deterministic) for the caller to
+    /// settle with a failure outcome.
+    pub fn drain_failed(&mut self) -> Vec<(K, MshrEntry)> {
+        let mut drained: Vec<(K, MshrEntry)> = self.table.drain().collect();
+        drained.sort_by_key(|(k, _)| *k);
+        for (_, entry) in &drained {
+            if entry.origin == FetchOrigin::Demand {
+                self.failed += 1;
+                self.origin_fetches -= 1;
+                self.origin_bytes -= entry.bytes;
+            }
+        }
+        drained
     }
 }
 
@@ -394,6 +472,72 @@ mod tests {
         assert_eq!(m.origin_fetches(), 2);
         assert_eq!(m.coalesced(), 0);
         assert!(m.complete(&9).unwrap().waiters.is_empty());
+    }
+
+    #[test]
+    fn failed_fetch_settles_waiters_and_keeps_conservation() {
+        let mut m: Mshr<u32> = Mshr::unbounded();
+        m.on_demand_miss(7, 0.0, 4.0, Waiter::demand(0.0));
+        m.on_demand_miss(7, 0.3, 4.0, Waiter::demand(0.3));
+        m.on_demand_miss(8, 0.1, 2.0, Waiter::demand(0.1));
+        assert!(m.conservation_ok());
+        // Key 7's fetch exhausts its retry budget: the entry reclassifies
+        // (no origin fetch happened) and its waiter comes back to settle.
+        let entry = m.fail(&7).unwrap();
+        assert_eq!(entry.origin, FetchOrigin::Demand);
+        assert_eq!(entry.waiters.len(), 1);
+        assert_eq!(m.failed(), 1);
+        assert_eq!(m.origin_fetches(), 1);
+        assert_eq!(m.origin_bytes(), 2.0);
+        assert_eq!(m.demand_misses(), 3);
+        assert!(m.conservation_ok());
+        // Double-fail is inert, like a duplicate completion.
+        assert!(m.fail(&7).is_none());
+        assert!(m.complete(&8).is_some());
+        assert!(m.conservation_ok());
+    }
+
+    #[test]
+    fn failed_prefetch_drops_without_reclassification() {
+        let mut m: Mshr<u32> = Mshr::unbounded();
+        assert!(m.reserve_prefetch(5, 0.0, 3.0));
+        m.on_demand_miss(5, 0.2, 3.0, Waiter::demand(0.2));
+        let entry = m.fail(&5).unwrap();
+        assert_eq!(entry.origin, FetchOrigin::Prefetch);
+        assert_eq!(entry.waiters.len(), 1);
+        // Prefetches never joined the demand ledger, so nothing moves —
+        // but the coalesced waiter keeps the law balanced.
+        assert_eq!(m.failed(), 0);
+        assert_eq!(m.origin_fetches(), 0);
+        assert!(m.conservation_ok());
+    }
+
+    #[test]
+    fn untracked_failure_reclassifies_bypass() {
+        let mut m: Mshr<u32> = Mshr::new(MshrConfig { entries: Some(1), coalesce: true });
+        m.on_demand_miss(1, 0.0, 1.0, Waiter::demand(0.0));
+        assert_eq!(m.on_demand_miss(2, 0.1, 5.0, Waiter::demand(0.1)), FetchDecision::Bypass);
+        m.fail_untracked(5.0);
+        assert_eq!(m.failed(), 1);
+        assert_eq!(m.origin_fetches(), 1);
+        assert_eq!(m.origin_bytes(), 1.0);
+        assert!(m.conservation_ok());
+    }
+
+    #[test]
+    fn crash_drain_is_sorted_and_reclassifies_demand_entries() {
+        let mut m: Mshr<u32> = Mshr::unbounded();
+        m.on_demand_miss(9, 0.0, 2.0, Waiter::demand(0.0));
+        m.on_demand_miss(3, 0.1, 2.0, Waiter::demand(0.1));
+        assert!(m.reserve_prefetch(6, 0.2, 1.0));
+        let drained = m.drain_failed();
+        let keys: Vec<u32> = drained.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![3, 6, 9]);
+        assert!(m.is_empty());
+        assert_eq!(m.failed(), 2);
+        assert_eq!(m.origin_fetches(), 0);
+        assert_eq!(m.origin_bytes(), 0.0);
+        assert!(m.conservation_ok());
     }
 
     #[test]

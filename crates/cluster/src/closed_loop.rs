@@ -55,7 +55,7 @@
 use crate::obs::{ClusterObs, EngineObs};
 use crate::report::{ClusterReport, CoopReport, LinkReport, NodeReport};
 use crate::shard::{
-    self, Effect, ShardRunner, CLASS_ARRIVE, CLASS_CHECK, CLASS_DELIVER, CLASS_DEPART,
+    self, Effect, ShardRunner, CLASS_ARRIVE, CLASS_CHECK, CLASS_DELIVER, CLASS_DEPART, CLASS_FAIL,
     CLASS_PREFETCH, CLASS_REQUEST, N_CLASSES,
 };
 use crate::sim::{proxy_seed, LinkState, Scope, ScopeIndex};
@@ -65,7 +65,7 @@ use crate::{
     TraceWorkload,
 };
 use cachesim::{
-    AccessKind, LruCache, Mshr, MshrAccess, MshrConfig, ReplacementCache, TaggedCache,
+    AccessKind, FetchOrigin, LruCache, Mshr, MshrAccess, MshrConfig, ReplacementCache, TaggedCache,
     ValueAwareCache, Waiter,
 };
 use coop::{CoopConfig, DeltaOp, RefreshPayload, RefreshStrategy, Router};
@@ -73,6 +73,7 @@ use predictor::{MarkovPredictor, OraclePredictor, Predictor};
 use prefetch_core::controller::{AdaptiveController, ControllerConfig};
 use prefetch_core::estimator::EntryStatus;
 use prefetch_core::AggregateDelay;
+use simcore::faults::{FaultConfig, FaultKind};
 use simcore::obs::ObsConfig;
 use simcore::rng::Rng;
 use simcore::sched::TimedQueue;
@@ -121,6 +122,10 @@ pub(crate) struct Job {
     issued: f64,
     item: ItemId,
     kind: JobKind,
+    /// Whether this fetch owns an MSHR entry (false = a bypassed demand
+    /// fetch on a full table). Failure settlement reclassifies exactly
+    /// what the launch allocated.
+    tracked: bool,
     /// Trace id when this job is head-sampled, 0 otherwise. Rides the job
     /// through effects/mailboxes so cross-shard hops keep recording.
     trace: u64,
@@ -390,6 +395,24 @@ struct ProxyState {
     peer_bytes: f64,
     peer_fetches: u64,
     peer_false_hits: u64,
+    /// Fetch attempts declared failed at their timeout (fault runs only;
+    /// all of the following stay zero under an empty plan).
+    timeouts: u64,
+    /// Re-attempts the retry budget paid for after a timeout.
+    retries: u64,
+    /// Peer-routed fetches rerouted to the origin because their peer
+    /// route was dark at launch.
+    failovers: u64,
+    /// Fetches (demand and prefetch) that exhausted their attempt budget
+    /// and settled as failed.
+    failed_fetches: u64,
+    /// Measured requests (fetch owners and coalesced waiters) that
+    /// settled with a failure instead of data — the unavailability
+    /// numerator.
+    measured_failed: u64,
+    /// Cache entries wiped by crashes plus digest delta ops dropped by
+    /// crashes/digest-loss faults.
+    lost_entries: u64,
 }
 
 /// One scope of closed-loop simulation state plus one handler per event
@@ -424,6 +447,9 @@ pub(crate) struct Engine<'a> {
     checks: Vec<TimedQueue<Job>>,
     /// Per-local-proxy queued response deliveries (`false_hit` flagged).
     delivers: Vec<TimedQueue<(Job, bool)>>,
+    /// Per-local-proxy queued fetch-failure settlements (fault runs only;
+    /// empty and never polled past its `None` head otherwise).
+    fails: Vec<TimedQueue<Job>>,
     /// Cross-instant / cross-scope handoffs staged for the driver.
     effects: Vec<Effect<Job>>,
     /// Timer streams touched since the driver last re-synced.
@@ -444,6 +470,17 @@ pub(crate) struct Engine<'a> {
     /// `proxy + stride * client`, so replay can route each record back to
     /// its source proxy by `client % stride`.
     client_stride: u32,
+    /// Fault schedule and retry policy when this run injects faults;
+    /// `None` keeps every fault hook to one branch, and an **empty** plan
+    /// behaves bit-identically to `None` (every query answers healthy
+    /// without touching a float or an RNG).
+    faults: Option<&'a FaultConfig>,
+    /// The run seed — packet-loss rolls and backoff jitter are pure
+    /// hashes of it, never draws from the workload RNG streams.
+    seed: u64,
+    /// Per-local-proxy "ship a full snapshot at the next epoch boundary"
+    /// flags, set by crash/digest-loss faults (parallel to `deltas`).
+    force_snapshot: Vec<bool>,
 }
 
 /// Mirrors one access-time sample into the latency probe. A free function
@@ -537,6 +574,31 @@ fn settle_waiters(
     residual_sum
 }
 
+/// Settles the waiters of a **failed** fetch at `t`: their wait ends with
+/// a failure, not data, so they count toward unavailability instead of
+/// delayed hits. Each measured waiter still records the full wall-clock it
+/// spent blocked as an access time — graceful degradation is visible in
+/// `t̄`, not hidden from it.
+fn settle_failed_waiters(
+    trace: &mut Option<Box<TraceBuf>>,
+    obs: &mut Option<Box<EngineObs>>,
+    p: &mut ProxyState,
+    waiters: &[Waiter],
+    t: f64,
+    proxy: u64,
+    item: u64,
+) {
+    for w in waiters {
+        let wf = if w.measured { TF_MEASURED } else { 0 };
+        trace_point(trace, w.trace, t, SpanKind::Wait, proxy, w.t, item, wf);
+        if w.measured {
+            p.measured_failed += 1;
+            p.access_times.push(t - w.t);
+            obs_lat(obs, t - w.t);
+        }
+    }
+}
+
 /// Bookkeeping shared by every cache admission: drop evicted entries'
 /// pending prefetch-cost records (they can never be credited once the
 /// entry is gone) and append the ops the digest delta protocol ships at
@@ -571,7 +633,23 @@ fn resolve(router: Option<&Router>, me: usize, item: ItemId) -> Dest {
     }
 }
 
+/// Builds one proxy's (empty) tagged store from the policy knobs — used
+/// at construction and again when a crash fault cold-restarts the proxy.
+fn new_store(knobs: &Knobs) -> Store {
+    match knobs.delayed.ranking {
+        RankingMode::Recency => Store::Lru(TaggedCache::new(match knobs.cache_bytes {
+            Some(bytes) => LruCache::with_byte_capacity(knobs.cache_capacity, bytes),
+            None => LruCache::new(knobs.cache_capacity),
+        })),
+        RankingMode::AggregateDelay => Store::Ranked(TaggedCache::new(match knobs.cache_bytes {
+            Some(bytes) => ValueAwareCache::with_byte_capacity(knobs.cache_capacity, bytes),
+            None => ValueAwareCache::new(knobs.cache_capacity),
+        })),
+    }
+}
+
 impl<'a> Engine<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         topology: &'a Topology,
         workload: EngineWorkload<'a>,
@@ -580,7 +658,11 @@ impl<'a> Engine<'a> {
         warmup: usize,
         seed: u64,
         scope: Scope,
+        faults: Option<&'a FaultConfig>,
     ) -> Self {
+        if let Some(fc) = faults {
+            fc.retry.validate();
+        }
         let links: Vec<LinkState> =
             scope.links.iter().map(|&g| LinkState::new(&topology.links()[g])).collect();
         let knobs = workload.knobs();
@@ -639,24 +721,7 @@ impl<'a> Engine<'a> {
                     rng,
                     jitter_rng,
                     source,
-                    cache: match knobs.delayed.ranking {
-                        RankingMode::Recency => {
-                            Store::Lru(TaggedCache::new(match knobs.cache_bytes {
-                                Some(bytes) => {
-                                    LruCache::with_byte_capacity(knobs.cache_capacity, bytes)
-                                }
-                                None => LruCache::new(knobs.cache_capacity),
-                            }))
-                        }
-                        RankingMode::AggregateDelay => {
-                            Store::Ranked(TaggedCache::new(match knobs.cache_bytes {
-                                Some(bytes) => {
-                                    ValueAwareCache::with_byte_capacity(knobs.cache_capacity, bytes)
-                                }
-                                None => ValueAwareCache::new(knobs.cache_capacity),
-                            }))
-                        }
-                    },
+                    cache: new_store(&knobs),
                     controller: AdaptiveController::new(ControllerConfig::model_a(
                         topology.proxy_bottleneck(i),
                     )),
@@ -688,6 +753,12 @@ impl<'a> Engine<'a> {
                     peer_bytes: 0.0,
                     peer_fetches: 0,
                     peer_false_hits: 0,
+                    timeouts: 0,
+                    retries: 0,
+                    failovers: 0,
+                    failed_fetches: 0,
+                    measured_failed: 0,
+                    lost_entries: 0,
                 }
             })
             .collect();
@@ -696,6 +767,7 @@ impl<'a> Engine<'a> {
             Some(_) => vec![Vec::new(); proxies.len()],
             None => Vec::new(),
         };
+        let force_snapshot = vec![false; deltas.len()];
         let delta_crossover = coop_cfg
             .map(|c| c.digest.delta_crossover_ops(knobs.cache_capacity))
             .unwrap_or(u64::MAX);
@@ -713,6 +785,7 @@ impl<'a> Engine<'a> {
             arrivals: (0..scope.links.len()).map(|_| TimedQueue::new()).collect(),
             checks: (0..scope.proxies.len()).map(|_| TimedQueue::new()).collect(),
             delivers: (0..scope.proxies.len()).map(|_| TimedQueue::new()).collect(),
+            fails: (0..scope.proxies.len()).map(|_| TimedQueue::new()).collect(),
             effects: Vec::new(),
             dirty: Vec::new(),
             t_end: 0.0,
@@ -723,6 +796,9 @@ impl<'a> Engine<'a> {
             trace: None,
             recorder: None,
             client_stride: topology.n_proxies() as u32,
+            faults,
+            seed,
+            force_snapshot,
         }
     }
 
@@ -822,10 +898,46 @@ impl<'a> Engine<'a> {
         self.proxies[i].delayed.peek().map(|d| d.due)
     }
 
+    /// Propagation latency into global link `g` at `now`, inflated by any
+    /// active degradation fault. The factor is 1.0 on healthy links and
+    /// the multiply is skipped entirely, so unfaulted latencies stay
+    /// bit-identical; a degrade fault guarantees factor ≥ 1, which keeps
+    /// conservative-window lookaheads sound.
+    fn entry_latency_at(&self, g: usize, now: f64) -> f64 {
+        let base = self.topology.entry_latency(g);
+        if let Some(fc) = self.faults {
+            let f = fc.plan.link_latency_factor(g, now);
+            if f != 1.0 {
+                return base * f;
+            }
+        }
+        base
+    }
+
+    /// Summed return propagation of `route` at `now`, per-hop inflated
+    /// like [`Engine::entry_latency_at`].
+    fn return_latency_at(&self, route: &[usize], now: f64) -> f64 {
+        match self.faults {
+            Some(fc) => route
+                .iter()
+                .map(|&g| {
+                    let base = self.topology.entry_latency(g);
+                    let f = fc.plan.link_latency_factor(g, now);
+                    if f != 1.0 {
+                        base * f
+                    } else {
+                        base
+                    }
+                })
+                .sum(),
+            None => self.topology.return_latency(route),
+        }
+    }
+
     /// Stages `job`'s entry into global link `g` at `tau` (`now` plus the
     /// link's propagation latency; equal to `now` on zero-latency hops).
     fn send_arrive(&mut self, g: usize, now: f64, job: Job) {
-        let tau = now + self.topology.entry_latency(g);
+        let tau = now + self.entry_latency_at(g, now);
         debug_assert!(tau >= now);
         self.effects.push(Effect::Arrive { link: g as u32, t: tau, job });
     }
@@ -834,21 +946,100 @@ impl<'a> Engine<'a> {
     /// the peer route's last hop).
     fn send_check(&mut self, last_link: usize, now: f64, job: Job) {
         let Dest::Peer(q) = job.dest else { unreachable!("check on an origin transfer") };
-        let tau = now + self.topology.entry_latency(last_link);
+        let tau = now + self.entry_latency_at(last_link, now);
         self.effects.push(Effect::Check { q, t: tau, job });
     }
 
     /// Stages `job`'s response delivery back at its requesting proxy,
-    /// after the return propagation of `route`.
+    /// after the return propagation of `route` — plus any active origin
+    /// brownout delay on origin responses.
     fn send_deliver(&mut self, route: &[usize], now: f64, job: Job, false_hit: bool) {
-        let tau = now + self.topology.return_latency(route);
+        let mut tau = now + self.return_latency_at(route, now);
+        if matches!(job.dest, Dest::Origin) {
+            if let Some(fc) = self.faults {
+                let d = fc.plan.origin_delay(now);
+                if d > 0.0 {
+                    tau += d;
+                }
+            }
+        }
         self.effects.push(Effect::Deliver { p: job.proxy, t: tau, job, false_hit });
     }
 
+    /// Any link on `job`'s current path down at `t`? Origin routes also
+    /// consult the origin's own blackout state. A pure query of the
+    /// static plan — identical under every sharding.
+    fn route_dark(&self, job: &Job, t: f64) -> bool {
+        let Some(fc) = self.faults else { return false };
+        if matches!(job.dest, Dest::Origin) && fc.plan.origin_dark(t) {
+            return true;
+        }
+        job.path(self.topology).iter().any(|&g| fc.plan.link_down(g, t))
+    }
+
+    /// Does attempt `attempt` of `job`, launched at `t`, make it? Dark
+    /// routes always fail; degraded links lose the attempt with a
+    /// deterministic per-`(job, attempt)` roll.
+    fn attempt_survives(&self, fc: &FaultConfig, job: &Job, attempt: u32, t: f64) -> bool {
+        if self.route_dark(job, t) {
+            return false;
+        }
+        !job.path(self.topology)
+            .iter()
+            .any(|&g| fc.plan.attempt_lost(self.seed, g, job.id, attempt, t))
+    }
+
     /// Injects `job` onto the first link of its path at time `t`.
-    fn launch(&mut self, t: f64, job: Job) {
-        let first = job.path(self.topology)[0];
-        self.send_arrive(first, t, job);
+    ///
+    /// Under a fault plan this is where the whole timeout–retry–backoff
+    /// schedule resolves, **analytically**: the plan is static, so each
+    /// attempt's fate (dark route, lost packet, or success) is a pure
+    /// function of its launch instant. Each failed attempt charges
+    /// `timeout + backoff(k)` of pure client-side wall clock (the lost
+    /// attempt never occupies a link); the surviving attempt enters the
+    /// network at its delayed instant; exhausting the budget stages a
+    /// `Fail` effect at the last attempt's timeout expiry. A dark peer
+    /// route fails over to the origin before spending an attempt — the
+    /// cooperative mesh degrades instead of stalling (quarantined crash
+    /// victims are already filtered at resolution). Speculative transfers
+    /// get exactly one attempt: a prefetch is never worth a retry budget.
+    fn launch(&mut self, t: f64, mut job: Job) {
+        let Some(fc) = self.faults else {
+            let first = job.path(self.topology)[0];
+            self.send_arrive(first, t, job);
+            return;
+        };
+        let attempts = match job.kind {
+            JobKind::Demand { .. } => fc.retry.attempts(),
+            JobKind::Prefetch { .. } => 1,
+        };
+        let mut t_att = t;
+        for attempt in 0..attempts {
+            if matches!(job.dest, Dest::Peer(_)) && self.route_dark(&job, t_att) {
+                let i = self.scope.proxy_local(job.proxy as usize).expect("launch in scope");
+                self.proxies[i].failovers += 1;
+                job.dest = Dest::Origin;
+                job.hop = 0;
+            }
+            if self.attempt_survives(fc, &job, attempt, t_att) {
+                let first = job.path(self.topology)[0];
+                self.send_arrive(first, t_att, job);
+                return;
+            }
+            let i = self.scope.proxy_local(job.proxy as usize).expect("launch in scope");
+            self.proxies[i].timeouts += 1;
+            let expiry = t_att + fc.retry.timeout;
+            if attempt + 1 < attempts {
+                self.proxies[i].retries += 1;
+                let next = expiry + fc.retry.backoff(self.seed, job.id, attempt);
+                let jp = job.proxy as u64;
+                trace_job(&mut self.trace, &mut job, next, SpanKind::Retry, jp, expiry, 0);
+                t_att = next;
+            } else {
+                self.effects.push(Effect::Fail { p: job.proxy, t: expiry, job });
+                return;
+            }
+        }
     }
 
     /// A link departure event on local link `l` at time `t`.
@@ -1063,6 +1254,83 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Queued fetch-failure settlements at local proxy `i` coming due at
+    /// `t` (fault runs only).
+    pub(crate) fn on_fails(&mut self, t: f64, i: usize) {
+        self.obs_tick(t);
+        self.t_end = t;
+        while let Some(job) = self.fails[i].pop_due(t) {
+            self.fail_now(i, t, job);
+        }
+        self.dirty.push((CLASS_FAIL, i));
+    }
+
+    /// `job`'s fetch exhausted its attempt budget — settle it (and every
+    /// coalesced waiter) as **failed** at `t`, the last attempt's timeout
+    /// expiry. The MSHR entry is reclassified with a failure outcome so
+    /// the conservation law `origin_fetches + coalesced + failed ==
+    /// demand_misses` stays exact, and the bytes of the never-launched
+    /// leg are refunded: a transfer that never entered a link is client
+    /// pain, not network load.
+    fn fail_now(&mut self, i: usize, t: f64, mut job: Job) {
+        self.t_end = t;
+        debug_assert_eq!(self.scope.proxies[i], job.proxy as usize);
+        let jp = job.proxy as u64;
+        let pf = if matches!(job.kind, JobKind::Prefetch { .. }) { TF_PREFETCH } else { 0 };
+        trace_job(&mut self.trace, &mut job, t, SpanKind::Failed, jp, 0.0, pf);
+        let p = &mut self.proxies[i];
+        p.failed_fetches += 1;
+        let entry = match job.kind {
+            JobKind::Demand { measured } => {
+                p.demand_bytes -= job.size;
+                if measured {
+                    let sojourn = t - job.issued;
+                    p.measured_failed += 1;
+                    p.access_times.push(sojourn);
+                    p.total_job_time += sojourn;
+                    obs_lat(&mut self.obs, sojourn);
+                }
+                if !job.tracked {
+                    // A bypassed fetch has no entry; reclassify by volume.
+                    p.mshr.fail_untracked(job.size);
+                    None
+                } else if p
+                    .mshr
+                    .entry(&job.item)
+                    .is_some_and(|e| e.origin == FetchOrigin::Demand && e.issued == job.issued)
+                {
+                    p.mshr.fail(&job.item)
+                } else {
+                    // The entry is gone (a crash drained and reclassified
+                    // it) or belongs to a newer fetch generation — nothing
+                    // of ours left to settle.
+                    None
+                }
+            }
+            JobKind::Prefetch { .. } => {
+                p.prefetch_bytes -= job.size;
+                if p.mshr.entry(&job.item).is_some_and(|e| e.origin == FetchOrigin::Prefetch) {
+                    // Duplicate reservations are filtered on the table, so
+                    // a Prefetch-origin entry for this item is this job's.
+                    p.mshr.fail(&job.item)
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(entry) = entry {
+            settle_failed_waiters(
+                &mut self.trace,
+                &mut self.obs,
+                p,
+                &entry.waiters,
+                t,
+                jp,
+                job.item.0,
+            );
+        }
+    }
+
     /// A jittered prefetch decision of local proxy `i` coming due.
     pub(crate) fn on_issue_prefetch(&mut self, i: usize, router: Option<&Router>) {
         let me = self.scope.proxies[i];
@@ -1101,6 +1369,7 @@ impl<'a> Engine<'a> {
                 issued: pfx.due,
                 item: pfx.item,
                 kind: JobKind::Prefetch { measured: pfx.measured },
+                tracked: true,
                 trace: tid,
                 tseq: 0,
             };
@@ -1178,6 +1447,7 @@ impl<'a> Engine<'a> {
         }
         let in_window = idx >= self.warm;
         let mut launch_demand = false;
+        let mut fetch_tracked = true;
         // The request's head-sampling decision is a pure hash of
         // `(proxy, request index)` — identical under every sharding.
         let rid = match self.trace.as_deref() {
@@ -1229,13 +1499,14 @@ impl<'a> Engine<'a> {
                     p.measured += 1;
                 }
             }
-            MshrAccess::Fetch { .. } => {
+            MshrAccess::Fetch { tracked } => {
                 p.controller.on_miss(t, req.size);
                 if in_window {
                     p.measured += 1;
                 }
                 p.demand_bytes += req.size;
                 launch_demand = true;
+                fetch_tracked = tracked;
             }
         }
         if launch_demand {
@@ -1257,6 +1528,7 @@ impl<'a> Engine<'a> {
                 issued: t,
                 item: req.item,
                 kind: JobKind::Demand { measured: in_window },
+                tracked: fetch_tracked,
                 trace: rid,
                 tseq: 0,
             };
@@ -1336,7 +1608,7 @@ impl shard::EngineCore for Engine<'_> {
 
     fn class_counts(&self) -> [usize; N_CLASSES] {
         let (l, p) = (self.links.len(), self.proxies.len());
-        [l, l, p, p, p, p]
+        [l, l, p, p, p, p, p]
     }
 
     fn global_id(&self, class: usize, idx: usize) -> usize {
@@ -1354,6 +1626,7 @@ impl shard::EngineCore for Engine<'_> {
             CLASS_DELIVER => self.delivers[idx].next_time(),
             CLASS_REQUEST => self.request_due(idx),
             CLASS_PREFETCH => self.prefetch_due(idx),
+            CLASS_FAIL => self.fails[idx].next_time(),
             _ => unreachable!("unknown class {class}"),
         }
     }
@@ -1366,6 +1639,7 @@ impl shard::EngineCore for Engine<'_> {
             CLASS_DELIVER => self.on_delivers(t, idx),
             CLASS_REQUEST => self.on_request(idx, router),
             CLASS_PREFETCH => self.on_issue_prefetch(idx, router),
+            CLASS_FAIL => self.on_fails(t, idx),
             _ => unreachable!("unknown class {class}"),
         }
     }
@@ -1389,6 +1663,10 @@ impl shard::EngineCore for Engine<'_> {
                 let i = self.scope.proxy_local(p as usize).expect("deliver in scope");
                 self.deliver_now(i, t, job, false_hit);
             }
+            Effect::Fail { p, job, .. } => {
+                let i = self.scope.proxy_local(p as usize).expect("fail in scope");
+                self.fail_now(i, t, job);
+            }
         }
     }
 
@@ -1409,6 +1687,11 @@ impl shard::EngineCore for Engine<'_> {
                 self.delivers[i].push(t, job.id, (job, false_hit));
                 self.dirty.push((CLASS_DELIVER, i));
             }
+            Effect::Fail { p, t, job } => {
+                let i = self.scope.proxy_local(p as usize).expect("fail in scope");
+                self.fails[i].push(t, job.id, job);
+                self.dirty.push((CLASS_FAIL, i));
+            }
         }
     }
 
@@ -1417,6 +1700,7 @@ impl shard::EngineCore for Engine<'_> {
             Effect::Arrive { link, .. } => self.scope.link_local(*link as usize).is_some(),
             Effect::Check { q, .. } => self.scope.proxy_local(*q as usize).is_some(),
             Effect::Deliver { p, .. } => self.scope.proxy_local(*p as usize).is_some(),
+            Effect::Fail { p, .. } => self.scope.proxy_local(*p as usize).is_some(),
         }
     }
 
@@ -1440,28 +1724,84 @@ impl shard::EngineCore for Engine<'_> {
             let load = p.controller.rho_prime_estimate().unwrap_or(0.0);
             let snapshot =
                 |p: &ProxyState| p.cache.keys().iter().map(|k| k.0).collect::<Vec<u64>>();
-            let payload = match self.refresh_strategy {
-                RefreshStrategy::Deltas => {
-                    RefreshPayload::Deltas(std::mem::take(&mut self.deltas[li]))
-                }
-                RefreshStrategy::FullRebuild => {
-                    // The snapshot supersedes the buffered stream; discard
-                    // it so engine state stays identical across strategies.
-                    self.deltas[li].clear();
-                    RefreshPayload::Snapshot(snapshot(p))
-                }
-                RefreshStrategy::Auto => {
-                    // The compaction fallback: a delta stream that outgrew
-                    // the snapshot's wire size ships the snapshot instead.
-                    if self.deltas[li].len() as u64 > self.delta_crossover {
+            let payload = if self.force_snapshot[li] {
+                // A crash or digest loss invalidated the peers' view of
+                // this node; the next boundary ships a full snapshot no
+                // matter which refresh strategy is configured.
+                self.force_snapshot[li] = false;
+                self.deltas[li].clear();
+                RefreshPayload::Snapshot(snapshot(p))
+            } else {
+                match self.refresh_strategy {
+                    RefreshStrategy::Deltas => {
+                        RefreshPayload::Deltas(std::mem::take(&mut self.deltas[li]))
+                    }
+                    RefreshStrategy::FullRebuild => {
+                        // The snapshot supersedes the buffered stream; discard
+                        // it so engine state stays identical across strategies.
                         self.deltas[li].clear();
                         RefreshPayload::Snapshot(snapshot(p))
-                    } else {
-                        RefreshPayload::Deltas(std::mem::take(&mut self.deltas[li]))
+                    }
+                    RefreshStrategy::Auto => {
+                        // The compaction fallback: a delta stream that outgrew
+                        // the snapshot's wire size ships the snapshot instead.
+                        if self.deltas[li].len() as u64 > self.delta_crossover {
+                            self.deltas[li].clear();
+                            RefreshPayload::Snapshot(snapshot(p))
+                        } else {
+                            RefreshPayload::Deltas(std::mem::take(&mut self.deltas[li]))
+                        }
                     }
                 }
             };
             out.push((self.scope.proxies[li], load, payload));
+        }
+    }
+
+    fn apply_fault(&mut self, t: f64, kind: &FaultKind) {
+        match kind {
+            FaultKind::ProxyCrash { proxy } => {
+                let Some(i) = self.scope.proxy_local(*proxy) else { return };
+                self.t_end = self.t_end.max(t);
+                let jp = *proxy as u64;
+                let p = &mut self.proxies[i];
+                // The data plane is lost: cached entries, the outstanding
+                // fetch table, and the buffered digest stream. The control
+                // plane (controller, predictor) survives the restart, as
+                // does anything already in flight on the wire — a transfer
+                // launched before the crash still lands on the cold cache.
+                p.lost_entries += p.cache.keys().len() as u64;
+                p.cache = new_store(&self.knobs);
+                p.prefetch_cost.clear();
+                let drained = p.mshr.drain_failed();
+                for (item, entry) in &drained {
+                    if entry.origin == FetchOrigin::Demand {
+                        p.failed_fetches += 1;
+                    }
+                    settle_failed_waiters(
+                        &mut self.trace,
+                        &mut self.obs,
+                        p,
+                        &entry.waiters,
+                        t,
+                        jp,
+                        item.0,
+                    );
+                }
+                if self.coop_on {
+                    self.deltas[i].clear();
+                    self.force_snapshot[i] = true;
+                }
+            }
+            FaultKind::DigestLoss { proxy } => {
+                let Some(i) = self.scope.proxy_local(*proxy) else { return };
+                if self.coop_on {
+                    self.proxies[i].lost_entries += self.deltas[i].len() as u64;
+                    self.deltas[i].clear();
+                    self.force_snapshot[i] = true;
+                }
+            }
+            _ => debug_assert!(false, "non-boundary fault {kind:?} routed to an engine"),
         }
     }
 }
@@ -1470,6 +1810,13 @@ impl shard::EngineCore for Engine<'_> {
 fn node_report(p: &ProxyState, proxy: usize, n_requests: u64, coop_on: bool) -> NodeReport {
     let (mean_access, ci) = p.access_times.mean_ci();
     let measured = p.measured.max(1);
+    // Every demand miss launched a fetch that succeeds, coalesced onto
+    // one, or failed — faults must not leak requests out of the ledger.
+    debug_assert!(
+        p.mshr.conservation_ok(),
+        "proxy {proxy}: MSHR conservation law violated \
+         (origin_fetches + coalesced + failed != demand_misses)"
+    );
     // Per-distinct-entry accounting conserves prefetched bytes exactly:
     // every transferred byte is either used (served a demand) or not — no
     // clamp needed to keep goodput within the prefetched volume.
@@ -1511,6 +1858,18 @@ fn node_report(p: &ProxyState, proxy: usize, n_requests: u64, coop_on: bool) -> 
         mean_residual_wait: (p.delayed_hits > 0).then(|| p.residual.mean()),
         mean_waiter_depth: p.mshr.waiter_depth_mean(),
         mshr_rejections: Some(p.mshr.rejections()),
+        demand_misses: Some(p.mshr.demand_misses()),
+        mshr_failed: Some(p.mshr.failed()),
+        timeouts: p.timeouts,
+        retries: p.retries,
+        failovers: p.failovers,
+        failed_fetches: p.failed_fetches,
+        lost_entries: p.lost_entries,
+        unavailability: if p.measured > 0 {
+            p.measured_failed as f64 / p.measured as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -1623,9 +1982,14 @@ pub(crate) fn run_observed(
     plan: &ShardPlan,
     obs: Option<&ObsConfig>,
     record: bool,
+    faults: Option<&FaultConfig>,
 ) -> (ClusterReport, Option<ClusterObs>, RunExtras) {
     let router =
         coop_cfg.map(|c| Router::new(topology.n_proxies(), workload.knobs().cache_capacity, *c));
+    // Boundary faults (crashes, digest losses) apply at globally
+    // synchronised driver boundaries; everything else is a pure time
+    // query the engines make directly against the plan.
+    let boundary = faults.map(|f| f.plan.boundary_events()).unwrap_or_default();
     let obs_cfg = obs.filter(|c| c.enabled);
     // Series sample on the explicit grid, or the cooperative digest epoch
     // when none was given; without either, series probes stay off.
@@ -1639,7 +2003,7 @@ pub(crate) fn run_observed(
         .map(|s| {
             let scope = Scope::shard(topology, plan, s);
             let mut engine =
-                Engine::new(topology, workload, coop_cfg, requests, warmup, seed, scope);
+                Engine::new(topology, workload, coop_cfg, requests, warmup, seed, scope, faults);
             if trace_every > 0 {
                 engine.attach_trace(trace_every);
             }
@@ -1658,7 +2022,7 @@ pub(crate) fn run_observed(
         .collect();
     let driver =
         if plan.n_shards() > 1 && plan.lookahead() > 0.0 { "windowed" } else { "sequential" };
-    let (runners, router) = shard::drive(runners, router, plan);
+    let (runners, router) = shard::drive(runners, router, plan, &boundary);
 
     let mut engines = Vec::with_capacity(plan.n_shards());
     let mut profiles = Vec::new();

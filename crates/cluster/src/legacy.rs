@@ -80,6 +80,7 @@ pub fn run(config: &ClusterConfig<'_>, seed: u64) -> ClusterReport {
                 config.warmup_per_proxy,
                 seed,
                 scope,
+                None,
             );
             run_static(&config.topology, eng)
         }
@@ -92,6 +93,7 @@ pub fn run(config: &ClusterConfig<'_>, seed: u64) -> ClusterReport {
                 config.warmup_per_proxy,
                 seed,
                 scope,
+                None,
             );
             run_closed(&config.topology, eng, None)
         }
@@ -104,6 +106,7 @@ pub fn run(config: &ClusterConfig<'_>, seed: u64) -> ClusterReport {
                 config.warmup_per_proxy,
                 seed,
                 scope,
+                None,
             );
             let router = Router::new(config.topology.n_proxies(), w.base.cache_capacity, w.coop);
             run_closed(&config.topology, eng, Some(router))
@@ -117,6 +120,7 @@ pub fn run(config: &ClusterConfig<'_>, seed: u64) -> ClusterReport {
                 config.warmup_per_proxy,
                 seed,
                 scope,
+                None,
             );
             run_closed(&config.topology, eng, None)
         }

@@ -450,6 +450,15 @@ pub fn report_to_json(r: &ClusterReport) -> Json {
                 doc.insert("mean_residual_wait", opt_num(n.mean_residual_wait));
                 doc.insert("mean_waiter_depth", opt_num(n.mean_waiter_depth));
                 doc.insert("mshr_rejections", opt_num(n.mshr_rejections.map(|v| v as f64)));
+                doc.insert("demand_misses", opt_num(n.demand_misses.map(|v| v as f64)));
+                doc.insert("mshr_failed", opt_num(n.mshr_failed.map(|v| v as f64)));
+                doc = doc
+                    .set("timeouts", Json::num(n.timeouts as f64))
+                    .set("retries", Json::num(n.retries as f64))
+                    .set("failovers", Json::num(n.failovers as f64))
+                    .set("failed_fetches", Json::num(n.failed_fetches as f64))
+                    .set("lost_entries", Json::num(n.lost_entries as f64))
+                    .set("unavailability", Json::num(n.unavailability));
                 doc
             })
             .collect(),

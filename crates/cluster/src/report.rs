@@ -80,6 +80,32 @@ pub struct NodeReport {
     /// MSHR allocations refused by the entry budget (demand bypasses on a
     /// full table plus dropped prefetch reservations).
     pub mshr_rejections: Option<u64>,
+    /// Demand misses presented to the MSHR table, warm-up included.
+    /// Together with `origin_fetches`, `coalesced_requests`, and
+    /// `mshr_failed` this exposes the conservation law `origin_fetches +
+    /// coalesced + failed == demand_misses` for external checking.
+    pub demand_misses: Option<u64>,
+    /// Demand misses reclassified as failed in the MSHR ledger (timeout
+    /// exhaustion or crash drain), warm-up included.
+    pub mshr_failed: Option<u64>,
+    /// Fetch attempts that expired without an answer (fault runs; zero
+    /// otherwise), warm-up included.
+    pub timeouts: u64,
+    /// Retry attempts launched after a timeout, warm-up included.
+    pub retries: u64,
+    /// Peer-destined fetches re-routed to the origin because every path
+    /// to the peer was dark at launch, warm-up included.
+    pub failovers: u64,
+    /// Fetches that exhausted their attempt budget and settled as
+    /// failures (plus crash-drained demand fetches), warm-up included.
+    pub failed_fetches: u64,
+    /// Cache entries and buffered digest ops wiped by crash / digest-loss
+    /// faults at this proxy.
+    pub lost_entries: u64,
+    /// Fraction of measured requests that ended in failure instead of
+    /// data — the headline graceful-degradation metric. Zero without
+    /// faults.
+    pub unavailability: f64,
 }
 
 /// Activity of the cooperative layer over one run.
@@ -165,6 +191,42 @@ impl ClusterReport {
                 .sum::<f64>()
                 / total as f64
         })
+    }
+
+    /// The extended MSHR conservation law, checked cluster-wide: on every
+    /// node with a table, `origin_fetches + coalesced + failed ==
+    /// demand_misses` — faults must not leak demand misses out of the
+    /// ledger. Vacuously true for table-less modes.
+    pub fn mshr_conservation_ok(&self) -> bool {
+        self.nodes.iter().all(|n| {
+            match (n.origin_fetches, n.coalesced_requests, n.mshr_failed, n.demand_misses) {
+                (Some(o), Some(c), Some(f), Some(d)) => o + c + f == d,
+                _ => true,
+            }
+        })
+    }
+
+    /// Fetch failures across all proxies (zero without faults).
+    pub fn failed_fetches(&self) -> u64 {
+        self.nodes.iter().map(|n| n.failed_fetches).sum()
+    }
+
+    /// Retry attempts across all proxies (zero without faults).
+    pub fn retries(&self) -> u64 {
+        self.nodes.iter().map(|n| n.retries).sum()
+    }
+
+    /// Request-weighted cluster unavailability: the fraction of measured
+    /// requests, cluster-wide, that ended in failure instead of data.
+    /// Iterated in node order so the reduction is identical under every
+    /// sharding. Zero without faults.
+    pub fn unavailability(&self) -> f64 {
+        let measured: u64 = self.nodes.iter().map(|n| n.measured_requests).sum();
+        if measured == 0 {
+            return 0.0;
+        }
+        self.nodes.iter().map(|n| n.unavailability * n.measured_requests as f64).sum::<f64>()
+            / measured as f64
     }
 
     /// Mean waiter depth across all proxies, weighted by each proxy's
@@ -257,6 +319,14 @@ pub mod parity {
             assert!(close_opt(x.mean_residual_wait, y.mean_residual_wait), "{l}: residual");
             assert!(close_opt(x.mean_waiter_depth, y.mean_waiter_depth), "{l}: waiter depth");
             assert_eq!(x.mshr_rejections, y.mshr_rejections, "{l}: mshr rejections");
+            assert_eq!(x.demand_misses, y.demand_misses, "{l}: demand misses");
+            assert_eq!(x.mshr_failed, y.mshr_failed, "{l}: mshr failed");
+            assert_eq!(x.timeouts, y.timeouts, "{l}: timeouts");
+            assert_eq!(x.retries, y.retries, "{l}: retries");
+            assert_eq!(x.failovers, y.failovers, "{l}: failovers");
+            assert_eq!(x.failed_fetches, y.failed_fetches, "{l}: failed fetches");
+            assert_eq!(x.lost_entries, y.lost_entries, "{l}: lost entries");
+            assert!(close(x.unavailability, y.unavailability), "{l}: unavailability");
         }
         assert_eq!(a.links.len(), b.links.len(), "{label}: link count");
         for (x, y) in a.links.iter().zip(&b.links) {

@@ -64,6 +64,7 @@
 
 use crate::topology::ShardPlan;
 use coop::{RefreshPayload, Router};
+use simcore::faults::{FaultEvent, FaultKind};
 use simcore::obs::{FlightKind, FlightRecord, FlightRecorder, ObsConfig};
 use simcore::par::{Mailboxes, TimeBoard};
 use simcore::sched::{KeyLayout, Scheduler};
@@ -75,15 +76,17 @@ use std::time::Instant;
 /// Event classes, in same-instant firing order. Both engines and every
 /// driver build their key layouts from this sequence, so tie order is
 /// global: link departures < queued link arrivals < peer-serve checks <
-/// response deliveries < client requests < prefetch issues (< digest
-/// refresh, which the drivers order strictly last themselves).
+/// response deliveries < client requests < prefetch issues < fetch-
+/// failure settlements (< digest refresh, which the drivers order
+/// strictly last themselves).
 pub(crate) const CLASS_DEPART: usize = 0;
 pub(crate) const CLASS_ARRIVE: usize = 1;
 pub(crate) const CLASS_CHECK: usize = 2;
 pub(crate) const CLASS_DELIVER: usize = 3;
 pub(crate) const CLASS_REQUEST: usize = 4;
 pub(crate) const CLASS_PREFETCH: usize = 5;
-pub(crate) const N_CLASSES: usize = 6;
+pub(crate) const CLASS_FAIL: usize = 6;
+pub(crate) const N_CLASSES: usize = 7;
 
 /// A timestamped handoff between entities — possibly across shards. `J`
 /// is the engine's job type; effects carry the whole job so a transfer
@@ -99,12 +102,21 @@ pub(crate) enum Effect<J> {
     /// `false_hit` marks a peer that turned out not to hold the item (the
     /// requester then falls back to the origin).
     Deliver { p: u32, t: f64, job: J, false_hit: bool },
+    /// `job`'s fetch exhausted its retry budget; the failure settles at
+    /// its requesting proxy `p` at `t` (the last attempt's timeout
+    /// expiry). Always same-shard — the attempt schedule is resolved at
+    /// the requester — but carried as an effect so the settlement fires
+    /// in global `(time, rank)` order like every other handoff.
+    Fail { p: u32, t: f64, job: J },
 }
 
 impl<J> Effect<J> {
     pub(crate) fn time(&self) -> f64 {
         match self {
-            Effect::Arrive { t, .. } | Effect::Check { t, .. } | Effect::Deliver { t, .. } => *t,
+            Effect::Arrive { t, .. }
+            | Effect::Check { t, .. }
+            | Effect::Deliver { t, .. }
+            | Effect::Fail { t, .. } => *t,
         }
     }
 
@@ -113,7 +125,7 @@ impl<J> Effect<J> {
         match self {
             Effect::Arrive { link, .. } => plan.link_shard(*link as usize),
             Effect::Check { q, .. } => plan.proxy_shard(*q as usize),
-            Effect::Deliver { p, .. } => plan.proxy_shard(*p as usize),
+            Effect::Deliver { p, .. } | Effect::Fail { p, .. } => plan.proxy_shard(*p as usize),
         }
     }
 
@@ -123,6 +135,7 @@ impl<J> Effect<J> {
             Effect::Arrive { link, .. } => (CLASS_ARRIVE, *link as u64),
             Effect::Check { q, .. } => (CLASS_CHECK, *q as u64),
             Effect::Deliver { p, .. } => (CLASS_DELIVER, *p as u64),
+            Effect::Fail { p, .. } => (CLASS_FAIL, *p as u64),
         }
     }
 }
@@ -187,6 +200,11 @@ pub(crate) trait EngineCore: Send {
     fn sync_link_timer(&mut self, idx: usize, sched: &mut Scheduler, key: usize);
     /// Appends this scope's boundary payloads (cooperative engines only).
     fn refresh_payloads(&mut self, out: &mut Vec<BoundaryEntry>);
+    /// Applies a boundary fault (proxy crash / digest loss) at `t` to
+    /// whatever part of the faulted entity this scope owns; a no-op for
+    /// scopes that own none of it. Router-side consequences (quarantine)
+    /// are the driver's job.
+    fn apply_fault(&mut self, t: f64, kind: &FaultKind);
 }
 
 /// A shard bundled with its scheduler: owns event *selection* for one
@@ -390,6 +408,24 @@ fn refresh_all<C: EngineCore>(router: &mut Router, runners: &mut [ShardRunner<C>
     flush_boundary(router, entries);
 }
 
+/// Applies one boundary fault: every scope handles its share of the
+/// faulted entity, and a crash additionally quarantines the proxy's
+/// advertised state in the router. Shared by both drivers so crash
+/// semantics cannot diverge.
+fn fault_all<C: EngineCore>(
+    router: Option<&mut Router>,
+    runners: &mut [ShardRunner<C>],
+    ev: &FaultEvent,
+) {
+    for runner in runners.iter_mut() {
+        runner.core.apply_fault(ev.t, &ev.kind);
+        runner.resync();
+    }
+    if let (Some(r), FaultKind::ProxyCrash { proxy }) = (router, &ev.kind) {
+        r.quarantine(*proxy);
+    }
+}
+
 /// Single-threaded driver: merges the shard schedulers into the global
 /// `(time, rank)` order, with depth-first cross-shard effect settlement at
 /// each instant. With one full-scope shard this **is** the classic
@@ -401,9 +437,11 @@ pub(crate) fn drive_sequential<C: EngineCore>(
     mut runners: Vec<ShardRunner<C>>,
     mut router: Option<Router>,
     plan: &ShardPlan,
+    faults: &[FaultEvent],
 ) -> (Vec<ShardRunner<C>>, Option<Router>) {
     let mut dq: VecDeque<Effect<C::Job>> = VecDeque::new();
     let mut staged: Vec<Effect<C::Job>> = Vec::new();
+    let mut fi = 0usize;
     loop {
         // The globally earliest (time, rank) across shards.
         let mut best: Option<(f64, u64, usize)> = None;
@@ -420,9 +458,17 @@ pub(crate) fn drive_sequential<C: EngineCore>(
         }
         let Some((t, _, who)) = best else { break };
 
-        // Epoch boundaries strictly between events fire first (same
-        // precedence as the refresh timer's last-key position in the old
-        // single-scheduler driver: events at the boundary instant win).
+        // Boundary faults and epoch refreshes strictly between events
+        // fire first (events at the boundary instant win), faults before
+        // refreshes on ties — a crash's force-snapshot recovery must be
+        // visible to the boundary that follows it.
+        let next_fault = faults.get(fi).map(|e| e.t).unwrap_or(f64::INFINITY);
+        let next_refresh = router.as_ref().map(|r| r.next_refresh()).unwrap_or(f64::INFINITY);
+        if next_fault < t && next_fault <= next_refresh {
+            fault_all(router.as_mut(), &mut runners, &faults[fi]);
+            fi += 1;
+            continue;
+        }
         if let Some(r) = router.as_mut() {
             if r.next_refresh() < t {
                 refresh_all(r, &mut runners);
@@ -464,6 +510,9 @@ enum Round {
     Window { limit: f64, inclusive: bool },
     /// Build and publish refresh payloads for the armed epoch boundary.
     Refresh,
+    /// Apply a boundary fault: each shard handles its share of the
+    /// faulted entity; the coordinator quarantines the router afterwards.
+    Fault { t: f64, kind: FaultKind },
     /// All shards idle: exit.
     Stop,
 }
@@ -478,6 +527,7 @@ pub(crate) fn drive_windowed<C: EngineCore>(
     mut runners: Vec<ShardRunner<C>>,
     router: Option<Router>,
     plan: &ShardPlan,
+    faults: &[FaultEvent],
 ) -> (Vec<ShardRunner<C>>, Option<Router>) {
     let lookahead = plan.lookahead();
     assert!(lookahead > 0.0, "windowed driver needs positive lookahead");
@@ -533,6 +583,13 @@ pub(crate) fn drive_windowed<C: EngineCore>(
                             o.profile.refreshes += 1;
                         }
                     }
+                    Round::Fault { t, kind } => {
+                        // Each scope mutates only the entities it owns, so
+                        // the parallel application is race-free; the
+                        // router-side quarantine is the coordinator's.
+                        runner.core.apply_fault(t, &kind);
+                        runner.resync();
+                    }
                 }
                 timed_wait(barrier, &mut runner.obs);
                 // Exchange phase: everyone's sends for this round are in
@@ -551,21 +608,35 @@ pub(crate) fn drive_windowed<C: EngineCore>(
         }
 
         // Coordinator.
+        let mut fi = 0usize;
         loop {
             let t_min = board.min();
             let next_refresh =
                 router_cell.read().expect("router poisoned").as_ref().map(|r| r.next_refresh());
+            let next_fault = faults.get(fi).map(|e| e.t).unwrap_or(f64::INFINITY);
+            // The earliest pending boundary of either kind; ties go to the
+            // fault, matching the sequential driver.
+            let boundary = next_refresh.map_or(next_fault, |r| next_fault.min(r));
             let what = if t_min.is_infinite() {
                 Round::Stop
-            } else if next_refresh.is_some_and(|r| r < t_min) {
-                Round::Refresh
+            } else if boundary < t_min {
+                if next_fault <= next_refresh.unwrap_or(f64::INFINITY) {
+                    let ev = &faults[fi];
+                    Round::Fault { t: ev.t, kind: ev.kind }
+                } else {
+                    Round::Refresh
+                }
             } else {
-                let (limit, inclusive) = match next_refresh {
-                    // Events exactly at the boundary precede the refresh:
-                    // sweep them (and only them) inclusively.
-                    Some(r) if t_min == r => (r, true),
-                    Some(r) => ((t_min + lookahead).min(r), false),
-                    None => (t_min + lookahead, false),
+                let (limit, inclusive) = if boundary.is_finite() {
+                    // Events exactly at a boundary precede it: sweep them
+                    // (and only them) inclusively.
+                    if t_min == boundary {
+                        (boundary, true)
+                    } else {
+                        ((t_min + lookahead).min(boundary), false)
+                    }
+                } else {
+                    (t_min + lookahead, false)
                 };
                 assert!(
                     inclusive || limit > t_min,
@@ -580,12 +651,27 @@ pub(crate) fn drive_windowed<C: EngineCore>(
                 break;
             }
             barrier.wait();
-            if matches!(what, Round::Refresh) {
-                // Workers are in the exchange phase and never touch the
-                // router there; apply the boundary while they drain mail.
-                let entries = std::mem::take(&mut *payload_cell.lock().expect("payload sink"));
-                let mut guard = router_cell.write().expect("router poisoned");
-                flush_boundary(guard.as_mut().expect("refresh round without a router"), entries);
+            match what {
+                Round::Refresh => {
+                    // Workers are in the exchange phase and never touch the
+                    // router there; apply the boundary while they drain mail.
+                    let entries = std::mem::take(&mut *payload_cell.lock().expect("payload sink"));
+                    let mut guard = router_cell.write().expect("router poisoned");
+                    flush_boundary(
+                        guard.as_mut().expect("refresh round without a router"),
+                        entries,
+                    );
+                }
+                Round::Fault { kind, .. } => {
+                    if let FaultKind::ProxyCrash { proxy } = kind {
+                        let mut guard = router_cell.write().expect("router poisoned");
+                        if let Some(r) = guard.as_mut() {
+                            r.quarantine(proxy);
+                        }
+                    }
+                    fi += 1;
+                }
+                _ => {}
             }
             barrier.wait();
         }
@@ -602,10 +688,11 @@ pub(crate) fn drive<C: EngineCore>(
     runners: Vec<ShardRunner<C>>,
     router: Option<Router>,
     plan: &ShardPlan,
+    faults: &[FaultEvent],
 ) -> (Vec<ShardRunner<C>>, Option<Router>) {
     if runners.len() > 1 && plan.lookahead() > 0.0 {
-        drive_windowed(runners, router, plan)
+        drive_windowed(runners, router, plan, faults)
     } else {
-        drive_sequential(runners, router, plan)
+        drive_sequential(runners, router, plan, faults)
     }
 }

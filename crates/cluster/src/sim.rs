@@ -7,6 +7,7 @@ use crate::static_mode;
 use crate::topology::ShardPlan;
 use crate::{ClusterConfig, Topology, Workload};
 use queueing::{Completion, FifoServer, PsServer, Server};
+use simcore::faults::FaultConfig;
 use simcore::obs::ObsConfig;
 use simcore::Scheduler;
 use workload::TraceRecord;
@@ -30,7 +31,7 @@ impl<'a> ClusterSim<'a> {
     /// Runs the simulation to completion on the single-threaded driver.
     /// Deterministic in `seed`.
     pub fn run(&self, seed: u64) -> ClusterReport {
-        self.run_on(seed, &ShardPlan::partition(&self.config.topology, 1), None, false).0
+        self.run_on(seed, &ShardPlan::partition(&self.config.topology, 1), None, false, None).0
     }
 
     /// Runs the simulation partitioned into `shards` shard-local event
@@ -44,7 +45,43 @@ impl<'a> ClusterSim<'a> {
     /// zero-latency crossing hop) admits no conservative window at all,
     /// so the shards are merged on one thread instead.
     pub fn run_sharded(&self, seed: u64, shards: usize) -> ClusterReport {
-        self.run_on(seed, &ShardPlan::partition(&self.config.topology, shards), None, false).0
+        self.run_on(seed, &ShardPlan::partition(&self.config.topology, shards), None, false, None).0
+    }
+
+    /// Runs the simulation under a deterministic fault plan: link
+    /// outages/degradations, proxy crashes, origin brownouts, and digest
+    /// losses injected at scheduled virtual times, with per-fetch
+    /// timeout–retry–backoff governed by the plan's [`RetryPolicy`].
+    ///
+    /// Two pinned determinism properties (`cluster/tests/fault_parity.rs`):
+    /// an **empty** plan is bit-identical to [`ClusterSim::run_sharded`]
+    /// at the same `(seed, shards)` — the fault machinery adds no RNG
+    /// draws, float operations, or event reorderings until a fault
+    /// actually fires — and any plan is bit-identical across shard
+    /// counts.
+    ///
+    /// [`RetryPolicy`]: simcore::faults::RetryPolicy
+    pub fn run_faulted(&self, seed: u64, shards: usize, faults: &FaultConfig) -> ClusterReport {
+        let plan = ShardPlan::partition(&self.config.topology, shards);
+        self.run_on(seed, &plan, None, false, Some(faults)).0
+    }
+
+    /// [`ClusterSim::run_faulted`] with the observability layer attached
+    /// (see [`ClusterSim::run_observed`] for the obs contract).
+    pub fn run_faulted_observed(
+        &self,
+        seed: u64,
+        shards: usize,
+        faults: &FaultConfig,
+        obs: &ObsConfig,
+    ) -> (ClusterReport, ClusterObs) {
+        let plan = ShardPlan::partition(&self.config.topology, shards);
+        let driver = if shards > 1 && plan.lookahead() > 0.0 { "windowed" } else { "sequential" };
+        let wall = std::time::Instant::now();
+        let (report, obs_out, _) = self.run_on(seed, &plan, Some(obs), false, Some(faults));
+        let mut obs_out = obs_out.unwrap_or_else(|| ClusterObs::empty(shards, driver));
+        obs_out.wall_secs = wall.elapsed().as_secs_f64();
+        (report, obs_out)
     }
 
     /// Runs the simulation while recording every issued request, returning
@@ -59,7 +96,7 @@ impl<'a> ClusterSim<'a> {
     /// [`crate::Workload::Trace`].
     pub fn run_recorded(&self, seed: u64, shards: usize) -> (ClusterReport, Vec<TraceRecord>) {
         let plan = ShardPlan::partition(&self.config.topology, shards);
-        let (report, _, extras) = self.run_on(seed, &plan, None, true);
+        let (report, _, extras) = self.run_on(seed, &plan, None, true, None);
         (report, extras.recorded.expect("recording was requested"))
     }
 
@@ -76,7 +113,7 @@ impl<'a> ClusterSim<'a> {
             "run_replayed needs a Workload::Trace config"
         );
         let plan = ShardPlan::partition(&self.config.topology, shards);
-        let (report, _, extras) = self.run_on(seed, &plan, None, false);
+        let (report, _, extras) = self.run_on(seed, &plan, None, false, None);
         (report, extras.replay.expect("trace workloads produce replay stats"))
     }
 
@@ -97,7 +134,7 @@ impl<'a> ClusterSim<'a> {
         let plan = ShardPlan::partition(&self.config.topology, shards);
         let driver = if shards > 1 && plan.lookahead() > 0.0 { "windowed" } else { "sequential" };
         let wall = std::time::Instant::now();
-        let (report, obs_out, _) = self.run_on(seed, &plan, Some(obs), false);
+        let (report, obs_out, _) = self.run_on(seed, &plan, Some(obs), false, None);
         let mut obs_out = obs_out.unwrap_or_else(|| ClusterObs::empty(shards, driver));
         obs_out.wall_secs = wall.elapsed().as_secs_f64();
         (report, obs_out)
@@ -109,6 +146,7 @@ impl<'a> ClusterSim<'a> {
         plan: &ShardPlan,
         obs: Option<&ObsConfig>,
         record: bool,
+        faults: Option<&FaultConfig>,
     ) -> (ClusterReport, Option<ClusterObs>, RunExtras) {
         match &self.config.workload {
             Workload::Static(w) => static_mode::run_observed(
@@ -120,6 +158,7 @@ impl<'a> ClusterSim<'a> {
                 plan,
                 obs,
                 record,
+                faults,
             ),
             Workload::Adaptive(w) => closed_loop::run_observed(
                 &self.config.topology,
@@ -131,6 +170,7 @@ impl<'a> ClusterSim<'a> {
                 plan,
                 obs,
                 record,
+                faults,
             ),
             Workload::Cooperative(w) => closed_loop::run_observed(
                 &self.config.topology,
@@ -142,6 +182,7 @@ impl<'a> ClusterSim<'a> {
                 plan,
                 obs,
                 record,
+                faults,
             ),
             Workload::Trace(w) => closed_loop::run_observed(
                 &self.config.topology,
@@ -153,6 +194,7 @@ impl<'a> ClusterSim<'a> {
                 plan,
                 obs,
                 record,
+                faults,
             ),
         }
     }

@@ -18,14 +18,15 @@
 use crate::obs::{ClusterObs, EngineObs};
 use crate::report::{ClusterReport, LinkReport, NodeReport};
 use crate::shard::{
-    self, Effect, ShardRunner, CLASS_ARRIVE, CLASS_CHECK, CLASS_DELIVER, CLASS_DEPART,
+    self, Effect, ShardRunner, CLASS_ARRIVE, CLASS_CHECK, CLASS_DELIVER, CLASS_DEPART, CLASS_FAIL,
     CLASS_PREFETCH, CLASS_REQUEST, N_CLASSES,
 };
 use crate::sim::{proxy_seed, LinkState, Scope, ScopeIndex};
 use crate::topology::ShardPlan;
 use crate::{StaticWorkload, Topology};
-use cachesim::{FetchDecision, Mshr, Waiter};
+use cachesim::{FetchDecision, FetchOrigin, Mshr, Waiter};
 use coop::Router;
+use simcore::faults::{FaultConfig, FaultKind};
 use simcore::obs::ObsConfig;
 use simcore::rng::Rng;
 use simcore::sched::TimedQueue;
@@ -88,6 +89,14 @@ struct ProxyState {
     delayed_hits: u64,
     /// Residual waits of those measured delayed hits.
     residual: Welford,
+    /// Fetch attempts that expired without an answer (fault runs only).
+    timeouts: u64,
+    /// Retry attempts launched after a timeout (fault runs only).
+    retries: u64,
+    /// Fetches that exhausted their attempt budget (fault runs only).
+    failed_fetches: u64,
+    /// Measured requests that ended in failure instead of data.
+    measured_failed: u64,
 }
 
 /// One scope of open-loop simulation state plus one handler per event
@@ -103,6 +112,13 @@ pub(crate) struct Engine<'a> {
     jobs: HashMap<u64, Job>,
     arrivals: Vec<TimedQueue<Job>>,
     delivers: Vec<TimedQueue<(Job, bool)>>,
+    /// Analytically-resolved fetch failures pending settlement, one queue
+    /// per local proxy (empty without a fault plan).
+    fails: Vec<TimedQueue<Job>>,
+    /// The fault plan and retry policy, when this is a fault run.
+    faults: Option<&'a FaultConfig>,
+    /// The run seed (feeds the deterministic loss/backoff hashes).
+    seed: u64,
     effects: Vec<Effect<Job>>,
     dirty: Vec<(usize, usize)>,
     t_end: f64,
@@ -176,7 +192,11 @@ impl<'a> Engine<'a> {
         warmup: usize,
         seed: u64,
         scope: Scope,
+        faults: Option<&'a FaultConfig>,
     ) -> Self {
+        if let Some(fc) = faults {
+            fc.retry.validate();
+        }
         let links: Vec<LinkState> =
             scope.links.iter().map(|&g| LinkState::new(&topology.links()[g])).collect();
         let proxies: Vec<ProxyState> = scope
@@ -217,6 +237,10 @@ impl<'a> Engine<'a> {
                     mshr: w.catalog_items.map(|_| Mshr::unbounded()),
                     delayed_hits: 0,
                     residual: Welford::new(),
+                    timeouts: 0,
+                    retries: 0,
+                    failed_fetches: 0,
+                    measured_failed: 0,
                 }
             })
             .collect();
@@ -230,6 +254,9 @@ impl<'a> Engine<'a> {
             jobs: HashMap::new(),
             arrivals: (0..scope.links.len()).map(|_| TimedQueue::new()).collect(),
             delivers: (0..scope.proxies.len()).map(|_| TimedQueue::new()).collect(),
+            fails: (0..scope.proxies.len()).map(|_| TimedQueue::new()).collect(),
+            faults,
+            seed,
             effects: Vec::new(),
             dirty: Vec::new(),
             t_end: 0.0,
@@ -318,14 +345,108 @@ impl<'a> Engine<'a> {
         (p.issued < self.n_requests && p.next_prefetch_t.is_finite()).then_some(p.next_prefetch_t)
     }
 
+    /// Entry propagation of global link `g` at `now`, inflated by the
+    /// plan's active degradation factor. Bit-identity: the multiply only
+    /// happens when the factor differs from one, so an empty plan never
+    /// touches the base latency's float path.
+    fn entry_latency_at(&self, g: usize, now: f64) -> f64 {
+        let base = self.topology.entry_latency(g);
+        if let Some(fc) = self.faults {
+            let f = fc.plan.link_latency_factor(g, now);
+            if f != 1.0 {
+                return base * f;
+            }
+        }
+        base
+    }
+
+    /// Summed return propagation of `route` at `now`, per-hop inflated
+    /// like [`Engine::entry_latency_at`].
+    fn return_latency_at(&self, route: &[usize], now: f64) -> f64 {
+        match self.faults {
+            Some(fc) => route
+                .iter()
+                .map(|&g| {
+                    let base = self.topology.entry_latency(g);
+                    let f = fc.plan.link_latency_factor(g, now);
+                    if f != 1.0 {
+                        base * f
+                    } else {
+                        base
+                    }
+                })
+                .sum(),
+            None => self.topology.return_latency(route),
+        }
+    }
+
     fn send_arrive(&mut self, g: usize, now: f64, job: Job) {
-        let tau = now + self.topology.entry_latency(g);
+        let tau = now + self.entry_latency_at(g, now);
         self.effects.push(Effect::Arrive { link: g as u32, t: tau, job });
     }
 
-    fn launch(&mut self, t: f64, job: Job) {
-        let first = self.topology.route(job.proxy as usize, job.shard as usize)[0];
-        self.send_arrive(first, t, job);
+    /// Any link on `job`'s route down at `t`, or the origin blacked out?
+    /// A pure query of the static plan — identical under every sharding.
+    fn route_dark(&self, job: &Job, t: f64) -> bool {
+        let Some(fc) = self.faults else { return false };
+        if fc.plan.origin_dark(t) {
+            return true;
+        }
+        self.topology
+            .route(job.proxy as usize, job.shard as usize)
+            .iter()
+            .any(|&g| fc.plan.link_down(g, t))
+    }
+
+    /// Does attempt `attempt` of `job`, launched at `t`, make it?
+    fn attempt_survives(&self, fc: &FaultConfig, job: &Job, attempt: u32, t: f64) -> bool {
+        if self.route_dark(job, t) {
+            return false;
+        }
+        !self
+            .topology
+            .route(job.proxy as usize, job.shard as usize)
+            .iter()
+            .any(|&g| fc.plan.attempt_lost(self.seed, g, job.id, attempt, t))
+    }
+
+    /// Injects `job` onto the first link of its route at time `t`.
+    ///
+    /// Under a fault plan the whole timeout–retry–backoff schedule
+    /// resolves here, analytically: the plan is static, so each attempt's
+    /// fate is a pure function of its launch instant (see the closed-loop
+    /// twin for the full argument). Prefetches get exactly one attempt.
+    fn launch(&mut self, t: f64, mut job: Job) {
+        let Some(fc) = self.faults else {
+            let first = self.topology.route(job.proxy as usize, job.shard as usize)[0];
+            self.send_arrive(first, t, job);
+            return;
+        };
+        let attempts = match job.kind {
+            JobKind::Demand { .. } => fc.retry.attempts(),
+            JobKind::Prefetch { .. } => 1,
+        };
+        let mut t_att = t;
+        for attempt in 0..attempts {
+            if self.attempt_survives(fc, &job, attempt, t_att) {
+                let first = self.topology.route(job.proxy as usize, job.shard as usize)[0];
+                self.send_arrive(first, t_att, job);
+                return;
+            }
+            let i = self.scope.proxy_local(job.proxy as usize).expect("launch in scope");
+            self.proxies[i].timeouts += 1;
+            let expiry = t_att + fc.retry.timeout;
+            if attempt + 1 < attempts {
+                self.proxies[i].retries += 1;
+                let next = expiry + fc.retry.backoff(self.seed, job.id, attempt);
+                let jp = job.proxy as u64;
+                trace_job(&mut self.trace, &mut job, next, SpanKind::Retry, jp, expiry, 0);
+                t_att = next;
+            } else {
+                self.effects.push(Effect::Fail { p: job.proxy, t: expiry, job });
+                return;
+            }
+        }
     }
 
     /// A link departure event on local link `l` at time `t`.
@@ -351,7 +472,15 @@ impl<'a> Engine<'a> {
                 fwd.hop += 1;
                 self.send_arrive(route[fwd.hop], t, fwd);
             } else {
-                let tau = t + self.topology.return_latency(route);
+                let mut tau = t + self.return_latency_at(route, t);
+                // Every open-loop fetch is an origin fetch: a brownout
+                // inflates its response by the active delay.
+                if let Some(fc) = self.faults {
+                    let d = fc.plan.origin_delay(t);
+                    if d > 0.0 {
+                        tau += d;
+                    }
+                }
                 self.effects.push(Effect::Deliver { p: job.proxy, t: tau, job, false_hit: false });
             }
         }
@@ -595,6 +724,84 @@ impl<'a> Engine<'a> {
         trace_job(&mut self.trace, &mut job, t, SpanKind::Issue, me as u64, t, TF_PREFETCH | mf);
         self.launch(t, job);
     }
+
+    /// Queued fetch-failure settlements at local proxy `i` coming due at
+    /// `t` (fault runs only).
+    pub(crate) fn on_fails(&mut self, t: f64, i: usize) {
+        self.obs_tick(t);
+        self.t_end = t;
+        while let Some(job) = self.fails[i].pop_due(t) {
+            self.fail_now(i, t, job);
+        }
+        self.dirty.push((CLASS_FAIL, i));
+    }
+
+    /// `job`'s fetch exhausted its attempt budget — settle it (and, in
+    /// catalog mode, every coalesced waiter) as failed at `t`, refunding
+    /// the never-launched transfer's bytes (see the closed-loop twin).
+    fn fail_now(&mut self, i: usize, t: f64, mut job: Job) {
+        self.t_end = t;
+        debug_assert_eq!(self.scope.proxies[i], job.proxy as usize);
+        let jp = job.proxy as u64;
+        let pf = if matches!(job.kind, JobKind::Prefetch { .. }) { TF_PREFETCH } else { 0 };
+        trace_job(&mut self.trace, &mut job, t, SpanKind::Failed, jp, 0.0, pf);
+        let p = &mut self.proxies[i];
+        p.failed_fetches += 1;
+        match job.kind {
+            JobKind::Demand { measured } => {
+                p.demand_bytes -= job.size;
+                if measured {
+                    let sojourn = t - job.issued;
+                    p.measured_failed += 1;
+                    p.access_times.push(sojourn);
+                    p.total_job_time += sojourn;
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.latency(sojourn);
+                    }
+                }
+                // Catalog mode: reclassify the outstanding entry as failed
+                // and settle its waiters — unless a crash already drained
+                // it (the generation guard on `issued`).
+                if job.item != u64::MAX {
+                    let entry = p.mshr.as_mut().and_then(|m| {
+                        m.entry(&job.item)
+                            .is_some_and(|e| {
+                                e.origin == FetchOrigin::Demand && e.issued == job.issued
+                            })
+                            .then(|| m.fail(&job.item))
+                            .flatten()
+                    });
+                    if let Some(entry) = entry {
+                        for w in &entry.waiters {
+                            let wf = if w.measured { TF_MEASURED } else { 0 };
+                            trace_point(
+                                &mut self.trace,
+                                w.trace,
+                                t,
+                                SpanKind::Wait,
+                                jp,
+                                w.t,
+                                job.item,
+                                wf,
+                            );
+                            if w.measured {
+                                p.measured_failed += 1;
+                                p.access_times.push(t - w.t);
+                                if let Some(o) = self.obs.as_deref_mut() {
+                                    o.latency(t - w.t);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            JobKind::Prefetch { .. } => {
+                // The Poissonised prefetch stream is itemless volume: no
+                // MSHR reservation to settle, just the byte refund.
+                p.prefetch_bytes -= job.size;
+            }
+        }
+    }
 }
 
 impl shard::EngineCore for Engine<'_> {
@@ -603,7 +810,7 @@ impl shard::EngineCore for Engine<'_> {
     fn class_counts(&self) -> [usize; N_CLASSES] {
         let (l, p) = (self.links.len(), self.proxies.len());
         // No peer fabric in the open loop: the check class is empty.
-        [l, l, 0, p, p, p]
+        [l, l, 0, p, p, p, p]
     }
 
     fn global_id(&self, class: usize, idx: usize) -> usize {
@@ -621,6 +828,7 @@ impl shard::EngineCore for Engine<'_> {
             CLASS_DELIVER => self.delivers[idx].next_time(),
             CLASS_REQUEST => self.request_due(idx),
             CLASS_PREFETCH => self.prefetch_due(idx),
+            CLASS_FAIL => self.fails[idx].next_time(),
             _ => unreachable!("unknown class {class}"),
         }
     }
@@ -632,6 +840,7 @@ impl shard::EngineCore for Engine<'_> {
             CLASS_DELIVER => self.on_delivers(t, idx),
             CLASS_REQUEST => self.on_request(idx),
             CLASS_PREFETCH => self.on_prefetch(idx),
+            CLASS_FAIL => self.on_fails(t, idx),
             _ => unreachable!("unknown class {class}"),
         }
     }
@@ -651,6 +860,10 @@ impl shard::EngineCore for Engine<'_> {
                 let i = self.scope.proxy_local(p as usize).expect("deliver in scope");
                 self.deliver_now(i, t, job);
             }
+            Effect::Fail { p, job, .. } => {
+                let i = self.scope.proxy_local(p as usize).expect("fail in scope");
+                self.fail_now(i, t, job);
+            }
         }
     }
 
@@ -667,6 +880,11 @@ impl shard::EngineCore for Engine<'_> {
                 self.delivers[i].push(t, job.id, (job, false_hit));
                 self.dirty.push((CLASS_DELIVER, i));
             }
+            Effect::Fail { p, t, job } => {
+                let i = self.scope.proxy_local(p as usize).expect("fail in scope");
+                self.fails[i].push(t, job.id, job);
+                self.dirty.push((CLASS_FAIL, i));
+            }
         }
     }
 
@@ -675,6 +893,7 @@ impl shard::EngineCore for Engine<'_> {
             Effect::Arrive { link, .. } => self.scope.link_local(*link as usize).is_some(),
             Effect::Check { .. } => false,
             Effect::Deliver { p, .. } => self.scope.proxy_local(*p as usize).is_some(),
+            Effect::Fail { p, .. } => self.scope.proxy_local(*p as usize).is_some(),
         }
     }
 
@@ -692,6 +911,52 @@ impl shard::EngineCore for Engine<'_> {
 
     fn refresh_payloads(&mut self, _out: &mut Vec<shard::BoundaryEntry>) {
         // The open loop has no caches, hence no digests to flush.
+    }
+
+    fn apply_fault(&mut self, t: f64, kind: &FaultKind) {
+        match kind {
+            FaultKind::ProxyCrash { proxy } => {
+                let Some(i) = self.scope.proxy_local(*proxy) else { return };
+                // No cache to wipe in the open loop; a crash loses only
+                // the outstanding-fetch table (catalog mode), whose
+                // waiters settle with a failure outcome now.
+                self.t_end = self.t_end.max(t);
+                let jp = *proxy as u64;
+                let p = &mut self.proxies[i];
+                let drained = match p.mshr.as_mut() {
+                    Some(m) => m.drain_failed(),
+                    None => Vec::new(),
+                };
+                for (item, entry) in &drained {
+                    if entry.origin == FetchOrigin::Demand {
+                        p.failed_fetches += 1;
+                    }
+                    for w in &entry.waiters {
+                        let wf = if w.measured { TF_MEASURED } else { 0 };
+                        trace_point(
+                            &mut self.trace,
+                            w.trace,
+                            t,
+                            SpanKind::Wait,
+                            jp,
+                            w.t,
+                            *item,
+                            wf,
+                        );
+                        if w.measured {
+                            p.measured_failed += 1;
+                            p.access_times.push(t - w.t);
+                            if let Some(o) = self.obs.as_deref_mut() {
+                                o.latency(t - w.t);
+                            }
+                        }
+                    }
+                }
+            }
+            // No digest fabric in the open loop: nothing to lose.
+            FaultKind::DigestLoss { .. } => {}
+            _ => debug_assert!(false, "non-boundary fault {kind:?} routed to an engine"),
+        }
     }
 }
 
@@ -714,6 +979,11 @@ pub(crate) fn merge_reports(topology: &Topology, engines: Vec<Engine<'_>>) -> Cl
         .map(|g| {
             let p = proxy(g);
             let (mean_access, ci) = p.access_times.mean_ci();
+            debug_assert!(
+                p.mshr.as_ref().is_none_or(Mshr::conservation_ok),
+                "proxy {g}: MSHR conservation law violated \
+                 (origin_fetches + coalesced + failed != demand_misses)"
+            );
             NodeReport {
                 proxy: g,
                 measured_requests: measured,
@@ -742,6 +1012,20 @@ pub(crate) fn merge_reports(topology: &Topology, engines: Vec<Engine<'_>>) -> Cl
                 mean_residual_wait: (p.delayed_hits > 0).then(|| p.residual.mean()),
                 mean_waiter_depth: p.mshr.as_ref().and_then(Mshr::waiter_depth_mean),
                 mshr_rejections: p.mshr.as_ref().map(Mshr::rejections),
+                demand_misses: p.mshr.as_ref().map(Mshr::demand_misses),
+                mshr_failed: p.mshr.as_ref().map(Mshr::failed),
+                timeouts: p.timeouts,
+                retries: p.retries,
+                // No peer fabric to fail over from, no cache or digest
+                // stream to lose.
+                failovers: 0,
+                failed_fetches: p.failed_fetches,
+                lost_entries: 0,
+                unavailability: if measured > 0 {
+                    p.measured_failed as f64 / measured as f64
+                } else {
+                    0.0
+                },
             }
         })
         .collect();
@@ -792,15 +1076,17 @@ pub(crate) fn run_observed(
     plan: &ShardPlan,
     obs: Option<&ObsConfig>,
     record: bool,
+    faults: Option<&FaultConfig>,
 ) -> (ClusterReport, Option<ClusterObs>, crate::closed_loop::RunExtras) {
     let obs_cfg = obs.filter(|c| c.enabled);
+    let boundary = faults.map(|f| f.plan.boundary_events()).unwrap_or_default();
     // The open loop has no digest epochs; series need an explicit grid.
     let grid = obs_cfg.map(|c| c.sample_every.max(0.0)).unwrap_or(0.0);
     let trace_every = obs_cfg.map(|c| c.trace_every).unwrap_or(0);
     let runners: Vec<ShardRunner<Engine<'_>>> = (0..plan.n_shards())
         .map(|s| {
             let scope = Scope::shard(topology, plan, s);
-            let mut engine = Engine::new(topology, w, requests, warmup, seed, scope);
+            let mut engine = Engine::new(topology, w, requests, warmup, seed, scope, faults);
             if trace_every > 0 {
                 engine.attach_trace(trace_every);
             }
@@ -819,7 +1105,7 @@ pub(crate) fn run_observed(
         .collect();
     let driver =
         if plan.n_shards() > 1 && plan.lookahead() > 0.0 { "windowed" } else { "sequential" };
-    let (runners, _) = shard::drive(runners, None, plan);
+    let (runners, _) = shard::drive(runners, None, plan, &boundary);
 
     let mut engines = Vec::with_capacity(plan.n_shards());
     let mut profiles = Vec::new();

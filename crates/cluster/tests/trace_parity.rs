@@ -194,6 +194,7 @@ fn segments_conserve_end_to_end_latency() {
                 );
             }
             TraceClass::Prefetch => {}
+            TraceClass::Failed => panic!("failed trace without a fault plan"),
         }
         if tr.segments.iter().any(|s| s.wasted) {
             wasted_legs += 1;
@@ -237,6 +238,7 @@ fn assert_trace_stats_match_report(config: &ClusterConfig<'_>, seed: u64, label:
                 demand_lat[g] += tr.latency();
             }
             TraceClass::Prefetch => {}
+            TraceClass::Failed => panic!("failed trace without a fault plan"),
         }
     }
     for node in &report.nodes {

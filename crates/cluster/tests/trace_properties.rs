@@ -28,18 +28,20 @@ use simcore::ObsConfig;
 use workload::synth_web::SynthWebConfig;
 
 /// Builds one synthetic job lifecycle: issue (optionally after a pending
-/// stall), `hops` link traversals each `(prop, queue, service)` apart,
-/// an optional redirect after hop `redirect_after`, then delivery one
-/// more propagation gap later. Returns the raw events plus the exact
-/// per-kind totals the extractor must reproduce.
+/// stall), `retries` timed-out attempts each `(timeout, backoff)` long,
+/// `hops` link traversals each `(prop, queue, service)` apart, an
+/// optional redirect after hop `redirect_after`, then delivery one more
+/// propagation gap later. Returns the raw events plus the exact per-kind
+/// totals the extractor must reproduce.
 #[allow(clippy::type_complexity)]
 fn synth_lifecycle(
     stall: f64,
+    retries: &[(f64, f64)],
     hops: &[(f64, f64, f64)],
     redirect_after: Option<usize>,
     tail_prop: f64,
     prefetch: bool,
-) -> (Vec<SpanEvent>, [f64; 5], f64) {
+) -> (Vec<SpanEvent>, [f64; 7], f64) {
     let mut events = Vec::new();
     let ev = |seq: u32, t: f64, kind: SpanKind, entity: u64, aux: f64, flags: u8| SpanEvent {
         trace: 0xfeed,
@@ -56,11 +58,22 @@ fn synth_lifecycle(
     let flags = TF_MEASURED | if prefetch { TF_PREFETCH } else { 0 };
     let mut seq = 0u32;
     events.push(ev(seq, issued, SpanKind::Issue, 1, decided, flags));
-    // totals indexed like SegKind::ALL: pending, queue, service, prop, wait
-    let mut totals = [0.0f64; 5];
+    // totals indexed like SegKind::ALL: pending, queue, service, prop,
+    // wait, timeout, backoff
+    let mut totals = [0.0f64; 7];
     totals[0] = stall;
     let mut t = issued;
     let mut wasted = 0.0;
+    // Doomed attempts resolve before the surviving launch: each waits out
+    // its timeout, then backs off before the next attempt.
+    for &(timeout, backoff) in retries {
+        seq += 1;
+        let expiry = t + timeout;
+        t = expiry + backoff;
+        totals[5] += timeout;
+        totals[6] += backoff;
+        events.push(ev(seq, t, SpanKind::Retry, 1, expiry, 0));
+    }
     for (h, &(prop, queue, service)) in hops.iter().enumerate() {
         seq += 1;
         t += prop;
@@ -77,8 +90,9 @@ fn synth_lifecycle(
             seq += 1;
             events.push(ev(seq, t, SpanKind::Redirect, 1, 0.0, TF_FALSE_HIT));
             // Everything accumulated on this leg (all queue/service/prop
-            // so far — the pending stall is outside the leg) is wasted.
-            wasted = totals[1] + totals[2] + totals[3];
+            // plus any retry timeouts/backoffs so far — the pending stall
+            // is outside the leg) is wasted.
+            wasted = totals[1] + totals[2] + totals[3] + totals[5] + totals[6];
         }
     }
     seq += 1;
@@ -138,6 +152,7 @@ proptest! {
     #[test]
     fn extractor_attributes_every_injected_gap(
         stall_q in 0u32..3,
+        retries in vec((0.1f64..2.0, 0.0f64..1.0), 0..4),
         hops in vec((0.0f64..0.5, 0.0f64..2.0, 0.01f64..1.0), 1..5),
         redirect_sel in 0usize..8,
         tail_prop in 0.0f64..0.5,
@@ -146,11 +161,13 @@ proptest! {
         // A pending stall only exists for jittered prefetches; demand
         // fetches issue at decision time.
         let stall = if prefetch { stall_q as f64 * 0.21 } else { 0.0 };
+        // Prefetches get exactly one attempt: no retry legs.
+        let retries = if prefetch { &[][..] } else { &retries[..] };
         // Redirect after one of the non-final hops, or never.
         let redirect_after =
             if redirect_sel + 1 < hops.len() { Some(redirect_sel) } else { None };
         let (events, totals, wasted) =
-            synth_lifecycle(stall, &hops, redirect_after, tail_prop, prefetch);
+            synth_lifecycle(stall, retries, &hops, redirect_after, tail_prop, prefetch);
         let store = TraceStore::from_events(events, 1);
         prop_assert_eq!(store.traces.len(), 1);
         let tr = &store.traces[0];

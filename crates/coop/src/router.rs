@@ -113,6 +113,10 @@ pub struct Router {
     /// [`RefreshPayload::Snapshot`] is diffed against so snapshot flushes
     /// reduce to the equivalent delta ops.
     advertised: Vec<HashSet<u64>>,
+    /// Proxies whose advertised state was wiped by a crash and who have
+    /// not flushed a fresh payload since — their claims are void until
+    /// their next digest epoch ([`Router::quarantine`]).
+    quarantined: Vec<bool>,
     epoch: f64,
     next_refresh: f64,
     epochs: u64,
@@ -142,6 +146,7 @@ impl Router {
             digests,
             holders: HashMap::new(),
             advertised: vec![HashSet::new(); n_nodes],
+            quarantined: vec![false; n_nodes],
             epoch: config.digest.epoch,
             next_refresh: config.digest.epoch,
             epochs: 0,
@@ -214,6 +219,9 @@ impl Router {
         for set in &mut self.advertised {
             set.clear();
         }
+        // A full rebuild re-advertises everyone from live cache contents,
+        // so any crash quarantine ends here.
+        self.quarantined.fill(false);
         for proxy in 0..self.digests.len() {
             self.digests[proxy].clear();
             for key in contents(proxy) {
@@ -247,6 +255,7 @@ impl Router {
 
     /// Applies one proxy's delta flush and meters its wire cost.
     fn flush_delta_ops(&mut self, proxy: usize, ops: Vec<DeltaOp>) {
+        self.quarantined[proxy] = false;
         self.digest_bytes += DELTA_OP_WIRE_BYTES * ops.len() as u64;
         self.delta_ops += ops.len() as u64;
         self.delta_flushes += 1;
@@ -265,6 +274,7 @@ impl Router {
     /// the equivalent delta flush would — the compaction fallback changes
     /// bytes, never advertised state.
     fn flush_snapshot(&mut self, proxy: usize, keys: Vec<u64>) {
+        self.quarantined[proxy] = false;
         let next: HashSet<u64> = keys.into_iter().collect();
         // Sorted diffs so the op application order is a pure function of
         // the sets, not of hash iteration order.
@@ -328,14 +338,14 @@ impl Router {
             return Resolution::Origin;
         }
         let owner = self.placement.owner(key);
-        if owner != me && self.digests[owner].contains(key) {
+        if owner != me && !self.quarantined[owner] && self.digests[owner].contains(key) {
             return Resolution::Peer(owner);
         }
         if let Some(list) = self.holders.get(&key) {
             let mut best: Option<(usize, usize)> = None; // (offset from owner, proxy)
             for &q in list {
                 let q = q as usize;
-                if q == me || q == owner {
+                if q == me || q == owner || self.quarantined[q] {
                     continue;
                 }
                 let offset = (q + n - owner) % n;
@@ -353,6 +363,36 @@ impl Router {
     /// The placement owner of `key` (where prefetched copies gravitate).
     pub fn owner(&self, key: u64) -> usize {
         self.placement.owner(key)
+    }
+
+    /// Proxy `p` crashed: void every claim it advertised. Its digest and
+    /// advertised set are wiped, its holder-index entries removed, and the
+    /// proxy is marked quarantined so [`Router::resolve`] cannot return it
+    /// — the stale-holder bug where the cyclic scan handed out a peer
+    /// whose cache no longer exists. The quarantine lifts at the proxy's
+    /// next digest epoch (its next [`RefreshPayload`] flush or a full
+    /// rebuild), when its advertised state is trustworthy again. Returns
+    /// the number of advertised keys wiped.
+    pub fn quarantine(&mut self, p: usize) -> u64 {
+        let keys = std::mem::take(&mut self.advertised[p]);
+        for key in &keys {
+            if let Some(list) = self.holders.get_mut(key) {
+                if let Ok(pos) = list.binary_search(&(p as u32)) {
+                    list.remove(pos);
+                }
+                if list.is_empty() {
+                    self.holders.remove(key);
+                }
+            }
+        }
+        self.digests[p].clear();
+        self.quarantined[p] = true;
+        keys.len() as u64
+    }
+
+    /// Whether proxy `p` is quarantined (crashed and not yet re-advertised).
+    pub fn is_quarantined(&self, p: usize) -> bool {
+        self.quarantined[p]
     }
 
     /// Activity counters.
@@ -432,6 +472,51 @@ mod tests {
         let me = (owner + 5) % n;
         let expect = if me == holder_a { holder_b } else { holder_a };
         assert_eq!(r.resolve(me, key), Resolution::Peer(expect));
+    }
+
+    #[test]
+    fn quarantine_voids_crashed_holder_until_next_epoch() {
+        // Regression: before quarantine existed, the holder-index cyclic
+        // scan kept returning a crashed proxy whose cache was gone.
+        let n = 4;
+        let mut r = router(n);
+        let key = 77u64;
+        let owner = r.owner(key);
+        let holder = (owner + 2) % n;
+        r.refresh(5.0, |p| if p == holder { vec![key] } else { vec![] }, &[0.0; 4]);
+        let me = (owner + 1) % n;
+        assert_eq!(r.resolve(me, key), Resolution::Peer(holder));
+
+        let wiped = r.quarantine(holder);
+        assert_eq!(wiped, 1);
+        assert!(r.is_quarantined(holder));
+        assert_eq!(r.resolve(me, key), Resolution::Origin, "crashed holder must not be returned");
+
+        // The proxy's next digest epoch re-admits it with live contents.
+        let payloads = (0..n)
+            .map(|p| {
+                let keys = if p == holder { vec![key] } else { vec![] };
+                (p, RefreshPayload::Snapshot(keys))
+            })
+            .collect();
+        r.apply_payloads(10.0, payloads, &[0.0; 4]);
+        assert!(!r.is_quarantined(holder));
+        assert_eq!(r.resolve(me, key), Resolution::Peer(holder));
+    }
+
+    #[test]
+    fn quarantined_owner_probe_falls_through() {
+        let n = 4;
+        let mut r = router(n);
+        let key = 42u64;
+        let owner = r.owner(key);
+        let other = (owner + 2) % n;
+        r.refresh(5.0, |p| if p == owner || p == other { vec![key] } else { vec![] }, &[0.0; 4]);
+        let me = (owner + 1) % n;
+        assert_eq!(r.resolve(me, key), Resolution::Peer(owner));
+        r.quarantine(owner);
+        // The owner's claim is void, but the surviving holder still serves.
+        assert_eq!(r.resolve(me, key), Resolution::Peer(other));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The experiment implementations (E1–E21). Each module exposes a
+//! The experiment implementations (E1–E22). Each module exposes a
 //! `render()` returning the full plain-text report, plus structured data
 //! functions used by the integration tests and benches.
 
@@ -15,6 +15,7 @@ pub mod e19_trace;
 pub mod e1_fig1;
 pub mod e20_delayed;
 pub mod e21_replay;
+pub mod e22_chaos;
 pub mod e2_fig2;
 pub mod e3_fig3;
 pub mod e4_modelb;

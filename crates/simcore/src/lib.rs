@@ -55,6 +55,7 @@
 pub mod dist;
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod json;
 pub mod obs;
 pub mod par;
@@ -67,6 +68,7 @@ pub mod trace;
 pub use dist::Sample;
 pub use engine::Engine;
 pub use event::EventToken;
+pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan, RetryPolicy};
 pub use json::Json;
 pub use obs::{FlightRecord, FlightRecorder, ObsConfig, Registry, ShardProfile};
 pub use rng::Rng;
@@ -80,6 +82,7 @@ pub mod prelude {
     pub use crate::dist::{self, Sample};
     pub use crate::engine::Engine;
     pub use crate::event::EventToken;
+    pub use crate::faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan, RetryPolicy};
     pub use crate::json::Json;
     pub use crate::obs::{ObsConfig, Registry};
     pub use crate::rng::Rng;

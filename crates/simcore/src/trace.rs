@@ -89,6 +89,14 @@ pub enum SpanKind {
     /// A request joined an already-in-flight fetch; `aux` = the time the
     /// waiter started waiting (the trace spans `[aux, t]`).
     Wait,
+    /// A fetch attempt timed out and a retry launched at `t`. `aux` = the
+    /// instant the failed attempt's timeout expired (so `[prev, aux]` is
+    /// the timeout wait and `[aux, t]` the backoff before this retry).
+    /// `entity` = requesting proxy.
+    Retry,
+    /// The retry budget ran out: the request settles as failed at `t`
+    /// (the final attempt's timeout expiry). `entity` = requesting proxy.
+    Failed,
 }
 
 impl SpanKind {
@@ -102,6 +110,8 @@ impl SpanKind {
             SpanKind::Deliver => "deliver",
             SpanKind::Hit => "hit",
             SpanKind::Wait => "wait",
+            SpanKind::Retry => "retry",
+            SpanKind::Failed => "failed",
         }
     }
 }
@@ -181,6 +191,9 @@ pub enum TraceClass {
     DelayedHit,
     /// A speculative prefetch transfer.
     Prefetch,
+    /// A demand miss whose fetch exhausted its retry budget: the request
+    /// settled as failed, its latency tiled by timeout/backoff segments.
+    Failed,
 }
 
 impl TraceClass {
@@ -190,11 +203,17 @@ impl TraceClass {
             TraceClass::Demand => "demand",
             TraceClass::DelayedHit => "delayed_hit",
             TraceClass::Prefetch => "prefetch",
+            TraceClass::Failed => "failed",
         }
     }
 
-    pub const ALL: [TraceClass; 4] =
-        [TraceClass::Hit, TraceClass::Demand, TraceClass::DelayedHit, TraceClass::Prefetch];
+    pub const ALL: [TraceClass; 5] = [
+        TraceClass::Hit,
+        TraceClass::Demand,
+        TraceClass::DelayedHit,
+        TraceClass::Prefetch,
+        TraceClass::Failed,
+    ];
 }
 
 /// Exclusive-segment kinds the critical-path extractor attributes time to.
@@ -210,6 +229,10 @@ pub enum SegKind {
     Prop,
     /// Waiting on someone else's in-flight fetch (delayed hit).
     Wait,
+    /// Waiting out a fetch attempt that will time out (fault injection).
+    Timeout,
+    /// Backing off between fetch attempts (fault injection).
+    Backoff,
 }
 
 impl SegKind {
@@ -220,11 +243,20 @@ impl SegKind {
             SegKind::Service => "service",
             SegKind::Prop => "prop",
             SegKind::Wait => "wait",
+            SegKind::Timeout => "timeout",
+            SegKind::Backoff => "backoff",
         }
     }
 
-    pub const ALL: [SegKind; 5] =
-        [SegKind::PendingWait, SegKind::Queue, SegKind::Service, SegKind::Prop, SegKind::Wait];
+    pub const ALL: [SegKind; 7] = [
+        SegKind::PendingWait,
+        SegKind::Queue,
+        SegKind::Service,
+        SegKind::Prop,
+        SegKind::Wait,
+        SegKind::Timeout,
+        SegKind::Backoff,
+    ];
 }
 
 /// One exclusive slice of a trace's end-to-end interval.
@@ -257,9 +289,10 @@ impl Segment {
     }
 }
 
-/// Attribution buckets, in render order: the five [`SegKind`]s plus the
+/// Attribution buckets, in render order: the seven [`SegKind`]s plus the
 /// wasted-peer-leg bucket.
-pub const BUCKETS: [&str; 6] = ["pending_wait", "queue", "service", "prop", "wait", "redirect"];
+pub const BUCKETS: [&str; 8] =
+    ["pending_wait", "queue", "service", "prop", "wait", "timeout", "backoff", "redirect"];
 
 /// One extracted request trace: an end-to-end interval tiled by exclusive
 /// segments.
@@ -576,7 +609,7 @@ fn extract(events: &[SpanEvent]) -> Trace {
 fn extract_job(events: &[SpanEvent]) -> Trace {
     let first = events[0];
     let measured = first.flags & TF_MEASURED != 0;
-    let class =
+    let mut class =
         if first.flags & TF_PREFETCH != 0 { TraceClass::Prefetch } else { TraceClass::Demand };
     let proxy = first.entity;
     // A jittered prefetch is decided at `aux` and issued at `t`; the gap
@@ -681,6 +714,47 @@ fn extract_job(events: &[SpanEvent]) -> Trace {
                 }
                 cursor = ev.t;
                 end = ev.t;
+            }
+            SpanKind::Retry => {
+                // `[cursor, aux]` waited out the doomed attempt's timeout;
+                // `[aux, t]` is the backoff before this retry launched.
+                let expiry = ev.aux.max(cursor).min(ev.t);
+                if expiry > cursor {
+                    segments.push(Segment {
+                        kind: SegKind::Timeout,
+                        start: cursor,
+                        end: expiry,
+                        entity: ev.entity,
+                        wasted: false,
+                    });
+                }
+                if ev.t > expiry {
+                    segments.push(Segment {
+                        kind: SegKind::Backoff,
+                        start: expiry,
+                        end: ev.t,
+                        entity: ev.entity,
+                        wasted: false,
+                    });
+                }
+                cursor = ev.t;
+                open = None;
+            }
+            SpanKind::Failed => {
+                if ev.t > cursor {
+                    segments.push(Segment {
+                        kind: SegKind::Timeout,
+                        start: cursor,
+                        end: ev.t,
+                        entity: ev.entity,
+                        wasted: false,
+                    });
+                }
+                cursor = ev.t;
+                end = ev.t;
+                if class != TraceClass::Prefetch {
+                    class = TraceClass::Failed;
+                }
             }
             SpanKind::Issue | SpanKind::Hit | SpanKind::Wait => {
                 debug_assert!(false, "trace {:#x}: unexpected {:?} mid-trace", ev.trace, ev.kind);
@@ -829,6 +903,57 @@ mod tests {
             TraceStore::from_events(all, 2)
         };
         assert_eq!(mk(false), mk(true));
+    }
+
+    #[test]
+    fn retry_legs_tile_timeout_then_backoff() {
+        let id = 31;
+        let events = vec![
+            // Issued at 1.0; first attempt times out at 2.0; backoff until
+            // 2.3; second attempt succeeds over the network.
+            ev(id, 0, 1.0, SpanKind::Issue, 2, 1.0, TF_MEASURED),
+            ev(id, 1, 2.3, SpanKind::Retry, 2, 2.0, 0),
+            ev(id, 2, 2.3, SpanKind::Enqueue, 4, 0.0, 0),
+            ev(id, 3, 2.8, SpanKind::Dequeue, 4, 0.5, 0),
+            ev(id, 4, 3.0, SpanKind::Deliver, 2, 0.0, 0),
+        ];
+        let store = TraceStore::from_events(events, 1);
+        let tr = &store.traces[0];
+        assert_eq!(tr.class, TraceClass::Demand);
+        tr.check().unwrap();
+        assert!((tr.latency() - 2.0).abs() < 1e-12);
+        let kinds: Vec<SegKind> = tr.segments.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![SegKind::Timeout, SegKind::Backoff, SegKind::Service, SegKind::Prop]
+        );
+        assert!((tr.segments[0].duration() - 1.0).abs() < 1e-12);
+        assert!((tr.segments[1].duration() - 0.3).abs() < 1e-12);
+        assert_eq!(tr.dominant_bucket(), "timeout");
+    }
+
+    #[test]
+    fn exhausted_retries_settle_as_failed_class() {
+        let id = 33;
+        let events = vec![
+            ev(id, 0, 1.0, SpanKind::Issue, 0, 1.0, TF_MEASURED),
+            ev(id, 1, 2.5, SpanKind::Retry, 0, 2.0, 0),
+            // Second attempt also times out; budget gone → failed at 3.5.
+            ev(id, 2, 3.5, SpanKind::Failed, 0, 0.0, 0),
+        ];
+        let store = TraceStore::from_events(events, 1);
+        let tr = &store.traces[0];
+        assert_eq!(tr.class, TraceClass::Failed);
+        assert!(tr.measured);
+        tr.check().unwrap();
+        assert!((tr.latency() - 2.5).abs() < 1e-12);
+        let kinds: Vec<SegKind> = tr.segments.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, vec![SegKind::Timeout, SegKind::Backoff, SegKind::Timeout]);
+        let att = store.attribution();
+        let failed = att.iter().find(|a| a.class == TraceClass::Failed).unwrap();
+        assert_eq!(failed.traces, 1);
+        let timeout_bucket = BUCKETS.iter().position(|&b| b == "timeout").unwrap();
+        assert!((failed.buckets[timeout_bucket].total - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -47,7 +47,7 @@
 //! | [`netsim`] | `netsim` | parametric + trace-driven end-to-end simulators |
 //! | [`cluster`] | `cluster` | multi-node network-of-queues simulator (topologies, per-link `ρ`, per-node adaptive control, cooperative mode) |
 //! | [`coop`] | `coop` | cooperative caching: consistent-hash placement, Bloom digests + incremental delta exchange, peer/origin routing |
-//! | [`harness`] | `harness` | experiment reports E1–E21 (figures + validation + cluster + cooperation + scale + digest deltas + observability + delayed hits + trace replay) |
+//! | [`harness`] | `harness` | experiment reports E1–E22 (figures + validation + cluster + cooperation + scale + digest deltas + observability + delayed hits + trace replay + fault injection) |
 //!
 //! ## Scaling out: the `cluster` layer
 //!
@@ -384,6 +384,84 @@
 //! (`workload/tests/trace_formats.rs`): arbitrary finite records
 //! round-trip JSON, legacy binary, and `.events` exactly; truncations,
 //! header bit-flips, and wrong versions are errors, never panics.
+//!
+//! ## Fault injection: chaos you can diff
+//!
+//! Real meshes lose links, proxies, and origins; [`simcore::faults`]
+//! injects all of it **deterministically**. A
+//! [`simcore::faults::FaultPlan`] is a validated, time-sorted schedule of
+//! faults — link down/up, lossy degradation with latency inflation, proxy
+//! crashes (cold cache + MSHR drain + digest quarantine), digest-delta
+//! loss, origin brownouts and blackouts — and because the plan is static,
+//! every piece of fault state is a pure function of `(plan, t)`: loss
+//! rolls and retry jitter come from pure hashes, never the workload RNG.
+//! The client side survives through [`simcore::faults::RetryPolicy`]:
+//! per-attempt timeouts, capped exponential backoff with deterministic
+//! jitter, a bounded retry budget, and — on the cooperative mesh —
+//! failover to the origin when every path to a peer is dark. Two
+//! determinism contracts are pinned bit-identically (derived `PartialEq`,
+//! `cluster/tests/fault_parity.rs`): an **empty plan** reproduces the
+//! unfaulted run exactly, and any plan produces the same report and
+//! traces at shard counts {1, 2, 4, 8}:
+//!
+//! ```
+//! use cluster::ClusterSim;
+//! use simcore::faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan, RetryPolicy};
+//! # use cluster::{AdaptiveWorkload, CandidateSource, ClusterConfig, ProxyPolicy,
+//! #     Topology, Workload};
+//! # use workload::synth_web::SynthWebConfig;
+//! # let config = ClusterConfig {
+//! #     topology: Topology::mesh_with_latency(2, 60.0, 40.0, 45.0, 0.05),
+//! #     workload: Workload::Adaptive(AdaptiveWorkload {
+//! #         proxies: vec![SynthWebConfig { lambda: 14.0, n_items: 80,
+//! #             ..SynthWebConfig::default() }; 2],
+//! #         cache_capacity: 24, cache_bytes: None, max_candidates: 3,
+//! #         prefetch_jitter: 0.01, policy: ProxyPolicy::Adaptive,
+//! #         predictor: CandidateSource::Oracle, shared_structure_seed: None,
+//! #         delayed: Default::default(),
+//! #     }),
+//! #     requests_per_proxy: 400, warmup_per_proxy: 80,
+//! # };
+//! let sim = ClusterSim::new(&config);
+//!
+//! // The empty plan run through the fault-aware paths changes nothing.
+//! assert_eq!(sim.run_faulted(7, 2, &FaultConfig::default()), sim.run_sharded(7, 2));
+//!
+//! // Degrade every link to 30% loss: retries absorb most of it…
+//! let lossy = |retry| FaultConfig {
+//!     plan: FaultPlan::new(
+//!         (0..config.topology.links().len())
+//!             .map(|link| FaultEvent {
+//!                 t: 0.0,
+//!                 kind: FaultKind::LinkDegrade { link, loss: 0.3, latency_factor: 1.0 },
+//!             })
+//!             .collect(),
+//!     ),
+//!     retry,
+//! };
+//! let graceful = sim.run_faulted(7, 2, &lossy(RetryPolicy::default()));
+//! assert!(graceful.retries() > 0);
+//! // …while a single-attempt policy turns every lost packet into a
+//! // failed request.
+//! let collapsed = sim.run_faulted(7, 2, &lossy(RetryPolicy::no_retries(1.0)));
+//! assert!(graceful.unavailability() < collapsed.unavailability());
+//! // The MSHR ledger still balances: origin + coalesced + failed == misses.
+//! assert!(graceful.mshr_conservation_ok());
+//! ```
+//!
+//! Failures are first-class everywhere downstream: failed fetches settle
+//! their MSHR waiters and surface as `TraceClass::Failed` traces whose
+//! `Timeout`/`Backoff` segments tile the latency exactly; per-node
+//! counters (`timeouts`, `retries`, `failovers`, `failed_fetches`,
+//! `lost_entries`, `unavailability`) land in [`cluster::NodeReport`].
+//! Experiment E22 (`cargo run --release --bin chaos`) sweeps link loss ×
+//! prefetch aggressiveness, with and without retries, and pins the
+//! punchline: retries degrade gracefully where single-attempt fetching
+//! collapses — but speculative prefetches get exactly one attempt, so
+//! aggressive prefetching *widens* the failure surface as demand
+//! coalesces onto unprotected in-flight fetches. Section `e22_chaos` of
+//! `OBS_cluster.json` is schema-checked in CI by `--bin chaos -- --check`
+//! and covered by the sentinel.
 
 pub use cachesim;
 pub use cluster;
